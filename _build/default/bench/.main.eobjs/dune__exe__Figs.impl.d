@@ -1,0 +1,1 @@
+bench/figs.ml: Apps Cudasim Cusan Fmt Harness List Option Paper_ref String Testsuite Tsan

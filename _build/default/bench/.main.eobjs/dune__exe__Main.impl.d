@@ -1,0 +1,1 @@
+bench/main.ml: Array Figs Fmt List Micro Sys Testsuite

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Apps Bechamel Benchmark Cusan Fmt Hashtbl Instance List Measure Memsim Staged Test Time Toolkit Tsan Typeart

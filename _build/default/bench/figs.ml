@@ -1,0 +1,270 @@
+(* Regenerates every table and figure of the paper's evaluation section
+   from the simulator. Benchmark methodology follows the paper: each
+   configuration runs once for warmup plus [repeats] measured runs, and
+   the reported value is the average (Section V, "Benchmark setup"). *)
+
+module F = Harness.Flavor
+module R = Harness.Run
+
+type sizes = {
+  jacobi_nx : int;
+  jacobi_ny : int;
+  jacobi_iters : int;
+  tealeaf_nx : int;
+  tealeaf_ny : int;
+  tealeaf_steps : int;
+  tealeaf_cg : int;
+  repeats : int;
+  fig12_domains : (int * int) list;
+  fig12_iters : int;
+}
+
+let default_sizes =
+  {
+    jacobi_nx = 512;
+    jacobi_ny = 256;
+    jacobi_iters = 100;
+    tealeaf_nx = 64;
+    tealeaf_ny = 64;
+    tealeaf_steps = 4;
+    tealeaf_cg = 12;
+    repeats = 4;
+    fig12_domains = [ (64, 32); (128, 64); (256, 128); (512, 256); (1024, 512) ];
+    fig12_iters = 60;
+  }
+
+let quick_sizes =
+  {
+    default_sizes with
+    jacobi_nx = 256;
+    jacobi_ny = 128;
+    jacobi_iters = 40;
+    tealeaf_steps = 2;
+    tealeaf_cg = 8;
+    repeats = 2;
+    fig12_domains = [ (64, 32); (128, 64); (256, 128) ];
+    fig12_iters = 30;
+  }
+
+let jacobi_app sz () =
+  let cfg =
+    Apps.Jacobi.config ~nx:sz.jacobi_nx ~ny:sz.jacobi_ny ~iters:sz.jacobi_iters
+      ~norm_every:(sz.jacobi_iters / 2) ~nranks:2 ()
+  in
+  Apps.Jacobi.app cfg
+
+let tealeaf_app sz () =
+  let cfg =
+    Apps.Tealeaf.config ~nx:sz.tealeaf_nx ~ny:sz.tealeaf_ny
+      ~steps:sz.tealeaf_steps ~cg_iters:sz.tealeaf_cg ~nranks:2 ()
+  in
+  Apps.Tealeaf.app cfg
+
+(* One warmup + [repeats] measured runs; averages of runtime and memory,
+   last run's full result for counters. *)
+let measure ?(repeats = 4) ?granule ?annotation ?max_range_bytes ~flavor mk_app =
+  ignore (R.run ~nranks:2 ?granule ?annotation ?max_range_bytes ~flavor (mk_app ()));
+  let results =
+    List.init repeats (fun _ ->
+        R.run ~nranks:2 ?granule ?annotation ?max_range_bytes ~flavor (mk_app ()))
+  in
+  let avg f = List.fold_left (fun a r -> a +. f r) 0. results /. float repeats in
+  let proc_s = avg (fun r -> r.R.proc_s) in
+  let rss = avg (fun r -> float r.R.rss_bytes) in
+  (proc_s, rss, List.nth results (repeats - 1))
+
+let pp_ratio_row ppf (name, measured, paper) =
+  Fmt.pf ppf "  %-14s %10.2fx        %8.2fx@." name measured paper
+
+let bar width max_v v =
+  let n = int_of_float (v /. max_v *. float width) in
+  String.make (max 0 (min width n)) '#'
+
+(* --- Fig. 10: relative runtime --------------------------------------- *)
+
+let fig10 sz =
+  Fmt.pr "@.=== Fig. 10 — relative runtime overhead  [T_flavor / T_vanilla]@.";
+  Fmt.pr "(avg of %d runs after 1 warmup; per-process runtime semantics, see EXPERIMENTS.md)@." sz.repeats;
+  let one name mk_app paper vanilla_paper =
+    let v, _, _ = measure ~repeats:sz.repeats ~flavor:F.Vanilla mk_app in
+    Fmt.pr "@.%s  (vanilla: %.3f s simulated; paper vanilla: %.2f s on V100)@."
+      name v vanilla_paper;
+    Fmt.pr "  %-14s %11s %16s@." "flavor" "measured" "paper";
+    let rows =
+      List.map
+        (fun (fname, paper_x) ->
+          let flavor = Option.get (F.of_string fname) in
+          let t, _, _ = measure ~repeats:sz.repeats ~flavor mk_app in
+          (fname, t /. v, paper_x))
+        (List.map fst paper |> List.map (fun n -> (n, List.assoc n paper)))
+    in
+    List.iter (fun r -> pp_ratio_row Fmt.stdout r) rows;
+    let maxr = List.fold_left (fun a (_, m, p) -> max a (max m p)) 1. rows in
+    List.iter
+      (fun (n, m, _) -> Fmt.pr "  %-14s |%s@." n (bar 46 maxr m))
+      rows;
+    rows
+  in
+  let j =
+    one "Jacobi" (jacobi_app sz) Paper_ref.fig10_jacobi
+      Paper_ref.vanilla_runtime_jacobi
+  in
+  let t =
+    one "TeaLeaf" (tealeaf_app sz) Paper_ref.fig10_tealeaf
+      Paper_ref.vanilla_runtime_tealeaf
+  in
+  (j, t)
+
+(* --- Fig. 11: relative memory ----------------------------------------- *)
+
+let fig11 sz =
+  Fmt.pr "@.=== Fig. 11 — relative memory overhead  [M_flavor / M_vanilla] at MPI_Finalize@.";
+  let one name mk_app paper vanilla_paper_mb =
+    let _, v, _ = measure ~repeats:1 ~flavor:F.Vanilla mk_app in
+    Fmt.pr "@.%s  (vanilla: %.2f MB simulated; paper vanilla RSS: %.0f MB —@."
+      name (v /. 1048576.) vanilla_paper_mb;
+    Fmt.pr "   the simulator lacks the ~300 MB driver/MPI baseline, so ratios run higher)@.";
+    Fmt.pr "  %-14s %11s %12s %16s@." "flavor" "measured" "abs [MB]" "paper";
+    List.map
+      (fun (fname, paper_x) ->
+        let flavor = Option.get (F.of_string fname) in
+        let _, m, _ = measure ~repeats:1 ~flavor mk_app in
+        Fmt.pr "  %-14s %10.2fx %9.2f MB %11.2fx@." fname (m /. v)
+          (m /. 1048576.) paper_x;
+        (fname, m /. v, paper_x))
+      paper
+  in
+  let j =
+    one "Jacobi" (jacobi_app sz) Paper_ref.fig11_jacobi
+      Paper_ref.vanilla_rss_jacobi_mb
+  in
+  let t =
+    one "TeaLeaf" (tealeaf_app sz) Paper_ref.fig11_tealeaf
+      Paper_ref.vanilla_rss_tealeaf_mb
+  in
+  (j, t)
+
+(* --- Table I: event counters ------------------------------------------- *)
+
+let table1 sz =
+  Fmt.pr "@.=== Table I — CUDA and TSan runtime event counters (one MPI process, MUST & CuSan)@.";
+  Fmt.pr "(our workloads are scaled down; paper columns are for the paper's run sizes)@.";
+  let _, _, rj = measure ~repeats:1 ~flavor:F.Must_cusan (jacobi_app sz) in
+  let _, _, rt = measure ~repeats:1 ~flavor:F.Must_cusan (tealeaf_app sz) in
+  let cj = rj.R.cuda_counters and ct = rt.R.cuda_counters in
+  let tj = rj.R.tsan_counters and tt = rt.R.tsan_counters in
+  let ours metric =
+    let i = float_of_int in
+    match metric with
+    | "Stream" -> (i cj.Cusan.Counters.streams, i ct.Cusan.Counters.streams)
+    | "Memset" -> (i cj.Cusan.Counters.memsets, i ct.Cusan.Counters.memsets)
+    | "Memcpy" -> (i cj.Cusan.Counters.memcpys, i ct.Cusan.Counters.memcpys)
+    | "Synchronization calls" -> (i cj.Cusan.Counters.syncs, i ct.Cusan.Counters.syncs)
+    | "Kernel calls" -> (i cj.Cusan.Counters.kernels, i ct.Cusan.Counters.kernels)
+    | "Switch To Fiber" ->
+        (i tj.Tsan.Counters.fiber_switches, i tt.Tsan.Counters.fiber_switches)
+    | "AnnotateHappensBefore" ->
+        (i tj.Tsan.Counters.happens_before, i tt.Tsan.Counters.happens_before)
+    | "AnnotateHappensAfter" ->
+        (i tj.Tsan.Counters.happens_after, i tt.Tsan.Counters.happens_after)
+    | "Memory Read Range" ->
+        (i tj.Tsan.Counters.read_ranges, i tt.Tsan.Counters.read_ranges)
+    | "Memory Write Range" ->
+        (i tj.Tsan.Counters.write_ranges, i tt.Tsan.Counters.write_ranges)
+    | "Memory Read Size [avg KB]" ->
+        (Tsan.Counters.read_avg_kb tj, Tsan.Counters.read_avg_kb tt)
+    | "Memory Write Size [avg KB]" ->
+        (Tsan.Counters.write_avg_kb tj, Tsan.Counters.write_avg_kb tt)
+    | _ -> (nan, nan)
+  in
+  Fmt.pr "  %-28s %12s %12s %14s %12s@." "Metric" "Jacobi" "TeaLeaf" "paper-Jacobi"
+    "paper-TeaLeaf";
+  List.iter
+    (fun (row : Paper_ref.table1_row) ->
+      let j, t = ours row.Paper_ref.metric in
+      Fmt.pr "  %-28s %12.2f %12.2f %14.2f %12.2f@." row.Paper_ref.metric j t
+        row.Paper_ref.jacobi row.Paper_ref.tealeaf)
+    Paper_ref.table1;
+  (rj, rt)
+
+(* --- Fig. 12: Jacobi scaling -------------------------------------------- *)
+
+let fig12 sz =
+  Fmt.pr "@.=== Fig. 12 — Jacobi scaling: CuSan overhead vs. global domain size@.";
+  Fmt.pr "(paper sweeps %s; we sweep scaled-down domains — the shape, overhead rising@."
+    (String.concat " " Paper_ref.fig12_domains_paper);
+  Fmt.pr " with the bytes tracked by TSan, is the reproduction target)@.";
+  Fmt.pr "  %-12s %12s %12s %10s %14s %14s@." "domain" "vanilla[s]" "CuSan[s]"
+    "rel" "TSan reads" "TSan writes";
+  List.map
+    (fun (nx, ny) ->
+      let mk () =
+        let cfg =
+          Apps.Jacobi.config ~nx ~ny ~iters:sz.fig12_iters
+            ~norm_every:sz.fig12_iters ~nranks:2 ()
+        in
+        Apps.Jacobi.app cfg
+      in
+      let v, _, _ = measure ~repeats:sz.repeats ~flavor:F.Vanilla mk in
+      let c, _, res = measure ~repeats:sz.repeats ~flavor:F.Cusan mk in
+      let mb x = float_of_int x /. 1048576. in
+      Fmt.pr "  %4dx%-7d %12.4f %12.4f %9.1fx %11.1f MB %11.1f MB@." nx ny v c
+        (c /. v)
+        (mb res.R.tracked_read_bytes)
+        (mb res.R.tracked_write_bytes);
+      (nx, ny, v, c, res.R.tracked_read_bytes, res.R.tracked_write_bytes))
+    sz.fig12_domains
+
+(* --- Ablations ------------------------------------------------------------ *)
+
+let ablation sz =
+  Fmt.pr "@.=== Ablation A — shadow-cell granularity (CuSan, Jacobi)@.";
+  Fmt.pr "  %-10s %12s %10s %14s@." "granule" "CuSan[s]" "rel" "RSS [MB]";
+  let mk = jacobi_app sz in
+  let v, _, _ = measure ~repeats:sz.repeats ~flavor:F.Vanilla mk in
+  List.iter
+    (fun granule ->
+      let c, rss, _ = measure ~repeats:sz.repeats ~granule ~flavor:F.Cusan mk in
+      Fmt.pr "  %6d B  %12.4f %9.1fx %11.2f MB@." granule c (c /. v)
+        (rss /. 1048576.))
+    [ 4; 8; 16; 32; 64 ];
+  Fmt.pr "@.=== Ablation B — bounded range annotation (Section VI-D's proposed optimization)@.";
+  Fmt.pr "(cap the bytes annotated per kernel argument instead of whole allocations)@.";
+  Fmt.pr "  %-12s %12s %10s %14s@." "cap" "CuSan[s]" "rel" "tracked MB";
+  List.iter
+    (fun cap ->
+      let c, _, res =
+        measure ~repeats:sz.repeats ?max_range_bytes:cap ~flavor:F.Cusan mk
+      in
+      let tracked =
+        float_of_int (res.R.tracked_read_bytes + res.R.tracked_write_bytes)
+        /. 1048576.
+      in
+      Fmt.pr "  %-12s %12.4f %9.1fx %11.1f MB@."
+        (match cap with None -> "whole alloc" | Some c -> Fmt.str "%d KB" (c / 1024))
+        c (c /. v) tracked)
+    [ None; Some (256 * 1024); Some (64 * 1024); Some (8 * 1024) ];
+  Fmt.pr "@.=== Ablation B' — precise (interval-analysis) annotation vs. whole-allocation@.";
+  Fmt.pr "(the sound variant of Section VI-D: ranges derived per launch from the kernel IR)@.";
+  Fmt.pr "  %-12s %12s %10s %14s@." "mode" "CuSan[s]" "rel" "tracked MB";
+  List.iter
+    (fun (name, annotation) ->
+      let c, _, res = measure ~repeats:sz.repeats ?annotation ~flavor:F.Cusan mk in
+      let tracked =
+        float_of_int (res.R.tracked_read_bytes + res.R.tracked_write_bytes)
+        /. 1048576.
+      in
+      Fmt.pr "  %-12s %12.4f %9.1fx %11.1f MB@." name c (c /. v) tracked)
+    [ ("whole", None); ("precise", Some Cusan.Runtime.Precise) ];
+  Fmt.pr "  (Jacobi's compute kernel genuinely touches the whole domain, so the gain@.";
+  Fmt.pr "   here is bounded; precise mode's headline is removing false positives on@.";
+  Fmt.pr "   slice-parallel kernels — see test/test_range.ml.)@.";
+  Fmt.pr "@.=== Ablation C — eager vs. deferred device execution (verdict stability)@.";
+  let verdicts mode =
+    let vs = Testsuite.Runner.run_all ~mode () in
+    Testsuite.Runner.summary vs
+  in
+  let pe, te = verdicts Cudasim.Device.Eager in
+  let pd, td = verdicts Cudasim.Device.Deferred in
+  Fmt.pr "  eager:    %d/%d testsuite cases correct@." pe te;
+  Fmt.pr "  deferred: %d/%d testsuite cases correct@." pd td

@@ -1,0 +1,52 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section (Fig. 10, Fig. 11, Table I, Fig. 12), the
+   correctness testsuite summary, design-choice ablations, and Bechamel
+   micro-benchmarks.
+
+     dune exec bench/main.exe              # everything, default sizes
+     dune exec bench/main.exe -- --quick   # smaller sizes, fewer repeats
+     dune exec bench/main.exe -- fig10 fig12
+     dune exec bench/main.exe -- table1 micro suite ablation *)
+
+let usage =
+  "usage: main.exe [--quick] [fig10|fig11|table1|fig12|suite|ablation|micro]..."
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let wanted =
+    if wanted = [] then [ "fig10"; "fig11"; "table1"; "fig12"; "suite"; "ablation"; "micro" ]
+    else wanted
+  in
+  let sz = if quick then Figs.quick_sizes else Figs.default_sizes in
+  Fmt.pr "CuSan reproduction benchmark harness%s@."
+    (if quick then " (quick sizes)" else "");
+  Fmt.pr "Jacobi %dx%d x%d iters, TeaLeaf %dx%d x%d steps x%d CG, %d repeats@."
+    sz.Figs.jacobi_nx sz.Figs.jacobi_ny sz.Figs.jacobi_iters sz.Figs.tealeaf_nx
+    sz.Figs.tealeaf_ny sz.Figs.tealeaf_steps sz.Figs.tealeaf_cg sz.Figs.repeats;
+  List.iter
+    (fun what ->
+      match what with
+      | "fig10" -> ignore (Figs.fig10 sz)
+      | "fig11" -> ignore (Figs.fig11 sz)
+      | "table1" -> ignore (Figs.table1 sz)
+      | "fig12" -> ignore (Figs.fig12 sz)
+      | "ablation" -> Figs.ablation sz
+      | "micro" -> Micro.run ()
+      | "suite" ->
+          let vs = Testsuite.Runner.run_all () in
+          let pass, total = Testsuite.Runner.summary vs in
+          Fmt.pr "@.=== Correctness testsuite (Section VI-C)@.";
+          Fmt.pr "  %d of %d cases classified correctly (paper: 49/49 at v1.0)@."
+            pass total;
+          List.iter
+            (fun v ->
+              if not v.Testsuite.Runner.pass then
+                Fmt.pr "  %a@." Testsuite.Runner.pp_verdict v)
+            vs
+      | other ->
+          Fmt.epr "unknown target %S@.%s@." other usage;
+          exit 2)
+    wanted;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,100 @@
+(* Bechamel micro-benchmarks of the building blocks whose costs the
+   paper's evaluation attributes overhead to: TSan range annotations
+   (the dominant factor, Section V-B), happens-before bookkeeping, fiber
+   switches, and the compiler pass's kernel analysis. One grouped
+   Test.make per experiment family. *)
+
+open Bechamel
+open Toolkit
+
+let base = 1 lsl 36
+
+let detector_with_region size =
+  let d = Tsan.Detector.create () in
+  Tsan.Detector.on_alloc d ~base ~size;
+  d
+
+let t_write_range bytes =
+  let d = detector_with_region (max bytes 4096) in
+  Test.make
+    ~name:(Fmt.str "tsan/write_range %dB" bytes)
+    (Staged.stage (fun () -> Tsan.Detector.write_range d ~addr:base ~len:bytes))
+
+let t_read_range bytes =
+  let d = detector_with_region (max bytes 4096) in
+  Test.make
+    ~name:(Fmt.str "tsan/read_range %dB" bytes)
+    (Staged.stage (fun () -> Tsan.Detector.read_range d ~addr:base ~len:bytes))
+
+let t_hb_ha =
+  let d = detector_with_region 4096 in
+  Test.make ~name:"tsan/happens-before+after pair"
+    (Staged.stage (fun () ->
+         Tsan.Detector.happens_before d 42;
+         Tsan.Detector.happens_after d 42))
+
+let t_switch =
+  let d = detector_with_region 4096 in
+  let f = Tsan.Detector.fiber_create d "bench" in
+  let main = Tsan.Detector.main_fiber d in
+  Test.make ~name:"tsan/fiber switch (sync) roundtrip"
+    (Staged.stage (fun () ->
+         Tsan.Detector.switch_to_fiber_sync d f;
+         Tsan.Detector.switch_to_fiber d main))
+
+let t_vclock_join =
+  let a = Tsan.Vclock.create () and b = Tsan.Vclock.create () in
+  for i = 0 to 15 do
+    Tsan.Vclock.set a i i;
+    Tsan.Vclock.set b i (16 - i)
+  done;
+  Test.make ~name:"tsan/vclock join (16 fibers)"
+    (Staged.stage (fun () -> Tsan.Vclock.join a b))
+
+let t_kernel_analysis =
+  Test.make ~name:"cusan/kernel access analysis (Jacobi module)"
+    (Staged.stage (fun () ->
+         ignore (Cusan.Kernel_analysis.analyze Apps.Jacobi.device_module ~entry:"jacobi")))
+
+let t_typeart_lookup =
+  Typeart.Rt.reset ();
+  Typeart.Rt.enabled := true;
+  let p = Typeart.Pass.alloc Memsim.Space.Device Typeart.Typedb.F64 1024 in
+  let addr = Memsim.Ptr.addr p + 512 in
+  Test.make ~name:"typeart/interior pointer lookup"
+    (Staged.stage (fun () -> ignore (Typeart.Pass.extent_at addr)))
+
+let tests =
+  Test.make_grouped ~name:"cusan-micro"
+    [
+      t_write_range 64;
+      t_write_range 4096;
+      t_write_range 65536;
+      t_read_range 4096;
+      t_hb_ha;
+      t_switch;
+      t_vclock_join;
+      t_kernel_analysis;
+      t_typeart_lookup;
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "@.=== Micro-benchmarks (Bechamel, monotonic clock)@.";
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some [ t ] -> (name, t) :: acc
+        | _ -> acc)
+      results []
+  in
+  List.iter
+    (fun (name, t) -> Fmt.pr "  %-45s %12.1f ns/op@." name t)
+    (List.sort compare rows)

@@ -1,0 +1,40 @@
+(* The paper's published numbers, for side-by-side comparison in the
+   bench output and EXPERIMENTS.md. Source: Hück et al., "Compiler-Aided
+   Correctness Checking of CUDA-Aware MPI Applications", SC-W 2024. *)
+
+(* Fig. 10: relative runtime vs. vanilla. *)
+let fig10_jacobi = [ ("TSan", 2.27); ("MUST", 4.63); ("CuSan", 36.06); ("MUST & CuSan", 37.89) ]
+let fig10_tealeaf = [ ("TSan", 1.01); ("MUST", 4.2); ("CuSan", 3.77); ("MUST & CuSan", 6.97) ]
+let vanilla_runtime_jacobi = 1.35
+let vanilla_runtime_tealeaf = 0.75
+
+(* Fig. 11: relative memory (RSS at MPI_Finalize) vs. vanilla. *)
+let fig11_jacobi = [ ("TSan", 1.2); ("MUST", 1.17); ("CuSan", 1.71); ("MUST & CuSan", 1.77) ]
+let fig11_tealeaf = [ ("TSan", 1.0); ("MUST", 1.03); ("CuSan", 1.25); ("MUST & CuSan", 1.29) ]
+let vanilla_rss_jacobi_mb = 311.
+let vanilla_rss_tealeaf_mb = 283.
+
+(* Table I: event counters for one MPI process. *)
+type table1_row = { metric : string; jacobi : float; tealeaf : float }
+
+let table1 =
+  [
+    { metric = "Stream"; jacobi = 2.; tealeaf = 1. };
+    { metric = "Memset"; jacobi = 2.; tealeaf = 36. };
+    { metric = "Memcpy"; jacobi = 602.; tealeaf = 102. };
+    { metric = "Synchronization calls"; jacobi = 900.; tealeaf = 530. };
+    { metric = "Kernel calls"; jacobi = 1200.; tealeaf = 767. };
+    { metric = "Switch To Fiber"; jacobi = 3622.; tealeaf = 1882. };
+    { metric = "AnnotateHappensBefore"; jacobi = 1804.; tealeaf = 905. };
+    { metric = "AnnotateHappensAfter"; jacobi = 1515.; tealeaf = 632. };
+    { metric = "Memory Read Range"; jacobi = 2102.; tealeaf = 623. };
+    { metric = "Memory Write Range"; jacobi = 2403.; tealeaf = 1074. };
+    { metric = "Memory Read Size [avg KB]"; jacobi = 19705.62; tealeaf = 15.98 };
+    { metric = "Memory Write Size [avg KB]"; jacobi = 16421.35; tealeaf = 17.58 };
+  ]
+
+(* Fig. 12: Jacobi scaling — the paper sweeps 512x256 .. 8192x4096 and
+   reports relative runtime rising with the domain size (about 6x at the
+   smallest to far beyond 36x at the largest), tracking the total bytes
+   annotated. We reproduce the sweep shape on scaled-down domains. *)
+let fig12_domains_paper = [ "512x256"; "1024x512"; "2048x1024"; "4096x2048"; "8192x4096" ]

@@ -1,0 +1,30 @@
+(* The testsuite runner binary, analogous to `make check-cutests` in the
+   paper's artifact: runs every case of the correctness matrix under
+   MUST & CuSan and prints PASS/FAIL per case. *)
+
+let () =
+  let deferred = Array.exists (( = ) "--deferred") Sys.argv in
+  let verbose = Array.exists (( = ) "--verbose") Sys.argv in
+  let list_only = Array.exists (( = ) "--list") Sys.argv in
+  if list_only then begin
+    List.iter
+      (fun (c : Testsuite.Cases.case) ->
+        Fmt.pr "%-55s %s@." c.Testsuite.Cases.name c.Testsuite.Cases.descr)
+      (Testsuite.Cases.all ());
+    exit 0
+  end;
+  let mode = if deferred then Cudasim.Device.Deferred else Cudasim.Device.Eager in
+  let verdicts = Testsuite.Runner.run_all ~mode () in
+  let total = List.length verdicts in
+  List.iteri
+    (fun i v ->
+      Fmt.pr "%a (%d of %d)@." Testsuite.Runner.pp_verdict v (i + 1) total;
+      if verbose && not v.Testsuite.Runner.pass then
+        List.iter
+          (fun (rank, r) ->
+            Fmt.pr "    rank %d: %s@." rank (Tsan.Report.to_string r))
+          v.Testsuite.Runner.reports)
+    verdicts;
+  let pass, total = Testsuite.Runner.summary verdicts in
+  Fmt.pr "@.%d of %d testsuite cases classified correctly@." pass total;
+  if pass <> total then exit 1

@@ -1,0 +1,1 @@
+examples/datatype_check.ml: Cudasim Fmt Harness List Memsim Mpisim Must Typeart

@@ -1,0 +1,1 @@
+examples/datatype_check.mli:

@@ -1,0 +1,1 @@
+examples/hybrid_threads.ml: Cudasim Cusan Fmt Harness Kir List Tsan Typeart

@@ -1,0 +1,1 @@
+examples/jacobi_demo.ml: Apps Arg Array Cudasim Cusan Fmt Harness List Tsan

@@ -1,0 +1,1 @@
+examples/managed_memory.ml: Cudasim Fmt Harness Kir List Memsim Tsan Typeart

@@ -1,0 +1,1 @@
+examples/pingpong_demo.ml: Apps Fmt Harness List Tsan

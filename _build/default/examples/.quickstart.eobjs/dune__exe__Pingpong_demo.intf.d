@@ -1,0 +1,1 @@
+examples/pingpong_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cudasim Cusan Fmt Harness Kir List Mpisim Tsan Typeart

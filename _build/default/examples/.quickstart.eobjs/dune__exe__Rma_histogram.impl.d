@@ -1,0 +1,1 @@
+examples/rma_histogram.ml: Fmt Harness List Memsim Mpisim Tsan Typeart

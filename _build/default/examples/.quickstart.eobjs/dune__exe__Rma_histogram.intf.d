@@ -1,0 +1,1 @@
+examples/rma_histogram.mli:

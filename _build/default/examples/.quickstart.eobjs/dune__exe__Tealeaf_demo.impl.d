@@ -1,0 +1,1 @@
+examples/tealeaf_demo.ml: Apps Arg Array Cusan Fmt Harness List Tsan

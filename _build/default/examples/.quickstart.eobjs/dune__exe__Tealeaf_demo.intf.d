@@ -1,0 +1,1 @@
+examples/tealeaf_demo.mli:

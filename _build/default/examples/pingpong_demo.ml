@@ -1,0 +1,44 @@
+(* OSU-style CUDA-aware ping-pong: modelled one-way latency and
+   bandwidth for device-to-device (CUDA-aware MPI) vs. host-staged
+   transfers, plus what CuSan reports when the fill kernel is not
+   synchronized before the first send.
+
+     dune exec examples/pingpong_demo.exe *)
+
+module R = Harness.Run
+
+let () =
+  Fmt.pr "CUDA-aware ping-pong (osu_latency-style), modelled timings@.";
+  let measure placement =
+    let cfg = Apps.Pingpong.config ~placement () in
+    let res = R.run ~nranks:2 ~flavor:Harness.Flavor.Vanilla (Apps.Pingpong.app cfg) in
+    ignore res;
+    !(cfg.Apps.Pingpong.results)
+  in
+  let dd = measure Apps.Pingpong.Device_to_device in
+  let hh = measure Apps.Pingpong.Host_to_host in
+  Fmt.pr "@.  %10s %16s %16s %12s@." "bytes" "D-D lat [us]" "staged lat [us]"
+    "D-D speedup";
+  List.iter2
+    (fun (bytes, d) (_, h) ->
+      Fmt.pr "  %10d %16.2f %16.2f %11.2fx@." bytes (d *. 1e6) (h *. 1e6)
+        (h /. d))
+    dd hh;
+  Fmt.pr "@.  %10s %14s %14s@." "bytes" "D-D [GB/s]" "staged [GB/s]";
+  List.iter2
+    (fun (bytes, d) (_, h) ->
+      if bytes >= 4096 then
+        Fmt.pr "  %10d %14.2f %14.2f@." bytes
+          (float_of_int bytes /. d /. 1e9)
+          (float_of_int bytes /. h /. 1e9))
+    dd hh;
+  (* the race check *)
+  let cfg = Apps.Pingpong.config ~sizes:[ 1024 ] ~racy:true () in
+  let res = R.run ~nranks:2 ~flavor:Harness.Flavor.Must_cusan (Apps.Pingpong.app cfg) in
+  Fmt.pr "@.== unsynchronized fill kernel before the first send@.";
+  match res.R.races with
+  | [] -> Fmt.pr "   no data races detected (unexpected!)@."
+  | races ->
+      List.iter
+        (fun (rank, r) -> Fmt.pr "   rank %d: %s@." rank (Tsan.Report.to_string r))
+        races

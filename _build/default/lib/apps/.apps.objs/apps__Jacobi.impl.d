@@ -1,0 +1,1 @@
+lib/apps/jacobi.ml: Array Cudasim Harness Kir Memsim Mpisim Typeart

@@ -1,0 +1,1 @@
+lib/apps/pingpong.ml: Cudasim Harness Kir List Memsim Mpisim Typeart

@@ -1,0 +1,1 @@
+lib/apps/tealeaf.ml: Array Cudasim Harness Kir List Memsim Mpisim Option Typeart

@@ -1,0 +1,300 @@
+(* The Jacobi solver mini-app, after NVIDIA's CUDA-aware MPI example
+   (paper, Section V): a 2D Poisson/Laplace iteration on an nx × ny
+   domain, decomposed by rows across ranks. Boundary rows are exchanged
+   with *blocking* CUDA-aware sendrecv on device pointers each
+   iteration.
+
+   Like the original, the compute kernel runs on a user-created stream
+   while memory transfers use the (legacy) default stream, so both the
+   default-stream barrier semantics and the stream-to-MPI
+   synchronization requirement are exercised. The correct version calls
+   cudaDeviceSynchronize before communicating (Fig. 4 of the paper);
+   the racy variant skips it, producing the CUDA-to-MPI race. *)
+
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+module Mpi = Mpisim.Mpi
+
+(* Halo exchange flavor: classic two-sided blocking sendrecv, or
+   one-sided MPI_Put between fences (RMA over device windows). *)
+type exchange = Sendrecv | Rma
+
+type config = {
+  nx : int; (* global columns *)
+  ny : int; (* global interior rows, split across ranks *)
+  iters : int;
+  norm_every : int; (* compute the residual norm every N iterations *)
+  racy : bool; (* skip the device synchronization before MPI calls *)
+  use_stream : bool; (* run kernels on a user stream (default: true) *)
+  exchange : exchange;
+  results : float array; (* final global norm per rank, written at exit *)
+}
+
+let config ?(nx = 256) ?(ny = 256) ?(iters = 100) ?(norm_every = 50)
+    ?(racy = false) ?(use_stream = true) ?(exchange = Sendrecv) ~nranks () =
+  {
+    nx;
+    ny;
+    iters;
+    norm_every;
+    racy;
+    use_stream;
+    exchange;
+    results = Array.make nranks nan;
+  }
+
+(* --- device code ------------------------------------------------------- *)
+
+(* One Jacobi sweep: each thread owns one cell of the local array
+   (ny_local + 2 rows including halo/boundary rows). *)
+let jacobi_func =
+  Kir.Dsl.(
+    func "jacobi"
+      [ ptr "anew"; ptr "aold"; scalar "nx"; scalar "ny" ]
+      [
+        let_ "x" (tid %. p 2);
+        let_ "y" (tid /. p 2);
+        if_
+          ((i 1 <=. v "x") &&. (v "x" <=. (p 2 -. i 2))
+          &&. (i 1 <=. v "y")
+          &&. (v "y" <=. (p 3 -. i 2)))
+          [
+            let_ "c" ((v "y" *. p 2) +. v "x");
+            store (p 0) (v "c")
+              (f 0.25
+              *. (load (p 1) (v "c" -. p 2)
+                 +. load (p 1) (v "c" +. p 2)
+                 +. load (p 1) (v "c" -. i 1)
+                 +. load (p 1) (v "c" +. i 1)));
+          ]
+          [];
+      ])
+
+(* Initialization: interior zero; the physical top boundary row is held
+   at 1.0. [p 4] is 1 when this rank owns the global top row. *)
+let init_func =
+  Kir.Dsl.(
+    func "init"
+      [ ptr "a"; ptr "anew"; scalar "nx"; scalar "ny"; scalar "has_top" ]
+      [
+        let_ "y" (tid /. p 2);
+        let_ "val" (i2f ((v "y" ==. i 0) &&. (p 4 ==. i 1)));
+        store (p 0) tid (v "val");
+        store (p 1) tid (v "val");
+      ])
+
+(* Residual norm contribution: a single-thread reduction kernel writing
+   the squared difference sum to out[0] — with a nested device function,
+   exercising the interprocedural analysis (Fig. 8 of the paper). *)
+let sqdiff_func =
+  Kir.Dsl.(
+    func "sqdiff"
+      [ ptr "out"; ptr "anew"; ptr "aold"; scalar "idx" ]
+      [
+        let_ "d" (load (p 1) (p 3) -. load (p 2) (p 3));
+        store (p 0) (i 0) (load (p 0) (i 0) +. (v "d" *. v "d"));
+      ])
+
+let norm_func =
+  Kir.Dsl.(
+    func "norm"
+      [ ptr "out"; ptr "anew"; ptr "aold"; scalar "n" ]
+      [
+        store (p 0) (i 0) (f 0.);
+        for_ "i" (i 0) (p 3) [ call "sqdiff" [ p 0; p 1; p 2; v "i" ] ];
+      ])
+
+let device_module =
+  Kir.Dsl.modul
+    ~kernels:[ "jacobi"; "init"; "norm" ]
+    [ jacobi_func; init_func; sqdiff_func; norm_func ]
+
+(* Native "fat binary" implementations, bit-identical to the IR. *)
+
+let native_jacobi ~grid:_ (args : Kir.Interp.value array) =
+  match args with
+  | [| VPtr anew; VPtr aold; VInt nx; VInt ny |] ->
+      let open Memsim.Access in
+      for y = 1 to ny - 2 do
+        for x = 1 to nx - 2 do
+          let c = (y * nx) + x in
+          raw_set_f64 anew c
+            (0.25
+            *. (raw_get_f64 aold (c - nx)
+               +. raw_get_f64 aold (c + nx)
+               +. raw_get_f64 aold (c - 1)
+               +. raw_get_f64 aold (c + 1)))
+        done
+      done
+  | _ -> invalid_arg "native_jacobi"
+
+let native_init ~grid (args : Kir.Interp.value array) =
+  match args with
+  | [| VPtr a; VPtr anew; VInt nx; VInt _; VInt has_top |] ->
+      let open Memsim.Access in
+      for t = 0 to grid - 1 do
+        let y = t / nx in
+        let v = if y = 0 && has_top = 1 then 1.0 else 0.0 in
+        raw_set_f64 a t v;
+        raw_set_f64 anew t v
+      done
+  | _ -> invalid_arg "native_init"
+
+let native_norm ~grid:_ (args : Kir.Interp.value array) =
+  match args with
+  | [| VPtr out; VPtr anew; VPtr aold; VInt n |] ->
+      let open Memsim.Access in
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        let d = raw_get_f64 anew i -. raw_get_f64 aold i in
+        s := !s +. (d *. d)
+      done;
+      raw_set_f64 out 0 !s
+  | _ -> invalid_arg "native_norm"
+
+(* --- host code ---------------------------------------------------------- *)
+
+let f64 = Typeart.Typedb.F64
+
+let app (cfg : config) (env : Harness.Run.env) =
+  let ctx = env.Harness.Run.mpi in
+  let dev = env.Harness.Run.dev in
+  let rank = ctx.Mpi.rank and size = ctx.Mpi.size in
+  let nx = cfg.nx in
+  if cfg.ny mod size <> 0 then invalid_arg "Jacobi: ny must divide by nranks";
+  let nyl = cfg.ny / size in
+  let rows = nyl + 2 in
+  let cells = nx * rows in
+  let compile k = env.Harness.Run.compile k in
+  let k_jacobi =
+    compile
+      (Cudasim.Kernel.make ~kir:(device_module, "jacobi") ~native:native_jacobi
+         "jacobi")
+  in
+  let k_init =
+    compile
+      (Cudasim.Kernel.make ~kir:(device_module, "init") ~native:native_init
+         "init")
+  in
+  let k_norm =
+    compile
+      (Cudasim.Kernel.make ~kir:(device_module, "norm") ~native:native_norm
+         "norm")
+  in
+  let a = ref (Mem.cuda_malloc ~tag:"d_a" dev ~ty:f64 ~count:cells) in
+  let anew = ref (Mem.cuda_malloc ~tag:"d_anew" dev ~ty:f64 ~count:cells) in
+  let d_norm = Mem.cuda_malloc ~tag:"d_norm" dev ~ty:f64 ~count:1 in
+  let h_norm = Mem.host_malloc ~tag:"h_norm" ~ty:f64 ~count:1 () in
+  let h_norm_global = Mem.host_malloc ~tag:"h_norm_global" ~ty:f64 ~count:1 () in
+  let stream = if cfg.use_stream then Some (Dev.stream_create dev) else None in
+  let has_top = if rank = 0 then 1 else 0 in
+  let launch k args =
+    Dev.launch dev k ~grid:cells ~args ?stream ()
+  in
+  launch k_init
+    [| VPtr !a; VPtr !anew; VInt nx; VInt rows; VInt has_top |];
+  Dev.device_synchronize dev;
+  let up = rank - 1 and down = rank + 1 in
+  let row r buf = Memsim.Ptr.add buf ~elt:8 (r * nx) in
+  (* One-sided exchange: a window over each of the two device arrays,
+     swapped alongside the arrays. *)
+  let win_of buf = Mpi.win_create ctx ~buf ~bytes:(cells * 8) in
+  let wins =
+    match cfg.exchange with
+    | Sendrecv -> None
+    | Rma -> Some (ref (win_of !a), ref (win_of !anew))
+  in
+  let exchange buf =
+    match (cfg.exchange, wins) with
+    | Sendrecv, _ | _, None ->
+        (* Blocking two-sided exchange of boundary rows. *)
+        if up >= 0 then
+          Mpi.sendrecv ctx ~sendbuf:(row 1 buf) ~sendcount:nx ~dst:up
+            ~sendtag:0 ~recvbuf:(row 0 buf) ~recvcount:nx ~src:up ~recvtag:1
+            ~dt:Mpisim.Datatype.double;
+        if down < size then
+          Mpi.sendrecv ctx ~sendbuf:(row nyl buf) ~sendcount:nx ~dst:down
+            ~sendtag:1 ~recvbuf:(row (nyl + 1) buf) ~recvcount:nx ~src:down
+            ~recvtag:0 ~dt:Mpisim.Datatype.double
+    | Rma, Some (_, wanew) ->
+        (* One-sided: put my boundary rows into the neighbours' halo
+           rows, between two fences. *)
+        let win = !wanew in
+        Mpi.win_fence ctx win;
+        if up >= 0 then
+          Mpi.put ctx win ~buf:(row 1 buf) ~count:nx ~dt:Mpisim.Datatype.double
+            ~target:up ~disp:((nyl + 1) * nx);
+        if down < size then
+          Mpi.put ctx win ~buf:(row nyl buf) ~count:nx
+            ~dt:Mpisim.Datatype.double ~target:down ~disp:0;
+        Mpi.win_fence ctx win
+  in
+  let last_norm = ref nan in
+  for iter = 1 to cfg.iters do
+    launch k_jacobi [| VPtr !anew; VPtr !a; VInt nx; VInt rows |];
+    (* The data dependence between the compute stream and the following
+       MPI calls requires explicit synchronization (paper, Fig. 4). *)
+    if not cfg.racy then Dev.device_synchronize dev;
+    exchange !anew;
+    if iter mod cfg.norm_every = 0 || iter = cfg.iters then begin
+      (* Interior rows only: halo rows belong to the neighbour rank. *)
+      launch k_norm
+        [| VPtr d_norm; VPtr (row 1 !anew); VPtr (row 1 !a); VInt (nx * nyl) |];
+      (* Blocking D2H copy: an implicit synchronization point. *)
+      Mem.memcpy dev ~dst:h_norm ~src:d_norm ~bytes:8 ();
+      Mpi.allreduce ctx ~sendbuf:h_norm ~recvbuf:h_norm_global ~count:1
+        ~dt:Mpisim.Datatype.double ~op:Mpi.Sum;
+      last_norm := sqrt (Memsim.Access.get_f64 h_norm_global 0)
+    end;
+    let t = !a in
+    a := !anew;
+    anew := t;
+    match wins with
+    | Some (wa, wanew) ->
+        let tw = !wa in
+        wa := !wanew;
+        wanew := tw
+    | None -> ()
+  done;
+  cfg.results.(rank) <- !last_norm;
+  (match wins with
+  | Some (wa, wanew) ->
+      Mpi.win_free ctx !wa;
+      Mpi.win_free ctx !wanew
+  | None -> ());
+  (match stream with Some s -> Dev.stream_destroy dev s | None -> ());
+  Mem.free dev !a;
+  Mem.free dev !anew;
+  Mem.free dev d_norm;
+  Typeart.Pass.free h_norm;
+  Typeart.Pass.free h_norm_global
+
+(* Serial host reference for verification: same sweep count on the full
+   global domain, returning the final residual norm. *)
+let reference ~nx ~ny ~iters ~norm_every:_ =
+  let rows = ny + 2 in
+  let a = Array.make (nx * rows) 0. and anew = Array.make (nx * rows) 0. in
+  for x = 0 to nx - 1 do
+    a.(x) <- 1.0;
+    anew.(x) <- 1.0
+  done;
+  let norm = ref nan in
+  let a = ref a and anew = ref anew in
+  for iter = 1 to iters do
+    for y = 1 to rows - 2 do
+      for x = 1 to nx - 2 do
+        let c = (y * nx) + x in
+        !anew.(c) <-
+          0.25 *. (!a.(c - nx) +. !a.(c + nx) +. !a.(c - 1) +. !a.(c + 1))
+      done
+    done;
+    if iter = iters then begin
+      let s = ref 0. in
+      Array.iteri (fun i v -> let d = v -. !a.(i) in s := !s +. (d *. d)) !anew;
+      norm := sqrt !s
+    end;
+    let t = !a in
+    a := !anew;
+    anew := t
+  done;
+  !norm

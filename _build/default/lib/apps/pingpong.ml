@@ -1,0 +1,117 @@
+(* A CUDA-aware MPI ping-pong microbenchmark, after the OSU
+   micro-benchmarks (osu_latency / osu_bw) that are the standard way to
+   exercise CUDA-aware MPI transports: rank 0 sends a device buffer to
+   rank 1, which sends it straight back, across a sweep of message
+   sizes. Device buffers (D-D), or host staging (H-H) for comparison —
+   the transfer path difference CUDA-aware MPI exists to remove.
+
+   Latency is reported in virtual device+network time (the cost model's
+   clock), so D-D vs. H-H reflects the modelled PCIe staging cost rather
+   than OCaml allocator noise. The correct variant synchronizes the
+   fill kernel before sending; the racy one does not. *)
+
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+module Mpi = Mpisim.Mpi
+
+type placement = Device_to_device | Host_to_host
+
+type config = {
+  sizes : int list; (* message sizes in doubles *)
+  iters : int; (* round trips per size *)
+  placement : placement;
+  racy : bool;
+  results : (int * float) list ref; (* (bytes, virtual one-way seconds) *)
+}
+
+let config ?(sizes = [ 1; 16; 256; 4096; 65536 ]) ?(iters = 10)
+    ?(placement = Device_to_device) ?(racy = false) () =
+  { sizes; iters; placement; racy; results = ref [] }
+
+let fill_src =
+  Kir.Dsl.(
+    modul ~kernels:[ "fill" ]
+      [
+        func "fill"
+          [ ptr "buf"; scalar "n" ]
+          [ if_ (tid <. p 1) [ store (p 0) tid (i2f tid) ] [] ];
+      ])
+
+let native_fill ~grid (args : Kir.Interp.value array) =
+  match args with
+  | [| VPtr buf; VInt n |] ->
+      for t = 0 to grid - 1 do
+        if t < n then Memsim.Access.raw_set_f64 buf t (float_of_int t)
+      done
+  | _ -> invalid_arg "native_fill"
+
+(* Modelled interconnect: 100 Gb/s-class fabric with GPUDirect, so the
+   network leg is the same for both placements; the placements differ by
+   the PCIe staging copies the non-CUDA-aware variant pays per message
+   (charged through the device cost model). *)
+let net_overhead_s = 1.5e-6
+let net_bandwidth = 12.5e9
+
+let net_cost ~bytes = net_overhead_s +. (float_of_int bytes /. net_bandwidth)
+
+let app (cfg : config) (env : Harness.Run.env) =
+  let ctx = env.Harness.Run.mpi in
+  let dev = env.Harness.Run.dev in
+  if ctx.Mpi.size <> 2 then invalid_arg "pingpong needs exactly 2 ranks";
+  let rank = ctx.Mpi.rank in
+  let peer = 1 - rank in
+  let kernel =
+    env.Harness.Run.compile
+      (Cudasim.Kernel.make ~kir:(fill_src, "fill") ~native:native_fill "fill")
+  in
+  let dt = Mpisim.Datatype.double in
+  List.iter
+    (fun n ->
+      let bytes = n * 8 in
+      let d = Mem.cuda_malloc ~tag:"pp_dev" dev ~ty:Typeart.Typedb.F64 ~count:n in
+      Dev.launch dev kernel ~grid:n ~args:[| VPtr d; VInt n |] ();
+      if not cfg.racy then Dev.device_synchronize dev;
+      let _, virt0 = Dev.timing dev in
+      (match cfg.placement with
+      | Device_to_device ->
+          (* CUDA-aware: the device pointer goes straight to MPI. *)
+          for _ = 1 to cfg.iters do
+            if rank = 0 then begin
+              Mpi.send ctx ~buf:d ~count:n ~dt ~dst:peer ~tag:0;
+              Mpi.recv ctx ~buf:d ~count:n ~dt ~src:peer ~tag:1
+            end
+            else begin
+              Mpi.recv ctx ~buf:d ~count:n ~dt ~src:peer ~tag:0;
+              Mpi.send ctx ~buf:d ~count:n ~dt ~dst:peer ~tag:1
+            end
+          done
+      | Host_to_host ->
+          (* Non-CUDA-aware: stage through pinned host memory around
+             every transfer — the copies CUDA-aware MPI eliminates. *)
+          let h = Mem.cuda_host_alloc ~tag:"pp_host" dev ~ty:Typeart.Typedb.F64 ~count:n in
+          for _ = 1 to cfg.iters do
+            if rank = 0 then begin
+              Mem.memcpy dev ~dst:h ~src:d ~bytes ();
+              Mpi.send ctx ~buf:h ~count:n ~dt ~dst:peer ~tag:0;
+              Mpi.recv ctx ~buf:h ~count:n ~dt ~src:peer ~tag:1;
+              Mem.memcpy dev ~dst:d ~src:h ~bytes ()
+            end
+            else begin
+              Mpi.recv ctx ~buf:h ~count:n ~dt ~src:peer ~tag:0;
+              Mem.memcpy dev ~dst:d ~src:h ~bytes ();
+              Mem.memcpy dev ~dst:h ~src:d ~bytes ();
+              Mpi.send ctx ~buf:h ~count:n ~dt ~dst:peer ~tag:1
+            end
+          done;
+          Typeart.Pass.free h);
+      let _, virt1 = Dev.timing dev in
+      if rank = 0 then begin
+        (* one-way modelled latency: this rank's staging cost plus the
+           network leg, averaged over the round trips *)
+        let staging = (virt1 -. virt0) /. float_of_int (2 * cfg.iters) in
+        let lat = staging +. net_cost ~bytes in
+        cfg.results := (bytes, lat) :: !(cfg.results)
+      end;
+      Mem.free dev d)
+    cfg.sizes;
+  if rank = 0 then cfg.results := List.rev !(cfg.results)

@@ -1,0 +1,1 @@
+lib/cudasim/costmodel.mli: Memsim

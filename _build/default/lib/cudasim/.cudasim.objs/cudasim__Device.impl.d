@@ -1,0 +1,1 @@
+lib/cudasim/device.ml: Array Costmodel Fmt Hashtbl Kernel Kir List Memsim Queue Unix

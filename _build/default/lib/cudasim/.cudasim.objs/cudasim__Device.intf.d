@@ -1,0 +1,1 @@
+lib/cudasim/device.mli: Kernel Kir Memsim

@@ -1,0 +1,1 @@
+lib/cudasim/kernel.ml: Kir

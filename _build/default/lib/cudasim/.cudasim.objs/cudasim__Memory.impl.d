@@ -1,0 +1,1 @@
+lib/cudasim/memory.ml: Access Costmodel Device Fmt Memsim Ptr Semantics Space Typeart

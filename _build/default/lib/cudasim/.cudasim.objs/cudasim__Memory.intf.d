@@ -1,0 +1,1 @@
+lib/cudasim/memory.mli: Device Memsim Typeart

@@ -1,0 +1,1 @@
+lib/cudasim/semantics.ml: Memsim Space

@@ -1,0 +1,370 @@
+(* The simulated CUDA device: streams as FIFO queues of operations over
+   a dependency DAG, CUDA events, and the legacy default-stream
+   semantics of Fig. 3 in the paper.
+
+   Execution modes:
+   - [Eager]: every operation executes at enqueue time. Data is always
+     fresh; missing synchronization is only visible to the race
+     detector — like running a racy program that happens to win its
+     races.
+   - [Deferred]: operations execute when something forces them (a
+     synchronization call, a blocking memory operation, or device
+     progress ticks from [stream_query]). Reading a buffer without
+     proper synchronization then really observes stale data, so races
+     have observable consequences.
+
+   Dependency edges encode device-side ordering:
+   - each op depends on its stream predecessor (FIFO),
+   - an op on the legacy default stream depends on the tails of all
+     blocking user streams (it waits for them),
+   - an op on a blocking user stream depends on the last default-stream
+     op (the logical barrier of Fig. 3),
+   - non-blocking streams take part in neither legacy edge,
+   - cudaStreamWaitEvent adds an edge to the event's marker op. *)
+
+type flags = Blocking | Non_blocking
+
+type stream = {
+  sid : int;
+  flags : flags;
+  is_default : bool;
+  mutable tail : op option;
+  mutable destroyed : bool;
+}
+
+and op = {
+  oid : int;
+  label : string;
+  op_stream : stream;
+  deps : op list;
+  action : unit -> unit;
+  mutable executed : bool;
+  mutable finished_at : float; (* virtual device time at completion *)
+}
+
+type event = { eid : int; mutable recorded : op option }
+
+type mode = Eager | Deferred
+
+(* Default-stream semantics (paper, Section VI-B): [Legacy] is the
+   classic blocking default stream of Fig. 3; [Per_thread] gives each
+   host thread its own default stream with no legacy barriers
+   (nvcc --default-stream per-thread). *)
+type default_mode = Legacy | Per_thread
+
+type phase = Pre | Post
+
+type api_event =
+  | Stream_create of stream
+  | Stream_destroy of stream
+  | Kernel_launch of {
+      kernel : Kernel.t;
+      grid : int;
+      args : Kir.Interp.value array;
+      stream : stream;
+    }
+  | Memcpy of {
+      dst : Memsim.Ptr.t;
+      src : Memsim.Ptr.t;
+      bytes : int;
+      async : bool;
+      stream : stream;
+      blocking : bool; (* does the call really block the host? *)
+      modeled_sync : bool; (* does CuSan's model treat it as a sync point? *)
+    }
+  | Memset of {
+      dst : Memsim.Ptr.t;
+      bytes : int;
+      value : int;
+      async : bool;
+      stream : stream;
+      blocking : bool;
+      modeled_sync : bool;
+    }
+  | Device_sync
+  | Stream_sync of stream
+  | Stream_query of stream * bool
+  | Event_record of { event : event; stream : stream }
+  | Event_sync of event
+  | Event_query of event * bool
+  | Stream_wait_event of { stream : stream; event : event }
+  | Malloc of { ptr : Memsim.Ptr.t; space : Memsim.Space.t; bytes : int }
+  | Free of { ptr : Memsim.Ptr.t; async : bool; stream : stream option }
+  | Host_func of { stream : stream; label : string }
+
+type t = {
+  mode : mode;
+  default_stream_mode : default_mode;
+  default : stream;
+  ptds : (int, stream) Hashtbl.t; (* per-thread default streams *)
+  mutable thread_key : int; (* current host thread, set by the harness *)
+  mutable user_streams : stream list; (* reverse creation order *)
+  mutable legacy_tail : op option; (* last op on the default stream *)
+  mutable next_oid : int;
+  mutable next_sid : int;
+  mutable next_eid : int;
+  pending : op Queue.t; (* enqueue order, for progress ticks *)
+  mutable hooks : (phase -> api_event -> unit) list;
+  mutable ops_executed : int;
+  mutable exec_wall_s : float; (* real CPU time spent running op bodies *)
+  mutable virtual_s : float; (* modelled device time (Costmodel) *)
+}
+
+exception Stream_destroyed
+
+let create ?(mode = Eager) ?(default_stream_mode = Legacy) () =
+  {
+    mode;
+    default_stream_mode;
+    default =
+      { sid = 0; flags = Blocking; is_default = true; tail = None; destroyed = false };
+    ptds = Hashtbl.create 4;
+    thread_key = 0;
+    user_streams = [];
+    legacy_tail = None;
+    next_oid = 0;
+    next_sid = 1;
+    next_eid = 0;
+    pending = Queue.create ();
+    hooks = [];
+    ops_executed = 0;
+    exec_wall_s = 0.;
+    virtual_s = 0.;
+  }
+
+let add_hook t f = t.hooks <- f :: t.hooks
+let fire t phase ev = List.iter (fun f -> f phase ev) t.hooks
+
+let mode t = t.mode
+let default_mode t = t.default_stream_mode
+
+(* The harness sets this when the scheduler resumes a different host
+   thread, so per-thread default streams resolve correctly. *)
+let set_thread_key t k = t.thread_key <- k
+
+let default_stream t =
+  match t.default_stream_mode with
+  | Legacy -> t.default
+  | Per_thread -> (
+      match Hashtbl.find_opt t.ptds t.thread_key with
+      | Some s -> s
+      | None ->
+          (* A per-thread default stream never takes part in the legacy
+             barrier; model it as a non-blocking pseudo-default. *)
+          let s =
+            {
+              sid = t.next_sid;
+              flags = Non_blocking;
+              is_default = true;
+              tail = None;
+              destroyed = false;
+            }
+          in
+          t.next_sid <- t.next_sid + 1;
+          Hashtbl.replace t.ptds t.thread_key s;
+          fire t Pre (Stream_create s);
+          fire t Post (Stream_create s);
+          s)
+
+let streams t =
+  let ptds = Hashtbl.fold (fun _ s acc -> s :: acc) t.ptds [] in
+  (t.default :: ptds) @ List.rev t.user_streams
+
+(* --- op DAG ----------------------------------------------------------- *)
+
+let rec force op =
+  if not op.executed then begin
+    List.iter force op.deps;
+    op.executed <- true;
+    op.action ()
+  end
+
+let force_all_of t =
+  List.iter
+    (fun s -> match s.tail with Some op -> force op | None -> ())
+    (streams t);
+  match t.legacy_tail with Some op -> force op | None -> ()
+
+let enqueue t ?(extra_deps = []) ?(cost = 0.) stream label action =
+  if stream.destroyed then raise Stream_destroyed;
+  let tails_of l =
+    List.filter_map (fun (s : stream) -> s.tail) l
+  in
+  let legacy_deps =
+    if t.default_stream_mode = Per_thread then []
+      (* per-thread default streams have no blocking barriers *)
+    else if stream.is_default then
+      (* Default-stream ops wait for all prior work on blocking streams. *)
+      tails_of (List.filter (fun s -> s.flags = Blocking) t.user_streams)
+    else if stream.flags = Blocking then
+      (* Blocking user streams wait for prior default-stream work. *)
+      match t.legacy_tail with Some op -> [ op ] | None -> []
+    else []
+  in
+  let deps =
+    (match stream.tail with Some op -> [ op ] | None -> [])
+    @ legacy_deps @ extra_deps
+  in
+  let rec op =
+    {
+      oid = t.next_oid;
+      label;
+      op_stream = stream;
+      deps;
+      executed = false;
+      finished_at = 0.;
+      action =
+        (fun () ->
+          t.ops_executed <- t.ops_executed + 1;
+          let t0 = Unix.gettimeofday () in
+          action ();
+          t.exec_wall_s <- t.exec_wall_s +. (Unix.gettimeofday () -. t0);
+          t.virtual_s <- t.virtual_s +. cost;
+          op.finished_at <- t.virtual_s);
+    }
+  in
+  t.next_oid <- t.next_oid + 1;
+  stream.tail <- Some op;
+  if stream.is_default && t.default_stream_mode = Legacy then
+    t.legacy_tail <- Some op;
+  Queue.push op t.pending;
+  if t.mode = Eager then force op;
+  op
+
+(* One unit of asynchronous device progress: execute the oldest pending
+   operation. Deferred mode uses this to make cudaStreamQuery busy-wait
+   loops terminate, modelling a device that advances behind the host's
+   back. *)
+let tick t =
+  let rec go () =
+    if Queue.is_empty t.pending then false
+    else
+      let op = Queue.pop t.pending in
+      if op.executed then go ()
+      else begin
+        force op;
+        true
+      end
+  in
+  go ()
+
+let ops_executed t = t.ops_executed
+
+(* --- streams ----------------------------------------------------------- *)
+
+let stream_create ?(flags = Blocking) t =
+  let s =
+    { sid = t.next_sid; flags; is_default = false; tail = None; destroyed = false }
+  in
+  t.next_sid <- t.next_sid + 1;
+  t.user_streams <- s :: t.user_streams;
+  fire t Pre (Stream_create s);
+  fire t Post (Stream_create s);
+  s
+
+let stream_synchronize t s =
+  fire t Pre (Stream_sync s);
+  (match s.tail with Some op -> force op | None -> ());
+  fire t Post (Stream_sync s)
+
+let stream_destroy t s =
+  if s.is_default then invalid_arg "cannot destroy the default stream";
+  fire t Pre (Stream_destroy s);
+  (match s.tail with Some op -> force op | None -> ());
+  s.destroyed <- true;
+  t.user_streams <- List.filter (fun s' -> s'.sid <> s.sid) t.user_streams;
+  fire t Post (Stream_destroy s)
+
+let stream_query t s =
+  fire t Pre (Stream_query (s, false));
+  if t.mode = Deferred then ignore (tick t);
+  let completed = match s.tail with None -> true | Some op -> op.executed in
+  fire t Post (Stream_query (s, completed));
+  completed
+
+let device_synchronize t =
+  fire t Pre Device_sync;
+  force_all_of t;
+  fire t Post Device_sync
+
+(* --- events ------------------------------------------------------------ *)
+
+let event_create t =
+  let e = { eid = t.next_eid; recorded = None } in
+  t.next_eid <- t.next_eid + 1;
+  e
+
+let event_record t e s =
+  fire t Pre (Event_record { event = e; stream = s });
+  let marker = enqueue t s (Fmt.str "event#%d" e.eid) (fun () -> ()) in
+  e.recorded <- Some marker;
+  fire t Post (Event_record { event = e; stream = s })
+
+let event_synchronize t e =
+  fire t Pre (Event_sync e);
+  (match e.recorded with Some op -> force op | None -> ());
+  fire t Post (Event_sync e)
+
+let event_query t e =
+  fire t Pre (Event_query (e, false));
+  if t.mode = Deferred then ignore (tick t);
+  let completed = match e.recorded with None -> true | Some op -> op.executed in
+  fire t Post (Event_query (e, completed));
+  completed
+
+(* cudaEventElapsedTime: virtual milliseconds between the completion of
+   two recorded events. Forces both, like querying timing on real CUDA
+   requires the events to have completed. *)
+let event_elapsed_time t e1 e2 =
+  let finish e =
+    match e.recorded with
+    | Some op ->
+        force op;
+        op.finished_at
+    | None -> invalid_arg "event_elapsed_time: event never recorded"
+  in
+  ignore t;
+  let t1 = finish e1 in
+  let t2 = finish e2 in
+  (t2 -. t1) *. 1000.
+
+(* cudaLaunchHostFunc: run a host callback as a stream operation — it
+   executes after all preceding work on the stream and blocks subsequent
+   stream work until it returns. *)
+let launch_host_func t s ?(label = "hostFunc") f =
+  fire t Pre (Host_func { stream = s; label });
+  ignore (enqueue t s label f);
+  fire t Post (Host_func { stream = s; label })
+
+let stream_wait_event t s e =
+  fire t Pre (Stream_wait_event { stream = s; event = e });
+  let extra_deps = match e.recorded with Some op -> [ op ] | None -> [] in
+  ignore
+    (enqueue t ~extra_deps s (Fmt.str "wait-event#%d" e.eid) (fun () -> ()));
+  fire t Post (Stream_wait_event { stream = s; event = e })
+
+(* --- kernel launch ----------------------------------------------------- *)
+
+exception Invalid_launch of string
+
+let launch t kernel ~grid ~(args : Kir.Interp.value array) ?stream () =
+  let stream = match stream with Some s -> s | None -> default_stream t in
+  if grid <= 0 then raise (Invalid_launch "grid must be positive");
+  Array.iter
+    (function
+      | Kir.Interp.VPtr p
+        when not (Memsim.Space.device_accessible (Memsim.Ptr.space p)) ->
+          raise
+            (Invalid_launch
+               (Fmt.str "kernel %s given host pointer %a" kernel.Kernel.kname
+                  Memsim.Ptr.pp p))
+      | _ -> ())
+    args;
+  fire t Pre (Kernel_launch { kernel; grid; args; stream });
+  ignore
+    (enqueue t ~cost:(Costmodel.kernel ~grid) stream
+       (Fmt.str "kernel:%s" kernel.Kernel.kname)
+       (fun () -> Kernel.execute kernel ~grid args));
+  fire t Post (Kernel_launch { kernel; grid; args; stream })
+
+let timing t = (t.exec_wall_s, t.virtual_s)

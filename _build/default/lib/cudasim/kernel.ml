@@ -1,0 +1,36 @@
+(* A CUDA kernel as seen by the host: a name, the device IR it was
+   compiled from, an optional natively-compiled implementation (the
+   "fat binary"), and the per-argument access attributes that CuSan's
+   device pass computes and embeds for the launch-site callback
+   (paper, Fig. 7 and Fig. 9). *)
+
+type access = R | W | RW
+
+let access_str = function R -> "r" | W -> "w" | RW -> "rw"
+
+let reads = function R | RW -> true | W -> false
+let writes = function W | RW -> true | R -> false
+
+type t = {
+  kname : string;
+  kir : (Kir.Ir.modul * string) option; (* module + entry function *)
+  native : (grid:int -> Kir.Interp.value array -> unit) option;
+  mutable access : access option array option;
+      (* per argument; [None] entries are scalar arguments. [None] overall
+         means the CuSan device pass has not analyzed this kernel. *)
+}
+
+let make ?kir ?native kname =
+  if kir = None && native = None then
+    invalid_arg "Kernel.make: kernel needs IR or a native implementation";
+  { kname; kir; native; access = None }
+
+(* Execute the kernel body for a whole grid: the native fat-binary code
+   when present, otherwise the IR interpreter. *)
+let execute t ~grid args =
+  match t.native with
+  | Some f -> f ~grid args
+  | None -> (
+      match t.kir with
+      | Some (m, entry) -> Kir.Interp.run_kernel m ~name:entry ~args ~grid
+      | None -> assert false)

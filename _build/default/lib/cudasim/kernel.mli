@@ -1,0 +1,33 @@
+(** A CUDA kernel as seen by the host: a name, the device IR it was
+    compiled from, an optional natively-compiled implementation (the
+    "fat binary"), and the per-argument access attributes the CuSan
+    device pass computes and embeds for the launch-site callback
+    (paper, Fig. 7 and Fig. 9). *)
+
+type access = R | W | RW
+
+val access_str : access -> string
+val reads : access -> bool
+val writes : access -> bool
+
+type t = {
+  kname : string;
+  kir : (Kir.Ir.modul * string) option;  (** device IR module + entry *)
+  native : (grid:int -> Kir.Interp.value array -> unit) option;
+      (** fast host-side implementation of the device code *)
+  mutable access : access option array option;
+      (** per-argument attributes; [None] entries are scalar arguments.
+          [None] overall means the CuSan device pass has not analyzed the
+          kernel — launches are then handled conservatively. *)
+}
+
+val make :
+  ?kir:Kir.Ir.modul * string ->
+  ?native:(grid:int -> Kir.Interp.value array -> unit) ->
+  string ->
+  t
+(** @raise Invalid_argument when neither IR nor native code is given. *)
+
+val execute : t -> grid:int -> Kir.Interp.value array -> unit
+(** Run the kernel body for a whole grid: native code when present, the
+    IR interpreter otherwise. *)

@@ -1,0 +1,103 @@
+(* The CUDA memory management API of the simulator. Allocation sites go
+   through TypeART's instrumented allocator (Section IV-C of the paper),
+   so the runtime can later answer extent queries for device pointers.
+   Copy/set operations are enqueued as device operations with the
+   host-synchronicity decided by the semantics matrix. *)
+
+open Memsim
+
+let malloc ?(tag = "d_mem") _dev ~ty ~count =
+  let p = Typeart.Pass.alloc ~tag Space.Device ty count in
+  p
+
+let malloc_managed ?(tag = "m_mem") _dev ~ty ~count =
+  Typeart.Pass.alloc ~tag Space.Managed ty count
+
+let host_alloc ?(tag = "h_pinned") _dev ~ty ~count =
+  Typeart.Pass.alloc ~tag Space.Host_pinned ty count
+
+(* Plain malloc: pageable host memory; still tracked by TypeART (its
+   pass instruments heap allocations in general). *)
+let host_malloc ?(tag = "h_mem") ~ty ~count () =
+  Typeart.Pass.alloc ~tag Space.Host_pageable ty count
+
+let fire_malloc dev p space bytes =
+  Device.fire dev Device.Pre (Device.Malloc { ptr = p; space; bytes });
+  Device.fire dev Device.Post (Device.Malloc { ptr = p; space; bytes })
+
+(* Allocators that also notify tools via the device hook, as intercepted
+   CUDA API calls would. *)
+let cuda_malloc ?tag dev ~ty ~count =
+  let p = malloc ?tag dev ~ty ~count in
+  fire_malloc dev p Space.Device (count * Typeart.Typedb.sizeof ty);
+  p
+
+let cuda_malloc_managed ?tag dev ~ty ~count =
+  let p = malloc_managed ?tag dev ~ty ~count in
+  fire_malloc dev p Space.Managed (count * Typeart.Typedb.sizeof ty);
+  p
+
+let cuda_host_alloc ?tag dev ~ty ~count =
+  let p = host_alloc ?tag dev ~ty ~count in
+  fire_malloc dev p Space.Host_pinned (count * Typeart.Typedb.sizeof ty);
+  p
+
+let memcpy dev ~dst ~src ~bytes ?(async = false) ?stream () =
+  let stream =
+    match stream with Some s -> s | None -> Device.default_stream dev
+  in
+  let sspace = Ptr.space src and dspace = Ptr.space dst in
+  let blocking =
+    Semantics.actual_memcpy_blocks ~src:sspace ~dst:dspace ~async
+  in
+  let modeled_sync =
+    Semantics.modeled_memcpy_syncs ~src:sspace ~dst:dspace ~async
+  in
+  let info =
+    Device.Memcpy { dst; src; bytes; async; stream; blocking; modeled_sync }
+  in
+  Device.fire dev Device.Pre info;
+  let op =
+    Device.enqueue dev
+      ~cost:(Costmodel.memcpy ~src:sspace ~dst:dspace ~bytes)
+      stream
+      (Fmt.str "memcpy%s" (if async then "Async" else ""))
+      (fun () -> Access.raw_blit ~src ~dst ~bytes)
+  in
+  if blocking then Device.force op;
+  Device.fire dev Device.Post info
+
+let memset dev ~dst ~bytes ~value ?(async = false) ?stream () =
+  let stream =
+    match stream with Some s -> s | None -> Device.default_stream dev
+  in
+  let dspace = Ptr.space dst in
+  let blocking = Semantics.actual_memset_blocks ~dst:dspace ~async in
+  let modeled_sync = Semantics.modeled_memset_syncs ~dst:dspace ~async in
+  let info =
+    Device.Memset { dst; bytes; value; async; stream; blocking; modeled_sync }
+  in
+  Device.fire dev Device.Pre info;
+  let op =
+    Device.enqueue dev ~cost:(Costmodel.memset ~bytes) stream
+      (Fmt.str "memset%s" (if async then "Async" else ""))
+      (fun () -> Access.raw_fill dst ~bytes ~byte:value)
+  in
+  if blocking then Device.force op;
+  Device.fire dev Device.Post info
+
+(* cudaFree synchronizes the whole device before releasing (paper,
+   Section III-B2); cudaFreeAsync releases as a stream operation. *)
+let free dev p =
+  Device.fire dev Device.Pre (Device.Free { ptr = p; async = false; stream = None });
+  Device.force_all_of dev;
+  Typeart.Pass.free p;
+  Device.fire dev Device.Post (Device.Free { ptr = p; async = false; stream = None })
+
+let free_async dev stream p =
+  Device.fire dev Device.Pre
+    (Device.Free { ptr = p; async = true; stream = Some stream });
+  ignore
+    (Device.enqueue dev stream "freeAsync" (fun () -> Typeart.Pass.free p));
+  Device.fire dev Device.Post
+    (Device.Free { ptr = p; async = true; stream = Some stream })

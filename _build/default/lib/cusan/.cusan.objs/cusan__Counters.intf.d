@@ -1,0 +1,1 @@
+lib/cusan/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/cusan/interval.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/cusan/kernel_analysis.ml: Array Cudasim Hashtbl Int Kir List Option Set

@@ -1,0 +1,1 @@
+lib/cusan/kernel_analysis.mli: Cudasim Hashtbl Kir

@@ -1,0 +1,1 @@
+lib/cusan/pass.ml: Array Cudasim Kernel_analysis Kir List Option

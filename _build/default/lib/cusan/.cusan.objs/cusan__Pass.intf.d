@@ -1,0 +1,1 @@
+lib/cusan/pass.mli: Cudasim

@@ -1,0 +1,1 @@
+lib/cusan/range_analysis.ml: Array Hashtbl Interval Kir List

@@ -1,0 +1,1 @@
+lib/cusan/range_analysis.mli: Interval Kir

@@ -1,0 +1,1 @@
+lib/cusan/runtime.ml: Array Counters Cudasim Fmt Hashtbl Interval Kir List Memsim Range_analysis Tsan Typeart

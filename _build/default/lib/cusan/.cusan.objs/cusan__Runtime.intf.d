@@ -1,0 +1,1 @@
+lib/cusan/runtime.mli: Counters Cudasim Tsan

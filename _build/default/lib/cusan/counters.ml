@@ -1,0 +1,34 @@
+(* CUDA-side event counters reported by CuSan, matching the "CUDA" rows
+   of Table I in the paper. *)
+
+type t = {
+  mutable streams : int; (* tracked streams, incl. the default stream *)
+  mutable memsets : int;
+  mutable memcpys : int;
+  mutable syncs : int; (* explicit synchronization calls *)
+  mutable kernels : int;
+  mutable unanalyzed_kernels : int; (* launched without access attributes *)
+}
+
+let create () =
+  {
+    streams = 0;
+    memsets = 0;
+    memcpys = 0;
+    syncs = 0;
+    kernels = 0;
+    unanalyzed_kernels = 0;
+  }
+
+let add ~into c =
+  into.streams <- into.streams + c.streams;
+  into.memsets <- into.memsets + c.memsets;
+  into.memcpys <- into.memcpys + c.memcpys;
+  into.syncs <- into.syncs + c.syncs;
+  into.kernels <- into.kernels + c.kernels;
+  into.unanalyzed_kernels <- into.unanalyzed_kernels + c.unanalyzed_kernels
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>Stream                 %8d@,Memset                 %8d@,Memcpy                 %8d@,Synchronization calls  %8d@,Kernel calls           %8d@]"
+    t.streams t.memsets t.memcpys t.syncs t.kernels

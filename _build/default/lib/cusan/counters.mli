@@ -1,0 +1,21 @@
+(** CUDA-side event counters reported by CuSan, matching the "CUDA" rows
+    of Table I in the paper. *)
+
+type t = {
+  mutable streams : int;  (** tracked streams, incl. the default stream *)
+  mutable memsets : int;
+  mutable memcpys : int;
+  mutable syncs : int;  (** explicit synchronization calls *)
+  mutable kernels : int;
+  mutable unanalyzed_kernels : int;
+      (** kernels launched without access attributes (no device IR):
+          handled conservatively *)
+}
+
+val create : unit -> t
+
+val add : into:t -> t -> unit
+(** Accumulate [t] into [into] (aggregating ranks). *)
+
+val pp : Format.formatter -> t -> unit
+(** Table I layout. *)

@@ -1,0 +1,92 @@
+(* Integer interval arithmetic for the launch-time kernel access-range
+   analysis (see Range_analysis). Bounds saturate at [min_int]/[max_int],
+   which act as -oo/+oo. *)
+
+type t = { lo : int; hi : int }
+
+let top = { lo = min_int; hi = max_int }
+let is_top t = t.lo = min_int && t.hi = max_int
+let const c = { lo = c; hi = c }
+let of_bounds lo hi = if lo > hi then invalid_arg "Interval.of_bounds" else { lo; hi }
+
+let is_const t = t.lo = t.hi && t.lo <> min_int
+
+(* Saturating scalar ops: anything touching an infinity stays infinite. *)
+let sat_add a b =
+  if a = min_int || b = min_int then min_int
+  else if a = max_int || b = max_int then max_int
+  else
+    let s = a + b in
+    (* detect overflow *)
+    if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s > 0) then
+      if a > 0 then max_int else min_int
+    else s
+
+let sat_neg a = if a = min_int then max_int else if a = max_int then min_int else -a
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a = min_int || a = max_int || b = min_int || b = max_int then
+    if (a > 0) = (b > 0) then max_int else min_int
+  else
+    let p = a * b in
+    if p / b <> a then if (a > 0) = (b > 0) then max_int else min_int else p
+
+let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+let neg a = { lo = sat_neg a.hi; hi = sat_neg a.lo }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let products =
+    [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
+  in
+  {
+    lo = List.fold_left min max_int products;
+    hi = List.fold_left max min_int products;
+  }
+
+(* Integer division: only by a strictly positive constant interval
+   (what index expressions like [tid / nx] use); anything else is top. *)
+let div a b =
+  if is_const b && b.lo > 0 then
+    let d x = if x = min_int || x = max_int then x else x / b.lo in
+    { lo = d a.lo; hi = d a.hi }
+  else top
+
+(* Modulo by a positive constant: the result stays within [0, m-1] for
+   non-negative operands; keep the operand's range when it is already
+   inside. OCaml's mod is negative for negative operands, hence the
+   conservative [-(m-1), m-1] otherwise. *)
+let rem a b =
+  if is_const b && b.lo > 0 then
+    let m = b.lo in
+    if a.lo >= 0 && a.hi < m then a
+    else if a.lo >= 0 then { lo = 0; hi = m - 1 }
+    else { lo = -(m - 1); hi = m - 1 }
+  else top
+
+let min_ a b = { lo = min a.lo b.lo; hi = min a.hi b.hi }
+let max_ a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
+
+(* Booleans from comparisons. *)
+let bool_ = { lo = 0; hi = 1 }
+
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+(* Widen [prev] towards [cur]: any bound that moved goes to infinity.
+   Used by the loop fixpoint so accumulating locals converge soundly. *)
+let widen prev cur =
+  {
+    lo = (if cur.lo < prev.lo then min_int else prev.lo);
+    hi = (if cur.hi > prev.hi then max_int else prev.hi);
+  }
+
+let pp ppf t =
+  let b ppf x =
+    if x = min_int then Fmt.string ppf "-oo"
+    else if x = max_int then Fmt.string ppf "+oo"
+    else Fmt.int ppf x
+  in
+  Fmt.pf ppf "[%a,%a]" b t.lo b t.hi

@@ -1,0 +1,41 @@
+(** Integer interval arithmetic for the launch-time access-range
+    analysis ({!Range_analysis}). Bounds saturate at
+    [min_int]/[max_int], which act as -oo/+oo. *)
+
+type t = { lo : int; hi : int }
+
+val top : t
+val is_top : t -> bool
+val const : int -> t
+
+val of_bounds : int -> int -> t
+(** @raise Invalid_argument when [lo > hi]. *)
+
+val is_const : t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Sound only for division by a strictly positive constant interval
+    (what index expressions like [tid / nx] use); {!top} otherwise. *)
+
+val rem : t -> t -> t
+(** Modulo by a positive constant; conservative for possibly-negative
+    operands (OCaml's [mod] is sign-preserving). *)
+
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val bool_ : t
+(** [0, 1] — the result range of comparisons. *)
+
+val join : t -> t -> t
+val equal : t -> t -> bool
+
+val widen : t -> t -> t
+(** [widen prev cur]: any bound that moved goes to infinity; guarantees
+    the loop fixpoint terminates soundly. *)
+
+val pp : Format.formatter -> t -> unit

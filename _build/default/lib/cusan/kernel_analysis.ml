@@ -1,0 +1,145 @@
+(* The device-code part of the CuSan compiler pass (paper, Section
+   IV-B1): a conservative interprocedural forward-dataflow analysis that
+   classifies every pointer argument of a kernel as read, write,
+   read/write — or untouched.
+
+   Pointer values flow from parameters through [Let] bindings, pointer
+   arithmetic and calls into nested device functions (Fig. 8 of the
+   paper): the analysis follows each argument's data flow and joins the
+   access modes found at loads and stores. Both branches of an [If] and
+   the body of every [For] are taken (may-analysis), so the result
+   over-approximates any concrete execution's footprint — a property the
+   test suite checks against the IR interpreter. *)
+
+module IntSet = Set.Make (Int)
+
+type access = { mutable reads : bool; mutable writes : bool }
+
+(* Per pointer parameter (by position); scalar params map to [None]. *)
+type summary = access option array
+
+let as_kernel_access (a : access) : Cudasim.Kernel.access option =
+  match (a.reads, a.writes) with
+  | true, true -> Some Cudasim.Kernel.RW
+  | true, false -> Some Cudasim.Kernel.R
+  | false, true -> Some Cudasim.Kernel.W
+  | false, false -> None (* pointer never dereferenced *)
+
+type state = {
+  m : Kir.Ir.modul;
+  memo : (string, summary) Hashtbl.t;
+  visiting : (string, unit) Hashtbl.t;
+}
+
+let fresh_summary (f : Kir.Ir.func) : summary =
+  Array.of_list
+    (List.map
+       (function
+         | _, Kir.Ir.Pointer -> Some { reads = false; writes = false }
+         | _, Kir.Ir.Scalar -> None)
+       f.Kir.Ir.params)
+
+(* Which parameters of the current function can expression [e] point to? *)
+let rec origins env (e : Kir.Ir.expr) : IntSet.t =
+  match e with
+  | Param i -> IntSet.singleton i
+  | Local n -> (
+      match Hashtbl.find_opt env n with Some s -> s | None -> IntSet.empty)
+  | Ptradd (p, _) -> origins env p
+  | Int _ | Flt _ | Tid | Ntid | Load _ | Loadi _ | Binop _ | Neg _ | I2f _
+  | F2i _ ->
+      IntSet.empty
+
+let rec analyze_func st name : summary =
+  match Hashtbl.find_opt st.memo name with
+  | Some s -> s
+  | None -> (
+      match Kir.Ir.find_func st.m name with
+      | None ->
+          (* Unknown callee: nothing we can do; treated at call sites. *)
+          [||]
+      | Some f ->
+          if Hashtbl.mem st.visiting name then
+            (* Recursive cycle: be conservative, everything read+written. *)
+            Array.map
+              (Option.map (fun _ -> { reads = true; writes = true }))
+              (fresh_summary f)
+          else begin
+            Hashtbl.replace st.visiting name ();
+            let summary = fresh_summary f in
+            let env : (string, IntSet.t) Hashtbl.t = Hashtbl.create 8 in
+            let mark_read i =
+              match summary.(i) with Some a -> a.reads <- true | None -> ()
+            in
+            let mark_write i =
+              match summary.(i) with Some a -> a.writes <- true | None -> ()
+            in
+            (* walk expressions for loads *)
+            let rec walk_expr (e : Kir.Ir.expr) =
+              match e with
+              | Load (p, i) | Loadi (p, i) ->
+                  IntSet.iter mark_read (origins env p);
+                  walk_expr p;
+                  walk_expr i
+              | Binop (_, a, b) | Ptradd (a, b) ->
+                  walk_expr a;
+                  walk_expr b
+              | Neg a | I2f a | F2i a -> walk_expr a
+              | Int _ | Flt _ | Param _ | Local _ | Tid | Ntid -> ()
+            in
+            let rec walk_stmt (s : Kir.Ir.stmt) =
+              match s with
+              | Store (p, i, v) | Storei (p, i, v) ->
+                  IntSet.iter mark_write (origins env p);
+                  walk_expr p;
+                  walk_expr i;
+                  walk_expr v
+              | Let (n, e) ->
+                  walk_expr e;
+                  let prev =
+                    match Hashtbl.find_opt env n with
+                    | Some s -> s
+                    | None -> IntSet.empty
+                  in
+                  (* join with previous binding (loops/branches) *)
+                  Hashtbl.replace env n (IntSet.union prev (origins env e))
+              | If (c, t, e) ->
+                  walk_expr c;
+                  List.iter walk_stmt t;
+                  List.iter walk_stmt e
+              | For (v, lo, hi, body) ->
+                  walk_expr lo;
+                  walk_expr hi;
+                  Hashtbl.replace env v IntSet.empty;
+                  (* Two passes so origin joins from the first iteration
+                     reach uses earlier in the body. *)
+                  List.iter walk_stmt body;
+                  List.iter walk_stmt body
+              | Call (callee, args) ->
+                  List.iter walk_expr args;
+                  let callee_summary = analyze_func st callee in
+                  List.iteri
+                    (fun j arg ->
+                      if j < Array.length callee_summary then
+                        match callee_summary.(j) with
+                        | Some a ->
+                            let os = origins env arg in
+                            if a.reads then IntSet.iter mark_read os;
+                            if a.writes then IntSet.iter mark_write os
+                        | None -> ())
+                    args
+            in
+            List.iter walk_stmt f.Kir.Ir.body;
+            Hashtbl.remove st.visiting name;
+            Hashtbl.replace st.memo name summary;
+            summary
+          end)
+
+let analyze_module (m : Kir.Ir.modul) : (string, summary) Hashtbl.t =
+  let st = { m; memo = Hashtbl.create 8; visiting = Hashtbl.create 8 } in
+  List.iter (fun k -> ignore (analyze_func st k)) m.Kir.Ir.kernels;
+  st.memo
+
+let analyze (m : Kir.Ir.modul) ~entry : summary =
+  let st = { m; memo = Hashtbl.create 8; visiting = Hashtbl.create 8 } in
+  analyze_func st entry

@@ -1,0 +1,20 @@
+(* The host-code part of the CuSan compiler pass (paper, Section IV-B2
+   and Fig. 9): after the device pass has produced per-argument access
+   attributes, instrument every kernel launch site with them.
+
+   In the simulator, "instrumenting" a kernel means attaching the
+   analysis result to the kernel object; the launch interception in
+   [Runtime] then receives it like the cusan_kernel_register callback
+   would. Kernels without device IR (pure fat-binary) stay unanalyzed
+   and are handled conservatively at launch time. *)
+
+let instrument_kernel (k : Cudasim.Kernel.t) =
+  match k.Cudasim.Kernel.kir with
+  | None -> ()
+  | Some (m, entry) ->
+      Kir.Validate.check_module m;
+      let summary = Kernel_analysis.analyze m ~entry in
+      k.Cudasim.Kernel.access <-
+        Some (Array.map (fun a -> Option.bind a Kernel_analysis.as_kernel_access) summary)
+
+let instrument_kernels ks = List.iter instrument_kernel ks

@@ -1,0 +1,16 @@
+(** The host-code part of the CuSan compiler pass (paper, Section IV-B2
+    and Fig. 9): after the device pass produced per-argument access
+    attributes, instrument every kernel launch site with them.
+
+    In the simulator, "instrumenting" a kernel attaches the analysis
+    result to the kernel object; launch interception then receives it
+    like the [cusan_kernel_register] callback would. *)
+
+val instrument_kernel : Cudasim.Kernel.t -> unit
+(** Validate the kernel's device IR, run {!Kernel_analysis} and attach
+    the access attributes. A no-op for kernels without IR (pure
+    fat-binary), which stay unanalyzed and are handled conservatively at
+    launch.
+    @raise Kir.Validate.Invalid on ill-formed IR. *)
+
+val instrument_kernels : Cudasim.Kernel.t list -> unit

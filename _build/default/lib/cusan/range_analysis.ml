@@ -1,0 +1,282 @@
+(* Launch-time access-range analysis — a sound implementation of the
+   optimization the paper proposes as future work (Section VI-D):
+   instead of annotating the whole allocation behind every device
+   pointer, derive the byte range each kernel argument can actually
+   touch and annotate only that.
+
+   The analysis runs at kernel-launch interception, when the scalar
+   arguments and the grid size are concrete: it abstractly interprets
+   the kernel body over integer intervals with tid ∈ [0, grid-1]. Loops
+   run to a widened fixpoint, both branches of conditionals are joined,
+   nested device functions are evaluated with their argument intervals.
+   Anything it cannot bound (e.g. data-dependent indices loaded from
+   memory) falls back to the whole-allocation range for that argument —
+   never less, so the result over-approximates every execution (checked
+   against the interpreter by property tests).
+
+   Cost: one walk of the (tiny) kernel body per launch — O(|body|), not
+   O(domain size), which is the entire point. *)
+
+module I = Interval
+
+(* Abstract values: a scalar interval, or a pointer = parameter origin +
+   byte-offset interval. Pointers that could alias several parameters
+   are not produced by well-typed KIR (pointer expressions are
+   parameter-rooted), but a joined local may hold pointers of different
+   origins — then we give up on both ([Unknown_ptr]). *)
+type aval =
+  | Scalar of I.t
+  | Ptr of { param : int; off : I.t } (* byte offset relative to the arg *)
+  | Unknown_ptr
+
+type access = { mutable read : I.t option; mutable written : I.t option }
+(* byte ranges relative to the argument pointer; [None] = untouched *)
+
+type summary = {
+  per_param : access array;
+  mutable imprecise : bool array;
+      (* argument indices whose accesses could not be bounded: the
+         caller must fall back to the whole allocation *)
+}
+
+exception Give_up
+
+let join_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (I.join a b)
+
+let scalar = function
+  | Scalar i -> i
+  | Ptr _ | Unknown_ptr -> raise Give_up
+
+let join_aval a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> Scalar (I.join x y)
+  | Ptr p, Ptr q when p.param = q.param -> Ptr { p with off = I.join p.off q.off }
+  | (Ptr _ | Unknown_ptr), (Ptr _ | Unknown_ptr) -> Unknown_ptr
+  | _ -> raise Give_up (* scalar/pointer mix: ill-typed *)
+
+type env = {
+  args : aval array;
+  locals : (string, aval) Hashtbl.t;
+  tid : I.t;
+  ntid : int;
+  summary : summary;
+  modul : Kir.Ir.modul;
+  mutable depth : int; (* call depth, to cut recursion *)
+}
+
+let mark_access env ~param ~(bytes : I.t) ~kind =
+  let a = env.summary.per_param.(param) in
+  match kind with
+  | `Read -> a.read <- join_opt a.read (Some bytes)
+  | `Write -> a.written <- join_opt a.written (Some bytes)
+
+let mark_imprecise env param = env.summary.imprecise.(param) <- true
+
+(* Mark every pointer reachable from the arguments as imprecise: the
+   escape hatch when evaluation fails entirely. *)
+let mark_all_imprecise env =
+  Array.iteri
+    (fun i -> function
+      | Ptr _ | Unknown_ptr -> mark_imprecise env i
+      | Scalar _ -> ())
+    env.args
+
+let access_bytes ~(off : I.t) ~(idx : I.t) ~elt =
+  (* bytes [off + elt*idx, off + elt*idx + elt) *)
+  let base = I.add off (I.mul idx (I.const elt)) in
+  I.add base (I.of_bounds 0 (elt - 1))
+
+let rec eval env (e : Kir.Ir.expr) : aval =
+  match e with
+  | Int c -> Scalar (I.const c)
+  | Flt _ -> Scalar I.top (* floats are never sound indices *)
+  | Param i -> env.args.(i)
+  | Local n -> (
+      match Hashtbl.find_opt env.locals n with
+      | Some v -> v
+      | None -> raise Give_up)
+  | Tid -> Scalar env.tid
+  | Ntid -> Scalar (I.const env.ntid)
+  | Load (p, ix) | Loadi (p, ix) ->
+      let elt = match e with Kir.Ir.Load _ -> 8 | _ -> 4 in
+      record_access env p ix ~elt ~kind:`Read;
+      Scalar I.top (* loaded values are data-dependent *)
+  | Binop (op, a, b) ->
+      let a = scalar (eval env a) and b = scalar (eval env b) in
+      Scalar
+        (match op with
+        | Add -> I.add a b
+        | Sub -> I.sub a b
+        | Mul -> I.mul a b
+        | Div -> I.div a b
+        | Mod -> I.rem a b
+        | Min -> I.min_ a b
+        | Max -> I.max_ a b
+        | Lt | Le | Eq | And | Or -> I.bool_)
+  | Neg a -> Scalar (I.neg (scalar (eval env a)))
+  | I2f a ->
+      ignore (eval env a);
+      Scalar I.top
+  | F2i a -> Scalar (scalar (eval env a))
+  | Ptradd (p, ix) -> (
+      let ix = scalar (eval env ix) in
+      match eval env p with
+      | Ptr { param; off } ->
+          Ptr { param; off = I.add off (I.mul ix (I.const 8)) }
+      | v -> v)
+
+and record_access env p ix ~elt ~kind =
+  let ix = scalar (eval env ix) in
+  match eval env p with
+  | Ptr { param; off } ->
+      if I.is_top ix || I.is_top off then mark_imprecise env param
+      else mark_access env ~param ~bytes:(access_bytes ~off ~idx:ix ~elt) ~kind
+  | Unknown_ptr ->
+      (* could be any pointer argument: all become imprecise *)
+      mark_all_imprecise env
+  | Scalar _ -> raise Give_up
+
+let max_fixpoint_iters = 4
+
+let rec exec env (s : Kir.Ir.stmt) =
+  match s with
+  | Store (p, ix, v) ->
+      ignore (eval env v);
+      record_access env p ix ~elt:8 ~kind:`Write
+  | Storei (p, ix, v) ->
+      ignore (eval env v);
+      record_access env p ix ~elt:4 ~kind:`Write
+  | Let (n, e) ->
+      let v = eval env e in
+      let v =
+        match Hashtbl.find_opt env.locals n with
+        | Some old -> ( try join_aval old v with Give_up -> v)
+        | None -> v
+      in
+      Hashtbl.replace env.locals n v
+  | If (c, t, e) ->
+      ignore (eval env c);
+      (* both branches, shared env: locals join via Let above *)
+      List.iter (exec env) t;
+      List.iter (exec env) e
+  | For (v, lo, hi, body) ->
+      let lo_i = scalar (eval env lo) and hi_i = scalar (eval env hi) in
+      if lo_i.I.lo = max_int || hi_i.I.hi = min_int || hi_i.I.hi <= lo_i.I.lo
+      then
+        (* statically empty or unbounded-below: if possibly non-empty we
+           must still walk; an empty loop touches nothing *)
+        (if hi_i.I.hi > lo_i.I.lo then walk_loop env v lo_i hi_i body)
+      else walk_loop env v lo_i hi_i body
+  | Call (callee, args) -> (
+      match Kir.Ir.find_func env.modul callee with
+      | None -> raise Give_up
+      | Some f ->
+          if env.depth > 8 then raise Give_up;
+          let argv = Array.of_list (List.map (eval env) args) in
+          (* Callee parameters alias the caller's pointer arguments:
+             evaluate the callee body in a frame whose Param i resolves
+             to our abstract argument values, accesses flowing back into
+             the shared summary via the pointer origins. *)
+          let env' =
+            {
+              env with
+              args = argv;
+              locals = Hashtbl.create 8;
+              depth = env.depth + 1;
+            }
+          in
+          List.iter (exec env') f.Kir.Ir.body)
+
+and walk_loop env v lo_i hi_i body =
+  let var_iv =
+    I.of_bounds lo_i.I.lo
+      (if hi_i.I.hi = max_int then max_int
+       else max lo_i.I.lo (hi_i.I.hi - 1))
+  in
+  Hashtbl.replace env.locals v (Scalar var_iv);
+  (* Fixpoint with widening: locals mutated inside the loop body
+     (accumulators) must converge to a sound over-approximation. *)
+  let snapshot () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.locals [] in
+  let stable prev =
+    List.for_all
+      (fun (k, v0) ->
+        match (Hashtbl.find_opt env.locals k, v0) with
+        | Some (Scalar a), Scalar b -> I.equal a b
+        | Some (Ptr p), Ptr q -> p.param = q.param && I.equal p.off q.off
+        | Some Unknown_ptr, Unknown_ptr -> true
+        | _ -> false)
+      prev
+    && Hashtbl.length env.locals = List.length prev
+  in
+  let iters = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr iters;
+    let prev = snapshot () in
+    List.iter (exec env) body;
+    Hashtbl.replace env.locals v (Scalar var_iv);
+    if stable prev then continue_ := false
+    else if !iters >= max_fixpoint_iters then begin
+      (* widen everything that is still moving, then one last pass *)
+      List.iter
+        (fun (k, v0) ->
+          match (Hashtbl.find_opt env.locals k, v0) with
+          | Some (Scalar cur), Scalar old when not (I.equal cur old) ->
+              Hashtbl.replace env.locals k (Scalar (I.widen old cur))
+          | Some (Scalar _), _ | Some (Ptr _), _ | Some Unknown_ptr, _ | None, _
+            ->
+              ())
+        prev;
+      (* locals new in this iteration that keep changing: go to top *)
+      Hashtbl.iter
+        (fun k v ->
+          match (v, List.assoc_opt k prev) with
+          | Scalar _, None -> Hashtbl.replace env.locals k (Scalar I.top)
+          | _ -> ())
+        (Hashtbl.copy env.locals);
+      List.iter (exec env) body;
+      Hashtbl.replace env.locals v (Scalar var_iv);
+      continue_ := false
+    end
+  done
+
+(* Evaluate the byte ranges kernel [entry] touches per pointer argument,
+   for a launch with the given concrete arguments and grid size. *)
+let analyze_launch (m : Kir.Ir.modul) ~entry ~(args : Kir.Interp.value array)
+    ~grid : summary option =
+  match Kir.Ir.find_func m entry with
+  | None -> None
+  | Some f ->
+      let n = Array.length args in
+      let summary =
+        {
+          per_param = Array.init n (fun _ -> { read = None; written = None });
+          imprecise = Array.make n false;
+        }
+      in
+      let avals =
+        Array.mapi
+          (fun i (a : Kir.Interp.value) ->
+            match a with
+            | VInt c -> Scalar (I.const c)
+            | VFlt _ -> Scalar I.top
+            | VPtr _ -> Ptr { param = i; off = I.const 0 })
+          args
+      in
+      let env =
+        {
+          args = avals;
+          locals = Hashtbl.create 8;
+          tid = (if grid <= 0 then I.const 0 else I.of_bounds 0 (grid - 1));
+          ntid = grid;
+          summary;
+          modul = m;
+          depth = 0;
+        }
+      in
+      (try List.iter (exec env) f.Kir.Ir.body
+       with Give_up -> mark_all_imprecise env);
+      Some summary

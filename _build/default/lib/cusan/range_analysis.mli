@@ -1,0 +1,36 @@
+(** Launch-time access-range analysis — a sound implementation of the
+    optimization the paper proposes as future work (Section VI-D):
+    instead of annotating the whole allocation behind every device
+    pointer, derive the byte range each kernel argument can actually
+    touch and annotate only that.
+
+    The analysis runs at kernel-launch interception, when scalar
+    arguments and the grid size are concrete: it abstractly interprets
+    the kernel body over integer intervals with [tid ∈ [0, grid-1]].
+    Loops run to a widened fixpoint, conditional branches are joined,
+    nested device functions are evaluated with their argument intervals.
+    Anything it cannot bound (data-dependent indices loaded from memory,
+    aliased pointer locals) marks the argument {e imprecise}: the caller
+    must fall back to the whole allocation — never less, so the result
+    over-approximates every execution (property-tested against the IR
+    interpreter).
+
+    Cost: one walk of the (tiny) kernel body per launch — O(|body|),
+    not O(domain size). *)
+
+type access = { mutable read : Interval.t option; mutable written : Interval.t option }
+(** Byte ranges relative to the argument pointer; [None] = untouched. *)
+
+type summary = {
+  per_param : access array;  (** indexed by argument position *)
+  mutable imprecise : bool array;
+      (** arguments whose accesses could not be bounded *)
+}
+
+val analyze_launch :
+  Kir.Ir.modul ->
+  entry:string ->
+  args:Kir.Interp.value array ->
+  grid:int ->
+  summary option
+(** [None] when the entry function does not exist. *)

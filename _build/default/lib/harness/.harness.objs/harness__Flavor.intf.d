@@ -1,0 +1,1 @@
+lib/harness/flavor.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Array Cudasim Cusan Flavor Fmt Fun Hashtbl List Memsim Mpisim Must Option Sched Tsan Typeart Unix

@@ -1,0 +1,1 @@
+lib/harness/run.mli: Cudasim Cusan Flavor Mpisim Must Tsan

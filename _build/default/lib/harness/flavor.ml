@@ -1,0 +1,32 @@
+(* Tool configurations, matching the paper's evaluation legend
+   (Fig. 10/11): vanilla, TSan, MUST, CuSan, MUST & CuSan. CuSan and
+   MUST always run with TSan enabled; only CuSan uses TypeART — exactly
+   the setup of Section V. *)
+
+type t = Vanilla | Tsan | Must | Cusan | Must_cusan
+
+let all = [ Vanilla; Tsan; Must; Cusan; Must_cusan ]
+
+let name = function
+  | Vanilla -> "vanilla"
+  | Tsan -> "TSan"
+  | Must -> "MUST"
+  | Cusan -> "CuSan"
+  | Must_cusan -> "MUST & CuSan"
+
+let of_string = function
+  | "vanilla" -> Some Vanilla
+  | "tsan" | "TSan" -> Some Tsan
+  | "must" | "MUST" -> Some Must
+  | "cusan" | "CuSan" -> Some Cusan
+  | "must-cusan" | "must_cusan" | "MUST & CuSan" -> Some Must_cusan
+  | _ -> None
+
+let uses_tsan = function Vanilla -> false | _ -> true
+let uses_must = function Must | Must_cusan -> true | _ -> false
+let uses_cusan = function Cusan | Must_cusan -> true | _ -> false
+
+(* Only CuSan needs TypeART (device-pointer allocation sizes). *)
+let uses_typeart = uses_cusan
+
+let pp = Fmt.of_to_string name

@@ -1,0 +1,19 @@
+(** Tool configurations, matching the paper's evaluation legend
+    (Fig. 10/11): vanilla, TSan, MUST, CuSan, MUST & CuSan. CuSan and
+    MUST always run with TSan enabled; only CuSan uses TypeART — exactly
+    the setup of Section V. *)
+
+type t = Vanilla | Tsan | Must | Cusan | Must_cusan
+
+val all : t list
+val name : t -> string
+
+val of_string : string -> t option
+(** Accepts both display names ("MUST & CuSan") and CLI spellings
+    ("must-cusan"). *)
+
+val uses_tsan : t -> bool
+val uses_must : t -> bool
+val uses_cusan : t -> bool
+val uses_typeart : t -> bool
+val pp : Format.formatter -> t -> unit

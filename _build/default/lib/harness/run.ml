@@ -1,0 +1,367 @@
+(* Runs an application under a tool configuration and collects the
+   paper's measurements: wall time, resident memory at MPI_Finalize,
+   race reports, MUST findings, and the Table I event counters.
+
+   An application is a function over a per-rank environment holding the
+   MPI context, the rank's CUDA device, and a [compile] hook standing in
+   for building the binary with the CuSan compiler pass: it attaches the
+   kernel access analysis when the flavor includes CuSan. *)
+
+type env = {
+  mpi : Mpisim.Mpi.ctx;
+  dev : Cudasim.Device.t;
+  compile : Cudasim.Kernel.t -> Cudasim.Kernel.t;
+}
+
+type app = env -> unit
+
+type rank_state = {
+  detector : Tsan.Detector.t option;
+  device : Cudasim.Device.t;
+  cusan : Cusan.Runtime.t option;
+  must : Must.Runtime.t option;
+  mutable rss : int; (* bytes, recorded at MPI_Finalize *)
+}
+
+(* Host-thread registry: maps scheduler task ids to the race-detector
+   fiber and device representing that host thread. A scheduler resume
+   hook retargets the detector's current fiber and the device's
+   per-thread-default-stream key whenever the cooperative scheduler
+   interleaves host threads. *)
+let thread_registry :
+    (int, Tsan.Detector.t option * Tsan.Detector.fiber option * Cudasim.Device.t)
+    Hashtbl.t =
+  Hashtbl.create 16
+
+let resume_hook _name id =
+  match Hashtbl.find_opt thread_registry id with
+  | Some (det, fiber, device) ->
+      (match (det, fiber) with
+      | Some d, Some f -> Tsan.Detector.activate_fiber d f
+      | _ -> ());
+      Cudasim.Device.set_thread_key device id
+  | None -> ()
+
+let join_key id = 0x4_0000_0000 + id
+
+(* Run each function as an additional host thread of the calling rank
+   and wait for all of them (spawn/join with the thread-creation and
+   join synchronization semantics TSan gives pthreads). MPI and CUDA
+   calls are legal inside — this is MPI_THREAD_MULTIPLE-style hybrid
+   code, the "X" of MPI + X. *)
+let parallel (env : env) fs =
+  let rank = env.mpi.Mpisim.Mpi.rank in
+  let parent_id = Sched.Scheduler.self_id () in
+  let det, _, device =
+    match Hashtbl.find_opt thread_registry parent_id with
+    | Some entry -> entry
+    | None -> (None, None, env.dev)
+  in
+  let remaining = ref (List.length fs) in
+  let joined = Sched.Scheduler.cond (Fmt.str "rank%d:join" rank) in
+  let child_ids = ref [] in
+  List.iteri
+    (fun i f ->
+      (* The fiber is created in the parent, at spawn time: the child
+         starts ordered after the parent's work so far — and not after
+         whatever sibling happened to run last. *)
+      let fiber =
+        Option.map
+          (fun d ->
+            Tsan.Detector.fiber_create_inherit d
+              (Fmt.str "host:thread%d" (i + 1)))
+          det
+      in
+      Sched.Scheduler.spawn
+        (Fmt.str "rank%d:thread%d" rank (i + 1))
+        (fun () ->
+          let id = Sched.Scheduler.self_id () in
+          child_ids := id :: !child_ids;
+          Hashtbl.replace thread_registry id (det, fiber, device);
+          (match (det, fiber) with
+          | Some d, Some fb -> Tsan.Detector.activate_fiber d fb
+          | _ -> ());
+          Cudasim.Device.set_thread_key device id;
+          Fun.protect
+            ~finally:(fun () ->
+              (* pthread_join semantics: publish the thread's final state *)
+              (match det with
+              | Some d -> Tsan.Detector.happens_before d (join_key id)
+              | None -> ());
+              decr remaining;
+              Sched.Scheduler.signal joined)
+            f))
+    fs;
+  Sched.Scheduler.wait_until joined (fun () -> !remaining = 0);
+  match det with
+  | Some d -> List.iter (fun id -> Tsan.Detector.happens_after d (join_key id)) !child_ids
+  | None -> ()
+
+type result = {
+  flavor : Flavor.t;
+  nranks : int;
+  wall_s : float; (* raw wall time of the whole (serialized) simulation *)
+  proc_s : float;
+      (* estimated per-process runtime with the paper's measurement
+         semantics: host work (wall time minus the CPU cost of executing
+         device-op bodies, an artifact of simulating the GPU on the
+         host) plus the cost model's virtual device time, divided across
+         ranks (real ranks run in parallel). *)
+  device_exec_s : float; (* summed over ranks: real CPU time in op bodies *)
+  device_virtual_s : float; (* summed over ranks: modelled device time *)
+  rss_bytes : int; (* max over ranks *)
+  races : (int * Tsan.Report.t) list; (* (rank, report) *)
+  race_events : int;
+  must_errors : Must.Errors.t list;
+  tsan_counters : Tsan.Counters.t; (* rank 0, like Table I *)
+  cuda_counters : Cusan.Counters.t; (* rank 0 *)
+  tracked_read_bytes : int; (* summed over ranks, for Fig. 12 *)
+  tracked_write_bytes : int;
+  deadlock : (string * string) list option;
+}
+
+let has_races r = r.races <> []
+
+(* Memory model for the RSS measurement (a high-water mark, like real
+   RSS): the rank's share of the peak simulated allocations, plus
+   everything the tools added — *materialized* shadow memory (shadow only
+   counts once an access touches it, like real TSan's lazily-faulted
+   shadow pages), synchronization clocks, TypeART's table — plus a
+   configurable constant standing in for the process baseline (CUDA
+   driver + MPI library mappings) that dominates a real process's RSS.
+   The default of 0 reports raw simulator numbers. *)
+let rank_rss ~nranks ~baseline (st : rank_state) =
+  let app_share = Memsim.Heap.peak_bytes () / nranks in
+  let tool =
+    match st.detector with
+    | None -> 0
+    | Some d -> Tsan.Detector.shadow_bytes_peak d + Tsan.Detector.sync_bytes d
+  in
+  let typeart =
+    if !Typeart.Rt.enabled then
+      let _, _, entries = Typeart.Rt.stats Typeart.Rt.instance in
+      entries * 96
+    else 0
+  in
+  baseline + app_share + tool + typeart
+
+let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
+    ?(default_stream_mode = Cudasim.Device.Legacy) ?(suppressions = [])
+    ?(check_types = false) ?(baseline_rss = 0) ?(granule = 8) ?annotation
+    ?max_range_bytes ~flavor app =
+  (* Fresh global state, as a fresh process would have. *)
+  Memsim.Hooks.clear ();
+  Mpisim.Hooks.clear ();
+  Memsim.Heap.reset ();
+  Typeart.Rt.reset ();
+  Typeart.Rt.enabled := Flavor.uses_typeart flavor;
+  Sched.Scheduler.clear_resume_hooks ();
+  Hashtbl.reset thread_registry;
+  Sched.Scheduler.on_resume resume_hook;
+  (* Race reports resolve addresses to allocations of the simulated
+     heap, like TSan's "Location is heap block" line. *)
+  (Tsan.Report.symbolizer :=
+     fun addr ->
+       match Memsim.Heap.find_by_addr addr with
+       | Some a ->
+           Some
+             (Fmt.str "%s+%d (%s, %d bytes)" a.Memsim.Alloc.tag
+                (addr - Memsim.Alloc.base a)
+                (Memsim.Space.to_string a.Memsim.Alloc.space)
+                a.Memsim.Alloc.size)
+       | None -> None);
+  let states : rank_state option array = Array.make nranks None in
+  (* The detector responsible for the current task: host threads
+     spawned with [parallel] resolve through the thread registry, rank
+     main tasks through their spawn-order id. *)
+  let det () =
+    match Sched.Scheduler.self_id () with
+    | id -> (
+        match Hashtbl.find_opt thread_registry id with
+        | Some (det, _, _) -> det
+        | None ->
+            if id >= 0 && id < nranks then
+              Option.bind states.(id) (fun st -> st.detector)
+            else None)
+    | exception Sched.Scheduler.Not_in_scheduler -> None
+  in
+  (* TSan compiler instrumentation: host loads/stores and the allocator
+     interception that maps/unmaps shadow. *)
+  if Flavor.uses_tsan flavor then
+    Memsim.Hooks.add
+      {
+        Memsim.Hooks.on_alloc =
+          (fun a ->
+            match det () with
+            | Some d ->
+                Tsan.Detector.on_alloc d ~base:(Memsim.Alloc.base a)
+                  ~size:a.Memsim.Alloc.size
+            | None -> ());
+        on_free =
+          (fun a ->
+            match det () with
+            | Some d -> Tsan.Detector.on_free d ~base:(Memsim.Alloc.base a)
+            | None -> ());
+        on_read =
+          (fun p n ->
+            match det () with
+            | Some d -> Tsan.Detector.read_range d ~addr:(Memsim.Ptr.addr p) ~len:n
+            | None -> ());
+        on_write =
+          (fun p n ->
+            match det () with
+            | Some d ->
+                Tsan.Detector.write_range d ~addr:(Memsim.Ptr.addr p) ~len:n
+            | None -> ());
+      };
+  (* MUST's PMPI interception, plus the cross-rank resolver its RMA
+     analysis needs to annotate window accesses in the target's
+     detector. *)
+  if Flavor.uses_must flavor then begin
+    Mpisim.Hooks.add (fun ~rank phase call ->
+        match states.(rank) with
+        | Some { must = Some m; _ } -> Must.Runtime.on_call m phase call
+        | _ -> ());
+    Must.Runtime.set_peer_resolver (fun rank ->
+        if rank >= 0 && rank < nranks then
+          Option.bind states.(rank) (fun st -> st.must)
+        else None)
+  end;
+  (* RSS probe at MPI_Finalize, as in the paper's Fig. 11 setup. *)
+  Mpisim.Hooks.add (fun ~rank phase call ->
+      match (phase, call) with
+      | Mpisim.Hooks.Pre, Mpisim.Hooks.Finalize -> (
+          match states.(rank) with
+          | Some st -> st.rss <- rank_rss ~nranks ~baseline:baseline_rss st
+          | None -> ())
+      | _ -> ());
+  let wrapped (ctx : Mpisim.Mpi.ctx) =
+    let rank = ctx.Mpisim.Mpi.rank in
+    let detector =
+      if Flavor.uses_tsan flavor then
+        Some (Tsan.Detector.create ~granule ~suppressions ())
+      else None
+    in
+    let device = Cudasim.Device.create ~mode ~default_stream_mode () in
+    let cusan =
+      if Flavor.uses_cusan flavor then
+        Option.map
+          (fun d ->
+            Cusan.Runtime.attach ?annotation ?max_range_bytes ~tsan:d
+              ~dev:device ())
+          detector
+      else None
+    in
+    let must =
+      if Flavor.uses_must flavor then
+        Option.map
+          (fun d -> Must.Runtime.create ~size:nranks ~tsan:d ~rank ~check_types ())
+          detector
+      else None
+    in
+    states.(rank) <- Some { detector; device; cusan; must; rss = 0 };
+    Hashtbl.replace thread_registry
+      (Sched.Scheduler.self_id ())
+      (detector, Option.map Tsan.Detector.main_fiber detector, device);
+    app
+      {
+        mpi = ctx;
+        dev = device;
+        compile =
+          (fun k ->
+            if Flavor.uses_cusan flavor then Cusan.Pass.instrument_kernel k;
+            k);
+      }
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadlock =
+    match Mpisim.Mpi.run ~nranks wrapped with
+    | () -> None
+    | exception Sched.Scheduler.Deadlock blocked -> Some blocked
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Memsim.Hooks.clear ();
+  Mpisim.Hooks.clear ();
+  Sched.Scheduler.clear_resume_hooks ();
+  Must.Runtime.clear_peer_resolver ();
+  Typeart.Rt.enabled := false;
+  let sts = Array.to_list states |> List.filteri (fun _ s -> s <> None)
+            |> List.map Option.get in
+  let with_rank f =
+    List.concat
+      (List.mapi (fun i st -> List.map (fun x -> (i, x)) (f st)) sts)
+  in
+  let races =
+    with_rank (fun st ->
+        match st.detector with Some d -> Tsan.Detector.races d | None -> [])
+  in
+  let race_events =
+    List.fold_left
+      (fun acc st ->
+        acc
+        + match st.detector with Some d -> Tsan.Detector.races_total d | None -> 0)
+      0 sts
+  in
+  let must_errors =
+    List.concat_map
+      (fun st ->
+        match st.must with Some m -> Must.Runtime.errors m | None -> [])
+      sts
+  in
+  let tsan_counters =
+    match sts with
+    | { detector = Some d; _ } :: _ -> Tsan.Detector.counters d
+    | _ -> Tsan.Counters.create ()
+  in
+  let cuda_counters =
+    match sts with
+    | { cusan = Some c; _ } :: _ -> Cusan.Runtime.counters c
+    | _ -> Cusan.Counters.create ()
+  in
+  let tracked_read_bytes =
+    List.fold_left
+      (fun acc st ->
+        acc
+        + match st.detector with
+          | Some d -> (Tsan.Detector.counters d).Tsan.Counters.read_bytes
+          | None -> 0)
+      0 sts
+  in
+  let tracked_write_bytes =
+    List.fold_left
+      (fun acc st ->
+        acc
+        + match st.detector with
+          | Some d -> (Tsan.Detector.counters d).Tsan.Counters.write_bytes
+          | None -> 0)
+      0 sts
+  in
+  let rss_bytes = List.fold_left (fun acc st -> max acc st.rss) 0 sts in
+  let device_exec_s, device_virtual_s =
+    List.fold_left
+      (fun (e, v) st ->
+        let e', v' = Cudasim.Device.timing st.device in
+        (e +. e', v +. v'))
+      (0., 0.) sts
+  in
+  let proc_s =
+    (max 0. (wall_s -. device_exec_s) +. device_virtual_s)
+    /. float_of_int (max 1 nranks)
+  in
+  {
+    flavor;
+    nranks;
+    wall_s;
+    proc_s;
+    device_exec_s;
+    device_virtual_s;
+    rss_bytes;
+    races;
+    race_events;
+    must_errors;
+    tsan_counters;
+    cuda_counters;
+    tracked_read_bytes;
+    tracked_write_bytes;
+    deadlock;
+  }

@@ -1,0 +1,74 @@
+(** Runs an application under a tool configuration and collects the
+    paper's measurements: runtime, resident memory at [MPI_Finalize],
+    race reports, MUST findings, and the Table I event counters. *)
+
+type env = {
+  mpi : Mpisim.Mpi.ctx;
+  dev : Cudasim.Device.t;  (** this rank's CUDA device *)
+  compile : Cudasim.Kernel.t -> Cudasim.Kernel.t;
+      (** stands in for building the binary with the CuSan compiler
+          pass: attaches the kernel access analysis when the flavor
+          includes CuSan, and is the identity otherwise *)
+}
+(** The per-rank environment an application runs in. *)
+
+type app = env -> unit
+
+val parallel : env -> (unit -> unit) list -> unit
+(** Run each function as an additional host thread of the calling rank
+    and wait for all of them — MPI_THREAD_MULTIPLE-style hybrid code,
+    the "X" of MPI + X. Each host thread gets its own race-detector
+    fiber with thread-creation/join synchronization, and its own default
+    stream when the device runs in {!Cudasim.Device.Per_thread} mode. *)
+
+type result = {
+  flavor : Flavor.t;
+  nranks : int;
+  wall_s : float;  (** raw wall time of the whole (serialized) simulation *)
+  proc_s : float;
+      (** estimated per-process runtime with the paper's measurement
+          semantics: host work (wall time minus the CPU cost of
+          executing device-op bodies — an artifact of simulating the GPU
+          on the host) plus the cost model's virtual device time,
+          divided across ranks (real ranks run in parallel) *)
+  device_exec_s : float;  (** summed over ranks: real CPU time in op bodies *)
+  device_virtual_s : float;  (** summed over ranks: modelled device time *)
+  rss_bytes : int;
+      (** max over ranks, measured at [MPI_Finalize] like the paper's
+          Fig. 11: the rank's share of peak allocations plus everything
+          the tools added (materialized shadow, sync clocks, TypeART) *)
+  races : (int * Tsan.Report.t) list;  (** (rank, deduplicated report) *)
+  race_events : int;  (** raw race events across ranks *)
+  must_errors : Must.Errors.t list;
+  tsan_counters : Tsan.Counters.t;  (** rank 0, like Table I *)
+  cuda_counters : Cusan.Counters.t;  (** rank 0 *)
+  tracked_read_bytes : int;  (** summed over ranks, for Fig. 12 *)
+  tracked_write_bytes : int;
+  deadlock : (string * string) list option;
+      (** blocked (task, condition) pairs when the run deadlocked *)
+}
+
+val has_races : result -> bool
+
+val run :
+  ?nranks:int ->
+  ?mode:Cudasim.Device.mode ->
+  ?default_stream_mode:Cudasim.Device.default_mode ->
+  ?suppressions:string list ->
+  ?check_types:bool ->
+  ?baseline_rss:int ->
+  ?granule:int ->
+  ?annotation:Cusan.Runtime.annotation_mode ->
+  ?max_range_bytes:int ->
+  flavor:Flavor.t ->
+  app ->
+  result
+(** Execute [app] on [nranks] ranks (default 2) under [flavor],
+    installing exactly the instrumentation that configuration implies:
+    TSan host instrumentation and allocator interception, MUST's PMPI
+    hooks, CuSan's device hooks and the TypeART runtime.
+
+    [baseline_rss] adds a constant to every rank's memory measurement,
+    standing in for the CUDA-driver/MPI-library mappings that dominate a
+    real process's RSS (default 0: raw simulator numbers). [granule] and
+    [max_range_bytes] are the ablation knobs of the bench harness. *)

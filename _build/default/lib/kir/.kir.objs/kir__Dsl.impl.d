@@ -1,0 +1,1 @@
+lib/kir/dsl.ml: Ir

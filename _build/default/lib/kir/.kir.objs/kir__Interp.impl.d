@@ -1,0 +1,1 @@
+lib/kir/interp.ml: Array Fmt Hashtbl Ir List Memsim

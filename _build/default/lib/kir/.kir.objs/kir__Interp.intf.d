@@ -1,0 +1,1 @@
+lib/kir/interp.mli: Format Ir Memsim

@@ -1,0 +1,1 @@
+lib/kir/validate.ml: Array Fmt Hashtbl Ir List

@@ -1,0 +1,43 @@
+(* A small builder DSL so kernels read close to their CUDA sources. *)
+
+include Ir
+
+let ptr n = (n, Pointer)
+let scalar n = (n, Scalar)
+
+let func fname params body = { fname; params; body }
+let modul ?(kernels = []) funcs = { funcs; kernels }
+
+(* expressions *)
+let i n = Int n
+let f x = Flt x
+let v name = Local name
+let p idx = Param idx
+let tid = Tid
+let ntid = Ntid
+let ( +. ) a b = Binop (Add, a, b)
+let ( -. ) a b = Binop (Sub, a, b)
+let ( *. ) a b = Binop (Mul, a, b)
+let ( /. ) a b = Binop (Div, a, b)
+let ( %. ) a b = Binop (Mod, a, b)
+let ( <. ) a b = Binop (Lt, a, b)
+let ( <=. ) a b = Binop (Le, a, b)
+let ( ==. ) a b = Binop (Eq, a, b)
+let ( &&. ) a b = Binop (And, a, b)
+let ( ||. ) a b = Binop (Or, a, b)
+let fmin a b = Binop (Min, a, b)
+let fmax a b = Binop (Max, a, b)
+let neg e = Neg e
+let i2f e = I2f e
+let f2i e = F2i e
+let ( +@ ) ptr idx = Ptradd (ptr, idx)
+let load ptr idx = Load (ptr, idx)
+let loadi ptr idx = Loadi (ptr, idx)
+
+(* statements *)
+let store ptr idx value = Store (ptr, idx, value)
+let storei ptr idx value = Storei (ptr, idx, value)
+let let_ name e = Let (name, e)
+let if_ c t e = If (c, t, e)
+let for_ var lo hi body = For (var, lo, hi, body)
+let call name args = Call (name, args)

@@ -1,0 +1,177 @@
+(* Reference interpreter for KIR kernels.
+
+   Executes a kernel body once per thread index, exactly as the device
+   would, against the simulated address space. Device code must only
+   dereference device-accessible memory (device or managed); touching a
+   host pointer raises [Device_fault] — the simulated equivalent of an
+   illegal address error.
+
+   Pointer arithmetic ([Ptradd]) and f64 loads/stores are in 8-byte
+   elements; [Loadi]/[Storei] address 4-byte lanes relative to the same
+   pointer. The optional [on_read]/[on_write] callbacks report each
+   touched location, which property tests use to check the static kernel
+   access analysis against real footprints. *)
+
+exception Device_fault of string
+exception Runtime_error of string
+
+type value = VInt of int | VFlt of float | VPtr of Memsim.Ptr.t
+
+let pp_value ppf = function
+  | VInt i -> Fmt.pf ppf "%d" i
+  | VFlt f -> Fmt.pf ppf "%g" f
+  | VPtr p -> Memsim.Ptr.pp ppf p
+
+let as_int = function
+  | VInt i -> i
+  | VFlt f -> int_of_float f
+  | VPtr _ -> raise (Runtime_error "pointer where scalar expected")
+
+let as_flt = function
+  | VFlt f -> f
+  | VInt i -> float_of_int i
+  | VPtr _ -> raise (Runtime_error "pointer where scalar expected")
+
+let as_ptr = function
+  | VPtr p -> p
+  | v -> raise (Runtime_error (Fmt.str "scalar %a where pointer expected" pp_value v))
+
+let check_device (p : Memsim.Ptr.t) =
+  if not (Memsim.Space.device_accessible (Memsim.Ptr.space p)) then
+    raise (Device_fault (Fmt.str "kernel touched host memory %a" Memsim.Ptr.pp p))
+
+let truthy v = as_int v <> 0
+
+let binop op a b =
+  let open Ir in
+  let arith fi ff =
+    match (a, b) with
+    | VInt x, VInt y -> VInt (fi x y)
+    | _ -> VFlt (ff (as_flt a) (as_flt b))
+  in
+  let cmp fi ff =
+    match (a, b) with
+    | VInt x, VInt y -> VInt (if fi x y then 1 else 0)
+    | _ -> VInt (if ff (as_flt a) (as_flt b) then 1 else 0)
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Div -> (
+      match (a, b) with
+      | VInt x, VInt y ->
+          if y = 0 then raise (Runtime_error "division by zero") else VInt (x / y)
+      | _ -> VFlt (as_flt a /. as_flt b))
+  | Mod -> (
+      match (as_int a, as_int b) with
+      | _, 0 -> raise (Runtime_error "mod by zero")
+      | x, y -> VInt (x mod y))
+  | Min -> arith min min
+  | Max -> arith max max
+  | Lt -> cmp ( < ) ( < )
+  | Le -> cmp ( <= ) ( <= )
+  | Eq -> cmp ( = ) ( = )
+  | And -> VInt (if truthy a && truthy b then 1 else 0)
+  | Or -> VInt (if truthy a || truthy b then 1 else 0)
+
+type frame = {
+  args : value array;
+  locals : (string, value) Hashtbl.t;
+  tid : int;
+  ntid : int;
+}
+
+type tracer = {
+  on_read : Memsim.Ptr.t -> bytes:int -> unit;
+  on_write : Memsim.Ptr.t -> bytes:int -> unit;
+}
+
+let no_trace = { on_read = (fun _ ~bytes:_ -> ()); on_write = (fun _ ~bytes:_ -> ()) }
+
+let rec eval m tr fr (e : Ir.expr) : value =
+  match e with
+  | Int i -> VInt i
+  | Flt f -> VFlt f
+  | Param i ->
+      if i < Array.length fr.args then fr.args.(i)
+      else raise (Runtime_error "param out of range")
+  | Local n -> (
+      match Hashtbl.find_opt fr.locals n with
+      | Some v -> v
+      | None -> raise (Runtime_error ("unbound local " ^ n)))
+  | Tid -> VInt fr.tid
+  | Ntid -> VInt fr.ntid
+  | Load (pe, ie) ->
+      let p = as_ptr (eval m tr fr pe) and i = as_int (eval m tr fr ie) in
+      check_device p;
+      tr.on_read (Memsim.Ptr.add p ~elt:8 i) ~bytes:8;
+      VFlt (Memsim.Access.raw_get_f64 p i)
+  | Loadi (pe, ie) ->
+      let p = as_ptr (eval m tr fr pe) and i = as_int (eval m tr fr ie) in
+      check_device p;
+      tr.on_read (Memsim.Ptr.add p ~elt:4 i) ~bytes:4;
+      VInt (Memsim.Access.raw_get_i32 p i)
+  | Binop (op, a, b) -> binop op (eval m tr fr a) (eval m tr fr b)
+  | Neg a -> (
+      match eval m tr fr a with
+      | VInt i -> VInt (-i)
+      | VFlt f -> VFlt (-.f)
+      | VPtr _ -> raise (Runtime_error "negating a pointer"))
+  | I2f a -> VFlt (as_flt (eval m tr fr a))
+  | F2i a -> VInt (as_int (eval m tr fr a))
+  | Ptradd (pe, ie) ->
+      let p = as_ptr (eval m tr fr pe) and i = as_int (eval m tr fr ie) in
+      VPtr (Memsim.Ptr.add p ~elt:8 i)
+
+and exec m tr fr (s : Ir.stmt) =
+  match s with
+  | Store (pe, ie, ve) ->
+      let p = as_ptr (eval m tr fr pe)
+      and i = as_int (eval m tr fr ie)
+      and v = as_flt (eval m tr fr ve) in
+      check_device p;
+      tr.on_write (Memsim.Ptr.add p ~elt:8 i) ~bytes:8;
+      Memsim.Access.raw_set_f64 p i v
+  | Storei (pe, ie, ve) ->
+      let p = as_ptr (eval m tr fr pe)
+      and i = as_int (eval m tr fr ie)
+      and v = as_int (eval m tr fr ve) in
+      check_device p;
+      tr.on_write (Memsim.Ptr.add p ~elt:4 i) ~bytes:4;
+      Memsim.Access.raw_set_i32 p i v
+  | Let (n, e) -> Hashtbl.replace fr.locals n (eval m tr fr e)
+  | If (c, t, e) ->
+      if truthy (eval m tr fr c) then List.iter (exec m tr fr) t
+      else List.iter (exec m tr fr) e
+  | For (v, lo, hi, body) ->
+      let lo = as_int (eval m tr fr lo) and hi = as_int (eval m tr fr hi) in
+      for x = lo to hi - 1 do
+        Hashtbl.replace fr.locals v (VInt x);
+        List.iter (exec m tr fr) body
+      done
+  | Call (name, args) -> (
+      match Ir.find_func m name with
+      | None -> raise (Runtime_error ("undefined function " ^ name))
+      | Some callee ->
+          let argv = Array.of_list (List.map (eval m tr fr) args) in
+          let fr' =
+            { fr with args = argv; locals = Hashtbl.create 8 }
+          in
+          List.iter (exec m tr fr') callee.Ir.body)
+
+(* Run one thread of [name]. *)
+let run_thread ?(tracer = no_trace) m ~name ~args ~tid ~ntid =
+  match Ir.find_func m name with
+  | None -> raise (Runtime_error ("undefined kernel " ^ name))
+  | Some f ->
+      let fr = { args; locals = Hashtbl.create 8; tid; ntid } in
+      List.iter (exec m tracer fr) f.Ir.body
+
+(* Run the whole grid, threads in tid order (the device's interleaving
+   does not matter for our race model: intra-kernel races are out of
+   scope, as in the paper). *)
+let run_kernel ?(tracer = no_trace) m ~name ~args ~grid =
+  for tid = 0 to grid - 1 do
+    run_thread ~tracer m ~name ~args ~tid ~ntid:grid
+  done

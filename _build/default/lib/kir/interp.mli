@@ -1,0 +1,44 @@
+(** Reference interpreter for KIR kernels.
+
+    Executes a kernel body once per thread index, as the device would,
+    against the simulated address space. Device code must only
+    dereference device-accessible memory (device or managed); touching a
+    host pointer raises {!Device_fault} — the simulated illegal-address
+    error.
+
+    Pointer arithmetic and f64 loads/stores address 8-byte elements;
+    [Loadi]/[Storei] address 4-byte lanes relative to the same pointer.
+    The optional tracer reports each touched location, which property
+    tests use to check the static kernel access analysis against real
+    footprints. *)
+
+exception Device_fault of string
+exception Runtime_error of string
+
+type value = VInt of int | VFlt of float | VPtr of Memsim.Ptr.t
+(** Runtime values; also the kernel-launch argument type. *)
+
+val pp_value : Format.formatter -> value -> unit
+
+type tracer = {
+  on_read : Memsim.Ptr.t -> bytes:int -> unit;
+  on_write : Memsim.Ptr.t -> bytes:int -> unit;
+}
+
+val no_trace : tracer
+
+val run_thread :
+  ?tracer:tracer ->
+  Ir.modul ->
+  name:string ->
+  args:value array ->
+  tid:int ->
+  ntid:int ->
+  unit
+(** Execute one thread of the kernel. *)
+
+val run_kernel :
+  ?tracer:tracer -> Ir.modul -> name:string -> args:value array -> grid:int -> unit
+(** Execute the whole grid, threads in tid order. (The device's
+    intra-kernel interleaving does not matter to the race model:
+    intra-kernel races are out of scope, as in the paper.) *)

@@ -1,0 +1,87 @@
+(* Static well-formedness checks on a KIR module: name resolution,
+   arity, and pointer/scalar typing. Run before analysis or execution,
+   like the IR verifier in a real compiler. *)
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+type env = { params : Ir.ty array; locals : (string, Ir.ty) Hashtbl.t }
+
+let rec type_of env (e : Ir.expr) : Ir.ty =
+  match e with
+  | Int _ | Flt _ | Tid | Ntid -> Scalar
+  | Param i ->
+      if i < 0 || i >= Array.length env.params then fail "param %d out of range" i
+      else env.params.(i)
+  | Local n -> (
+      match Hashtbl.find_opt env.locals n with
+      | Some t -> t
+      | None -> fail "unbound local %%%s" n)
+  | Load (p, i) | Loadi (p, i) ->
+      if type_of env p <> Pointer then fail "load from non-pointer";
+      if type_of env i <> Scalar then fail "non-scalar index";
+      Scalar
+  | Binop (_, a, b) ->
+      if type_of env a <> Scalar || type_of env b <> Scalar then
+        fail "binop on pointer";
+      Scalar
+  | Neg a | I2f a | F2i a ->
+      if type_of env a <> Scalar then fail "unop on pointer";
+      Scalar
+  | Ptradd (p, i) ->
+      if type_of env p <> Pointer then fail "ptradd on non-pointer";
+      if type_of env i <> Scalar then fail "non-scalar ptradd offset";
+      Pointer
+
+let rec check_stmt (m : Ir.modul) env (s : Ir.stmt) =
+  match s with
+  | Store (p, i, v) | Storei (p, i, v) ->
+      if type_of env p <> Pointer then fail "store to non-pointer";
+      if type_of env i <> Scalar then fail "non-scalar index";
+      if type_of env v <> Scalar then fail "storing a pointer";
+      ()
+  | Let (n, e) -> Hashtbl.replace env.locals n (type_of env e)
+  | If (c, t, e) ->
+      if type_of env c <> Scalar then fail "pointer condition";
+      List.iter (check_stmt m env) t;
+      List.iter (check_stmt m env) e
+  | For (v, lo, hi, body) ->
+      if type_of env lo <> Scalar || type_of env hi <> Scalar then
+        fail "pointer loop bound";
+      Hashtbl.replace env.locals v Scalar;
+      List.iter (check_stmt m env) body
+  | Call (name, args) -> (
+      match Ir.find_func m name with
+      | None -> fail "call to undefined function %s" name
+      | Some callee ->
+          if List.length args <> List.length callee.Ir.params then
+            fail "arity mismatch calling %s" name;
+          List.iter2
+            (fun arg (pname, pty) ->
+              if type_of env arg <> pty then
+                fail "argument %s of %s: type mismatch" pname name)
+            args callee.Ir.params)
+
+let check_func m (f : Ir.func) =
+  let env =
+    {
+      params = Array.of_list (List.map snd f.Ir.params);
+      locals = Hashtbl.create 8;
+    }
+  in
+  List.iter (check_stmt m env) f.Ir.body
+
+let check_module (m : Ir.modul) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Hashtbl.mem seen f.Ir.fname then
+        fail "duplicate function %s" f.Ir.fname;
+      Hashtbl.replace seen f.Ir.fname ())
+    m.Ir.funcs;
+  List.iter
+    (fun k ->
+      if Ir.find_func m k = None then fail "kernel %s not defined" k)
+    m.Ir.kernels;
+  List.iter (check_func m) m.Ir.funcs

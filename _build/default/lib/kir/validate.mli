@@ -1,0 +1,12 @@
+(** Static well-formedness checks on a KIR module: name resolution,
+    call arity, and pointer/scalar typing — the IR verifier run before
+    analysis or execution. *)
+
+exception Invalid of string
+
+val check_func : Ir.modul -> Ir.func -> unit
+
+val check_module : Ir.modul -> unit
+(** @raise Invalid on unbound locals, out-of-range parameters, arity or
+    type mismatches at calls, duplicate functions, or kernel entries
+    that are not defined. *)

@@ -1,0 +1,1 @@
+lib/memsim/access.ml: Alloc Bytes Char Fmt Hooks Int32 Int64 Ptr Space

@@ -1,0 +1,1 @@
+lib/memsim/alloc.ml: Bytes Fmt Space

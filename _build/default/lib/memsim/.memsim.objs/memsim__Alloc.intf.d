@@ -1,0 +1,1 @@
+lib/memsim/alloc.mli: Bytes Format Space

@@ -1,0 +1,1 @@
+lib/memsim/heap.ml: Alloc Bytes Hashtbl Hooks Ptr

@@ -1,0 +1,1 @@
+lib/memsim/hooks.ml: Alloc List Ptr

@@ -1,0 +1,1 @@
+lib/memsim/hooks.mli: Alloc Ptr

@@ -1,0 +1,1 @@
+lib/memsim/ptr.ml: Alloc Fmt

@@ -1,0 +1,1 @@
+lib/memsim/ptr.mli: Alloc Format Space

@@ -1,0 +1,1 @@
+lib/memsim/space.mli: Format

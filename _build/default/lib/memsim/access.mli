@@ -1,0 +1,46 @@
+(** Typed memory accessors.
+
+    The [get_*]/[set_*] family models {e instrumented host code}: each
+    call fires the read/write hooks a sanitizer pass would have inserted
+    and enforces that host code only dereferences host-accessible memory
+    (dereferencing a device pointer on the host is the simulated
+    segfault).
+
+    The [raw_*] family models accesses the sanitizer cannot see:
+    device-side code and DMA transfers — exactly the visibility gap
+    CuSan and MUST must close with annotations (paper, Section II-B). *)
+
+exception Host_access_to_device of string
+
+val f64_size : int
+val f32_size : int
+val i32_size : int
+val i64_size : int
+
+(** {1 Raw accessors} — no hooks, no host/device policing. Indices are
+    in elements of the respective size. *)
+
+val raw_get_f64 : Ptr.t -> int -> float
+val raw_set_f64 : Ptr.t -> int -> float -> unit
+val raw_get_f32 : Ptr.t -> int -> float
+val raw_set_f32 : Ptr.t -> int -> float -> unit
+val raw_get_i32 : Ptr.t -> int -> int
+val raw_set_i32 : Ptr.t -> int -> int -> unit
+
+val raw_blit : src:Ptr.t -> dst:Ptr.t -> bytes:int -> unit
+(** Bulk copy, invisible to instrumentation (DMA). *)
+
+val raw_fill : Ptr.t -> bytes:int -> byte:int -> unit
+
+(** {1 Instrumented host accessors} *)
+
+val get_f64 : Ptr.t -> int -> float
+val set_f64 : Ptr.t -> int -> float -> unit
+val get_i32 : Ptr.t -> int -> int
+val set_i32 : Ptr.t -> int -> int -> unit
+
+val read_range : Ptr.t -> int -> unit
+(** Announce a bulk instrumented host read of [bytes] (one hook covering
+    the range, like vectorized instrumentation of a plain loop). *)
+
+val write_range : Ptr.t -> int -> unit

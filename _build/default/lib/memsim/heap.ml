@@ -1,0 +1,44 @@
+(* Allocation registry for the simulated address space. *)
+
+let next_id = ref 0
+let live : (int, Alloc.t) Hashtbl.t = Hashtbl.create 64
+let bytes_live = ref 0
+let bytes_peak = ref 0
+
+let alloc ?(tag = "alloc") space size =
+  if size < 0 then invalid_arg "Heap.alloc: negative size";
+  let id = !next_id in
+  incr next_id;
+  let a =
+    { Alloc.id; space; size; data = Bytes.make size '\000'; tag; freed = false }
+  in
+  Hashtbl.replace live id a;
+  bytes_live := !bytes_live + size;
+  if !bytes_live > !bytes_peak then bytes_peak := !bytes_live;
+  Hooks.fire_alloc a;
+  Ptr.make a
+
+let free (p : Ptr.t) =
+  let a = p.Ptr.alloc in
+  Alloc.check_live a;
+  if p.Ptr.off <> 0 then invalid_arg "Heap.free: interior pointer";
+  Hooks.fire_free a;
+  a.Alloc.freed <- true;
+  bytes_live := !bytes_live - a.Alloc.size;
+  Hashtbl.remove live a.Alloc.id
+
+let find_by_addr addr =
+  match Hashtbl.find_opt live (Alloc.id_of_addr addr) with
+  | Some a when addr >= Alloc.base a && addr < Alloc.limit a -> Some a
+  | _ -> None
+
+let live_bytes () = !bytes_live
+let peak_bytes () = !bytes_peak
+let live_count () = Hashtbl.length live
+
+(* Reset the whole simulated heap; used between independent test runs. *)
+let reset () =
+  Hashtbl.reset live;
+  next_id := 0;
+  bytes_live := 0;
+  bytes_peak := 0

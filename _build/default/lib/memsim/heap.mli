@@ -1,0 +1,23 @@
+(** The allocation registry of the simulated address space. *)
+
+val alloc : ?tag:string -> Space.t -> int -> Ptr.t
+(** [alloc space bytes] creates a zero-initialized allocation and fires
+    the allocation hooks. *)
+
+val free : Ptr.t -> unit
+(** Frees the allocation (must be the base pointer) and fires the free
+    hooks.
+    @raise Alloc.Use_after_free on double free
+    @raise Invalid_argument on an interior pointer *)
+
+val find_by_addr : int -> Alloc.t option
+(** Resolve an address to its live allocation, if any. *)
+
+val live_bytes : unit -> int
+val peak_bytes : unit -> int
+(** High-water mark of live bytes — the RSS analogue. *)
+
+val live_count : unit -> int
+
+val reset : unit -> unit
+(** Drop the whole simulated heap; used between independent runs. *)

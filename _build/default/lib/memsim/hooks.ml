@@ -1,0 +1,42 @@
+(* Instrumentation hook registry — the seam where correctness tools
+   attach. Registering hooks is the simulator's analogue of compiling
+   the application with a sanitizer pass: allocation events feed TSan's
+   allocator interception and TypeART's tracking; read/write events are
+   the loads/stores TSan's compiler pass would instrument in host code. *)
+
+type t = {
+  on_alloc : Alloc.t -> unit;
+  on_free : Alloc.t -> unit;
+  on_read : Ptr.t -> int -> unit; (* host load of [bytes] *)
+  on_write : Ptr.t -> int -> unit; (* host store of [bytes] *)
+}
+
+let nil =
+  {
+    on_alloc = ignore;
+    on_free = ignore;
+    on_read = (fun _ _ -> ());
+    on_write = (fun _ _ -> ());
+  }
+
+let registered : t list ref = ref []
+
+(* Fast path flag: vanilla runs must not pay for instrumentation. *)
+let any = ref false
+
+let add h =
+  registered := h :: !registered;
+  any := true
+
+let clear () =
+  registered := [];
+  any := false
+
+let fire_alloc a = if !any then List.iter (fun h -> h.on_alloc a) !registered
+let fire_free a = if !any then List.iter (fun h -> h.on_free a) !registered
+
+let fire_read p n =
+  if !any then List.iter (fun h -> h.on_read p n) !registered
+
+let fire_write p n =
+  if !any then List.iter (fun h -> h.on_write p n) !registered

@@ -1,0 +1,30 @@
+(** Instrumentation hook registry — the seam where correctness tools
+    attach to the simulated address space.
+
+    Registering hooks is the simulator's analogue of compiling the
+    application with a sanitizer pass: allocation events feed TSan's
+    allocator interception and TypeART's tracking; read/write events are
+    the loads/stores TSan's compiler pass would instrument in host
+    code. *)
+
+type t = {
+  on_alloc : Alloc.t -> unit;
+  on_free : Alloc.t -> unit;
+  on_read : Ptr.t -> int -> unit;  (** host load of [n] bytes *)
+  on_write : Ptr.t -> int -> unit;  (** host store of [n] bytes *)
+}
+
+val nil : t
+(** All callbacks no-ops; useful with record update syntax. *)
+
+val any : bool ref
+(** Whether any hook is registered — the fast-path check uninstrumented
+    ("vanilla") runs pay. *)
+
+val add : t -> unit
+val clear : unit -> unit
+
+val fire_alloc : Alloc.t -> unit
+val fire_free : Alloc.t -> unit
+val fire_read : Ptr.t -> int -> unit
+val fire_write : Ptr.t -> int -> unit

@@ -1,0 +1,38 @@
+(* Memory spaces of the simulated unified virtual address space.
+
+   CUDA-aware MPI libraries rely on UVA to tell host from device
+   pointers; the allocation kind also decides implicit synchronization
+   behaviour of CUDA memory operations (paper, Section III-C). *)
+
+type t =
+  | Host_pageable  (* malloc *)
+  | Host_pinned    (* cudaHostAlloc: page-locked host memory *)
+  | Device         (* cudaMalloc *)
+  | Managed        (* cudaMallocManaged: migrated on demand *)
+
+let to_string = function
+  | Host_pageable -> "host-pageable"
+  | Host_pinned -> "host-pinned"
+  | Device -> "device"
+  | Managed -> "managed"
+
+let pp = Fmt.of_to_string to_string
+
+(* Can host code dereference such a pointer directly? *)
+let host_accessible = function
+  | Host_pageable | Host_pinned | Managed -> true
+  | Device -> false
+
+(* Can device code (kernels) dereference such a pointer? Pinned memory
+   is only device-accessible when mapped; we model the common case where
+   kernels work on device or managed memory. *)
+let device_accessible = function
+  | Device | Managed -> true
+  | Host_pageable | Host_pinned -> false
+
+(* UVA pointer attribute as reported by cuPointerGetAttribute: is the
+   memory physically reachable by the device (CUDA-aware MPI uses this
+   to select the transfer path)? *)
+let is_device_memory = function
+  | Device | Managed -> true
+  | Host_pageable | Host_pinned -> false

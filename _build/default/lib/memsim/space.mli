@@ -1,0 +1,25 @@
+(** Memory spaces of the simulated unified virtual address space (UVA).
+
+    CUDA-aware MPI libraries rely on UVA to tell host from device
+    pointers; the allocation kind also decides the implicit
+    synchronization behaviour of CUDA memory operations (paper,
+    Section III-C). *)
+
+type t =
+  | Host_pageable  (** plain [malloc] *)
+  | Host_pinned  (** [cudaHostAlloc]: page-locked host memory *)
+  | Device  (** [cudaMalloc] *)
+  | Managed  (** [cudaMallocManaged]: migrated on demand *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val host_accessible : t -> bool
+(** Can host code dereference such a pointer directly? *)
+
+val device_accessible : t -> bool
+(** Can device code (kernels) dereference such a pointer? *)
+
+val is_device_memory : t -> bool
+(** The UVA pointer attribute CUDA-aware MPI queries via
+    [cuPointerGetAttribute] to pick the transfer path. *)

@@ -1,0 +1,1 @@
+lib/mpisim/comm.ml: Array Bytes Fmt Hashtbl List Memsim Request Sched

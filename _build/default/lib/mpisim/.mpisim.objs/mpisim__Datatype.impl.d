@@ -1,0 +1,1 @@
+lib/mpisim/datatype.ml: Fmt Typeart

@@ -1,0 +1,1 @@
+lib/mpisim/hooks.ml: Datatype List Memsim Request Win

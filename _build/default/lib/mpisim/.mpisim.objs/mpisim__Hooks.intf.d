@@ -1,0 +1,1 @@
+lib/mpisim/hooks.mli: Datatype Memsim Request Win

@@ -1,0 +1,1 @@
+lib/mpisim/mpi.ml: Access Alloc Array Bytes Comm Datatype Float Fmt Hooks List Memsim Option Ptr Request Sched Typeart Win

@@ -1,0 +1,1 @@
+lib/mpisim/mpi.mli: Comm Datatype Memsim Request Win

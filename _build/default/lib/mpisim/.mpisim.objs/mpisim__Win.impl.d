@@ -1,0 +1,1 @@
+lib/mpisim/win.ml: Array Fmt Memsim

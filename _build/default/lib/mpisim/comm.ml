@@ -1,0 +1,179 @@
+(* Communicator state: pending message queues with MPI's non-overtaking
+   matching order, posted receives, and round-based collectives. All
+   matching is driven by the receiving side via [progress]. *)
+
+let any_source = -1
+let any_tag = -1
+
+type message = {
+  m_src : int;
+  m_dst : int;
+  m_tag : int;
+  m_data : Bytes.t; (* eager snapshot taken at the send call *)
+  m_seq : int; (* arrival order, for FIFO matching *)
+  mutable m_delivered : bool; (* set at match; MPI_Ssend waits on this *)
+}
+
+type posted_recv = {
+  r_req : Request.t;
+  r_src : int; (* may be [any_source] *)
+  r_tag : int; (* may be [any_tag] *)
+  p_seq : int; (* post order *)
+  mutable r_matched : bool;
+}
+
+type round = {
+  mutable contrib : int;
+  mutable readers : int;
+  mutable vals : float array;
+  mutable ivals : int array;
+  mutable ptrs : Memsim.Ptr.t option array; (* for window creation *)
+  mutable done_ : bool;
+}
+
+type t = {
+  size : int;
+  mutable msgs : message list; (* reverse arrival order *)
+  mutable recvs : posted_recv list; (* reverse post order *)
+  mutable next_seq : int;
+  cond : Sched.Scheduler.cond;
+  rounds : (int, round) Hashtbl.t;
+  coll_seq : int array; (* per-rank collective sequence number *)
+  mutable truncations : int;
+}
+
+exception Truncation of string
+exception Invalid_rank of int
+
+let create size =
+  {
+    size;
+    msgs = [];
+    recvs = [];
+    next_seq = 0;
+    cond = Sched.Scheduler.cond "mpi";
+    rounds = Hashtbl.create 8;
+    coll_seq = Array.make size 0;
+    truncations = 0;
+  }
+
+let check_rank t r = if r < 0 || r >= t.size then raise (Invalid_rank r)
+
+let deposit t ~src ~dst ~tag ~data =
+  check_rank t src;
+  check_rank t dst;
+  let m =
+    {
+      m_src = src;
+      m_dst = dst;
+      m_tag = tag;
+      m_data = data;
+      m_seq = t.next_seq;
+      m_delivered = false;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.msgs <- m :: t.msgs;
+  Sched.Scheduler.signal t.cond;
+  m
+
+let post_recv t req ~src ~tag =
+  if src <> any_source then check_rank t src;
+  let pr = { r_req = req; r_src = src; r_tag = tag; p_seq = t.next_seq; r_matched = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.recvs <- pr :: t.recvs;
+  pr
+
+let matches (pr : posted_recv) (m : message) =
+  m.m_dst = pr.r_req.Request.owner
+  && (pr.r_src = any_source || pr.r_src = m.m_src)
+  && (pr.r_tag = any_tag || pr.r_tag = m.m_tag)
+
+(* Deliver [m] into the posted receive's buffer: the simulated RDMA
+   transfer — raw bytes, invisible to the sanitizer's load/store
+   instrumentation, exactly the visibility gap MUST's annotations must
+   close (paper, Section II-B). *)
+let deliver t (pr : posted_recv) (m : message) =
+  let cap = Request.bytes pr.r_req in
+  let len = Bytes.length m.m_data in
+  if len > cap then begin
+    t.truncations <- t.truncations + 1;
+    raise
+      (Truncation
+         (Fmt.str "message of %d bytes into %d-byte receive (%a)" len cap
+            Request.pp pr.r_req))
+  end;
+  let dst = pr.r_req.Request.buf in
+  Memsim.Ptr.check dst len;
+  Bytes.blit m.m_data 0 dst.Memsim.Ptr.alloc.Memsim.Alloc.data
+    dst.Memsim.Ptr.off len;
+  m.m_delivered <- true;
+  pr.r_matched <- true;
+  pr.r_req.Request.complete <- true
+
+(* Match posted receives (in post order) against pending messages (in
+   arrival order) until a fixpoint. *)
+let progress t =
+  let again = ref true in
+  while !again do
+    again := false;
+    let recvs_in_order = List.rev t.recvs in
+    let msgs_in_order = List.rev t.msgs in
+    match
+      List.find_map
+        (fun pr ->
+          if pr.r_matched then None
+          else
+            match List.find_opt (fun m -> matches pr m) msgs_in_order with
+            | Some m -> Some (pr, m)
+            | None -> None)
+        recvs_in_order
+    with
+    | Some (pr, m) ->
+        deliver t pr m;
+        t.msgs <- List.filter (fun m' -> m'.m_seq <> m.m_seq) t.msgs;
+        t.recvs <- List.filter (fun p -> not p.r_matched) t.recvs;
+        again := true;
+        Sched.Scheduler.signal t.cond
+    | None -> ()
+  done
+
+(* --- collectives ------------------------------------------------------- *)
+
+let round_of t rank =
+  let seq = t.coll_seq.(rank) in
+  t.coll_seq.(rank) <- seq + 1;
+  let r =
+    match Hashtbl.find_opt t.rounds seq with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            contrib = 0;
+            readers = 0;
+            vals = [||];
+            ivals = [||];
+            ptrs = Array.make t.size None;
+            done_ = false;
+          }
+        in
+        Hashtbl.replace t.rounds seq r;
+        r
+  in
+  (seq, r)
+
+(* Generic collective skeleton: every rank contributes, the last arrival
+   completes the round, then every rank extracts the result. *)
+let collective t rank ~contribute ~extract =
+  let seq, r = round_of t rank in
+  contribute r;
+  r.contrib <- r.contrib + 1;
+  if r.contrib = t.size then begin
+    r.done_ <- true;
+    Sched.Scheduler.signal t.cond
+  end
+  else Sched.Scheduler.wait_until t.cond (fun () -> r.done_);
+  let v = extract r in
+  r.readers <- r.readers + 1;
+  if r.readers = t.size then Hashtbl.remove t.rounds seq;
+  v

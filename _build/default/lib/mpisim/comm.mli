@@ -1,0 +1,67 @@
+(** Communicator state: pending message queues with MPI's non-overtaking
+    matching order, posted receives, and round-based collectives.
+    Matching is driven by the receiving side via {!progress}. *)
+
+val any_source : int
+val any_tag : int
+
+type message = {
+  m_src : int;
+  m_dst : int;
+  m_tag : int;
+  m_data : Bytes.t;  (** eager snapshot taken at the send call *)
+  m_seq : int;  (** arrival order, for FIFO matching *)
+  mutable m_delivered : bool;  (** set at match; MPI_Ssend waits on this *)
+}
+
+type posted_recv = {
+  r_req : Request.t;
+  r_src : int;  (** may be {!any_source} *)
+  r_tag : int;  (** may be {!any_tag} *)
+  p_seq : int;  (** post order *)
+  mutable r_matched : bool;
+}
+
+type round = {
+  mutable contrib : int;  (** ranks that contributed so far *)
+  mutable readers : int;  (** ranks that extracted the result *)
+  mutable vals : float array;  (** float payload (reductions, gathers) *)
+  mutable ivals : int array;
+  mutable ptrs : Memsim.Ptr.t option array;  (** window creation payload *)
+  mutable done_ : bool;
+}
+(** State of one collective round. *)
+
+type t = {
+  size : int;
+  mutable msgs : message list;
+  mutable recvs : posted_recv list;
+  mutable next_seq : int;
+  cond : Sched.Scheduler.cond;  (** signalled on every matching event *)
+  rounds : (int, round) Hashtbl.t;
+  coll_seq : int array;  (** per-rank collective sequence number *)
+  mutable truncations : int;
+}
+
+exception Truncation of string
+(** A matched message exceeds the posted receive's capacity
+    (MPI_ERR_TRUNCATE). *)
+
+exception Invalid_rank of int
+
+val create : int -> t
+val check_rank : t -> int -> unit
+
+val deposit : t -> src:int -> dst:int -> tag:int -> data:Bytes.t -> message
+(** Add a message to the pending queue and wake waiters. *)
+
+val post_recv : t -> Request.t -> src:int -> tag:int -> posted_recv
+
+val progress : t -> unit
+(** Match posted receives (in post order) against pending messages (in
+    arrival order) until a fixpoint, delivering payloads by raw copy
+    (simulated RDMA — invisible to instrumented loads/stores). *)
+
+val collective : t -> int -> contribute:(round -> unit) -> extract:(round -> 'a) -> 'a
+(** Generic collective skeleton: every rank contributes, the last
+    arrival completes the round, then every rank extracts. *)

@@ -1,0 +1,23 @@
+(* MPI datatypes. Each carries the element layout TypeART compares
+   against the allocation's recorded type during MUST's datatype check. *)
+
+type t = { name : string; elem : Typeart.Typedb.ty; size : int }
+
+let make name elem = { name; elem; size = Typeart.Typedb.sizeof elem }
+
+let double = make "MPI_DOUBLE" Typeart.Typedb.F64
+let float_ = make "MPI_FLOAT" Typeart.Typedb.F32
+let int_ = make "MPI_INT" Typeart.Typedb.I32
+let int64 = make "MPI_INT64_T" Typeart.Typedb.I64
+let byte = make "MPI_BYTE" Typeart.Typedb.I8
+
+(* A derived contiguous datatype of [n] base elements, as created by
+   MPI_Type_contiguous. *)
+let contiguous n base =
+  {
+    name = Fmt.str "contiguous(%d,%s)" n base.name;
+    elem = base.elem;
+    size = n * base.size;
+  }
+
+let pp ppf t = Fmt.string ppf t.name

@@ -1,0 +1,27 @@
+(** MPI datatypes. Each carries the element layout TypeART compares
+    against the allocation's recorded type during MUST's datatype
+    check. *)
+
+type t = {
+  name : string;
+  elem : Typeart.Typedb.ty;  (** element layout *)
+  size : int;  (** bytes per element (or per derived block) *)
+}
+
+val make : string -> Typeart.Typedb.ty -> t
+
+val double : t  (** MPI_DOUBLE *)
+
+val float_ : t  (** MPI_FLOAT *)
+
+val int_ : t  (** MPI_INT *)
+
+val int64 : t  (** MPI_INT64_T *)
+
+val byte : t  (** MPI_BYTE *)
+
+val contiguous : int -> t -> t
+(** [contiguous n base]: a derived datatype of [n] base elements, as
+    created by [MPI_Type_contiguous]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+(* PMPI-style interception: tools (MUST) register a callback and observe
+   every MPI call with its arguments, before and after execution. *)
+
+type phase = Pre | Post
+
+type call =
+  | Init
+  | Finalize
+  | Send of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; dst : int; tag : int }
+  | Ssend of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; dst : int; tag : int }
+  | Recv of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; src : int; tag : int }
+  | Isend of { req : Request.t }
+  | Irecv of { req : Request.t }
+  | Wait of { req : Request.t }
+  | Waitall of { reqs : Request.t list }
+  | Test of { req : Request.t; completed : bool }
+  | Barrier
+  | Allreduce of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+    }
+  | Bcast of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; root : int }
+  | Reduce of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      root : int;
+    }
+  | Allgather of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int; (* elements contributed per rank *)
+      dt : Datatype.t;
+    }
+  | Gather of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      root : int;
+    }
+  | Scatter of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int; (* elements received per rank *)
+      dt : Datatype.t;
+      root : int;
+    }
+  | Win_create of { win : Win.t; buf : Memsim.Ptr.t; bytes : int }
+  | Win_fence of { win : Win.t }
+  | Win_free of { win : Win.t }
+  | Rma_put of {
+      win : Win.t;
+      buf : Memsim.Ptr.t; (* origin buffer *)
+      count : int;
+      dt : Datatype.t;
+      target : int;
+      disp : int; (* target displacement, in elements of [dt] *)
+    }
+  | Rma_get of {
+      win : Win.t;
+      buf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      target : int;
+      disp : int;
+    }
+  | Rma_accumulate of {
+      win : Win.t;
+      buf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      target : int;
+      disp : int;
+    }
+
+let call_name = function
+  | Init -> "MPI_Init"
+  | Finalize -> "MPI_Finalize"
+  | Send _ -> "MPI_Send"
+  | Ssend _ -> "MPI_Ssend"
+  | Recv _ -> "MPI_Recv"
+  | Isend _ -> "MPI_Isend"
+  | Irecv _ -> "MPI_Irecv"
+  | Wait _ -> "MPI_Wait"
+  | Waitall _ -> "MPI_Waitall"
+  | Test _ -> "MPI_Test"
+  | Barrier -> "MPI_Barrier"
+  | Allreduce _ -> "MPI_Allreduce"
+  | Bcast _ -> "MPI_Bcast"
+  | Reduce _ -> "MPI_Reduce"
+  | Allgather _ -> "MPI_Allgather"
+  | Gather _ -> "MPI_Gather"
+  | Scatter _ -> "MPI_Scatter"
+  | Win_create _ -> "MPI_Win_create"
+  | Win_fence _ -> "MPI_Win_fence"
+  | Win_free _ -> "MPI_Win_free"
+  | Rma_put _ -> "MPI_Put"
+  | Rma_get _ -> "MPI_Get"
+  | Rma_accumulate _ -> "MPI_Accumulate"
+
+let registered : (rank:int -> phase -> call -> unit) list ref = ref []
+let any = ref false
+
+let add f =
+  registered := f :: !registered;
+  any := true
+
+let clear () =
+  registered := [];
+  any := false
+
+let fire ~rank phase call =
+  if !any then List.iter (fun f -> f ~rank phase call) !registered

@@ -1,0 +1,89 @@
+(** PMPI-style interception: tools (MUST) register a callback and
+    observe every MPI call with its arguments, before and after
+    execution. *)
+
+type phase = Pre | Post
+
+type call =
+  | Init
+  | Finalize
+  | Send of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; dst : int; tag : int }
+  | Ssend of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; dst : int; tag : int }
+  | Recv of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; src : int; tag : int }
+  | Isend of { req : Request.t }
+  | Irecv of { req : Request.t }
+  | Wait of { req : Request.t }
+  | Waitall of { reqs : Request.t list }
+  | Test of { req : Request.t; completed : bool }
+  | Barrier
+  | Allreduce of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+    }
+  | Bcast of { buf : Memsim.Ptr.t; count : int; dt : Datatype.t; root : int }
+  | Reduce of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      root : int;
+    }
+  | Allgather of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+    }
+  | Gather of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      root : int;
+    }
+  | Scatter of {
+      sendbuf : Memsim.Ptr.t;
+      recvbuf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      root : int;
+    }
+  | Win_create of { win : Win.t; buf : Memsim.Ptr.t; bytes : int }
+  | Win_fence of { win : Win.t }
+  | Win_free of { win : Win.t }
+  | Rma_put of {
+      win : Win.t;
+      buf : Memsim.Ptr.t;  (** origin buffer *)
+      count : int;
+      dt : Datatype.t;
+      target : int;
+      disp : int;  (** target displacement in elements of [dt] *)
+    }
+  | Rma_get of {
+      win : Win.t;
+      buf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      target : int;
+      disp : int;
+    }
+  | Rma_accumulate of {
+      win : Win.t;
+      buf : Memsim.Ptr.t;
+      count : int;
+      dt : Datatype.t;
+      target : int;
+      disp : int;
+    }
+
+val call_name : call -> string
+(** The MPI function name, e.g. ["MPI_Isend"]. *)
+
+val any : bool ref
+(** Whether any hook is registered (fast-path check). *)
+
+val add : (rank:int -> phase -> call -> unit) -> unit
+val clear : unit -> unit
+val fire : rank:int -> phase -> call -> unit

@@ -1,0 +1,325 @@
+(* The user-facing MPI API of the simulator. Ranks run as deterministic
+   green threads; buffers are pointers into the simulated UVA address
+   space, so device pointers are legal arguments everywhere — this is a
+   CUDA-aware MPI (paper, Section III-D). Message payloads move as raw
+   bytes (simulated RDMA), invisible to instrumented loads/stores. *)
+
+module H = Hooks
+open Memsim
+
+type ctx = { rank : int; size : int; comm : Comm.t }
+
+let any_source = Comm.any_source
+let any_tag = Comm.any_tag
+
+exception Abort of string
+
+(* --- run --------------------------------------------------------------- *)
+
+let run ~nranks f =
+  if nranks <= 0 then invalid_arg "Mpi.run: nranks";
+  let comm = Comm.create nranks in
+  Sched.Scheduler.run
+    (List.init nranks (fun rank ->
+         ( Fmt.str "rank%d" rank,
+           fun () ->
+             let ctx = { rank; size = nranks; comm } in
+             H.fire ~rank H.Pre H.Init;
+             H.fire ~rank H.Post H.Init;
+             f ctx;
+             H.fire ~rank H.Pre H.Finalize;
+             ignore
+               (Comm.collective comm rank
+                  ~contribute:(fun _ -> ())
+                  ~extract:(fun _ -> ()));
+             H.fire ~rank H.Post H.Finalize )))
+
+(* --- point-to-point ----------------------------------------------------- *)
+
+let snapshot (buf : Ptr.t) bytes =
+  Ptr.check buf bytes;
+  Bytes.sub buf.Ptr.alloc.Alloc.data buf.Ptr.off bytes
+
+let send ctx ~buf ~count ~dt ~dst ~tag =
+  let call = H.Send { buf; count; dt; dst; tag } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let data = snapshot buf (count * dt.Datatype.size) in
+  ignore (Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data);
+  H.fire ~rank:ctx.rank H.Post call
+
+(* Synchronous send: returns only once the receiver has matched the
+   message (rendezvous protocol) — the variant whose misuse produces
+   classic send-send deadlocks. *)
+let ssend ctx ~buf ~count ~dt ~dst ~tag =
+  let call = H.Ssend { buf; count; dt; dst; tag } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let data = snapshot buf (count * dt.Datatype.size) in
+  let m = Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data in
+  Sched.Scheduler.wait_until ctx.comm.Comm.cond (fun () ->
+      m.Comm.m_delivered);
+  H.fire ~rank:ctx.rank H.Post call
+
+let isend ctx ~buf ~count ~dt ~dst ~tag =
+  let req =
+    Request.make ~kind:Request.Isend ~buf ~count ~dt ~peer:dst ~tag
+      ~owner:ctx.rank
+  in
+  H.fire ~rank:ctx.rank H.Pre (H.Isend { req });
+  (* Eager protocol: the payload leaves the buffer at the send call; the
+     request completes at MPI_Wait. *)
+  let data = snapshot buf (count * dt.Datatype.size) in
+  ignore (Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data);
+  H.fire ~rank:ctx.rank H.Post (H.Isend { req });
+  req
+
+let irecv ctx ~buf ~count ~dt ~src ~tag =
+  let req =
+    Request.make ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
+      ~owner:ctx.rank
+  in
+  H.fire ~rank:ctx.rank H.Pre (H.Irecv { req });
+  ignore (Comm.post_recv ctx.comm req ~src ~tag);
+  Comm.progress ctx.comm;
+  H.fire ~rank:ctx.rank H.Post (H.Irecv { req });
+  req
+
+let wait_complete ctx (req : Request.t) =
+  match req.Request.kind with
+  | Request.Isend -> req.Request.complete <- true
+  | Request.Irecv ->
+      Comm.progress ctx.comm;
+      Sched.Scheduler.wait_until ctx.comm.Comm.cond (fun () ->
+          Comm.progress ctx.comm;
+          req.Request.complete)
+
+let wait ctx req =
+  H.fire ~rank:ctx.rank H.Pre (H.Wait { req });
+  wait_complete ctx req;
+  H.fire ~rank:ctx.rank H.Post (H.Wait { req })
+
+let waitall ctx reqs =
+  H.fire ~rank:ctx.rank H.Pre (H.Waitall { reqs });
+  List.iter (wait_complete ctx) reqs;
+  H.fire ~rank:ctx.rank H.Post (H.Waitall { reqs })
+
+let test ctx (req : Request.t) =
+  Comm.progress ctx.comm;
+  if req.Request.kind = Request.Isend then req.Request.complete <- true;
+  let completed = req.Request.complete in
+  H.fire ~rank:ctx.rank H.Pre (H.Test { req; completed });
+  H.fire ~rank:ctx.rank H.Post (H.Test { req; completed });
+  completed
+
+let recv ctx ~buf ~count ~dt ~src ~tag =
+  let call = H.Recv { buf; count; dt; src; tag } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let req =
+    Request.make ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
+      ~owner:ctx.rank
+  in
+  ignore (Comm.post_recv ctx.comm req ~src ~tag);
+  wait_complete ctx req;
+  H.fire ~rank:ctx.rank H.Post call
+
+let sendrecv ctx ~sendbuf ~sendcount ~dst ~sendtag ~recvbuf ~recvcount ~src
+    ~recvtag ~dt =
+  send ctx ~buf:sendbuf ~count:sendcount ~dt ~dst ~tag:sendtag;
+  recv ctx ~buf:recvbuf ~count:recvcount ~dt ~src ~tag:recvtag
+
+(* --- collectives -------------------------------------------------------- *)
+
+type reduce_op = Sum | Prod | Min | Max
+
+let apply_op op a b =
+  match op with
+  | Sum -> a +. b
+  | Prod -> a *. b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let read_elems (buf : Ptr.t) count (dt : Datatype.t) =
+  match dt.Datatype.elem with
+  | Typeart.Typedb.F64 -> Array.init count (Access.raw_get_f64 buf)
+  | Typeart.Typedb.F32 -> Array.init count (Access.raw_get_f32 buf)
+  | Typeart.Typedb.I32 ->
+      Array.init count (fun i -> float_of_int (Access.raw_get_i32 buf i))
+  | _ ->
+      raise (Abort (Fmt.str "reduction on unsupported datatype %a" Datatype.pp dt))
+
+let write_elems (buf : Ptr.t) (dt : Datatype.t) vals =
+  match dt.Datatype.elem with
+  | Typeart.Typedb.F64 -> Array.iteri (Access.raw_set_f64 buf) vals
+  | Typeart.Typedb.F32 -> Array.iteri (Access.raw_set_f32 buf) vals
+  | Typeart.Typedb.I32 ->
+      Array.iteri (fun i v -> Access.raw_set_i32 buf i (int_of_float v)) vals
+  | _ -> assert false
+
+let barrier ctx =
+  H.fire ~rank:ctx.rank H.Pre H.Barrier;
+  Comm.collective ctx.comm ctx.rank ~contribute:(fun _ -> ()) ~extract:(fun _ -> ());
+  H.fire ~rank:ctx.rank H.Post H.Barrier
+
+let reduce_round ctx ~op ~sendbuf ~count ~dt =
+  Comm.collective ctx.comm ctx.rank
+    ~contribute:(fun r ->
+      let mine = read_elems sendbuf count dt in
+      if r.Comm.contrib = 0 then r.Comm.vals <- mine
+      else
+        Array.iteri (fun i v -> r.Comm.vals.(i) <- apply_op op r.Comm.vals.(i) v) mine)
+    ~extract:(fun r -> r.Comm.vals)
+
+let allreduce ctx ~sendbuf ~recvbuf ~count ~dt ~op =
+  let call = H.Allreduce { sendbuf; recvbuf; count; dt } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let vals = reduce_round ctx ~op ~sendbuf ~count ~dt in
+  write_elems recvbuf dt vals;
+  H.fire ~rank:ctx.rank H.Post call
+
+let reduce ctx ~sendbuf ~recvbuf ~count ~dt ~op ~root =
+  let call = H.Reduce { sendbuf; recvbuf; count; dt; root } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let vals = reduce_round ctx ~op ~sendbuf ~count ~dt in
+  if ctx.rank = root then write_elems recvbuf dt vals;
+  H.fire ~rank:ctx.rank H.Post call
+
+let allgather ctx ~sendbuf ~recvbuf ~count ~dt =
+  let call = H.Allgather { sendbuf; recvbuf; count; dt } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let all =
+    Comm.collective ctx.comm ctx.rank
+      ~contribute:(fun r ->
+        if Array.length r.Comm.vals = 0 then
+          r.Comm.vals <- Array.make (ctx.size * count) 0.;
+        let mine = read_elems sendbuf count dt in
+        Array.blit mine 0 r.Comm.vals (ctx.rank * count) count)
+      ~extract:(fun r -> r.Comm.vals)
+  in
+  write_elems recvbuf dt all;
+  H.fire ~rank:ctx.rank H.Post call
+
+let gather ctx ~sendbuf ~recvbuf ~count ~dt ~root =
+  let call = H.Gather { sendbuf; recvbuf; count; dt; root } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let all =
+    Comm.collective ctx.comm ctx.rank
+      ~contribute:(fun r ->
+        if Array.length r.Comm.vals = 0 then
+          r.Comm.vals <- Array.make (ctx.size * count) 0.;
+        let mine = read_elems sendbuf count dt in
+        Array.blit mine 0 r.Comm.vals (ctx.rank * count) count)
+      ~extract:(fun r -> r.Comm.vals)
+  in
+  if ctx.rank = root then write_elems recvbuf dt all;
+  H.fire ~rank:ctx.rank H.Post call
+
+let scatter ctx ~sendbuf ~recvbuf ~count ~dt ~root =
+  let call = H.Scatter { sendbuf; recvbuf; count; dt; root } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let all =
+    Comm.collective ctx.comm ctx.rank
+      ~contribute:(fun r ->
+        if ctx.rank = root then
+          r.Comm.vals <- read_elems sendbuf (ctx.size * count) dt)
+      ~extract:(fun r -> r.Comm.vals)
+  in
+  write_elems recvbuf dt (Array.sub all (ctx.rank * count) count);
+  H.fire ~rank:ctx.rank H.Post call
+
+(* --- one-sided communication (RMA, fence synchronization) --------------- *)
+
+(* Collective window creation: every rank exposes [buf] of [bytes];
+   handles are per-rank (sharing wid, buffers and fence schedule), like
+   MPI_Win handles referring to one window object. *)
+let win_create ctx ~buf ~bytes =
+  Ptr.check buf bytes;
+  let buffers, sizes, wid =
+    Comm.collective ctx.comm ctx.rank
+      ~contribute:(fun r ->
+        if Array.length r.Comm.ivals = 0 then begin
+          r.Comm.ivals <- Array.make ctx.size 0;
+          (* the first contributor draws the window id, so every rank's
+             handle refers to the same window *)
+          r.Comm.vals <- [| float_of_int !Win.next_wid |];
+          incr Win.next_wid
+        end;
+        r.Comm.ptrs.(ctx.rank) <- Some buf;
+        r.Comm.ivals.(ctx.rank) <- bytes)
+      ~extract:(fun r ->
+        ( Array.map Option.get r.Comm.ptrs,
+          Array.copy r.Comm.ivals,
+          int_of_float r.Comm.vals.(0) ))
+  in
+  let win = { Win.wid; buffers; sizes; epoch = 0; freed = false } in
+  let call = H.Win_create { win; buf; bytes } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  H.fire ~rank:ctx.rank H.Post call;
+  win
+
+(* Fence: closes the current access epoch and opens the next one. All
+   RMA issued before the fence is complete (at origin and target) once
+   it returns. *)
+let win_fence ctx (win : Win.t) =
+  Win.check_live win;
+  let call = H.Win_fence { win } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  Comm.collective ctx.comm ctx.rank ~contribute:(fun _ -> ()) ~extract:(fun _ -> ());
+  win.Win.epoch <- win.Win.epoch + 1;
+  H.fire ~rank:ctx.rank H.Post call
+
+let win_free ctx (win : Win.t) =
+  Win.check_live win;
+  let call = H.Win_free { win } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  Comm.collective ctx.comm ctx.rank ~contribute:(fun _ -> ()) ~extract:(fun _ -> ());
+  win.Win.freed <- true;
+  H.fire ~rank:ctx.rank H.Post call
+
+(* MPI_Put: one-sided write of [count] elements into the target rank's
+   window at element displacement [disp]. Data moves as raw bytes — the
+   RDMA transfer no load/store instrumentation can see. *)
+let put ctx (win : Win.t) ~buf ~count ~dt ~target ~disp =
+  let bytes = count * dt.Datatype.size in
+  let disp_bytes = disp * dt.Datatype.size in
+  Win.check_target win ~target ~disp_bytes ~bytes;
+  Ptr.check buf bytes;
+  let call = H.Rma_put { win; buf; count; dt; target; disp } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  Access.raw_blit ~src:buf ~dst:(Win.target_ptr win ~target ~disp_bytes) ~bytes;
+  H.fire ~rank:ctx.rank H.Post call
+
+(* MPI_Get: one-sided read from the target's window into [buf]. *)
+let get ctx (win : Win.t) ~buf ~count ~dt ~target ~disp =
+  let bytes = count * dt.Datatype.size in
+  let disp_bytes = disp * dt.Datatype.size in
+  Win.check_target win ~target ~disp_bytes ~bytes;
+  Ptr.check buf bytes;
+  let call = H.Rma_get { win; buf; count; dt; target; disp } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  Access.raw_blit ~src:(Win.target_ptr win ~target ~disp_bytes) ~dst:buf ~bytes;
+  H.fire ~rank:ctx.rank H.Post call
+
+(* MPI_Accumulate with MPI_SUM-style ops: concurrent accumulates to the
+   same location (same op) are legal per the MPI standard. *)
+let accumulate ctx (win : Win.t) ~buf ~count ~dt ~op ~target ~disp =
+  let bytes = count * dt.Datatype.size in
+  let disp_bytes = disp * dt.Datatype.size in
+  Win.check_target win ~target ~disp_bytes ~bytes;
+  let call = H.Rma_accumulate { win; buf; count; dt; target; disp } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let dst = Win.target_ptr win ~target ~disp_bytes in
+  let mine = read_elems buf count dt in
+  let theirs = read_elems dst count dt in
+  write_elems dst dt (Array.mapi (fun i v -> apply_op op v theirs.(i)) mine);
+  H.fire ~rank:ctx.rank H.Post call
+
+let bcast ctx ~buf ~count ~dt ~root =
+  let call = H.Bcast { buf; count; dt; root } in
+  H.fire ~rank:ctx.rank H.Pre call;
+  let vals =
+    Comm.collective ctx.comm ctx.rank
+      ~contribute:(fun r ->
+        if ctx.rank = root then r.Comm.vals <- read_elems buf count dt)
+      ~extract:(fun r -> r.Comm.vals)
+  in
+  if ctx.rank <> root then write_elems buf dt vals;
+  H.fire ~rank:ctx.rank H.Post call

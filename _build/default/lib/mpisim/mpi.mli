@@ -1,0 +1,183 @@
+(** The user-facing MPI API of the simulator.
+
+    Ranks run as deterministic green threads; buffers are pointers into
+    the simulated UVA address space, so device pointers are legal
+    arguments everywhere — this is a CUDA-aware MPI (paper, Section
+    III-D). Message payloads move as raw bytes (simulated RDMA),
+    invisible to instrumented loads/stores: MUST's annotations close
+    exactly that gap. *)
+
+type ctx = { rank : int; size : int; comm : Comm.t }
+(** Per-rank handle passed to the program ([MPI_COMM_WORLD] view). *)
+
+val any_source : int
+val any_tag : int
+
+exception Abort of string
+
+val run : nranks:int -> (ctx -> unit) -> unit
+(** Run one instance of the program per rank under the deterministic
+    scheduler. [MPI_Init]/[MPI_Finalize] events fire around the program,
+    and [MPI_Finalize] is collective.
+    @raise Sched.Scheduler.Deadlock when communication deadlocks. *)
+
+(** {1 Point-to-point}
+
+    [count] is in elements of the datatype [dt]; tags are non-negative
+    (or {!any_tag} for receives); matching is FIFO per (source, tag) —
+    MPI's non-overtaking rule. *)
+
+val send :
+  ctx -> buf:Memsim.Ptr.t -> count:int -> dt:Datatype.t -> dst:int -> tag:int -> unit
+(** Buffered (eager) send: the payload leaves the buffer immediately. *)
+
+val ssend :
+  ctx -> buf:Memsim.Ptr.t -> count:int -> dt:Datatype.t -> dst:int -> tag:int -> unit
+(** Synchronous send: returns only once the receiver matched the message
+    (rendezvous) — the variant whose misuse produces classic send-send
+    deadlocks. *)
+
+val recv :
+  ctx -> buf:Memsim.Ptr.t -> count:int -> dt:Datatype.t -> src:int -> tag:int -> unit
+(** Blocking receive; [count] is the capacity.
+    @raise Comm.Truncation when the matched message is larger. *)
+
+val isend :
+  ctx -> buf:Memsim.Ptr.t -> count:int -> dt:Datatype.t -> dst:int -> tag:int ->
+  Request.t
+
+val irecv :
+  ctx -> buf:Memsim.Ptr.t -> count:int -> dt:Datatype.t -> src:int -> tag:int ->
+  Request.t
+
+val wait : ctx -> Request.t -> unit
+val waitall : ctx -> Request.t list -> unit
+
+val test : ctx -> Request.t -> bool
+(** Non-blocking completion check; also drives matching progress. *)
+
+val sendrecv :
+  ctx ->
+  sendbuf:Memsim.Ptr.t ->
+  sendcount:int ->
+  dst:int ->
+  sendtag:int ->
+  recvbuf:Memsim.Ptr.t ->
+  recvcount:int ->
+  src:int ->
+  recvtag:int ->
+  dt:Datatype.t ->
+  unit
+
+(** {1 Collectives}
+
+    All ranks of the communicator must call collectives in the same
+    order. Reductions support f64, f32 and i32 datatypes. *)
+
+type reduce_op = Sum | Prod | Min | Max
+
+val barrier : ctx -> unit
+
+val allreduce :
+  ctx ->
+  sendbuf:Memsim.Ptr.t ->
+  recvbuf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  op:reduce_op ->
+  unit
+
+val reduce :
+  ctx ->
+  sendbuf:Memsim.Ptr.t ->
+  recvbuf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  op:reduce_op ->
+  root:int ->
+  unit
+
+val bcast : ctx -> buf:Memsim.Ptr.t -> count:int -> dt:Datatype.t -> root:int -> unit
+
+val allgather :
+  ctx ->
+  sendbuf:Memsim.Ptr.t ->
+  recvbuf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  unit
+(** Every rank contributes [count] elements; [recvbuf] receives
+    [size * count] elements ordered by rank. *)
+
+val gather :
+  ctx ->
+  sendbuf:Memsim.Ptr.t ->
+  recvbuf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  root:int ->
+  unit
+
+val scatter :
+  ctx ->
+  sendbuf:Memsim.Ptr.t ->
+  recvbuf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  root:int ->
+  unit
+(** The root's [sendbuf] holds [size * count] elements; each rank
+    receives its [count]-element slice. *)
+
+(** {1 One-sided communication (RMA)}
+
+    Active-target synchronization with fences: RMA operations are only
+    valid inside an access epoch opened and closed by {!win_fence};
+    target buffers must not be accessed locally while exposed, and
+    origin buffers must not be reused before the closing fence. MUST's
+    RMA extension detects violations of both rules. *)
+
+val win_create : ctx -> buf:Memsim.Ptr.t -> bytes:int -> Win.t
+(** Collective: every rank exposes [buf]. Handles are per-rank views of
+    one window object. *)
+
+val win_fence : ctx -> Win.t -> unit
+(** Collective: completes all RMA of the closing epoch at origins and
+    targets, and opens the next epoch. *)
+
+val win_free : ctx -> Win.t -> unit
+
+val put :
+  ctx ->
+  Win.t ->
+  buf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  target:int ->
+  disp:int ->
+  unit
+(** One-sided write into the target's window at element displacement
+    [disp]. Raw transfer, invisible to load/store instrumentation. *)
+
+val get :
+  ctx ->
+  Win.t ->
+  buf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  target:int ->
+  disp:int ->
+  unit
+
+val accumulate :
+  ctx ->
+  Win.t ->
+  buf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  op:reduce_op ->
+  target:int ->
+  disp:int ->
+  unit
+(** Concurrent accumulates to the same location with the same op are
+    legal per the MPI standard (modelled accordingly by MUST). *)

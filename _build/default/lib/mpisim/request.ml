@@ -1,0 +1,29 @@
+(* Non-blocking communication requests. *)
+
+type kind = Isend | Irecv
+
+type t = {
+  rid : int;
+  kind : kind;
+  buf : Memsim.Ptr.t;
+  count : int;
+  dt : Datatype.t;
+  peer : int; (* destination for Isend, source selector for Irecv *)
+  tag : int;
+  owner : int; (* posting rank *)
+  mutable complete : bool;
+}
+
+let next_rid = ref 0
+
+let make ~kind ~buf ~count ~dt ~peer ~tag ~owner =
+  let rid = !next_rid in
+  incr next_rid;
+  { rid; kind; buf; count; dt; peer; tag; owner; complete = false }
+
+let bytes t = t.count * t.dt.Datatype.size
+
+let pp ppf t =
+  Fmt.pf ppf "req#%d(%s,%s x%d,peer=%d,tag=%d)" t.rid
+    (match t.kind with Isend -> "Isend" | Irecv -> "Irecv")
+    t.dt.Datatype.name t.count t.peer t.tag

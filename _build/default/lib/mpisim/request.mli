@@ -1,0 +1,30 @@
+(** Non-blocking communication requests (MPI_Request). *)
+
+type kind = Isend | Irecv
+
+type t = {
+  rid : int;  (** globally unique id; MUST keys its fibers on this *)
+  kind : kind;
+  buf : Memsim.Ptr.t;
+  count : int;
+  dt : Datatype.t;
+  peer : int;  (** destination for Isend, source selector for Irecv *)
+  tag : int;
+  owner : int;  (** posting rank *)
+  mutable complete : bool;
+}
+
+val make :
+  kind:kind ->
+  buf:Memsim.Ptr.t ->
+  count:int ->
+  dt:Datatype.t ->
+  peer:int ->
+  tag:int ->
+  owner:int ->
+  t
+
+val bytes : t -> int
+(** The communication extent, [count * dt.size]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(* MPI one-sided communication windows (RMA, active-target fence
+   synchronization). A window exposes one buffer per rank; Put/Get/
+   Accumulate access a *target* rank's buffer directly — the one-sided
+   analogue of the DMA transfers MUST must annotate, with the extra
+   twist that the access lands in another process's memory.
+
+   The simulator applies RMA data movement immediately (one legal
+   execution: MPI only promises visibility at the closing fence); race
+   detection is annotation-based and independent of this choice. *)
+
+type t = {
+  wid : int;
+  buffers : Memsim.Ptr.t array; (* per rank; window base pointers *)
+  sizes : int array; (* per rank, bytes *)
+  mutable epoch : int; (* completed fences *)
+  mutable freed : bool;
+}
+
+let next_wid = ref 0
+
+exception Target_out_of_bounds of string
+exception Window_freed
+
+let check_live w = if w.freed then raise Window_freed
+
+let check_target w ~target ~disp_bytes ~bytes =
+  check_live w;
+  if target < 0 || target >= Array.length w.buffers then
+    raise (Target_out_of_bounds (Fmt.str "rank %d" target));
+  if disp_bytes < 0 || disp_bytes + bytes > w.sizes.(target) then
+    raise
+      (Target_out_of_bounds
+         (Fmt.str "win#%d rank %d: %d..%d of %d bytes" w.wid target disp_bytes
+            (disp_bytes + bytes) w.sizes.(target)))
+
+let target_ptr w ~target ~disp_bytes =
+  Memsim.Ptr.add_bytes w.buffers.(target) disp_bytes
+
+let pp ppf w = Fmt.pf ppf "win#%d(%d ranks)" w.wid (Array.length w.buffers)

@@ -1,0 +1,33 @@
+(** MPI one-sided communication windows (RMA, active-target fence
+    synchronization). A window exposes one buffer per rank;
+    Put/Get/Accumulate access a {e target} rank's buffer directly — the
+    one-sided analogue of the DMA transfers MUST must annotate, landing
+    in another process's memory.
+
+    The simulator applies RMA data movement immediately (one legal
+    execution: MPI only promises visibility at the closing fence); race
+    detection is annotation-based and independent of this choice. *)
+
+type t = {
+  wid : int;  (** globally consistent window id *)
+  buffers : Memsim.Ptr.t array;  (** per-rank window base pointers *)
+  sizes : int array;  (** per-rank window sizes, bytes *)
+  mutable epoch : int;  (** completed fences (per-rank handle view) *)
+  mutable freed : bool;
+}
+
+val next_wid : int ref
+
+exception Target_out_of_bounds of string
+exception Window_freed
+
+val check_live : t -> unit
+
+val check_target : t -> target:int -> disp_bytes:int -> bytes:int -> unit
+(** Validate a target-side access.
+    @raise Target_out_of_bounds
+    @raise Window_freed *)
+
+val target_ptr : t -> target:int -> disp_bytes:int -> Memsim.Ptr.t
+
+val pp : Format.formatter -> t -> unit

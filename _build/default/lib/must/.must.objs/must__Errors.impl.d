@@ -1,0 +1,1 @@
+lib/must/errors.ml: Fmt Typeart

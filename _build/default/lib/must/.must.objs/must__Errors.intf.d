@@ -1,0 +1,1 @@
+lib/must/errors.mli: Format Typeart

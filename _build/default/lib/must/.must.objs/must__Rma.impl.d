@@ -1,0 +1,1 @@
+lib/must/rma.ml: Fmt Hashtbl List Memsim Tsan

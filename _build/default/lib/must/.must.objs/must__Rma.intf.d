@@ -1,0 +1,1 @@
+lib/must/rma.mli: Memsim Tsan

@@ -1,0 +1,1 @@
+lib/must/runtime.ml: Errors Fmt List Memsim Mpisim Rma Tsan Typeart

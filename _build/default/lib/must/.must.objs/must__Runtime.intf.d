@@ -1,0 +1,1 @@
+lib/must/runtime.mli: Errors Mpisim Tsan

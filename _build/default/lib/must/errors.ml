@@ -1,0 +1,23 @@
+(* MUST's non-race findings: datatype mismatches and buffer overflows
+   found via TypeART (paper, Section II-C / Fig. 2). *)
+
+type kind =
+  | Type_mismatch of { expected : Typeart.Typedb.ty; actual : Typeart.Typedb.ty }
+  | Buffer_overflow of { have_bytes : int; need_bytes : int }
+  | Unknown_allocation
+
+type t = { rank : int; call : string; addr : int; kind : kind }
+
+let pp ppf t =
+  match t.kind with
+  | Type_mismatch { expected; actual } ->
+      Fmt.pf ppf
+        "MUST: rank %d, %s at 0x%x: buffer of type %a passed as MPI datatype of %a"
+        t.rank t.call t.addr Typeart.Typedb.pp actual Typeart.Typedb.pp expected
+  | Buffer_overflow { have_bytes; need_bytes } ->
+      Fmt.pf ppf
+        "MUST: rank %d, %s at 0x%x: communication of %d bytes exceeds the %d bytes remaining in the allocation"
+        t.rank t.call t.addr need_bytes have_bytes
+  | Unknown_allocation ->
+      Fmt.pf ppf "MUST: rank %d, %s at 0x%x: buffer is not a tracked allocation"
+        t.rank t.call t.addr

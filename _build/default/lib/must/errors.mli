@@ -1,0 +1,16 @@
+(** MUST's non-race findings: datatype mismatches and buffer overflows
+    found via TypeART (paper, Section II-C / Fig. 2). *)
+
+type kind =
+  | Type_mismatch of { expected : Typeart.Typedb.ty; actual : Typeart.Typedb.ty }
+      (** the buffer's recorded element type differs from the MPI
+          datatype's *)
+  | Buffer_overflow of { have_bytes : int; need_bytes : int }
+      (** the declared communication extent exceeds what remains of the
+          allocation behind the buffer pointer *)
+  | Unknown_allocation
+      (** the buffer does not resolve to a tracked allocation *)
+
+type t = { rank : int; call : string; addr : int; kind : kind }
+
+val pp : Format.formatter -> t -> unit

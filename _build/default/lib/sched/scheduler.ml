@@ -1,0 +1,139 @@
+(* Deterministic cooperative scheduler built on OCaml 5 effect handlers.
+
+   Each task is a green thread. Tasks run until they [yield], [wait] on a
+   condition, or return. The run queue is FIFO, so for a fixed program the
+   interleaving is fully deterministic — a property the MPI simulator and
+   the correctness testsuite rely on.
+
+   A [wait]/[signal] pair is the only blocking primitive. When the run
+   queue drains while tasks are still blocked, the scheduler raises
+   [Deadlock] with the blocked tasks and the conditions they wait on;
+   the MPI simulator inherits deadlock detection from this for free. *)
+
+type cond = {
+  cond_name : string;
+  mutable waiters : waiter list; (* reverse arrival order *)
+}
+
+and waiter = { w_task : task; w_resume : (unit, unit) Effect.Deep.continuation }
+
+and task = {
+  t_name : string;
+  t_id : int;
+  mutable t_state : state;
+}
+
+and state = Runnable | Blocked of cond | Finished
+
+type t = {
+  runq : (task * (unit -> unit)) Queue.t;
+  mutable tasks : task list; (* reverse spawn order *)
+  mutable next_id : int;
+  mutable current : task option;
+}
+
+exception Deadlock of (string * string) list
+(** [(task, condition)] pairs for every task blocked when the run queue
+    drained. *)
+
+exception Not_in_scheduler
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Wait : cond -> unit Effect.t
+
+let instance : t option ref = ref None
+
+(* Observers notified each time a task is about to run. Correctness
+   tools use this to retarget per-thread state (e.g. the race detector's
+   current fiber) when the cooperative scheduler interleaves host
+   threads. *)
+let resume_hooks : (string -> int -> unit) list ref = ref []
+
+let on_resume f = resume_hooks := f :: !resume_hooks
+let clear_resume_hooks () = resume_hooks := []
+
+let get () = match !instance with Some s -> s | None -> raise Not_in_scheduler
+
+let cond name = { cond_name = name; waiters = [] }
+
+let yield () = Effect.perform Yield
+let wait c = Effect.perform (Wait c)
+
+let current_task () =
+  match (get ()).current with Some t -> t | None -> raise Not_in_scheduler
+
+let self () = (current_task ()).t_name
+let self_id () = (current_task ()).t_id
+
+(* Wake every waiter of [c]; they re-enter the run queue in arrival
+   order. Broadcast semantics: woken tasks must re-check their predicate. *)
+let signal c =
+  let s = get () in
+  let ws = List.rev c.waiters in
+  c.waiters <- [];
+  List.iter
+    (fun w ->
+      w.w_task.t_state <- Runnable;
+      Queue.push (w.w_task, fun () -> Effect.Deep.continue w.w_resume ()) s.runq)
+    ws
+
+let wait_until c pred =
+  while not (pred ()) do
+    wait c
+  done
+
+let spawn_in s name f =
+  let task = { t_name = name; t_id = s.next_id; t_state = Runnable } in
+  s.next_id <- s.next_id + 1;
+  s.tasks <- task :: s.tasks;
+  let thunk () =
+    Effect.Deep.match_with f ()
+      {
+        retc = (fun () -> task.t_state <- Finished);
+        exnc = (fun e -> task.t_state <- Finished; raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    Queue.push (task, fun () -> Effect.Deep.continue k ()) s.runq)
+            | Wait c ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    task.t_state <- Blocked c;
+                    c.waiters <- { w_task = task; w_resume = k } :: c.waiters)
+            | _ -> None);
+      }
+  in
+  Queue.push (task, thunk) s.runq
+
+(* Spawn a task dynamically from inside a running scheduler. *)
+let spawn name f = spawn_in (get ()) name f
+
+let run tasks =
+  (match !instance with
+  | Some _ -> invalid_arg "Scheduler.run: nested run"
+  | None -> ());
+  let s = { runq = Queue.create (); tasks = []; next_id = 0; current = None } in
+  instance := Some s;
+  let finish () = instance := None in
+  Fun.protect ~finally:finish (fun () ->
+      List.iter (fun (name, f) -> spawn_in s name f) tasks;
+      while not (Queue.is_empty s.runq) do
+        let task, thunk = Queue.pop s.runq in
+        s.current <- Some task;
+        List.iter (fun f -> f task.t_name task.t_id) !resume_hooks;
+        thunk ();
+        s.current <- None
+      done;
+      let blocked =
+        List.filter_map
+          (fun t ->
+            match t.t_state with
+            | Blocked c -> Some (t.t_name, c.cond_name)
+            | Runnable | Finished -> None)
+          (List.rev s.tasks)
+      in
+      if blocked <> [] then raise (Deadlock blocked))

@@ -1,0 +1,54 @@
+(** Deterministic cooperative scheduler.
+
+    Green threads ("tasks") run under a FIFO round-robin scheduler built
+    on OCaml 5 effect handlers. For a fixed program the interleaving is
+    fully deterministic. The MPI simulator runs one task per rank on top
+    of this module and inherits deadlock detection from it. *)
+
+type cond
+(** A condition variable tasks can block on. Signals are broadcasts:
+    woken tasks must re-check their predicate ([wait_until] does). *)
+
+exception Deadlock of (string * string) list
+(** Raised by {!run} when the run queue drains while tasks are still
+    blocked. Carries [(task name, condition name)] for each. *)
+
+exception Not_in_scheduler
+(** Raised when a scheduler operation is used outside {!run}. *)
+
+val cond : string -> cond
+(** [cond name] creates a fresh condition variable; [name] appears in
+    {!Deadlock} diagnostics. *)
+
+val run : (string * (unit -> unit)) list -> unit
+(** [run tasks] spawns each named task and schedules until all finish.
+    Exceptions from tasks propagate immediately. Not reentrant. *)
+
+val spawn : string -> (unit -> unit) -> unit
+(** Spawn an additional task from inside a running scheduler. *)
+
+val yield : unit -> unit
+(** Re-enqueue the current task at the back of the run queue. *)
+
+val wait : cond -> unit
+(** Block the current task until the condition is signalled. *)
+
+val wait_until : cond -> (unit -> bool) -> unit
+(** [wait_until c pred] blocks on [c] until [pred ()] holds. *)
+
+val signal : cond -> unit
+(** Wake every task blocked on the condition. *)
+
+val self : unit -> string
+(** Name of the current task. *)
+
+val self_id : unit -> int
+(** Spawn-order id of the current task. *)
+
+val on_resume : (string -> int -> unit) -> unit
+(** Register an observer called with the task's name and id each time a
+    task is about to run. Tools use this to retarget per-thread state
+    (e.g. the race detector's current fiber) across interleavings. *)
+
+val clear_resume_hooks : unit -> unit
+(** Remove all observers registered with {!on_resume}. *)

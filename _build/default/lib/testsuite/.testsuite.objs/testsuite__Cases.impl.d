@@ -1,0 +1,1 @@
+lib/testsuite/cases.ml: Cudasim Fmt Harness Kir List Memsim Mpisim Typeart

@@ -1,0 +1,1 @@
+lib/testsuite/runner.ml: Cases Cudasim Fmt Harness List Tsan

@@ -1,0 +1,488 @@
+(* The correctness testsuite, mirroring the paper's cusan-tests
+   (Section VI-C): a matrix of small CUDA-aware MPI programs, each
+   either correct or containing a data race, used to (i) verify the
+   detector and (ii) document which CUDA synchronization features are
+   supported and how they behave.
+
+   Axes:
+   - direction: cuda-to-mpi (kernel output communicated) with blocking
+     or non-blocking sends; mpi-to-cuda (non-blocking receive consumed
+     by a kernel); cuda-only (managed memory accessed by host code);
+     default-stream legacy semantics; cross-stream events.
+   - memory kind: device, managed, or pinned host staged via memcpy.
+   - synchronization: cudaDeviceSynchronize, cudaStreamSynchronize,
+     cudaEventSynchronize, a cudaStreamQuery busy-wait, a blocking
+     memcpy, cudaFree's implicit device sync — or, for the racy (_nok)
+     variants: none, synchronizing the wrong stream, or synchronizing
+     on an event recorded too early. *)
+
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+module Mpi = Mpisim.Mpi
+module R = Harness.Run
+
+type expect = Clean | Racy
+
+type case = {
+  name : string;
+  expect : expect;
+  descr : string;
+  app : R.app;
+}
+
+let n = 64 (* elements per buffer *)
+let f64 = Typeart.Typedb.F64
+
+(* --- device code -------------------------------------------------------- *)
+
+let write_func =
+  Kir.Dsl.(
+    func "ts_write" [ ptr "buf"; scalar "n" ]
+      [ if_ (tid <. p 1) [ store (p 0) tid (i2f tid +. f 0.5) ] [] ])
+
+let read_func =
+  Kir.Dsl.(
+    func "ts_read"
+      [ ptr "dst"; ptr "src"; scalar "n" ]
+      [ if_ (tid <. p 2) [ store (p 0) tid (load (p 1) tid *. f 2.) ] [] ])
+
+let noop_func = Kir.Dsl.(func "ts_noop" [ ptr "buf" ] [])
+
+let device_module =
+  Kir.Dsl.modul ~kernels:[ "ts_write"; "ts_read"; "ts_noop" ]
+    [ write_func; read_func; noop_func ]
+
+let kernel env name =
+  env.R.compile (Cudasim.Kernel.make ~kir:(device_module, name) name)
+
+(* --- synchronization methods --------------------------------------------- *)
+
+type sync =
+  | Dev_sync
+  | Stream_sync
+  | Event_sync
+  | Query_loop
+  | Event_query_loop
+  | Free_sync
+  | Memcpy_implicit
+  | No_sync
+  | Wrong_stream
+  | Stale_event
+  | Free_async_no_sync
+
+let sync_name = function
+  | Dev_sync -> "devicesync"
+  | Stream_sync -> "streamsync"
+  | Event_sync -> "eventsync"
+  | Query_loop -> "queryloop"
+  | Event_query_loop -> "eventqueryloop"
+  | Free_sync -> "freesync"
+  | Memcpy_implicit -> "memcpyimplicit"
+  | No_sync -> "nosync"
+  | Wrong_stream -> "wrongstream"
+  | Stale_event -> "staleevent"
+  | Free_async_no_sync -> "freeasync"
+
+let sync_expect = function
+  | Dev_sync | Stream_sync | Event_sync | Query_loop | Event_query_loop
+  | Free_sync | Memcpy_implicit ->
+      Clean
+  | No_sync | Wrong_stream | Stale_event | Free_async_no_sync -> Racy
+
+let sync_descr = function
+  | Dev_sync -> "cudaDeviceSynchronize before the MPI call"
+  | Stream_sync -> "cudaStreamSynchronize on the compute stream"
+  | Event_sync -> "cudaEventSynchronize on an event recorded after the kernel"
+  | Query_loop -> "busy-wait on cudaStreamQuery until completion"
+  | Event_query_loop -> "busy-wait on cudaEventQuery until the event completed"
+  | Free_sync -> "cudaFree of an unrelated buffer (device-wide implicit sync)"
+  | Memcpy_implicit ->
+      "blocking cudaMemcpy D2H on the same stream (implicit synchronization \
+       point)"
+  | No_sync -> "no synchronization at all"
+  | Wrong_stream -> "cudaStreamSynchronize on an unrelated stream"
+  | Stale_event -> "cudaEventSynchronize on an event recorded before the kernel"
+  | Free_async_no_sync ->
+      "cudaFreeAsync of an unrelated buffer (no device-wide sync, unlike \
+       cudaFree)"
+
+(* Run the chosen synchronization method on rank 0's compute stream.
+   [pre_kernel] hooks (stale event recording) are returned separately. *)
+let apply_sync env sync ~stream ~stale_event =
+  let dev = env.R.dev in
+  match sync with
+  | Dev_sync -> Dev.device_synchronize dev
+  | Stream_sync -> Dev.stream_synchronize dev stream
+  | Event_sync ->
+      let e = Dev.event_create dev in
+      Dev.event_record dev e stream;
+      Dev.event_synchronize dev e
+  | Query_loop ->
+      while not (Dev.stream_query dev stream) do
+        ()
+      done
+  | Event_query_loop ->
+      let e = Dev.event_create dev in
+      Dev.event_record dev e stream;
+      while not (Dev.event_query dev e) do
+        ()
+      done
+  | Free_sync ->
+      let scratch = Mem.cuda_malloc ~tag:"scratch" dev ~ty:f64 ~count:4 in
+      Mem.free dev scratch
+  | Memcpy_implicit ->
+      (* A blocking D2H copy on the same stream orders all prior stream
+         work before the host (paper, Section III-B2). The copied-from
+         scratch region is unrelated; it is the copy's synchronicity
+         that matters. *)
+      let scratch = Mem.cuda_malloc ~tag:"scratch" dev ~ty:f64 ~count:4 in
+      let h = Mem.cuda_host_alloc ~tag:"h_scratch" dev ~ty:f64 ~count:4 in
+      Mem.memcpy dev ~dst:h ~src:scratch ~bytes:32 ~stream ()
+  | No_sync -> ()
+  | Wrong_stream ->
+      let other = Dev.stream_create dev in
+      Dev.stream_synchronize dev other
+  | Stale_event -> (
+      match stale_event with
+      | Some e -> Dev.event_synchronize dev e
+      | None -> assert false)
+  | Free_async_no_sync ->
+      (* Unlike cudaFree, the async variant does not synchronize the
+         device — the data dependence stays unordered. *)
+      let scratch = Mem.cuda_malloc ~tag:"scratch" dev ~ty:f64 ~count:4 in
+      Mem.free_async dev stream scratch
+
+(* --- memory kinds ---------------------------------------------------------- *)
+
+type memkind = Dev_mem | Managed_mem | Pinned_staged
+
+let mem_name = function
+  | Dev_mem -> "device"
+  | Managed_mem -> "managed"
+  | Pinned_staged -> "pinned"
+
+(* --- program skeletons ------------------------------------------------------ *)
+
+(* Receiving side shared by the cuda-to-mpi cases: blocking receive into
+   device memory, then consume with a kernel (always correct). *)
+let receiver env =
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  let buf = Mem.cuda_malloc ~tag:"r_buf" dev ~ty:f64 ~count:n in
+  let out = Mem.cuda_malloc ~tag:"r_out" dev ~ty:f64 ~count:n in
+  let k_read = kernel env "ts_read" in
+  Mpi.recv ctx ~buf ~count:n ~dt:Mpisim.Datatype.double ~src:0 ~tag:7;
+  Dev.launch env.R.dev k_read ~grid:n
+    ~args:[| VPtr out; VPtr buf; VInt n |] ();
+  Dev.device_synchronize dev;
+  Mem.free dev buf;
+  Mem.free dev out
+
+(* cuda-to-mpi: rank 0 computes into [memkind] memory on a user stream
+   and communicates it with Send or Isend+Wait after [sync]. *)
+let cuda_to_mpi ~isend ~memkind ~sync : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let k_write = kernel env "ts_write" in
+    let stream = Dev.stream_create dev in
+    let dbuf =
+      match memkind with
+      | Dev_mem | Pinned_staged -> Mem.cuda_malloc ~tag:"d_buf" dev ~ty:f64 ~count:n
+      | Managed_mem -> Mem.cuda_malloc_managed ~tag:"m_buf" dev ~ty:f64 ~count:n
+    in
+    let stale_event =
+      if sync = Stale_event then begin
+        let e = Dev.event_create dev in
+        Dev.event_record dev e stream;
+        Some e
+      end
+      else None
+    in
+    Dev.launch dev k_write ~grid:n ~args:[| VPtr dbuf; VInt n |] ~stream ();
+    let sendbuf =
+      match memkind with
+      | Dev_mem | Managed_mem ->
+          apply_sync env sync ~stream ~stale_event;
+          dbuf
+      | Pinned_staged ->
+          (* Stage through pinned host memory with an async copy on the
+             same stream; the chosen sync must cover the copy, too. *)
+          let hbuf = Mem.cuda_host_alloc ~tag:"h_buf" dev ~ty:f64 ~count:n in
+          Mem.memcpy dev ~dst:hbuf ~src:dbuf ~bytes:(n * 8) ~async:true ~stream ();
+          apply_sync env sync ~stream ~stale_event;
+          hbuf
+    in
+    (if isend then begin
+       let req =
+         Mpi.isend ctx ~buf:sendbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1
+           ~tag:7
+       in
+       Mpi.wait ctx req
+     end
+     else Mpi.send ctx ~buf:sendbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:7);
+    Dev.device_synchronize dev;
+    Mem.free dev dbuf
+  end
+  else receiver env
+
+(* mpi-to-cuda: rank 1 posts a non-blocking receive and consumes the
+   buffer with a kernel; the variant decides whether MPI_Wait happens
+   before the kernel. *)
+type m2c_variant = Wait_first | Test_loop | Kernel_before_wait
+
+let m2c_name = function
+  | Wait_first -> "wait"
+  | Test_loop -> "testloop"
+  | Kernel_before_wait -> "nowait"
+
+let m2c_expect = function
+  | Wait_first | Test_loop -> Clean
+  | Kernel_before_wait -> Racy
+
+let mpi_to_cuda ~memkind ~variant : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let k_write = kernel env "ts_write" in
+    let dbuf = Mem.cuda_malloc ~tag:"s_buf" dev ~ty:f64 ~count:n in
+    Dev.launch dev k_write ~grid:n ~args:[| VPtr dbuf; VInt n |] ();
+    Dev.device_synchronize dev;
+    Mpi.send ctx ~buf:dbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:7;
+    Mem.free dev dbuf
+  end
+  else begin
+    let k_read = kernel env "ts_read" in
+    let buf =
+      match memkind with
+      | Dev_mem | Pinned_staged -> Mem.cuda_malloc ~tag:"r_buf" dev ~ty:f64 ~count:n
+      | Managed_mem -> Mem.cuda_malloc_managed ~tag:"r_buf" dev ~ty:f64 ~count:n
+    in
+    let out = Mem.cuda_malloc ~tag:"r_out" dev ~ty:f64 ~count:n in
+    let req =
+      Mpi.irecv ctx ~buf ~count:n ~dt:Mpisim.Datatype.double ~src:0 ~tag:7
+    in
+    let launch_read () =
+      Dev.launch dev k_read ~grid:n ~args:[| VPtr out; VPtr buf; VInt n |] ()
+    in
+    (match variant with
+    | Wait_first ->
+        Mpi.wait ctx req;
+        launch_read ()
+    | Test_loop ->
+        while not (Mpi.test ctx req) do
+          ()
+        done;
+        launch_read ()
+    | Kernel_before_wait ->
+        (* MPI semantics require the wait before dependent GPU work
+           (paper, Fig. 4 line 8); this violates it. *)
+        launch_read ();
+        Mpi.wait ctx req);
+    Dev.device_synchronize dev;
+    Mem.free dev buf;
+    Mem.free dev out
+  end
+
+(* cuda-only: host code reads managed memory a kernel wrote; no MPI
+   involved (detected by CuSan alone). *)
+let managed_host ~sync : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let k_write = kernel env "ts_write" in
+  let stream = Dev.stream_create dev in
+  let buf = Mem.cuda_malloc_managed ~tag:"m_buf" dev ~ty:f64 ~count:n in
+  let stale_event =
+    if sync = Stale_event then begin
+      let e = Dev.event_create dev in
+      Dev.event_record dev e stream;
+      Some e
+    end
+    else None
+  in
+  Dev.launch dev k_write ~grid:n ~args:[| VPtr buf; VInt n |] ~stream ();
+  apply_sync env sync ~stream ~stale_event;
+  (* Host access to managed memory: instrumented by TSan's pass. *)
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    s := !s +. Memsim.Access.get_f64 buf i
+  done;
+  ignore !s;
+  Dev.device_synchronize dev;
+  Mem.free dev buf
+
+(* default-stream legacy semantics: compute on a user stream, then rely
+   on a default-stream operation + sync to cover it. Correct for a
+   blocking user stream; racy for a non-blocking one (Fig. 3). *)
+let legacy_barrier ~nonblocking : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let k_write = kernel env "ts_write" in
+    let k_noop = kernel env "ts_noop" in
+    let flags = if nonblocking then Dev.Non_blocking else Dev.Blocking in
+    let stream = Dev.stream_create ~flags dev in
+    let dbuf = Mem.cuda_malloc ~tag:"d_buf" dev ~ty:f64 ~count:n in
+    Dev.launch dev k_write ~grid:n ~args:[| VPtr dbuf; VInt n |] ~stream ();
+    (* A kernel on the legacy default stream barriers on blocking user
+       streams; synchronizing the default stream then covers them. *)
+    Dev.launch dev k_noop ~grid:1 ~args:[| VPtr dbuf |] ();
+    Dev.stream_synchronize dev (Dev.default_stream dev);
+    Mpi.send ctx ~buf:dbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:7;
+    Dev.device_synchronize dev;
+    Mem.free dev dbuf
+  end
+  else receiver env
+
+(* cross-stream ordering via cudaStreamWaitEvent, then host sync on the
+   waiting stream only. *)
+let stream_wait_event_case : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let k_write = kernel env "ts_write" in
+    let a = Dev.stream_create dev and b = Dev.stream_create dev in
+    let dbuf = Mem.cuda_malloc ~tag:"d_buf" dev ~ty:f64 ~count:n in
+    Dev.launch dev k_write ~grid:n ~args:[| VPtr dbuf; VInt n |] ~stream:a ();
+    let e = Dev.event_create dev in
+    Dev.event_record dev e a;
+    Dev.stream_wait_event dev b e;
+    Dev.stream_synchronize dev b;
+    Mpi.send ctx ~buf:dbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:7;
+    Dev.device_synchronize dev;
+    Mem.free dev dbuf
+  end
+  else receiver env
+
+(* memsetAsync output communicated without synchronization: the memset
+   accesses memory on a stream, asynchronously w.r.t. the host. *)
+let memset_async_case ~sync : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let stream = Dev.stream_create dev in
+    let dbuf = Mem.cuda_malloc ~tag:"d_buf" dev ~ty:f64 ~count:n in
+    Mem.memset dev ~dst:dbuf ~bytes:(n * 8) ~value:0 ~async:true ~stream ();
+    apply_sync env sync ~stream ~stale_event:None;
+    Mpi.send ctx ~buf:dbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:7;
+    Dev.device_synchronize dev;
+    Mem.free dev dbuf
+  end
+  else receiver env
+
+(* --- the matrix -------------------------------------------------------------- *)
+
+let suffix = function Clean -> "" | Racy -> "_nok"
+
+let all () : case list =
+  let c2m =
+    List.concat_map
+      (fun isend ->
+        List.concat_map
+          (fun memkind ->
+            List.map
+              (fun sync ->
+                let expect = sync_expect sync in
+                {
+                  name =
+                    Fmt.str "cuda-to-mpi/%s_%s_%s%s"
+                      (if isend then "isend" else "send")
+                      (mem_name memkind) (sync_name sync) (suffix expect);
+                  expect;
+                  descr =
+                    Fmt.str "kernel writes %s memory; %s; %s"
+                      (mem_name memkind) (sync_descr sync)
+                      (if isend then "MPI_Isend + MPI_Wait" else "MPI_Send");
+                  app = cuda_to_mpi ~isend ~memkind ~sync;
+                })
+              [
+                Dev_sync; Stream_sync; Event_sync; Query_loop;
+                Event_query_loop; Free_sync; Memcpy_implicit; No_sync;
+                Wrong_stream; Stale_event; Free_async_no_sync;
+              ])
+          [ Dev_mem; Managed_mem; Pinned_staged ])
+      [ false; true ]
+  in
+  let m2c =
+    List.concat_map
+      (fun memkind ->
+        List.map
+          (fun variant ->
+            let expect = m2c_expect variant in
+            {
+              name =
+                Fmt.str "mpi-to-cuda/irecv_%s_%s%s" (mem_name memkind)
+                  (m2c_name variant) (suffix expect);
+              expect;
+              descr =
+                Fmt.str "MPI_Irecv into %s memory; kernel consumes it %s"
+                  (mem_name memkind)
+                  (match variant with
+                  | Wait_first -> "after MPI_Wait"
+                  | Test_loop -> "after a successful MPI_Test loop"
+                  | Kernel_before_wait -> "before MPI_Wait (racy)");
+              app = mpi_to_cuda ~memkind ~variant;
+            })
+          [ Wait_first; Test_loop; Kernel_before_wait ])
+      [ Dev_mem; Managed_mem ]
+  in
+  let cuda_only =
+    List.map
+      (fun sync ->
+        let expect = sync_expect sync in
+        {
+          name =
+            Fmt.str "cuda-only/managed_host_%s%s" (sync_name sync) (suffix expect);
+          expect;
+          descr =
+            Fmt.str "host reads managed memory a kernel wrote; %s" (sync_descr sync);
+          app = managed_host ~sync;
+        })
+      [ Dev_sync; Stream_sync; Event_sync; No_sync; Stale_event ]
+  in
+  let legacy =
+    [
+      {
+        name = "legacy/default_barrier_blocking";
+        expect = Clean;
+        descr =
+          "kernel on a blocking user stream, covered transitively by a \
+           default-stream kernel + default-stream sync (legacy barrier)";
+        app = legacy_barrier ~nonblocking:false;
+      };
+      {
+        name = "legacy/default_barrier_nonblocking_nok";
+        expect = Racy;
+        descr =
+          "same, but the user stream is non-blocking: the legacy barrier \
+           does not apply";
+        app = legacy_barrier ~nonblocking:true;
+      };
+      {
+        name = "legacy/stream_wait_event";
+        expect = Clean;
+        descr =
+          "cross-stream ordering via cudaStreamWaitEvent, host syncs the \
+           waiting stream only";
+        app = stream_wait_event_case;
+      };
+    ]
+  in
+  let memset =
+    List.map
+      (fun sync ->
+        let expect = sync_expect sync in
+        {
+          name = Fmt.str "cuda-to-mpi/memsetasync_%s%s" (sync_name sync) (suffix expect);
+          expect;
+          descr = Fmt.str "cudaMemsetAsync output communicated; %s" (sync_descr sync);
+          app = memset_async_case ~sync;
+        })
+      [ Stream_sync; Dev_sync; No_sync ]
+  in
+  c2m @ m2c @ cuda_only @ legacy @ memset

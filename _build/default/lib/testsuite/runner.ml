@@ -1,0 +1,41 @@
+(* Executes the testsuite: each case runs under MUST & CuSan (the full
+   stack) and the detector's verdict is compared with the case's ground
+   truth, like `make check-cutests` in the paper's artifact. *)
+
+type verdict = {
+  case : Cases.case;
+  detected : bool;
+  reports : (int * Tsan.Report.t) list;
+  pass : bool;
+}
+
+let run_case ?(mode = Cudasim.Device.Eager) ?annotation (case : Cases.case) =
+  let res =
+    Harness.Run.run ~nranks:2 ~mode ?annotation ~check_types:true
+      ~flavor:Harness.Flavor.Must_cusan case.Cases.app
+  in
+  let detected = Harness.Run.has_races res in
+  let expected = case.Cases.expect = Cases.Racy in
+  {
+    case;
+    detected;
+    reports = res.Harness.Run.races;
+    pass = detected = expected && res.Harness.Run.deadlock = None;
+  }
+
+let run_all ?mode ?annotation () =
+  List.map (run_case ?mode ?annotation) (Cases.all ())
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%s: CuSanTest :: %s (%s)"
+    (if v.pass then "PASS" else "FAIL")
+    v.case.Cases.name
+    (match (v.case.Cases.expect, v.detected) with
+    | Cases.Racy, true -> "race correctly reported"
+    | Cases.Racy, false -> "race MISSED"
+    | Cases.Clean, false -> "clean"
+    | Cases.Clean, true -> "FALSE POSITIVE")
+
+let summary verdicts =
+  let pass = List.length (List.filter (fun v -> v.pass) verdicts) in
+  (pass, List.length verdicts)

@@ -1,0 +1,1 @@
+lib/tsan/counters.ml: Fmt

@@ -1,0 +1,1 @@
+lib/tsan/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/tsan/detector.ml: Array Counters Epoch Fmt Fun Hashtbl List Obj Report Shadow Suppress Vclock

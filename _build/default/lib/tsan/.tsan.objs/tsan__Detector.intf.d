@@ -1,0 +1,1 @@
+lib/tsan/detector.mli: Counters Format Report

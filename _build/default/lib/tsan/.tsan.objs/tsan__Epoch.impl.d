@@ -1,0 +1,1 @@
+lib/tsan/epoch.ml: Fmt Vclock

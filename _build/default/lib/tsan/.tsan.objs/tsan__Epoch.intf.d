@@ -1,0 +1,1 @@
+lib/tsan/epoch.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/tsan/report.ml: Fmt

@@ -1,0 +1,1 @@
+lib/tsan/shadow.ml: Array Bytes Char Epoch Hashtbl Vclock

@@ -1,0 +1,1 @@
+lib/tsan/shadow.mli: Bytes Hashtbl Vclock

@@ -1,0 +1,1 @@
+lib/tsan/suppress.ml: List Report String

@@ -1,0 +1,1 @@
+lib/tsan/suppress.mli: Report

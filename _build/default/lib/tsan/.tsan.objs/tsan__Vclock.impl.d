@@ -1,0 +1,1 @@
+lib/tsan/vclock.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/tsan/vclock.mli: Format

@@ -1,0 +1,43 @@
+(* Event counters for the TSan-facing API, matching the "TSan" rows of
+   Table I in the paper. *)
+
+type t = {
+  mutable fiber_switches : int;
+  mutable happens_before : int;
+  mutable happens_after : int;
+  mutable read_ranges : int;
+  mutable write_ranges : int;
+  mutable read_bytes : int;
+  mutable write_bytes : int;
+}
+
+let create () =
+  {
+    fiber_switches = 0;
+    happens_before = 0;
+    happens_after = 0;
+    read_ranges = 0;
+    write_ranges = 0;
+    read_bytes = 0;
+    write_bytes = 0;
+  }
+
+let avg_kb total count = if count = 0 then 0. else float total /. float count /. 1024.
+
+let read_avg_kb t = avg_kb t.read_bytes t.read_ranges
+let write_avg_kb t = avg_kb t.write_bytes t.write_ranges
+
+let add ~into t =
+  into.fiber_switches <- into.fiber_switches + t.fiber_switches;
+  into.happens_before <- into.happens_before + t.happens_before;
+  into.happens_after <- into.happens_after + t.happens_after;
+  into.read_ranges <- into.read_ranges + t.read_ranges;
+  into.write_ranges <- into.write_ranges + t.write_ranges;
+  into.read_bytes <- into.read_bytes + t.read_bytes;
+  into.write_bytes <- into.write_bytes + t.write_bytes
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>Switch To Fiber        %8d@,AnnotateHappensBefore  %8d@,AnnotateHappensAfter   %8d@,Memory Read Range      %8d@,Memory Write Range     %8d@,Memory Read Size [avg KB]  %12.2f@,Memory Write Size [avg KB] %12.2f@]"
+    t.fiber_switches t.happens_before t.happens_after t.read_ranges
+    t.write_ranges (read_avg_kb t) (write_avg_kb t)

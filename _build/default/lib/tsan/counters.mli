@@ -1,0 +1,27 @@
+(** Event counters for the TSan-facing API, matching the "TSan" rows of
+    Table I in the paper (fiber switches, happens-before/after
+    annotations, range annotations and their sizes). *)
+
+type t = {
+  mutable fiber_switches : int;
+  mutable happens_before : int;
+  mutable happens_after : int;
+  mutable read_ranges : int;  (** number of [tsan_read_range] calls *)
+  mutable write_ranges : int;
+  mutable read_bytes : int;  (** total bytes covered by read ranges *)
+  mutable write_bytes : int;
+}
+
+val create : unit -> t
+
+val read_avg_kb : t -> float
+(** Average size of a read-range annotation in KB ("Memory Read Size
+    [avg KB]" of Table I). *)
+
+val write_avg_kb : t -> float
+
+val add : into:t -> t -> unit
+(** Accumulate [t] into [into] (aggregating ranks). *)
+
+val pp : Format.formatter -> t -> unit
+(** Table I layout. *)

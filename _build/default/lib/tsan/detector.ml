@@ -1,0 +1,325 @@
+(* The race detection engine: a FastTrack-style happens-before detector
+   offering the subset of the ThreadSanitizer API that MUST and CuSan
+   use — fibers, the AnnotateHappensBefore/After pair keyed by an
+   address, and tsan_read_range/tsan_write_range.
+
+   One detector instance corresponds to one process under TSan; the MPI
+   simulator creates one per rank. *)
+
+type fiber = {
+  tid : int;
+  name : string;
+  vc : Vclock.t;
+  mutable epoch : int; (* cached Epoch.pack tid vc.(tid) *)
+  mutable ctx : string list; (* innermost-first context ("stack") *)
+}
+
+type t = {
+  mutable fibers : fiber list; (* reverse creation order *)
+  mutable cur : fiber;
+  sync : (int, Vclock.t) Hashtbl.t;
+  shadow : Shadow.t;
+  counters : Counters.t;
+  suppressions : Suppress.t;
+  mutable reports : Report.t list; (* reverse detection order *)
+  mutable races_total : int; (* including deduplicated / over limit *)
+  seen : (string * [ `Read | `Write ] * string * [ `Read | `Write ], unit) Hashtbl.t;
+  origins : (string, int) Hashtbl.t;
+  mutable origin_names : string array;
+  mutable n_origins : int;
+  report_limit : int;
+  mutable next_tid : int;
+}
+
+let refresh_epoch f = f.epoch <- Epoch.pack ~tid:f.tid ~clock:(Vclock.get f.vc f.tid)
+
+let make_fiber t name =
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  let vc = Vclock.create () in
+  Vclock.set vc tid 1;
+  let f = { tid; name; vc; epoch = 0; ctx = [] } in
+  refresh_epoch f;
+  t.fibers <- f :: t.fibers;
+  f
+
+let create ?(granule = 8) ?(report_limit = 64) ?(suppressions = []) () =
+  let t =
+    {
+      fibers = [];
+      cur = Obj.magic 0 (* replaced below *);
+      sync = Hashtbl.create 64;
+      shadow = Shadow.create ~granule ();
+      counters = Counters.create ();
+      suppressions = Suppress.of_list suppressions;
+      reports = [];
+      races_total = 0;
+      seen = Hashtbl.create 16;
+      origins = Hashtbl.create 64;
+      origin_names = Array.make 16 "?";
+      n_origins = 0;
+      report_limit;
+      next_tid = 0;
+    }
+  in
+  let main = make_fiber t "main" in
+  t.cur <- main;
+  t
+
+(* --- origins -------------------------------------------------------- *)
+
+let intern_origin t s =
+  match Hashtbl.find_opt t.origins s with
+  | Some i -> i
+  | None ->
+      let i = t.n_origins in
+      if i >= Array.length t.origin_names then begin
+        let a = Array.make (2 * Array.length t.origin_names) "?" in
+        Array.blit t.origin_names 0 a 0 (Array.length t.origin_names);
+        t.origin_names <- a
+      end;
+      t.origin_names.(i) <- s;
+      t.n_origins <- i + 1;
+      Hashtbl.replace t.origins s i;
+      i
+
+let origin_name t i =
+  if i >= 0 && i < t.n_origins then t.origin_names.(i) else "?"
+
+let current_origin t =
+  match t.cur.ctx with [] -> t.cur.name | o :: _ -> o
+
+(* --- fibers ---------------------------------------------------------- *)
+
+let main_fiber t =
+  match List.rev t.fibers with f :: _ -> f | [] -> assert false
+
+let fiber_create t name = make_fiber t name
+
+(* Create a fiber that starts ordered after everything the current fiber
+   did so far — the semantics of thread creation (pthread_create
+   synchronizes parent and child). *)
+let fiber_create_inherit t name =
+  let f = make_fiber t name in
+  Vclock.join f.vc t.cur.vc;
+  Vclock.incr t.cur.vc t.cur.tid;
+  refresh_epoch t.cur;
+  f
+
+let current_fiber t = t.cur
+
+let switch_to_fiber t f =
+  (* A fiber switch is not a synchronization (paper, Section II-A). *)
+  t.counters.Counters.fiber_switches <- t.counters.Counters.fiber_switches + 1;
+  t.cur <- f
+
+(* Retarget the detector to a different fiber without recording a fiber
+   switch or synchronization: used when the *scheduler* moves between
+   host threads — a context the application did not create. *)
+let activate_fiber t f = t.cur <- f
+
+(* Fiber switch that also orders everything the current fiber did so far
+   before the target fiber's subsequent work (release from the source,
+   acquire into the target). CuSan and MUST use this when entering the
+   fiber of an operation the host just issued: the kernel launch or
+   request happens after the host code preceding it. *)
+let switch_to_fiber_sync t f =
+  t.counters.Counters.fiber_switches <- t.counters.Counters.fiber_switches + 1;
+  let src = t.cur in
+  Vclock.join f.vc src.vc;
+  Vclock.incr src.vc src.tid;
+  refresh_epoch src;
+  t.cur <- f
+
+let fiber_name f = f.name
+
+(* Push/pop a context label on the current fiber; stands in for TSan's
+   func_entry/func_exit stack tracking. *)
+let push_context t label = t.cur.ctx <- label :: t.cur.ctx
+
+let pop_context t =
+  match t.cur.ctx with [] -> () | _ :: rest -> t.cur.ctx <- rest
+
+let with_context t label f =
+  push_context t label;
+  Fun.protect ~finally:(fun () -> pop_context t) f
+
+(* --- synchronization ------------------------------------------------- *)
+
+(* Release: publish the current fiber's clock under [key] and advance
+   the fiber's own component so later accesses are not covered. *)
+let happens_before t key =
+  t.counters.Counters.happens_before <- t.counters.Counters.happens_before + 1;
+  let vc =
+    match Hashtbl.find_opt t.sync key with
+    | Some vc -> vc
+    | None ->
+        let vc = Vclock.create () in
+        Hashtbl.replace t.sync key vc;
+        vc
+  in
+  Vclock.join vc t.cur.vc;
+  Vclock.incr t.cur.vc t.cur.tid;
+  refresh_epoch t.cur
+
+(* Acquire: the current fiber learns everything published under [key]. *)
+let happens_after t key =
+  t.counters.Counters.happens_after <- t.counters.Counters.happens_after + 1;
+  match Hashtbl.find_opt t.sync key with
+  | None -> () (* wait with no prior signal: no-op, like TSan *)
+  | Some vc -> Vclock.join t.cur.vc vc
+
+(* --- race reporting -------------------------------------------------- *)
+
+let report t ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
+    ~prev_origin ~(prev_kind : [ `Read | `Write ]) =
+  t.races_total <- t.races_total + 1;
+  let prev_fiber =
+    match List.find_opt (fun f -> f.tid = Epoch.tid prev_epoch) t.fibers with
+    | Some f -> f.name
+    | None -> Fmt.str "fiber#%d" (Epoch.tid prev_epoch)
+  in
+  let r =
+    {
+      Report.addr;
+      bytes = granule;
+      current =
+        { Report.fiber = t.cur.name; kind = cur_kind; origin = current_origin t };
+      previous =
+        { Report.fiber = prev_fiber; kind = prev_kind; origin = origin_name t prev_origin };
+      location = !Report.symbolizer addr;
+    }
+  in
+  let key = Report.dedup_key r in
+  if (not (Hashtbl.mem t.seen key)) && not (Suppress.check t.suppressions r)
+  then begin
+    Hashtbl.replace t.seen key ();
+    if List.length t.reports < t.report_limit then t.reports <- r :: t.reports
+  end
+
+(* --- FastTrack core -------------------------------------------------- *)
+
+let check_write_hb t region i ~cur_kind =
+  let we = Array.unsafe_get region.Shadow.w_epoch i in
+  if not (Epoch.is_none we || Epoch.hb we t.cur.vc) then
+    report t
+      ~addr:(region.Shadow.base + (i * region.Shadow.granule))
+      ~granule:region.Shadow.granule ~cur_kind ~prev_epoch:we
+      ~prev_origin:(Array.unsafe_get region.Shadow.w_origin i)
+      ~prev_kind:`Write
+
+let write_cell t region i ~origin =
+  let cur = t.cur in
+  let e = cur.epoch in
+  if Array.unsafe_get region.Shadow.w_epoch i <> e then begin
+    (* write-write race? *)
+    check_write_hb t region i ~cur_kind:`Write;
+    (* read-write race? *)
+    let re = Array.unsafe_get region.Shadow.r_epoch i in
+    if re = Shadow.promoted then begin
+      (match Hashtbl.find_opt region.Shadow.read_vcs i with
+      | Some rvc -> (
+          match Vclock.find_gt rvc cur.vc with
+          | Some (rtid, rclk) ->
+              report t
+                ~addr:(region.Shadow.base + (i * region.Shadow.granule))
+                ~granule:region.Shadow.granule ~cur_kind:`Write
+                ~prev_epoch:(Epoch.pack ~tid:rtid ~clock:rclk)
+                ~prev_origin:(Array.unsafe_get region.Shadow.r_origin i)
+                ~prev_kind:`Read
+          | None -> ())
+      | None -> ());
+      Hashtbl.remove region.Shadow.read_vcs i
+    end
+    else if not (Epoch.is_none re || Epoch.hb re cur.vc) then
+      report t
+        ~addr:(region.Shadow.base + (i * region.Shadow.granule))
+        ~granule:region.Shadow.granule ~cur_kind:`Write ~prev_epoch:re
+        ~prev_origin:(Array.unsafe_get region.Shadow.r_origin i)
+        ~prev_kind:`Read;
+    Array.unsafe_set region.Shadow.w_epoch i e;
+    Array.unsafe_set region.Shadow.w_origin i origin;
+    Array.unsafe_set region.Shadow.r_epoch i Epoch.none
+  end
+
+let read_cell t region i ~origin =
+  let cur = t.cur in
+  let e = cur.epoch in
+  let re = Array.unsafe_get region.Shadow.r_epoch i in
+  if re <> e then begin
+    (* write-read race? *)
+    check_write_hb t region i ~cur_kind:`Read;
+    if re = Shadow.promoted then begin
+      (match Hashtbl.find_opt region.Shadow.read_vcs i with
+      | Some rvc -> Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid)
+      | None -> ());
+      Array.unsafe_set region.Shadow.r_origin i origin
+    end
+    else if Epoch.is_none re || Epoch.hb re cur.vc then begin
+      (* exclusive read: replace the epoch *)
+      Array.unsafe_set region.Shadow.r_epoch i e;
+      Array.unsafe_set region.Shadow.r_origin i origin
+    end
+    else begin
+      (* concurrent reads from several fibers: promote to a vector clock *)
+      let rvc = Vclock.create () in
+      Vclock.set rvc (Epoch.tid re) (Epoch.clock re);
+      Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid);
+      Hashtbl.replace region.Shadow.read_vcs i rvc;
+      Array.unsafe_set region.Shadow.r_epoch i Shadow.promoted;
+      Array.unsafe_set region.Shadow.r_origin i origin
+    end
+  end
+
+(* --- ranges ---------------------------------------------------------- *)
+
+let write_range t ~addr ~len =
+  if len > 0 then begin
+    t.counters.Counters.write_ranges <- t.counters.Counters.write_ranges + 1;
+    t.counters.Counters.write_bytes <- t.counters.Counters.write_bytes + len;
+    let region = Shadow.find_or_map t.shadow addr in
+    let lo, hi = Shadow.cell_range region ~addr ~len in
+    Shadow.touch_range t.shadow region ~lo ~hi;
+    let origin = intern_origin t (current_origin t) in
+    for i = lo to hi do
+      write_cell t region i ~origin
+    done
+  end
+
+let read_range t ~addr ~len =
+  if len > 0 then begin
+    t.counters.Counters.read_ranges <- t.counters.Counters.read_ranges + 1;
+    t.counters.Counters.read_bytes <- t.counters.Counters.read_bytes + len;
+    let region = Shadow.find_or_map t.shadow addr in
+    let lo, hi = Shadow.cell_range region ~addr ~len in
+    Shadow.touch_range t.shadow region ~lo ~hi;
+    let origin = intern_origin t (current_origin t) in
+    for i = lo to hi do
+      read_cell t region i ~origin
+    done
+  end
+
+(* --- allocator interception ------------------------------------------ *)
+
+let on_alloc t ~base ~size = ignore (Shadow.map t.shadow ~base ~size)
+let on_free t ~base = Shadow.unmap t.shadow ~base
+
+(* --- results --------------------------------------------------------- *)
+
+let races t = List.rev t.reports
+let race_count t = List.length t.reports
+let races_total t = t.races_total
+let counters t = t.counters
+let shadow_bytes t = Shadow.shadow_bytes t.shadow
+let shadow_bytes_peak t = Shadow.shadow_bytes_peak t.shadow
+let suppressed_count t = Suppress.suppressed_count t.suppressions
+
+let sync_bytes t =
+  Hashtbl.fold (fun _ vc acc -> acc + (8 * Vclock.size_words vc)) t.sync 0
+
+let pp_races ppf t =
+  match races t with
+  | [] -> Fmt.pf ppf "no data races detected"
+  | rs ->
+      Fmt.pf ppf "@[<v>%a@,== %d race report(s), %d raw race event(s)@]"
+        (Fmt.list ~sep:Fmt.cut Report.pp) rs (List.length rs) t.races_total

@@ -1,0 +1,24 @@
+(* FastTrack epochs: a (fiber id, clock) pair packed into one int.
+   Epoch 0 is "never accessed"; fiber ids therefore start at 0 but
+   clocks start at 1. *)
+
+let tid_shift = 42
+let clock_mask = (1 lsl tid_shift) - 1
+
+let none = 0
+
+let pack ~tid ~clock =
+  assert (clock > 0 && clock <= clock_mask);
+  (tid lsl tid_shift) lor clock
+
+let tid e = e lsr tid_shift
+let clock e = e land clock_mask
+
+let is_none e = e = 0
+
+(* Did the access at epoch [e] happen before the thread owning vector
+   clock [vc]? *)
+let hb e vc = clock e <= Vclock.get vc (tid e)
+
+let pp ppf e =
+  if is_none e then Fmt.string ppf "-" else Fmt.pf ppf "%d@%d" (tid e) (clock e)

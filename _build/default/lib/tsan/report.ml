@@ -1,0 +1,45 @@
+(* Data race reports. An access is described by the fiber that performed
+   it and an "origin": the interned context label active when the access
+   was annotated (e.g. "kernel:jacobi" or "MPI_Isend"), standing in for
+   the stack trace real TSan would print. *)
+
+type access = {
+  fiber : string;
+  kind : [ `Read | `Write ];
+  origin : string;
+}
+
+type t = {
+  addr : int;
+  bytes : int; (* granule size of the colliding shadow cell *)
+  current : access;
+  previous : access;
+  location : string option; (* symbolized allocation, e.g. "d_anew+256" *)
+}
+
+let kind_str = function `Read -> "read" | `Write -> "write"
+
+(* Resolves a raw address to a human-readable allocation description —
+   TSan's "Location is heap block ..." line. The harness points this at
+   the simulated heap; kept as a hook so the detector stays independent
+   of the memory simulator. *)
+let symbolizer : (int -> string option) ref = ref (fun _ -> None)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "WARNING: data race at 0x%x (%d bytes)@,  %s of size %d by fiber '%s' in %s@,  previous %s by fiber '%s' in %s"
+    t.addr t.bytes
+    (kind_str t.current.kind)
+    t.bytes t.current.fiber t.current.origin
+    (kind_str t.previous.kind)
+    t.previous.fiber t.previous.origin;
+  match t.location with
+  | Some loc -> Fmt.pf ppf "@,  location: %s" loc
+  | None -> ()
+
+let to_string t = Fmt.str "@[<v>%a@]" pp t
+
+(* Key used to deduplicate reports: the same pair of code locations
+   racing on many cells of one buffer is one finding. *)
+let dedup_key t =
+  (t.current.origin, t.current.kind, t.previous.origin, t.previous.kind)

@@ -1,0 +1,108 @@
+(* Shadow memory: per-allocation cell arrays recording the last write
+   epoch and the last read epoch (or a promoted read vector clock when
+   reads are shared between fibers), plus interned origins for reports.
+
+   The simulated address space spaces allocations 2^36 apart (see
+   Memsim.Alloc), so the region holding an address is found by one shift
+   and a hash lookup. Granularity is configurable: one cell covers
+   [granule] bytes; coarser granules cost less time and memory at the
+   price of detection precision (ablated in bench/). *)
+
+let slot_shift = 36
+
+type region = {
+  base : int;
+  size : int;
+  granule : int;
+  w_epoch : int array;
+  r_epoch : int array; (* -1 = promoted; look in [read_vcs] *)
+  w_origin : int array;
+  r_origin : int array;
+  read_vcs : (int, Vclock.t) Hashtbl.t;
+  touched : Bytes.t; (* bitset over 4 KiB shadow pages, see below *)
+  mutable touched_bytes : int;
+}
+
+(* Like real TSan, shadow is reserved per mapping but only *materializes*
+   (counts towards RSS) when an access touches it: one bit per 4 KiB
+   shadow page. This is what makes CuSan's whole-allocation annotations
+   of device pointers "the majority of memory usage" (paper, Section
+   V-A2) while plain TSan never pays for device memory the host cannot
+   touch. *)
+let cell_bytes = 4 * 8 (* four word arrays per cell *)
+let cells_per_page = 4096 / cell_bytes
+
+type t = {
+  regions : (int, region) Hashtbl.t;
+  granule : int;
+  mutable bytes : int; (* materialized shadow bytes *)
+  mutable bytes_peak : int;
+}
+
+let promoted = -1
+
+let create ?(granule = 8) () =
+  if granule <= 0 then invalid_arg "Shadow.create: granule";
+  { regions = Hashtbl.create 64; granule; bytes = 0; bytes_peak = 0 }
+
+let cells_of region = Array.length region.w_epoch
+
+let map t ~base ~size =
+  let n = max 1 ((size + t.granule - 1) / t.granule) in
+  let pages = ((n + cells_per_page - 1) / cells_per_page) + 1 in
+  let region =
+    {
+      base;
+      size;
+      granule = t.granule;
+      w_epoch = Array.make n Epoch.none;
+      r_epoch = Array.make n Epoch.none;
+      w_origin = Array.make n 0;
+      r_origin = Array.make n 0;
+      read_vcs = Hashtbl.create 4;
+      touched = Bytes.make ((pages + 7) / 8) '\000';
+      touched_bytes = 0;
+    }
+  in
+  Hashtbl.replace t.regions (base lsr slot_shift) region;
+  region
+
+(* Mark the shadow pages backing cells [lo..hi] as materialized. *)
+let touch_range t region ~lo ~hi =
+  let p0 = lo / cells_per_page and p1 = hi / cells_per_page in
+  for p = p0 to p1 do
+    let byte = p lsr 3 and bit = p land 7 in
+    let cur = Char.code (Bytes.unsafe_get region.touched byte) in
+    if cur land (1 lsl bit) = 0 then begin
+      Bytes.unsafe_set region.touched byte (Char.chr (cur lor (1 lsl bit)));
+      region.touched_bytes <- region.touched_bytes + 4096;
+      t.bytes <- t.bytes + 4096;
+      if t.bytes > t.bytes_peak then t.bytes_peak <- t.bytes
+    end
+  done
+
+let unmap t ~base =
+  match Hashtbl.find_opt t.regions (base lsr slot_shift) with
+  | None -> ()
+  | Some r ->
+      t.bytes <- t.bytes - r.touched_bytes;
+      Hashtbl.remove t.regions (base lsr slot_shift)
+
+let find t addr = Hashtbl.find_opt t.regions (addr lsr slot_shift)
+
+(* Find the region for [addr], mapping a fresh single-cell region for
+   addresses TSan never saw allocated (real TSan shadows everything). *)
+let find_or_map t addr =
+  match find t addr with
+  | Some r -> r
+  | None -> map t ~base:(addr land lnot ((1 lsl slot_shift) - 1)) ~size:t.granule
+
+(* Cell index range covering [addr, addr+len). *)
+let cell_range region ~addr ~len =
+  let lo = (addr - region.base) / region.granule in
+  let hi = (addr + len - 1 - region.base) / region.granule in
+  let last = cells_of region - 1 in
+  (max 0 (min lo last), max 0 (min hi last))
+
+let shadow_bytes t = t.bytes
+let shadow_bytes_peak t = t.bytes_peak

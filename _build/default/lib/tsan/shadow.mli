@@ -1,0 +1,70 @@
+(** Shadow memory: per-allocation cell arrays recording the last write
+    epoch and last read epoch (or a promoted read vector clock when
+    reads are shared between fibers), plus interned origins so race
+    reports can name the previous access.
+
+    Like real TSan, shadow is reserved per mapping but only
+    {e materializes} — counts towards the memory-overhead measurement —
+    when an access touches it, at 4 KiB shadow-page granularity. This is
+    what makes CuSan's whole-allocation device-pointer annotations "the
+    majority of memory usage" (paper, Section V-A2) while plain TSan
+    never pays for device memory the host cannot touch. *)
+
+val slot_shift : int
+(** Allocations are spaced [2^slot_shift] apart in the simulated address
+    space (see {!Memsim.Alloc}), so the region holding an address is one
+    shift and a table lookup away. *)
+
+type region = {
+  base : int;
+  size : int;
+  granule : int;  (** bytes covered by one cell *)
+  w_epoch : int array;  (** last write epoch per cell *)
+  r_epoch : int array;  (** last read epoch; {!promoted} = see [read_vcs] *)
+  w_origin : int array;  (** interned origin of the last write *)
+  r_origin : int array;
+  read_vcs : (int, Vclock.t) Hashtbl.t;  (** promoted shared-read clocks *)
+  touched : Bytes.t;  (** bitset over materialized 4 KiB shadow pages *)
+  mutable touched_bytes : int;
+}
+
+type t
+
+val promoted : int
+(** Sentinel read-epoch: the cell's reads are tracked by a vector clock
+    in [read_vcs]. *)
+
+val cell_bytes : int
+(** Bytes of shadow per cell (four word-sized arrays). *)
+
+val cells_per_page : int
+
+val create : ?granule:int -> unit -> t
+(** [granule] defaults to 8 bytes per cell; coarser granules cost less
+    time and memory at the price of detection precision (ablated in
+    [bench/]). *)
+
+val cells_of : region -> int
+
+val map : t -> base:int -> size:int -> region
+(** Reserve shadow for an allocation (no memory is accounted yet). *)
+
+val touch_range : t -> region -> lo:int -> hi:int -> unit
+(** Materialize the shadow pages backing cells [lo..hi]. *)
+
+val unmap : t -> base:int -> unit
+(** Release a region and its accounted bytes (the peak is kept). *)
+
+val find : t -> int -> region option
+
+val find_or_map : t -> int -> region
+(** The region holding an address, mapping a fresh one for addresses
+    TSan never saw allocated (real TSan shadows everything). *)
+
+val cell_range : region -> addr:int -> len:int -> int * int
+(** Cell index range covering [addr, addr+len), clamped to the region. *)
+
+val shadow_bytes : t -> int
+(** Currently materialized shadow bytes. *)
+
+val shadow_bytes_peak : t -> int

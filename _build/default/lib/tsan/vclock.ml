@@ -1,0 +1,58 @@
+(* Growable vector clocks over thread/fiber ids. Index [i] is the last
+   logical time of fiber [i] that the owner has synchronized with. *)
+
+type t = { mutable v : int array }
+
+let create () = { v = [||] }
+
+let get t i = if i < Array.length t.v then Array.unsafe_get t.v i else 0
+
+let grow t n =
+  if n > Array.length t.v then begin
+    let nv = Array.make (max n (2 * Array.length t.v)) 0 in
+    Array.blit t.v 0 nv 0 (Array.length t.v);
+    t.v <- nv
+  end
+
+let set t i x =
+  grow t (i + 1);
+  t.v.(i) <- x
+
+let incr t i = set t i (get t i + 1)
+
+(* [join dst src] : dst := dst ⊔ src (pointwise max). *)
+let join dst src =
+  grow dst (Array.length src.v);
+  for i = 0 to Array.length src.v - 1 do
+    let s = Array.unsafe_get src.v i in
+    if s > Array.unsafe_get dst.v i then Array.unsafe_set dst.v i s
+  done
+
+let copy t = { v = Array.copy t.v }
+
+(* [leq a b] : a ≤ b pointwise — "everything a knows, b knows". *)
+let leq a b =
+  let n = Array.length a.v in
+  let rec go i = i >= n || (get a i <= get b i && go (i + 1)) in
+  go 0
+
+(* First component where [a] exceeds [b], i.e. a witness that
+   [leq a b] fails. *)
+let find_gt a b =
+  let n = Array.length a.v in
+  let rec go i =
+    if i >= n then None
+    else if get a i > get b i then Some (i, get a i)
+    else go (i + 1)
+  in
+  go 0
+
+let size_words t = Array.length t.v + 2
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) t.v
+
+let equal a b =
+  let n = max (Array.length a.v) (Array.length b.v) in
+  let rec go i = i >= n || (get a i = get b i && go (i + 1)) in
+  go 0

@@ -1,0 +1,40 @@
+(** Growable vector clocks over fiber ids.
+
+    Component [i] of a clock is the latest logical time of fiber [i]
+    that the owner has synchronized with. Missing components read as 0,
+    so clocks grow on demand as fibers are created. *)
+
+type t
+
+val create : unit -> t
+(** The zero clock. *)
+
+val get : t -> int -> int
+(** [get c i] is component [i]; 0 when never set. *)
+
+val set : t -> int -> int -> unit
+(** [set c i x] stores [x] at component [i], growing the clock. *)
+
+val incr : t -> int -> unit
+(** [incr c i] advances component [i] by one. *)
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst := dst ⊔ src] (pointwise maximum) — the
+    effect of an acquire operation. *)
+
+val copy : t -> t
+
+val leq : t -> t -> bool
+(** [leq a b] is the happens-before order: everything [a] knows, [b]
+    knows. *)
+
+val find_gt : t -> t -> (int * int) option
+(** [find_gt a b] is a witness [(i, a_i)] that [leq a b] fails, if any —
+    used to name the conflicting fiber in race reports. *)
+
+val equal : t -> t -> bool
+
+val size_words : t -> int
+(** Approximate heap footprint in words, for memory accounting. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/typeart/pass.ml: Memsim Rt Typedb

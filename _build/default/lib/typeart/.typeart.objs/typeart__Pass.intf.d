@@ -1,0 +1,1 @@
+lib/typeart/pass.mli: Memsim Rt Typedb

@@ -1,0 +1,1 @@
+lib/typeart/rt.ml: Hashtbl Memsim Typedb

@@ -1,0 +1,1 @@
+lib/typeart/rt.mli: Memsim Typedb

@@ -1,0 +1,1 @@
+lib/typeart/typedb.ml: Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/typeart/typedb.mli: Format

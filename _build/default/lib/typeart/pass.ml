@@ -1,0 +1,27 @@
+(* The "instrumented allocation site": what TypeART's compiler pass
+   turns a malloc/cudaMalloc into. The allocation callback carries the
+   statically known type id plus the dynamic extent (paper, Section
+   II-C). The CUDA extension of TypeART is exactly that the same
+   callbacks fire for cudaMalloc/cudaMallocManaged/cudaHostAlloc, with
+   the memory kind recorded (Section IV-C).
+
+   When the runtime is disabled (vanilla builds) the callbacks cost one
+   branch, like a pass that was never run. *)
+
+let alloc ?(tag = "alloc") space ty count =
+  let bytes = count * Typedb.sizeof ty in
+  let p = Memsim.Heap.alloc ~tag space bytes in
+  if !Rt.enabled then
+    Rt.track_alloc Rt.instance ~base:(Memsim.Ptr.addr p) ~bytes ~ty ~count
+      ~space ~tag;
+  p
+
+let free (p : Memsim.Ptr.t) =
+  if !Rt.enabled then Rt.track_free Rt.instance ~base:(Memsim.Ptr.addr p);
+  Memsim.Heap.free p
+
+(* Convenience queries against the global runtime. *)
+
+let type_at addr = Rt.type_at Rt.instance ~addr
+let extent_at addr = Rt.extent_at Rt.instance ~addr
+let lookup addr = Rt.lookup Rt.instance ~addr

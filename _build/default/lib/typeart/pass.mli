@@ -1,0 +1,18 @@
+(** The "instrumented allocation site": what TypeART's compiler pass
+    turns a [malloc]/[cudaMalloc] into. The allocation callback carries
+    the statically-known type plus the dynamic extent (paper, Section
+    II-C); the CUDA extension of TypeART fires the same callbacks for
+    [cudaMalloc]/[cudaMallocManaged]/[cudaHostAlloc] with the memory
+    kind recorded (Section IV-C). *)
+
+val alloc : ?tag:string -> Memsim.Space.t -> Typedb.ty -> int -> Memsim.Ptr.t
+(** [alloc space ty count] allocates [count] elements and registers them
+    with the global runtime when it is enabled. *)
+
+val free : Memsim.Ptr.t -> unit
+
+(** Convenience queries against the global runtime ({!Rt.instance}): *)
+
+val type_at : int -> (Typedb.ty * int) option
+val extent_at : int -> int option
+val lookup : int -> Rt.info option

@@ -1,0 +1,69 @@
+(* The TypeART runtime: a lookup table from addresses to allocation
+   metadata (type, dynamic element count, memory kind), fed by the
+   instrumented allocation sites and queried by MUST (datatype checks)
+   and CuSan (device-pointer extents) — see Fig. 2 of the paper. *)
+
+type info = {
+  base : int;
+  bytes : int;
+  ty : Typedb.ty;
+  count : int;
+  space : Memsim.Space.t;
+  tag : string;
+}
+
+let slot_shift = Memsim.Alloc.addr_shift
+
+type t = {
+  table : (int, info) Hashtbl.t; (* keyed by base lsr slot_shift *)
+  mutable tracked_allocs : int;
+  mutable tracked_frees : int;
+}
+
+let create () = { table = Hashtbl.create 64; tracked_allocs = 0; tracked_frees = 0 }
+
+(* The global runtime instance, like the TypeART runtime linked into the
+   executable. Tool configurations enable it per run. *)
+let instance = create ()
+let enabled = ref false
+
+let reset () =
+  Hashtbl.reset instance.table;
+  instance.tracked_allocs <- 0;
+  instance.tracked_frees <- 0
+
+let track_alloc t ~base ~bytes ~ty ~count ~space ~tag =
+  t.tracked_allocs <- t.tracked_allocs + 1;
+  Hashtbl.replace t.table (base lsr slot_shift)
+    { base; bytes; ty; count; space; tag }
+
+let track_free t ~base =
+  t.tracked_frees <- t.tracked_frees + 1;
+  Hashtbl.remove t.table (base lsr slot_shift)
+
+(* Resolve an interior pointer to its allocation record. *)
+let lookup t ~addr =
+  match Hashtbl.find_opt t.table (addr lsr slot_shift) with
+  | Some info when addr >= info.base && addr < info.base + info.bytes ->
+      Some info
+  | _ -> None
+
+(* TypeART's main query: the element type at [addr] plus how many whole
+   elements remain from that offset to the end of the allocation. *)
+let type_at t ~addr =
+  match lookup t ~addr with
+  | None -> None
+  | Some info ->
+      let off = addr - info.base in
+      let esz = Typedb.sizeof info.ty in
+      let remaining = (info.bytes - off) / esz in
+      Some (info.ty, remaining)
+
+(* Remaining bytes from [addr] to the end of its allocation; what CuSan
+   asks for to annotate a whole device-pointer range. *)
+let extent_at t ~addr =
+  match lookup t ~addr with
+  | None -> None
+  | Some info -> Some (info.bytes - (addr - info.base))
+
+let stats t = (t.tracked_allocs, t.tracked_frees, Hashtbl.length t.table)

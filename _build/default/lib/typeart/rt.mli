@@ -1,0 +1,53 @@
+(** The TypeART runtime: a lookup table from addresses to allocation
+    metadata (type, dynamic element count, memory kind), fed by
+    instrumented allocation sites and queried by MUST (datatype checks)
+    and CuSan (device-pointer extents) — Fig. 2 of the paper. *)
+
+type info = {
+  base : int;
+  bytes : int;
+  ty : Typedb.ty;
+  count : int;  (** elements of [ty] *)
+  space : Memsim.Space.t;
+  tag : string;
+}
+
+type t
+
+val create : unit -> t
+
+val instance : t
+(** The global runtime instance, like the TypeART runtime linked into an
+    executable. *)
+
+val enabled : bool ref
+(** Tool configurations toggle tracking per run; disabled callbacks cost
+    one branch. *)
+
+val reset : unit -> unit
+
+val track_alloc :
+  t ->
+  base:int ->
+  bytes:int ->
+  ty:Typedb.ty ->
+  count:int ->
+  space:Memsim.Space.t ->
+  tag:string ->
+  unit
+
+val track_free : t -> base:int -> unit
+
+val lookup : t -> addr:int -> info option
+(** Resolve an interior pointer to its allocation record. *)
+
+val type_at : t -> addr:int -> (Typedb.ty * int) option
+(** TypeART's main query: element type at [addr] plus how many whole
+    elements remain from that offset. *)
+
+val extent_at : t -> addr:int -> int option
+(** Remaining bytes from [addr] to the end of its allocation — what
+    CuSan asks for to annotate a whole device-pointer range. *)
+
+val stats : t -> int * int * int
+(** [(tracked allocs, tracked frees, live entries)]. *)

@@ -1,0 +1,66 @@
+(* Type layouts and serialized type ids.
+
+   TypeART's compiler pass extracts the memory layout of every allocated
+   type at compile time and assigns it a unique id; the runtime later
+   maps addresses back to (type id, dynamic element count). We model the
+   same catalogue: built-in scalar types plus user-declared structs. *)
+
+type ty =
+  | F64
+  | F32
+  | I64
+  | I32
+  | I8
+  | Struct of struct_decl
+
+and struct_decl = { sname : string; fields : (string * ty) list }
+
+let rec sizeof = function
+  | F64 | I64 -> 8
+  | F32 | I32 -> 4
+  | I8 -> 1
+  | Struct s -> List.fold_left (fun acc (_, t) -> acc + sizeof t) 0 s.fields
+
+let rec to_string = function
+  | F64 -> "f64"
+  | F32 -> "f32"
+  | I64 -> "i64"
+  | I32 -> "i32"
+  | I8 -> "i8"
+  | Struct s ->
+      Fmt.str "struct %s{%s}" s.sname
+        (String.concat ";"
+           (List.map (fun (n, t) -> n ^ ":" ^ to_string t) s.fields))
+
+let pp = Fmt.of_to_string to_string
+
+let rec equal a b =
+  match (a, b) with
+  | F64, F64 | F32, F32 | I64, I64 | I32, I32 | I8, I8 -> true
+  | Struct x, Struct y ->
+      x.sname = y.sname
+      && List.length x.fields = List.length y.fields
+      && List.for_all2
+           (fun (n, t) (n', t') -> n = n' && equal t t')
+           x.fields y.fields
+  | _ -> false
+
+(* Serialized type-id table, as emitted by the compiler pass. Ids are
+   stable within a process: interning the serialized layout. *)
+
+let ids : (string, int) Hashtbl.t = Hashtbl.create 16
+let by_id : (int, ty) Hashtbl.t = Hashtbl.create 16
+let next_id = ref 0
+
+let type_id ty =
+  let key = to_string ty in
+  match Hashtbl.find_opt ids key with
+  | Some i -> i
+  | None ->
+      let i = !next_id in
+      incr next_id;
+      Hashtbl.replace ids key i;
+      Hashtbl.replace by_id i ty;
+      i
+
+let of_type_id i = Hashtbl.find_opt by_id i

@@ -1,0 +1,31 @@
+(** Type layouts and serialized type ids.
+
+    TypeART's compiler pass extracts the memory layout of every
+    allocated type at compile time and assigns it a unique id; the
+    runtime later maps addresses back to (type id, dynamic element
+    count). This module is that catalogue: built-in scalar types plus
+    user-declared (packed) structs. *)
+
+type ty =
+  | F64
+  | F32
+  | I64
+  | I32
+  | I8
+  | Struct of struct_decl
+
+and struct_decl = { sname : string; fields : (string * ty) list }
+
+val sizeof : ty -> int
+(** Packed layout: structs are the sum of their fields. *)
+
+val to_string : ty -> string
+(** The serialized layout; interning it yields the type id. *)
+
+val pp : Format.formatter -> ty -> unit
+val equal : ty -> ty -> bool
+
+val type_id : ty -> int
+(** Stable within a process: the same layout always gets the same id. *)
+
+val of_type_id : int -> ty option

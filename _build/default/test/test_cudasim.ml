@@ -1,0 +1,508 @@
+(* Unit tests for the CUDA device simulator: stream FIFO order, legacy
+   default-stream barriers (paper Fig. 3), events, eager/deferred
+   execution, the memory-operation synchronization matrix, and hooks. *)
+
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+module Sem = Cudasim.Semantics
+
+let with_heap f =
+  Memsim.Heap.reset ();
+  Typeart.Rt.reset ();
+  Fun.protect ~finally:(fun () -> Memsim.Heap.reset (); Typeart.Rt.reset ()) f
+
+(* An op that appends its tag to a log when it executes. *)
+let logger () =
+  let log = ref [] in
+  let mark tag = fun () -> log := tag :: !log in
+  (log, mark)
+
+let order log = List.rev !log
+
+let enq dev stream tag mark = ignore (Dev.enqueue dev stream tag (mark tag))
+
+(* --- ordering ------------------------------------------------------------ *)
+
+let eager_executes_immediately () =
+  let dev = Dev.create ~mode:Dev.Eager () in
+  let log, mark = logger () in
+  enq dev (Dev.default_stream dev) "a" mark;
+  Alcotest.(check (list string)) "ran" [ "a" ] (order log)
+
+let deferred_waits_for_sync () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  enq dev (Dev.default_stream dev) "a" mark;
+  Alcotest.(check (list string)) "pending" [] (order log);
+  Dev.device_synchronize dev;
+  Alcotest.(check (list string)) "ran" [ "a" ] (order log)
+
+let stream_fifo () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  List.iter (fun t -> enq dev s t mark) [ "1"; "2"; "3" ];
+  Dev.stream_synchronize dev s;
+  Alcotest.(check (list string)) "FIFO" [ "1"; "2"; "3" ] (order log)
+
+let streams_independent () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let a = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  let b = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  enq dev a "a1" mark;
+  enq dev b "b1" mark;
+  Dev.stream_synchronize dev b;
+  Alcotest.(check (list string)) "only b ran" [ "b1" ] (order log);
+  Dev.stream_synchronize dev a;
+  Alcotest.(check (list string)) "then a" [ "b1"; "a1" ] (order log)
+
+(* Fig. 3: K1 on stream 1, K0 on default, K2 on stream 2.
+   K0 waits on K1; K2 waits on K0. Syncing stream 2 runs all three. *)
+let legacy_barrier_fig3 () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s1 = Dev.stream_create dev and s2 = Dev.stream_create dev in
+  enq dev s1 "K1" mark;
+  enq dev (Dev.default_stream dev) "K0" mark;
+  enq dev s2 "K2" mark;
+  Dev.stream_synchronize dev s2;
+  Alcotest.(check (list string)) "K1 before K0 before K2" [ "K1"; "K0"; "K2" ]
+    (order log)
+
+let legacy_default_waits_blocking_streams () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev s "user" mark;
+  enq dev (Dev.default_stream dev) "def" mark;
+  Dev.stream_synchronize dev (Dev.default_stream dev);
+  Alcotest.(check (list string)) "user first" [ "user"; "def" ] (order log)
+
+let nonblocking_exempt_from_barrier () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  enq dev s "nb" mark;
+  enq dev (Dev.default_stream dev) "def" mark;
+  Dev.stream_synchronize dev (Dev.default_stream dev);
+  Alcotest.(check (list string)) "default does not wait for non-blocking"
+    [ "def" ] (order log)
+
+let blocking_stream_waits_for_default () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev (Dev.default_stream dev) "def" mark;
+  enq dev s "user" mark;
+  Dev.stream_synchronize dev s;
+  Alcotest.(check (list string)) "default first" [ "def"; "user" ] (order log)
+
+(* --- events ---------------------------------------------------------------- *)
+
+let event_sync_runs_prefix () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  enq dev s "before" mark;
+  let e = Dev.event_create dev in
+  Dev.event_record dev e s;
+  enq dev s "after" mark;
+  Dev.event_synchronize dev e;
+  Alcotest.(check (list string)) "prefix only" [ "before" ] (order log)
+
+let event_never_recorded_is_complete () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let e = Dev.event_create dev in
+  Alcotest.(check bool) "query true" true (Dev.event_query dev e);
+  Dev.event_synchronize dev e (* returns immediately, no crash *)
+
+let stream_wait_event_orders () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let a = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  let b = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  enq dev a "a1" mark;
+  let e = Dev.event_create dev in
+  Dev.event_record dev e a;
+  Dev.stream_wait_event dev b e;
+  enq dev b "b1" mark;
+  Dev.stream_synchronize dev b;
+  Alcotest.(check (list string)) "a1 forced by b's wait" [ "a1"; "b1" ] (order log)
+
+let query_ticks_deferred () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev s "x" mark;
+  enq dev s "y" mark;
+  (* busy-wait terminates because each query makes progress *)
+  let guard = ref 0 in
+  while (not (Dev.stream_query dev s)) && !guard < 100 do
+    incr guard
+  done;
+  Alcotest.(check bool) "completed" true (Dev.stream_query dev s);
+  Alcotest.(check (list string)) "all ran" [ "x"; "y" ] (order log)
+
+let query_eager_true () =
+  let dev = Dev.create ~mode:Dev.Eager () in
+  let _log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev s "x" mark;
+  Alcotest.(check bool) "immediately done" true (Dev.stream_query dev s)
+
+(* --- stream lifecycle ------------------------------------------------------- *)
+
+let destroy_forces_and_blocks_reuse () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev s "x" mark;
+  Dev.stream_destroy dev s;
+  Alcotest.(check (list string)) "forced" [ "x" ] (order log);
+  match Dev.enqueue dev s "y" (mark "y") with
+  | _ -> Alcotest.fail "enqueue on destroyed stream"
+  | exception Dev.Stream_destroyed -> ()
+
+let default_stream_indestructible () =
+  let dev = Dev.create () in
+  match Dev.stream_destroy dev (Dev.default_stream dev) with
+  | () -> Alcotest.fail "destroyed default stream"
+  | exception Invalid_argument _ -> ()
+
+(* --- memory operations ------------------------------------------------------- *)
+
+let memcpy_d2h_blocking () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  let h = Mem.host_malloc ~ty:Typeart.Typedb.F64 ~count:4 () in
+  Memsim.Access.raw_set_f64 d 2 42.;
+  Mem.memcpy dev ~dst:h ~src:d ~bytes:32 ();
+  (* blocking: data visible immediately, even in deferred mode *)
+  Alcotest.(check (float 0.)) "copied" 42. (Memsim.Access.raw_get_f64 h 2)
+
+let memcpy_d2d_not_blocking () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let a = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  let b = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  Memsim.Access.raw_set_f64 a 0 7.;
+  Mem.memcpy dev ~dst:b ~src:a ~bytes:32 ();
+  Alcotest.(check (float 0.)) "not yet" 0. (Memsim.Access.raw_get_f64 b 0);
+  Dev.device_synchronize dev;
+  Alcotest.(check (float 0.)) "after sync" 7. (Memsim.Access.raw_get_f64 b 0)
+
+let memcpy_async_pageable_blocks () =
+  (* The hidden behaviour: async copies involving pageable host memory
+     are effectively synchronous on real hardware. *)
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  let h = Mem.host_malloc ~ty:Typeart.Typedb.F64 ~count:4 () in
+  Memsim.Access.raw_set_f64 d 1 5.;
+  Mem.memcpy dev ~dst:h ~src:d ~bytes:32 ~async:true ();
+  Alcotest.(check (float 0.)) "actually blocked" 5. (Memsim.Access.raw_get_f64 h 1);
+  (* ...but the race-detection model treats it as NOT synchronizing *)
+  Alcotest.(check bool) "modeled as async" false
+    (Sem.modeled_memcpy_syncs ~src:Memsim.Space.Device
+       ~dst:Memsim.Space.Host_pageable ~async:true)
+
+let memcpy_async_pinned_does_not_block () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  let h = Mem.cuda_host_alloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  Memsim.Access.raw_set_f64 d 1 5.;
+  Mem.memcpy dev ~dst:h ~src:d ~bytes:32 ~async:true ();
+  Alcotest.(check (float 0.)) "still stale" 0. (Memsim.Access.raw_get_f64 h 1);
+  Dev.device_synchronize dev;
+  Alcotest.(check (float 0.)) "after sync" 5. (Memsim.Access.raw_get_f64 h 1)
+
+let memset_device_async_wrt_host () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  Mem.memset dev ~dst:d ~bytes:32 ~value:0xff ();
+  Alcotest.(check bool) "not yet" true (Memsim.Access.raw_get_f64 d 0 = 0.);
+  Dev.device_synchronize dev;
+  Alcotest.(check bool) "set" true (Memsim.Access.raw_get_f64 d 0 <> 0.)
+
+let memset_pinned_blocks () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let h = Mem.cuda_host_alloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  Mem.memset dev ~dst:h ~bytes:32 ~value:0xff ();
+  Alcotest.(check bool) "pinned memset synchronous" true
+    (Memsim.Access.raw_get_f64 h 0 <> 0.)
+
+let free_synchronizes_device () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev s "pending" mark;
+  let scratch = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:1 in
+  Mem.free dev scratch;
+  Alcotest.(check (list string)) "free forced the device" [ "pending" ] (order log)
+
+let free_async_is_stream_ordered () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let s = Dev.stream_create dev in
+  let buf = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:4 in
+  Mem.free_async dev s buf;
+  Alcotest.(check bool) "still live" true (not buf.Memsim.Ptr.alloc.Memsim.Alloc.freed);
+  Dev.stream_synchronize dev s;
+  Alcotest.(check bool) "freed at sync" true buf.Memsim.Ptr.alloc.Memsim.Alloc.freed
+
+(* --- kernel launch ------------------------------------------------------------ *)
+
+let launch_rejects_host_pointer () =
+  with_heap @@ fun () ->
+  let dev = Dev.create () in
+  let h = Mem.host_malloc ~ty:Typeart.Typedb.F64 ~count:4 () in
+  let k =
+    Cudasim.Kernel.make
+      ~kir:
+        Kir.Dsl.(modul ~kernels:[ "k" ] [ func "k" [ ptr "a" ] [] ], "k")
+      "k"
+  in
+  match Dev.launch dev k ~grid:1 ~args:[| VPtr h |] () with
+  | () -> Alcotest.fail "host pointer accepted"
+  | exception Dev.Invalid_launch _ -> ()
+
+let launch_rejects_empty_grid () =
+  let dev = Dev.create () in
+  let k =
+    Cudasim.Kernel.make
+      ~kir:Kir.Dsl.(modul ~kernels:[ "k" ] [ func "k" [] [] ], "k")
+      "k"
+  in
+  match Dev.launch dev k ~grid:0 ~args:[||] () with
+  | () -> Alcotest.fail "zero grid accepted"
+  | exception Dev.Invalid_launch _ -> ()
+
+let kernel_needs_impl () =
+  match Cudasim.Kernel.make "ghost" with
+  | _ -> Alcotest.fail "kernel without IR or native accepted"
+  | exception Invalid_argument _ -> ()
+
+let launch_executes_kir () =
+  with_heap @@ fun () ->
+  let dev = Dev.create () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:8 in
+  let k =
+    Cudasim.Kernel.make
+      ~kir:
+        Kir.Dsl.(
+          ( modul ~kernels:[ "fill" ]
+              [ func "fill" [ ptr "a" ] [ store (p 0) tid (i2f tid) ] ],
+            "fill" ))
+      "fill"
+  in
+  Dev.launch dev k ~grid:8 ~args:[| VPtr d |] ();
+  Dev.device_synchronize dev;
+  Alcotest.(check (float 0.)) "filled" 5. (Memsim.Access.raw_get_f64 d 5)
+
+(* --- hooks and accounting ------------------------------------------------------ *)
+
+let hooks_see_launches () =
+  with_heap @@ fun () ->
+  let dev = Dev.create () in
+  let seen = ref [] in
+  Dev.add_hook dev (fun phase ev ->
+      match (phase, ev) with
+      | Dev.Pre, Dev.Kernel_launch { kernel; _ } ->
+          seen := kernel.Cudasim.Kernel.kname :: !seen
+      | _ -> ());
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:1 in
+  let k =
+    Cudasim.Kernel.make
+      ~kir:Kir.Dsl.(modul ~kernels:[ "k" ] [ func "k" [ ptr "a" ] [] ], "k")
+      "k"
+  in
+  Dev.launch dev k ~grid:1 ~args:[| VPtr d |] ();
+  Alcotest.(check (list string)) "intercepted" [ "k" ] !seen
+
+let malloc_tracked_by_typeart () =
+  with_heap @@ fun () ->
+  Typeart.Rt.enabled := true;
+  let dev = Dev.create () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:16 in
+  (match Typeart.Pass.type_at (Memsim.Ptr.addr d) with
+  | Some (ty, count) ->
+      Alcotest.(check bool) "type" true (Typeart.Typedb.equal ty Typeart.Typedb.F64);
+      Alcotest.(check int) "count" 16 count
+  | None -> Alcotest.fail "not tracked");
+  Typeart.Rt.enabled := false
+
+let cost_model_accumulates () =
+  with_heap @@ fun () ->
+  let dev = Dev.create () in
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:1024 in
+  let h = Mem.host_malloc ~ty:Typeart.Typedb.F64 ~count:1024 () in
+  Mem.memcpy dev ~dst:h ~src:d ~bytes:8192 ();
+  let _, virt = Dev.timing dev in
+  Alcotest.(check bool) "virtual time charged" true (virt > 0.);
+  Alcotest.(check bool) "pcie slower than on-device" true
+    (Cudasim.Costmodel.memcpy ~src:Memsim.Space.Device
+       ~dst:Memsim.Space.Host_pageable ~bytes:1048576
+    > Cudasim.Costmodel.memcpy ~src:Memsim.Space.Device ~dst:Memsim.Space.Device
+        ~bytes:1048576)
+
+let host_func_stream_ordered () =
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let log, mark = logger () in
+  let s = Dev.stream_create dev in
+  enq dev s "k1" mark;
+  Dev.launch_host_func dev s ~label:"cb" (mark "cb");
+  enq dev s "k2" mark;
+  Dev.stream_synchronize dev s;
+  Alcotest.(check (list string)) "callback between stream ops"
+    [ "k1"; "cb"; "k2" ] (order log)
+
+let event_elapsed_time () =
+  with_heap @@ fun () ->
+  let dev = Dev.create ~mode:Dev.Deferred () in
+  let s = Dev.stream_create dev in
+  let e1 = Dev.event_create dev in
+  Dev.event_record dev e1 s;
+  let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:131072 in
+  Mem.memset dev ~dst:d ~bytes:(131072 * 8) ~value:0 ~stream:s ~async:true ();
+  let e2 = Dev.event_create dev in
+  Dev.event_record dev e2 s;
+  let ms = Dev.event_elapsed_time dev e1 e2 in
+  Alcotest.(check bool) "positive elapsed" true (ms > 0.);
+  match Dev.event_elapsed_time dev e1 (Dev.event_create dev) with
+  | _ -> Alcotest.fail "unrecorded event accepted"
+  | exception Invalid_argument _ -> ()
+
+let semantics_matrix () =
+  let open Memsim.Space in
+  (* cudaMemcpy sync variant *)
+  Alcotest.(check bool) "H2D blocks" true
+    (Sem.actual_memcpy_blocks ~src:Host_pageable ~dst:Device ~async:false);
+  Alcotest.(check bool) "D2D does not block" false
+    (Sem.actual_memcpy_blocks ~src:Device ~dst:Device ~async:false);
+  Alcotest.(check bool) "D2H modeled sync" true
+    (Sem.modeled_memcpy_syncs ~src:Device ~dst:Host_pageable ~async:false);
+  Alcotest.(check bool) "D2D not modeled sync" false
+    (Sem.modeled_memcpy_syncs ~src:Device ~dst:Device ~async:false);
+  (* async *)
+  Alcotest.(check bool) "async pinned does not block" false
+    (Sem.actual_memcpy_blocks ~src:Device ~dst:Host_pinned ~async:true);
+  Alcotest.(check bool) "async pageable actually blocks" true
+    (Sem.actual_memcpy_blocks ~src:Device ~dst:Host_pageable ~async:true);
+  Alcotest.(check bool) "async never modeled sync" false
+    (Sem.modeled_memcpy_syncs ~src:Device ~dst:Host_pageable ~async:true);
+  (* memset *)
+  Alcotest.(check bool) "memset pinned syncs" true
+    (Sem.modeled_memset_syncs ~dst:Host_pinned ~async:false);
+  Alcotest.(check bool) "memset pageable does not" false
+    (Sem.modeled_memset_syncs ~dst:Host_pageable ~async:false);
+  Alcotest.(check bool) "memset device does not" false
+    (Sem.modeled_memset_syncs ~dst:Device ~async:false);
+  Alcotest.(check bool) "memsetAsync never" false
+    (Sem.modeled_memset_syncs ~dst:Host_pinned ~async:true);
+  (* free *)
+  Alcotest.(check bool) "free syncs device" true (Sem.free_syncs_device ~async:false);
+  Alcotest.(check bool) "freeAsync does not" false (Sem.free_syncs_device ~async:true)
+
+(* Property: for a random DAG of enqueues across streams, forcing any
+   op runs its transitive dependencies first, and device_synchronize
+   runs everything exactly once. *)
+let prop_dag_execution =
+  QCheck.Test.make ~name:"deferred DAG executes each op once, deps first"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (int_range 0 3))
+    (fun choices ->
+      let dev = Dev.create ~mode:Dev.Deferred () in
+      let streams =
+        [|
+          Dev.default_stream dev;
+          Dev.stream_create dev;
+          Dev.stream_create ~flags:Dev.Non_blocking dev;
+          Dev.stream_create dev;
+        |]
+      in
+      let ran = ref [] in
+      List.iteri
+        (fun i c ->
+          ignore
+            (Dev.enqueue dev streams.(c) (string_of_int i) (fun () ->
+                 ran := i :: !ran)))
+        choices;
+      Dev.device_synchronize dev;
+      Dev.device_synchronize dev (* idempotent *);
+      let ran = List.rev !ran in
+      (* every op ran exactly once *)
+      List.sort compare ran = List.init (List.length choices) Fun.id
+      &&
+      (* same-stream ops ran in enqueue order *)
+      let pos = Array.make (List.length choices) 0 in
+      List.iteri (fun idx op -> pos.(op) <- idx) ran;
+      List.for_all
+        (fun (i, j) -> pos.(i) < pos.(j))
+        (let rec pairs i = function
+           | [] -> []
+           | c :: rest ->
+               let same =
+                 List.mapi (fun k c' -> (i + 1 + k, c')) rest
+                 |> List.filter (fun (_, c') -> c' = c)
+                 |> List.map (fun (j, _) -> (i, j))
+               in
+               same @ pairs (i + 1) rest
+         in
+         pairs 0 choices))
+
+let tests =
+  [
+    Alcotest.test_case "eager executes immediately" `Quick
+      eager_executes_immediately;
+    Alcotest.test_case "deferred waits for sync" `Quick deferred_waits_for_sync;
+    Alcotest.test_case "stream FIFO" `Quick stream_fifo;
+    Alcotest.test_case "streams independent" `Quick streams_independent;
+    Alcotest.test_case "legacy barrier (Fig. 3)" `Quick legacy_barrier_fig3;
+    Alcotest.test_case "default waits blocking streams" `Quick
+      legacy_default_waits_blocking_streams;
+    Alcotest.test_case "non-blocking exempt" `Quick nonblocking_exempt_from_barrier;
+    Alcotest.test_case "blocking stream waits default" `Quick
+      blocking_stream_waits_for_default;
+    Alcotest.test_case "event sync runs prefix" `Quick event_sync_runs_prefix;
+    Alcotest.test_case "unrecorded event complete" `Quick
+      event_never_recorded_is_complete;
+    Alcotest.test_case "stream_wait_event orders" `Quick stream_wait_event_orders;
+    Alcotest.test_case "query ticks deferred device" `Quick query_ticks_deferred;
+    Alcotest.test_case "query true in eager" `Quick query_eager_true;
+    Alcotest.test_case "destroy forces, blocks reuse" `Quick
+      destroy_forces_and_blocks_reuse;
+    Alcotest.test_case "default stream indestructible" `Quick
+      default_stream_indestructible;
+    Alcotest.test_case "memcpy D2H blocking" `Quick memcpy_d2h_blocking;
+    Alcotest.test_case "memcpy D2D not blocking" `Quick memcpy_d2d_not_blocking;
+    Alcotest.test_case "memcpyAsync pageable blocks (hidden)" `Quick
+      memcpy_async_pageable_blocks;
+    Alcotest.test_case "memcpyAsync pinned does not block" `Quick
+      memcpy_async_pinned_does_not_block;
+    Alcotest.test_case "memset device async wrt host" `Quick
+      memset_device_async_wrt_host;
+    Alcotest.test_case "memset pinned blocks" `Quick memset_pinned_blocks;
+    Alcotest.test_case "free synchronizes device" `Quick free_synchronizes_device;
+    Alcotest.test_case "freeAsync stream-ordered" `Quick
+      free_async_is_stream_ordered;
+    Alcotest.test_case "launch rejects host pointer" `Quick
+      launch_rejects_host_pointer;
+    Alcotest.test_case "launch rejects empty grid" `Quick launch_rejects_empty_grid;
+    Alcotest.test_case "kernel needs an implementation" `Quick kernel_needs_impl;
+    Alcotest.test_case "launch executes KIR" `Quick launch_executes_kir;
+    Alcotest.test_case "hooks see launches" `Quick hooks_see_launches;
+    Alcotest.test_case "malloc tracked by TypeART" `Quick malloc_tracked_by_typeart;
+    Alcotest.test_case "cost model accumulates" `Quick cost_model_accumulates;
+    Alcotest.test_case "hostFunc stream-ordered" `Quick host_func_stream_ordered;
+    Alcotest.test_case "event elapsed time" `Quick event_elapsed_time;
+    Alcotest.test_case "semantics matrix" `Quick semantics_matrix;
+    QCheck_alcotest.to_alcotest prop_dag_execution;
+  ]
+
+let () = Alcotest.run "cudasim" [ ("cudasim", tests) ]

@@ -1,0 +1,264 @@
+(* Hybrid MPI + host-threads tests (the "X" in MPI + X), plus the
+   per-thread default stream mode of the paper's Section VI-B.
+
+   Host threads are cooperative scheduler tasks; each gets its own TSan
+   fiber with thread-creation/join synchronization, so classic
+   multi-threaded races, hybrid MPI races, and PTDS stream semantics are
+   all observable. *)
+
+module F = Harness.Flavor
+module R = Harness.Run
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+module Mpi = Mpisim.Mpi
+
+let f64 = Typeart.Typedb.F64
+
+let run ?default_stream_mode ?(flavor = F.Must_cusan) ?(nranks = 1) app =
+  R.run ~nranks ?default_stream_mode ~flavor app
+
+let write_kernel env =
+  env.R.compile
+    (Cudasim.Kernel.make
+       ~kir:
+         Kir.Dsl.(
+           ( Kir.Dsl.modul ~kernels:[ "w" ]
+               [ func "w" [ ptr "a"; scalar "n" ] [ if_ (tid <. p 1) [ store (p 0) tid (f 1.) ] [] ] ],
+             "w" ))
+       "w")
+
+(* --- plain host-thread races -------------------------------------------- *)
+
+let threads_race_on_shared_buffer () =
+  let app (env : R.env) =
+    let buf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    R.parallel env
+      [
+        (fun () -> Memsim.Access.set_f64 buf 0 1.);
+        (fun () -> Memsim.Access.set_f64 buf 0 2.);
+      ];
+    Typeart.Pass.free buf
+  in
+  let res = run ~flavor:F.Tsan app in
+  Alcotest.(check bool) "thread-thread race" true (R.has_races res)
+
+let threads_disjoint_clean () =
+  let app (env : R.env) =
+    let buf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    R.parallel env
+      [
+        (fun () -> Memsim.Access.set_f64 buf 0 1.);
+        (fun () -> Memsim.Access.set_f64 buf 4 2.);
+      ];
+    Typeart.Pass.free buf
+  in
+  let res = run ~flavor:F.Tsan app in
+  Alcotest.(check int) "disjoint" 0 (List.length res.R.races)
+
+let create_sync_covers_parent_writes () =
+  let app (env : R.env) =
+    let buf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    Memsim.Access.set_f64 buf 0 1.;
+    R.parallel env [ (fun () -> ignore (Memsim.Access.get_f64 buf 0)) ];
+    Typeart.Pass.free buf
+  in
+  let res = run ~flavor:F.Tsan app in
+  Alcotest.(check int) "spawn synchronizes" 0 (List.length res.R.races)
+
+let join_sync_covers_child_writes () =
+  let app (env : R.env) =
+    let buf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    R.parallel env [ (fun () -> Memsim.Access.set_f64 buf 0 1.) ];
+    ignore (Memsim.Access.get_f64 buf 0);
+    Typeart.Pass.free buf
+  in
+  let res = run ~flavor:F.Tsan app in
+  Alcotest.(check int) "join synchronizes" 0 (List.length res.R.races)
+
+let sibling_threads_sequentialized_by_join () =
+  let app (env : R.env) =
+    let buf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    R.parallel env [ (fun () -> Memsim.Access.set_f64 buf 0 1.) ];
+    R.parallel env [ (fun () -> Memsim.Access.set_f64 buf 0 2.) ];
+    Typeart.Pass.free buf
+  in
+  let res = run ~flavor:F.Tsan app in
+  Alcotest.(check int) "two parallel sections ordered" 0 (List.length res.R.races)
+
+(* --- hybrid MPI + threads ------------------------------------------------ *)
+
+let thread_writes_buffer_other_thread_sends () =
+  let app (env : R.env) =
+    let ctx = env.R.mpi in
+    let buf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    if ctx.Mpi.rank = 0 then
+      R.parallel env
+        [
+          (fun () -> Memsim.Access.set_f64 buf 3 1.);
+          (fun () ->
+            Mpi.send ctx ~buf ~count:8 ~dt:Mpisim.Datatype.double ~dst:1 ~tag:0);
+        ]
+    else Mpi.recv ctx ~buf ~count:8 ~dt:Mpisim.Datatype.double ~src:0 ~tag:0;
+    Typeart.Pass.free buf
+  in
+  let res = run ~nranks:2 ~flavor:F.Must app in
+  Alcotest.(check bool) "hybrid MPI+threads race" true (R.has_races res)
+
+let thread_waits_request_other_computes () =
+  (* One thread computes on a disjoint buffer while another completes a
+     non-blocking receive: correct hybrid overlap, no race. *)
+  let app (env : R.env) =
+    let ctx = env.R.mpi in
+    let rbuf = Mem.host_malloc ~ty:f64 ~count:8 () in
+    let work = Mem.host_malloc ~ty:f64 ~count:8 () in
+    if ctx.Mpi.rank = 0 then begin
+      Memsim.Access.set_f64 rbuf 0 9.;
+      Mpi.send ctx ~buf:rbuf ~count:8 ~dt:Mpisim.Datatype.double ~dst:1 ~tag:0
+    end
+    else begin
+      let req =
+        Mpi.irecv ctx ~buf:rbuf ~count:8 ~dt:Mpisim.Datatype.double ~src:0 ~tag:0
+      in
+      R.parallel env
+        [
+          (fun () -> Mpi.wait ctx req);
+          (fun () -> Memsim.Access.set_f64 work 0 1.);
+        ]
+    end;
+    Typeart.Pass.free rbuf;
+    Typeart.Pass.free work
+  in
+  let res = run ~nranks:2 ~flavor:F.Must app in
+  Alcotest.(check int) "clean overlap" 0 (List.length res.R.races)
+
+(* --- per-thread default streams (Section VI-B) --------------------------- *)
+
+(* The same program — two host threads launching on "the default
+   stream" — is serialized under legacy semantics but concurrent under
+   per-thread default streams. *)
+let two_threads_default_stream app_of_buf ~default_stream_mode =
+  let app (env : R.env) =
+    let dev = env.R.dev in
+    let k = write_kernel env in
+    let buf = Mem.cuda_malloc dev ~ty:f64 ~count:16 in
+    R.parallel env (app_of_buf dev k buf);
+    Dev.device_synchronize dev;
+    Mem.free dev buf
+  in
+  run ~default_stream_mode app
+
+let launch_twice dev k buf =
+  [
+    (fun () -> Dev.launch dev k ~grid:16 ~args:[| VPtr buf; VInt 16 |] ());
+    (fun () -> Dev.launch dev k ~grid:16 ~args:[| VPtr buf; VInt 16 |] ());
+  ]
+
+let legacy_shared_default_stream_clean () =
+  let res = two_threads_default_stream launch_twice ~default_stream_mode:Dev.Legacy in
+  Alcotest.(check int) "one legacy default stream serializes" 0
+    (List.length res.R.races)
+
+let ptds_same_buffer_races () =
+  let res =
+    two_threads_default_stream launch_twice ~default_stream_mode:Dev.Per_thread
+  in
+  Alcotest.(check bool) "per-thread default streams race" true (R.has_races res)
+
+let ptds_own_buffers_clean () =
+  let app (env : R.env) =
+    let dev = env.R.dev in
+    let k = write_kernel env in
+    let mk () = Mem.cuda_malloc dev ~ty:f64 ~count:16 in
+    let b1 = mk () and b2 = mk () in
+    R.parallel env
+      [
+        (fun () -> Dev.launch dev k ~grid:16 ~args:[| VPtr b1; VInt 16 |] ());
+        (fun () -> Dev.launch dev k ~grid:16 ~args:[| VPtr b2; VInt 16 |] ());
+      ];
+    Dev.device_synchronize dev;
+    Mem.free dev b1;
+    Mem.free dev b2
+  in
+  let res = run ~default_stream_mode:Dev.Per_thread app in
+  Alcotest.(check int) "disjoint buffers" 0 (List.length res.R.races)
+
+let ptds_device_sync_covers_all_threads () =
+  let app (env : R.env) =
+    let dev = env.R.dev in
+    let k = write_kernel env in
+    let buf = Mem.cuda_malloc dev ~ty:f64 ~count:16 in
+    R.parallel env
+      [ (fun () -> Dev.launch dev k ~grid:16 ~args:[| VPtr buf; VInt 16 |] ()) ];
+    Dev.device_synchronize dev;
+    (* host consumption via a blocking copy is ordered *)
+    let h = Mem.host_malloc ~ty:f64 ~count:16 () in
+    Mem.memcpy dev ~dst:h ~src:buf ~bytes:128 ();
+    ignore (Memsim.Access.get_f64 h 3);
+    Mem.free dev buf;
+    Typeart.Pass.free h
+  in
+  let res = run ~default_stream_mode:Dev.Per_thread app in
+  Alcotest.(check int) "deviceSync covers ptds streams" 0
+    (List.length res.R.races)
+
+let ptds_actual_execution_independent () =
+  (* Device-side: with PTDS, thread 2's work does not wait for thread
+     1's default-stream work. *)
+  let dev = Dev.create ~mode:Dev.Deferred ~default_stream_mode:Dev.Per_thread () in
+  let log = ref [] in
+  Dev.set_thread_key dev 1;
+  let s1 = Dev.default_stream dev in
+  ignore (Dev.enqueue dev s1 "t1" (fun () -> log := "t1" :: !log));
+  Dev.set_thread_key dev 2;
+  let s2 = Dev.default_stream dev in
+  ignore (Dev.enqueue dev s2 "t2" (fun () -> log := "t2" :: !log));
+  Alcotest.(check bool) "distinct streams" true (s1 != s2);
+  Dev.stream_synchronize dev s2;
+  Alcotest.(check (list string)) "only t2 ran" [ "t2" ] (List.rev !log);
+  Dev.stream_synchronize dev s1;
+  Alcotest.(check (list string)) "then t1" [ "t2"; "t1" ] (List.rev !log)
+
+let ptds_stream_counter_tracks_threads () =
+  let app (env : R.env) =
+    let dev = env.R.dev in
+    let k = write_kernel env in
+    let mk () = Mem.cuda_malloc dev ~ty:f64 ~count:4 in
+    let b1 = mk () and b2 = mk () in
+    R.parallel env
+      [
+        (fun () -> Dev.launch dev k ~grid:4 ~args:[| VPtr b1; VInt 4 |] ());
+        (fun () -> Dev.launch dev k ~grid:4 ~args:[| VPtr b2; VInt 4 |] ());
+      ];
+    Dev.device_synchronize dev
+  in
+  let res = run ~default_stream_mode:Dev.Per_thread app in
+  (* legacy default (always tracked) + one ptds stream per thread *)
+  Alcotest.(check int) "three tracked streams" 3
+    res.R.cuda_counters.Cusan.Counters.streams
+
+let tests =
+  [
+    Alcotest.test_case "threads race on shared buffer" `Quick
+      threads_race_on_shared_buffer;
+    Alcotest.test_case "disjoint threads clean" `Quick threads_disjoint_clean;
+    Alcotest.test_case "create sync" `Quick create_sync_covers_parent_writes;
+    Alcotest.test_case "join sync" `Quick join_sync_covers_child_writes;
+    Alcotest.test_case "sections ordered by join" `Quick
+      sibling_threads_sequentialized_by_join;
+    Alcotest.test_case "hybrid: thread writes what another sends" `Quick
+      thread_writes_buffer_other_thread_sends;
+    Alcotest.test_case "hybrid: clean overlap" `Quick
+      thread_waits_request_other_computes;
+    Alcotest.test_case "legacy: shared default stream serializes" `Quick
+      legacy_shared_default_stream_clean;
+    Alcotest.test_case "ptds: same buffer races" `Quick ptds_same_buffer_races;
+    Alcotest.test_case "ptds: own buffers clean" `Quick ptds_own_buffers_clean;
+    Alcotest.test_case "ptds: deviceSync covers all" `Quick
+      ptds_device_sync_covers_all_threads;
+    Alcotest.test_case "ptds: device-side independence" `Quick
+      ptds_actual_execution_independent;
+    Alcotest.test_case "ptds: stream counter" `Quick
+      ptds_stream_counter_tracks_threads;
+  ]
+
+let () = Alcotest.run "hybrid" [ ("hybrid", tests) ]

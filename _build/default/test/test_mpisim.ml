@@ -1,0 +1,502 @@
+(* Unit tests for the MPI simulator: point-to-point matching semantics,
+   non-blocking requests, collectives, CUDA-awareness (device buffers),
+   deadlock detection, and interception hooks. *)
+
+module Mpi = Mpisim.Mpi
+module Dt = Mpisim.Datatype
+
+let with_clean f =
+  Memsim.Heap.reset ();
+  Mpisim.Hooks.clear ();
+  Fun.protect ~finally:(fun () -> Memsim.Heap.reset (); Mpisim.Hooks.clear ()) f
+
+let alloc_f64 ?(space = Memsim.Space.Host_pageable) n =
+  Memsim.Heap.alloc space (n * 8)
+
+let fill p vs = List.iteri (Memsim.Access.raw_set_f64 p) vs
+let read p n = List.init n (Memsim.Access.raw_get_f64 p)
+
+let send_recv_roundtrip () =
+  with_clean @@ fun () ->
+  let got = ref [] in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 4 in
+      if ctx.Mpi.rank = 0 then begin
+        fill buf [ 1.; 2.; 3.; 4. ];
+        Mpi.send ctx ~buf ~count:4 ~dt:Dt.double ~dst:1 ~tag:0
+      end
+      else begin
+        Mpi.recv ctx ~buf ~count:4 ~dt:Dt.double ~src:0 ~tag:0;
+        got := read buf 4
+      end);
+  Alcotest.(check (list (float 0.))) "payload" [ 1.; 2.; 3.; 4. ] !got
+
+let device_buffers_cuda_aware () =
+  with_clean @@ fun () ->
+  let got = ref 0. in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 ~space:Memsim.Space.Device 2 in
+      if ctx.Mpi.rank = 0 then begin
+        Memsim.Access.raw_set_f64 buf 1 6.5;
+        Mpi.send ctx ~buf ~count:2 ~dt:Dt.double ~dst:1 ~tag:0
+      end
+      else begin
+        Mpi.recv ctx ~buf ~count:2 ~dt:Dt.double ~src:0 ~tag:0;
+        got := Memsim.Access.raw_get_f64 buf 1
+      end);
+  Alcotest.(check (float 0.)) "device payload" 6.5 !got
+
+let tags_match () =
+  with_clean @@ fun () ->
+  let order = ref [] in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        Memsim.Access.raw_set_f64 buf 0 1.;
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:10;
+        Memsim.Access.raw_set_f64 buf 0 2.;
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:20
+      end
+      else begin
+        (* receive tag 20 first although tag 10 arrived first *)
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:20;
+        order := Memsim.Access.raw_get_f64 buf 0 :: !order;
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:10;
+        order := Memsim.Access.raw_get_f64 buf 0 :: !order
+      end);
+  Alcotest.(check (list (float 0.))) "tag selection" [ 1.; 2. ] !order
+
+let same_tag_fifo () =
+  with_clean @@ fun () ->
+  let vals = ref [] in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then
+        List.iter
+          (fun v ->
+            Memsim.Access.raw_set_f64 buf 0 v;
+            Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0)
+          [ 1.; 2.; 3. ]
+      else
+        for _ = 1 to 3 do
+          Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+          vals := Memsim.Access.raw_get_f64 buf 0 :: !vals
+        done);
+  Alcotest.(check (list (float 0.))) "non-overtaking" [ 1.; 2.; 3. ]
+    (List.rev !vals)
+
+let any_source_any_tag () =
+  with_clean @@ fun () ->
+  let n = ref 0 in
+  Mpi.run ~nranks:3 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then
+        for _ = 1 to 2 do
+          Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:Mpi.any_source
+            ~tag:Mpi.any_tag;
+          incr n
+        done
+      else begin
+        Memsim.Access.raw_set_f64 buf 0 (float ctx.Mpi.rank);
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:0 ~tag:ctx.Mpi.rank
+      end);
+  Alcotest.(check int) "both received" 2 !n
+
+let isend_irecv_waitall () =
+  with_clean @@ fun () ->
+  let got = ref 0. in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let a = alloc_f64 1 and b = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        Memsim.Access.raw_set_f64 a 0 3.;
+        Memsim.Access.raw_set_f64 b 0 4.;
+        let r1 = Mpi.isend ctx ~buf:a ~count:1 ~dt:Dt.double ~dst:1 ~tag:1 in
+        let r2 = Mpi.isend ctx ~buf:b ~count:1 ~dt:Dt.double ~dst:1 ~tag:2 in
+        Mpi.waitall ctx [ r1; r2 ]
+      end
+      else begin
+        let r1 = Mpi.irecv ctx ~buf:a ~count:1 ~dt:Dt.double ~src:0 ~tag:1 in
+        let r2 = Mpi.irecv ctx ~buf:b ~count:1 ~dt:Dt.double ~src:0 ~tag:2 in
+        Mpi.waitall ctx [ r1; r2 ];
+        got := Memsim.Access.raw_get_f64 a 0 +. Memsim.Access.raw_get_f64 b 0
+      end);
+  Alcotest.(check (float 0.)) "both delivered" 7. !got
+
+let test_polls () =
+  with_clean @@ fun () ->
+  let polls = ref 0 in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        Sched.Scheduler.yield ();
+        Memsim.Access.raw_set_f64 buf 0 1.;
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0
+      end
+      else begin
+        let r = Mpi.irecv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0 in
+        while not (Mpi.test ctx r) do
+          incr polls;
+          Sched.Scheduler.yield ()
+        done
+      end);
+  Alcotest.(check bool) "polled at least once" true (!polls >= 1)
+
+let sendrecv_exchange () =
+  with_clean @@ fun () ->
+  let results = Array.make 2 0. in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let sb = alloc_f64 1 and rb = alloc_f64 1 in
+      Memsim.Access.raw_set_f64 sb 0 (float (ctx.Mpi.rank + 1));
+      let peer = 1 - ctx.Mpi.rank in
+      Mpi.sendrecv ctx ~sendbuf:sb ~sendcount:1 ~dst:peer ~sendtag:0
+        ~recvbuf:rb ~recvcount:1 ~src:peer ~recvtag:0 ~dt:Dt.double;
+      results.(ctx.Mpi.rank) <- Memsim.Access.raw_get_f64 rb 0);
+  Alcotest.(check (float 0.)) "rank0 got rank1's" 2. results.(0);
+  Alcotest.(check (float 0.)) "rank1 got rank0's" 1. results.(1)
+
+let truncation_detected () =
+  with_clean @@ fun () ->
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        let big = alloc_f64 4 and small = alloc_f64 2 in
+        if ctx.Mpi.rank = 0 then
+          Mpi.send ctx ~buf:big ~count:4 ~dt:Dt.double ~dst:1 ~tag:0
+        else Mpi.recv ctx ~buf:small ~count:2 ~dt:Dt.double ~src:0 ~tag:0)
+  with
+  | () -> Alcotest.fail "truncation unnoticed"
+  | exception Mpisim.Comm.Truncation _ -> ()
+
+let recv_smaller_ok () =
+  with_clean @@ fun () ->
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 8 in
+      if ctx.Mpi.rank = 0 then
+        Mpi.send ctx ~buf ~count:2 ~dt:Dt.double ~dst:1 ~tag:0
+      else Mpi.recv ctx ~buf ~count:8 ~dt:Dt.double ~src:0 ~tag:0)
+
+let deadlock_two_recvs () =
+  with_clean @@ fun () ->
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        let buf = alloc_f64 1 in
+        let peer = 1 - ctx.Mpi.rank in
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:peer ~tag:0)
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Sched.Scheduler.Deadlock l ->
+      Alcotest.(check int) "both ranks blocked" 2 (List.length l)
+
+let wait_without_send_deadlocks () =
+  with_clean @@ fun () ->
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        if ctx.Mpi.rank = 1 then begin
+          let buf = alloc_f64 1 in
+          let r = Mpi.irecv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0 in
+          Mpi.wait ctx r
+        end)
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Sched.Scheduler.Deadlock _ -> ()
+
+let invalid_rank_rejected () =
+  with_clean @@ fun () ->
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        if ctx.Mpi.rank = 0 then begin
+          let buf = alloc_f64 1 in
+          Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:7 ~tag:0
+        end)
+  with
+  | () -> Alcotest.fail "invalid rank accepted"
+  | exception Mpisim.Comm.Invalid_rank 7 -> ()
+
+(* --- collectives -------------------------------------------------------- *)
+
+let barrier_orders () =
+  with_clean @@ fun () ->
+  let log = ref [] in
+  Mpi.run ~nranks:3 (fun ctx ->
+      if ctx.Mpi.rank = 0 then
+        for _ = 1 to 3 do
+          Sched.Scheduler.yield ()
+        done;
+      log := Printf.sprintf "pre%d" ctx.Mpi.rank :: !log;
+      Mpi.barrier ctx;
+      log := Printf.sprintf "post%d" ctx.Mpi.rank :: !log);
+  let l = List.rev !log in
+  let idx s = Option.get (List.find_index (( = ) s) l) in
+  (* every pre comes before every post *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun r' ->
+          Alcotest.(check bool) "pre<post" true
+            (idx (Printf.sprintf "pre%d" r) < idx (Printf.sprintf "post%d" r')))
+        [ 0; 1; 2 ])
+    [ 0; 1; 2 ]
+
+let allreduce_sum () =
+  with_clean @@ fun () ->
+  let results = Array.make 3 0. in
+  Mpi.run ~nranks:3 (fun ctx ->
+      let sb = alloc_f64 2 and rb = alloc_f64 2 in
+      fill sb [ float ctx.Mpi.rank; 1. ];
+      Mpi.allreduce ctx ~sendbuf:sb ~recvbuf:rb ~count:2 ~dt:Dt.double
+        ~op:Mpi.Sum;
+      results.(ctx.Mpi.rank) <- Memsim.Access.raw_get_f64 rb 0 +. (10. *. Memsim.Access.raw_get_f64 rb 1));
+  Array.iter (fun v -> Alcotest.(check (float 0.)) "0+1+2 and 3" 33. v) results
+
+let allreduce_max_min () =
+  with_clean @@ fun () ->
+  let mx = ref 0. and mn = ref 0. in
+  Mpi.run ~nranks:4 (fun ctx ->
+      let sb = alloc_f64 1 and rb = alloc_f64 1 in
+      Memsim.Access.raw_set_f64 sb 0 (float ((ctx.Mpi.rank * 7) mod 5));
+      Mpi.allreduce ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.double ~op:Mpi.Max;
+      if ctx.Mpi.rank = 0 then mx := Memsim.Access.raw_get_f64 rb 0;
+      Mpi.allreduce ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.double ~op:Mpi.Min;
+      if ctx.Mpi.rank = 0 then mn := Memsim.Access.raw_get_f64 rb 0);
+  Alcotest.(check (float 0.)) "max" 4. !mx;
+  Alcotest.(check (float 0.)) "min" 0. !mn
+
+let allreduce_int () =
+  with_clean @@ fun () ->
+  let got = ref 0 in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let sb = Memsim.Heap.alloc Memsim.Space.Host_pageable 4 in
+      let rb = Memsim.Heap.alloc Memsim.Space.Host_pageable 4 in
+      Memsim.Access.raw_set_i32 sb 0 (ctx.Mpi.rank + 5);
+      Mpi.allreduce ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.int_ ~op:Mpi.Sum;
+      if ctx.Mpi.rank = 0 then got := Memsim.Access.raw_get_i32 rb 0);
+  Alcotest.(check int) "5+6" 11 !got
+
+let bcast_root_to_all () =
+  with_clean @@ fun () ->
+  let results = Array.make 3 0. in
+  Mpi.run ~nranks:3 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 1 then Memsim.Access.raw_set_f64 buf 0 42.;
+      Mpi.bcast ctx ~buf ~count:1 ~dt:Dt.double ~root:1;
+      results.(ctx.Mpi.rank) <- Memsim.Access.raw_get_f64 buf 0);
+  Array.iter (fun v -> Alcotest.(check (float 0.)) "bcast" 42. v) results
+
+let reduce_to_root () =
+  with_clean @@ fun () ->
+  let root_val = ref 0. and other_val = ref (-1.) in
+  Mpi.run ~nranks:3 (fun ctx ->
+      let sb = alloc_f64 1 and rb = alloc_f64 1 in
+      Memsim.Access.raw_set_f64 sb 0 2.;
+      Memsim.Access.raw_set_f64 rb 0 (-1.);
+      Mpi.reduce ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.double ~op:Mpi.Prod
+        ~root:2;
+      if ctx.Mpi.rank = 2 then root_val := Memsim.Access.raw_get_f64 rb 0
+      else other_val := Memsim.Access.raw_get_f64 rb 0);
+  Alcotest.(check (float 0.)) "2*2*2 at root" 8. !root_val;
+  Alcotest.(check (float 0.)) "others untouched" (-1.) !other_val
+
+let collectives_repeat () =
+  with_clean @@ fun () ->
+  (* 20 successive rounds stay in lockstep. *)
+  let acc = ref 0. in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let sb = alloc_f64 1 and rb = alloc_f64 1 in
+      for i = 1 to 20 do
+        Memsim.Access.raw_set_f64 sb 0 (float i);
+        Mpi.allreduce ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.double
+          ~op:Mpi.Sum;
+        if ctx.Mpi.rank = 0 then acc := !acc +. Memsim.Access.raw_get_f64 rb 0
+      done);
+  Alcotest.(check (float 0.)) "sum of 2i" 420. !acc
+
+(* --- extended point-to-point and collectives ------------------------------- *)
+
+let ssend_rendezvous () =
+  with_clean @@ fun () ->
+  (* Ssend completes only after the receiver matched: the receive's
+     effect must be globally visible before the sender proceeds. *)
+  let sender_done_after_recv = ref false in
+  let recv_posted = ref false in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        Memsim.Access.raw_set_f64 buf 0 1.;
+        Mpi.ssend ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0;
+        sender_done_after_recv := !recv_posted
+      end
+      else begin
+        for _ = 1 to 3 do
+          Sched.Scheduler.yield ()
+        done;
+        recv_posted := true;
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0
+      end);
+  Alcotest.(check bool) "ssend waited for the match" true !sender_done_after_recv
+
+let crossed_ssends_deadlock () =
+  with_clean @@ fun () ->
+  (* The classic head-to-head MPI_Ssend deadlock. *)
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        let buf = alloc_f64 1 in
+        let peer = 1 - ctx.Mpi.rank in
+        Mpi.ssend ctx ~buf ~count:1 ~dt:Dt.double ~dst:peer ~tag:0;
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:peer ~tag:0)
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Sched.Scheduler.Deadlock _ -> ()
+
+let crossed_buffered_sends_fine () =
+  with_clean @@ fun () ->
+  (* The same pattern with buffered MPI_Send completes. *)
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 1 in
+      let peer = 1 - ctx.Mpi.rank in
+      Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:peer ~tag:0;
+      Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:peer ~tag:0)
+
+let allgather_orders_by_rank () =
+  with_clean @@ fun () ->
+  let results = Array.make 3 [] in
+  Mpi.run ~nranks:3 (fun ctx ->
+      let sb = alloc_f64 2 and rb = alloc_f64 6 in
+      fill sb [ float (10 * ctx.Mpi.rank); float ((10 * ctx.Mpi.rank) + 1) ];
+      Mpi.allgather ctx ~sendbuf:sb ~recvbuf:rb ~count:2 ~dt:Dt.double;
+      results.(ctx.Mpi.rank) <- read rb 6);
+  Array.iter
+    (fun got ->
+      Alcotest.(check (list (float 0.))) "rank order"
+        [ 0.; 1.; 10.; 11.; 20.; 21. ] got)
+    results
+
+let gather_only_root () =
+  with_clean @@ fun () ->
+  let root_got = ref [] and other_got = ref [] in
+  Mpi.run ~nranks:2 (fun ctx ->
+      let sb = alloc_f64 1 and rb = alloc_f64 2 in
+      fill sb [ float (ctx.Mpi.rank + 1) ];
+      fill rb [ -1.; -1. ];
+      Mpi.gather ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.double ~root:1;
+      if ctx.Mpi.rank = 1 then root_got := read rb 2 else other_got := read rb 2);
+  Alcotest.(check (list (float 0.))) "root" [ 1.; 2. ] !root_got;
+  Alcotest.(check (list (float 0.))) "non-root untouched" [ -1.; -1. ] !other_got
+
+let scatter_slices () =
+  with_clean @@ fun () ->
+  let results = Array.make 3 0. in
+  Mpi.run ~nranks:3 (fun ctx ->
+      let sb = alloc_f64 3 and rb = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then fill sb [ 7.; 8.; 9. ];
+      Mpi.scatter ctx ~sendbuf:sb ~recvbuf:rb ~count:1 ~dt:Dt.double ~root:0;
+      results.(ctx.Mpi.rank) <- Memsim.Access.raw_get_f64 rb 0);
+  Alcotest.(check (array (float 0.))) "slices" [| 7.; 8.; 9. |] results
+
+(* --- hooks ----------------------------------------------------------------- *)
+
+let hooks_fire_in_order () =
+  with_clean @@ fun () ->
+  let calls = ref [] in
+  Mpisim.Hooks.add (fun ~rank phase call ->
+      if rank = 0 && phase = Mpisim.Hooks.Pre then
+        calls := Mpisim.Hooks.call_name call :: !calls);
+  Mpi.run ~nranks:2 (fun ctx ->
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        let r = Mpi.isend ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0 in
+        Mpi.wait ctx r;
+        Mpi.barrier ctx
+      end
+      else begin
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+        Mpi.barrier ctx
+      end);
+  Alcotest.(check (list string)) "rank0 call sequence"
+    [ "MPI_Init"; "MPI_Isend"; "MPI_Wait"; "MPI_Barrier"; "MPI_Finalize" ]
+    (List.rev !calls)
+
+let datatypes () =
+  Alcotest.(check int) "double" 8 Dt.double.Dt.size;
+  Alcotest.(check int) "float" 4 Dt.float_.Dt.size;
+  Alcotest.(check int) "int" 4 Dt.int_.Dt.size;
+  Alcotest.(check int) "byte" 1 Dt.byte.Dt.size;
+  let c = Dt.contiguous 5 Dt.double in
+  Alcotest.(check int) "contiguous size" 40 c.Dt.size;
+  Alcotest.(check bool) "elem kept" true
+    (Typeart.Typedb.equal c.Dt.elem Typeart.Typedb.F64)
+
+(* Property: random sequences of matched send/recv pairs always deliver,
+   in FIFO order per (src,tag). *)
+let prop_matched_traffic =
+  QCheck.Test.make ~name:"matched traffic always delivered" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 15) (pair (int_range 0 2) (int_range 0 1)))
+    (fun msgs ->
+      Memsim.Heap.reset ();
+      Mpisim.Hooks.clear ();
+      let expected = List.mapi (fun i (_, tag) -> (i, tag)) msgs in
+      let delivered = ref [] in
+      Mpi.run ~nranks:2 (fun ctx ->
+          let buf = Memsim.Heap.alloc Memsim.Space.Host_pageable 8 in
+          if ctx.Mpi.rank = 0 then
+            List.iteri
+              (fun i (yields, tag) ->
+                for _ = 1 to yields do
+                  Sched.Scheduler.yield ()
+                done;
+                Memsim.Access.raw_set_f64 buf 0 (float i);
+                Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag)
+              msgs
+          else
+            (* Receive per tag in order. *)
+            List.iter
+              (fun tag ->
+                Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag;
+                delivered :=
+                  (int_of_float (Memsim.Access.raw_get_f64 buf 0), tag)
+                  :: !delivered)
+              (List.map snd msgs |> List.sort compare));
+      Memsim.Heap.reset ();
+      (* per-tag sequence numbers must be increasing (FIFO) *)
+      let by_tag tag =
+        List.filter (fun (_, t) -> t = tag) (List.rev !delivered) |> List.map fst
+      in
+      let sorted l = List.sort compare l = l in
+      sorted (by_tag 0) && sorted (by_tag 1)
+      && List.length !delivered = List.length expected)
+
+let tests =
+  [
+    Alcotest.test_case "send/recv roundtrip" `Quick send_recv_roundtrip;
+    Alcotest.test_case "device buffers (CUDA-aware)" `Quick
+      device_buffers_cuda_aware;
+    Alcotest.test_case "tag matching" `Quick tags_match;
+    Alcotest.test_case "same tag FIFO" `Quick same_tag_fifo;
+    Alcotest.test_case "any source/any tag" `Quick any_source_any_tag;
+    Alcotest.test_case "isend/irecv/waitall" `Quick isend_irecv_waitall;
+    Alcotest.test_case "test polls" `Quick test_polls;
+    Alcotest.test_case "sendrecv exchange" `Quick sendrecv_exchange;
+    Alcotest.test_case "truncation detected" `Quick truncation_detected;
+    Alcotest.test_case "short message into large recv" `Quick recv_smaller_ok;
+    Alcotest.test_case "deadlock: crossed recvs" `Quick deadlock_two_recvs;
+    Alcotest.test_case "deadlock: wait without send" `Quick
+      wait_without_send_deadlocks;
+    Alcotest.test_case "invalid rank" `Quick invalid_rank_rejected;
+    Alcotest.test_case "barrier orders" `Quick barrier_orders;
+    Alcotest.test_case "allreduce sum" `Quick allreduce_sum;
+    Alcotest.test_case "allreduce max/min" `Quick allreduce_max_min;
+    Alcotest.test_case "allreduce int" `Quick allreduce_int;
+    Alcotest.test_case "bcast" `Quick bcast_root_to_all;
+    Alcotest.test_case "reduce to root" `Quick reduce_to_root;
+    Alcotest.test_case "collectives repeat" `Quick collectives_repeat;
+    Alcotest.test_case "ssend rendezvous" `Quick ssend_rendezvous;
+    Alcotest.test_case "crossed ssends deadlock" `Quick crossed_ssends_deadlock;
+    Alcotest.test_case "crossed buffered sends fine" `Quick
+      crossed_buffered_sends_fine;
+    Alcotest.test_case "allgather rank order" `Quick allgather_orders_by_rank;
+    Alcotest.test_case "gather only root" `Quick gather_only_root;
+    Alcotest.test_case "scatter slices" `Quick scatter_slices;
+    Alcotest.test_case "hooks fire in order" `Quick hooks_fire_in_order;
+    Alcotest.test_case "datatypes" `Quick datatypes;
+    QCheck_alcotest.to_alcotest prop_matched_traffic;
+  ]
+
+let () = Alcotest.run "mpisim" [ ("mpisim", tests) ]

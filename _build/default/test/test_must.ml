@@ -1,0 +1,225 @@
+(* Unit tests for the MUST runtime slice: blocking-call annotations,
+   request fibers (Fig. 1 of the paper), and TypeART-backed datatype
+   checks. These drive the interception handler directly, without the
+   full scheduler. *)
+
+module M = Must.Runtime
+module H = Mpisim.Hooks
+module T = Tsan.Detector
+module Dt = Mpisim.Datatype
+
+let with_clean f =
+  Memsim.Heap.reset ();
+  Typeart.Rt.reset ();
+  Typeart.Rt.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Typeart.Rt.enabled := false;
+      Typeart.Rt.reset ();
+      Memsim.Heap.reset ())
+    f
+
+let setup ?(check_types = true) () =
+  let tsan = T.create () in
+  let must = M.create ~tsan ~rank:0 ~check_types () in
+  (tsan, must)
+
+let dbl_buf count = Typeart.Pass.alloc Memsim.Space.Device Typeart.Typedb.F64 count
+
+let mk_req kind buf count =
+  Mpisim.Request.make ~kind ~buf ~count ~dt:Dt.double ~peer:1 ~tag:0 ~owner:0
+
+(* --- annotations --------------------------------------------------------- *)
+
+let send_marks_host_read () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 8 in
+  M.on_call must H.Pre (H.Send { buf; count = 8; dt = Dt.double; dst = 1; tag = 0 });
+  let c = T.counters tsan in
+  Alcotest.(check int) "read range" 1 c.Tsan.Counters.read_ranges;
+  Alcotest.(check int) "bytes" 64 c.Tsan.Counters.read_bytes;
+  Alcotest.(check int) "no fiber switch for blocking" 0
+    c.Tsan.Counters.fiber_switches
+
+let recv_marks_host_write () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 8 in
+  M.on_call must H.Pre (H.Recv { buf; count = 8; dt = Dt.double; src = 1; tag = 0 });
+  Alcotest.(check int) "write bytes" 64 (T.counters tsan).Tsan.Counters.write_bytes
+
+let isend_uses_fiber () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 8 in
+  let req = mk_req Mpisim.Request.Isend buf 8 in
+  M.on_call must H.Pre (H.Isend { req });
+  let c = T.counters tsan in
+  Alcotest.(check int) "switched to fiber and back" 2 c.Tsan.Counters.fiber_switches;
+  Alcotest.(check int) "released request key" 1 c.Tsan.Counters.happens_before;
+  (* the concurrent region: a host write to the buffer now races *)
+  T.write_range tsan ~addr:(Memsim.Ptr.addr buf) ~len:8;
+  Alcotest.(check bool) "race in concurrent region" true (T.races_total tsan > 0)
+
+let wait_closes_concurrent_region () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 8 in
+  let req = mk_req Mpisim.Request.Irecv buf 8 in
+  M.on_call must H.Pre (H.Irecv { req });
+  M.on_call must H.Post (H.Wait { req });
+  T.write_range tsan ~addr:(Memsim.Ptr.addr buf) ~len:64;
+  Alcotest.(check int) "clean after wait" 0 (T.races_total tsan)
+
+let waitall_closes_all () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let b1 = dbl_buf 4 and b2 = dbl_buf 4 in
+  let r1 = mk_req Mpisim.Request.Irecv b1 4 in
+  let r2 = mk_req Mpisim.Request.Irecv b2 4 in
+  M.on_call must H.Pre (H.Irecv { req = r1 });
+  M.on_call must H.Pre (H.Irecv { req = r2 });
+  M.on_call must H.Post (H.Waitall { reqs = [ r1; r2 ] });
+  T.write_range tsan ~addr:(Memsim.Ptr.addr b1) ~len:32;
+  T.write_range tsan ~addr:(Memsim.Ptr.addr b2) ~len:32;
+  Alcotest.(check int) "both closed" 0 (T.races_total tsan)
+
+let successful_test_closes () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 4 in
+  let req = mk_req Mpisim.Request.Irecv buf 4 in
+  M.on_call must H.Pre (H.Irecv { req });
+  M.on_call must H.Post (H.Test { req; completed = false });
+  T.read_range tsan ~addr:(Memsim.Ptr.addr buf) ~len:8;
+  Alcotest.(check bool) "still open after failed test" true (T.races_total tsan > 0);
+  let tsan2, must2 = setup () in
+  let buf2 = dbl_buf 4 in
+  let req2 = mk_req Mpisim.Request.Irecv buf2 4 in
+  M.on_call must2 H.Pre (H.Irecv { req = req2 });
+  M.on_call must2 H.Post (H.Test { req = req2; completed = true });
+  T.read_range tsan2 ~addr:(Memsim.Ptr.addr buf2) ~len:8;
+  Alcotest.(check int) "closed after successful test" 0 (T.races_total tsan2)
+
+let two_pending_requests_race_each_other () =
+  (* Two Irecvs into the same buffer: their fibers conflict. *)
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 4 in
+  let r1 = mk_req Mpisim.Request.Irecv buf 4 in
+  let r2 = mk_req Mpisim.Request.Irecv buf 4 in
+  M.on_call must H.Pre (H.Irecv { req = r1 });
+  M.on_call must H.Pre (H.Irecv { req = r2 });
+  Alcotest.(check bool) "overlapping irecvs race" true (T.races_total tsan > 0)
+
+let allreduce_annotates_both () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let sb = dbl_buf 4 and rb = dbl_buf 4 in
+  M.on_call must H.Pre (H.Allreduce { sendbuf = sb; recvbuf = rb; count = 4; dt = Dt.double });
+  let c = T.counters tsan in
+  Alcotest.(check int) "read" 32 c.Tsan.Counters.read_bytes;
+  Alcotest.(check int) "write" 32 c.Tsan.Counters.write_bytes
+
+let bcast_root_vs_nonroot () =
+  with_clean @@ fun () ->
+  let tsan, must = setup () in
+  let buf = dbl_buf 4 in
+  (* rank 0 created with root=0: bcast at root reads *)
+  M.on_call must H.Pre (H.Bcast { buf; count = 4; dt = Dt.double; root = 0 });
+  Alcotest.(check int) "root reads" 32 (T.counters tsan).Tsan.Counters.read_bytes;
+  let tsan1 = T.create () in
+  let must1 = M.create ~tsan:tsan1 ~rank:1 ~check_types:false () in
+  M.on_call must1 H.Pre (H.Bcast { buf; count = 4; dt = Dt.double; root = 0 });
+  Alcotest.(check int) "non-root writes" 32
+    (T.counters tsan1).Tsan.Counters.write_bytes
+
+(* --- TypeART checks -------------------------------------------------------- *)
+
+let type_mismatch_found () =
+  with_clean @@ fun () ->
+  let _, must = setup () in
+  let buf = Typeart.Pass.alloc Memsim.Space.Device Typeart.Typedb.F32 8 in
+  M.on_call must H.Pre (H.Send { buf; count = 4; dt = Dt.double; dst = 1; tag = 0 });
+  match M.errors must with
+  | [ { Must.Errors.kind = Must.Errors.Type_mismatch _; call = "MPI_Send"; _ } ] -> ()
+  | l -> Alcotest.failf "expected one mismatch, got %d findings" (List.length l)
+
+let overflow_found () =
+  with_clean @@ fun () ->
+  let _, must = setup () in
+  let buf = dbl_buf 4 in
+  M.on_call must H.Pre (H.Recv { buf; count = 9; dt = Dt.double; src = 1; tag = 0 });
+  match M.errors must with
+  | [ { Must.Errors.kind = Must.Errors.Buffer_overflow { have_bytes = 32; need_bytes = 72 }; _ } ] -> ()
+  | l -> Alcotest.failf "expected one overflow, got %d" (List.length l)
+
+let interior_overflow () =
+  with_clean @@ fun () ->
+  let _, must = setup () in
+  let buf = dbl_buf 8 in
+  let interior = Memsim.Ptr.add buf ~elt:8 6 in
+  M.on_call must H.Pre
+    (H.Send { buf = interior; count = 4; dt = Dt.double; dst = 1; tag = 0 });
+  Alcotest.(check int) "flagged" 1 (List.length (M.errors must))
+
+let untracked_buffer_flagged () =
+  with_clean @@ fun () ->
+  let _, must = setup () in
+  (* raw allocation bypassing the TypeART pass *)
+  let buf = Memsim.Heap.alloc Memsim.Space.Device 64 in
+  M.on_call must H.Pre (H.Send { buf; count = 4; dt = Dt.double; dst = 1; tag = 0 });
+  match M.errors must with
+  | [ { Must.Errors.kind = Must.Errors.Unknown_allocation; _ } ] -> ()
+  | l -> Alcotest.failf "expected unknown-allocation, got %d" (List.length l)
+
+let correct_usage_no_findings () =
+  with_clean @@ fun () ->
+  let _, must = setup () in
+  let buf = dbl_buf 8 in
+  M.on_call must H.Pre (H.Send { buf; count = 8; dt = Dt.double; dst = 1; tag = 0 });
+  Alcotest.(check int) "no findings" 0 (List.length (M.errors must))
+
+let checks_disabled () =
+  with_clean @@ fun () ->
+  let _, must = setup ~check_types:false () in
+  let buf = Typeart.Pass.alloc Memsim.Space.Device Typeart.Typedb.F32 8 in
+  M.on_call must H.Pre (H.Send { buf; count = 99; dt = Dt.double; dst = 1; tag = 0 });
+  Alcotest.(check int) "silent when disabled" 0 (List.length (M.errors must))
+
+let error_pp_smoke () =
+  with_clean @@ fun () ->
+  let _, must = setup () in
+  let buf = Typeart.Pass.alloc Memsim.Space.Device Typeart.Typedb.F32 8 in
+  M.on_call must H.Pre (H.Send { buf; count = 20; dt = Dt.double; dst = 1; tag = 0 });
+  List.iter
+    (fun e ->
+      let s = Fmt.str "%a" Must.Errors.pp e in
+      Alcotest.(check bool) "mentions MUST" true
+        (String.length s > 10 && String.sub s 0 5 = "MUST:"))
+    (M.errors must)
+
+let tests =
+  [
+    Alcotest.test_case "Send marks host read" `Quick send_marks_host_read;
+    Alcotest.test_case "Recv marks host write" `Quick recv_marks_host_write;
+    Alcotest.test_case "Isend uses a fiber" `Quick isend_uses_fiber;
+    Alcotest.test_case "Wait closes region" `Quick wait_closes_concurrent_region;
+    Alcotest.test_case "Waitall closes all" `Quick waitall_closes_all;
+    Alcotest.test_case "Test closes on success only" `Quick
+      successful_test_closes;
+    Alcotest.test_case "overlapping Irecvs race" `Quick
+      two_pending_requests_race_each_other;
+    Alcotest.test_case "Allreduce annotates both" `Quick allreduce_annotates_both;
+    Alcotest.test_case "Bcast root vs non-root" `Quick bcast_root_vs_nonroot;
+    Alcotest.test_case "type mismatch" `Quick type_mismatch_found;
+    Alcotest.test_case "count overflow" `Quick overflow_found;
+    Alcotest.test_case "interior pointer overflow" `Quick interior_overflow;
+    Alcotest.test_case "untracked buffer" `Quick untracked_buffer_flagged;
+    Alcotest.test_case "correct usage clean" `Quick correct_usage_no_findings;
+    Alcotest.test_case "checks disabled" `Quick checks_disabled;
+    Alcotest.test_case "error pretty-print" `Quick error_pp_smoke;
+  ]
+
+let () = Alcotest.run "must" [ ("must", tests) ]

@@ -1,0 +1,334 @@
+(* Tests for the launch-time access-range analysis (the sound
+   implementation of the paper's Section VI-D optimization): interval
+   arithmetic, per-kernel range derivation, soundness against the
+   interpreter, and the end-to-end effect on race verdicts. *)
+
+module I = Cusan.Interval
+module RA = Cusan.Range_analysis
+module R = Harness.Run
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+
+(* --- interval arithmetic ------------------------------------------------ *)
+
+let iv lo hi = I.of_bounds lo hi
+
+let interval_basics () =
+  Alcotest.(check bool) "const" true (I.equal (I.const 5) (iv 5 5));
+  Alcotest.(check bool) "add" true (I.equal (I.add (iv 1 3) (iv 10 20)) (iv 11 23));
+  Alcotest.(check bool) "sub" true (I.equal (I.sub (iv 1 3) (iv 1 2)) (iv (-1) 2));
+  Alcotest.(check bool) "mul signs" true
+    (I.equal (I.mul (iv (-2) 3) (iv 4 5)) (iv (-10) 15));
+  Alcotest.(check bool) "join" true (I.equal (I.join (iv 0 2) (iv 5 9)) (iv 0 9))
+
+let interval_saturation () =
+  let top = I.top in
+  Alcotest.(check bool) "add inf" true (I.is_top (I.add top (iv 1 1)));
+  Alcotest.(check bool) "mul big saturates" true
+    ((I.mul (iv max_int max_int) (iv 2 2)).I.hi = max_int);
+  Alcotest.(check bool) "neg top" true (I.is_top (I.neg top))
+
+let interval_div_rem () =
+  Alcotest.(check bool) "div by const" true
+    (I.equal (I.div (iv 10 21) (I.const 10)) (iv 1 2));
+  Alcotest.(check bool) "div by range = top" true
+    (I.is_top (I.div (iv 0 10) (iv 1 2)));
+  Alcotest.(check bool) "rem inside" true
+    (I.equal (I.rem (iv 2 5) (I.const 8)) (iv 2 5));
+  Alcotest.(check bool) "rem wraps" true
+    (I.equal (I.rem (iv 0 100) (I.const 8)) (iv 0 7));
+  Alcotest.(check bool) "rem negative operand" true
+    (I.equal (I.rem (iv (-3) 100) (I.const 8)) (iv (-7) 7))
+
+let interval_widen () =
+  Alcotest.(check bool) "stable stays" true
+    (I.equal (I.widen (iv 0 5) (iv 0 5)) (iv 0 5));
+  let w = I.widen (iv 0 5) (iv 0 9) in
+  Alcotest.(check bool) "growing hi -> +oo" true (w.I.hi = max_int && w.I.lo = 0)
+
+(* --- launch-time summaries ----------------------------------------------- *)
+
+let summarize m entry args grid =
+  match RA.analyze_launch m ~entry ~args ~grid with
+  | Some s -> s
+  | None -> Alcotest.fail "kernel not found"
+
+let byte_range (a : RA.access) kind =
+  match (kind, a.RA.read, a.RA.written) with
+  | `Read, Some r, _ -> Some (r.I.lo, r.I.hi)
+  | `Write, _, Some w -> Some (w.I.lo, w.I.hi)
+  | `Read, None, _ | `Write, _, None -> None
+
+let dev_ptr n =
+  Kir.Interp.VPtr (Memsim.Heap.alloc Memsim.Space.Device (n * 8))
+
+(* The pack kernel: dst[tid] = src[row_off + tid] — the pattern whose
+   precise range is a single row out of a whole domain. *)
+let pack_module =
+  Kir.Dsl.(
+    modul ~kernels:[ "pack" ]
+      [
+        func "pack"
+          [ ptr "dst"; ptr "src"; scalar "off"; scalar "n" ]
+          [ if_ (tid <. p 3) [ store (p 0) tid (load (p 1) (p 2 +. tid)) ] [] ];
+      ])
+
+let pack_kernel_row_range () =
+  Memsim.Heap.reset ();
+  let s =
+    summarize pack_module "pack"
+      [| dev_ptr 16; dev_ptr 4096; VInt 1024; VInt 16 |]
+      16
+  in
+  Alcotest.(check bool) "precise" true (not s.RA.imprecise.(1));
+  Alcotest.(check (option (pair int int))) "dst writes its 16 elems"
+    (Some (0, 127))
+    (byte_range s.RA.per_param.(0) `Write);
+  Alcotest.(check (option (pair int int))) "src reads one row"
+    (Some (1024 * 8, (1024 * 8) + 127))
+    (byte_range s.RA.per_param.(1) `Read);
+  Alcotest.(check (option (pair int int))) "src not written" None
+    (byte_range s.RA.per_param.(1) `Write);
+  Memsim.Heap.reset ()
+
+let loop_accumulator_widens () =
+  (* s grows every iteration: the fixpoint must widen it, making the
+     store range unbounded above -> clipped to the extent, not missed. *)
+  Memsim.Heap.reset ();
+  let m =
+    Kir.Dsl.(
+      modul ~kernels:[ "k" ]
+        [
+          func "k"
+            [ ptr "a"; scalar "n" ]
+            [
+              let_ "s" (i 0);
+              for_ "i" (i 0) (p 1)
+                [ store (p 0) (v "s") (f 1.); let_ "s" (v "s" +. i 2) ];
+            ];
+        ])
+  in
+  let s = summarize m "k" [| dev_ptr 64; VInt 10 |] 1 in
+  match byte_range s.RA.per_param.(0) `Write with
+  | Some (lo, hi) ->
+      Alcotest.(check int) "lower bound exact" 0 lo;
+      Alcotest.(check bool) "upper widened" true (hi = max_int || hi >= 18 * 8)
+  | None ->
+      Alcotest.(check bool) "or imprecise fallback" true s.RA.imprecise.(0);
+      Memsim.Heap.reset ()
+
+let data_dependent_index_imprecise () =
+  Memsim.Heap.reset ();
+  let m =
+    Kir.Dsl.(
+      modul ~kernels:[ "k" ]
+        [
+          func "k"
+            [ ptr "a"; ptr "idx" ]
+            [ store (p 0) (f2i (load (p 1) tid)) (f 1.) ];
+        ])
+  in
+  let s = summarize m "k" [| dev_ptr 64; dev_ptr 64 |] 4 in
+  Alcotest.(check bool) "a imprecise" true s.RA.imprecise.(0);
+  Alcotest.(check bool) "idx reads precisely" true (not s.RA.imprecise.(1));
+  Memsim.Heap.reset ()
+
+let nested_call_ranges () =
+  Memsim.Heap.reset ();
+  let m =
+    Kir.Dsl.(
+      modul ~kernels:[ "k" ]
+        [
+          func "helper" [ ptr "x"; scalar "i" ] [ store (p 0) (p 1 +. i 1) (f 0.) ];
+          func "k" [ ptr "a" ] [ call "helper" [ p 0 +@ i 2; tid ] ];
+        ])
+  in
+  let s = summarize m "k" [| dev_ptr 64 |] 4 in
+  (* helper writes x[i+1] with x = a+2 elems, i = tid in [0,3]:
+     bytes [ (2+1)*8, (2+4)*8 + 7 ] = [24, 55] *)
+  Alcotest.(check (option (pair int int))) "call-chain range" (Some (24, 55))
+    (byte_range s.RA.per_param.(0) `Write);
+  Memsim.Heap.reset ()
+
+let grid_bounds_flow_through_tid () =
+  Memsim.Heap.reset ();
+  let m =
+    Kir.Dsl.(
+      modul ~kernels:[ "k" ]
+        [ func "k" [ ptr "a" ] [ store (p 0) (tid *. i 2) (f 0.) ] ])
+  in
+  let s = summarize m "k" [| dev_ptr 64 |] 8 in
+  Alcotest.(check (option (pair int int))) "strided range" (Some (0, 119))
+    (byte_range s.RA.per_param.(0) `Write);
+  Memsim.Heap.reset ()
+
+(* Soundness: the analyzed byte range contains every byte the
+   interpreter actually touches, on random kernels. *)
+let gen_kernel =
+  let open QCheck.Gen in
+  let idx =
+    oneofl
+      Kir.Dsl.
+        [ tid; tid %. i 8; (tid *. i 2) %. i 8; i 3; v "j"; p 2 +. tid; tid /. i 2 ]
+  in
+  let target = oneofl Kir.Dsl.[ p 0; p 1; p 0 +@ i 2 ] in
+  let stmt =
+    oneof
+      [
+        (let* t = target and* ix = idx in
+         return (Kir.Dsl.store t ix (Kir.Dsl.f 1.)));
+        (let* t = target and* ix = idx in
+         return (Kir.Dsl.let_ "x" (Kir.Dsl.load t ix)));
+      ]
+  in
+  let* body = list_size (1 -- 5) stmt in
+  let* in_loop = bool in
+  return
+    Kir.Dsl.(
+      modul ~kernels:[ "k" ]
+        [
+          func "k"
+            [ ptr "a"; ptr "b"; scalar "off" ]
+            (let_ "j" (i 1)
+            :: (if in_loop then [ for_ "j" (i 0) (i 3) body ] else body));
+        ])
+
+let prop_ranges_sound =
+  QCheck.Test.make ~name:"precise ranges contain interpreter footprint"
+    ~count:300
+    (QCheck.make
+       ~print:(fun m ->
+         Fmt.str "%a" (Fmt.list Kir.Ir.pp_func) m.Kir.Ir.funcs)
+       gen_kernel)
+    (fun m ->
+      Memsim.Heap.reset ();
+      let a = Memsim.Heap.alloc Memsim.Space.Device 256 in
+      let b = Memsim.Heap.alloc Memsim.Space.Device 256 in
+      let args = [| Kir.Interp.VPtr a; VPtr b; VInt 2 |] in
+      let grid = 6 in
+      let s = Option.get (RA.analyze_launch m ~entry:"k" ~args ~grid) in
+      (* record the real footprint as byte offsets per arg *)
+      let touched = [| ref []; ref [] |] in
+      let record p ~bytes =
+        let i = if Memsim.Ptr.addr p >= Memsim.Ptr.addr b then 1 else 0 in
+        let base = if i = 1 then Memsim.Ptr.addr b else Memsim.Ptr.addr a in
+        let off = Memsim.Ptr.addr p - base in
+        touched.(i) := (off, off + bytes - 1) :: !(touched.(i))
+      in
+      let tracer =
+        { Kir.Interp.on_read = (fun p ~bytes -> record p ~bytes);
+          on_write = (fun p ~bytes -> record p ~bytes) }
+      in
+      Kir.Interp.run_kernel ~tracer m ~name:"k" ~args ~grid;
+      Memsim.Heap.reset ();
+      let sound i =
+        List.for_all
+          (fun (lo, hi) ->
+            s.RA.imprecise.(i)
+            ||
+            let acc = s.RA.per_param.(i) in
+            let any =
+              match (acc.RA.read, acc.RA.written) with
+              | None, None -> None
+              | Some r, None -> Some r
+              | None, Some w -> Some w
+              | Some r, Some w -> Some (I.join r w)
+            in
+            match any with
+            | None -> false
+            | Some iv -> iv.I.lo <= lo && hi <= iv.I.hi)
+          !(touched.(i))
+      in
+      sound 0 && sound 1)
+
+(* --- end-to-end: false-positive removal ---------------------------------- *)
+
+(* Two kernels writing DISJOINT halves of one buffer from two
+   non-blocking streams: whole-allocation annotation (the paper's
+   approach) reports a false race; precise ranges do not. *)
+let halves_app : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let half =
+    env.R.compile
+      (Cudasim.Kernel.make
+         ~kir:
+           Kir.Dsl.(
+             ( modul ~kernels:[ "half" ]
+                 [
+                   func "half"
+                     [ ptr "buf"; scalar "base"; scalar "n" ]
+                     [
+                       if_ (tid <. p 2)
+                         [ store (p 0) (p 1 +. tid) (i2f tid) ]
+                         [];
+                     ];
+                 ],
+               "half" ))
+         "half")
+  in
+  let buf = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:64 in
+  let s1 = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  let s2 = Dev.stream_create ~flags:Dev.Non_blocking dev in
+  Dev.launch dev half ~grid:32 ~args:[| VPtr buf; VInt 0; VInt 32 |] ~stream:s1 ();
+  Dev.launch dev half ~grid:32 ~args:[| VPtr buf; VInt 32; VInt 32 |] ~stream:s2 ();
+  Dev.device_synchronize dev;
+  Mem.free dev buf
+
+let whole_mode_false_positive () =
+  let res = R.run ~nranks:1 ~flavor:Harness.Flavor.Cusan halves_app in
+  Alcotest.(check bool) "whole-allocation annotation flags it" true
+    (R.has_races res)
+
+let precise_mode_clean () =
+  let res =
+    R.run ~nranks:1 ~annotation:Cusan.Runtime.Precise
+      ~flavor:Harness.Flavor.Cusan halves_app
+  in
+  Alcotest.(check int) "precise ranges: disjoint halves are clean" 0
+    (List.length res.R.races)
+
+let precise_mode_keeps_real_races () =
+  (* The full correctness testsuite must classify identically under
+     precise annotation: real races touch the communicated bytes. *)
+  let verdicts = Testsuite.Runner.run_all ~annotation:Cusan.Runtime.Precise () in
+  List.iter
+    (fun v ->
+      if not v.Testsuite.Runner.pass then
+        Alcotest.failf "%s" (Fmt.str "%a" Testsuite.Runner.pp_verdict v))
+    verdicts
+
+let precise_tracks_fewer_bytes () =
+  let cfg flavor annotation =
+    let c = Apps.Jacobi.config ~nx:64 ~ny:64 ~iters:10 ~norm_every:10 ~nranks:2 () in
+    R.run ~nranks:2 ?annotation ~flavor (Apps.Jacobi.app c)
+  in
+  let whole = cfg Harness.Flavor.Cusan None in
+  let precise = cfg Harness.Flavor.Cusan (Some Cusan.Runtime.Precise) in
+  Alcotest.(check bool) "still clean" false (R.has_races precise);
+  Alcotest.(check bool) "not more bytes than whole-allocation" true
+    (precise.R.tracked_write_bytes <= whole.R.tracked_write_bytes)
+
+let tests =
+  [
+    Alcotest.test_case "interval basics" `Quick interval_basics;
+    Alcotest.test_case "interval saturation" `Quick interval_saturation;
+    Alcotest.test_case "interval div/rem" `Quick interval_div_rem;
+    Alcotest.test_case "interval widen" `Quick interval_widen;
+    Alcotest.test_case "pack kernel row range" `Quick pack_kernel_row_range;
+    Alcotest.test_case "loop accumulator widens" `Quick loop_accumulator_widens;
+    Alcotest.test_case "data-dependent index imprecise" `Quick
+      data_dependent_index_imprecise;
+    Alcotest.test_case "nested call ranges" `Quick nested_call_ranges;
+    Alcotest.test_case "tid bounds" `Quick grid_bounds_flow_through_tid;
+    QCheck_alcotest.to_alcotest prop_ranges_sound;
+    Alcotest.test_case "whole mode: false positive on halves" `Quick
+      whole_mode_false_positive;
+    Alcotest.test_case "precise mode: halves clean" `Quick precise_mode_clean;
+    Alcotest.test_case "precise mode: testsuite still 100%" `Quick
+      precise_mode_keeps_real_races;
+    Alcotest.test_case "precise tracks fewer bytes" `Quick
+      precise_tracks_fewer_bytes;
+  ]
+
+let () = Alcotest.run "range" [ ("range-analysis", tests) ]

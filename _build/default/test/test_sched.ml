@@ -1,0 +1,219 @@
+(* Unit tests for the deterministic cooperative scheduler. *)
+
+let trace () =
+  let log = ref [] in
+  let emit s = log := s :: !log in
+  (log, emit)
+
+let order () =
+  let log, emit = trace () in
+  Sched.Scheduler.run
+    [
+      ("a", fun () -> emit "a1"; Sched.Scheduler.yield (); emit "a2");
+      ("b", fun () -> emit "b1"; Sched.Scheduler.yield (); emit "b2");
+    ];
+  Alcotest.(check (list string)) "round robin" [ "a1"; "b1"; "a2"; "b2" ]
+    (List.rev !log)
+
+let determinism () =
+  let run () =
+    let log, emit = trace () in
+    Sched.Scheduler.run
+      (List.init 5 (fun i ->
+           ( Printf.sprintf "t%d" i,
+             fun () ->
+               for k = 0 to 3 do
+                 emit (Printf.sprintf "t%d.%d" i k);
+                 Sched.Scheduler.yield ()
+               done )));
+    List.rev !log
+  in
+  Alcotest.(check (list string)) "two runs identical" (run ()) (run ())
+
+let wait_signal () =
+  let log, emit = trace () in
+  let c = Sched.Scheduler.cond "c" in
+  let ready = ref false in
+  Sched.Scheduler.run
+    [
+      ( "consumer",
+        fun () ->
+          Sched.Scheduler.wait_until c (fun () -> !ready);
+          emit "consumed" );
+      ( "producer",
+        fun () ->
+          Sched.Scheduler.yield ();
+          ready := true;
+          emit "produced";
+          Sched.Scheduler.signal c );
+    ];
+  Alcotest.(check (list string)) "order" [ "produced"; "consumed" ] (List.rev !log)
+
+let broadcast () =
+  let c = Sched.Scheduler.cond "c" in
+  let woken = ref 0 in
+  let go = ref false in
+  Sched.Scheduler.run
+    [
+      ("w1", fun () -> Sched.Scheduler.wait_until c (fun () -> !go); incr woken);
+      ("w2", fun () -> Sched.Scheduler.wait_until c (fun () -> !go); incr woken);
+      ("sig", fun () -> go := true; Sched.Scheduler.signal c);
+    ];
+  Alcotest.(check int) "both woken" 2 !woken
+
+let deadlock () =
+  let c = Sched.Scheduler.cond "never" in
+  match Sched.Scheduler.run [ ("stuck", fun () -> Sched.Scheduler.wait c) ] with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sched.Scheduler.Deadlock [ ("stuck", "never") ] -> ()
+  | exception Sched.Scheduler.Deadlock other ->
+      Alcotest.failf "wrong deadlock set: %d entries" (List.length other)
+
+let deadlock_partial () =
+  (* One task finishes fine; the other deadlocks. *)
+  let c = Sched.Scheduler.cond "never" in
+  match
+    Sched.Scheduler.run
+      [ ("ok", fun () -> Sched.Scheduler.yield ()); ("stuck", fun () -> Sched.Scheduler.wait c) ]
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sched.Scheduler.Deadlock [ ("stuck", "never") ] -> ()
+
+let spawn_dynamic () =
+  let log, emit = trace () in
+  Sched.Scheduler.run
+    [
+      ( "parent",
+        fun () ->
+          emit "parent";
+          Sched.Scheduler.spawn "child" (fun () -> emit "child");
+          Sched.Scheduler.yield ();
+          emit "parent2" );
+    ];
+  Alcotest.(check (list string)) "spawned runs" [ "parent"; "child"; "parent2" ]
+    (List.rev !log)
+
+let self_names () =
+  let names = ref [] in
+  Sched.Scheduler.run
+    [
+      ("x", fun () -> names := Sched.Scheduler.self () :: !names);
+      ("y", fun () -> names := Sched.Scheduler.self () :: !names);
+    ];
+  Alcotest.(check (list string)) "self" [ "x"; "y" ] (List.rev !names)
+
+let self_ids () =
+  let ids = ref [] in
+  Sched.Scheduler.run
+    (List.init 3 (fun i ->
+         (Printf.sprintf "r%d" i, fun () -> ids := Sched.Scheduler.self_id () :: !ids)));
+  Alcotest.(check (list int)) "ids in spawn order" [ 0; 1; 2 ] (List.rev !ids)
+
+let exn_propagates () =
+  match
+    Sched.Scheduler.run [ ("boom", fun () -> failwith "boom") ]
+  with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+
+let not_nested () =
+  Sched.Scheduler.run
+    [
+      ( "outer",
+        fun () ->
+          match Sched.Scheduler.run [ ("inner", fun () -> ()) ] with
+          | () -> Alcotest.fail "nested run must fail"
+          | exception Invalid_argument _ -> () );
+    ]
+
+let outside_scheduler () =
+  match Sched.Scheduler.self () with
+  | _ -> Alcotest.fail "expected Not_in_scheduler"
+  | exception Sched.Scheduler.Not_in_scheduler -> ()
+
+let many_tasks () =
+  (* Stress: 200 tasks, 50 yields each, all finish. *)
+  let n = ref 0 in
+  Sched.Scheduler.run
+    (List.init 200 (fun i ->
+         ( Printf.sprintf "m%d" i,
+           fun () ->
+             for _ = 1 to 50 do
+               Sched.Scheduler.yield ()
+             done;
+             incr n )));
+  Alcotest.(check int) "all finished" 200 !n
+
+let signal_before_wait_is_lost () =
+  (* Signals are not sticky: waiting after the only signal deadlocks,
+     which is why wait_until re-checks a predicate. *)
+  let c = Sched.Scheduler.cond "c" in
+  match
+    Sched.Scheduler.run
+      [
+        ("sig", fun () -> Sched.Scheduler.signal c);
+        ("wait", fun () -> Sched.Scheduler.yield (); Sched.Scheduler.wait c);
+      ]
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sched.Scheduler.Deadlock _ -> ()
+
+(* Property: any program of yielding/spawning tasks terminates with
+   every task run to completion, and two executions produce identical
+   traces (the determinism the MPI simulator and testsuite rely on). *)
+let prop_deterministic_termination =
+  QCheck.Test.make ~name:"random task programs deterministic" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 8) (pair (int_range 0 5) (int_range 0 3)))
+    (fun spec ->
+      let run () =
+        let log = ref [] in
+        Sched.Scheduler.run
+          (List.mapi
+             (fun i (yields, children) ->
+               ( Printf.sprintf "t%d" i,
+                 fun () ->
+                   for k = 1 to yields do
+                     log := Printf.sprintf "t%d.%d" i k :: !log;
+                     Sched.Scheduler.yield ()
+                   done;
+                   for c = 1 to children do
+                     Sched.Scheduler.spawn
+                       (Printf.sprintf "t%d.c%d" i c)
+                       (fun () ->
+                         log := Printf.sprintf "t%d.c%d" i c :: !log)
+                   done ))
+             spec);
+        List.rev !log
+      in
+      let a = run () and b = run () in
+      a = b
+      &&
+      (* every spawned child ran *)
+      List.for_all2
+        (fun i (_, children) ->
+          List.for_all
+            (fun c -> List.mem (Printf.sprintf "t%d.c%d" i c) a)
+            (List.init children (fun c -> c + 1)))
+        (List.init (List.length spec) Fun.id)
+        spec)
+
+let tests =
+  [
+    Alcotest.test_case "round-robin order" `Quick order;
+    Alcotest.test_case "determinism" `Quick determinism;
+    Alcotest.test_case "wait/signal" `Quick wait_signal;
+    Alcotest.test_case "signal broadcasts" `Quick broadcast;
+    Alcotest.test_case "deadlock detected" `Quick deadlock;
+    Alcotest.test_case "partial deadlock" `Quick deadlock_partial;
+    Alcotest.test_case "dynamic spawn" `Quick spawn_dynamic;
+    Alcotest.test_case "self names" `Quick self_names;
+    Alcotest.test_case "self ids" `Quick self_ids;
+    Alcotest.test_case "exception propagates" `Quick exn_propagates;
+    Alcotest.test_case "nested run rejected" `Quick not_nested;
+    Alcotest.test_case "ops outside run rejected" `Quick outside_scheduler;
+    Alcotest.test_case "200 tasks stress" `Quick many_tasks;
+    Alcotest.test_case "signals are not sticky" `Quick signal_before_wait_is_lost;
+    QCheck_alcotest.to_alcotest prop_deterministic_termination;
+  ]
+
+let () = Alcotest.run "sched" [ ("scheduler", tests) ]

@@ -1,0 +1,561 @@
+(* Tests for the FastTrack happens-before detector, its vector clocks,
+   epochs, shadow memory, and annotation API. *)
+
+open Tsan
+
+let base = 1 lsl 36 (* a valid region base in the simulated layout *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let detector ?granule ?suppressions () =
+  let d = Detector.create ?granule ?suppressions () in
+  Detector.on_alloc d ~base ~size:4096;
+  d
+
+(* --- vector clocks ---------------------------------------------------- *)
+
+let vclock_basics () =
+  let a = Vclock.create () in
+  Alcotest.(check int) "unset is 0" 0 (Vclock.get a 5);
+  Vclock.set a 2 7;
+  Alcotest.(check int) "set/get" 7 (Vclock.get a 2);
+  Vclock.incr a 2;
+  Alcotest.(check int) "incr" 8 (Vclock.get a 2);
+  let b = Vclock.create () in
+  Vclock.set b 0 3;
+  Vclock.join a b;
+  Alcotest.(check int) "join keeps max" 8 (Vclock.get a 2);
+  Alcotest.(check int) "join imports" 3 (Vclock.get a 0);
+  Alcotest.(check bool) "b <= a" true (Vclock.leq b a);
+  Alcotest.(check bool) "a </= b" false (Vclock.leq a b)
+
+let vclock_find_gt () =
+  let a = Vclock.create () and b = Vclock.create () in
+  Vclock.set a 3 5;
+  Vclock.set b 3 5;
+  Alcotest.(check bool) "none when leq" true (Vclock.find_gt a b = None);
+  Vclock.set a 3 6;
+  Alcotest.(check bool) "witness" true (Vclock.find_gt a b = Some (3, 6))
+
+let epoch_pack () =
+  let e = Epoch.pack ~tid:17 ~clock:123456 in
+  Alcotest.(check int) "tid" 17 (Epoch.tid e);
+  Alcotest.(check int) "clock" 123456 (Epoch.clock e);
+  Alcotest.(check bool) "none" true (Epoch.is_none Epoch.none)
+
+(* qcheck: join is the least upper bound; leq is a partial order. *)
+let clock_gen =
+  QCheck.Gen.(
+    list_size (1 -- 6) (0 -- 50) >|= fun l ->
+    let vc = Vclock.create () in
+    List.iteri (fun i x -> Vclock.set vc i x) l;
+    vc)
+
+let arb_clock = QCheck.make ~print:(Fmt.to_to_string Vclock.pp) clock_gen
+
+let prop_join_ub =
+  QCheck.Test.make ~name:"join is upper bound" ~count:300
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      let j = Vclock.copy a in
+      Vclock.join j b;
+      Vclock.leq a j && Vclock.leq b j)
+
+let prop_join_least =
+  QCheck.Test.make ~name:"join is least upper bound" ~count:300
+    (QCheck.triple arb_clock arb_clock arb_clock) (fun (a, b, c) ->
+      let j = Vclock.copy a in
+      Vclock.join j b;
+      (* any common upper bound c dominates the join *)
+      QCheck.assume (Vclock.leq a c && Vclock.leq b c);
+      Vclock.leq j c)
+
+let prop_leq_partial_order =
+  QCheck.Test.make ~name:"leq reflexive+transitive" ~count:300
+    (QCheck.triple arb_clock arb_clock arb_clock) (fun (a, b, c) ->
+      Vclock.leq a a
+      && (not (Vclock.leq a b && Vclock.leq b c) || Vclock.leq a c))
+
+let prop_join_commutative =
+  QCheck.Test.make ~name:"join commutative" ~count:300
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      let ab = Vclock.copy a in
+      Vclock.join ab b;
+      let ba = Vclock.copy b in
+      Vclock.join ba a;
+      Vclock.equal ab ba)
+
+(* --- basic race scenarios --------------------------------------------- *)
+
+let no_race_same_fiber () =
+  let d = detector () in
+  Detector.write_range d ~addr:base ~len:64;
+  Detector.read_range d ~addr:base ~len:64;
+  Detector.write_range d ~addr:base ~len:64;
+  Alcotest.(check int) "no race" 0 (Detector.races_total d)
+
+let race_two_fibers_ww () =
+  let d = detector () in
+  let f = Detector.fiber_create d "stream0" in
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check bool) "race found" true (Detector.races_total d > 0);
+  Alcotest.(check int) "one deduped report" 1 (Detector.race_count d)
+
+let race_write_then_read () =
+  let d = detector () in
+  let f = Detector.fiber_create d "stream0" in
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.read_range d ~addr:base ~len:8;
+  match Detector.races d with
+  | [ r ] ->
+      Alcotest.(check string) "current fiber" "main" r.Report.current.Report.fiber;
+      Alcotest.(check string) "prev fiber" "stream0" r.Report.previous.Report.fiber;
+      Alcotest.(check bool) "kinds" true
+        (r.Report.current.Report.kind = `Read
+        && r.Report.previous.Report.kind = `Write)
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let race_read_then_write () =
+  let d = detector () in
+  let f = Detector.fiber_create d "mpi_req" in
+  Detector.switch_to_fiber d f;
+  Detector.read_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check bool) "race" true (Detector.races_total d > 0)
+
+let no_race_read_read () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.read_range d ~addr:base ~len:32;
+  Detector.switch_to_fiber d f;
+  Detector.read_range d ~addr:base ~len:32;
+  Alcotest.(check int) "reads don't race" 0 (Detector.races_total d)
+
+let sync_prevents_race () =
+  let d = detector () in
+  let f = Detector.fiber_create d "stream0" in
+  let key = 0xABC in
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.happens_before d key;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.happens_after d key;
+  Detector.read_range d ~addr:base ~len:8;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check int) "synced" 0 (Detector.races_total d)
+
+let sync_wrong_key_still_races () =
+  let d = detector () in
+  let f = Detector.fiber_create d "stream0" in
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.happens_before d 1;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.happens_after d 2;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check bool) "wrong key" true (Detector.races_total d > 0)
+
+let sync_transitive () =
+  (* a -> b -> c by two release/acquire pairs: no race between a and c. *)
+  let d = detector () in
+  let fb = Detector.fiber_create d "b" and fc = Detector.fiber_create d "c" in
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.happens_before d 10;
+  Detector.switch_to_fiber d fb;
+  Detector.happens_after d 10;
+  Detector.happens_before d 20;
+  Detector.switch_to_fiber d fc;
+  Detector.happens_after d 20;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check int) "transitive HB" 0 (Detector.races_total d)
+
+let release_then_continue_races () =
+  (* Accesses *after* the release are not covered by it. *)
+  let d = detector () in
+  let f = Detector.fiber_create d "w" in
+  Detector.switch_to_fiber d f;
+  Detector.happens_before d 5;
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.happens_after d 5;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check bool) "post-release access races" true
+    (Detector.races_total d > 0)
+
+let ha_without_hb_noop () =
+  let d = detector () in
+  Detector.happens_after d 999;
+  Alcotest.(check int) "no crash, no race" 0 (Detector.races_total d)
+
+let shared_read_promotion () =
+  (* Reads from 3 fibers, then an unsynchronized write: race against the
+     promoted read vector clock. *)
+  let d = detector () in
+  let f1 = Detector.fiber_create d "r1" and f2 = Detector.fiber_create d "r2" in
+  Detector.read_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d f1;
+  Detector.read_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d f2;
+  Detector.read_range d ~addr:base ~len:8;
+  Alcotest.(check int) "reads alone fine" 0 (Detector.races_total d);
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check bool) "write races promoted reads" true
+    (Detector.races_total d > 0)
+
+let shared_read_then_synced_write () =
+  let d = detector () in
+  let f1 = Detector.fiber_create d "r1" and f2 = Detector.fiber_create d "r2" in
+  Detector.switch_to_fiber d f1;
+  Detector.read_range d ~addr:base ~len:8;
+  Detector.happens_before d 1;
+  Detector.switch_to_fiber d f2;
+  Detector.read_range d ~addr:base ~len:8;
+  Detector.happens_before d 2;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.happens_after d 1;
+  Detector.happens_after d 2;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check int) "write after all reads synced" 0 (Detector.races_total d)
+
+(* --- ranges and granularity ------------------------------------------ *)
+
+let disjoint_ranges_no_race () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.write_range d ~addr:base ~len:64;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:(base + 64) ~len:64;
+  Alcotest.(check int) "disjoint" 0 (Detector.races_total d)
+
+let overlap_one_cell_races () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.write_range d ~addr:base ~len:72;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:(base + 64) ~len:64;
+  Alcotest.(check bool) "overlap" true (Detector.races_total d > 0)
+
+let granule_precision () =
+  (* With an 8-byte granule, two 4-byte fields in one granule falsely
+     collide; with a 4-byte granule they do not. This is the precision
+     trade-off the ablation bench quantifies. *)
+  let collide granule =
+    let d = detector ~granule () in
+    let f = Detector.fiber_create d "f" in
+    Detector.write_range d ~addr:base ~len:4;
+    Detector.switch_to_fiber d f;
+    Detector.write_range d ~addr:(base + 4) ~len:4;
+    Detector.races_total d > 0
+  in
+  Alcotest.(check bool) "8B granule collides" true (collide 8);
+  Alcotest.(check bool) "4B granule precise" false (collide 4)
+
+let zero_len_noop () =
+  let d = detector () in
+  Detector.write_range d ~addr:base ~len:0;
+  Detector.read_range d ~addr:base ~len:0;
+  Alcotest.(check int) "no counters" 0 (Detector.counters d).Counters.write_ranges
+
+let unknown_region_is_mapped () =
+  let d = Detector.create () in
+  (* No on_alloc: the detector shadows the location on demand. *)
+  Detector.write_range d ~addr:(42 lsl 36) ~len:8;
+  let f = Detector.fiber_create d "f" in
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:(42 lsl 36) ~len:8;
+  Alcotest.(check bool) "still detects" true (Detector.races_total d > 0)
+
+let free_clears_shadow () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.on_free d ~base;
+  Detector.on_alloc d ~base ~size:4096;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check int) "fresh shadow after free" 0 (Detector.races_total d)
+
+(* --- reporting, contexts, suppression -------------------------------- *)
+
+let dedup_many_cells () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.write_range d ~addr:base ~len:1024;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:1024;
+  Alcotest.(check bool) "many raw events" true (Detector.races_total d > 10);
+  Alcotest.(check int) "one report" 1 (Detector.race_count d)
+
+let contexts_in_reports () =
+  let d = detector () in
+  let f = Detector.fiber_create d "stream" in
+  Detector.switch_to_fiber d f;
+  Detector.with_context d "kernel:jacobi" (fun () ->
+      Detector.write_range d ~addr:base ~len:8);
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.with_context d "MPI_Send" (fun () ->
+      Detector.read_range d ~addr:base ~len:8);
+  match Detector.races d with
+  | [ r ] ->
+      Alcotest.(check string) "cur origin" "MPI_Send" r.Report.current.Report.origin;
+      Alcotest.(check string) "prev origin" "kernel:jacobi"
+        r.Report.previous.Report.origin
+  | _ -> Alcotest.fail "expected one report"
+
+let suppression () =
+  let d = detector ~suppressions:[ "libfabric" ] () in
+  let f = Detector.fiber_create d "f" in
+  Detector.with_context d "libfabric_progress" (fun () ->
+      Detector.write_range d ~addr:base ~len:8);
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check int) "report suppressed" 0 (Detector.race_count d);
+  Alcotest.(check int) "counted" 1 (Detector.suppressed_count d)
+
+let suppressions_file_format () =
+  let patterns =
+    Tsan.Suppress.parse
+      "# TSan suppressions for cluster X\n\
+       race:libfabric\n\
+       race:ucx_progress\n\
+       thread:helper_thread\n\
+       \n\
+       malformed line\n\
+       race:\n"
+  in
+  Alcotest.(check (list string)) "race rules only"
+    [ "libfabric"; "ucx_progress" ] patterns
+
+let counters_track () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.switch_to_fiber d f;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.happens_before d 1;
+  Detector.happens_after d 1;
+  Detector.read_range d ~addr:base ~len:100;
+  Detector.write_range d ~addr:base ~len:200;
+  let c = Detector.counters d in
+  Alcotest.(check int) "switches" 2 c.Counters.fiber_switches;
+  Alcotest.(check int) "hb" 1 c.Counters.happens_before;
+  Alcotest.(check int) "ha" 1 c.Counters.happens_after;
+  Alcotest.(check int) "read bytes" 100 c.Counters.read_bytes;
+  Alcotest.(check int) "write bytes" 200 c.Counters.write_bytes
+
+let shadow_accounting () =
+  (* Shadow materializes lazily, on first touch — like real TSan's
+     demand-faulted shadow pages. *)
+  let d = Detector.create ~granule:8 () in
+  Alcotest.(check int) "empty" 0 (Detector.shadow_bytes d);
+  Detector.on_alloc d ~base ~size:(1 lsl 20);
+  Alcotest.(check int) "mapping alone costs nothing" 0 (Detector.shadow_bytes d);
+  Detector.write_range d ~addr:base ~len:8;
+  let small = Detector.shadow_bytes d in
+  Alcotest.(check bool) "one page materialized" true (small > 0 && small <= 8192);
+  Detector.write_range d ~addr:base ~len:(1 lsl 20);
+  let full = Detector.shadow_bytes d in
+  Alcotest.(check bool) "full range costs ~4x data" true
+    (full >= (1 lsl 20) * 3 && full <= (1 lsl 20) * 6);
+  Detector.on_free d ~base;
+  Alcotest.(check int) "released" 0 (Detector.shadow_bytes d);
+  Alcotest.(check bool) "peak survives free" true
+    (Detector.shadow_bytes_peak d >= full)
+
+let report_pp_smoke () =
+  let d = detector () in
+  let f = Detector.fiber_create d "stream0" in
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  let s = Fmt.str "%a" Detector.pp_races d in
+  Alcotest.(check bool) "mentions WARNING" true
+    (contains s "WARNING: data race")
+
+(* --- FastTrack vs. reference detector on random traces ---------------- *)
+
+(* Reference: record every access with a full vector-clock snapshot and
+   compare all conflicting pairs. Slow but obviously correct. *)
+module Ref_detector = struct
+  type access = { fiber : int; vc : Vclock.t; kind : [ `Read | `Write ] }
+
+  type t = {
+    mutable clocks : Vclock.t array;
+    sync : (int, Vclock.t) Hashtbl.t;
+    accesses : (int, access list ref) Hashtbl.t; (* per cell *)
+    mutable cur : int;
+    mutable race : bool;
+  }
+
+  let create n =
+    {
+      clocks =
+        Array.init n (fun i ->
+            let vc = Vclock.create () in
+            Vclock.set vc i 1;
+            vc);
+      sync = Hashtbl.create 8;
+      accesses = Hashtbl.create 8;
+      cur = 0;
+      race = false;
+    }
+
+  let switch t f = t.cur <- f
+
+  let hb t key =
+    let vc =
+      match Hashtbl.find_opt t.sync key with
+      | Some vc -> vc
+      | None ->
+          let vc = Vclock.create () in
+          Hashtbl.replace t.sync key vc;
+          vc
+    in
+    Vclock.join vc t.clocks.(t.cur);
+    Vclock.incr t.clocks.(t.cur) t.cur
+
+  let ha t key =
+    match Hashtbl.find_opt t.sync key with
+    | None -> ()
+    | Some vc -> Vclock.join t.clocks.(t.cur) vc
+
+  let access t cell kind =
+    let l =
+      match Hashtbl.find_opt t.accesses cell with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.replace t.accesses cell l;
+          l
+    in
+    let me =
+      { fiber = t.cur; vc = Vclock.copy t.clocks.(t.cur); kind }
+    in
+    List.iter
+      (fun prev ->
+        let conflicting = prev.kind = `Write || kind = `Write in
+        (* prev happened-before me iff prev.vc.(prev.fiber) <= my knowledge *)
+        let ordered =
+          Vclock.get prev.vc prev.fiber <= Vclock.get me.vc prev.fiber
+        in
+        if conflicting && not ordered then t.race <- true)
+      !l;
+    l := me :: !l
+end
+
+type op =
+  | Switch of int
+  | Hb of int
+  | Ha of int
+  | Read of int
+  | Write of int
+
+let op_gen nf ncells nkeys =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun f -> Switch f) (0 -- (nf - 1)));
+        (2, map (fun k -> Hb k) (0 -- (nkeys - 1)));
+        (2, map (fun k -> Ha k) (0 -- (nkeys - 1)));
+        (3, map (fun c -> Read c) (0 -- (ncells - 1)));
+        (3, map (fun c -> Write c) (0 -- (ncells - 1)));
+      ])
+
+let show_op = function
+  | Switch f -> Printf.sprintf "switch %d" f
+  | Hb k -> Printf.sprintf "hb %d" k
+  | Ha k -> Printf.sprintf "ha %d" k
+  | Read c -> Printf.sprintf "read %d" c
+  | Write c -> Printf.sprintf "write %d" c
+
+let prop_fasttrack_vs_reference =
+  let nf = 3 and ncells = 4 and nkeys = 3 in
+  QCheck.Test.make ~name:"fasttrack agrees with reference on first race"
+    ~count:500
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map show_op l))
+       QCheck.Gen.(list_size (0 -- 40) (op_gen nf ncells nkeys)))
+    (fun ops ->
+      (* FastTrack side *)
+      let d = Detector.create ~granule:8 () in
+      Detector.on_alloc d ~base ~size:(ncells * 8);
+      let fibers =
+        Array.init nf (fun i ->
+            if i = 0 then Detector.main_fiber d
+            else Detector.fiber_create d (Printf.sprintf "f%d" i))
+      in
+      (* Reference side *)
+      let r = Ref_detector.create nf in
+      let ft_raced = ref false in
+      List.iter
+        (fun op ->
+          (match op with
+          | Switch f ->
+              Detector.switch_to_fiber d fibers.(f);
+              Ref_detector.switch r f
+          | Hb k ->
+              Detector.happens_before d k;
+              Ref_detector.hb r k
+          | Ha k ->
+              Detector.happens_after d k;
+              Ref_detector.ha r k
+          | Read c ->
+              Detector.read_range d ~addr:(base + (c * 8)) ~len:8;
+              Ref_detector.access r c `Read
+          | Write c ->
+              Detector.write_range d ~addr:(base + (c * 8)) ~len:8;
+              Ref_detector.access r c `Write);
+          if Detector.races_total d > 0 then ft_raced := true)
+        ops;
+      (* FastTrack forgets history on write, so it can miss races the
+         reference sees *after the first one*; but whether ANY race
+         exists must agree. *)
+      !ft_raced = r.Ref_detector.race)
+
+let tests =
+  [
+    Alcotest.test_case "vclock basics" `Quick vclock_basics;
+    Alcotest.test_case "vclock find_gt" `Quick vclock_find_gt;
+    Alcotest.test_case "epoch pack" `Quick epoch_pack;
+    QCheck_alcotest.to_alcotest prop_join_ub;
+    QCheck_alcotest.to_alcotest prop_join_least;
+    QCheck_alcotest.to_alcotest prop_leq_partial_order;
+    QCheck_alcotest.to_alcotest prop_join_commutative;
+    Alcotest.test_case "no race same fiber" `Quick no_race_same_fiber;
+    Alcotest.test_case "ww race across fibers" `Quick race_two_fibers_ww;
+    Alcotest.test_case "write-read race" `Quick race_write_then_read;
+    Alcotest.test_case "read-write race" `Quick race_read_then_write;
+    Alcotest.test_case "read-read no race" `Quick no_race_read_read;
+    Alcotest.test_case "release/acquire prevents race" `Quick sync_prevents_race;
+    Alcotest.test_case "wrong key still races" `Quick sync_wrong_key_still_races;
+    Alcotest.test_case "transitive sync" `Quick sync_transitive;
+    Alcotest.test_case "post-release access races" `Quick
+      release_then_continue_races;
+    Alcotest.test_case "acquire without release" `Quick ha_without_hb_noop;
+    Alcotest.test_case "shared read promotion" `Quick shared_read_promotion;
+    Alcotest.test_case "synced write after shared reads" `Quick
+      shared_read_then_synced_write;
+    Alcotest.test_case "disjoint ranges" `Quick disjoint_ranges_no_race;
+    Alcotest.test_case "overlapping ranges" `Quick overlap_one_cell_races;
+    Alcotest.test_case "granule precision" `Quick granule_precision;
+    Alcotest.test_case "zero length noop" `Quick zero_len_noop;
+    Alcotest.test_case "unknown region mapped on demand" `Quick
+      unknown_region_is_mapped;
+    Alcotest.test_case "free clears shadow" `Quick free_clears_shadow;
+    Alcotest.test_case "dedup across cells" `Quick dedup_many_cells;
+    Alcotest.test_case "contexts in reports" `Quick contexts_in_reports;
+    Alcotest.test_case "suppressions" `Quick suppression;
+    Alcotest.test_case "suppressions file format" `Quick suppressions_file_format;
+    Alcotest.test_case "counters" `Quick counters_track;
+    Alcotest.test_case "shadow accounting" `Quick shadow_accounting;
+    Alcotest.test_case "report pretty-print" `Quick report_pp_smoke;
+    QCheck_alcotest.to_alcotest prop_fasttrack_vs_reference;
+  ]
+
+let () = Alcotest.run "tsan" [ ("tsan", tests) ]

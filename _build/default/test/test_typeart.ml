@@ -1,0 +1,181 @@
+(* Unit tests for TypeART: type layouts, serialized ids, the allocation
+   runtime, and interior-pointer queries. *)
+
+open Typeart
+
+let with_clean f =
+  Memsim.Heap.reset ();
+  Rt.reset ();
+  let was = !Rt.enabled in
+  Rt.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Rt.enabled := was;
+      Rt.reset ();
+      Memsim.Heap.reset ())
+    f
+
+let sizeofs () =
+  Alcotest.(check int) "f64" 8 (Typedb.sizeof Typedb.F64);
+  Alcotest.(check int) "f32" 4 (Typedb.sizeof Typedb.F32);
+  Alcotest.(check int) "i64" 8 (Typedb.sizeof Typedb.I64);
+  Alcotest.(check int) "i32" 4 (Typedb.sizeof Typedb.I32);
+  Alcotest.(check int) "i8" 1 (Typedb.sizeof Typedb.I8)
+
+let struct_layout () =
+  let s =
+    Typedb.Struct
+      { Typedb.sname = "particle"; fields = [ ("pos", Typedb.F64); ("vel", Typedb.F64); ("id", Typedb.I32) ] }
+  in
+  Alcotest.(check int) "packed size" 20 (Typedb.sizeof s);
+  Alcotest.(check bool) "self equal" true (Typedb.equal s s);
+  Alcotest.(check bool) "not equal to f64" false (Typedb.equal s Typedb.F64)
+
+let type_ids_stable () =
+  let a = Typedb.type_id Typedb.F64 in
+  let b = Typedb.type_id Typedb.F64 in
+  let c = Typedb.type_id Typedb.I32 in
+  Alcotest.(check int) "interned" a b;
+  Alcotest.(check bool) "distinct" true (a <> c);
+  match Typedb.of_type_id a with
+  | Some t -> Alcotest.(check bool) "roundtrip" true (Typedb.equal t Typedb.F64)
+  | None -> Alcotest.fail "lost type"
+
+let nested_struct_serialization () =
+  let inner = Typedb.Struct { Typedb.sname = "v2"; fields = [ ("x", Typedb.F32); ("y", Typedb.F32) ] } in
+  let outer = Typedb.Struct { Typedb.sname = "body"; fields = [ ("p", inner); ("m", Typedb.F64) ] } in
+  let s = Typedb.to_string outer in
+  Alcotest.(check bool) "mentions inner" true
+    (String.length s > 10 && Typedb.sizeof outer = 16)
+
+let alloc_tracked () =
+  with_clean @@ fun () ->
+  let p = Pass.alloc ~tag:"xs" Memsim.Space.Device Typedb.F64 32 in
+  (match Pass.type_at (Memsim.Ptr.addr p) with
+  | Some (ty, count) ->
+      Alcotest.(check bool) "type" true (Typedb.equal ty Typedb.F64);
+      Alcotest.(check int) "count" 32 count
+  | None -> Alcotest.fail "untracked");
+  Alcotest.(check (option int)) "extent" (Some 256)
+    (Pass.extent_at (Memsim.Ptr.addr p))
+
+let interior_pointer () =
+  with_clean @@ fun () ->
+  let p = Pass.alloc Memsim.Space.Device Typedb.F64 32 in
+  let q = Memsim.Ptr.add p ~elt:8 10 in
+  (match Pass.type_at (Memsim.Ptr.addr q) with
+  | Some (_, count) -> Alcotest.(check int) "remaining elements" 22 count
+  | None -> Alcotest.fail "interior not resolved");
+  Alcotest.(check (option int)) "remaining bytes" (Some 176)
+    (Pass.extent_at (Memsim.Ptr.addr q))
+
+let misaligned_interior () =
+  with_clean @@ fun () ->
+  let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
+  let q = Memsim.Ptr.add_bytes p 12 in
+  match Pass.type_at (Memsim.Ptr.addr q) with
+  | Some (_, count) -> Alcotest.(check int) "floor of elements" 2 count
+  | None -> Alcotest.fail "unresolved"
+
+let free_untracks () =
+  with_clean @@ fun () ->
+  let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
+  let addr = Memsim.Ptr.addr p in
+  Pass.free p;
+  Alcotest.(check (option int)) "gone" None (Pass.extent_at addr)
+
+let out_of_range_addr () =
+  with_clean @@ fun () ->
+  let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
+  Alcotest.(check (option int)) "past the end" None
+    (Pass.extent_at (Memsim.Ptr.addr p + 32))
+
+let disabled_runtime_tracks_nothing () =
+  with_clean @@ fun () ->
+  Rt.enabled := false;
+  let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
+  Alcotest.(check (option int)) "not tracked" None
+    (Pass.extent_at (Memsim.Ptr.addr p));
+  Rt.enabled := true
+
+let memory_kind_recorded () =
+  with_clean @@ fun () ->
+  let d = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
+  let m = Pass.alloc Memsim.Space.Managed Typedb.F64 4 in
+  let check p space =
+    match Pass.lookup (Memsim.Ptr.addr p) with
+    | Some info -> Alcotest.(check string) "space" (Memsim.Space.to_string space)
+        (Memsim.Space.to_string info.Rt.space)
+    | None -> Alcotest.fail "untracked"
+  in
+  check d Memsim.Space.Device;
+  check m Memsim.Space.Managed
+
+let stats_counted () =
+  with_clean @@ fun () ->
+  let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
+  let q = Pass.alloc Memsim.Space.Device Typedb.I32 4 in
+  Pass.free p;
+  let allocs, frees, live = Rt.stats Rt.instance in
+  Alcotest.(check int) "allocs" 2 allocs;
+  Alcotest.(check int) "frees" 1 frees;
+  Alcotest.(check int) "live" 1 live;
+  Pass.free q
+
+let struct_allocation () =
+  with_clean @@ fun () ->
+  let cell =
+    Typedb.Struct { Typedb.sname = "cell"; fields = [ ("t", Typedb.F64); ("q", Typedb.F64) ] }
+  in
+  let p = Pass.alloc Memsim.Space.Device cell 10 in
+  (match Pass.type_at (Memsim.Ptr.addr p) with
+  | Some (ty, count) ->
+      Alcotest.(check bool) "struct type" true (Typedb.equal ty cell);
+      Alcotest.(check int) "count" 10 count
+  | None -> Alcotest.fail "untracked");
+  let q = Memsim.Ptr.add_bytes p 48 (* 3 cells in *) in
+  match Pass.type_at (Memsim.Ptr.addr q) with
+  | Some (_, count) -> Alcotest.(check int) "remaining structs" 7 count
+  | None -> Alcotest.fail "interior struct unresolved"
+
+(* Property: for any allocation and interior offset, extent_at + offset
+   equals the allocation size. *)
+let prop_extent_complement =
+  QCheck.Test.make ~name:"extent + offset = size" ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 999))
+    (fun (count, off_raw) ->
+      Memsim.Heap.reset ();
+      Rt.reset ();
+      Rt.enabled := true;
+      let p = Pass.alloc Memsim.Space.Device Typedb.F64 count in
+      let off = off_raw mod (count * 8) in
+      let r =
+        match Pass.extent_at (Memsim.Ptr.addr p + off) with
+        | Some e -> e + off = count * 8
+        | None -> false
+      in
+      Rt.enabled := false;
+      Memsim.Heap.reset ();
+      Rt.reset ();
+      r)
+
+let tests =
+  [
+    Alcotest.test_case "sizeofs" `Quick sizeofs;
+    Alcotest.test_case "struct layout" `Quick struct_layout;
+    Alcotest.test_case "type ids stable" `Quick type_ids_stable;
+    Alcotest.test_case "nested struct serialization" `Quick
+      nested_struct_serialization;
+    Alcotest.test_case "alloc tracked" `Quick alloc_tracked;
+    Alcotest.test_case "interior pointer" `Quick interior_pointer;
+    Alcotest.test_case "misaligned interior" `Quick misaligned_interior;
+    Alcotest.test_case "free untracks" `Quick free_untracks;
+    Alcotest.test_case "out of range addr" `Quick out_of_range_addr;
+    Alcotest.test_case "disabled runtime" `Quick disabled_runtime_tracks_nothing;
+    Alcotest.test_case "memory kind recorded" `Quick memory_kind_recorded;
+    Alcotest.test_case "stats" `Quick stats_counted;
+    Alcotest.test_case "struct allocation" `Quick struct_allocation;
+    QCheck_alcotest.to_alcotest prop_extent_complement;
+  ]
+
+let () = Alcotest.run "typeart" [ ("typeart", tests) ]
