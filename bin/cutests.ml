@@ -1,11 +1,43 @@
 (* The testsuite runner binary, analogous to `make check-cutests` in the
    paper's artifact: runs every case of the correctness matrix under
-   MUST & CuSan and prints PASS/FAIL per case. *)
+   MUST & CuSan and prints PASS/FAIL per case.
+
+   Fault-injection mode: --faults SPEC arms the deterministic injector
+   for every case (see Faultsim.Plan.parse_spec for the SPEC grammar;
+   a seed=N token or --seed N fixes the PRNG). Any failure prints a
+   one-line command that reproduces exactly that case and fault
+   schedule. *)
+
+let usage () =
+  Fmt.pr
+    "usage: cutests [--deferred] [--verbose] [--list] [--only SUBSTR]@.\
+    \       [--seed N] [--faults SPEC]@.@.\
+     SPEC  comma-separated rules SITE[@@RANK][#NTH|*EVERY|%%PROB][:ACTION]@.\
+    \      (actions: fail abort hang), plus optional seed=N@.\
+     e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@."
 
 let () =
-  let deferred = Array.exists (( = ) "--deferred") Sys.argv in
-  let verbose = Array.exists (( = ) "--verbose") Sys.argv in
-  let list_only = Array.exists (( = ) "--list") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let flag name = List.mem name argv in
+  (* value of "--opt V" *)
+  let opt name =
+    let rec go = function
+      | a :: v :: _ when a = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go argv
+  in
+  if flag "--help" || flag "-h" then begin
+    usage ();
+    exit 0
+  end;
+  let deferred = flag "--deferred" in
+  let verbose = flag "--verbose" in
+  let list_only = flag "--list" in
+  let only = opt "--only" in
+  let seed_flag = Option.map int_of_string (opt "--seed") in
+  let faults_spec = opt "--faults" in
   if list_only then begin
     List.iter
       (fun (c : Testsuite.Cases.case) ->
@@ -13,12 +45,65 @@ let () =
       (Testsuite.Cases.all ());
     exit 0
   end;
+  let faults =
+    match faults_spec with
+    | None -> None
+    | Some spec -> (
+        match Faultsim.Plan.parse_spec spec with
+        | Error msg ->
+            Fmt.epr "cutests: bad --faults spec: %s@." msg;
+            usage ();
+            exit 2
+        | Ok (spec_seed, plan) ->
+            let seed =
+              match (seed_flag, spec_seed) with
+              | Some s, _ -> s (* --seed wins over an embedded seed=N *)
+              | None, Some s -> s
+              | None, None -> 0
+            in
+            Some (seed, plan))
+  in
   let mode = if deferred then Cudasim.Device.Deferred else Cudasim.Device.Eager in
-  let verdicts = Testsuite.Runner.run_all ~mode () in
+  let cases =
+    match only with
+    | None -> Testsuite.Cases.all ()
+    | Some sub ->
+        List.filter
+          (fun (c : Testsuite.Cases.case) ->
+            let name = c.Testsuite.Cases.name in
+            let nl = String.length name and sl = String.length sub in
+            let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+            at 0)
+          (Testsuite.Cases.all ())
+  in
+  if cases = [] then begin
+    Fmt.epr "cutests: no case matches --only %a@." Fmt.(option string) only;
+    exit 2
+  end;
+  (* The exact command that reproduces a failing case: determinism means
+     replaying (case, mode, seed, plan) replays the verdict. *)
+  let repro (v : Testsuite.Runner.verdict) =
+    Fmt.str "dune exec bin/cutests.exe -- --only '%s'%s%s"
+      v.Testsuite.Runner.case.Testsuite.Cases.name
+      (if deferred then " --deferred" else "")
+      (match faults with
+      | None -> ""
+      | Some (seed, plan) ->
+          Fmt.str " --seed %d --faults '%s'" seed (Faultsim.Plan.to_string plan))
+  in
+  let verdicts =
+    List.map (Testsuite.Runner.run_case ~mode ?faults) cases
+  in
   let total = List.length verdicts in
   List.iteri
     (fun i v ->
       Fmt.pr "%a (%d of %d)@." Testsuite.Runner.pp_verdict v (i + 1) total;
+      if not v.Testsuite.Runner.pass then begin
+        Fmt.pr "    reproduce: %s@." (repro v);
+        List.iter
+          (fun (rank, why) -> Fmt.pr "    rank %d failed: %s@." rank why)
+          v.Testsuite.Runner.failures
+      end;
       if verbose && not v.Testsuite.Runner.pass then
         List.iter
           (fun (rank, r) ->
@@ -26,5 +111,11 @@ let () =
           v.Testsuite.Runner.reports)
     verdicts;
   let pass, total = Testsuite.Runner.summary verdicts in
+  let injected =
+    List.fold_left (fun acc v -> acc + v.Testsuite.Runner.injected) 0 verdicts
+  in
+  if faults <> None then
+    Fmt.pr "@.%d fault(s) injected across %d cases (seed %d)@." injected total
+      (match faults with Some (s, _) -> s | None -> 0);
   Fmt.pr "@.%d of %d testsuite cases classified correctly@." pass total;
   if pass <> total then exit 1

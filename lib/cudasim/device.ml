@@ -108,6 +108,13 @@ type t = {
   mutable ops_executed : int;
   mutable exec_wall_s : float; (* real CPU time spent running op bodies *)
   mutable virtual_s : float; (* modelled device time (Costmodel) *)
+  (* Error state (see [Error]): [last_error] is the most recent
+     non-sticky failure, cleared by [get_last_error]; [sticky] is a
+     corrupted-context error every later call re-surfaces; deferred
+     async errors queue up here until a sync point pops them. *)
+  mutable last_error : Error.code;
+  mutable sticky : Error.code option;
+  async_errors : (Error.code * string) Queue.t;
 }
 
 exception Stream_destroyed
@@ -130,10 +137,50 @@ let create ?(mode = Eager) ?(default_stream_mode = Legacy) () =
     ops_executed = 0;
     exec_wall_s = 0.;
     virtual_s = 0.;
+    last_error = Error.Success;
+    sticky = None;
+    async_errors = Queue.create ();
   }
 
 let add_hook t f = t.hooks <- f :: t.hooks
 let fire t phase ev = List.iter (fun f -> f phase ev) t.hooks
+
+(* --- error state ------------------------------------------------------- *)
+
+let record_error t code =
+  if Error.is_sticky code then (
+    if t.sticky = None then t.sticky <- Some code)
+  else t.last_error <- code
+
+(* cudaGetLastError: returns and clears the last error — except sticky
+   errors, which nothing clears. *)
+let get_last_error t =
+  match t.sticky with
+  | Some c -> c
+  | None ->
+      let c = t.last_error in
+      t.last_error <- Error.Success;
+      c
+
+let peek_at_last_error t =
+  match t.sticky with Some c -> c | None -> t.last_error
+
+(* Queue a deferred asynchronous error from device-side work; it
+   surfaces at the next synchronization point, as on real hardware. *)
+let post_async_error t code ctx = Queue.push (code, ctx) t.async_errors
+
+(* Pop pending async errors at a sync point: record and raise the first
+   one. Also re-surfaces a sticky error on every call, modelling a
+   corrupted context. No-op on a healthy device. *)
+let surface t ctx =
+  if not (Queue.is_empty t.async_errors) then begin
+    let code, origin = Queue.pop t.async_errors in
+    record_error t code;
+    Error.fail code (Fmt.str "%s: deferred error from %s" ctx origin)
+  end;
+  match t.sticky with
+  | Some c -> Error.fail c (Fmt.str "%s: context corrupted" ctx)
+  | None -> ()
 
 let mode t = t.mode
 let default_mode t = t.default_stream_mode
@@ -187,6 +234,10 @@ let force_all_of t =
 
 let enqueue t ?(extra_deps = []) ?(cost = 0.) stream label action =
   if stream.destroyed then raise Stream_destroyed;
+  (* A corrupted context rejects all new work with the sticky error. *)
+  (match t.sticky with
+  | Some c -> Error.fail c (Fmt.str "%s: context corrupted" label)
+  | None -> ());
   let tails_of l =
     List.filter_map (fun (s : stream) -> s.tail) l
   in
@@ -265,7 +316,8 @@ let stream_create ?(flags = Blocking) t =
 let stream_synchronize t s =
   fire t Pre (Stream_sync s);
   (match s.tail with Some op -> force op | None -> ());
-  fire t Post (Stream_sync s)
+  fire t Post (Stream_sync s);
+  surface t "cudaStreamSynchronize"
 
 let stream_destroy t s =
   if s.is_default then invalid_arg "cannot destroy the default stream";
@@ -280,12 +332,14 @@ let stream_query t s =
   if t.mode = Deferred then ignore (tick t);
   let completed = match s.tail with None -> true | Some op -> op.executed in
   fire t Post (Stream_query (s, completed));
+  surface t "cudaStreamQuery";
   completed
 
 let device_synchronize t =
   fire t Pre Device_sync;
   force_all_of t;
-  fire t Post Device_sync
+  fire t Post Device_sync;
+  surface t "cudaDeviceSynchronize"
 
 (* --- events ------------------------------------------------------------ *)
 
@@ -303,13 +357,15 @@ let event_record t e s =
 let event_synchronize t e =
   fire t Pre (Event_sync e);
   (match e.recorded with Some op -> force op | None -> ());
-  fire t Post (Event_sync e)
+  fire t Post (Event_sync e);
+  surface t "cudaEventSynchronize"
 
 let event_query t e =
   fire t Pre (Event_query (e, false));
   if t.mode = Deferred then ignore (tick t);
   let completed = match e.recorded with None -> true | Some op -> op.executed in
   fire t Post (Event_query (e, completed));
+  surface t "cudaEventQuery";
   completed
 
 (* cudaEventElapsedTime: virtual milliseconds between the completion of
@@ -349,22 +405,43 @@ exception Invalid_launch of string
 
 let launch t kernel ~grid ~(args : Kir.Interp.value array) ?stream () =
   let stream = match stream with Some s -> s | None -> default_stream t in
-  if grid <= 0 then raise (Invalid_launch "grid must be positive");
+  if grid <= 0 then begin
+    record_error t Error.Invalid_value;
+    raise (Invalid_launch "grid must be positive")
+  end;
   Array.iter
     (function
       | Kir.Interp.VPtr p
         when not (Memsim.Space.device_accessible (Memsim.Ptr.space p)) ->
+          record_error t Error.Invalid_value;
           raise
             (Invalid_launch
                (Fmt.str "kernel %s given host pointer %a" kernel.Kernel.kname
                   Memsim.Ptr.pp p))
       | _ -> ())
     args;
+  let injected = Faultsim.Injector.probe ~site:Faultsim.Site.Kernel_launch () in
+  (match injected with
+  | Some Faultsim.Plan.Abort ->
+      Error.fail Error.Launch_failed
+        (Fmt.str "injected abort launching kernel %s" kernel.Kernel.kname)
+  | Some Faultsim.Plan.Hang -> Faultsim.Injector.hang ~site:Faultsim.Site.Kernel_launch ()
+  | Some Faultsim.Plan.Fail | None -> ());
   fire t Pre (Kernel_launch { kernel; grid; args; stream });
+  let body =
+    match injected with
+    | Some Faultsim.Plan.Fail ->
+        (* The launch itself "succeeds"; the fault is an asynchronous
+           device-side failure that surfaces at the next sync point. *)
+        fun () ->
+          post_async_error t Error.Launch_failed
+            (Fmt.str "kernel:%s" kernel.Kernel.kname)
+    | _ -> fun () -> Kernel.execute kernel ~grid args
+  in
   ignore
     (enqueue t ~cost:(Costmodel.kernel ~grid) stream
        (Fmt.str "kernel:%s" kernel.Kernel.kname)
-       (fun () -> Kernel.execute kernel ~grid args));
+       body);
   fire t Post (Kernel_launch { kernel; grid; args; stream })
 
 let timing t = (t.exec_wall_s, t.virtual_s)

@@ -170,6 +170,30 @@ val tick : t -> bool
 (** One unit of asynchronous device progress: execute the oldest pending
     op. Returns [false] when nothing was pending. *)
 
+(** {1 Errors}
+
+    See {!Error} for the severity model. With no faults (injected or
+    otherwise) all of these are inert: queries return
+    [Error.Success] and {!surface} is a no-op. *)
+
+val get_last_error : t -> Error.code
+(** [cudaGetLastError]: return and clear the last error. Sticky errors
+    are returned but never cleared. *)
+
+val peek_at_last_error : t -> Error.code
+(** [cudaPeekAtLastError]: return without clearing. *)
+
+val record_error : t -> Error.code -> unit
+(** Record a synchronous failure (sticky codes corrupt the context). *)
+
+val post_async_error : t -> Error.code -> string -> unit
+(** Queue a deferred asynchronous error; it surfaces (raises
+    {!Error.Cuda_failure}) at the next synchronization point. *)
+
+val surface : t -> string -> unit
+(** Surface pending deferred errors and re-raise a sticky error, as a
+    synchronization point does. [ctx] names the calling API. *)
+
 (** {1 Accounting} *)
 
 val ops_executed : t -> int

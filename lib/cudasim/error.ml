@@ -1,0 +1,39 @@
+(* CUDA error codes and their two-tier severity model.
+
+   Real CUDA distinguishes non-sticky errors (e.g. cudaErrorMemory-
+   Allocation: the call fails, the context survives, cudaGetLastError
+   clears the code) from sticky errors (e.g. cudaErrorLaunchFailed /
+   cudaErrorIllegalAddress: the context is corrupted and every
+   subsequent call returns the same error; nothing clears it). Async
+   errors from device-side work are *deferred*: they surface at the
+   next synchronization point, not at the call that caused them. *)
+
+type code =
+  | Success
+  | Memory_allocation (* cudaErrorMemoryAllocation — non-sticky *)
+  | Invalid_value (* cudaErrorInvalidValue — non-sticky *)
+  | Launch_failed (* cudaErrorLaunchFailure — sticky *)
+  | Illegal_address (* cudaErrorIllegalAddress — sticky *)
+  | Launch_timeout (* cudaErrorLaunchTimeout — sticky *)
+
+let is_sticky = function
+  | Launch_failed | Illegal_address | Launch_timeout -> true
+  | Success | Memory_allocation | Invalid_value -> false
+
+let to_string = function
+  | Success -> "cudaSuccess"
+  | Memory_allocation -> "cudaErrorMemoryAllocation"
+  | Invalid_value -> "cudaErrorInvalidValue"
+  | Launch_failed -> "cudaErrorLaunchFailure"
+  | Illegal_address -> "cudaErrorIllegalAddress"
+  | Launch_timeout -> "cudaErrorLaunchTimeout"
+
+exception Cuda_failure of { code : code; ctx : string }
+(* Raised when an error surfaces to the application: immediately for
+   synchronous failures, at the next sync point for deferred async
+   ones. [ctx] names the API call and, for deferred errors, the op
+   that faulted. *)
+
+let fail code ctx = raise (Cuda_failure { code; ctx })
+
+let pp ppf c = Fmt.string ppf (to_string c)

@@ -1,0 +1,29 @@
+(** CUDA error codes with real severity semantics.
+
+    Non-sticky errors ([Memory_allocation], [Invalid_value]) fail the
+    call but leave the context usable; [Device.get_last_error] clears
+    them. Sticky errors ([Launch_failed], [Illegal_address],
+    [Launch_timeout]) corrupt the context: every subsequent call
+    surfaces the same code and nothing clears it. Async errors from
+    device work are deferred — they surface at the next sync point, not
+    at the call that caused them. *)
+
+type code =
+  | Success
+  | Memory_allocation
+  | Invalid_value
+  | Launch_failed
+  | Illegal_address
+  | Launch_timeout
+
+val is_sticky : code -> bool
+val to_string : code -> string
+
+exception Cuda_failure of { code : code; ctx : string }
+(** An error surfacing to the application; [ctx] names the API call
+    and, for deferred errors, the faulting op. *)
+
+val fail : code -> string -> 'a
+(** [fail code ctx] raises {!Cuda_failure}. *)
+
+val pp : Format.formatter -> code -> unit

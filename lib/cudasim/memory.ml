@@ -25,19 +25,36 @@ let fire_malloc dev p space bytes =
   Device.fire dev Device.Pre (Device.Malloc { ptr = p; space; bytes });
   Device.fire dev Device.Post (Device.Malloc { ptr = p; space; bytes })
 
+(* Injected cudaMalloc failure: the non-sticky out-of-memory path. No
+   pointer is allocated, the context stays healthy, and a subsequent
+   cudaGetLastError clears the code — exactly what an application's
+   OOM-handling branch expects to see. *)
+let probe_malloc dev api =
+  match Faultsim.Injector.probe ~site:Faultsim.Site.Cuda_malloc () with
+  | None -> ()
+  | Some Faultsim.Plan.Hang ->
+      Faultsim.Injector.hang ~site:Faultsim.Site.Cuda_malloc ()
+  | Some (Faultsim.Plan.Fail | Faultsim.Plan.Abort) ->
+      Device.record_error dev Error.Memory_allocation;
+      Error.fail Error.Memory_allocation
+        (Printf.sprintf "injected allocation failure in %s" api)
+
 (* Allocators that also notify tools via the device hook, as intercepted
    CUDA API calls would. *)
 let cuda_malloc ?tag dev ~ty ~count =
+  probe_malloc dev "cudaMalloc";
   let p = malloc ?tag dev ~ty ~count in
   fire_malloc dev p Space.Device (count * Typeart.Typedb.sizeof ty);
   p
 
 let cuda_malloc_managed ?tag dev ~ty ~count =
+  probe_malloc dev "cudaMallocManaged";
   let p = malloc_managed ?tag dev ~ty ~count in
   fire_malloc dev p Space.Managed (count * Typeart.Typedb.sizeof ty);
   p
 
 let cuda_host_alloc ?tag dev ~ty ~count =
+  probe_malloc dev "cudaHostAlloc";
   let p = host_alloc ?tag dev ~ty ~count in
   fire_malloc dev p Space.Host_pinned (count * Typeart.Typedb.sizeof ty);
   p
@@ -56,16 +73,27 @@ let memcpy dev ~dst ~src ~bytes ?(async = false) ?stream () =
   let info =
     Device.Memcpy { dst; src; bytes; async; stream; blocking; modeled_sync }
   in
+  let api = Fmt.str "memcpy%s" (if async then "Async" else "") in
+  (match Faultsim.Injector.probe ~site:Faultsim.Site.Memcpy () with
+  | Some Faultsim.Plan.Hang -> Faultsim.Injector.hang ~site:Faultsim.Site.Memcpy ()
+  | Some Faultsim.Plan.Abort ->
+      Error.fail Error.Illegal_address
+        (Printf.sprintf "injected abort in %s" api)
+  | Some Faultsim.Plan.Fail ->
+      (* The copy faults device-side: a sticky illegal-address error,
+         deferred to the next sync point like real async failures. *)
+      Device.post_async_error dev Error.Illegal_address api
+  | None -> ());
   Device.fire dev Device.Pre info;
   let op =
     Device.enqueue dev
       ~cost:(Costmodel.memcpy ~src:sspace ~dst:dspace ~bytes)
-      stream
-      (Fmt.str "memcpy%s" (if async then "Async" else ""))
+      stream api
       (fun () -> Access.raw_blit ~src ~dst ~bytes)
   in
   if blocking then Device.force op;
-  Device.fire dev Device.Post info
+  Device.fire dev Device.Post info;
+  if blocking then Device.surface dev api
 
 let memset dev ~dst ~bytes ~value ?(async = false) ?stream () =
   let stream =
@@ -77,14 +105,23 @@ let memset dev ~dst ~bytes ~value ?(async = false) ?stream () =
   let info =
     Device.Memset { dst; bytes; value; async; stream; blocking; modeled_sync }
   in
+  let api = Fmt.str "memset%s" (if async then "Async" else "") in
+  (match Faultsim.Injector.probe ~site:Faultsim.Site.Memset () with
+  | Some Faultsim.Plan.Hang -> Faultsim.Injector.hang ~site:Faultsim.Site.Memset ()
+  | Some Faultsim.Plan.Abort ->
+      Error.fail Error.Illegal_address
+        (Printf.sprintf "injected abort in %s" api)
+  | Some Faultsim.Plan.Fail ->
+      Device.post_async_error dev Error.Illegal_address api
+  | None -> ());
   Device.fire dev Device.Pre info;
   let op =
-    Device.enqueue dev ~cost:(Costmodel.memset ~bytes) stream
-      (Fmt.str "memset%s" (if async then "Async" else ""))
+    Device.enqueue dev ~cost:(Costmodel.memset ~bytes) stream api
       (fun () -> Access.raw_fill dst ~bytes ~byte:value)
   in
   if blocking then Device.force op;
-  Device.fire dev Device.Post info
+  Device.fire dev Device.Post info;
+  if blocking then Device.surface dev api
 
 (* cudaFree synchronizes the whole device before releasing (paper,
    Section III-B2); cudaFreeAsync releases as a stream operation. *)

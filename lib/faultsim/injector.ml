@@ -1,0 +1,103 @@
+(* Global injection state. The simulators call [probe] at each
+   registered site; when disarmed it is a constant [None] so the happy
+   path stays bit-identical to a build without fault injection.
+
+   Determinism: occurrence counters are keyed by (site, rank) and the
+   PRNG is consumed only for [Prob] rules, in probe order. Since the
+   scheduler is deterministic, probe order is deterministic, so a
+   (seed, plan) pair replays exactly. Every firing decision is recorded
+   in a replay log the harness surfaces in its run result. *)
+
+type decision = {
+  d_site : Site.t;
+  d_rank : int; (* -1 when outside any rank task *)
+  d_occurrence : int; (* per-(site,rank) count, 1-based *)
+  d_action : Plan.action;
+}
+
+type armed = {
+  seed : int;
+  plan : Plan.t;
+  prng : Prng.t;
+  counts : (Site.t * int, int) Hashtbl.t;
+  mutable log : decision list; (* reverse order *)
+}
+
+let state : armed option ref = ref None
+
+let arm ~seed ~plan () =
+  state :=
+    Some
+      {
+        seed;
+        plan;
+        prng = Prng.create seed;
+        counts = Hashtbl.create 32;
+        log = [];
+      }
+
+let disarm () = state := None
+
+let enabled () = Option.is_some !state
+
+let seed () = Option.map (fun a -> a.seed) !state
+
+let log () = match !state with None -> [] | Some a -> List.rev a.log
+
+let injected_count () =
+  match !state with None -> 0 | Some a -> List.length a.log
+
+(* The MPI simulator names rank tasks "rank<N>"; outside the scheduler
+   (or in an auxiliary task) there is no rank to attribute to. *)
+let current_rank () =
+  match Sched.Scheduler.self () with
+  | name -> (try Scanf.sscanf name "rank%d" Fun.id with Scanf.Scan_failure _ | Failure _ | End_of_file -> -1)
+  | exception Sched.Scheduler.Not_in_scheduler -> -1
+
+let rule_matches a ~site ~rank ~occurrence r =
+  r.Plan.site = site
+  && (match r.Plan.rank with None -> true | Some rk -> rk = rank)
+  &&
+  match r.Plan.which with
+  | Plan.Nth n -> occurrence = n
+  | Plan.Every k -> occurrence mod k = 0
+  | Plan.Prob p -> Prng.float a.prng < p
+
+let probe ~site ?rank () =
+  match !state with
+  | None -> None
+  | Some a ->
+      let rank = match rank with Some r -> r | None -> current_rank () in
+      let key = (site, rank) in
+      let occurrence = (try Hashtbl.find a.counts key with Not_found -> 0) + 1 in
+      Hashtbl.replace a.counts key occurrence;
+      (* First match wins; later rules never consume PRNG draws once an
+         earlier one fires, keeping replay independent of plan tail. *)
+      let rec first = function
+        | [] -> None
+        | r :: rest ->
+            if rule_matches a ~site ~rank ~occurrence r then Some r.Plan.action
+            else first rest
+      in
+      (match first a.plan with
+      | None -> None
+      | Some action ->
+          a.log <-
+            { d_site = site; d_rank = rank; d_occurrence = occurrence;
+              d_action = action }
+            :: a.log;
+          Some action)
+
+(* An injected hang: block on a condition nothing ever signals. The
+   scheduler's deadlock detector or watchdog turns this into a
+   diagnostic instead of a wedged process. *)
+let hang_cond = Sched.Scheduler.cond "fault:hang"
+
+let hang ~site () =
+  Sched.Scheduler.wait
+    ~reason:(Printf.sprintf "injected hang at %s" (Site.to_string site))
+    hang_cond
+
+let pp_decision ppf d =
+  Fmt.pf ppf "%a@@rank%d#%d:%s" Site.pp d.d_site d.d_rank d.d_occurrence
+    (Plan.action_to_string d.d_action)

@@ -1,0 +1,35 @@
+(** Global fault-injection state.
+
+    Simulators call {!probe} at each registered site. Disarmed, a probe
+    is a constant [None] — the happy path is bit-identical to a build
+    without injection. Armed, decisions are a pure function of
+    [(seed, plan)] and the deterministic probe order, and every firing
+    is recorded in a replay log. *)
+
+type decision = {
+  d_site : Site.t;
+  d_rank : int;  (** [-1] when outside any rank task *)
+  d_occurrence : int;  (** per-(site, rank) count, 1-based *)
+  d_action : Plan.action;
+}
+
+val arm : seed:int -> plan:Plan.t -> unit -> unit
+val disarm : unit -> unit
+val enabled : unit -> bool
+val seed : unit -> int option
+
+val probe : site:Site.t -> ?rank:int -> unit -> Plan.action option
+(** Count this occurrence and return the action of the first matching
+    rule, if any. [rank] defaults to the calling task's rank (parsed
+    from the scheduler task name), [-1] outside rank tasks. *)
+
+val hang : site:Site.t -> unit -> unit
+(** Block the calling task forever, with a labelled reason so the
+    deadlock detector / watchdog names the injected hang. *)
+
+val log : unit -> decision list
+(** Firing decisions so far, in probe order. *)
+
+val injected_count : unit -> int
+
+val pp_decision : Format.formatter -> decision -> unit

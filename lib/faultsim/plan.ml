@@ -1,0 +1,143 @@
+(* Injection plans: an ordered list of rules matched against each probe.
+   The first matching rule decides the action. Rules select a site, an
+   optional rank, and an occurrence predicate (nth occurrence, every
+   k-th, or a seeded probability draw).
+
+   Plans parse from a compact spec string so they travel on a command
+   line and in a reproduction one-liner:
+
+     SITE[@RANK][#NTH | *EVERY | %PROB][:ACTION]
+
+   comma-separated, plus an optional "seed=N" token anywhere in the
+   list. Examples:
+
+     cuda_malloc@1#2:fail        second cudaMalloc on rank 1 fails
+     kernel_launch%0.1:fail      each launch fails with prob. 0.1
+     mpi_send*3:abort            every 3rd send aborts the rank
+     mpi_wait#1:hang,seed=42     first wait hangs; PRNG seeded with 42 *)
+
+type action = Fail | Abort | Hang
+
+type which = Nth of int | Every of int | Prob of float
+
+type rule = {
+  site : Site.t;
+  rank : int option; (* None = any rank *)
+  which : which;
+  action : action;
+}
+
+type t = rule list
+
+let action_to_string = function
+  | Fail -> "fail"
+  | Abort -> "abort"
+  | Hang -> "hang"
+
+let action_of_string = function
+  | "fail" -> Some Fail
+  | "abort" -> Some Abort
+  | "hang" -> Some Hang
+  | _ -> None
+
+let which_to_string = function
+  | Nth n -> Printf.sprintf "#%d" n
+  | Every k -> Printf.sprintf "*%d" k
+  | Prob p -> Printf.sprintf "%%%g" p
+
+let rule_to_string r =
+  Printf.sprintf "%s%s%s:%s" (Site.to_string r.site)
+    (match r.rank with None -> "" | Some rk -> Printf.sprintf "@%d" rk)
+    (which_to_string r.which)
+    (action_to_string r.action)
+
+let to_string plan = String.concat "," (List.map rule_to_string plan)
+
+(* Split [s] at the first occurrence of any character in [seps];
+   returns (head, None) when no separator is present. *)
+let split_first seps s =
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then (s, None)
+    else if String.contains seps s.[i] then
+      (String.sub s 0 i, Some (s.[i], String.sub s (i + 1) (n - i - 1)))
+    else scan (i + 1)
+  in
+  scan 0
+
+let parse_rule token =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* head, action_part =
+    match String.index_opt token ':' with
+    | Some i ->
+        Ok
+          ( String.sub token 0 i,
+            String.sub token (i + 1) (String.length token - i - 1) )
+    | None -> Ok (token, "fail")
+  in
+  let* action =
+    match action_of_string action_part with
+    | Some a -> Ok a
+    | None -> err "unknown action %S in %S (want fail|abort|hang)" action_part token
+  in
+  let site_part, rest = split_first "@#*%" head in
+  let* site =
+    match Site.of_string site_part with
+    | Some s -> Ok s
+    | None ->
+        err "unknown site %S in %S (want one of: %s)" site_part token
+          (String.concat " " (List.map Site.to_string Site.all))
+  in
+  let int_of ?(min = 1) s label =
+    match int_of_string_opt s with
+    | Some n when n >= min -> Ok n
+    | _ -> err "bad %s %S in %S" label s token
+  in
+  let parse_which sep value =
+    match sep with
+    | '#' -> Result.map (fun n -> Nth n) (int_of value "occurrence")
+    | '*' -> Result.map (fun k -> Every k) (int_of value "period")
+    | '%' -> (
+        match float_of_string_opt value with
+        | Some p when p >= 0. && p <= 1. -> Ok (Prob p)
+        | _ -> err "bad probability %S in %S (want 0..1)" value token)
+    | _ -> err "bad separator %C in %S" sep token
+  in
+  let* rank, which =
+    match rest with
+    | None -> Ok (None, Nth 1)
+    | Some ('@', tail) -> (
+        let rank_part, rest2 = split_first "#*%" tail in
+        let* rk = int_of ~min:0 rank_part "rank" in
+        match rest2 with
+        | None -> Ok (Some rk, Nth 1)
+        | Some (sep, value) ->
+            Result.map (fun w -> (Some rk, w)) (parse_which sep value))
+    | Some (sep, value) -> Result.map (fun w -> (None, w)) (parse_which sep value)
+  in
+  Ok { site; rank; which; action }
+
+(* Parse a full spec: comma-separated rules, optionally with "seed=N"
+   tokens mixed in. Returns the last seed seen (if any) and the plan. *)
+let parse_spec spec =
+  let tokens =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go seed acc = function
+    | [] -> Ok (seed, List.rev acc)
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | Some i when String.sub tok 0 i = "seed" -> (
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            match int_of_string_opt v with
+            | Some n -> go (Some n) acc rest
+            | None -> Error (Printf.sprintf "bad seed %S" v))
+        | _ -> (
+            match parse_rule tok with
+            | Ok r -> go seed (r :: acc) rest
+            | Error _ as e -> e))
+  in
+  go None [] tokens

@@ -1,0 +1,29 @@
+(** Injection plans: ordered rules matched against each probe; the
+    first matching rule decides the action. *)
+
+type action =
+  | Fail  (** surface the site's natural error (code / exception) *)
+  | Abort  (** kill the calling rank with provenance *)
+  | Hang  (** block the calling rank forever *)
+
+type which =
+  | Nth of int  (** exactly the n-th occurrence (1-based) *)
+  | Every of int  (** every k-th occurrence *)
+  | Prob of float  (** each occurrence independently, seeded draw *)
+
+type rule = { site : Site.t; rank : int option; which : which; action : action }
+
+type t = rule list
+
+val parse_spec : string -> (int option * t, string) result
+(** Parse a spec string:
+    [SITE[@RANK][#NTH | *EVERY | %PROB][:ACTION]] comma-separated, with
+    optional [seed=N] tokens mixed in. Defaults: any rank, [#1], [:fail].
+    E.g. ["cuda_malloc@1#2:fail,mpi_wait#1:hang,seed=42"]. Returns the
+    seed (if given) and the plan. *)
+
+val to_string : t -> string
+(** Round-trippable rendering (without any seed token). *)
+
+val action_to_string : action -> string
+val rule_to_string : rule -> string

@@ -1,0 +1,21 @@
+(* Splitmix64: a tiny, fast, statistically solid PRNG with a trivially
+   seedable state. Chosen over [Random] so fault-injection decisions are
+   stable across OCaml releases — a replay log plus (seed, plan) must
+   reproduce a run forever. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0, 1): top 53 bits scaled by 2^-53. *)
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. 0x1p-53

@@ -1,0 +1,15 @@
+(** Seeded splitmix64 PRNG for reproducible fault-injection decisions.
+
+    Independent of [Random] so decision streams never drift across
+    OCaml releases: a [(seed, plan)] pair must replay a run forever. *)
+
+type t
+
+val create : int -> t
+(** [create seed] starts a deterministic stream. *)
+
+val next : t -> int64
+(** Next 64 random bits. *)
+
+val float : t -> float
+(** Uniform draw in [\[0, 1)]. *)

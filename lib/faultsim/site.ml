@@ -1,0 +1,42 @@
+(* Registry of injectable sites. One constructor per API family the
+   simulators guard; keeping this a closed enum means a plan can be
+   validated up front instead of failing silently on a typo. *)
+
+type t =
+  | Cuda_malloc
+  | Kernel_launch
+  | Memcpy
+  | Memset
+  | Mpi_send
+  | Mpi_recv
+  | Mpi_wait
+  | Mpi_collective
+  | Mpi_win
+
+let all =
+  [
+    Cuda_malloc;
+    Kernel_launch;
+    Memcpy;
+    Memset;
+    Mpi_send;
+    Mpi_recv;
+    Mpi_wait;
+    Mpi_collective;
+    Mpi_win;
+  ]
+
+let to_string = function
+  | Cuda_malloc -> "cuda_malloc"
+  | Kernel_launch -> "kernel_launch"
+  | Memcpy -> "memcpy"
+  | Memset -> "memset"
+  | Mpi_send -> "mpi_send"
+  | Mpi_recv -> "mpi_recv"
+  | Mpi_wait -> "mpi_wait"
+  | Mpi_collective -> "mpi_collective"
+  | Mpi_win -> "mpi_win"
+
+let of_string s = List.find_opt (fun site -> to_string site = s) all
+
+let pp ppf site = Fmt.string ppf (to_string site)

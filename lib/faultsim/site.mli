@@ -1,0 +1,18 @@
+(** Injectable API sites. A closed enum so injection plans validate up
+    front rather than failing silently on a typo. *)
+
+type t =
+  | Cuda_malloc  (** [cudaMalloc] / [cudaMallocManaged] / [cudaHostAlloc] *)
+  | Kernel_launch  (** kernel launches *)
+  | Memcpy  (** [cudaMemcpy] / [cudaMemcpyAsync] *)
+  | Memset  (** [cudaMemset] / [cudaMemsetAsync] *)
+  | Mpi_send  (** [MPI_Send] / [MPI_Ssend] / [MPI_Isend] *)
+  | Mpi_recv  (** [MPI_Recv] / [MPI_Irecv] *)
+  | Mpi_wait  (** [MPI_Wait] / [MPI_Waitall] *)
+  | Mpi_collective  (** barrier, reductions, bcast, gather family *)
+  | Mpi_win  (** one-sided window operations *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -118,9 +118,27 @@ type result = {
   tracked_read_bytes : int; (* summed over ranks, for Fig. 12 *)
   tracked_write_bytes : int;
   deadlock : (string * string) list option;
+  failures : (int * string) list; (* (rank, what killed it), rank order *)
+  stall : Sched.Scheduler.stall option; (* watchdog diagnostic *)
+  fault_log : Faultsim.Injector.decision list; (* injected-fault replay log *)
 }
 
 let has_races r = r.races <> []
+
+(* Human-readable cause for a captured rank failure, with the MPI error
+   class / CUDA error name a real tool report would carry. *)
+let describe_exn = function
+  | Cudasim.Error.Cuda_failure { code; ctx } ->
+      Fmt.str "%s: %s" (Cudasim.Error.to_string code) ctx
+  | Mpisim.Mpi.Abort msg -> Fmt.str "MPI_Abort: %s" msg
+  | Mpisim.Comm.Truncation msg -> Fmt.str "MPI_ERR_TRUNCATE: %s" msg
+  | Mpisim.Comm.Invalid_rank r -> Fmt.str "MPI_ERR_RANK: invalid rank %d" r
+  | Mpisim.Win.Target_out_of_bounds msg -> Fmt.str "MPI_ERR_RANGE: %s" msg
+  | Mpisim.Win.Window_freed -> "MPI_ERR_WIN: operation on freed window"
+  | Cudasim.Device.Invalid_launch msg ->
+      Fmt.str "cudaErrorInvalidValue: invalid launch: %s" msg
+  | Cudasim.Device.Stream_destroyed -> "use of destroyed CUDA stream"
+  | e -> Printexc.to_string e
 
 (* Memory model for the RSS measurement (a high-water mark, like real
    RSS): the rank's share of the peak simulated allocations, plus
@@ -148,8 +166,11 @@ let rank_rss ~nranks ~baseline (st : rank_state) =
 let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     ?(default_stream_mode = Cudasim.Device.Legacy) ?(suppressions = [])
     ?(check_types = false) ?(baseline_rss = 0) ?(granule = 8) ?annotation
-    ?max_range_bytes ~flavor app =
+    ?max_range_bytes ?watchdog ?faults ~flavor app =
   (* Fresh global state, as a fresh process would have. *)
+  (match faults with
+  | Some (seed, plan) -> Faultsim.Injector.arm ~seed ~plan ()
+  | None -> Faultsim.Injector.disarm ());
   Memsim.Hooks.clear ();
   Mpisim.Hooks.clear ();
   Memsim.Heap.reset ();
@@ -171,6 +192,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
                 a.Memsim.Alloc.size)
        | None -> None);
   let states : rank_state option array = Array.make nranks None in
+  let failures = ref [] in
   (* The detector responsible for the current task: host threads
      spawned with [parallel] resolve through the thread registry, rank
      main tasks through their spawn-order id. *)
@@ -263,23 +285,41 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     Hashtbl.replace thread_registry
       (Sched.Scheduler.self_id ())
       (detector, Option.map Tsan.Detector.main_fiber detector, device);
-    app
-      {
-        mpi = ctx;
-        dev = device;
-        compile =
-          (fun k ->
-            if Flavor.uses_cusan flavor then Cusan.Pass.instrument_kernel k;
-            k);
-      }
+    (* Rank-level failures (CUDA errors, MPI aborts, simulation errors)
+       kill this rank, not the harness: the cause is recorded with rank
+       provenance, and the rank still reaches MPI_Finalize so its
+       counters, RSS probe and already-found race reports are flushed
+       into the result. Surviving ranks blocked on the dead rank are
+       then reported by deadlock detection or the watchdog — exactly
+       how a real MPI job with a dead rank presents. *)
+    try
+      app
+        {
+          mpi = ctx;
+          dev = device;
+          compile =
+            (fun k ->
+              if Flavor.uses_cusan flavor then Cusan.Pass.instrument_kernel k;
+              k);
+        }
+    with
+    | ( Cudasim.Error.Cuda_failure _ | Mpisim.Mpi.Abort _
+      | Mpisim.Comm.Truncation _ | Mpisim.Comm.Invalid_rank _
+      | Mpisim.Win.Target_out_of_bounds _ | Mpisim.Win.Window_freed
+      | Cudasim.Device.Invalid_launch _ | Cudasim.Device.Stream_destroyed ) as
+      e ->
+        failures := (rank, describe_exn e) :: !failures
   in
   let t0 = Unix.gettimeofday () in
-  let deadlock =
-    match Mpisim.Mpi.run ~nranks wrapped with
-    | () -> None
-    | exception Sched.Scheduler.Deadlock blocked -> Some blocked
+  let deadlock, stall =
+    match Mpisim.Mpi.run ?watchdog ~nranks wrapped with
+    | () -> (None, None)
+    | exception Sched.Scheduler.Deadlock blocked -> (Some blocked, None)
+    | exception Sched.Scheduler.Stalled s -> (None, Some s)
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let fault_log = Faultsim.Injector.log () in
+  Faultsim.Injector.disarm ();
   Memsim.Hooks.clear ();
   Mpisim.Hooks.clear ();
   Sched.Scheduler.clear_resume_hooks ();
@@ -364,4 +404,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     tracked_read_bytes;
     tracked_write_bytes;
     deadlock;
+    failures = List.rev !failures;
+    stall;
+    fault_log;
   }

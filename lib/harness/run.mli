@@ -45,7 +45,17 @@ type result = {
   tracked_read_bytes : int;  (** summed over ranks, for Fig. 12 *)
   tracked_write_bytes : int;
   deadlock : (string * string) list option;
-      (** blocked (task, condition) pairs when the run deadlocked *)
+      (** blocked (task, blocked-call) pairs when the run deadlocked *)
+  failures : (int * string) list;
+      (** rank-level failures (CUDA errors, MPI aborts, simulation
+          errors) captured with rank provenance; the rank's counters and
+          already-found reports are still flushed into this result *)
+  stall : Sched.Scheduler.stall option;
+      (** wait-for diagnostic when the watchdog stopped a livelock or
+          partial hang *)
+  fault_log : Faultsim.Injector.decision list;
+      (** injected-fault replay log: with the arming [(seed, plan)], it
+          reproduces the run exactly *)
 }
 
 val has_races : result -> bool
@@ -60,6 +70,8 @@ val run :
   ?granule:int ->
   ?annotation:Cusan.Runtime.annotation_mode ->
   ?max_range_bytes:int ->
+  ?watchdog:int ->
+  ?faults:int * Faultsim.Plan.t ->
   flavor:Flavor.t ->
   app ->
   result
@@ -71,4 +83,11 @@ val run :
     [baseline_rss] adds a constant to every rank's memory measurement,
     standing in for the CUDA-driver/MPI-library mappings that dominate a
     real process's RSS (default 0: raw simulator numbers). [granule] and
-    [max_range_bytes] are the ablation knobs of the bench harness. *)
+    [max_range_bytes] are the ablation knobs of the bench harness.
+
+    [watchdog] bounds scheduling steps: livelocks and partial hangs end
+    in [result.stall] instead of running forever. [faults] arms the
+    deterministic fault injector with [(seed, plan)] for this run only;
+    the firing log lands in [result.fault_log]. Rank-level failures are
+    captured in [result.failures] — the harness itself never aborts on
+    them, and the dead rank's tool state is still flushed. *)

@@ -31,6 +31,28 @@ type round = {
   mutable done_ : bool;
 }
 
+(* MPI error handling, per communicator (MPI_Comm_set_errhandler):
+   [Errors_are_fatal] is MPI's default — any error aborts the job;
+   [Errors_return] hands the application an error class and lets it
+   continue. [last_errcode] mirrors MPI's per-rank last error. *)
+type errhandler = Errors_are_fatal | Errors_return
+
+type errcode =
+  | Err_success (* MPI_SUCCESS *)
+  | Err_truncate (* MPI_ERR_TRUNCATE *)
+  | Err_rank (* MPI_ERR_RANK *)
+  | Err_range (* MPI_ERR_RANGE: RMA target out of window bounds *)
+  | Err_win (* MPI_ERR_WIN *)
+  | Err_other (* MPI_ERR_OTHER: e.g. injected transport faults *)
+
+let errcode_to_string = function
+  | Err_success -> "MPI_SUCCESS"
+  | Err_truncate -> "MPI_ERR_TRUNCATE"
+  | Err_rank -> "MPI_ERR_RANK"
+  | Err_range -> "MPI_ERR_RANGE"
+  | Err_win -> "MPI_ERR_WIN"
+  | Err_other -> "MPI_ERR_OTHER"
+
 type t = {
   size : int;
   mutable msgs : message list; (* reverse arrival order *)
@@ -40,6 +62,8 @@ type t = {
   rounds : (int, round) Hashtbl.t;
   coll_seq : int array; (* per-rank collective sequence number *)
   mutable truncations : int;
+  mutable errhandler : errhandler;
+  last_errcode : errcode array; (* per rank *)
 }
 
 exception Truncation of string
@@ -55,6 +79,8 @@ let create size =
     rounds = Hashtbl.create 8;
     coll_seq = Array.make size 0;
     truncations = 0;
+    errhandler = Errors_are_fatal;
+    last_errcode = Array.make size Err_success;
   }
 
 let check_rank t r = if r < 0 || r >= t.size then raise (Invalid_rank r)
@@ -163,8 +189,9 @@ let round_of t rank =
   (seq, r)
 
 (* Generic collective skeleton: every rank contributes, the last arrival
-   completes the round, then every rank extracts the result. *)
-let collective t rank ~contribute ~extract =
+   completes the round, then every rank extracts the result. [label]
+   names the MPI call in deadlock/watchdog diagnostics. *)
+let collective ?(label = "MPI collective") t rank ~contribute ~extract =
   let seq, r = round_of t rank in
   contribute r;
   r.contrib <- r.contrib + 1;
@@ -172,7 +199,11 @@ let collective t rank ~contribute ~extract =
     r.done_ <- true;
     Sched.Scheduler.signal t.cond
   end
-  else Sched.Scheduler.wait_until t.cond (fun () -> r.done_);
+  else
+    Sched.Scheduler.wait_until
+      ~reason:(label ^ " (collective, waiting for peers)")
+      t.cond
+      (fun () -> r.done_);
   let v = extract r in
   r.readers <- r.readers + 1;
   if r.readers = t.size then Hashtbl.remove t.rounds seq;

@@ -32,6 +32,22 @@ type round = {
 }
 (** State of one collective round. *)
 
+(** MPI error handling, per communicator ([MPI_Comm_set_errhandler]):
+    [Errors_are_fatal] is MPI's default — any error aborts the job;
+    [Errors_return] hands the application an error class and lets it
+    continue. *)
+type errhandler = Errors_are_fatal | Errors_return
+
+type errcode =
+  | Err_success  (** MPI_SUCCESS *)
+  | Err_truncate  (** MPI_ERR_TRUNCATE *)
+  | Err_rank  (** MPI_ERR_RANK *)
+  | Err_range  (** MPI_ERR_RANGE: RMA target out of window bounds *)
+  | Err_win  (** MPI_ERR_WIN *)
+  | Err_other  (** MPI_ERR_OTHER: e.g. injected transport faults *)
+
+val errcode_to_string : errcode -> string
+
 type t = {
   size : int;
   mutable msgs : message list;
@@ -41,6 +57,8 @@ type t = {
   rounds : (int, round) Hashtbl.t;
   coll_seq : int array;  (** per-rank collective sequence number *)
   mutable truncations : int;
+  mutable errhandler : errhandler;
+  last_errcode : errcode array;  (** per-rank last error *)
 }
 
 exception Truncation of string
@@ -62,6 +80,8 @@ val progress : t -> unit
     arrival order) until a fixpoint, delivering payloads by raw copy
     (simulated RDMA — invisible to instrumented loads/stores). *)
 
-val collective : t -> int -> contribute:(round -> unit) -> extract:(round -> 'a) -> 'a
+val collective :
+  ?label:string -> t -> int -> contribute:(round -> unit) -> extract:(round -> 'a) -> 'a
 (** Generic collective skeleton: every rank contributes, the last
-    arrival completes the round, then every rank extracts. *)
+    arrival completes the round, then every rank extracts. [label]
+    names the MPI call in deadlock/watchdog diagnostics. *)

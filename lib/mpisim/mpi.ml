@@ -14,12 +14,64 @@ let any_tag = Comm.any_tag
 
 exception Abort of string
 
+(* --- error handling and fault injection --------------------------------- *)
+
+let comm_set_errhandler ctx eh = ctx.comm.Comm.errhandler <- eh
+let comm_get_errhandler ctx = ctx.comm.Comm.errhandler
+let last_error ctx = ctx.comm.Comm.last_errcode.(ctx.rank)
+let error_string = Comm.errcode_to_string
+
+let set_errcode ctx code = ctx.comm.Comm.last_errcode.(ctx.rank) <- code
+
+let errcode_of_exn = function
+  | Comm.Truncation _ -> Comm.Err_truncate
+  | Comm.Invalid_rank _ -> Comm.Err_rank
+  | Win.Target_out_of_bounds _ -> Comm.Err_range
+  | Win.Window_freed -> Comm.Err_win
+  | _ -> Comm.Err_other
+
+(* Every MPI entry point runs through [guard]: first the fault injector
+   is probed for this call site, then simulation errors raised by the
+   call body are routed through the communicator's error handler —
+   [Errors_are_fatal] propagates (the MPI default: the job dies),
+   [Errors_return] records the error class for [last_error] and returns
+   [default ()]. [default] is a thunk so the error path allocates
+   nothing (e.g. no Request ids) unless it is actually taken. Injected
+   faults always carry rank provenance. *)
+let guard ctx ~site ~call ~default f =
+  let injected_fail =
+    match Faultsim.Injector.probe ~site ~rank:ctx.rank () with
+    | None -> false
+    | Some Faultsim.Plan.Hang ->
+        Faultsim.Injector.hang ~site ();
+        false
+    | Some Faultsim.Plan.Abort ->
+        raise (Abort (Fmt.str "rank %d: injected abort in %s" ctx.rank call))
+    | Some Faultsim.Plan.Fail -> (
+        set_errcode ctx Comm.Err_other;
+        match ctx.comm.Comm.errhandler with
+        | Comm.Errors_return -> true
+        | Comm.Errors_are_fatal ->
+            raise (Abort (Fmt.str "rank %d: injected fault in %s" ctx.rank call)))
+  in
+  if injected_fail then default ()
+  else
+    try f ()
+    with
+    | ( Comm.Truncation _ | Comm.Invalid_rank _ | Win.Target_out_of_bounds _
+      | Win.Window_freed ) as e
+    -> (
+      set_errcode ctx (errcode_of_exn e);
+      match ctx.comm.Comm.errhandler with
+      | Comm.Errors_return -> default ()
+      | Comm.Errors_are_fatal -> raise e)
+
 (* --- run --------------------------------------------------------------- *)
 
-let run ~nranks f =
+let run ?watchdog ~nranks f =
   if nranks <= 0 then invalid_arg "Mpi.run: nranks";
   let comm = Comm.create nranks in
-  Sched.Scheduler.run
+  Sched.Scheduler.run ?watchdog
     (List.init nranks (fun rank ->
          ( Fmt.str "rank%d" rank,
            fun () ->
@@ -28,8 +80,10 @@ let run ~nranks f =
              H.fire ~rank H.Post H.Init;
              f ctx;
              H.fire ~rank H.Pre H.Finalize;
+             (* Shutdown path: never subject to fault injection, so a
+                surviving rank's tools always get their finalize. *)
              ignore
-               (Comm.collective comm rank
+               (Comm.collective ~label:"MPI_Finalize" comm rank
                   ~contribute:(fun _ -> ())
                   ~extract:(fun _ -> ()));
              H.fire ~rank H.Post H.Finalize )))
@@ -41,85 +95,131 @@ let snapshot (buf : Ptr.t) bytes =
   Bytes.sub buf.Ptr.alloc.Alloc.data buf.Ptr.off bytes
 
 let send ctx ~buf ~count ~dt ~dst ~tag =
-  let call = H.Send { buf; count; dt; dst; tag } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let data = snapshot buf (count * dt.Datatype.size) in
-  ignore (Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data);
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_send
+    ~call:(Fmt.str "MPI_Send(dst=%d, tag=%d)" dst tag)
+    ~default:(fun () -> ()) (fun () ->
+      let call = H.Send { buf; count; dt; dst; tag } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let data = snapshot buf (count * dt.Datatype.size) in
+      ignore (Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data);
+      H.fire ~rank:ctx.rank H.Post call)
 
 (* Synchronous send: returns only once the receiver has matched the
    message (rendezvous protocol) — the variant whose misuse produces
    classic send-send deadlocks. *)
 let ssend ctx ~buf ~count ~dt ~dst ~tag =
-  let call = H.Ssend { buf; count; dt; dst; tag } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let data = snapshot buf (count * dt.Datatype.size) in
-  let m = Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data in
-  Sched.Scheduler.wait_until ctx.comm.Comm.cond (fun () ->
-      m.Comm.m_delivered);
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_send
+    ~call:(Fmt.str "MPI_Ssend(dst=%d, tag=%d)" dst tag)
+    ~default:(fun () -> ()) (fun () ->
+      let call = H.Ssend { buf; count; dt; dst; tag } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let data = snapshot buf (count * dt.Datatype.size) in
+      let m = Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data in
+      Sched.Scheduler.wait_until
+        ~reason:(Fmt.str "MPI_Ssend(dst=%d, tag=%d)" dst tag)
+        ctx.comm.Comm.cond
+        (fun () -> m.Comm.m_delivered);
+      H.fire ~rank:ctx.rank H.Post call)
+
+let dummy_request ~kind ~buf ~count ~dt ~peer ~tag ~owner =
+  let req = Request.make ~kind ~buf ~count ~dt ~peer ~tag ~owner in
+  req.Request.complete <- true;
+  req
 
 let isend ctx ~buf ~count ~dt ~dst ~tag =
-  let req =
-    Request.make ~kind:Request.Isend ~buf ~count ~dt ~peer:dst ~tag
-      ~owner:ctx.rank
-  in
-  H.fire ~rank:ctx.rank H.Pre (H.Isend { req });
-  (* Eager protocol: the payload leaves the buffer at the send call; the
-     request completes at MPI_Wait. *)
-  let data = snapshot buf (count * dt.Datatype.size) in
-  ignore (Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data);
-  H.fire ~rank:ctx.rank H.Post (H.Isend { req });
-  req
+  guard ctx ~site:Faultsim.Site.Mpi_send
+    ~call:(Fmt.str "MPI_Isend(dst=%d, tag=%d)" dst tag)
+    ~default:(fun () ->
+      dummy_request ~kind:Request.Isend ~buf ~count ~dt ~peer:dst ~tag
+        ~owner:ctx.rank)
+    (fun () ->
+      let req =
+        Request.make ~kind:Request.Isend ~buf ~count ~dt ~peer:dst ~tag
+          ~owner:ctx.rank
+      in
+      H.fire ~rank:ctx.rank H.Pre (H.Isend { req });
+      (* Eager protocol: the payload leaves the buffer at the send call;
+         the request completes at MPI_Wait. *)
+      let data = snapshot buf (count * dt.Datatype.size) in
+      ignore (Comm.deposit ctx.comm ~src:ctx.rank ~dst ~tag ~data);
+      H.fire ~rank:ctx.rank H.Post (H.Isend { req });
+      req)
 
 let irecv ctx ~buf ~count ~dt ~src ~tag =
-  let req =
-    Request.make ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
-      ~owner:ctx.rank
-  in
-  H.fire ~rank:ctx.rank H.Pre (H.Irecv { req });
-  ignore (Comm.post_recv ctx.comm req ~src ~tag);
-  Comm.progress ctx.comm;
-  H.fire ~rank:ctx.rank H.Post (H.Irecv { req });
-  req
+  guard ctx ~site:Faultsim.Site.Mpi_recv
+    ~call:(Fmt.str "MPI_Irecv(src=%d, tag=%d)" src tag)
+    ~default:(fun () ->
+      dummy_request ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
+        ~owner:ctx.rank)
+    (fun () ->
+      let req =
+        Request.make ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
+          ~owner:ctx.rank
+      in
+      H.fire ~rank:ctx.rank H.Pre (H.Irecv { req });
+      ignore (Comm.post_recv ctx.comm req ~src ~tag);
+      Comm.progress ctx.comm;
+      H.fire ~rank:ctx.rank H.Post (H.Irecv { req });
+      req)
 
-let wait_complete ctx (req : Request.t) =
+let wait_complete ?reason ctx (req : Request.t) =
   match req.Request.kind with
   | Request.Isend -> req.Request.complete <- true
   | Request.Irecv ->
+      let reason =
+        match reason with
+        | Some r -> r
+        | None ->
+            Fmt.str "MPI_Wait(Irecv src=%d, tag=%d)" req.Request.peer
+              req.Request.tag
+      in
       Comm.progress ctx.comm;
-      Sched.Scheduler.wait_until ctx.comm.Comm.cond (fun () ->
+      Sched.Scheduler.wait_until ~reason ctx.comm.Comm.cond (fun () ->
           Comm.progress ctx.comm;
           req.Request.complete)
 
 let wait ctx req =
-  H.fire ~rank:ctx.rank H.Pre (H.Wait { req });
-  wait_complete ctx req;
-  H.fire ~rank:ctx.rank H.Post (H.Wait { req })
+  guard ctx ~site:Faultsim.Site.Mpi_wait ~call:"MPI_Wait" ~default:(fun () -> ())
+    (fun () ->
+      H.fire ~rank:ctx.rank H.Pre (H.Wait { req });
+      wait_complete ctx req;
+      H.fire ~rank:ctx.rank H.Post (H.Wait { req }))
 
 let waitall ctx reqs =
-  H.fire ~rank:ctx.rank H.Pre (H.Waitall { reqs });
-  List.iter (wait_complete ctx) reqs;
-  H.fire ~rank:ctx.rank H.Post (H.Waitall { reqs })
+  guard ctx ~site:Faultsim.Site.Mpi_wait ~call:"MPI_Waitall" ~default:(fun () -> ())
+    (fun () ->
+      H.fire ~rank:ctx.rank H.Pre (H.Waitall { reqs });
+      List.iter (wait_complete ctx) reqs;
+      H.fire ~rank:ctx.rank H.Post (H.Waitall { reqs }))
 
 let test ctx (req : Request.t) =
-  Comm.progress ctx.comm;
-  if req.Request.kind = Request.Isend then req.Request.complete <- true;
-  let completed = req.Request.complete in
-  H.fire ~rank:ctx.rank H.Pre (H.Test { req; completed });
-  H.fire ~rank:ctx.rank H.Post (H.Test { req; completed });
-  completed
+  guard ctx ~site:Faultsim.Site.Mpi_wait ~call:"MPI_Test" ~default:(fun () -> false)
+    (fun () ->
+      Comm.progress ctx.comm;
+      if req.Request.kind = Request.Isend then req.Request.complete <- true;
+      let completed = req.Request.complete in
+      H.fire ~rank:ctx.rank H.Pre (H.Test { req; completed });
+      H.fire ~rank:ctx.rank H.Post (H.Test { req; completed });
+      (* An incomplete test yields: a test busy-loop then makes visible
+         progress for the scheduler instead of monopolizing its task, so
+         the watchdog can observe (and bound) the spinning. *)
+      if not completed then Sched.Scheduler.yield ();
+      completed)
 
 let recv ctx ~buf ~count ~dt ~src ~tag =
-  let call = H.Recv { buf; count; dt; src; tag } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let req =
-    Request.make ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
-      ~owner:ctx.rank
-  in
-  ignore (Comm.post_recv ctx.comm req ~src ~tag);
-  wait_complete ctx req;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_recv
+    ~call:(Fmt.str "MPI_Recv(src=%d, tag=%d)" src tag)
+    ~default:(fun () -> ()) (fun () ->
+      let call = H.Recv { buf; count; dt; src; tag } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let req =
+        Request.make ~kind:Request.Irecv ~buf ~count ~dt ~peer:src ~tag
+          ~owner:ctx.rank
+      in
+      ignore (Comm.post_recv ctx.comm req ~src ~tag);
+      wait_complete ~reason:(Fmt.str "MPI_Recv(src=%d, tag=%d)" src tag) ctx
+        req;
+      H.fire ~rank:ctx.rank H.Post call)
 
 let sendrecv ctx ~sendbuf ~sendcount ~dst ~sendtag ~recvbuf ~recvcount ~src
     ~recvtag ~dt =
@@ -155,12 +255,17 @@ let write_elems (buf : Ptr.t) (dt : Datatype.t) vals =
   | _ -> assert false
 
 let barrier ctx =
-  H.fire ~rank:ctx.rank H.Pre H.Barrier;
-  Comm.collective ctx.comm ctx.rank ~contribute:(fun _ -> ()) ~extract:(fun _ -> ());
-  H.fire ~rank:ctx.rank H.Post H.Barrier
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Barrier"
+    ~default:(fun () -> ())
+    (fun () ->
+      H.fire ~rank:ctx.rank H.Pre H.Barrier;
+      Comm.collective ~label:"MPI_Barrier" ctx.comm ctx.rank
+        ~contribute:(fun _ -> ())
+        ~extract:(fun _ -> ());
+      H.fire ~rank:ctx.rank H.Post H.Barrier)
 
-let reduce_round ctx ~op ~sendbuf ~count ~dt =
-  Comm.collective ctx.comm ctx.rank
+let reduce_round ctx ~label ~op ~sendbuf ~count ~dt =
+  Comm.collective ~label ctx.comm ctx.rank
     ~contribute:(fun r ->
       let mine = read_elems sendbuf count dt in
       if r.Comm.contrib = 0 then r.Comm.vals <- mine
@@ -169,61 +274,78 @@ let reduce_round ctx ~op ~sendbuf ~count ~dt =
     ~extract:(fun r -> r.Comm.vals)
 
 let allreduce ctx ~sendbuf ~recvbuf ~count ~dt ~op =
-  let call = H.Allreduce { sendbuf; recvbuf; count; dt } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let vals = reduce_round ctx ~op ~sendbuf ~count ~dt in
-  write_elems recvbuf dt vals;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Allreduce"
+    ~default:(fun () -> ())
+    (fun () ->
+      let call = H.Allreduce { sendbuf; recvbuf; count; dt } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let vals =
+        reduce_round ctx ~label:"MPI_Allreduce" ~op ~sendbuf ~count ~dt
+      in
+      write_elems recvbuf dt vals;
+      H.fire ~rank:ctx.rank H.Post call)
 
 let reduce ctx ~sendbuf ~recvbuf ~count ~dt ~op ~root =
-  let call = H.Reduce { sendbuf; recvbuf; count; dt; root } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let vals = reduce_round ctx ~op ~sendbuf ~count ~dt in
-  if ctx.rank = root then write_elems recvbuf dt vals;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Reduce"
+    ~default:(fun () -> ())
+    (fun () ->
+      let call = H.Reduce { sendbuf; recvbuf; count; dt; root } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let vals = reduce_round ctx ~label:"MPI_Reduce" ~op ~sendbuf ~count ~dt in
+      if ctx.rank = root then write_elems recvbuf dt vals;
+      H.fire ~rank:ctx.rank H.Post call)
 
 let allgather ctx ~sendbuf ~recvbuf ~count ~dt =
-  let call = H.Allgather { sendbuf; recvbuf; count; dt } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let all =
-    Comm.collective ctx.comm ctx.rank
-      ~contribute:(fun r ->
-        if Array.length r.Comm.vals = 0 then
-          r.Comm.vals <- Array.make (ctx.size * count) 0.;
-        let mine = read_elems sendbuf count dt in
-        Array.blit mine 0 r.Comm.vals (ctx.rank * count) count)
-      ~extract:(fun r -> r.Comm.vals)
-  in
-  write_elems recvbuf dt all;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Allgather"
+    ~default:(fun () -> ())
+    (fun () ->
+      let call = H.Allgather { sendbuf; recvbuf; count; dt } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let all =
+        Comm.collective ~label:"MPI_Allgather" ctx.comm ctx.rank
+          ~contribute:(fun r ->
+            if Array.length r.Comm.vals = 0 then
+              r.Comm.vals <- Array.make (ctx.size * count) 0.;
+            let mine = read_elems sendbuf count dt in
+            Array.blit mine 0 r.Comm.vals (ctx.rank * count) count)
+          ~extract:(fun r -> r.Comm.vals)
+      in
+      write_elems recvbuf dt all;
+      H.fire ~rank:ctx.rank H.Post call)
 
 let gather ctx ~sendbuf ~recvbuf ~count ~dt ~root =
-  let call = H.Gather { sendbuf; recvbuf; count; dt; root } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let all =
-    Comm.collective ctx.comm ctx.rank
-      ~contribute:(fun r ->
-        if Array.length r.Comm.vals = 0 then
-          r.Comm.vals <- Array.make (ctx.size * count) 0.;
-        let mine = read_elems sendbuf count dt in
-        Array.blit mine 0 r.Comm.vals (ctx.rank * count) count)
-      ~extract:(fun r -> r.Comm.vals)
-  in
-  if ctx.rank = root then write_elems recvbuf dt all;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Gather"
+    ~default:(fun () -> ())
+    (fun () ->
+      let call = H.Gather { sendbuf; recvbuf; count; dt; root } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let all =
+        Comm.collective ~label:"MPI_Gather" ctx.comm ctx.rank
+          ~contribute:(fun r ->
+            if Array.length r.Comm.vals = 0 then
+              r.Comm.vals <- Array.make (ctx.size * count) 0.;
+            let mine = read_elems sendbuf count dt in
+            Array.blit mine 0 r.Comm.vals (ctx.rank * count) count)
+          ~extract:(fun r -> r.Comm.vals)
+      in
+      if ctx.rank = root then write_elems recvbuf dt all;
+      H.fire ~rank:ctx.rank H.Post call)
 
 let scatter ctx ~sendbuf ~recvbuf ~count ~dt ~root =
-  let call = H.Scatter { sendbuf; recvbuf; count; dt; root } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let all =
-    Comm.collective ctx.comm ctx.rank
-      ~contribute:(fun r ->
-        if ctx.rank = root then
-          r.Comm.vals <- read_elems sendbuf (ctx.size * count) dt)
-      ~extract:(fun r -> r.Comm.vals)
-  in
-  write_elems recvbuf dt (Array.sub all (ctx.rank * count) count);
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Scatter"
+    ~default:(fun () -> ())
+    (fun () ->
+      let call = H.Scatter { sendbuf; recvbuf; count; dt; root } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let all =
+        Comm.collective ~label:"MPI_Scatter" ctx.comm ctx.rank
+          ~contribute:(fun r ->
+            if ctx.rank = root then
+              r.Comm.vals <- read_elems sendbuf (ctx.size * count) dt)
+          ~extract:(fun r -> r.Comm.vals)
+      in
+      write_elems recvbuf dt (Array.sub all (ctx.rank * count) count);
+      H.fire ~rank:ctx.rank H.Post call)
 
 (* --- one-sided communication (RMA, fence synchronization) --------------- *)
 
@@ -233,7 +355,7 @@ let scatter ctx ~sendbuf ~recvbuf ~count ~dt ~root =
 let win_create ctx ~buf ~bytes =
   Ptr.check buf bytes;
   let buffers, sizes, wid =
-    Comm.collective ctx.comm ctx.rank
+    Comm.collective ~label:"MPI_Win_create" ctx.comm ctx.rank
       ~contribute:(fun r ->
         if Array.length r.Comm.ivals = 0 then begin
           r.Comm.ivals <- Array.make ctx.size 0;
@@ -259,67 +381,96 @@ let win_create ctx ~buf ~bytes =
    RMA issued before the fence is complete (at origin and target) once
    it returns. *)
 let win_fence ctx (win : Win.t) =
-  Win.check_live win;
-  let call = H.Win_fence { win } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  Comm.collective ctx.comm ctx.rank ~contribute:(fun _ -> ()) ~extract:(fun _ -> ());
-  win.Win.epoch <- win.Win.epoch + 1;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_win ~call:"MPI_Win_fence"
+    ~default:(fun () -> ())
+    (fun () ->
+      Win.check_live win;
+      let call = H.Win_fence { win } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      Comm.collective ~label:"MPI_Win_fence" ctx.comm ctx.rank
+        ~contribute:(fun _ -> ())
+        ~extract:(fun _ -> ());
+      win.Win.epoch <- win.Win.epoch + 1;
+      H.fire ~rank:ctx.rank H.Post call)
 
 let win_free ctx (win : Win.t) =
-  Win.check_live win;
-  let call = H.Win_free { win } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  Comm.collective ctx.comm ctx.rank ~contribute:(fun _ -> ()) ~extract:(fun _ -> ());
-  win.Win.freed <- true;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_win ~call:"MPI_Win_free"
+    ~default:(fun () -> ())
+    (fun () ->
+      Win.check_live win;
+      let call = H.Win_free { win } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      Comm.collective ~label:"MPI_Win_free" ctx.comm ctx.rank
+        ~contribute:(fun _ -> ())
+        ~extract:(fun _ -> ());
+      win.Win.freed <- true;
+      H.fire ~rank:ctx.rank H.Post call)
 
 (* MPI_Put: one-sided write of [count] elements into the target rank's
    window at element displacement [disp]. Data moves as raw bytes — the
    RDMA transfer no load/store instrumentation can see. *)
 let put ctx (win : Win.t) ~buf ~count ~dt ~target ~disp =
-  let bytes = count * dt.Datatype.size in
-  let disp_bytes = disp * dt.Datatype.size in
-  Win.check_target win ~target ~disp_bytes ~bytes;
-  Ptr.check buf bytes;
-  let call = H.Rma_put { win; buf; count; dt; target; disp } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  Access.raw_blit ~src:buf ~dst:(Win.target_ptr win ~target ~disp_bytes) ~bytes;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_win
+    ~call:(Fmt.str "MPI_Put(target=%d)" target)
+    ~default:(fun () -> ())
+    (fun () ->
+      let bytes = count * dt.Datatype.size in
+      let disp_bytes = disp * dt.Datatype.size in
+      Win.check_target win ~target ~disp_bytes ~bytes;
+      Ptr.check buf bytes;
+      let call = H.Rma_put { win; buf; count; dt; target; disp } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      Access.raw_blit ~src:buf
+        ~dst:(Win.target_ptr win ~target ~disp_bytes)
+        ~bytes;
+      H.fire ~rank:ctx.rank H.Post call)
 
 (* MPI_Get: one-sided read from the target's window into [buf]. *)
 let get ctx (win : Win.t) ~buf ~count ~dt ~target ~disp =
-  let bytes = count * dt.Datatype.size in
-  let disp_bytes = disp * dt.Datatype.size in
-  Win.check_target win ~target ~disp_bytes ~bytes;
-  Ptr.check buf bytes;
-  let call = H.Rma_get { win; buf; count; dt; target; disp } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  Access.raw_blit ~src:(Win.target_ptr win ~target ~disp_bytes) ~dst:buf ~bytes;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_win
+    ~call:(Fmt.str "MPI_Get(target=%d)" target)
+    ~default:(fun () -> ())
+    (fun () ->
+      let bytes = count * dt.Datatype.size in
+      let disp_bytes = disp * dt.Datatype.size in
+      Win.check_target win ~target ~disp_bytes ~bytes;
+      Ptr.check buf bytes;
+      let call = H.Rma_get { win; buf; count; dt; target; disp } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      Access.raw_blit
+        ~src:(Win.target_ptr win ~target ~disp_bytes)
+        ~dst:buf ~bytes;
+      H.fire ~rank:ctx.rank H.Post call)
 
 (* MPI_Accumulate with MPI_SUM-style ops: concurrent accumulates to the
    same location (same op) are legal per the MPI standard. *)
 let accumulate ctx (win : Win.t) ~buf ~count ~dt ~op ~target ~disp =
-  let bytes = count * dt.Datatype.size in
-  let disp_bytes = disp * dt.Datatype.size in
-  Win.check_target win ~target ~disp_bytes ~bytes;
-  let call = H.Rma_accumulate { win; buf; count; dt; target; disp } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let dst = Win.target_ptr win ~target ~disp_bytes in
-  let mine = read_elems buf count dt in
-  let theirs = read_elems dst count dt in
-  write_elems dst dt (Array.mapi (fun i v -> apply_op op v theirs.(i)) mine);
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_win
+    ~call:(Fmt.str "MPI_Accumulate(target=%d)" target)
+    ~default:(fun () -> ())
+    (fun () ->
+      let bytes = count * dt.Datatype.size in
+      let disp_bytes = disp * dt.Datatype.size in
+      Win.check_target win ~target ~disp_bytes ~bytes;
+      let call = H.Rma_accumulate { win; buf; count; dt; target; disp } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let dst = Win.target_ptr win ~target ~disp_bytes in
+      let mine = read_elems buf count dt in
+      let theirs = read_elems dst count dt in
+      write_elems dst dt (Array.mapi (fun i v -> apply_op op v theirs.(i)) mine);
+      H.fire ~rank:ctx.rank H.Post call)
 
 let bcast ctx ~buf ~count ~dt ~root =
-  let call = H.Bcast { buf; count; dt; root } in
-  H.fire ~rank:ctx.rank H.Pre call;
-  let vals =
-    Comm.collective ctx.comm ctx.rank
-      ~contribute:(fun r ->
-        if ctx.rank = root then r.Comm.vals <- read_elems buf count dt)
-      ~extract:(fun r -> r.Comm.vals)
-  in
-  if ctx.rank <> root then write_elems buf dt vals;
-  H.fire ~rank:ctx.rank H.Post call
+  guard ctx ~site:Faultsim.Site.Mpi_collective ~call:"MPI_Bcast"
+    ~default:(fun () -> ())
+    (fun () ->
+      let call = H.Bcast { buf; count; dt; root } in
+      H.fire ~rank:ctx.rank H.Pre call;
+      let vals =
+        Comm.collective ~label:"MPI_Bcast" ctx.comm ctx.rank
+          ~contribute:(fun r ->
+            if ctx.rank = root then r.Comm.vals <- read_elems buf count dt)
+          ~extract:(fun r -> r.Comm.vals)
+      in
+      if ctx.rank <> root then write_elems buf dt vals;
+      H.fire ~rank:ctx.rank H.Post call)

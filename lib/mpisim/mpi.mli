@@ -15,11 +15,36 @@ val any_tag : int
 
 exception Abort of string
 
-val run : nranks:int -> (ctx -> unit) -> unit
+val run : ?watchdog:int -> nranks:int -> (ctx -> unit) -> unit
 (** Run one instance of the program per rank under the deterministic
     scheduler. [MPI_Init]/[MPI_Finalize] events fire around the program,
-    and [MPI_Finalize] is collective.
-    @raise Sched.Scheduler.Deadlock when communication deadlocks. *)
+    and [MPI_Finalize] is collective. [watchdog] bounds scheduling steps
+    (see {!Sched.Scheduler.run}); the shutdown path is never subject to
+    fault injection.
+    @raise Sched.Scheduler.Deadlock when communication deadlocks.
+    @raise Sched.Scheduler.Stalled when the watchdog budget expires. *)
+
+(** {1 Error handling}
+
+    Every MPI call probes the fault injector ({!Faultsim.Injector}) and
+    routes simulation errors ([Comm.Truncation], [Comm.Invalid_rank],
+    [Win.Target_out_of_bounds], [Win.Window_freed]) through the
+    communicator's error handler. Under [Errors_are_fatal] (the MPI
+    default) the error propagates — injected faults as {!Abort} with
+    rank provenance. Under [Errors_return] the call records an error
+    class for {!last_error} and returns a neutral value (failed
+    [isend]/[irecv] return an already-complete request). *)
+
+val comm_set_errhandler : ctx -> Comm.errhandler -> unit
+(** [MPI_Comm_set_errhandler] on the world communicator. *)
+
+val comm_get_errhandler : ctx -> Comm.errhandler
+
+val last_error : ctx -> Comm.errcode
+(** The calling rank's last error class ([Err_success] if none). *)
+
+val error_string : Comm.errcode -> string
+(** [MPI_Error_string]. *)
 
 (** {1 Point-to-point}
 

@@ -8,7 +8,21 @@
    A [wait]/[signal] pair is the only blocking primitive. When the run
    queue drains while tasks are still blocked, the scheduler raises
    [Deadlock] with the blocked tasks and the conditions they wait on;
-   the MPI simulator inherits deadlock detection from this for free. *)
+   the MPI simulator inherits deadlock detection from this for free.
+
+   Waits may carry a [reason] — a human-readable label for *why* the
+   task blocks (e.g. "MPI_Ssend(dst=1, tag=0)"). Deadlock and watchdog
+   diagnostics report the reason when present, so a hung MPI program
+   names the blocked call and peer rank rather than a bare condition
+   variable.
+
+   An optional watchdog bounds the number of scheduling steps (task
+   resumptions). Exceeding the budget while work remains raises
+   [Stalled] with a wait-for diagnostic covering livelocks and partial
+   hangs — some tasks blocked while others spin — which the all-blocked
+   [Deadlock] check can never see. Being cooperative, the watchdog can
+   only fire between resumptions: a task spinning without yielding is
+   not preemptable. *)
 
 type cond = {
   cond_name : string;
@@ -21,6 +35,7 @@ and task = {
   t_name : string;
   t_id : int;
   mutable t_state : state;
+  mutable t_reason : string option; (* why it blocks, for diagnostics *)
 }
 
 and state = Runnable | Blocked of cond | Finished
@@ -30,17 +45,36 @@ type t = {
   mutable tasks : task list; (* reverse spawn order *)
   mutable next_id : int;
   mutable current : task option;
+  mutable steps : int; (* task resumptions so far *)
+  watchdog : int option; (* step budget; None = unbounded *)
 }
 
 exception Deadlock of (string * string) list
-(** [(task, condition)] pairs for every task blocked when the run queue
-    drained. *)
+(** [(task, reason-or-condition)] pairs for every task blocked when the
+    run queue drained. *)
+
+type stall = {
+  stall_steps : int; (* budget that was exhausted *)
+  stall_blocked : (string * string) list; (* (task, reason-or-condition) *)
+  stall_spinning : string list; (* tasks still runnable: live or livelocked *)
+}
+
+exception Stalled of stall
 
 exception Not_in_scheduler
 
+let pp_stall ppf s =
+  Fmt.pf ppf "watchdog: no completion after %d scheduling steps@," s.stall_steps;
+  Fmt.pf ppf "wait-for graph:@,";
+  List.iter
+    (fun (task, why) -> Fmt.pf ppf "  %s -> blocked on %s@," task why)
+    s.stall_blocked;
+  List.iter (fun task -> Fmt.pf ppf "  %s -> runnable (spinning)@," task)
+    s.stall_spinning
+
 type _ Effect.t +=
   | Yield : unit Effect.t
-  | Wait : cond -> unit Effect.t
+  | Wait : cond * string option -> unit Effect.t
 
 let instance : t option ref = ref None
 
@@ -58,7 +92,7 @@ let get () = match !instance with Some s -> s | None -> raise Not_in_scheduler
 let cond name = { cond_name = name; waiters = [] }
 
 let yield () = Effect.perform Yield
-let wait c = Effect.perform (Wait c)
+let wait ?reason c = Effect.perform (Wait (c, reason))
 
 let current_task () =
   match (get ()).current with Some t -> t | None -> raise Not_in_scheduler
@@ -75,16 +109,19 @@ let signal c =
   List.iter
     (fun w ->
       w.w_task.t_state <- Runnable;
+      w.w_task.t_reason <- None;
       Queue.push (w.w_task, fun () -> Effect.Deep.continue w.w_resume ()) s.runq)
     ws
 
-let wait_until c pred =
+let wait_until ?reason c pred =
   while not (pred ()) do
-    wait c
+    wait ?reason c
   done
 
 let spawn_in s name f =
-  let task = { t_name = name; t_id = s.next_id; t_state = Runnable } in
+  let task =
+    { t_name = name; t_id = s.next_id; t_state = Runnable; t_reason = None }
+  in
   s.next_id <- s.next_id + 1;
   s.tasks <- task :: s.tasks;
   let thunk () =
@@ -99,10 +136,11 @@ let spawn_in s name f =
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
                     Queue.push (task, fun () -> Effect.Deep.continue k ()) s.runq)
-            | Wait c ->
+            | Wait (c, reason) ->
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
                     task.t_state <- Blocked c;
+                    task.t_reason <- reason;
                     c.waiters <- { w_task = task; w_resume = k } :: c.waiters)
             | _ -> None);
       }
@@ -112,28 +150,59 @@ let spawn_in s name f =
 (* Spawn a task dynamically from inside a running scheduler. *)
 let spawn name f = spawn_in (get ()) name f
 
-let run tasks =
+let blocked_pairs s =
+  List.filter_map
+    (fun t ->
+      match t.t_state with
+      | Blocked c -> Some (t.t_name, Option.value t.t_reason ~default:c.cond_name)
+      | Runnable | Finished -> None)
+    (List.rev s.tasks)
+
+let run ?watchdog tasks =
   (match !instance with
   | Some _ -> invalid_arg "Scheduler.run: nested run"
   | None -> ());
-  let s = { runq = Queue.create (); tasks = []; next_id = 0; current = None } in
+  let s =
+    {
+      runq = Queue.create ();
+      tasks = [];
+      next_id = 0;
+      current = None;
+      steps = 0;
+      watchdog;
+    }
+  in
   instance := Some s;
   let finish () = instance := None in
   Fun.protect ~finally:finish (fun () ->
       List.iter (fun (name, f) -> spawn_in s name f) tasks;
       while not (Queue.is_empty s.runq) do
+        (match s.watchdog with
+        | Some budget when s.steps >= budget ->
+            (* Livelock or partial hang: work remains but the budget is
+               spent. Distinguish blocked tasks (edges of the wait-for
+               graph) from runnable ones (the spinners starving them). *)
+            let spinning =
+              Queue.fold
+                (fun acc (t, _) ->
+                  if List.mem t.t_name acc then acc else t.t_name :: acc)
+                [] s.runq
+              |> List.rev
+            in
+            raise
+              (Stalled
+                 {
+                   stall_steps = s.steps;
+                   stall_blocked = blocked_pairs s;
+                   stall_spinning = spinning;
+                 })
+        | _ -> ());
         let task, thunk = Queue.pop s.runq in
         s.current <- Some task;
+        s.steps <- s.steps + 1;
         List.iter (fun f -> f task.t_name task.t_id) !resume_hooks;
         thunk ();
         s.current <- None
       done;
-      let blocked =
-        List.filter_map
-          (fun t ->
-            match t.t_state with
-            | Blocked c -> Some (t.t_name, c.cond_name)
-            | Runnable | Finished -> None)
-          (List.rev s.tasks)
-      in
+      let blocked = blocked_pairs s in
       if blocked <> [] then raise (Deadlock blocked))

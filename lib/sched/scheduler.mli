@@ -11,18 +11,44 @@ type cond
 
 exception Deadlock of (string * string) list
 (** Raised by {!run} when the run queue drains while tasks are still
-    blocked. Carries [(task name, condition name)] for each. *)
+    blocked. Carries [(task name, why)] for each blocked task, where
+    [why] is the wait's [reason] when one was given and the condition
+    name otherwise. *)
+
+type stall = {
+  stall_steps : int;  (** step budget that was exhausted *)
+  stall_blocked : (string * string) list;
+      (** [(task, reason-or-condition)] for each blocked task *)
+  stall_spinning : string list;
+      (** tasks still runnable — live or livelocked *)
+}
+(** Wait-for diagnostic produced by the watchdog on a livelock or
+    partial hang (some tasks blocked while others spin). *)
+
+exception Stalled of stall
+(** Raised by {!run} when a [watchdog] step budget is exhausted while
+    work remains. *)
 
 exception Not_in_scheduler
 (** Raised when a scheduler operation is used outside {!run}. *)
 
+val pp_stall : Format.formatter -> stall -> unit
+(** Render a {!stall} as a wait-for-graph diagnostic. *)
+
 val cond : string -> cond
 (** [cond name] creates a fresh condition variable; [name] appears in
-    {!Deadlock} diagnostics. *)
+    {!Deadlock} diagnostics when the wait gave no [reason]. *)
 
-val run : (string * (unit -> unit)) list -> unit
+val run : ?watchdog:int -> (string * (unit -> unit)) list -> unit
 (** [run tasks] spawns each named task and schedules until all finish.
-    Exceptions from tasks propagate immediately. Not reentrant. *)
+    Exceptions from tasks propagate immediately. Not reentrant.
+
+    [watchdog] bounds the number of scheduling steps (task resumptions);
+    exceeding it while tasks remain raises {!Stalled} with a wait-for
+    diagnostic. This catches livelocks and partial hangs the all-blocked
+    {!Deadlock} check cannot see. Being cooperative, the watchdog only
+    fires between resumptions — a task spinning without yielding is not
+    preemptable. *)
 
 val spawn : string -> (unit -> unit) -> unit
 (** Spawn an additional task from inside a running scheduler. *)
@@ -30,10 +56,12 @@ val spawn : string -> (unit -> unit) -> unit
 val yield : unit -> unit
 (** Re-enqueue the current task at the back of the run queue. *)
 
-val wait : cond -> unit
-(** Block the current task until the condition is signalled. *)
+val wait : ?reason:string -> cond -> unit
+(** Block the current task until the condition is signalled. [reason]
+    labels the blocked call (e.g. ["MPI_Ssend(dst=1, tag=0)"]) in
+    {!Deadlock} and {!Stalled} diagnostics. *)
 
-val wait_until : cond -> (unit -> bool) -> unit
+val wait_until : ?reason:string -> cond -> (unit -> bool) -> unit
 (** [wait_until c pred] blocks on [c] until [pred ()] holds. *)
 
 val signal : cond -> unit

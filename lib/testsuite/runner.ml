@@ -1,33 +1,68 @@
 (* Executes the testsuite: each case runs under MUST & CuSan (the full
    stack) and the detector's verdict is compared with the case's ground
-   truth, like `make check-cutests` in the paper's artifact. *)
+   truth, like `make check-cutests` in the paper's artifact.
+
+   Cases can also run under an armed fault injector ([faults]). The
+   pass criterion then changes to *verdict stability*: injection must
+   never create evidence of a bug the program does not have —
+
+   - a Clean case must stay undetected (no false positives from the
+     error paths, aborted ranks, watchdog recoveries);
+   - a Racy case where no fault actually fired must still be detected
+     (the disarmed-probe paths are really no-ops);
+   - a Racy case where a fault fired may legitimately lose its race
+     (e.g. the racing rank died first), so only false positives count
+     against it.
+
+   Runs under injection always get a watchdog, so injected hangs
+   terminate with a wait-for diagnostic instead of wedging the suite. *)
 
 type verdict = {
   case : Cases.case;
   detected : bool;
   reports : (int * Tsan.Report.t) list;
   pass : bool;
+  injected : int; (* faults that fired during this case *)
+  failures : (int * string) list; (* captured per-rank failures *)
 }
 
-let run_case ?(mode = Cudasim.Device.Eager) ?annotation (case : Cases.case) =
+let fault_watchdog = 100_000
+
+let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
+    (case : Cases.case) =
+  let watchdog = Option.map (fun _ -> fault_watchdog) faults in
   let res =
-    Harness.Run.run ~nranks:2 ~mode ?annotation ~check_types:true
-      ~flavor:Harness.Flavor.Must_cusan case.Cases.app
+    Harness.Run.run ~nranks:2 ~mode ?annotation ~check_types:true ?watchdog
+      ?faults ~flavor:Harness.Flavor.Must_cusan case.Cases.app
   in
   let detected = Harness.Run.has_races res in
   let expected = case.Cases.expect = Cases.Racy in
+  let injected = List.length res.Harness.Run.fault_log in
+  let pass =
+    if faults = None then
+      detected = expected && res.Harness.Run.deadlock = None
+    else if injected = 0 then
+      (* Armed but nothing fired here: must behave exactly as baseline
+         (hangs excluded — the watchdog is a pass-through when idle). *)
+      detected = expected && res.Harness.Run.deadlock = None
+    else
+      (* A fault fired: no new false positives. *)
+      match case.Cases.expect with Cases.Clean -> not detected | Cases.Racy -> true
+  in
   {
     case;
     detected;
     reports = res.Harness.Run.races;
-    pass = detected = expected && res.Harness.Run.deadlock = None;
+    pass;
+    injected;
+    failures = res.Harness.Run.failures;
   }
 
-let run_all ?mode ?annotation () =
-  List.map (run_case ?mode ?annotation) (Cases.all ())
+let run_all ?mode ?annotation ?faults () =
+  List.map (run_case ?mode ?annotation ?faults) (Cases.all ())
 
 let pp_verdict ppf v =
-  Fmt.pf ppf "%s: CuSanTest :: %s (%s)"
+  Fmt.pf ppf "%s: CuSanTest :: %s (%s)%s"
     (if v.pass then "PASS" else "FAIL")
     v.case.Cases.name
     (match (v.case.Cases.expect, v.detected) with
@@ -35,6 +70,8 @@ let pp_verdict ppf v =
     | Cases.Racy, false -> "race MISSED"
     | Cases.Clean, false -> "clean"
     | Cases.Clean, true -> "FALSE POSITIVE")
+    (if v.injected > 0 then Fmt.str " [%d fault(s) injected]" v.injected
+     else "")
 
 let summary verdicts =
   let pass = List.length (List.filter (fun v -> v.pass) verdicts) in

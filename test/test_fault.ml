@@ -1,0 +1,385 @@
+(* Tests for the deterministic fault-injection layer: PRNG and plan
+   determinism, real CUDA error semantics (sticky vs. recoverable,
+   deferred async surfacing), MPI error handlers under injection, the
+   scheduler watchdog on partial hangs, and crash-resilient tool
+   reporting (an aborted rank still flushes its counters). *)
+
+module Prng = Faultsim.Prng
+module Plan = Faultsim.Plan
+module Site = Faultsim.Site
+module Inj = Faultsim.Injector
+module Dev = Cudasim.Device
+module Mem = Cudasim.Memory
+module Err = Cudasim.Error
+module Mpi = Mpisim.Mpi
+module Dt = Mpisim.Datatype
+module R = Harness.Run
+
+let f64 = Typeart.Typedb.F64
+let alloc_f64 n = Memsim.Heap.alloc Memsim.Space.Host_pageable (n * 8)
+
+(* Reset simulator globals and guarantee the injector is disarmed no
+   matter how the test exits. *)
+let with_clean f =
+  Memsim.Heap.reset ();
+  Typeart.Rt.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Inj.disarm ();
+      Memsim.Heap.reset ();
+      Typeart.Rt.reset ())
+    f
+
+let plan_of_string spec =
+  match Plan.parse_spec spec with
+  | Ok (_, plan) -> plan
+  | Error msg -> Alcotest.failf "bad plan %S: %s" spec msg
+
+let noop_kernel = Cudasim.Kernel.make ~native:(fun ~grid:_ _ -> ()) "fi_noop"
+
+(* --- PRNG ---------------------------------------------------------------- *)
+
+let prng_same_seed_same_stream () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 64 do
+    Alcotest.(check int64) "same draw" (Prng.next a) (Prng.next b)
+  done
+
+let prng_different_seed_differs () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let da = List.init 8 (fun _ -> Prng.next a) in
+  let db = List.init 8 (fun _ -> Prng.next b) in
+  Alcotest.(check bool) "streams differ" true (da <> db)
+
+let prng_float_in_unit_interval () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    if f < 0. || f >= 1. then Alcotest.failf "draw %g outside [0,1)" f
+  done
+
+(* --- plan grammar -------------------------------------------------------- *)
+
+let plan_parse_roundtrip () =
+  let spec = "cuda_malloc@1#2:fail,kernel_launch%0.25:abort,mpi_wait*3:hang" in
+  match Plan.parse_spec (spec ^ ",seed=42") with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok (seed, plan) ->
+      Alcotest.(check (option int)) "seed" (Some 42) seed;
+      Alcotest.(check string) "round trip" spec (Plan.to_string plan)
+
+let plan_parse_defaults () =
+  match Plan.parse_spec "mpi_send" with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok (seed, [ r ]) ->
+      Alcotest.(check (option int)) "no seed" None seed;
+      Alcotest.(check string) "defaults: any rank, 1st occurrence, fail"
+        "mpi_send#1:fail" (Plan.rule_to_string r)
+  | Ok _ -> Alcotest.fail "expected one rule"
+
+let plan_parse_rank_zero () =
+  match Plan.parse_spec "mpi_send@0#1:abort" with
+  | Ok (_, [ { Plan.rank = Some 0; action = Plan.Abort; _ } ]) -> ()
+  | Ok _ -> Alcotest.fail "wrong rule"
+  | Error msg -> Alcotest.failf "rank 0 rejected: %s" msg
+
+let plan_parse_errors () =
+  let bad spec =
+    match Plan.parse_spec spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S accepted" spec
+  in
+  bad "frobnicate#1:fail";
+  bad "mpi_send:explode";
+  bad "kernel_launch%1.5:fail";
+  bad "mpi_wait#0:fail";
+  bad "seed=banana"
+
+(* --- probe matching ------------------------------------------------------ *)
+
+let probe_counts_occurrences () =
+  with_clean @@ fun () ->
+  Inj.arm ~seed:0 ~plan:(plan_of_string "cuda_malloc#2:fail") ();
+  Alcotest.(check bool) "1st occurrence passes" true
+    (Inj.probe ~site:Site.Cuda_malloc ~rank:0 () = None);
+  Alcotest.(check bool) "2nd occurrence fires" true
+    (Inj.probe ~site:Site.Cuda_malloc ~rank:0 () = Some Plan.Fail);
+  (* Occurrences count per (site, rank): rank 1 is still at its first. *)
+  Alcotest.(check bool) "other rank unaffected" true
+    (Inj.probe ~site:Site.Cuda_malloc ~rank:1 () = None);
+  match Inj.log () with
+  | [ d ] ->
+      Alcotest.(check int) "logged occurrence" 2 d.Inj.d_occurrence;
+      Alcotest.(check int) "logged rank" 0 d.Inj.d_rank
+  | l -> Alcotest.failf "expected one logged firing, got %d" (List.length l)
+
+let probe_every_kth () =
+  with_clean @@ fun () ->
+  Inj.arm ~seed:0 ~plan:(plan_of_string "mpi_send*3:fail") ();
+  let fired =
+    List.init 9 (fun _ -> Inj.probe ~site:Site.Mpi_send ~rank:0 () <> None)
+  in
+  Alcotest.(check (list bool)) "every 3rd"
+    [ false; false; true; false; false; true; false; false; true ]
+    fired
+
+let disarmed_probe_is_noop () =
+  with_clean @@ fun () ->
+  Alcotest.(check bool) "disarmed" false (Inj.enabled ());
+  Alcotest.(check bool) "no decision" true
+    (Inj.probe ~site:Site.Kernel_launch ~rank:0 () = None);
+  Alcotest.(check int) "no log" 0 (Inj.injected_count ())
+
+(* --- CUDA error semantics ------------------------------------------------ *)
+
+let malloc_failure_is_recoverable () =
+  with_clean @@ fun () ->
+  Inj.arm ~seed:0 ~plan:(plan_of_string "cuda_malloc#1:fail") ();
+  let dev = Dev.create () in
+  (match Mem.cuda_malloc dev ~ty:f64 ~count:8 with
+  | _ -> Alcotest.fail "injected cudaMalloc succeeded"
+  | exception Err.Cuda_failure { code = Err.Memory_allocation; _ } -> ());
+  (* cudaErrorMemoryAllocation is not sticky: peek sees it, get clears. *)
+  Alcotest.(check string) "peek" "cudaErrorMemoryAllocation"
+    (Err.to_string (Dev.peek_at_last_error dev));
+  Alcotest.(check string) "get" "cudaErrorMemoryAllocation"
+    (Err.to_string (Dev.get_last_error dev));
+  Alcotest.(check string) "cleared" "cudaSuccess"
+    (Err.to_string (Dev.get_last_error dev));
+  (* The second allocation (occurrence 2, no matching rule) works. *)
+  let p = Mem.cuda_malloc dev ~ty:f64 ~count:8 in
+  ignore (p : Memsim.Ptr.t)
+
+let kernel_fault_defers_to_sync () =
+  with_clean @@ fun () ->
+  Inj.arm ~seed:0 ~plan:(plan_of_string "kernel_launch#1:fail") ();
+  let dev = Dev.create ~mode:Dev.Eager () in
+  (* The launch itself reports success, like a real async launch whose
+     kernel later faults... *)
+  Dev.launch dev noop_kernel ~grid:1 ~args:[||] ();
+  Alcotest.(check string) "nothing surfaced yet" "cudaSuccess"
+    (Err.to_string (Dev.peek_at_last_error dev));
+  (* ...and the error surfaces at the next synchronization point. *)
+  (match Dev.device_synchronize dev with
+  | () -> Alcotest.fail "deferred error did not surface"
+  | exception Err.Cuda_failure { code = Err.Launch_failed; ctx } ->
+      Alcotest.(check bool) "ctx names the sync point" true
+        (String.length ctx > 0));
+  (* cudaErrorLaunchFailure is sticky: never cleared... *)
+  Alcotest.(check string) "sticky" "cudaErrorLaunchFailure"
+    (Err.to_string (Dev.get_last_error dev));
+  Alcotest.(check string) "still sticky after get" "cudaErrorLaunchFailure"
+    (Err.to_string (Dev.get_last_error dev));
+  (* ...and the context is corrupted: further work is refused. *)
+  match Dev.launch dev noop_kernel ~grid:1 ~args:[||] () with
+  | () -> Alcotest.fail "corrupted context accepted work"
+  | exception Err.Cuda_failure { code = Err.Launch_failed; _ } -> ()
+
+(* --- MPI error handlers under injection ---------------------------------- *)
+
+let errors_return_survives_injected_fault () =
+  with_clean @@ fun () ->
+  Inj.arm ~seed:0 ~plan:(plan_of_string "mpi_send@0#1:fail") ();
+  let code = ref Mpisim.Comm.Err_success in
+  let got = ref 0. in
+  Mpi.run ~nranks:2 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        Memsim.Access.raw_set_f64 buf 0 3.25;
+        (* First send is eaten by the injector; with MPI_ERRORS_RETURN
+           the call reports failure instead of aborting the rank. *)
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0;
+        code := Mpi.last_error ctx;
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0
+      end
+      else begin
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+        got := Memsim.Access.raw_get_f64 buf 0
+      end);
+  Alcotest.(check string) "error class" "MPI_ERR_OTHER"
+    (Mpi.error_string !code);
+  Alcotest.(check (float 0.)) "retry delivered" 3.25 !got;
+  Alcotest.(check int) "one fault fired" 1 (Inj.injected_count ())
+
+(* --- watchdog ------------------------------------------------------------ *)
+
+let watchdog_stops_partial_hang () =
+  (* Rank 0 spins on MPI_Test for a message that never comes; rank 1
+     blocks in MPI_Recv. Not a deadlock (rank 0 stays runnable), so only
+     the watchdog can stop it — and its wait-for diagnostic must name
+     both the spinner and the blocked call. *)
+  let res =
+    R.run ~nranks:2 ~watchdog:20_000 ~flavor:Harness.Flavor.Must_cusan
+      (fun env ->
+        let ctx = env.R.mpi in
+        let buf = alloc_f64 1 in
+        if ctx.Mpi.rank = 0 then begin
+          let req = Mpi.irecv ctx ~buf ~count:1 ~dt:Dt.double ~src:1 ~tag:0 in
+          while not (Mpi.test ctx req) do () done
+        end
+        else Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0)
+  in
+  match res.R.stall with
+  | None -> Alcotest.fail "watchdog did not fire"
+  | Some s ->
+      Alcotest.(check (list string)) "spinner named" [ "rank0" ]
+        s.Sched.Scheduler.stall_spinning;
+      Alcotest.(check (list (pair string string)))
+        "blocked call named"
+        [ ("rank1", "MPI_Recv(src=0, tag=0)") ]
+        s.Sched.Scheduler.stall_blocked
+
+let injected_hang_is_diagnosed () =
+  (* An injected hang in MPI_Wait leaves rank 0 blocked forever; rank 1
+     completes and parks in MPI_Finalize. The deadlock detector then
+     names the injected hang explicitly. *)
+  let faults = (0, plan_of_string "mpi_wait@0#1:hang") in
+  let res =
+    R.run ~nranks:2 ~watchdog:50_000 ~faults
+      ~flavor:Harness.Flavor.Must_cusan (fun env ->
+        let ctx = env.R.mpi in
+        let buf = alloc_f64 1 in
+        if ctx.Mpi.rank = 0 then begin
+          let req = Mpi.irecv ctx ~buf ~count:1 ~dt:Dt.double ~src:1 ~tag:0 in
+          Mpi.wait ctx req
+        end
+        else Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:0 ~tag:0)
+  in
+  Alcotest.(check int) "one fault fired" 1 (List.length res.R.fault_log);
+  match res.R.deadlock with
+  | Some [ (t0, r0); (t1, r1) ] ->
+      Alcotest.(check string) "hung task" "rank0" t0;
+      Alcotest.(check string) "hang reason" "injected hang at mpi_wait" r0;
+      Alcotest.(check string) "peer task" "rank1" t1;
+      Alcotest.(check string) "peer parked in finalize"
+        "MPI_Finalize (collective, waiting for peers)" r1
+  | other ->
+      Alcotest.failf "expected 2-party deadlock, got %s"
+        (match other with
+        | None -> "no deadlock"
+        | Some l -> Fmt.str "%d parties" (List.length l))
+
+(* --- crash-resilient reporting ------------------------------------------- *)
+
+let aborted_rank_still_flushes_tools () =
+  let faults = (3, plan_of_string "mpi_send@0#1:abort") in
+  let res =
+    R.run ~nranks:2 ~watchdog:50_000 ~faults
+      ~flavor:Harness.Flavor.Must_cusan (fun env ->
+        let ctx = env.R.mpi in
+        if ctx.Mpi.rank = 0 then begin
+          let dev = env.R.dev in
+          let buf = Mem.cuda_malloc dev ~ty:f64 ~count:4 in
+          Dev.launch dev
+            (env.R.compile noop_kernel)
+            ~grid:1
+            ~args:[| Kir.Interp.VPtr buf |]
+            ();
+          Dev.device_synchronize dev;
+          (* Dies here: the peer must not hang on it (send is buffered,
+             rank 1 posted no matching receive). *)
+          Mpi.send ctx ~buf ~count:4 ~dt:Dt.double ~dst:1 ~tag:0
+        end)
+  in
+  (match res.R.failures with
+  | [ (0, why) ] ->
+      Alcotest.(check bool) "abort message has provenance" true
+        (String.length why > 0
+        &&
+        let sub = "injected abort" in
+        let n = String.length why and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub why i m = sub || at (i + 1)) in
+        at 0)
+  | l -> Alcotest.failf "expected rank 0 failure, got %d" (List.length l));
+  Alcotest.(check (option (list (pair string string)))) "no deadlock" None
+    res.R.deadlock;
+  (* The dead rank's CuSan counters were still flushed into the result. *)
+  Alcotest.(check int) "kernel launch counted" 1
+    res.R.cuda_counters.Cusan.Counters.kernels;
+  Alcotest.(check bool) "no false positive from the abort path" false
+    (R.has_races res)
+
+(* --- determinism --------------------------------------------------------- *)
+
+let prob_app (env : R.env) =
+  let ctx = env.R.mpi in
+  let dev = env.R.dev in
+  ignore ctx.Mpi.rank;
+  for _ = 1 to 6 do
+    match Mem.cuda_malloc dev ~ty:f64 ~count:4 with
+    | _ -> ()
+    | exception Err.Cuda_failure _ -> ignore (Dev.get_last_error dev)
+  done
+
+let same_seed_same_fault_log () =
+  let faults = (11, plan_of_string "cuda_malloc%0.4:fail") in
+  let go () = R.run ~nranks:2 ~watchdog:50_000 ~faults ~flavor:Harness.Flavor.Must_cusan prob_app in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check bool) "probabilistic rules fired" true
+    (List.length r1.R.fault_log > 0);
+  Alcotest.(check int) "same count" (List.length r1.R.fault_log)
+    (List.length r2.R.fault_log);
+  Alcotest.(check bool) "identical replay logs" true
+    (r1.R.fault_log = r2.R.fault_log);
+  (* A different seed draws a different schedule. *)
+  let r3 =
+    R.run ~nranks:2 ~watchdog:50_000
+      ~faults:(12, plan_of_string "cuda_malloc%0.4:fail")
+      ~flavor:Harness.Flavor.Must_cusan prob_app
+  in
+  Alcotest.(check bool) "seed matters" true (r1.R.fault_log <> r3.R.fault_log)
+
+let matrix_stable_under_unfired_plan () =
+  (* Armed but never firing (the plan targets a rank that does not
+     exist): every verdict must match the baseline run exactly. *)
+  let baseline = Testsuite.Runner.run_all () in
+  let armed =
+    Testsuite.Runner.run_all ~faults:(0, plan_of_string "mpi_send@9#1:fail") ()
+  in
+  Alcotest.(check int) "nothing fired" 0
+    (List.fold_left (fun a v -> a + v.Testsuite.Runner.injected) 0 armed);
+  List.iter2
+    (fun (b : Testsuite.Runner.verdict) (a : Testsuite.Runner.verdict) ->
+      if b.Testsuite.Runner.detected <> a.Testsuite.Runner.detected then
+        Alcotest.failf "verdict flip in %s"
+          b.Testsuite.Runner.case.Testsuite.Cases.name;
+      if not a.Testsuite.Runner.pass then
+        Alcotest.failf "armed run fails %s"
+          a.Testsuite.Runner.case.Testsuite.Cases.name)
+    baseline armed
+
+let tests =
+  [
+    Alcotest.test_case "prng: same seed, same stream" `Quick
+      prng_same_seed_same_stream;
+    Alcotest.test_case "prng: different seed differs" `Quick
+      prng_different_seed_differs;
+    Alcotest.test_case "prng: float in [0,1)" `Quick prng_float_in_unit_interval;
+    Alcotest.test_case "plan: parse round-trips" `Quick plan_parse_roundtrip;
+    Alcotest.test_case "plan: defaults" `Quick plan_parse_defaults;
+    Alcotest.test_case "plan: rank 0 accepted" `Quick plan_parse_rank_zero;
+    Alcotest.test_case "plan: bad specs rejected" `Quick plan_parse_errors;
+    Alcotest.test_case "probe: counts per (site, rank)" `Quick
+      probe_counts_occurrences;
+    Alcotest.test_case "probe: every k-th" `Quick probe_every_kth;
+    Alcotest.test_case "probe: disarmed is a no-op" `Quick disarmed_probe_is_noop;
+    Alcotest.test_case "cuda: malloc failure is recoverable" `Quick
+      malloc_failure_is_recoverable;
+    Alcotest.test_case "cuda: kernel fault defers to sync, then sticky" `Quick
+      kernel_fault_defers_to_sync;
+    Alcotest.test_case "mpi: ERRORS_RETURN survives injected fault" `Quick
+      errors_return_survives_injected_fault;
+    Alcotest.test_case "watchdog: stops a partial hang with diagnostics" `Quick
+      watchdog_stops_partial_hang;
+    Alcotest.test_case "watchdog: injected hang is diagnosed" `Quick
+      injected_hang_is_diagnosed;
+    Alcotest.test_case "abort: dead rank still flushes tool state" `Quick
+      aborted_rank_still_flushes_tools;
+    Alcotest.test_case "determinism: same seed, same fault log" `Quick
+      same_seed_same_fault_log;
+    Alcotest.test_case "stability: armed-but-unfired matches baseline" `Slow
+      matrix_stable_under_unfired_plan;
+  ]
+
+let () = Alcotest.run "faultsim" [ ("faultsim", tests) ]

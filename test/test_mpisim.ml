@@ -346,6 +346,69 @@ let crossed_ssends_deadlock () =
   | () -> Alcotest.fail "expected deadlock"
   | exception Sched.Scheduler.Deadlock _ -> ()
 
+let deadlock_names_crossed_ssends () =
+  with_clean @@ fun () ->
+  (* The wait-for diagnostic must name the blocked MPI call and its
+     peer rank, not just a condition variable. *)
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        let buf = alloc_f64 1 in
+        let peer = 1 - ctx.Mpi.rank in
+        Mpi.ssend ctx ~buf ~count:1 ~dt:Dt.double ~dst:peer ~tag:3;
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:peer ~tag:3)
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Sched.Scheduler.Deadlock pairs ->
+      Alcotest.(check (list (pair string string)))
+        "blocked calls with peer ranks"
+        [
+          ("rank0", "MPI_Ssend(dst=1, tag=3)");
+          ("rank1", "MPI_Ssend(dst=0, tag=3)");
+        ]
+        pairs
+
+let deadlock_names_unwaited_ssend () =
+  with_clean @@ fun () ->
+  (* Rank 0's Ssend is never received; rank 1 runs to MPI_Finalize. The
+     diagnostic should show exactly that shape. *)
+  match
+    Mpi.run ~nranks:2 (fun ctx ->
+        if ctx.Mpi.rank = 0 then begin
+          let buf = alloc_f64 1 in
+          Mpi.ssend ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0
+        end)
+  with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Sched.Scheduler.Deadlock pairs ->
+      Alcotest.(check (list (pair string string)))
+        "ssend vs finalize"
+        [
+          ("rank0", "MPI_Ssend(dst=1, tag=0)");
+          ("rank1", "MPI_Finalize (collective, waiting for peers)");
+        ]
+        pairs
+
+let errors_return_gives_codes () =
+  with_clean @@ fun () ->
+  (* MPI_Comm_set_errhandler(MPI_ERRORS_RETURN): a truncated receive
+     reports MPI_ERR_TRUNCATE through last_error instead of dying. *)
+  let code = ref Mpisim.Comm.Err_success in
+  let continued = ref false in
+  Mpi.run ~nranks:2 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      let buf = alloc_f64 8 in
+      if ctx.Mpi.rank = 0 then
+        Mpi.send ctx ~buf ~count:8 ~dt:Dt.double ~dst:1 ~tag:0
+      else begin
+        Mpi.recv ctx ~buf ~count:2 ~dt:Dt.double ~src:0 ~tag:0;
+        code := Mpi.last_error ctx;
+        continued := true
+      end);
+  Alcotest.(check string)
+    "error class" "MPI_ERR_TRUNCATE"
+    (Mpi.error_string !code);
+  Alcotest.(check bool) "rank survived the error" true !continued
+
 let crossed_buffered_sends_fine () =
   with_clean @@ fun () ->
   (* The same pattern with buffered MPI_Send completes. *)
@@ -489,6 +552,12 @@ let tests =
     Alcotest.test_case "collectives repeat" `Quick collectives_repeat;
     Alcotest.test_case "ssend rendezvous" `Quick ssend_rendezvous;
     Alcotest.test_case "crossed ssends deadlock" `Quick crossed_ssends_deadlock;
+    Alcotest.test_case "deadlock diagnostic: crossed ssends name peers" `Quick
+      deadlock_names_crossed_ssends;
+    Alcotest.test_case "deadlock diagnostic: un-waited ssend" `Quick
+      deadlock_names_unwaited_ssend;
+    Alcotest.test_case "MPI_ERRORS_RETURN yields error codes" `Quick
+      errors_return_gives_codes;
     Alcotest.test_case "crossed buffered sends fine" `Quick
       crossed_buffered_sends_fine;
     Alcotest.test_case "allgather rank order" `Quick allgather_orders_by_rank;

@@ -96,9 +96,17 @@ let put_out_of_bounds () =
     end;
     Mpi.win_fence ctx win
   in
-  match run app with
-  | _ -> Alcotest.fail "out-of-window put accepted"
-  | exception Mpisim.Win.Target_out_of_bounds _ -> ()
+  (* The harness captures the failure with rank provenance instead of
+     letting it escape; the survivor is left blocked on the dead rank's
+     missing fence contribution, like a real MPI job. *)
+  let res = run app in
+  match res.R.failures with
+  | [ (0, why) ] ->
+      Alcotest.(check bool) "classified as MPI_ERR_RANGE" true
+        (String.length why >= 13 && String.sub why 0 13 = "MPI_ERR_RANGE");
+      Alcotest.(check bool) "peer blocked on dead rank" true
+        (res.R.deadlock <> None)
+  | l -> Alcotest.failf "expected rank 0 failure, got %d" (List.length l)
 
 let freed_window_rejected () =
   let app (env : R.env) =
@@ -108,9 +116,15 @@ let freed_window_rejected () =
     Mpi.win_free ctx win;
     Mpi.win_fence ctx win
   in
-  match run app with
-  | _ -> Alcotest.fail "freed window accepted"
-  | exception Mpisim.Win.Window_freed -> ()
+  let res = run app in
+  let died_with_err_win =
+    List.filter
+      (fun (_, why) ->
+        String.length why >= 11 && String.sub why 0 11 = "MPI_ERR_WIN")
+      res.R.failures
+  in
+  Alcotest.(check int) "both ranks report MPI_ERR_WIN" 2
+    (List.length died_with_err_win)
 
 (* --- race model -------------------------------------------------------------- *)
 
