@@ -38,10 +38,10 @@ let quick_sizes =
     default_sizes with
     jacobi_nx = 256;
     jacobi_ny = 128;
-    jacobi_iters = 40;
+    jacobi_iters = 120;
     tealeaf_steps = 2;
     tealeaf_cg = 8;
-    repeats = 2;
+    repeats = 5;
     fig12_domains = [ (64, 32); (128, 64); (256, 128) ];
     fig12_iters = 30;
   }
@@ -61,17 +61,41 @@ let tealeaf_app sz () =
   Apps.Tealeaf.app cfg
 
 (* One warmup + [repeats] measured runs; averages of runtime and memory,
-   last run's full result for counters. *)
-let measure ?(repeats = 4) ?granule ?annotation ?max_range_bytes ~flavor mk_app =
+   last run's full result for counters.
+
+   With [?pool] (when the caller's cell is itself a pool task) the
+   warmup runs concurrently with other cells, but the measured repeats
+   are wrapped in [Pool.exclusively]: the pool drains, the timed runs
+   execute with every other worker idle, and the pool resumes — so
+   parallel cells never pollute each other's timings. *)
+let measure ?pool ?(repeats = 4) ?granule ?annotation ?max_range_bytes ~flavor
+    mk_app =
   ignore (R.run ~nranks:2 ?granule ?annotation ?max_range_bytes ~flavor (mk_app ()));
-  let results =
+  let timed () =
     List.init repeats (fun _ ->
         R.run ~nranks:2 ?granule ?annotation ?max_range_bytes ~flavor (mk_app ()))
   in
+  let results =
+    match pool with None -> timed () | Some p -> Pool.exclusively p timed
+  in
   let avg f = List.fold_left (fun a r -> a +. f r) 0. results /. float repeats in
-  let proc_s = avg (fun r -> r.R.proc_s) in
+  (* Median for runtime: the short quick-size runs are sub-millisecond,
+     where a single scheduling hiccup can double the mean; the median
+     keeps overhead ratios stable enough for benchdiff's CI gate. *)
+  let median f =
+    let xs = List.map f results |> List.sort Float.compare |> Array.of_list in
+    let n = Array.length xs in
+    if n mod 2 = 1 then xs.(n / 2) else (xs.((n / 2) - 1) +. xs.(n / 2)) /. 2.
+  in
+  let proc_s = median (fun r -> r.R.proc_s) in
   let rss = avg (fun r -> float r.R.rss_bytes) in
   (proc_s, rss, List.nth results (repeats - 1))
+
+(* Evaluate independent bench cells: on the pool when one is given
+   (results in input order, so downstream printing is deterministic),
+   sequentially otherwise. *)
+let run_cells ?pool f xs =
+  match pool with None -> List.map f xs | Some p -> Pool.map_pool p f xs
 
 let pp_ratio_row ppf (name, measured, paper) =
   Fmt.pf ppf "  %-14s %10.2fx        %8.2fx@." name measured paper
@@ -82,21 +106,50 @@ let bar width max_v v =
 
 (* --- Fig. 10: relative runtime --------------------------------------- *)
 
-let fig10 sz =
+let fig10 ?pool sz =
   Fmt.pr "@.=== Fig. 10 — relative runtime overhead  [T_flavor / T_vanilla]@.";
-  Fmt.pr "(avg of %d runs after 1 warmup; per-process runtime semantics, see EXPERIMENTS.md)@." sz.repeats;
-  let one name mk_app paper vanilla_paper =
-    let v, _, _ = measure ~repeats:sz.repeats ~flavor:F.Vanilla mk_app in
+  Fmt.pr "(median of %d runs after 1 warmup; per-process runtime semantics, see EXPERIMENTS.md)@." sz.repeats;
+  let apps =
+    [
+      ( "Jacobi",
+        jacobi_app sz,
+        Paper_ref.fig10_jacobi,
+        Paper_ref.vanilla_runtime_jacobi );
+      ( "TeaLeaf",
+        tealeaf_app sz,
+        Paper_ref.fig10_tealeaf,
+        Paper_ref.vanilla_runtime_tealeaf );
+    ]
+  in
+  (* Every (app × flavor) cell — vanilla included — is an independent
+     measurement, so compute them all first (concurrently on the pool)
+     and print afterwards from the collected values. *)
+  let cells =
+    List.concat_map
+      (fun (name, mk_app, paper, _) ->
+        List.map (fun f -> (name, mk_app, f)) ("vanilla" :: List.map fst paper))
+      apps
+  in
+  let timed =
+    run_cells ?pool
+      (fun (app, mk_app, fname) ->
+        let flavor =
+          if fname = "vanilla" then F.Vanilla else Option.get (F.of_string fname)
+        in
+        let t, _, _ = measure ?pool ~repeats:sz.repeats ~flavor mk_app in
+        ((app, fname), t))
+      cells
+  in
+  let time app fname = List.assoc (app, fname) timed in
+  let one (name, _, paper, vanilla_paper) =
+    let v = time name "vanilla" in
     Fmt.pr "@.%s  (vanilla: %.3f s simulated; paper vanilla: %.2f s on V100)@."
       name v vanilla_paper;
     Fmt.pr "  %-14s %11s %16s@." "flavor" "measured" "paper";
     let rows =
       List.map
-        (fun (fname, paper_x) ->
-          let flavor = Option.get (F.of_string fname) in
-          let t, _, _ = measure ~repeats:sz.repeats ~flavor mk_app in
-          (fname, t /. v, paper_x))
-        (List.map fst paper |> List.map (fun n -> (n, List.assoc n paper)))
+        (fun (fname, paper_x) -> (fname, time name fname /. v, paper_x))
+        paper
     in
     List.iter (fun r -> pp_ratio_row Fmt.stdout r) rows;
     let maxr = List.fold_left (fun a (_, m, p) -> max a (max m p)) 1. rows in
@@ -105,15 +158,7 @@ let fig10 sz =
       rows;
     rows
   in
-  let j =
-    one "Jacobi" (jacobi_app sz) Paper_ref.fig10_jacobi
-      Paper_ref.vanilla_runtime_jacobi
-  in
-  let t =
-    one "TeaLeaf" (tealeaf_app sz) Paper_ref.fig10_tealeaf
-      Paper_ref.vanilla_runtime_tealeaf
-  in
-  (j, t)
+  match List.map one apps with [ j; t ] -> (j, t) | _ -> assert false
 
 (* --- Fig. 11: relative memory ----------------------------------------- *)
 
@@ -189,24 +234,38 @@ let table1 sz =
 
 (* --- Fig. 12: Jacobi scaling -------------------------------------------- *)
 
-let fig12 sz =
+let fig12 ?pool sz =
   Fmt.pr "@.=== Fig. 12 — Jacobi scaling: CuSan overhead vs. global domain size@.";
   Fmt.pr "(paper sweeps %s; we sweep scaled-down domains — the shape, overhead rising@."
     (String.concat " " Paper_ref.fig12_domains_paper);
   Fmt.pr " with the bytes tracked by TSan, is the reproduction target)@.";
   Fmt.pr "  %-12s %12s %12s %10s %14s %14s@." "domain" "vanilla[s]" "CuSan[s]"
     "rel" "TSan reads" "TSan writes";
+  (* 2 cells per domain size (vanilla / CuSan), all independent:
+     computed on the pool, printed afterwards in domain order. *)
+  let cells =
+    List.concat_map
+      (fun (nx, ny) -> [ (nx, ny, F.Vanilla); (nx, ny, F.Cusan) ])
+      sz.fig12_domains
+  in
+  let timed =
+    run_cells ?pool
+      (fun (nx, ny, flavor) ->
+        let mk () =
+          let cfg =
+            Apps.Jacobi.config ~nx ~ny ~iters:sz.fig12_iters
+              ~norm_every:sz.fig12_iters ~nranks:2 ()
+          in
+          Apps.Jacobi.app cfg
+        in
+        let t, _, res = measure ?pool ~repeats:sz.repeats ~flavor mk in
+        ((nx, ny, flavor), (t, res)))
+      cells
+  in
   List.map
     (fun (nx, ny) ->
-      let mk () =
-        let cfg =
-          Apps.Jacobi.config ~nx ~ny ~iters:sz.fig12_iters
-            ~norm_every:sz.fig12_iters ~nranks:2 ()
-        in
-        Apps.Jacobi.app cfg
-      in
-      let v, _, _ = measure ~repeats:sz.repeats ~flavor:F.Vanilla mk in
-      let c, _, res = measure ~repeats:sz.repeats ~flavor:F.Cusan mk in
+      let v, _ = List.assoc (nx, ny, F.Vanilla) timed in
+      let c, res = List.assoc (nx, ny, F.Cusan) timed in
       let mb x = float_of_int x /. 1048576. in
       Fmt.pr "  %4dx%-7d %12.4f %12.4f %9.1fx %11.1f MB %11.1f MB@." nx ny v c
         (c /. v)

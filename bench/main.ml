@@ -6,47 +6,163 @@
      dune exec bench/main.exe              # everything, default sizes
      dune exec bench/main.exe -- --quick   # smaller sizes, fewer repeats
      dune exec bench/main.exe -- fig10 fig12
-     dune exec bench/main.exe -- table1 micro suite ablation *)
+     dune exec bench/main.exe -- -j 4 --json BENCH_run.json --quick
 
-let usage =
-  "usage: main.exe [--quick] [fig10|fig11|table1|fig12|suite|ablation|micro]..."
+   -j N runs independent (app × tool-config) cells of fig10/fig12 and
+   the testsuite on N worker domains; each timed section still executes
+   with the pool drained (Pool.exclusively), so parallelism never
+   pollutes a measurement. --json FILE writes a "cusan-bench/1" document
+   with the fig10/fig12 overhead ratios — the input of benchdiff. *)
+
+let usage () =
+  Fmt.pr
+    "usage: main.exe [--quick] [-j N] [--json FILE]@.\
+    \       [fig10|fig11|table1|fig12|suite|ablation|micro]...@."
+
+let die msg =
+  Fmt.epr "bench: %s@." msg;
+  usage ();
+  exit 2
+
+type opts = { quick : bool; jobs : int; json_out : string option; targets : string list }
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> { acc with targets = List.rev acc.targets }
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--quick" :: rest -> go { acc with quick = true } rest
+    | "-j" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> go { acc with jobs = n } rest
+        | Some _ -> die "-j expects a non-negative integer"
+        | None -> die (Fmt.str "-j expects an integer, got %S" v))
+    | [ "-j" ] -> die "-j requires a value"
+    | "--json" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with json_out = Some v } rest
+    | [ "--json" ] | "--json" :: _ -> die "--json requires a file name"
+    | t :: rest -> go { acc with targets = t :: acc.targets } rest
+  in
+  go { quick = false; jobs = 1; json_out = None; targets = [] } argv
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
   let wanted =
-    if wanted = [] then [ "fig10"; "fig11"; "table1"; "fig12"; "suite"; "ablation"; "micro" ]
-    else wanted
+    if o.targets = [] then
+      [ "fig10"; "fig11"; "table1"; "fig12"; "suite"; "ablation"; "micro" ]
+    else o.targets
   in
-  let sz = if quick then Figs.quick_sizes else Figs.default_sizes in
-  Fmt.pr "CuSan reproduction benchmark harness%s@."
-    (if quick then " (quick sizes)" else "");
+  List.iter
+    (fun t ->
+      if
+        not
+          (List.mem t
+             [ "fig10"; "fig11"; "table1"; "fig12"; "suite"; "ablation"; "micro" ])
+      then die (Fmt.str "unknown target %S" t))
+    wanted;
+  let jobs = if o.jobs = 0 then Pool.default_workers () else o.jobs in
+  let sz = if o.quick then Figs.quick_sizes else Figs.default_sizes in
+  Fmt.pr "CuSan reproduction benchmark harness%s%s@."
+    (if o.quick then " (quick sizes)" else "")
+    (if jobs > 1 then Fmt.str " (%d workers)" jobs else "");
   Fmt.pr "Jacobi %dx%d x%d iters, TeaLeaf %dx%d x%d steps x%d CG, %d repeats@."
     sz.Figs.jacobi_nx sz.Figs.jacobi_ny sz.Figs.jacobi_iters sz.Figs.tealeaf_nx
     sz.Figs.tealeaf_ny sz.Figs.tealeaf_steps sz.Figs.tealeaf_cg sz.Figs.repeats;
-  List.iter
-    (fun what ->
-      match what with
-      | "fig10" -> ignore (Figs.fig10 sz)
-      | "fig11" -> ignore (Figs.fig11 sz)
-      | "table1" -> ignore (Figs.table1 sz)
-      | "fig12" -> ignore (Figs.fig12 sz)
-      | "ablation" -> Figs.ablation sz
-      | "micro" -> Micro.run ()
-      | "suite" ->
-          let vs = Testsuite.Runner.run_all () in
-          let pass, total = Testsuite.Runner.summary vs in
-          Fmt.pr "@.=== Correctness testsuite (Section VI-C)@.";
-          Fmt.pr "  %d of %d cases classified correctly (paper: 49/49 at v1.0)@."
-            pass total;
-          List.iter
-            (fun v ->
-              if not v.Testsuite.Runner.pass then
-                Fmt.pr "  %a@." Testsuite.Runner.pp_verdict v)
-            vs
-      | other ->
-          Fmt.epr "unknown target %S@.%s@." other usage;
-          exit 2)
-    wanted;
+  (* One pool for the whole run; fig10/fig12/suite shard over it, the
+     other targets stay sequential (their cells interleave printing or
+     depend on each other). *)
+  let pool = if jobs > 1 then Some (Pool.create ~workers:jobs) else None in
+  let fig10_rows = ref None in
+  let fig12_rows = ref None in
+  let suite_sum = ref None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun what ->
+          match what with
+          | "fig10" -> fig10_rows := Some (Figs.fig10 ?pool sz)
+          | "fig11" -> ignore (Figs.fig11 sz)
+          | "table1" -> ignore (Figs.table1 sz)
+          | "fig12" -> fig12_rows := Some (Figs.fig12 ?pool sz)
+          | "ablation" -> Figs.ablation sz
+          | "micro" -> Micro.run ()
+          | "suite" ->
+              let vs = Testsuite.Runner.run_matrix ~j:jobs () in
+              let pass, total = Testsuite.Runner.summary vs in
+              suite_sum := Some (pass, total);
+              Fmt.pr "@.=== Correctness testsuite (Section VI-C)@.";
+              Fmt.pr
+                "  %d of %d cases classified correctly (paper: 49/49 at v1.0)@."
+                pass total;
+              List.iter
+                (fun v ->
+                  if not v.Testsuite.Runner.pass then
+                    Fmt.pr "  %a@." Testsuite.Runner.pp_verdict v)
+                vs
+          | _ -> assert false)
+        wanted);
+  (match o.json_out with
+  | None -> ()
+  | Some path ->
+      let open Reporting.Mjson in
+      let fig10_json =
+        match !fig10_rows with
+        | None -> []
+        | Some (j, t) ->
+            let rows app =
+              List.map (fun (flavor, rel, paper) ->
+                  Obj
+                    [
+                      ("app", Str app);
+                      ("flavor", Str flavor);
+                      ("rel", Float rel);
+                      ("paper", Float paper);
+                    ])
+            in
+            [ ("fig10", List (rows "Jacobi" j @ rows "TeaLeaf" t)) ]
+      in
+      let fig12_json =
+        match !fig12_rows with
+        | None -> []
+        | Some rows ->
+            [
+              ( "fig12",
+                List
+                  (List.map
+                     (fun (nx, ny, v, c, rd, wr) ->
+                       Obj
+                         [
+                           ("nx", Int nx);
+                           ("ny", Int ny);
+                           ("vanilla_s", Float v);
+                           ("cusan_s", Float c);
+                           ("rel", Float (c /. v));
+                           ("read_bytes", Int rd);
+                           ("write_bytes", Int wr);
+                         ])
+                     rows) );
+            ]
+      in
+      let suite_json =
+        match !suite_sum with
+        | None -> []
+        | Some (pass, total) ->
+            [ ("suite", Obj [ ("pass", Int pass); ("total", Int total) ]) ]
+      in
+      let doc =
+        Obj
+          ([
+             ("schema", Str "cusan-bench/1");
+             ("quick", Bool o.quick);
+             ("workers", Int jobs);
+           ]
+          @ fig10_json @ fig12_json @ suite_json)
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (to_string_pretty doc));
+      Fmt.pr "@.wrote %s@." path);
   Fmt.pr "@.done.@."

@@ -58,7 +58,7 @@ let t_kernel_analysis =
 
 let t_typeart_lookup =
   Typeart.Rt.reset ();
-  Typeart.Rt.enabled := true;
+  Typeart.Rt.set_enabled true;
   let p = Typeart.Pass.alloc Memsim.Space.Device Typeart.Typedb.F64 1024 in
   let addr = Memsim.Ptr.addr p + 512 in
   Test.make ~name:"typeart/interior pointer lookup"

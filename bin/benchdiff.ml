@@ -1,0 +1,81 @@
+(* Compare a bench JSON artifact (bench/main.exe --json) against a
+   committed baseline and gate on overhead-ratio drift. The CI benchdiff
+   job runs this against BENCH_baseline.json; exit 1 means at least one
+   fig10/fig12 overhead ratio regressed past the threshold (or vanished
+   from the run), exit 2 means the invocation or the inputs were bad. *)
+
+let usage () =
+  Fmt.pr
+    "usage: benchdiff --baseline FILE --run FILE [--threshold PCT]@.@.\
+    \  --baseline FILE committed reference JSON (e.g. BENCH_baseline.json)@.\
+    \  --run FILE      fresh bench JSON to check@.\
+    \  --threshold PCT max allowed ratio growth in percent (default 25)@."
+
+let die msg =
+  Fmt.epr "benchdiff: %s@." msg;
+  usage ();
+  exit 2
+
+type opts = {
+  baseline : string option;
+  run : string option;
+  threshold : float;
+}
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> acc
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--baseline" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with baseline = Some v } rest
+    | [ "--baseline" ] | "--baseline" :: _ -> die "--baseline requires a file"
+    | "--run" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with run = Some v } rest
+    | [ "--run" ] | "--run" :: _ -> die "--run requires a file"
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0. -> go { acc with threshold = t } rest
+        | _ -> die (Fmt.str "--threshold expects a non-negative number, got %S" v))
+    | [ "--threshold" ] -> die "--threshold requires a value"
+    | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
+  in
+  go { baseline = None; run = None; threshold = 25. } argv
+
+let load_cells what path =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> die (Fmt.str "cannot read %s file: %s" what msg)
+  in
+  match Reporting.Mjson.of_string contents with
+  | Error msg -> die (Fmt.str "%s %s is not valid JSON: %s" what path msg)
+  | Ok j ->
+      let cells = Reporting.Benchcmp.cells_of_json j in
+      if cells = [] then
+        die (Fmt.str "%s %s contains no fig10/fig12 overhead cells" what path);
+      cells
+
+let () =
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let baseline_path =
+    match o.baseline with Some p -> p | None -> die "--baseline is required"
+  in
+  let run_path =
+    match o.run with Some p -> p | None -> die "--run is required"
+  in
+  let baseline = load_cells "baseline" baseline_path in
+  let run = load_cells "run" run_path in
+  let outcomes =
+    Reporting.Benchcmp.compare ~threshold_pct:o.threshold ~baseline ~run
+  in
+  Fmt.pr "benchdiff: %s vs %s (threshold %+.0f%%)@." run_path baseline_path
+    o.threshold;
+  List.iter (fun oc -> Fmt.pr "  %a@." Reporting.Benchcmp.pp_outcome oc) outcomes;
+  let failed = List.filter Reporting.Benchcmp.failed outcomes in
+  if failed <> [] then begin
+    Fmt.pr "@.%d of %d cells regressed beyond %.0f%%@." (List.length failed)
+      (List.length outcomes) o.threshold;
+    exit 1
+  end
+  else Fmt.pr "@.all %d cells within threshold@." (List.length outcomes)

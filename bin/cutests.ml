@@ -2,43 +2,104 @@
    paper's artifact: runs every case of the correctness matrix under
    MUST & CuSan and prints PASS/FAIL per case.
 
+   Parallelism: -j N shards the matrix over a domain pool (see
+   lib/pool); verdicts are aggregated in case order, so output and exit
+   status are identical for every worker count. -j 0 means "one worker
+   per core".
+
    Fault-injection mode: --faults SPEC arms the deterministic injector
    for every case (see Faultsim.Plan.parse_spec for the SPEC grammar;
    a seed=N token or --seed N fixes the PRNG). Any failure prints a
    one-line command that reproduces exactly that case and fault
-   schedule. *)
+   schedule.
+
+   Machine-readable output: --json FILE writes a "cusan-tests/1"
+   document, --junit FILE writes JUnit XML — the artifacts CI uploads. *)
 
 let usage () =
   Fmt.pr
     "usage: cutests [--deferred] [--verbose] [--list] [--only SUBSTR]@.\
-    \       [--seed N] [--faults SPEC]@.@.\
+    \       [--seed N] [--faults SPEC] [-j N] [--json FILE] [--junit FILE]@.@.\
+    \  -j N        run the matrix on N worker domains (0 = one per core)@.\
+    \  --json FILE write verdicts as JSON (schema cusan-tests/1)@.\
+    \  --junit FILE write verdicts as JUnit XML@.@.\
      SPEC  comma-separated rules SITE[@@RANK][#NTH|*EVERY|%%PROB][:ACTION]@.\
     \      (actions: fail abort hang), plus optional seed=N@.\
-     e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@."
+    \ e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@."
+
+let die msg =
+  Fmt.epr "cutests: %s@." msg;
+  usage ();
+  exit 2
+
+type opts = {
+  deferred : bool;
+  verbose : bool;
+  list_only : bool;
+  only : string option;
+  seed : int option;
+  faults_spec : string option;
+  jobs : int;
+  json_out : string option;
+  junit_out : string option;
+}
+
+let default_opts =
+  {
+    deferred = false;
+    verbose = false;
+    list_only = false;
+    only = None;
+    seed = None;
+    faults_spec = None;
+    jobs = 1;
+    json_out = None;
+    junit_out = None;
+  }
+
+(* Strict parsing: every option that takes a value must get one, and
+   numeric values must parse — anything else prints usage and exits 2
+   instead of dying on an uncaught exception or silently dropping the
+   option. *)
+let parse_args argv =
+  let rec go acc = function
+    | [] -> acc
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--deferred" :: rest -> go { acc with deferred = true } rest
+    | "--verbose" :: rest -> go { acc with verbose = true } rest
+    | "--list" :: rest -> go { acc with list_only = true } rest
+    | "--only" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with only = Some v } rest
+    | [ "--only" ] | "--only" :: _ -> die "--only requires a value"
+    | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n -> go { acc with seed = Some n } rest
+        | None -> die (Fmt.str "--seed expects an integer, got %S" v))
+    | [ "--seed" ] -> die "--seed requires a value"
+    | "--faults" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with faults_spec = Some v } rest
+    | [ "--faults" ] | "--faults" :: _ -> die "--faults requires a value"
+    | "-j" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> go { acc with jobs = n } rest
+        | Some _ -> die "-j expects a non-negative integer"
+        | None -> die (Fmt.str "-j expects an integer, got %S" v))
+    | [ "-j" ] -> die "-j requires a value"
+    | "--json" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with json_out = Some v } rest
+    | [ "--json" ] | "--json" :: _ -> die "--json requires a file name"
+    | "--junit" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with junit_out = Some v } rest
+    | [ "--junit" ] | "--junit" :: _ -> die "--junit requires a file name"
+    | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
+  in
+  go default_opts argv
 
 let () =
-  let argv = Array.to_list Sys.argv in
-  let flag name = List.mem name argv in
-  (* value of "--opt V" *)
-  let opt name =
-    let rec go = function
-      | a :: v :: _ when a = name -> Some v
-      | _ :: rest -> go rest
-      | [] -> None
-    in
-    go argv
-  in
-  if flag "--help" || flag "-h" then begin
-    usage ();
-    exit 0
-  end;
-  let deferred = flag "--deferred" in
-  let verbose = flag "--verbose" in
-  let list_only = flag "--list" in
-  let only = opt "--only" in
-  let seed_flag = Option.map int_of_string (opt "--seed") in
-  let faults_spec = opt "--faults" in
-  if list_only then begin
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  if o.list_only then begin
     List.iter
       (fun (c : Testsuite.Cases.case) ->
         Fmt.pr "%-55s %s@." c.Testsuite.Cases.name c.Testsuite.Cases.descr)
@@ -46,38 +107,39 @@ let () =
     exit 0
   end;
   let faults =
-    match faults_spec with
+    match o.faults_spec with
     | None -> None
     | Some spec -> (
         match Faultsim.Plan.parse_spec spec with
-        | Error msg ->
-            Fmt.epr "cutests: bad --faults spec: %s@." msg;
-            usage ();
-            exit 2
+        | Error msg -> die (Fmt.str "bad --faults spec: %s" msg)
         | Ok (spec_seed, plan) ->
             let seed =
-              match (seed_flag, spec_seed) with
+              match (o.seed, spec_seed) with
               | Some s, _ -> s (* --seed wins over an embedded seed=N *)
               | None, Some s -> s
               | None, None -> 0
             in
             Some (seed, plan))
   in
-  let mode = if deferred then Cudasim.Device.Deferred else Cudasim.Device.Eager in
+  let mode =
+    if o.deferred then Cudasim.Device.Deferred else Cudasim.Device.Eager
+  in
+  let jobs = if o.jobs = 0 then Pool.default_workers () else o.jobs in
+  let contains ~sub name =
+    let nl = String.length name and sl = String.length sub in
+    let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+    at 0
+  in
   let cases =
-    match only with
+    match o.only with
     | None -> Testsuite.Cases.all ()
     | Some sub ->
         List.filter
-          (fun (c : Testsuite.Cases.case) ->
-            let name = c.Testsuite.Cases.name in
-            let nl = String.length name and sl = String.length sub in
-            let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
-            at 0)
+          (fun (c : Testsuite.Cases.case) -> contains ~sub c.Testsuite.Cases.name)
           (Testsuite.Cases.all ())
   in
   if cases = [] then begin
-    Fmt.epr "cutests: no case matches --only %a@." Fmt.(option string) only;
+    Fmt.epr "cutests: no case matches --only %a@." Fmt.(option string) o.only;
     exit 2
   end;
   (* The exact command that reproduces a failing case: determinism means
@@ -85,14 +147,16 @@ let () =
   let repro (v : Testsuite.Runner.verdict) =
     Fmt.str "dune exec bin/cutests.exe -- --only '%s'%s%s"
       v.Testsuite.Runner.case.Testsuite.Cases.name
-      (if deferred then " --deferred" else "")
+      (if o.deferred then " --deferred" else "")
       (match faults with
       | None -> ""
       | Some (seed, plan) ->
           Fmt.str " --seed %d --faults '%s'" seed (Faultsim.Plan.to_string plan))
   in
   let verdicts =
-    List.map (Testsuite.Runner.run_case ~mode ?faults) cases
+    Pool.map ~workers:jobs
+      (Testsuite.Runner.run_case ~mode ?faults)
+      cases
   in
   let total = List.length verdicts in
   List.iteri
@@ -104,7 +168,7 @@ let () =
           (fun (rank, why) -> Fmt.pr "    rank %d failed: %s@." rank why)
           v.Testsuite.Runner.failures
       end;
-      if verbose && not v.Testsuite.Runner.pass then
+      if o.verbose && not v.Testsuite.Runner.pass then
         List.iter
           (fun (rank, r) ->
             Fmt.pr "    rank %d: %s@." rank (Tsan.Report.to_string r))
@@ -117,5 +181,22 @@ let () =
   if faults <> None then
     Fmt.pr "@.%d fault(s) injected across %d cases (seed %d)@." injected total
       (match faults with Some (s, _) -> s | None -> 0);
+  (match o.json_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Testsuite.Emit.json
+          ?seed:(match faults with Some (s, _) -> Some s | None -> o.seed)
+          ?faults_spec:o.faults_spec
+          ~mode:(if o.deferred then "deferred" else "eager")
+          ~j:jobs verdicts
+      in
+      Testsuite.Emit.write_file path (Reporting.Mjson.to_string_pretty doc);
+      Fmt.pr "wrote %s@." path);
+  (match o.junit_out with
+  | None -> ()
+  | Some path ->
+      Testsuite.Emit.write_file path (Testsuite.Emit.junit verdicts);
+      Fmt.pr "wrote %s@." path);
   Fmt.pr "@.%d of %d testsuite cases classified correctly@." pass total;
   if pass <> total then exit 1

@@ -23,29 +23,33 @@ type armed = {
   mutable log : decision list; (* reverse order *)
 }
 
-let state : armed option ref = ref None
+(* Domain-local: each domain of a sharded runner arms its own injector,
+   so concurrent cases draw from independent PRNGs and occurrence
+   counters — (seed, plan) replay is per-run, never cross-run. *)
+let state : armed option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let arm ~seed ~plan () =
-  state :=
-    Some
-      {
-        seed;
-        plan;
-        prng = Prng.create seed;
-        counts = Hashtbl.create 32;
-        log = [];
-      }
+  Domain.DLS.set state
+    (Some
+       {
+         seed;
+         plan;
+         prng = Prng.create seed;
+         counts = Hashtbl.create 32;
+         log = [];
+       })
 
-let disarm () = state := None
+let disarm () = Domain.DLS.set state None
 
-let enabled () = Option.is_some !state
+let enabled () = Option.is_some (Domain.DLS.get state)
 
-let seed () = Option.map (fun a -> a.seed) !state
+let seed () = Option.map (fun a -> a.seed) (Domain.DLS.get state)
 
-let log () = match !state with None -> [] | Some a -> List.rev a.log
+let log () =
+  match Domain.DLS.get state with None -> [] | Some a -> List.rev a.log
 
 let injected_count () =
-  match !state with None -> 0 | Some a -> List.length a.log
+  match Domain.DLS.get state with None -> 0 | Some a -> List.length a.log
 
 (* The MPI simulator names rank tasks "rank<N>"; outside the scheduler
    (or in an auxiliary task) there is no rank to attribute to. *)
@@ -64,7 +68,7 @@ let rule_matches a ~site ~rank ~occurrence r =
   | Plan.Prob p -> Prng.float a.prng < p
 
 let probe ~site ?rank () =
-  match !state with
+  match Domain.DLS.get state with
   | None -> None
   | Some a ->
       let rank = match rank with Some r -> r | None -> current_rank () in
@@ -90,13 +94,13 @@ let probe ~site ?rank () =
 
 (* An injected hang: block on a condition nothing ever signals. The
    scheduler's deadlock detector or watchdog turns this into a
-   diagnostic instead of a wedged process. *)
-let hang_cond = Sched.Scheduler.cond "fault:hang"
-
+   diagnostic instead of a wedged process. The condition is created per
+   hang — conds carry waiter lists, so sharing one across schedulers
+   (domains) would leak waiters between runs. *)
 let hang ~site () =
   Sched.Scheduler.wait
     ~reason:(Printf.sprintf "injected hang at %s" (Site.to_string site))
-    hang_cond
+    (Sched.Scheduler.cond "fault:hang")
 
 let pp_decision ppf d =
   Fmt.pf ppf "%a@@rank%d#%d:%s" Site.pp d.d_site d.d_rank d.d_occurrence

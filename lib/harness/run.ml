@@ -27,14 +27,18 @@ type rank_state = {
    fiber and device representing that host thread. A scheduler resume
    hook retargets the detector's current fiber and the device's
    per-thread-default-stream key whenever the cooperative scheduler
-   interleaves host threads. *)
-let thread_registry :
+   interleaves host threads. Domain-local, like the scheduler it
+   mirrors: sharded runners keep independent registries. *)
+let thread_registry_key :
     (int, Tsan.Detector.t option * Tsan.Detector.fiber option * Cudasim.Device.t)
-    Hashtbl.t =
-  Hashtbl.create 16
+    Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let thread_registry () = Domain.DLS.get thread_registry_key
 
 let resume_hook _name id =
-  match Hashtbl.find_opt thread_registry id with
+  match Hashtbl.find_opt (thread_registry ()) id with
   | Some (det, fiber, device) ->
       (match (det, fiber) with
       | Some d, Some f -> Tsan.Detector.activate_fiber d f
@@ -53,7 +57,7 @@ let parallel (env : env) fs =
   let rank = env.mpi.Mpisim.Mpi.rank in
   let parent_id = Sched.Scheduler.self_id () in
   let det, _, device =
-    match Hashtbl.find_opt thread_registry parent_id with
+    match Hashtbl.find_opt (thread_registry ()) parent_id with
     | Some entry -> entry
     | None -> (None, None, env.dev)
   in
@@ -77,7 +81,7 @@ let parallel (env : env) fs =
         (fun () ->
           let id = Sched.Scheduler.self_id () in
           child_ids := id :: !child_ids;
-          Hashtbl.replace thread_registry id (det, fiber, device);
+          Hashtbl.replace (thread_registry ()) id (det, fiber, device);
           (match (det, fiber) with
           | Some d, Some fb -> Tsan.Detector.activate_fiber d fb
           | _ -> ());
@@ -156,8 +160,8 @@ let rank_rss ~nranks ~baseline (st : rank_state) =
     | Some d -> Tsan.Detector.shadow_bytes_peak d + Tsan.Detector.sync_bytes d
   in
   let typeart =
-    if !Typeart.Rt.enabled then
-      let _, _, entries = Typeart.Rt.stats Typeart.Rt.instance in
+    if Typeart.Rt.enabled () then
+      let _, _, entries = Typeart.Rt.stats (Typeart.Rt.instance ()) in
       entries * 96
     else 0
   in
@@ -174,15 +178,22 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
   Memsim.Hooks.clear ();
   Mpisim.Hooks.clear ();
   Memsim.Heap.reset ();
+  (* Id counters feed names that appear in reports (fiber "mpi:req3",
+     "win#1"): resetting them per run makes every run's output
+     self-contained — identical whether the case runs alone, mid-suite,
+     or on a worker domain of the sharded runner. *)
+  Mpisim.Request.reset_ids ();
+  Mpisim.Win.reset_ids ();
+  Must.Rma.reset_keys ();
   Typeart.Rt.reset ();
-  Typeart.Rt.enabled := Flavor.uses_typeart flavor;
+  Typeart.Rt.set_enabled (Flavor.uses_typeart flavor);
   Sched.Scheduler.clear_resume_hooks ();
-  Hashtbl.reset thread_registry;
+  Hashtbl.reset (thread_registry ());
   Sched.Scheduler.on_resume resume_hook;
   (* Race reports resolve addresses to allocations of the simulated
      heap, like TSan's "Location is heap block" line. *)
-  (Tsan.Report.symbolizer :=
-     fun addr ->
+  (Tsan.Report.set_symbolizer
+   @@ fun addr ->
        match Memsim.Heap.find_by_addr addr with
        | Some a ->
            Some
@@ -199,7 +210,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
   let det () =
     match Sched.Scheduler.self_id () with
     | id -> (
-        match Hashtbl.find_opt thread_registry id with
+        match Hashtbl.find_opt (thread_registry ()) id with
         | Some (det, _, _) -> det
         | None ->
             if id >= 0 && id < nranks then
@@ -282,7 +293,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
       else None
     in
     states.(rank) <- Some { detector; device; cusan; must; rss = 0 };
-    Hashtbl.replace thread_registry
+    Hashtbl.replace (thread_registry ())
       (Sched.Scheduler.self_id ())
       (detector, Option.map Tsan.Detector.main_fiber detector, device);
     (* Rank-level failures (CUDA errors, MPI aborts, simulation errors)
@@ -324,7 +335,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
   Mpisim.Hooks.clear ();
   Sched.Scheduler.clear_resume_hooks ();
   Must.Runtime.clear_peer_resolver ();
-  Typeart.Rt.enabled := false;
+  Typeart.Rt.set_enabled false;
   let sts = Array.to_list states |> List.filteri (fun _ s -> s <> None)
             |> List.map Option.get in
   let with_rank f =

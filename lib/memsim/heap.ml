@@ -1,44 +1,59 @@
-(* Allocation registry for the simulated address space. *)
+(* Allocation registry for the simulated address space.
 
-let next_id = ref 0
-let live : (int, Alloc.t) Hashtbl.t = Hashtbl.create 64
-let bytes_live = ref 0
-let bytes_peak = ref 0
+   The registry is domain-local: each domain of a sharded runner owns an
+   independent simulated heap, so parallel case execution never shares
+   allocation state (ids, liveness, peaks). Within a domain, behaviour
+   is identical to the old process-global registry. *)
+
+type state = {
+  mutable next_id : int;
+  live : (int, Alloc.t) Hashtbl.t;
+  mutable bytes_live : int;
+  mutable bytes_peak : int;
+}
+
+let state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { next_id = 0; live = Hashtbl.create 64; bytes_live = 0; bytes_peak = 0 })
 
 let alloc ?(tag = "alloc") space size =
   if size < 0 then invalid_arg "Heap.alloc: negative size";
-  let id = !next_id in
-  incr next_id;
+  let st = Domain.DLS.get state in
+  let id = st.next_id in
+  st.next_id <- st.next_id + 1;
   let a =
     { Alloc.id; space; size; data = Bytes.make size '\000'; tag; freed = false }
   in
-  Hashtbl.replace live id a;
-  bytes_live := !bytes_live + size;
-  if !bytes_live > !bytes_peak then bytes_peak := !bytes_live;
+  Hashtbl.replace st.live id a;
+  st.bytes_live <- st.bytes_live + size;
+  if st.bytes_live > st.bytes_peak then st.bytes_peak <- st.bytes_live;
   Hooks.fire_alloc a;
   Ptr.make a
 
 let free (p : Ptr.t) =
+  let st = Domain.DLS.get state in
   let a = p.Ptr.alloc in
   Alloc.check_live a;
   if p.Ptr.off <> 0 then invalid_arg "Heap.free: interior pointer";
   Hooks.fire_free a;
   a.Alloc.freed <- true;
-  bytes_live := !bytes_live - a.Alloc.size;
-  Hashtbl.remove live a.Alloc.id
+  st.bytes_live <- st.bytes_live - a.Alloc.size;
+  Hashtbl.remove st.live a.Alloc.id
 
 let find_by_addr addr =
-  match Hashtbl.find_opt live (Alloc.id_of_addr addr) with
+  let st = Domain.DLS.get state in
+  match Hashtbl.find_opt st.live (Alloc.id_of_addr addr) with
   | Some a when addr >= Alloc.base a && addr < Alloc.limit a -> Some a
   | _ -> None
 
-let live_bytes () = !bytes_live
-let peak_bytes () = !bytes_peak
-let live_count () = Hashtbl.length live
+let live_bytes () = (Domain.DLS.get state).bytes_live
+let peak_bytes () = (Domain.DLS.get state).bytes_peak
+let live_count () = Hashtbl.length (Domain.DLS.get state).live
 
 (* Reset the whole simulated heap; used between independent test runs. *)
 let reset () =
-  Hashtbl.reset live;
-  next_id := 0;
-  bytes_live := 0;
-  bytes_peak := 0
+  let st = Domain.DLS.get state in
+  Hashtbl.reset st.live;
+  st.next_id <- 0;
+  st.bytes_live <- 0;
+  st.bytes_peak <- 0

@@ -19,24 +19,39 @@ let nil =
     on_write = (fun _ _ -> ());
   }
 
-let registered : t list ref = ref []
+(* Domain-local registry: each domain of a sharded runner attaches its
+   own tools, so parallel runs never observe each other's hooks. *)
+type state = { mutable registered : t list; mutable any : bool }
+(* [any] is the fast-path flag: vanilla runs must not pay for
+   instrumentation. *)
 
-(* Fast path flag: vanilla runs must not pay for instrumentation. *)
-let any = ref false
+let state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { registered = []; any = false })
 
 let add h =
-  registered := h :: !registered;
-  any := true
+  let st = Domain.DLS.get state in
+  st.registered <- h :: st.registered;
+  st.any <- true
+
+let any () = (Domain.DLS.get state).any
 
 let clear () =
-  registered := [];
-  any := false
+  let st = Domain.DLS.get state in
+  st.registered <- [];
+  st.any <- false
 
-let fire_alloc a = if !any then List.iter (fun h -> h.on_alloc a) !registered
-let fire_free a = if !any then List.iter (fun h -> h.on_free a) !registered
+let fire_alloc a =
+  let st = Domain.DLS.get state in
+  if st.any then List.iter (fun h -> h.on_alloc a) st.registered
+
+let fire_free a =
+  let st = Domain.DLS.get state in
+  if st.any then List.iter (fun h -> h.on_free a) st.registered
 
 let fire_read p n =
-  if !any then List.iter (fun h -> h.on_read p n) !registered
+  let st = Domain.DLS.get state in
+  if st.any then List.iter (fun h -> h.on_read p n) st.registered
 
 let fire_write p n =
-  if !any then List.iter (fun h -> h.on_write p n) !registered
+  let st = Domain.DLS.get state in
+  if st.any then List.iter (fun h -> h.on_write p n) st.registered

@@ -17,9 +17,9 @@ type t = {
 val nil : t
 (** All callbacks no-ops; useful with record update syntax. *)
 
-val any : bool ref
-(** Whether any hook is registered — the fast-path check uninstrumented
-    ("vanilla") runs pay. *)
+val any : unit -> bool
+(** Whether any hook is registered in the calling domain — the fast-path
+    check uninstrumented ("vanilla") runs pay. *)
 
 val add : t -> unit
 val clear : unit -> unit

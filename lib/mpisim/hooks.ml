@@ -102,16 +102,28 @@ let call_name = function
   | Rma_get _ -> "MPI_Get"
   | Rma_accumulate _ -> "MPI_Accumulate"
 
-let registered : (rank:int -> phase -> call -> unit) list ref = ref []
-let any = ref false
+(* Domain-local registry: each domain of a sharded runner attaches its
+   own tools, so parallel runs never observe each other's hooks. *)
+type state = {
+  mutable registered : (rank:int -> phase -> call -> unit) list;
+  mutable any : bool;
+}
+
+let state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { registered = []; any = false })
 
 let add f =
-  registered := f :: !registered;
-  any := true
+  let st = Domain.DLS.get state in
+  st.registered <- f :: st.registered;
+  st.any <- true
+
+let any () = (Domain.DLS.get state).any
 
 let clear () =
-  registered := [];
-  any := false
+  let st = Domain.DLS.get state in
+  st.registered <- [];
+  st.any <- false
 
 let fire ~rank phase call =
-  if !any then List.iter (fun f -> f ~rank phase call) !registered
+  let st = Domain.DLS.get state in
+  if st.any then List.iter (fun f -> f ~rank phase call) st.registered

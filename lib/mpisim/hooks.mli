@@ -81,8 +81,9 @@ type call =
 val call_name : call -> string
 (** The MPI function name, e.g. ["MPI_Isend"]. *)
 
-val any : bool ref
-(** Whether any hook is registered (fast-path check). *)
+val any : unit -> bool
+(** Whether any hook is registered in the calling domain (fast-path
+    check). *)
 
 val add : (rank:int -> phase -> call -> unit) -> unit
 val clear : unit -> unit

@@ -361,8 +361,7 @@ let win_create ctx ~buf ~bytes =
           r.Comm.ivals <- Array.make ctx.size 0;
           (* the first contributor draws the window id, so every rank's
              handle refers to the same window *)
-          r.Comm.vals <- [| float_of_int !Win.next_wid |];
-          incr Win.next_wid
+          r.Comm.vals <- [| float_of_int (Win.fresh_wid ()) |]
         end;
         r.Comm.ptrs.(ctx.rank) <- Some buf;
         r.Comm.ivals.(ctx.rank) <- bytes)

@@ -14,11 +14,16 @@ type t = {
   mutable complete : bool;
 }
 
-let next_rid = ref 0
+(* Domain-local and resettable: request ids appear in fiber names and
+   diagnostics, so a run's reports must not depend on what ran before
+   it — neither earlier cases in this domain nor cases in others. *)
+let next_rid : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let reset_ids () = Domain.DLS.set next_rid 0
 
 let make ~kind ~buf ~count ~dt ~peer ~tag ~owner =
-  let rid = !next_rid in
-  incr next_rid;
+  let rid = Domain.DLS.get next_rid in
+  Domain.DLS.set next_rid (rid + 1);
   { rid; kind; buf; count; dt; peer; tag; owner; complete = false }
 
 let bytes t = t.count * t.dt.Datatype.size

@@ -27,4 +27,9 @@ val make :
 val bytes : t -> int
 (** The communication extent, [count * dt.size]. *)
 
+val reset_ids : unit -> unit
+(** Reset the domain-local request-id counter; called by the harness so
+    each run's fiber names (["mpi:req<N>"]) are independent of what ran
+    before it. *)
+
 val pp : Format.formatter -> t -> unit

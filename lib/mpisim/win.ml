@@ -16,7 +16,17 @@ type t = {
   mutable freed : bool;
 }
 
-let next_wid = ref 0
+(* Domain-local and resettable: window ids appear in diagnostics, so a
+   run's output must not depend on earlier runs in this domain or on
+   concurrent runs in other domains. *)
+let next_wid : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let reset_ids () = Domain.DLS.set next_wid 0
+
+let fresh_wid () =
+  let wid = Domain.DLS.get next_wid in
+  Domain.DLS.set next_wid (wid + 1);
+  wid
 
 exception Target_out_of_bounds of string
 exception Window_freed

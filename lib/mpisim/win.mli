@@ -16,7 +16,12 @@ type t = {
   mutable freed : bool;
 }
 
-val next_wid : int ref
+val fresh_wid : unit -> int
+(** Draw the next window id (domain-local counter). *)
+
+val reset_ids : unit -> unit
+(** Reset the domain-local window-id counter; called by the harness so
+    each run's diagnostics are independent of what ran before. *)
 
 exception Target_out_of_bounds of string
 exception Window_freed

@@ -47,11 +47,17 @@ let create () =
 
 let epoch_key ~wid ~epoch = 0x5_0000_0000 + (wid lsl 24) + epoch
 
-let next_completion_key = ref 0x6_0000_0000
+(* Domain-local and resettable, like the simulator's id counters: keys
+   only need to be unique within one run's detector. *)
+let next_completion_key : int Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> 0x6_0000_0000)
+
+let reset_keys () = Domain.DLS.set next_completion_key 0x6_0000_0000
 
 let fresh_key () =
-  incr next_completion_key;
-  !next_completion_key
+  let k = Domain.DLS.get next_completion_key + 1 in
+  Domain.DLS.set next_completion_key k;
+  k
 
 let fences_entered t ~wid =
   match Hashtbl.find_opt t.fence_count wid with Some e -> e | None -> 0

@@ -21,6 +21,10 @@ val create : unit -> t
 val epoch_key : wid:int -> epoch:int -> int
 val fresh_key : unit -> int
 
+val reset_keys : unit -> unit
+(** Reset the domain-local completion-key counter; called by the
+    harness between independent runs. *)
+
 val fences_entered : t -> wid:int -> int
 (** The rank's current epoch number (fences entered so far). *)
 

@@ -30,9 +30,12 @@ type t = {
 (* The distributed part of the RMA analysis: a Put's window access lands
    in the *target* rank's detector. The harness points this resolver at
    the per-rank MUST instances of the current run. *)
-let peer_resolver : (int -> t option) ref = ref (fun _ -> None)
-let set_peer_resolver f = peer_resolver := f
-let clear_peer_resolver () = peer_resolver := (fun _ -> None)
+let peer_resolver : (int -> t option) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> fun _ -> None)
+
+let set_peer_resolver f = Domain.DLS.set peer_resolver f
+let clear_peer_resolver () = Domain.DLS.set peer_resolver (fun _ -> None)
+let resolve_peer rank = (Domain.DLS.get peer_resolver) rank
 
 let create ?(size = 2) ~tsan ~rank ~check_types () =
   {
@@ -52,7 +55,7 @@ let mpi_calls t = t.mpi_calls
 (* --- TypeART-backed datatype checks ----------------------------------- *)
 
 let typecheck t ~call ~(buf : Memsim.Ptr.t) ~count ~(dt : Mpisim.Datatype.t) =
-  if t.check_types && !Typeart.Rt.enabled then begin
+  if t.check_types && Typeart.Rt.enabled () then begin
     let addr = Memsim.Ptr.addr buf in
     match Typeart.Pass.lookup addr with
     | None ->
@@ -218,7 +221,7 @@ let on_call t phase (call : H.call) =
       let bytes = count * dt.Mpisim.Datatype.size in
       Rma.origin_access t.rma t.tsan ~wid ~call:"MPI_Put" ~buf ~bytes
         ~kind:`Read;
-      (match !peer_resolver target with
+      (match resolve_peer target with
       | Some mt ->
           Rma.target_access mt.rma mt.tsan ~wid
             ~epoch:(Rma.fences_entered t.rma ~wid) ~origin_rank:t.rank
@@ -235,7 +238,7 @@ let on_call t phase (call : H.call) =
       let bytes = count * dt.Mpisim.Datatype.size in
       Rma.origin_access t.rma t.tsan ~wid ~call:"MPI_Get" ~buf ~bytes
         ~kind:`Write;
-      (match !peer_resolver target with
+      (match resolve_peer target with
       | Some mt ->
           Rma.target_access mt.rma mt.tsan ~wid
             ~epoch:(Rma.fences_entered t.rma ~wid) ~origin_rank:t.rank
@@ -252,7 +255,7 @@ let on_call t phase (call : H.call) =
       let bytes = count * dt.Mpisim.Datatype.size in
       Rma.origin_access t.rma t.tsan ~wid ~call:"MPI_Accumulate" ~buf ~bytes
         ~kind:`Read;
-      (match !peer_resolver target with
+      (match resolve_peer target with
       | Some mt ->
           Rma.target_accumulate mt.rma mt.tsan ~wid
             ~epoch:(Rma.fences_entered t.rma ~wid) ~call:"MPI_Accumulate"

@@ -1,0 +1,88 @@
+(* Bench-regression comparison: the logic behind `benchdiff`. A bench
+   JSON artifact (see Bench's --json) carries overhead *ratios* —
+   flavor-runtime over vanilla — which are far more stable across
+   machines than absolute times, so CI compares ratios of a fresh quick
+   run against a committed baseline and gates on relative drift. *)
+
+type cell = { key : string; value : float }
+
+type outcome =
+  | Ok_cell of { key : string; base : float; run : float; drift_pct : float }
+  | Regressed of { key : string; base : float; run : float; drift_pct : float }
+  | Missing of { key : string; base : float }
+      (* present in baseline, absent from the run: treated as a failure
+         so a silently shrinking bench can't pass the gate *)
+
+(* Extract comparable overhead cells from a bench JSON document.
+   Recognized shapes (fields produced by bench/main.exe --json):
+   - fig10: [{app, flavor, rel, ...}]   -> "fig10/<app>/<flavor>"
+   - fig12: [{nx, ny, rel, ...}]        -> "fig12/<nx>x<ny>"        *)
+let cells_of_json (j : Mjson.t) : cell list =
+  let fig10 =
+    match Mjson.(member "fig10" j |> Option.map to_list) with
+    | Some (Some rows) ->
+        List.filter_map
+          (fun row ->
+            match
+              ( Mjson.(member "app" row |> Option.map to_str),
+                Mjson.(member "flavor" row |> Option.map to_str),
+                Mjson.(member "rel" row |> Option.map to_float) )
+            with
+            | Some (Some app), Some (Some flavor), Some (Some rel) ->
+                Some { key = Printf.sprintf "fig10/%s/%s" app flavor; value = rel }
+            | _ -> None)
+          rows
+    | _ -> []
+  in
+  let fig12 =
+    match Mjson.(member "fig12" j |> Option.map to_list) with
+    | Some (Some rows) ->
+        List.filter_map
+          (fun row ->
+            match
+              ( Mjson.(member "nx" row |> Option.map to_int),
+                Mjson.(member "ny" row |> Option.map to_int),
+                Mjson.(member "rel" row |> Option.map to_float) )
+            with
+            | Some (Some nx), Some (Some ny), Some (Some rel) ->
+                Some { key = Printf.sprintf "fig12/%dx%d" nx ny; value = rel }
+            | _ -> None)
+          rows
+    | _ -> []
+  in
+  fig10 @ fig12
+
+(* Compare a run against a baseline. A cell regresses when its ratio
+   grew by more than [threshold_pct] percent over the baseline value;
+   shrinking (getting faster) never fails. Baseline cells missing from
+   the run fail; run cells absent from the baseline are ignored (new
+   benchmarks don't gate until the baseline is refreshed). *)
+let compare ~threshold_pct ~(baseline : cell list) ~(run : cell list) :
+    outcome list =
+  List.map
+    (fun b ->
+      match List.find_opt (fun r -> r.key = b.key) run with
+      | None -> Missing { key = b.key; base = b.value }
+      | Some r ->
+          let drift_pct =
+            if b.value = 0. then if r.value = 0. then 0. else infinity
+            else (r.value -. b.value) /. b.value *. 100.
+          in
+          if drift_pct > threshold_pct then
+            Regressed { key = b.key; base = b.value; run = r.value; drift_pct }
+          else Ok_cell { key = b.key; base = b.value; run = r.value; drift_pct })
+    baseline
+
+let failed = function Ok_cell _ -> false | Regressed _ | Missing _ -> true
+
+let any_failed outcomes = List.exists failed outcomes
+
+let pp_outcome ppf = function
+  | Ok_cell { key; base; run; drift_pct } ->
+      Fmt.pf ppf "ok        %-24s %8.3fx -> %8.3fx (%+.1f%%)" key base run
+        drift_pct
+  | Regressed { key; base; run; drift_pct } ->
+      Fmt.pf ppf "REGRESSED %-24s %8.3fx -> %8.3fx (%+.1f%%)" key base run
+        drift_pct
+  | Missing { key; base } ->
+      Fmt.pf ppf "MISSING   %-24s %8.3fx -> (absent from run)" key base

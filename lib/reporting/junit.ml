@@ -1,0 +1,56 @@
+(* JUnit XML emitter — the artifact format CI systems ingest for
+   per-testcase reporting. Only the subset the consumers actually read:
+   one <testsuite> of <testcase> elements, each with an optional
+   <failure>. *)
+
+type testcase = {
+  classname : string;
+  name : string;
+  time_s : float;
+  failure : (string * string) option; (* (message, body) *)
+}
+
+let xml_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&apos;"
+      | c when Char.code c < 0x20 && c <> '\n' && c <> '\t' ->
+          Buffer.add_string b (Printf.sprintf "&#%d;" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_string ~suite_name cases =
+  let failures =
+    List.length (List.filter (fun c -> c.failure <> None) cases)
+  in
+  let total_time = List.fold_left (fun a c -> a +. c.time_s) 0. cases in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "<testsuite name=%S tests=\"%d\" failures=\"%d\" errors=\"0\" \
+        skipped=\"0\" time=\"%.6f\">\n"
+       (xml_escape suite_name) (List.length cases) failures total_time);
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "  <testcase classname=%S name=%S time=\"%.6f\""
+           (xml_escape c.classname) (xml_escape c.name) c.time_s);
+      match c.failure with
+      | None -> Buffer.add_string b "/>\n"
+      | Some (msg, body) ->
+          Buffer.add_string b ">\n";
+          Buffer.add_string b
+            (Printf.sprintf "    <failure message=%S>%s</failure>\n"
+               (xml_escape msg) (xml_escape body));
+          Buffer.add_string b "  </testcase>\n")
+    cases;
+  Buffer.add_string b "</testsuite>\n";
+  Buffer.contents b

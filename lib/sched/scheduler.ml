@@ -76,18 +76,25 @@ type _ Effect.t +=
   | Yield : unit Effect.t
   | Wait : cond * string option -> unit Effect.t
 
-let instance : t option ref = ref None
+(* The running scheduler and its observers are domain-local: each
+   domain of a sharded test runner hosts its own independent scheduler,
+   so parallel case execution never shares scheduler state. *)
+let instance : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 (* Observers notified each time a task is about to run. Correctness
    tools use this to retarget per-thread state (e.g. the race detector's
    current fiber) when the cooperative scheduler interleaves host
    threads. *)
-let resume_hooks : (string -> int -> unit) list ref = ref []
+let resume_hooks : (string -> int -> unit) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
-let on_resume f = resume_hooks := f :: !resume_hooks
-let clear_resume_hooks () = resume_hooks := []
+let on_resume f = Domain.DLS.set resume_hooks (f :: Domain.DLS.get resume_hooks)
+let clear_resume_hooks () = Domain.DLS.set resume_hooks []
 
-let get () = match !instance with Some s -> s | None -> raise Not_in_scheduler
+let get () =
+  match Domain.DLS.get instance with
+  | Some s -> s
+  | None -> raise Not_in_scheduler
 
 let cond name = { cond_name = name; waiters = [] }
 
@@ -159,7 +166,7 @@ let blocked_pairs s =
     (List.rev s.tasks)
 
 let run ?watchdog tasks =
-  (match !instance with
+  (match Domain.DLS.get instance with
   | Some _ -> invalid_arg "Scheduler.run: nested run"
   | None -> ());
   let s =
@@ -172,8 +179,8 @@ let run ?watchdog tasks =
       watchdog;
     }
   in
-  instance := Some s;
-  let finish () = instance := None in
+  Domain.DLS.set instance (Some s);
+  let finish () = Domain.DLS.set instance None in
   Fun.protect ~finally:finish (fun () ->
       List.iter (fun (name, f) -> spawn_in s name f) tasks;
       while not (Queue.is_empty s.runq) do
@@ -200,7 +207,7 @@ let run ?watchdog tasks =
         let task, thunk = Queue.pop s.runq in
         s.current <- Some task;
         s.steps <- s.steps + 1;
-        List.iter (fun f -> f task.t_name task.t_id) !resume_hooks;
+        List.iter (fun f -> f task.t_name task.t_id) (Domain.DLS.get resume_hooks);
         thunk ();
         s.current <- None
       done;

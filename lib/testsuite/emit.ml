@@ -1,0 +1,98 @@
+(* Machine-readable renderings of testsuite verdicts: a JSON document
+   (schema "cusan-tests/1") and JUnit XML for CI ingestion. Verdicts
+   are emitted in case order, so two runs that classified identically
+   produce byte-identical documents regardless of worker count. *)
+
+let classification (v : Runner.verdict) =
+  match (v.Runner.case.Cases.expect, v.Runner.detected) with
+  | Cases.Racy, true -> "race correctly reported"
+  | Cases.Racy, false -> "race MISSED"
+  | Cases.Clean, false -> "clean"
+  | Cases.Clean, true -> "FALSE POSITIVE"
+
+let json_of_verdict (v : Runner.verdict) : Reporting.Mjson.t =
+  let open Reporting.Mjson in
+  Obj
+    [
+      ("name", Str v.Runner.case.Cases.name);
+      ("expect",
+       Str (match v.Runner.case.Cases.expect with
+            | Cases.Racy -> "racy"
+            | Cases.Clean -> "clean"));
+      ("detected", Bool v.Runner.detected);
+      ("pass", Bool v.Runner.pass);
+      ("classification", Str (classification v));
+      ("wall_s", Float v.Runner.wall_s);
+      ("injected", Int v.Runner.injected);
+      ("fault_log",
+       List
+         (List.map
+            (fun d -> Str (Fmt.str "%a" Faultsim.Injector.pp_decision d))
+            v.Runner.fault_log));
+      ("failures",
+       List
+         (List.map
+            (fun (rank, why) ->
+              Obj [ ("rank", Int rank); ("error", Str why) ])
+            v.Runner.failures));
+      ("reports",
+       List
+         (List.map
+            (fun (rank, r) ->
+              Obj [ ("rank", Int rank); ("report", Str (Tsan.Report.to_string r)) ])
+            v.Runner.reports));
+    ]
+
+let json ?seed ?faults_spec ~mode ~j (verdicts : Runner.verdict list) :
+    Reporting.Mjson.t =
+  let open Reporting.Mjson in
+  let pass, total = Runner.summary verdicts in
+  let injected =
+    List.fold_left (fun acc v -> acc + v.Runner.injected) 0 verdicts
+  in
+  Obj
+    [
+      ("schema", Str "cusan-tests/1");
+      ("mode", Str mode);
+      ("workers", Int j);
+      ("seed", (match seed with Some s -> Int s | None -> Null));
+      ("faults", (match faults_spec with Some s -> Str s | None -> Null));
+      ("pass", Int pass);
+      ("total", Int total);
+      ("injected", Int injected);
+      ("cases", List (List.map json_of_verdict verdicts));
+    ]
+
+let junit (verdicts : Runner.verdict list) : string =
+  let cases =
+    List.map
+      (fun (v : Runner.verdict) ->
+        let failure =
+          if v.Runner.pass then None
+          else
+            let body =
+              String.concat "\n"
+                (List.map
+                   (fun (rank, why) -> Fmt.str "rank %d failed: %s" rank why)
+                   v.Runner.failures
+                @ List.map
+                    (fun (rank, r) ->
+                      Fmt.str "rank %d: %s" rank (Tsan.Report.to_string r))
+                    v.Runner.reports)
+            in
+            Some (classification v, body)
+        in
+        {
+          Reporting.Junit.classname = "CuSanTest";
+          name = v.Runner.case.Cases.name;
+          time_s = v.Runner.wall_s;
+          failure;
+        })
+      verdicts
+  in
+  Reporting.Junit.to_string ~suite_name:"cutests" cases
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)

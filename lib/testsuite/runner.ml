@@ -24,6 +24,8 @@ type verdict = {
   pass : bool;
   injected : int; (* faults that fired during this case *)
   failures : (int * string) list; (* captured per-rank failures *)
+  fault_log : Faultsim.Injector.decision list; (* replay lines *)
+  wall_s : float; (* wall time of this case's simulation *)
 }
 
 let fault_watchdog = 100_000
@@ -56,10 +58,22 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
     pass;
     injected;
     failures = res.Harness.Run.failures;
+    fault_log = res.Harness.Run.fault_log;
+    wall_s = res.Harness.Run.wall_s;
   }
 
 let run_all ?mode ?annotation ?faults () =
   List.map (run_case ?mode ?annotation ?faults) (Cases.all ())
+
+(* Shard the matrix over a domain pool. Every case constructs its own
+   scheduler/detector/device state inside [Harness.Run.run] and all
+   simulator globals are domain-local, so classification is independent
+   of which worker runs a case. [Pool.map] returns results in input
+   order regardless of completion order, so aggregation is deterministic
+   and byte-identical to the sequential runner ([j <= 1] *is* the
+   sequential runner). *)
+let run_matrix ?mode ?annotation ?faults ?(j = 1) () =
+  Pool.map ~workers:j (run_case ?mode ?annotation ?faults) (Cases.all ())
 
 let pp_verdict ppf v =
   Fmt.pf ppf "%s: CuSanTest :: %s (%s)%s"

@@ -187,7 +187,7 @@ let report t ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
         { Report.fiber = t.cur.name; kind = cur_kind; origin = current_origin t };
       previous =
         { Report.fiber = prev_fiber; kind = prev_kind; origin = origin_name t prev_origin };
-      location = !Report.symbolizer addr;
+      location = Report.symbolize addr;
     }
   in
   let key = Report.dedup_key r in

@@ -22,8 +22,13 @@ let kind_str = function `Read -> "read" | `Write -> "write"
 (* Resolves a raw address to a human-readable allocation description —
    TSan's "Location is heap block ..." line. The harness points this at
    the simulated heap; kept as a hook so the detector stays independent
-   of the memory simulator. *)
-let symbolizer : (int -> string option) ref = ref (fun _ -> None)
+   of the memory simulator. Domain-local, so sharded runners can each
+   target their own heap. *)
+let symbolizer : (int -> string option) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> fun _ -> None)
+
+let set_symbolizer f = Domain.DLS.set symbolizer f
+let symbolize addr = (Domain.DLS.get symbolizer) addr
 
 let pp ppf t =
   Fmt.pf ppf

@@ -23,10 +23,14 @@ type t = {
 
 val kind_str : [ `Read | `Write ] -> string
 
-val symbolizer : (int -> string option) ref
+val set_symbolizer : (int -> string option) -> unit
 (** Resolves raw addresses to allocation descriptions in new reports.
     The harness points this at the simulated heap; defaults to
-    [fun _ -> None]. *)
+    [fun _ -> None]. The hook is domain-local, so sharded runners can
+    each target their own heap. *)
+
+val symbolize : int -> string option
+(** Apply the current domain's symbolizer. *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders in the style of TSan's "WARNING: data race" reports. *)

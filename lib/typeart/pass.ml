@@ -11,17 +11,17 @@
 let alloc ?(tag = "alloc") space ty count =
   let bytes = count * Typedb.sizeof ty in
   let p = Memsim.Heap.alloc ~tag space bytes in
-  if !Rt.enabled then
-    Rt.track_alloc Rt.instance ~base:(Memsim.Ptr.addr p) ~bytes ~ty ~count
+  if Rt.enabled () then
+    Rt.track_alloc (Rt.instance ()) ~base:(Memsim.Ptr.addr p) ~bytes ~ty ~count
       ~space ~tag;
   p
 
 let free (p : Memsim.Ptr.t) =
-  if !Rt.enabled then Rt.track_free Rt.instance ~base:(Memsim.Ptr.addr p);
+  if Rt.enabled () then Rt.track_free (Rt.instance ()) ~base:(Memsim.Ptr.addr p);
   Memsim.Heap.free p
 
-(* Convenience queries against the global runtime. *)
+(* Convenience queries against the calling domain's runtime. *)
 
-let type_at addr = Rt.type_at Rt.instance ~addr
-let extent_at addr = Rt.extent_at Rt.instance ~addr
-let lookup addr = Rt.lookup Rt.instance ~addr
+let type_at addr = Rt.type_at (Rt.instance ()) ~addr
+let extent_at addr = Rt.extent_at (Rt.instance ()) ~addr
+let lookup addr = Rt.lookup (Rt.instance ()) ~addr

@@ -22,15 +22,24 @@ type t = {
 
 let create () = { table = Hashtbl.create 64; tracked_allocs = 0; tracked_frees = 0 }
 
-(* The global runtime instance, like the TypeART runtime linked into the
-   executable. Tool configurations enable it per run. *)
-let instance = create ()
-let enabled = ref false
+(* The runtime instance, like the TypeART runtime linked into the
+   executable. Tool configurations enable it per run. Both the instance
+   and the enable flag are domain-local so sharded runners track
+   allocations independently. *)
+type dstate = { inst : t; mutable on : bool }
+
+let dstate : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { inst = create (); on = false })
+
+let instance () = (Domain.DLS.get dstate).inst
+let enabled () = (Domain.DLS.get dstate).on
+let set_enabled b = (Domain.DLS.get dstate).on <- b
 
 let reset () =
-  Hashtbl.reset instance.table;
-  instance.tracked_allocs <- 0;
-  instance.tracked_frees <- 0
+  let i = instance () in
+  Hashtbl.reset i.table;
+  i.tracked_allocs <- 0;
+  i.tracked_frees <- 0
 
 let track_alloc t ~base ~bytes ~ty ~count ~space ~tag =
   t.tracked_allocs <- t.tracked_allocs + 1;

@@ -16,13 +16,16 @@ type t
 
 val create : unit -> t
 
-val instance : t
-(** The global runtime instance, like the TypeART runtime linked into an
-    executable. *)
+val instance : unit -> t
+(** The calling domain's runtime instance, like the TypeART runtime
+    linked into an executable. Domain-local so sharded runners track
+    allocations independently. *)
 
-val enabled : bool ref
+val enabled : unit -> bool
 (** Tool configurations toggle tracking per run; disabled callbacks cost
     one branch. *)
+
+val set_enabled : bool -> unit
 
 val reset : unit -> unit
 

@@ -46,21 +46,29 @@ let rec equal a b =
   | _ -> false
 
 (* Serialized type-id table, as emitted by the compiler pass. Ids are
-   stable within a process: interning the serialized layout. *)
+   stable within a process: interning the serialized layout. The table
+   is genuinely process-global (ids must agree across domains), so it is
+   the one piece of shared state guarded by a mutex. *)
 
+let intern_mutex = Mutex.create ()
 let ids : (string, int) Hashtbl.t = Hashtbl.create 16
 let by_id : (int, ty) Hashtbl.t = Hashtbl.create 16
 let next_id = ref 0
 
+let with_lock f =
+  Mutex.lock intern_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock intern_mutex) f
+
 let type_id ty =
   let key = to_string ty in
-  match Hashtbl.find_opt ids key with
-  | Some i -> i
-  | None ->
-      let i = !next_id in
-      incr next_id;
-      Hashtbl.replace ids key i;
-      Hashtbl.replace by_id i ty;
-      i
+  with_lock (fun () ->
+      match Hashtbl.find_opt ids key with
+      | Some i -> i
+      | None ->
+          let i = !next_id in
+          incr next_id;
+          Hashtbl.replace ids key i;
+          Hashtbl.replace by_id i ty;
+          i)
 
-let of_type_id i = Hashtbl.find_opt by_id i
+let of_type_id i = with_lock (fun () -> Hashtbl.find_opt by_id i)

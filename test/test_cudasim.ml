@@ -327,7 +327,7 @@ let hooks_see_launches () =
 
 let malloc_tracked_by_typeart () =
   with_heap @@ fun () ->
-  Typeart.Rt.enabled := true;
+  Typeart.Rt.set_enabled true;
   let dev = Dev.create () in
   let d = Mem.cuda_malloc dev ~ty:Typeart.Typedb.F64 ~count:16 in
   (match Typeart.Pass.type_at (Memsim.Ptr.addr d) with
@@ -335,7 +335,7 @@ let malloc_tracked_by_typeart () =
       Alcotest.(check bool) "type" true (Typeart.Typedb.equal ty Typeart.Typedb.F64);
       Alcotest.(check int) "count" 16 count
   | None -> Alcotest.fail "not tracked");
-  Typeart.Rt.enabled := false
+  Typeart.Rt.set_enabled false
 
 let cost_model_accumulates () =
   with_heap @@ fun () ->

@@ -52,7 +52,7 @@ let hooks_isolated_between_runs () =
   (* A MUST&CuSan run followed by a vanilla run: the vanilla run must not
      see any leftover instrumentation. *)
   ignore (R.run ~nranks:2 ~flavor:F.Must_cusan small_app);
-  Alcotest.(check bool) "memsim hooks cleared" false !Memsim.Hooks.any;
+  Alcotest.(check bool) "memsim hooks cleared" false (Memsim.Hooks.any ());
   let res = R.run ~nranks:2 ~flavor:F.Vanilla small_app in
   Alcotest.(check int) "no tsan counters in vanilla" 0
     res.R.tsan_counters.Tsan.Counters.fiber_switches

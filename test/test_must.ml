@@ -11,10 +11,10 @@ module Dt = Mpisim.Datatype
 let with_clean f =
   Memsim.Heap.reset ();
   Typeart.Rt.reset ();
-  Typeart.Rt.enabled := true;
+  Typeart.Rt.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
-      Typeart.Rt.enabled := false;
+      Typeart.Rt.set_enabled false;
       Typeart.Rt.reset ();
       Memsim.Heap.reset ())
     f

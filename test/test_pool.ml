@@ -1,0 +1,293 @@
+(* Tests for the domain pool, the parallel testsuite runner's
+   determinism guarantee, and the machine-readable emitters
+   (JSON / JUnit / benchdiff comparison logic). *)
+
+(* --- Pool ------------------------------------------------------------- *)
+
+let map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let ys = Pool.map ~workers:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "results in input order"
+    (List.map (fun x -> x * x) xs)
+    ys
+
+let map_seq_degenerate () =
+  let xs = [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (list int)) "workers:1 is List.map"
+    (List.map succ xs)
+    (Pool.map ~workers:1 succ xs)
+
+exception Boom of int
+
+let map_propagates_exception () =
+  match Pool.map ~workers:3 (fun x -> if x = 7 then raise (Boom x) else x)
+          (List.init 20 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom 7 -> ()
+
+let exclusively_drains_pool () =
+  let p = Pool.create ~workers:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let busy = Atomic.make 0 in
+      let violations = Atomic.make 0 in
+      let tasks =
+        List.init 40 (fun i () ->
+            if i mod 5 = 0 then
+              (* An exclusive section must observe every other worker
+                 idle: no concurrent task inside its critical section. *)
+              Pool.exclusively p (fun () ->
+                  if Atomic.get busy <> 0 then Atomic.incr violations)
+            else begin
+              Atomic.incr busy;
+              (* spin a little so tasks genuinely overlap *)
+              let t = ref 0 in
+              for k = 1 to 10_000 do
+                t := !t + k
+              done;
+              ignore (Sys.opaque_identity !t);
+              Atomic.decr busy
+            end)
+      in
+      ignore (Pool.map_pool p (fun f -> f ()) tasks);
+      Alcotest.(check int) "no task ran during an exclusive section" 0
+        (Atomic.get violations))
+
+let exclusively_returns_value () =
+  let p = Pool.create ~workers:2 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let r =
+        Pool.map_pool p (fun x -> Pool.exclusively p (fun () -> x * 2)) [ 21 ]
+      in
+      Alcotest.(check (list int)) "value threaded through" [ 42 ] r)
+
+(* --- Parallel testsuite determinism ----------------------------------- *)
+
+(* Render everything observable about a verdict except wall time (the
+   only field that legitimately differs between runs). *)
+let render (v : Testsuite.Runner.verdict) =
+  Fmt.str "%a // faults:[%s] // failures:[%s] // reports:[%s]"
+    Testsuite.Runner.pp_verdict v
+    (String.concat ";"
+       (List.map
+          (Fmt.str "%a" Faultsim.Injector.pp_decision)
+          v.Testsuite.Runner.fault_log))
+    (String.concat ";"
+       (List.map
+          (fun (rank, why) -> Fmt.str "%d:%s" rank why)
+          v.Testsuite.Runner.failures))
+    (String.concat ";"
+       (List.map
+          (fun (rank, r) -> Fmt.str "%d:%s" rank (Tsan.Report.to_string r))
+          v.Testsuite.Runner.reports))
+
+let fault_plan () =
+  match
+    Faultsim.Plan.parse_spec
+      "cuda_malloc@1#1:fail,mpi_wait*5:hang,kernel_launch%0.2:fail"
+  with
+  | Ok (_, plan) -> plan
+  | Error msg -> Alcotest.failf "fault spec did not parse: %s" msg
+
+(* The tentpole property: sharding the matrix over any number of worker
+   domains yields byte-identical verdicts to the sequential runner, for
+   both the normal and the fault-injected matrix. *)
+let parallel_matches_sequential =
+  QCheck.Test.make ~count:6 ~name:"run_matrix -j N == sequential (N in 1..8)"
+    (QCheck.int_range 1 8)
+    (fun j ->
+      let seq = List.map render (Testsuite.Runner.run_matrix ~j:1 ()) in
+      let par = List.map render (Testsuite.Runner.run_matrix ~j ()) in
+      let faults = Some (7, fault_plan ()) in
+      let fseq = List.map render (Testsuite.Runner.run_matrix ?faults ~j:1 ()) in
+      let fpar = List.map render (Testsuite.Runner.run_matrix ?faults ~j ()) in
+      seq = par && fseq = fpar)
+
+(* --- Mjson ------------------------------------------------------------- *)
+
+let sample : Reporting.Mjson.t =
+  let open Reporting.Mjson in
+  Obj
+    [
+      ("schema", Str "t/1");
+      ("ok", Bool true);
+      ("none", Null);
+      ("n", Int (-42));
+      ("x", Float 1.5);
+      ("s", Str "a \"quoted\"\nline\tand \\ slash");
+      ("xs", List [ Int 1; Float 0.25; Str ""; List []; Obj [] ]);
+    ]
+
+let mjson_roundtrip () =
+  let open Reporting.Mjson in
+  (match of_string (to_string sample) with
+  | Ok v -> Alcotest.(check bool) "compact roundtrip" true (v = sample)
+  | Error msg -> Alcotest.failf "compact parse failed: %s" msg);
+  match of_string (to_string_pretty sample) with
+  | Ok v -> Alcotest.(check bool) "pretty roundtrip" true (v = sample)
+  | Error msg -> Alcotest.failf "pretty parse failed: %s" msg
+
+let mjson_rejects_garbage () =
+  let open Reporting.Mjson in
+  List.iter
+    (fun s ->
+      match of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let mjson_accessors () =
+  let open Reporting.Mjson in
+  Alcotest.(check (option int)) "member+to_int" (Some (-42))
+    (Option.bind (member "n" sample) to_int);
+  Alcotest.(check (option string)) "missing member" None
+    (Option.bind (member "nope" sample) to_str);
+  Alcotest.(check (option (float 0.0))) "int reads as float" (Some (-42.))
+    (Option.bind (member "n" sample) to_float)
+
+(* --- JUnit & JSON emitters --------------------------------------------- *)
+
+let two_verdicts () =
+  match Testsuite.Cases.all () with
+  | a :: b :: _ ->
+      let va = Testsuite.Runner.run_case a in
+      let vb = Testsuite.Runner.run_case b in
+      (va, vb)
+  | _ -> Alcotest.fail "testsuite has fewer than two cases"
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let junit_emitter () =
+  let va, vb = two_verdicts () in
+  (* Force one failure so the failure element is exercised. *)
+  let vb = { vb with Testsuite.Runner.pass = false } in
+  let xml = Testsuite.Emit.junit [ va; vb ] in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Fmt.str "junit contains %s" sub) true
+        (contains ~sub xml))
+    [
+      "<?xml version=\"1.0\"";
+      "tests=\"2\"";
+      "failures=\"1\"";
+      "classname=\"CuSanTest\"";
+      va.Testsuite.Runner.case.Testsuite.Cases.name;
+      "<failure";
+    ]
+
+let json_emitter () =
+  let va, vb = two_verdicts () in
+  let doc = Testsuite.Emit.json ~seed:7 ~mode:"eager" ~j:3 [ va; vb ] in
+  let open Reporting.Mjson in
+  (* The emitted document must survive its own parser. *)
+  (match of_string (to_string_pretty doc) with
+  | Ok v -> Alcotest.(check bool) "self-parses" true (v = doc)
+  | Error msg -> Alcotest.failf "emitted JSON does not parse: %s" msg);
+  Alcotest.(check (option string)) "schema" (Some "cusan-tests/1")
+    (Option.bind (member "schema" doc) to_str);
+  Alcotest.(check (option int)) "workers" (Some 3)
+    (Option.bind (member "workers" doc) to_int);
+  Alcotest.(check (option int)) "total" (Some 2)
+    (Option.bind (member "total" doc) to_int);
+  Alcotest.(check (option int)) "cases"
+    (Some 2)
+    (Option.bind (member "cases" doc) to_list |> Option.map List.length)
+
+(* --- Benchdiff comparison logic ---------------------------------------- *)
+
+let cell key value = { Reporting.Benchcmp.key; value }
+
+let benchcmp_thresholds () =
+  let open Reporting.Benchcmp in
+  let baseline = [ cell "a" 10.0; cell "b" 10.0; cell "c" 10.0; cell "gone" 1.0 ] in
+  let run = [ cell "a" 12.0; cell "b" 13.0; cell "c" 5.0; cell "new" 99.0 ] in
+  let outcomes = compare ~threshold_pct:25.0 ~baseline ~run in
+  let verdicts =
+    List.map
+      (function
+        | Ok_cell { key; _ } -> (key, "ok")
+        | Regressed { key; _ } -> (key, "regressed")
+        | Missing { key; _ } -> (key, "missing"))
+      outcomes
+  in
+  Alcotest.(check (list (pair string string)))
+    "outcome per baseline cell; run-only cells ignored"
+    [
+      ("a", "ok") (* +20% within threshold *);
+      ("b", "regressed") (* +30% over threshold *);
+      ("c", "ok") (* improvement never fails *);
+      ("gone", "missing") (* vanished cell fails *);
+    ]
+    verdicts;
+  Alcotest.(check bool) "any_failed" true (any_failed outcomes);
+  Alcotest.(check bool) "clean run passes" false
+    (any_failed (compare ~threshold_pct:25.0 ~baseline:[ cell "a" 2.0 ]
+       ~run:[ cell "a" 2.2 ]))
+
+let benchcmp_cells_of_json () =
+  let open Reporting.Mjson in
+  let doc =
+    Obj
+      [
+        ( "fig10",
+          List
+            [
+              Obj
+                [
+                  ("app", Str "Jacobi");
+                  ("flavor", Str "CuSan");
+                  ("rel", Float 19.5);
+                ];
+            ] );
+        ( "fig12",
+          List [ Obj [ ("nx", Int 64); ("ny", Int 32); ("rel", Float 4.5) ] ] );
+      ]
+  in
+  let cells = Reporting.Benchcmp.cells_of_json doc in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "keys and values extracted"
+    [ ("fig10/Jacobi/CuSan", 19.5); ("fig12/64x32", 4.5) ]
+    (List.map
+       (fun c -> (c.Reporting.Benchcmp.key, c.Reporting.Benchcmp.value))
+       cells)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick map_preserves_order;
+          Alcotest.test_case "workers:1 degenerates" `Quick map_seq_degenerate;
+          Alcotest.test_case "exceptions propagate" `Quick
+            map_propagates_exception;
+          Alcotest.test_case "exclusively drains pool" `Quick
+            exclusively_drains_pool;
+          Alcotest.test_case "exclusively returns value" `Quick
+            exclusively_returns_value;
+        ] );
+      ( "determinism",
+        [ QCheck_alcotest.to_alcotest parallel_matches_sequential ] );
+      ( "mjson",
+        [
+          Alcotest.test_case "roundtrip" `Quick mjson_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick mjson_rejects_garbage;
+          Alcotest.test_case "accessors" `Quick mjson_accessors;
+        ] );
+      ( "emitters",
+        [
+          Alcotest.test_case "junit" `Quick junit_emitter;
+          Alcotest.test_case "json" `Quick json_emitter;
+        ] );
+      ( "benchcmp",
+        [
+          Alcotest.test_case "thresholds" `Quick benchcmp_thresholds;
+          Alcotest.test_case "cells_of_json" `Quick benchcmp_cells_of_json;
+        ] );
+    ]

@@ -6,11 +6,11 @@ open Typeart
 let with_clean f =
   Memsim.Heap.reset ();
   Rt.reset ();
-  let was = !Rt.enabled in
-  Rt.enabled := true;
+  let was = Rt.enabled () in
+  Rt.set_enabled true;
   Fun.protect
     ~finally:(fun () ->
-      Rt.enabled := was;
+      Rt.set_enabled was;
       Rt.reset ();
       Memsim.Heap.reset ())
     f
@@ -92,11 +92,11 @@ let out_of_range_addr () =
 
 let disabled_runtime_tracks_nothing () =
   with_clean @@ fun () ->
-  Rt.enabled := false;
+  Rt.set_enabled false;
   let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
   Alcotest.(check (option int)) "not tracked" None
     (Pass.extent_at (Memsim.Ptr.addr p));
-  Rt.enabled := true
+  Rt.set_enabled true
 
 let memory_kind_recorded () =
   with_clean @@ fun () ->
@@ -116,7 +116,7 @@ let stats_counted () =
   let p = Pass.alloc Memsim.Space.Device Typedb.F64 4 in
   let q = Pass.alloc Memsim.Space.Device Typedb.I32 4 in
   Pass.free p;
-  let allocs, frees, live = Rt.stats Rt.instance in
+  let allocs, frees, live = Rt.stats (Rt.instance ()) in
   Alcotest.(check int) "allocs" 2 allocs;
   Alcotest.(check int) "frees" 1 frees;
   Alcotest.(check int) "live" 1 live;
@@ -146,7 +146,7 @@ let prop_extent_complement =
     (fun (count, off_raw) ->
       Memsim.Heap.reset ();
       Rt.reset ();
-      Rt.enabled := true;
+      Rt.set_enabled true;
       let p = Pass.alloc Memsim.Space.Device Typedb.F64 count in
       let off = off_raw mod (count * 8) in
       let r =
@@ -154,7 +154,7 @@ let prop_extent_complement =
         | Some e -> e + off = count * 8
         | None -> false
       in
-      Rt.enabled := false;
+      Rt.set_enabled false;
       Memsim.Heap.reset ();
       Rt.reset ();
       r)
