@@ -16,7 +16,7 @@
 
 let usage () =
   Fmt.pr
-    "usage: main.exe [--quick] [-j N] [--json FILE]@.\
+    "usage: main.exe [--quick] [-j N] [--json FILE] [--trace FILE]@.\
     \       [fig10|fig11|table1|fig12|suite|ablation|micro]...@."
 
 let die msg =
@@ -24,7 +24,13 @@ let die msg =
   usage ();
   exit 2
 
-type opts = { quick : bool; jobs : int; json_out : string option; targets : string list }
+type opts = {
+  quick : bool;
+  jobs : int;
+  json_out : string option;
+  trace_out : string option;
+  targets : string list;
+}
 
 let parse_args argv =
   let rec go acc = function
@@ -42,9 +48,14 @@ let parse_args argv =
     | "--json" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
         go { acc with json_out = Some v } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires a file name"
+    | "--trace" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with trace_out = Some v } rest
+    | [ "--trace" ] | "--trace" :: _ -> die "--trace requires a file name"
     | t :: rest -> go { acc with targets = t :: acc.targets } rest
   in
-  go { quick = false; jobs = 1; json_out = None; targets = [] } argv
+  go
+    { quick = false; jobs = 1; json_out = None; trace_out = None; targets = [] }
+    argv
 
 let () =
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
@@ -62,6 +73,16 @@ let () =
       then die (Fmt.str "unknown target %S" t))
     wanted;
   let jobs = if o.jobs = 0 then Pool.default_workers () else o.jobs in
+  (* The flight recorder is domain-local, so traced runs are sequential
+     (timed sections are exclusively-held either way). *)
+  let jobs =
+    if o.trace_out <> None && jobs > 1 then begin
+      Fmt.epr "bench: --trace forces -j 1 (recorder is domain-local)@.";
+      1
+    end
+    else jobs
+  in
+  if o.trace_out <> None then Trace.Recorder.enable ();
   let sz = if o.quick then Figs.quick_sizes else Figs.default_sizes in
   Fmt.pr "CuSan reproduction benchmark harness%s%s@."
     (if o.quick then " (quick sizes)" else "")
@@ -74,6 +95,7 @@ let () =
      depend on each other). *)
   let pool = if jobs > 1 then Some (Pool.create ~workers:jobs) else None in
   let fig10_rows = ref None in
+  let fig11_rows = ref None in
   let fig12_rows = ref None in
   let suite_sum = ref None in
   Fun.protect
@@ -83,7 +105,7 @@ let () =
         (fun what ->
           match what with
           | "fig10" -> fig10_rows := Some (Figs.fig10 ?pool sz)
-          | "fig11" -> ignore (Figs.fig11 sz)
+          | "fig11" -> fig11_rows := Some (Figs.fig11 sz)
           | "table1" -> ignore (Figs.table1 sz)
           | "fig12" -> fig12_rows := Some (Figs.fig12 ?pool sz)
           | "ablation" -> Figs.ablation sz
@@ -123,6 +145,22 @@ let () =
             in
             [ ("fig10", List (rows "Jacobi" j @ rows "TeaLeaf" t)) ]
       in
+      let fig11_json =
+        match !fig11_rows with
+        | None -> []
+        | Some (j, t) ->
+            let rows app =
+              List.map (fun (flavor, rel, paper) ->
+                  Obj
+                    [
+                      ("app", Str app);
+                      ("flavor", Str flavor);
+                      ("rel", Float rel);
+                      ("paper", Float paper);
+                    ])
+            in
+            [ ("fig11", List (rows "Jacobi" j @ rows "TeaLeaf" t)) ]
+      in
       let fig12_json =
         match !fig12_rows with
         | None -> []
@@ -158,11 +196,18 @@ let () =
              ("quick", Bool o.quick);
              ("workers", Int jobs);
            ]
-          @ fig10_json @ fig12_json @ suite_json)
+          @ fig10_json @ fig11_json @ fig12_json @ suite_json)
       in
       let oc = open_out path in
       Fun.protect
         ~finally:(fun () -> close_out oc)
         (fun () -> output_string oc (to_string_pretty doc));
       Fmt.pr "@.wrote %s@." path);
+  (match o.trace_out with
+  | None -> ()
+  | Some path ->
+      let events = Trace.Recorder.events () in
+      Trace.Chrome.write_file path events;
+      Fmt.epr "trace: wrote %s (%d events, %d dropped)@." path
+        (List.length events) (Trace.Recorder.dropped ()));
   Fmt.pr "@.done.@."

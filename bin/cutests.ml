@@ -14,15 +14,24 @@
    schedule.
 
    Machine-readable output: --json FILE writes a "cusan-tests/1"
-   document, --junit FILE writes JUnit XML — the artifacts CI uploads. *)
+   document, --junit FILE writes JUnit XML — the artifacts CI uploads.
+
+   Flight recorder: --trace FILE enables the per-rank ring-buffer
+   recorder for the whole run and writes a Chrome trace-event JSON
+   (load it in chrome://tracing or Perfetto). Tracing is domain-local,
+   so it forces -j 1; verdicts are unaffected — only stderr mentions
+   the trace file, keeping stdout byte-identical to an untraced run. *)
 
 let usage () =
   Fmt.pr
     "usage: cutests [--deferred] [--verbose] [--list] [--only SUBSTR]@.\
-    \       [--seed N] [--faults SPEC] [-j N] [--json FILE] [--junit FILE]@.@.\
+    \       [--seed N] [--faults SPEC] [-j N] [--json FILE] [--junit FILE]@.\
+    \       [--trace FILE]@.@.\
     \  -j N        run the matrix on N worker domains (0 = one per core)@.\
     \  --json FILE write verdicts as JSON (schema cusan-tests/1)@.\
-    \  --junit FILE write verdicts as JUnit XML@.@.\
+    \  --junit FILE write verdicts as JUnit XML@.\
+    \  --trace FILE record a flight-recorder trace (Chrome trace-event@.\
+    \              JSON; forces -j 1)@.@.\
      SPEC  comma-separated rules SITE[@@RANK][#NTH|*EVERY|%%PROB][:ACTION]@.\
     \      (actions: fail abort hang), plus optional seed=N@.\
     \ e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@."
@@ -42,6 +51,7 @@ type opts = {
   jobs : int;
   json_out : string option;
   junit_out : string option;
+  trace_out : string option;
 }
 
 let default_opts =
@@ -55,6 +65,7 @@ let default_opts =
     jobs = 1;
     json_out = None;
     junit_out = None;
+    trace_out = None;
   }
 
 (* Strict parsing: every option that takes a value must get one, and
@@ -93,6 +104,9 @@ let parse_args argv =
     | "--junit" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
         go { acc with junit_out = Some v } rest
     | [ "--junit" ] | "--junit" :: _ -> die "--junit requires a file name"
+    | "--trace" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with trace_out = Some v } rest
+    | [ "--trace" ] | "--trace" :: _ -> die "--trace requires a file name"
     | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
   in
   go default_opts argv
@@ -125,6 +139,16 @@ let () =
     if o.deferred then Cudasim.Device.Deferred else Cudasim.Device.Eager
   in
   let jobs = if o.jobs = 0 then Pool.default_workers () else o.jobs in
+  (* The recorder is domain-local: tracing a sharded run would only see
+     the coordinating domain. Trace runs are sequential. *)
+  let jobs =
+    if o.trace_out <> None && jobs > 1 then begin
+      Fmt.epr "cutests: --trace forces -j 1 (recorder is domain-local)@.";
+      1
+    end
+    else jobs
+  in
+  if o.trace_out <> None then Trace.Recorder.enable ();
   let contains ~sub name =
     let nl = String.length name and sl = String.length sub in
     let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
@@ -166,7 +190,12 @@ let () =
         Fmt.pr "    reproduce: %s@." (repro v);
         List.iter
           (fun (rank, why) -> Fmt.pr "    rank %d failed: %s@." rank why)
-          v.Testsuite.Runner.failures
+          v.Testsuite.Runner.failures;
+        List.iter
+          (fun (context, lines) ->
+            Fmt.pr "    recent events (%s):@." context;
+            List.iter (fun l -> Fmt.pr "      %s@." l) lines)
+          v.Testsuite.Runner.history
       end;
       if o.verbose && not v.Testsuite.Runner.pass then
         List.iter
@@ -198,5 +227,13 @@ let () =
   | Some path ->
       Testsuite.Emit.write_file path (Testsuite.Emit.junit verdicts);
       Fmt.pr "wrote %s@." path);
+  (match o.trace_out with
+  | None -> ()
+  | Some path ->
+      let events = Trace.Recorder.events () in
+      Trace.Chrome.write_file path events;
+      (* stderr: the @fault gate diffs traced against untraced stdout. *)
+      Fmt.epr "trace: wrote %s (%d events, %d dropped)@." path
+        (List.length events) (Trace.Recorder.dropped ()));
   Fmt.pr "@.%d of %d testsuite cases classified correctly@." pass total;
   if pass <> total then exit 1

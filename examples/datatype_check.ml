@@ -5,6 +5,8 @@
 
      dune exec examples/datatype_check.exe *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 module Mem = Cudasim.Memory
 module Mpi = Mpisim.Mpi
 module R = Harness.Run

@@ -9,6 +9,8 @@
 
      dune exec examples/hybrid_threads.exe *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 module Dev = Cudasim.Device
 module Mem = Cudasim.Memory
 module R = Harness.Run

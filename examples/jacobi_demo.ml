@@ -5,6 +5,8 @@
      dune exec examples/jacobi_demo.exe -- --flavor must-cusan --racy
      dune exec examples/jacobi_demo.exe -- --nx 128 --ny 128 --iters 200 *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 let () =
   let nx = ref 64
   and ny = ref 64

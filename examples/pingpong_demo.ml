@@ -5,6 +5,8 @@
 
      dune exec examples/pingpong_demo.exe *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 module R = Harness.Run
 
 let () =

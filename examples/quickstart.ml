@@ -16,6 +16,8 @@
 
      dune exec examples/quickstart.exe *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 module Dev = Cudasim.Device
 module Mem = Cudasim.Memory
 module Mpi = Mpisim.Mpi

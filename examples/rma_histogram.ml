@@ -9,6 +9,8 @@
 
      dune exec examples/rma_histogram.exe *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 module R = Harness.Run
 module Mpi = Mpisim.Mpi
 module A = Memsim.Access

@@ -5,6 +5,8 @@
      dune exec examples/tealeaf_demo.exe -- --race cuda-to-mpi
      dune exec examples/tealeaf_demo.exe -- --race mpi-to-cuda *)
 
+let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
+
 let () =
   let nx = ref 64
   and ny = ref 64

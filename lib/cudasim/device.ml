@@ -143,7 +143,51 @@ let create ?(mode = Eager) ?(default_stream_mode = Legacy) () =
   }
 
 let add_hook t f = t.hooks <- f :: t.hooks
-let fire t phase ev = List.iter (fun f -> f phase ev) t.hooks
+
+(* Flight-recorder rendering of an API event: CUDA call name plus the
+   arguments worth seeing in a trace. *)
+let trace_label = function
+  | Stream_create s -> ("cudaStreamCreate", [ ("sid", string_of_int s.sid) ])
+  | Stream_destroy s -> ("cudaStreamDestroy", [ ("sid", string_of_int s.sid) ])
+  | Kernel_launch { kernel; grid; stream; _ } ->
+      ( "cudaLaunchKernel",
+        [
+          ("kernel", kernel.Kernel.kname);
+          ("grid", string_of_int grid);
+          ("sid", string_of_int stream.sid);
+        ] )
+  | Memcpy { bytes; async; stream; _ } ->
+      ( (if async then "cudaMemcpyAsync" else "cudaMemcpy"),
+        [ ("bytes", string_of_int bytes); ("sid", string_of_int stream.sid) ] )
+  | Memset { bytes; async; stream; _ } ->
+      ( (if async then "cudaMemsetAsync" else "cudaMemset"),
+        [ ("bytes", string_of_int bytes); ("sid", string_of_int stream.sid) ] )
+  | Device_sync -> ("cudaDeviceSynchronize", [])
+  | Stream_sync s -> ("cudaStreamSynchronize", [ ("sid", string_of_int s.sid) ])
+  | Stream_query (s, _) -> ("cudaStreamQuery", [ ("sid", string_of_int s.sid) ])
+  | Event_record { event; stream } ->
+      ( "cudaEventRecord",
+        [ ("eid", string_of_int event.eid); ("sid", string_of_int stream.sid) ]
+      )
+  | Event_sync e -> ("cudaEventSynchronize", [ ("eid", string_of_int e.eid) ])
+  | Event_query (e, _) -> ("cudaEventQuery", [ ("eid", string_of_int e.eid) ])
+  | Stream_wait_event { stream; event } ->
+      ( "cudaStreamWaitEvent",
+        [ ("sid", string_of_int stream.sid); ("eid", string_of_int event.eid) ]
+      )
+  | Malloc { bytes; space; _ } ->
+      ( "cudaMalloc",
+        [ ("bytes", string_of_int bytes); ("space", Memsim.Space.to_string space) ] )
+  | Free { async; _ } -> ((if async then "cudaFreeAsync" else "cudaFree"), [])
+  | Host_func { stream; label } ->
+      ( "cudaLaunchHostFunc",
+        [ ("label", label); ("sid", string_of_int stream.sid) ] )
+
+let fire t phase ev =
+  (if phase = Pre && Trace.Recorder.on () then
+     let name, args = trace_label ev in
+     Trace.Recorder.instant ~cat:"cuda" ~args name);
+  List.iter (fun f -> f phase ev) t.hooks
 
 (* --- error state ------------------------------------------------------- *)
 
@@ -267,11 +311,23 @@ let enqueue t ?(extra_deps = []) ?(cost = 0.) stream label action =
       action =
         (fun () ->
           t.ops_executed <- t.ops_executed + 1;
+          let traced = Trace.Recorder.on () in
+          let ts0 = if traced then Trace.Recorder.now_us () else 0. in
           let t0 = Unix.gettimeofday () in
           action ();
           t.exec_wall_s <- t.exec_wall_s +. (Unix.gettimeofday () -. t0);
           t.virtual_s <- t.virtual_s +. cost;
-          op.finished_at <- t.virtual_s);
+          op.finished_at <- t.virtual_s;
+          if traced then begin
+            (* Device ops become Complete slices whose duration is the
+               modelled device time, so the trace shows the cost model's
+               view of the GPU timeline. *)
+            Trace.Recorder.add_vt cost;
+            Trace.Recorder.complete ~cat:"cuda.op" ~start_us:ts0
+              ~dur_us:(cost *. 1e6)
+              ~args:[ ("sid", string_of_int stream.sid) ]
+              label
+          end);
     }
   in
   t.next_oid <- t.next_oid + 1;

@@ -98,6 +98,15 @@ let device_op t (s : D.stream) ~label ~(ranges : range list) ~host_syncs =
   let f = fiber_of t s in
   let legacy = D.default_mode t.dev = D.Legacy in
   T.switch_to_fiber_sync t.tsan f;
+  (if Trace.Recorder.on () then
+     let bytes = List.fold_left (fun a r -> a + r.bytes) 0 ranges in
+     Trace.Recorder.instant ~cat:"cusan"
+       ~args:
+         [
+           ("ranges", string_of_int (List.length ranges));
+           ("bytes", string_of_int bytes);
+         ]
+       ("annotate:" ^ label));
   (if legacy then
      if s.D.is_default then
        List.iter
@@ -200,6 +209,12 @@ let kernel_ranges t (k : K.t) (args : Kir.Interp.value array) ~grid =
 let sync_all_streams t =
   Hashtbl.iter (fun sid _ -> T.happens_after t.tsan (stream_key sid)) t.fibers
 
+(* Trace a sync-matrix decision: this call was modelled as host
+   synchronization against [what] (paper, Table I). *)
+let sync_probe call what =
+  if Trace.Recorder.on () then
+    Trace.Recorder.instant ~cat:"cusan.sync" ~args:[ ("syncs", what) ] call
+
 let on_event t phase (ev : D.api_event) =
   match (phase, ev) with
   | D.Pre, D.Stream_create s -> ignore (fiber_of t s)
@@ -230,12 +245,15 @@ let on_event t phase (ev : D.api_event) =
         ~host_syncs:modeled_sync
   | D.Post, D.Stream_sync s ->
       t.counters.Counters.syncs <- t.counters.Counters.syncs + 1;
+      sync_probe "cudaStreamSynchronize" (Fmt.str "stream#%d" s.D.sid);
       T.happens_after t.tsan (stream_key s.D.sid)
   | D.Post, D.Device_sync ->
       t.counters.Counters.syncs <- t.counters.Counters.syncs + 1;
+      sync_probe "cudaDeviceSynchronize" "all-streams";
       sync_all_streams t
   | D.Post, D.Event_sync e ->
       t.counters.Counters.syncs <- t.counters.Counters.syncs + 1;
+      sync_probe "cudaEventSynchronize" (Fmt.str "event#%d" e.D.eid);
       T.happens_after t.tsan (event_key e.D.eid)
   | D.Pre, D.Event_record { event; stream } ->
       let caller = T.current_fiber t.tsan in
@@ -255,12 +273,15 @@ let on_event t phase (ev : D.api_event) =
       T.switch_to_fiber t.tsan caller
   | D.Post, D.Stream_query (s, true) ->
       t.counters.Counters.syncs <- t.counters.Counters.syncs + 1;
+      sync_probe "cudaStreamQuery=ready" (Fmt.str "stream#%d" s.D.sid);
       T.happens_after t.tsan (stream_key s.D.sid)
   | D.Post, D.Event_query (e, true) ->
       t.counters.Counters.syncs <- t.counters.Counters.syncs + 1;
+      sync_probe "cudaEventQuery=ready" (Fmt.str "event#%d" e.D.eid);
       T.happens_after t.tsan (event_key e.D.eid)
   | D.Post, D.Stream_destroy s ->
       (* Destroy completes outstanding work: host-synchronizing. *)
+      sync_probe "cudaStreamDestroy" (Fmt.str "stream#%d" s.D.sid);
       T.happens_after t.tsan (stream_key s.D.sid)
   | D.Pre, D.Host_func { stream; label } ->
       (* An ordering point on the stream: the callback runs after all

@@ -90,6 +90,15 @@ let probe ~site ?rank () =
             { d_site = site; d_rank = rank; d_occurrence = occurrence;
               d_action = action }
             :: a.log;
+          if Trace.Recorder.on () then
+            Trace.Recorder.instant ~cat:"fault"
+              ~args:
+                [
+                  ("action", Plan.action_to_string action);
+                  ("occurrence", string_of_int occurrence);
+                  ("rank", string_of_int rank);
+                ]
+              (Site.to_string site);
           Some action)
 
 (* An injected hang: block on a condition nothing ever signals. The

@@ -125,6 +125,9 @@ type result = {
   failures : (int * string) list; (* (rank, what killed it), rank order *)
   stall : Sched.Scheduler.stall option; (* watchdog diagnostic *)
   fault_log : Faultsim.Injector.decision list; (* injected-fault replay log *)
+  history : (string * string list) list;
+      (* flight-recorder context for blocked tasks on deadlock/stall;
+         [] unless a trace recorder was enabled during the run *)
 }
 
 let has_races r = r.races <> []
@@ -175,6 +178,9 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
   (match faults with
   | Some (seed, plan) -> Faultsim.Injector.arm ~seed ~plan ()
   | None -> Faultsim.Injector.disarm ());
+  (* New flight-recorder epoch per run: recent-history queries (race
+     reports, deadlock context) never see events of a previous case. *)
+  if Trace.Recorder.on () then Trace.Recorder.new_epoch ();
   Memsim.Hooks.clear ();
   Mpisim.Hooks.clear ();
   Memsim.Heap.reset ();
@@ -329,6 +335,23 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     | exception Sched.Scheduler.Stalled s -> (None, Some s)
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  (* Flight-recorder context for each blocked task of a deadlock or
+     watchdog stall: what that rank was doing right before it hung. *)
+  let history =
+    if not (Trace.Recorder.on ()) then []
+    else
+      let blocked =
+        (match deadlock with Some pairs -> pairs | None -> [])
+        @ match stall with Some s -> s.Sched.Scheduler.stall_blocked | None -> []
+      in
+      List.map
+        (fun (task, why) ->
+          ( Fmt.str "%s (blocked on %s)" task why,
+            Trace.Recorder.recent_lines
+              ~pid:(Trace.Recorder.pid_of_task task)
+              ~k:8 () ))
+        blocked
+  in
   let fault_log = Faultsim.Injector.log () in
   Faultsim.Injector.disarm ();
   Memsim.Hooks.clear ();
@@ -418,4 +441,5 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     failures = List.rev !failures;
     stall;
     fault_log;
+    history;
   }

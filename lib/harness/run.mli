@@ -56,6 +56,10 @@ type result = {
   fault_log : Faultsim.Injector.decision list;
       (** injected-fault replay log: with the arming [(seed, plan)], it
           reproduces the run exactly *)
+  history : (string * string list) list;
+      (** flight-recorder context for blocked tasks on deadlock/stall:
+          [(what-blocked, recent event lines)] per task; empty unless a
+          {!Trace.Recorder} was enabled during the run *)
 }
 
 val has_races : result -> bool

@@ -102,6 +102,41 @@ let call_name = function
   | Rma_get _ -> "MPI_Get"
   | Rma_accumulate _ -> "MPI_Accumulate"
 
+(* Flight-recorder rendering of a call's arguments: the peer, tag and
+   count fields a trace reader needs to follow a message. *)
+let call_args call =
+  let i = string_of_int in
+  let req_args (r : Request.t) =
+    [
+      ("req", i r.Request.rid);
+      ("peer", i r.Request.peer);
+      ("tag", i r.Request.tag);
+      ("count", i r.Request.count);
+    ]
+  in
+  match call with
+  | Init | Finalize | Barrier -> []
+  | Send { dst; tag; count; _ } | Ssend { dst; tag; count; _ } ->
+      [ ("dst", i dst); ("tag", i tag); ("count", i count) ]
+  | Recv { src; tag; count; _ } ->
+      [ ("src", i src); ("tag", i tag); ("count", i count) ]
+  | Isend { req } | Irecv { req } | Wait { req } -> req_args req
+  | Test { req; completed } ->
+      req_args req @ [ ("completed", string_of_bool completed) ]
+  | Waitall { reqs } -> [ ("reqs", i (List.length reqs)) ]
+  | Allreduce { count; _ } | Allgather { count; _ } -> [ ("count", i count) ]
+  | Bcast { count; root; _ }
+  | Reduce { count; root; _ }
+  | Gather { count; root; _ }
+  | Scatter { count; root; _ } ->
+      [ ("count", i count); ("root", i root) ]
+  | Win_create { bytes; _ } -> [ ("bytes", i bytes) ]
+  | Win_fence _ | Win_free _ -> []
+  | Rma_put { target; disp; count; _ }
+  | Rma_get { target; disp; count; _ }
+  | Rma_accumulate { target; disp; count; _ } ->
+      [ ("target", i target); ("disp", i disp); ("count", i count) ]
+
 (* Domain-local registry: each domain of a sharded runner attaches its
    own tools, so parallel runs never observe each other's hooks. *)
 type state = {
@@ -125,5 +160,14 @@ let clear () =
   st.any <- false
 
 let fire ~rank phase call =
+  (* Trace probe sits outside the [st.any] gate so vanilla (tool-less)
+     flavors still produce MPI spans. A span left open in the trace is a
+     call that never returned — exactly what a deadlock looks like. *)
+  (if Trace.Recorder.on () then
+     match phase with
+     | Pre ->
+         Trace.Recorder.begin_span ~cat:"mpi" ~args:(call_args call)
+           (call_name call)
+     | Post -> Trace.Recorder.end_span ~cat:"mpi" (call_name call));
   let st = Domain.DLS.get state in
   if st.any then List.iter (fun f -> f ~rank phase call) st.registered

@@ -103,6 +103,15 @@ let fiber_access t ~call ~(req : Mpisim.Request.t) ~kind =
     T.fiber_create t.tsan (Fmt.str "mpi:req%d" req.Mpisim.Request.rid)
   in
   T.switch_to_fiber_sync t.tsan f;
+  (if Trace.Recorder.on () then
+     Trace.Recorder.instant ~cat:"must"
+       ~args:
+         [
+           ("req", string_of_int req.Mpisim.Request.rid);
+           ("bytes", string_of_int (Mpisim.Request.bytes req));
+           ("kind", match kind with `Read -> "read" | `Write -> "write");
+         ]
+       ("annotate:" ^ call));
   T.with_context t.tsan call (fun () ->
       let addr = Memsim.Ptr.addr req.Mpisim.Request.buf in
       let len = Mpisim.Request.bytes req in
@@ -118,6 +127,10 @@ let complete t (req : Mpisim.Request.t) =
 (* --- the interception handler ------------------------------------------ *)
 
 let on_call t phase (call : H.call) =
+  (if phase = H.Pre && Trace.Recorder.on () then
+     Trace.Recorder.instant ~cat:"must"
+       ~args:[ ("rank", string_of_int t.rank) ]
+       ("intercept:" ^ H.call_name call));
   match (phase, call) with
   | H.Pre, H.Send { buf; count; dt; _ } ->
       t.mpi_calls <- t.mpi_calls + 1;

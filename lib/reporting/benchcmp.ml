@@ -16,10 +16,13 @@ type outcome =
 (* Extract comparable overhead cells from a bench JSON document.
    Recognized shapes (fields produced by bench/main.exe --json):
    - fig10: [{app, flavor, rel, ...}]   -> "fig10/<app>/<flavor>"
+   - fig11: [{app, flavor, rel, ...}]   -> "fig11/<app>/<flavor>"
    - fig12: [{nx, ny, rel, ...}]        -> "fig12/<nx>x<ny>"        *)
 let cells_of_json (j : Mjson.t) : cell list =
-  let fig10 =
-    match Mjson.(member "fig10" j |> Option.map to_list) with
+  (* fig10 (runtime overhead) and fig11 (memory overhead) rows share a
+     shape: {app, flavor, rel}. *)
+  let app_flavor_cells fig =
+    match Mjson.(member fig j |> Option.map to_list) with
     | Some (Some rows) ->
         List.filter_map
           (fun row ->
@@ -29,11 +32,14 @@ let cells_of_json (j : Mjson.t) : cell list =
                 Mjson.(member "rel" row |> Option.map to_float) )
             with
             | Some (Some app), Some (Some flavor), Some (Some rel) ->
-                Some { key = Printf.sprintf "fig10/%s/%s" app flavor; value = rel }
+                Some
+                  { key = Printf.sprintf "%s/%s/%s" fig app flavor; value = rel }
             | _ -> None)
           rows
     | _ -> []
   in
+  let fig10 = app_flavor_cells "fig10" in
+  let fig11 = app_flavor_cells "fig11" in
   let fig12 =
     match Mjson.(member "fig12" j |> Option.map to_list) with
     | Some (Some rows) ->
@@ -50,7 +56,7 @@ let cells_of_json (j : Mjson.t) : cell list =
           rows
     | _ -> []
   in
-  fig10 @ fig12
+  fig10 @ fig11 @ fig12
 
 (* Compare a run against a baseline. A cell regresses when its ratio
    grew by more than [threshold_pct] percent over the baseline value;

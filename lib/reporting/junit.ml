@@ -35,20 +35,20 @@ let to_string ~suite_name cases =
   Buffer.add_string b "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
   Buffer.add_string b
     (Printf.sprintf
-       "<testsuite name=%S tests=\"%d\" failures=\"%d\" errors=\"0\" \
+       "<testsuite name=\"%s\" tests=\"%d\" failures=\"%d\" errors=\"0\" \
         skipped=\"0\" time=\"%.6f\">\n"
        (xml_escape suite_name) (List.length cases) failures total_time);
   List.iter
     (fun c ->
       Buffer.add_string b
-        (Printf.sprintf "  <testcase classname=%S name=%S time=\"%.6f\""
+        (Printf.sprintf "  <testcase classname=\"%s\" name=\"%s\" time=\"%.6f\""
            (xml_escape c.classname) (xml_escape c.name) c.time_s);
       match c.failure with
       | None -> Buffer.add_string b "/>\n"
       | Some (msg, body) ->
           Buffer.add_string b ">\n";
           Buffer.add_string b
-            (Printf.sprintf "    <failure message=%S>%s</failure>\n"
+            (Printf.sprintf "    <failure message=\"%s\">%s</failure>\n"
                (xml_escape msg) (xml_escape body));
           Buffer.add_string b "  </testcase>\n")
     cases;

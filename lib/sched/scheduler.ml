@@ -99,7 +99,15 @@ let get () =
 let cond name = { cond_name = name; waiters = [] }
 
 let yield () = Effect.perform Yield
-let wait ?reason c = Effect.perform (Wait (c, reason))
+
+let wait ?reason c =
+  if Trace.Recorder.on () then
+    Trace.Recorder.instant ~cat:"sched"
+      ~args:
+        (("cond", c.cond_name)
+         :: (match reason with Some r -> [ ("reason", r) ] | None -> []))
+      "wait";
+  Effect.perform (Wait (c, reason))
 
 let current_task () =
   match (get ()).current with Some t -> t | None -> raise Not_in_scheduler
@@ -207,6 +215,10 @@ let run ?watchdog tasks =
         let task, thunk = Queue.pop s.runq in
         s.current <- Some task;
         s.steps <- s.steps + 1;
+        (* The trace probe runs before the resume hooks, so a hook that
+           retargets the race detector (and with it the trace track)
+           overrides the task-level attribution set here. *)
+        if Trace.Recorder.on () then Trace.Recorder.task_resume ~task:task.t_name;
         List.iter (fun f -> f task.t_name task.t_id) (Domain.DLS.get resume_hooks);
         thunk ();
         s.current <- None

@@ -41,6 +41,16 @@ let json_of_verdict (v : Runner.verdict) : Reporting.Mjson.t =
             (fun (rank, r) ->
               Obj [ ("rank", Int rank); ("report", Str (Tsan.Report.to_string r)) ])
             v.Runner.reports));
+      ("history",
+       List
+         (List.map
+            (fun (context, lines) ->
+              Obj
+                [
+                  ("context", Str context);
+                  ("events", List (List.map (fun l -> Str l) lines));
+                ])
+            v.Runner.history));
     ]
 
 let json ?seed ?faults_spec ~mode ~j (verdicts : Runner.verdict list) :
@@ -78,7 +88,12 @@ let junit (verdicts : Runner.verdict list) : string =
                 @ List.map
                     (fun (rank, r) ->
                       Fmt.str "rank %d: %s" rank (Tsan.Report.to_string r))
-                    v.Runner.reports)
+                    v.Runner.reports
+                @ List.concat_map
+                    (fun (context, lines) ->
+                      Fmt.str "recent events (%s):" context
+                      :: List.map (fun l -> "  " ^ l) lines)
+                    v.Runner.history)
             in
             Some (classification v, body)
         in

@@ -26,6 +26,8 @@ type verdict = {
   failures : (int * string) list; (* captured per-rank failures *)
   fault_log : Faultsim.Injector.decision list; (* replay lines *)
   wall_s : float; (* wall time of this case's simulation *)
+  history : (string * string list) list;
+      (* flight-recorder context for blocked tasks (deadlock/stall) *)
 }
 
 let fault_watchdog = 100_000
@@ -60,6 +62,7 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
     failures = res.Harness.Run.failures;
     fault_log = res.Harness.Run.fault_log;
     wall_s = res.Harness.Run.wall_s;
+    history = res.Harness.Run.history;
   }
 
 let run_all ?mode ?annotation ?faults () =

@@ -1,0 +1,95 @@
+(* Chrome trace-event export ("JSON object format"), the interchange
+   chrome://tracing and Perfetto read. One process per MPI rank, one
+   thread per track (scheduler task or detector fiber). The rank's
+   virtual device time and the raw epoch travel in each event's args;
+   Complete ("X") events use their cost-model duration, so modelled
+   GPU time is visible on the timeline.
+
+   Built on Reporting.Mjson — the artifact stays dependency-free and
+   parses back with the same module (spot-checked in test/). *)
+
+module J = Reporting.Mjson
+
+let process_name pid =
+  if pid < 0 then "outside-ranks" else Printf.sprintf "rank %d" pid
+
+let json (events : Event.t list) : J.t =
+  (* Intern (pid, track) -> tid, in first-appearance order per rank. *)
+  let tids = Hashtbl.create 16 in
+  let next = Hashtbl.create 16 in
+  let tid_of pid track =
+    match Hashtbl.find_opt tids (pid, track) with
+    | Some i -> i
+    | None ->
+        let i = try Hashtbl.find next pid with Not_found -> 0 in
+        Hashtbl.replace next pid (i + 1);
+        Hashtbl.replace tids (pid, track) i;
+        i
+  in
+  let ev_json (e : Event.t) =
+    let ph, extra =
+      match e.Event.phase with
+      | Event.Begin -> ("B", [])
+      | Event.End -> ("E", [])
+      | Event.Instant -> ("i", [ ("s", J.Str "t") ])
+      | Event.Complete dur -> ("X", [ ("dur", J.Float dur) ])
+    in
+    J.Obj
+      ([
+         ("name", J.Str e.Event.name);
+         ("cat", J.Str e.Event.cat);
+         ("ph", J.Str ph);
+         ("ts", J.Float e.Event.ts_us);
+         ("pid", J.Int e.Event.pid);
+         ("tid", J.Int (tid_of e.Event.pid e.Event.track));
+       ]
+      @ extra
+      @ [
+          ( "args",
+            J.Obj
+              (("vt_us", J.Float e.Event.vt_us)
+               :: ("epoch", J.Int e.Event.epoch)
+               :: List.map (fun (k, v) -> (k, J.Str v)) e.Event.args) );
+        ])
+  in
+  let body = List.map ev_json events in
+  (* Metadata names the processes and threads; sorted for a
+     deterministic artifact. *)
+  let threads =
+    Hashtbl.fold (fun (pid, track) tid acc -> (pid, tid, track) :: acc) tids []
+    |> List.sort compare
+  in
+  let pids = List.sort_uniq compare (List.map (fun (p, _, _) -> p) threads) in
+  let meta =
+    List.map
+      (fun pid ->
+        J.Obj
+          [
+            ("name", J.Str "process_name");
+            ("ph", J.Str "M");
+            ("pid", J.Int pid);
+            ("args", J.Obj [ ("name", J.Str (process_name pid)) ]);
+          ])
+      pids
+    @ List.map
+        (fun (pid, tid, track) ->
+          J.Obj
+            [
+              ("name", J.Str "thread_name");
+              ("ph", J.Str "M");
+              ("pid", J.Int pid);
+              ("tid", J.Int tid);
+              ("args", J.Obj [ ("name", J.Str track) ]);
+            ])
+        threads
+  in
+  J.Obj
+    [ ("traceEvents", J.List (meta @ body)); ("displayTimeUnit", J.Str "ms") ]
+
+let to_string events = J.to_string_pretty (json events)
+
+let write_file path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))

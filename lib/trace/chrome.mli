@@ -1,0 +1,10 @@
+(** Chrome trace-event JSON export (Perfetto / chrome://tracing). *)
+
+val json : Event.t list -> Reporting.Mjson.t
+(** The "JSON object format" document: a [traceEvents] array of B/E/i/X
+    events plus process_name / thread_name metadata — one process per
+    MPI rank, one thread per track. *)
+
+val to_string : Event.t list -> string
+
+val write_file : string -> Event.t list -> unit

@@ -1,0 +1,25 @@
+(* Minimal --trace plumbing for binaries that do not parse arguments
+   themselves (the examples): scan argv, enable the recorder, and write
+   the Chrome JSON at exit. CLIs with strict option parsing (cutests,
+   bench) integrate --trace into their own parsers instead. *)
+
+let find_trace_arg argv =
+  let n = Array.length argv in
+  let rec go i =
+    if i >= n then None
+    else if argv.(i) = "--trace" && i + 1 < n then Some argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let setup ?(argv = Sys.argv) () =
+  match find_trace_arg argv with
+  | None -> ()
+  | Some path ->
+      Recorder.enable ();
+      at_exit (fun () ->
+          Chrome.write_file path (Recorder.events ());
+          (* stderr: never perturbs an output a gate might diff *)
+          Printf.eprintf "trace: wrote %s (%d events, %d dropped)\n%!" path
+            (List.length (Recorder.events ()))
+            (Recorder.dropped ()))

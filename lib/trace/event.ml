@@ -1,0 +1,44 @@
+(* A single flight-recorder entry. Events carry two timestamps: wall
+   clock (microseconds since the recorder was enabled) and the rank's
+   virtual device time (accumulated cost-model charges), so a timeline
+   shows both host progress and modelled GPU progress side by side. *)
+
+type phase =
+  | Begin (* span opens (Chrome "B") *)
+  | End (* span closes (Chrome "E") *)
+  | Instant (* point event (Chrome "i") *)
+  | Complete of float (* self-contained span; duration in µs (Chrome "X") *)
+
+type t = {
+  seq : int; (* global emission order: stable merge key *)
+  epoch : int; (* harness run this event belongs to *)
+  ts_us : float; (* wall clock, µs since enable *)
+  vt_us : float; (* the rank's virtual device time, µs *)
+  pid : int; (* MPI rank; -1 outside rank tasks *)
+  track : string; (* scheduler task or detector fiber *)
+  phase : phase;
+  cat : string; (* probe family: sched, cuda, mpi, cusan, must, fault *)
+  name : string;
+  args : (string * string) list;
+}
+
+let phase_marker = function
+  | Begin -> " begin"
+  | End -> " end"
+  | Instant -> ""
+  | Complete d -> Printf.sprintf " (%.1fus)" d
+
+let pp_args ppf = function
+  | [] -> ()
+  | args ->
+      Fmt.pf ppf " {%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) ->
+             Fmt.pf ppf "%s=%s" k v))
+        args
+
+(* One-line rendering, used when reports embed recent history. *)
+let pp_line ppf e =
+  Fmt.pf ppf "[%10.1fus vt %8.1fus] %s/%s%s%a" e.ts_us e.vt_us e.cat e.name
+    (phase_marker e.phase) pp_args e.args
+
+let to_line e = Fmt.str "%a" pp_line e

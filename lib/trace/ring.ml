@@ -1,0 +1,34 @@
+(* Fixed-capacity overwriting ring buffer: the recorder keeps the last
+   [capacity] entries per rank and silently drops the oldest — a flight
+   recorder, not an unbounded trace. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable next : int; (* slot the next add writes *)
+  mutable total : int; (* adds ever, including overwritten ones *)
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+let total t = t.total
+let dropped t = max 0 (t.total - Array.length t.buf)
+
+let add t x =
+  t.buf.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+(* Oldest first. When the ring is full the oldest entry sits at [next];
+   before that, unwritten slots are [None] and are skipped. *)
+let to_list t =
+  let n = Array.length t.buf in
+  let out = ref [] in
+  for k = n - 1 downto 0 do
+    match t.buf.((t.next + k) mod n) with
+    | Some x -> out := x :: !out
+    | None -> ()
+  done;
+  !out

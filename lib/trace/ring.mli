@@ -1,0 +1,20 @@
+(** Fixed-capacity overwriting ring buffer. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — raises [Invalid_argument] unless positive. *)
+
+val capacity : 'a t -> int
+
+val total : 'a t -> int
+(** Entries ever added, including overwritten ones. *)
+
+val dropped : 'a t -> int
+(** Entries lost to overwriting so far. *)
+
+val add : 'a t -> 'a -> unit
+(** Append, overwriting the oldest entry when full. *)
+
+val to_list : 'a t -> 'a list
+(** Retained entries, oldest first. *)

@@ -111,12 +111,15 @@ let current_fiber t = t.cur
 let switch_to_fiber t f =
   (* A fiber switch is not a synchronization (paper, Section II-A). *)
   t.counters.Counters.fiber_switches <- t.counters.Counters.fiber_switches + 1;
+  if Trace.Recorder.on () then Trace.Recorder.set_track f.name;
   t.cur <- f
 
 (* Retarget the detector to a different fiber without recording a fiber
    switch or synchronization: used when the *scheduler* moves between
    host threads — a context the application did not create. *)
-let activate_fiber t f = t.cur <- f
+let activate_fiber t f =
+  if Trace.Recorder.on () then Trace.Recorder.set_track f.name;
+  t.cur <- f
 
 (* Fiber switch that also orders everything the current fiber did so far
    before the target fiber's subsequent work (release from the source,
@@ -125,6 +128,7 @@ let activate_fiber t f = t.cur <- f
    request happens after the host code preceding it. *)
 let switch_to_fiber_sync t f =
   t.counters.Counters.fiber_switches <- t.counters.Counters.fiber_switches + 1;
+  if Trace.Recorder.on () then Trace.Recorder.set_track f.name;
   let src = t.cur in
   Vclock.join f.vc src.vc;
   Vclock.incr src.vc src.tid;
@@ -171,6 +175,26 @@ let happens_after t key =
 
 (* --- race reporting -------------------------------------------------- *)
 
+(* Last-K flight-recorder events to embed per fiber in a report. *)
+let history_k = 8
+
+(* Recent history for the fibers of a race: the flight recorder's last
+   K events on that fiber's track, falling back to the rank's recent
+   events when the fiber recorded none of its own — the report then
+   still shows what the rank was doing around the access. *)
+let fiber_history fibers =
+  if not (Trace.Recorder.on ()) then []
+  else
+    let pid = Trace.Recorder.current_pid () in
+    List.map
+      (fun name ->
+        match Trace.Recorder.recent_lines ~track:name ~pid ~k:history_k () with
+        | [] ->
+            ( Fmt.str "rank context; fiber '%s' recorded no events" name,
+              Trace.Recorder.recent_lines ~pid ~k:history_k () )
+        | lines -> (Fmt.str "fiber '%s'" name, lines))
+      fibers
+
 let report t ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
     ~prev_origin ~(prev_kind : [ `Read | `Write ]) =
   t.races_total <- t.races_total + 1;
@@ -188,6 +212,10 @@ let report t ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
       previous =
         { Report.fiber = prev_fiber; kind = prev_kind; origin = origin_name t prev_origin };
       location = Report.symbolize addr;
+      history =
+        fiber_history
+          (if prev_fiber = t.cur.name then [ t.cur.name ]
+           else [ t.cur.name; prev_fiber ]);
     }
   in
   let key = Report.dedup_key r in

@@ -15,6 +15,9 @@ type t = {
   current : access;
   previous : access;
   location : string option; (* symbolized allocation, e.g. "d_anew+256" *)
+  history : (string * string list) list;
+      (* recent flight-recorder events per involved fiber; [] unless a
+         trace recorder was enabled when the race was detected *)
 }
 
 let kind_str = function `Read -> "read" | `Write -> "write"
@@ -38,9 +41,14 @@ let pp ppf t =
     t.bytes t.current.fiber t.current.origin
     (kind_str t.previous.kind)
     t.previous.fiber t.previous.origin;
-  match t.location with
+  (match t.location with
   | Some loc -> Fmt.pf ppf "@,  location: %s" loc
-  | None -> ()
+  | None -> ());
+  List.iter
+    (fun (fiber, lines) ->
+      Fmt.pf ppf "@,  recent events (%s):" fiber;
+      List.iter (fun l -> Fmt.pf ppf "@,    %s" l) lines)
+    t.history
 
 let to_string t = Fmt.str "@[<v>%a@]" pp t
 

@@ -19,6 +19,10 @@ type t = {
   location : string option;
       (** symbolized allocation (e.g. ["d_anew+256"]), TSan's "Location
           is heap block" line *)
+  history : (string * string list) list;
+      (** recent flight-recorder events per involved fiber, rendered as
+          one-line strings; empty unless a {!Trace.Recorder} was enabled
+          when the race was detected *)
 }
 
 val kind_str : [ `Read | `Write ] -> string

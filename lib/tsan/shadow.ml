@@ -14,6 +14,7 @@ type region = {
   base : int;
   size : int;
   granule : int;
+  wild : bool; (* mapped on demand for an unshadowed access, not an alloc *)
   w_epoch : int array;
   r_epoch : int array; (* -1 = promoted; look in [read_vcs] *)
   w_origin : int array;
@@ -32,8 +33,11 @@ type region = {
 let cell_bytes = 4 * 8 (* four word arrays per cell *)
 let cells_per_page = 4096 / cell_bytes
 
+(* A slot (one 2^36-aligned window of the address space) usually holds
+   exactly one region — the allocation placed at its base. Wild regions
+   mapped for unshadowed accesses share the slot's list with it. *)
 type t = {
-  regions : (int, region) Hashtbl.t;
+  regions : (int, region list) Hashtbl.t;
   granule : int;
   mutable bytes : int; (* materialized shadow bytes *)
   mutable bytes_peak : int;
@@ -47,7 +51,7 @@ let create ?(granule = 8) () =
 
 let cells_of region = Array.length region.w_epoch
 
-let map t ~base ~size =
+let map ?(wild = false) t ~base ~size =
   let n = max 1 ((size + t.granule - 1) / t.granule) in
   let pages = ((n + cells_per_page - 1) / cells_per_page) + 1 in
   let region =
@@ -55,6 +59,7 @@ let map t ~base ~size =
       base;
       size;
       granule = t.granule;
+      wild;
       w_epoch = Array.make n Epoch.none;
       r_epoch = Array.make n Epoch.none;
       w_origin = Array.make n 0;
@@ -64,7 +69,18 @@ let map t ~base ~size =
       touched_bytes = 0;
     }
   in
-  Hashtbl.replace t.regions (base lsr slot_shift) region;
+  let slot = base lsr slot_shift in
+  let others =
+    match Hashtbl.find_opt t.regions slot with
+    | None -> []
+    | Some rs ->
+        (* Remapping an existing base (allocator reuse) replaces it. *)
+        List.iter
+          (fun r -> if r.base = base then t.bytes <- t.bytes - r.touched_bytes)
+          rs;
+        List.filter (fun r -> r.base <> base) rs
+  in
+  Hashtbl.replace t.regions slot (region :: others);
   region
 
 (* Mark the shadow pages backing cells [lo..hi] as materialized. *)
@@ -82,20 +98,41 @@ let touch_range t region ~lo ~hi =
   done
 
 let unmap t ~base =
-  match Hashtbl.find_opt t.regions (base lsr slot_shift) with
+  let slot = base lsr slot_shift in
+  match Hashtbl.find_opt t.regions slot with
   | None -> ()
-  | Some r ->
-      t.bytes <- t.bytes - r.touched_bytes;
-      Hashtbl.remove t.regions (base lsr slot_shift)
+  | Some rs -> (
+      List.iter
+        (fun r -> if r.base = base then t.bytes <- t.bytes - r.touched_bytes)
+        rs;
+      match List.filter (fun r -> r.base <> base) rs with
+      | [] -> Hashtbl.remove t.regions slot
+      | rs' -> Hashtbl.replace t.regions slot rs')
 
-let find t addr = Hashtbl.find_opt t.regions (addr lsr slot_shift)
+(* The extent a region answers for. Allocation regions also field
+   accesses past their end (clamped to the last cell by [cell_range]) —
+   overflowing accesses still collide with the allocation, as they
+   would on real shadow. Wild single-granule regions answer only for
+   their own granule, so distinct unshadowed addresses never alias. *)
+let covers r addr =
+  if r.wild then addr >= r.base && addr < r.base + max r.size r.granule
+  else addr >= r.base
 
-(* Find the region for [addr], mapping a fresh single-cell region for
-   addresses TSan never saw allocated (real TSan shadows everything). *)
+let find t addr =
+  match Hashtbl.find_opt t.regions (addr lsr slot_shift) with
+  | None -> None
+  | Some rs -> List.find_opt (fun r -> covers r addr) rs
+
+(* Find the region for [addr], mapping a fresh granule-aligned region
+   at the access address for addresses TSan never saw allocated (real
+   TSan shadows everything). Basing the wild region at the address —
+   not at the 2^36 slot base — keeps unrelated unshadowed addresses in
+   distinct cells instead of conflating them all into cell 0 of one
+   slot-based region. *)
 let find_or_map t addr =
   match find t addr with
   | Some r -> r
-  | None -> map t ~base:(addr land lnot ((1 lsl slot_shift) - 1)) ~size:t.granule
+  | None -> map ~wild:true t ~base:(addr - (addr mod t.granule)) ~size:t.granule
 
 (* Cell index range covering [addr, addr+len). *)
 let cell_range region ~addr ~len =

@@ -19,6 +19,10 @@ type region = {
   base : int;
   size : int;
   granule : int;  (** bytes covered by one cell *)
+  wild : bool;
+      (** mapped on demand for an access TSan never saw allocated; such
+          a region answers only for its own granule, so distinct
+          unshadowed addresses never alias *)
   w_epoch : int array;  (** last write epoch per cell *)
   r_epoch : int array;  (** last read epoch; {!promoted} = see [read_vcs] *)
   w_origin : int array;  (** interned origin of the last write *)
@@ -46,8 +50,9 @@ val create : ?granule:int -> unit -> t
 
 val cells_of : region -> int
 
-val map : t -> base:int -> size:int -> region
-(** Reserve shadow for an allocation (no memory is accounted yet). *)
+val map : ?wild:bool -> t -> base:int -> size:int -> region
+(** Reserve shadow for an allocation (no memory is accounted yet).
+    [wild] marks an on-demand region for an unshadowed access. *)
 
 val touch_range : t -> region -> lo:int -> hi:int -> unit
 (** Materialize the shadow pages backing cells [lo..hi]. *)
@@ -58,8 +63,9 @@ val unmap : t -> base:int -> unit
 val find : t -> int -> region option
 
 val find_or_map : t -> int -> region
-(** The region holding an address, mapping a fresh one for addresses
-    TSan never saw allocated (real TSan shadows everything). *)
+(** The region holding an address, mapping a fresh granule-aligned
+    region at the access address for addresses TSan never saw allocated
+    (real TSan shadows everything). *)
 
 val cell_range : region -> addr:int -> len:int -> int * int
 (** Cell index range covering [addr, addr+len), clamped to the region. *)

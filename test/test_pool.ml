@@ -200,6 +200,132 @@ let json_emitter () =
     (Some 2)
     (Option.bind (member "cases" doc) to_list |> Option.map List.length)
 
+(* A failing case's JUnit body carries every hostile byte a race report
+   or a fault log can contain (quotes, angle brackets, backslashes,
+   control characters). The emitter must keep the document well-formed —
+   regression: attribute values went through %S, which wrapped the
+   already-XML-escaped text in a second, OCaml-syntax escaping layer. *)
+
+(* Strict reverse of the emitter's xml_escape: a raw '<' or '"', or an
+   '&' that does not introduce a recognized entity, means the document
+   was not properly escaped. *)
+let xml_unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Some (Buffer.contents b)
+    else
+      match s.[i] with
+      | '<' | '"' -> None
+      | '&' -> (
+          match String.index_from_opt s i ';' with
+          | None -> None
+          | Some j -> (
+              let put c =
+                Buffer.add_char b c;
+                go (j + 1)
+              in
+              match String.sub s i (j - i + 1) with
+              | "&lt;" -> put '<'
+              | "&gt;" -> put '>'
+              | "&amp;" -> put '&'
+              | "&quot;" -> put '"'
+              | "&apos;" -> put '\''
+              | e -> (
+                  match Scanf.sscanf_opt e "&#%d;" Fun.id with
+                  | Some c when c >= 0 && c < 256 -> put (Char.chr c)
+                  | _ -> None)))
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0
+
+(* Slice out the text between [start] (after its first occurrence) and
+   the next occurrence of [stop]. *)
+let between ~start ~stop s =
+  let n = String.length s in
+  let find pat from =
+    let m = String.length pat in
+    let rec at i =
+      if i + m > n then None
+      else if String.sub s i m = pat then Some i
+      else at (i + 1)
+    in
+    at from
+  in
+  Option.bind (find start 0) (fun i ->
+      let b = i + String.length start in
+      Option.map
+        (fun e -> String.sub s b (e - b))
+        (find stop b))
+
+let hostile_gen =
+  QCheck.Gen.string_size ~gen:(QCheck.Gen.oneofl
+      [ '<'; '>'; '&'; '"'; '\''; '\\'; '\n'; '\t'; 'a'; 'B'; ' '; '\x01'; ';'; '#' ])
+    QCheck.Gen.(0 -- 30)
+
+let prop_junit_roundtrips_hostile =
+  QCheck.Test.make ~count:300 ~name:"junit escapes hostile strings once"
+    (QCheck.make ~print:(Printf.sprintf "%S") hostile_gen)
+    (fun s ->
+      let xml =
+        Reporting.Junit.to_string ~suite_name:"suite"
+          [
+            {
+              Reporting.Junit.classname = "C";
+              name = s;
+              time_s = 0.;
+              failure = Some (s, s);
+            };
+          ]
+      in
+      (* Scanning to the next raw quote / the literal </failure> tag is
+         exactly what an XML parser does: if a quote or a tag leaked
+         unescaped, the slice comes back truncated or unescapable. *)
+      let name_ok =
+        Option.bind (between ~start:"classname=\"C\" name=\"" ~stop:"\"" xml)
+          xml_unescape
+        = Some s
+      in
+      (* Sliced out of its tags the failure element is MSG, a quote, a
+         closing angle bracket, then BODY: the first raw quote must end
+         the message attribute. *)
+      let failure_ok =
+        match between ~start:"<failure message=\"" ~stop:"</failure>" xml with
+        | None -> false
+        | Some fe -> (
+            match String.index_opt fe '"' with
+            | None -> false
+            | Some q ->
+                let msg = String.sub fe 0 q in
+                let rest_len = String.length fe - q - 1 in
+                rest_len >= 1
+                && fe.[q + 1] = '>'
+                && xml_unescape msg = Some s
+                && xml_unescape (String.sub fe (q + 2) (rest_len - 1)) = Some s)
+      in
+      name_ok && failure_ok)
+
+let junit_escapes_once () =
+  (* The regression pinned down: %S wrapped the already XML-escaped
+     value in OCaml-syntax quotes and doubled its backslashes. *)
+  let xml =
+    Reporting.Junit.to_string ~suite_name:"s"
+      [
+        {
+          Reporting.Junit.classname = "C";
+          name = {|a\b"c|};
+          time_s = 0.;
+          failure = None;
+        };
+      ]
+  in
+  Alcotest.(check bool) "single escaping layer" true
+    (contains ~sub:{|name="a\b&quot;c"|} xml);
+  Alcotest.(check bool) "no OCaml-style backslash doubling" false
+    (contains ~sub:{|a\\b|} xml)
+
 (* --- Benchdiff comparison logic ---------------------------------------- *)
 
 let cell key value = { Reporting.Benchcmp.key; value }
@@ -246,6 +372,16 @@ let benchcmp_cells_of_json () =
                   ("rel", Float 19.5);
                 ];
             ] );
+        ( "fig11",
+          List
+            [
+              Obj
+                [
+                  ("app", Str "TeaLeaf");
+                  ("flavor", Str "MUST & CuSan");
+                  ("rel", Float 7.25);
+                ];
+            ] );
         ( "fig12",
           List [ Obj [ ("nx", Int 64); ("ny", Int 32); ("rel", Float 4.5) ] ] );
       ]
@@ -253,10 +389,42 @@ let benchcmp_cells_of_json () =
   let cells = Reporting.Benchcmp.cells_of_json doc in
   Alcotest.(check (list (pair string (float 1e-9))))
     "keys and values extracted"
-    [ ("fig10/Jacobi/CuSan", 19.5); ("fig12/64x32", 4.5) ]
+    [
+      ("fig10/Jacobi/CuSan", 19.5);
+      ("fig11/TeaLeaf/MUST & CuSan", 7.25);
+      ("fig12/64x32", 4.5);
+    ]
     (List.map
        (fun c -> (c.Reporting.Benchcmp.key, c.Reporting.Benchcmp.value))
        cells)
+
+(* Regression: fig11 (memory overhead) was invisible to the bench gate —
+   cells_of_json only extracted fig10/fig12, so a run whose memory
+   ratios exploded still passed benchdiff. A fig11-regressing artifact
+   must now fail the comparison. *)
+let benchcmp_gates_fig11 () =
+  let open Reporting.Mjson in
+  let artifact rel =
+    Obj
+      [
+        ( "fig11",
+          List
+            [
+              Obj
+                [ ("app", Str "Jacobi"); ("flavor", Str "TSan"); ("rel", Float rel) ];
+            ] );
+      ]
+  in
+  let open Reporting.Benchcmp in
+  let baseline = cells_of_json (artifact 10.0) in
+  Alcotest.(check bool) "fig11 regression fails the gate" true
+    (any_failed
+       (compare ~threshold_pct:25.0 ~baseline
+          ~run:(cells_of_json (artifact 20.0))));
+  Alcotest.(check bool) "fig11 within threshold passes" false
+    (any_failed
+       (compare ~threshold_pct:25.0 ~baseline
+          ~run:(cells_of_json (artifact 11.0))))
 
 let () =
   Alcotest.run "pool"
@@ -284,10 +452,13 @@ let () =
         [
           Alcotest.test_case "junit" `Quick junit_emitter;
           Alcotest.test_case "json" `Quick json_emitter;
+          Alcotest.test_case "junit escapes once" `Quick junit_escapes_once;
+          QCheck_alcotest.to_alcotest prop_junit_roundtrips_hostile;
         ] );
       ( "benchcmp",
         [
           Alcotest.test_case "thresholds" `Quick benchcmp_thresholds;
           Alcotest.test_case "cells_of_json" `Quick benchcmp_cells_of_json;
+          Alcotest.test_case "fig11 gated" `Quick benchcmp_gates_fig11;
         ] );
     ]

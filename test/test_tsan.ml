@@ -272,6 +272,26 @@ let unknown_region_is_mapped () =
   Detector.write_range d ~addr:(42 lsl 36) ~len:8;
   Alcotest.(check bool) "still detects" true (Detector.races_total d > 0)
 
+(* Regression: two DISTANT unshadowed addresses falling into the same
+   2^36 slot must not alias. The old find_or_map mapped the on-demand
+   region at the slot base, so any later wild access in the slot hit
+   cell 0 of that region and conflated unrelated locations into phantom
+   races. *)
+let wild_addresses_do_not_alias () =
+  let d = Detector.create () in
+  let a = (42 lsl 36) + 0x1000 and b = (42 lsl 36) + 0x9000 in
+  Detector.write_range d ~addr:a ~len:8;
+  let f = Detector.fiber_create d "f" in
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:b ~len:8;
+  Alcotest.(check int) "distinct addresses never race" 0
+    (Detector.races_total d);
+  (* The same wild address from two fibers must still race. *)
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.write_range d ~addr:b ~len:8;
+  Alcotest.(check bool) "same address still races" true
+    (Detector.races_total d > 0)
+
 let free_clears_shadow () =
   let d = detector () in
   let f = Detector.fiber_create d "f" in
@@ -547,6 +567,8 @@ let tests =
     Alcotest.test_case "zero length noop" `Quick zero_len_noop;
     Alcotest.test_case "unknown region mapped on demand" `Quick
       unknown_region_is_mapped;
+    Alcotest.test_case "wild addresses do not alias" `Quick
+      wild_addresses_do_not_alias;
     Alcotest.test_case "free clears shadow" `Quick free_clears_shadow;
     Alcotest.test_case "dedup across cells" `Quick dedup_many_cells;
     Alcotest.test_case "contexts in reports" `Quick contexts_in_reports;
