@@ -113,13 +113,6 @@ let parse_args argv =
 
 let () =
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
-  if o.list_only then begin
-    List.iter
-      (fun (c : Testsuite.Cases.case) ->
-        Fmt.pr "%-55s %s@." c.Testsuite.Cases.name c.Testsuite.Cases.descr)
-      (Testsuite.Cases.all ());
-    exit 0
-  end;
   let faults =
     match o.faults_spec with
     | None -> None
@@ -165,6 +158,15 @@ let () =
   if cases = [] then begin
     Fmt.epr "cutests: no case matches --only %a@." Fmt.(option string) o.only;
     exit 2
+  end;
+  (* --list prints the *selected* case ids — i.e. after --only filtering
+     — one per line, so scripts can expand a filter into concrete case
+     names (and a filter matching nothing still exits 2 above). *)
+  if o.list_only then begin
+    List.iter
+      (fun (c : Testsuite.Cases.case) -> Fmt.pr "%s@." c.Testsuite.Cases.name)
+      cases;
+    exit 0
   end;
   (* The exact command that reproduces a failing case: determinism means
      replaying (case, mode, seed, plan) replays the verdict. *)

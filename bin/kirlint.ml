@@ -1,0 +1,316 @@
+(* kirlint: static lint for KIR device modules, the compile-time
+   counterpart of the dynamic testsuite. For every kernel entry point it
+   runs the IR validator (well-formedness + barrier placement), the
+   pointer-argument access analysis the CuSan pass embeds at launch
+   sites, and the barrier-aware intra-kernel race analysis.
+
+   The default target set is the device code of the example/app suite
+   (jacobi, tealeaf, pingpong, the cutests kernels); these are expected
+   to be free of must-races, and kirlint exits 1 if one appears — the
+   CI job runs exactly that as a regression gate. May-races are
+   reported but do not fail the lint: they mark indexing the analysis
+   cannot prove safe (symbolic strides, loads as indices).
+
+   --corpus lints the seeded ground-truth corpus instead
+   (Testsuite.Corpus): every entry's classification is checked against
+   its expected verdict, and because the corpus contains must-racy
+   kernels the run exits 1 — CI asserts that too, proving the gate
+   actually fires.
+
+   --json FILE writes a "kirlint/1" document; --junit FILE writes JUnit
+   XML (classname KirLint); --only SUBSTR filters targets; --list
+   prints the selected target ids after filtering. *)
+
+module V = Kir.Validate
+module KA = Cusan.Kernel_analysis
+module RA = Cusan.Race_analysis
+module Corpus = Testsuite.Corpus
+
+let usage () =
+  Fmt.pr
+    "usage: kirlint [--corpus] [--only SUBSTR] [--list]@.\
+    \       [--json FILE] [--junit FILE]@.@.\
+    \  --corpus     lint the seeded ground-truth corpus instead of the@.\
+    \               app/example suite (contains must-races; exits 1)@.\
+    \  --only SUB   lint only targets whose id contains SUB@.\
+    \  --list       print the selected target ids and exit@.\
+    \  --json FILE  write results as JSON (schema kirlint/1)@.\
+    \  --junit FILE write results as JUnit XML@.@.\
+     exit status: 0 clean, 1 must-races / invalid modules /@.\
+    \             corpus misclassification, 2 usage error@."
+
+let die msg =
+  Fmt.epr "kirlint: %s@." msg;
+  usage ();
+  exit 2
+
+type opts = {
+  corpus : bool;
+  only : string option;
+  list_only : bool;
+  json_out : string option;
+  junit_out : string option;
+}
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> acc
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--corpus" :: rest -> go { acc with corpus = true } rest
+    | "--list" :: rest -> go { acc with list_only = true } rest
+    | "--only" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with only = Some v } rest
+    | [ "--only" ] | "--only" :: _ -> die "--only requires a value"
+    | "--json" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with json_out = Some v } rest
+    | [ "--json" ] | "--json" :: _ -> die "--json requires a file name"
+    | "--junit" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with junit_out = Some v } rest
+    | [ "--junit" ] | "--junit" :: _ -> die "--junit requires a file name"
+    | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
+  in
+  go
+    { corpus = false; only = None; list_only = false; json_out = None;
+      junit_out = None }
+    argv
+
+(* --- targets ------------------------------------------------------------- *)
+
+type target = {
+  id : string;  (* "suite/kernel" *)
+  m : Kir.Ir.modul;
+  entry : string;
+  expect : Corpus.expect option;  (* ground truth in corpus mode *)
+}
+
+let default_targets () =
+  let of_module suite (m : Kir.Ir.modul) =
+    List.map
+      (fun entry -> { id = suite ^ "/" ^ entry; m; entry; expect = None })
+      m.Kir.Ir.kernels
+  in
+  of_module "jacobi" Apps.Jacobi.device_module
+  @ of_module "tealeaf" Apps.Tealeaf.device_module
+  @ of_module "pingpong" Apps.Pingpong.fill_src
+  @ of_module "cutests" Testsuite.Cases.device_module
+
+let corpus_targets () =
+  List.map
+    (fun (e : Corpus.entry) ->
+      { id = "corpus/" ^ e.Corpus.name; m = e.Corpus.m; entry = e.Corpus.entry;
+        expect = Some e.Corpus.expect })
+    Corpus.all
+
+(* --- lint ---------------------------------------------------------------- *)
+
+type lint = {
+  target : target;
+  valid : (unit, string) result;
+  params : (string * string) list;  (* (source name, R|W|RW|unused|scalar) *)
+  races : RA.race list;
+}
+
+let lint_target (t : target) =
+  match V.check_module t.m with
+  | exception V.Invalid msg ->
+      { target = t; valid = Error msg; params = []; races = [] }
+  | () ->
+      let f = List.find (fun f -> f.Kir.Ir.fname = t.entry) t.m.Kir.Ir.funcs in
+      let summary = KA.analyze t.m ~entry:t.entry in
+      let params =
+        List.mapi
+          (fun i (pname, _ty) ->
+            let acc =
+              if i >= Array.length summary then "scalar"
+              else
+                match summary.(i) with
+                | None -> "scalar"
+                | Some a -> (
+                    match KA.as_kernel_access a with
+                    | None -> "unused"
+                    | Some k -> Cudasim.Kernel.access_str k)
+            in
+            (pname, acc))
+          f.Kir.Ir.params
+      in
+      { target = t; valid = Ok (); params;
+        races = RA.analyze t.m ~entry:t.entry }
+
+(* Did the target meet expectations? Outside corpus mode that means
+   "valid and free of must-races"; in corpus mode the classification
+   must match the seeded ground truth exactly. *)
+let ok (l : lint) =
+  match l.target.expect with
+  | None -> (
+      match l.valid with Ok () -> not (RA.has_must l.races) | Error _ -> false)
+  | Some Corpus.Invalid -> Result.is_error l.valid
+  | Some Corpus.Must -> Result.is_ok l.valid && RA.has_must l.races
+  | Some Corpus.May ->
+      Result.is_ok l.valid && l.races <> [] && not (RA.has_must l.races)
+  | Some Corpus.Clean -> Result.is_ok l.valid && l.races = []
+
+let classification (l : lint) =
+  match l.valid with
+  | Error msg -> "invalid: " ^ msg
+  | Ok () ->
+      let musts = List.length (List.filter (fun r -> r.RA.verdict = RA.Must) l.races) in
+      let mays = List.length l.races - musts in
+      if l.races = [] then "clean"
+      else
+        String.concat ", "
+          ((if musts > 0 then [ Fmt.str "%d must-race(s)" musts ] else [])
+          @ if mays > 0 then [ Fmt.str "%d may-race(s)" mays ] else [])
+
+(* --- output -------------------------------------------------------------- *)
+
+let print_human lints =
+  List.iter
+    (fun l ->
+      let expect_note =
+        match l.target.expect with
+        | None -> ""
+        | Some e ->
+            Fmt.str " [expect %s: %s]" (Corpus.expect_str e)
+              (if ok l then "ok" else "MISMATCH")
+      in
+      Fmt.pr "%-38s %s%s@." l.target.id (classification l) expect_note;
+      if l.valid = Ok () && l.params <> [] then
+        Fmt.pr "    args: %s@."
+          (String.concat " "
+             (List.map (fun (n, a) -> Fmt.str "%s=%s" n a) l.params));
+      List.iter (fun r -> Fmt.pr "    %s@." (RA.describe r)) l.races)
+    lints
+
+let json_of_lint (l : lint) : Reporting.Mjson.t =
+  let open Reporting.Mjson in
+  Obj
+    ([
+       ("name", Str l.target.id);
+       ("entry", Str l.target.entry);
+       ("valid", Bool (Result.is_ok l.valid));
+       ("error", match l.valid with Ok () -> Null | Error m -> Str m);
+       ("params",
+        List
+          (List.map
+             (fun (n, a) -> Obj [ ("name", Str n); ("access", Str a) ])
+             l.params));
+       ("races",
+        List
+          (List.map
+             (fun (r : RA.race) ->
+               Obj
+                 [
+                   ("verdict",
+                    Str (match r.RA.verdict with RA.Must -> "must" | RA.May -> "may"));
+                   ("kinds", Str r.RA.kinds);
+                   ("param", Int r.RA.param);
+                   ("pname", Str r.RA.pname);
+                   ("phase", Int r.RA.phase);
+                   ("site1", Str r.RA.site1);
+                   ("site2", Str r.RA.site2);
+                   ("description", Str (RA.describe r));
+                 ])
+             l.races));
+       ("ok", Bool (ok l));
+     ]
+    @
+    match l.target.expect with
+    | None -> []
+    | Some e -> [ ("expect", Str (Corpus.expect_str e)) ])
+
+let json ~corpus lints : Reporting.Mjson.t =
+  let open Reporting.Mjson in
+  let musts =
+    List.fold_left
+      (fun acc l ->
+        acc + List.length (List.filter (fun r -> r.RA.verdict = RA.Must) l.races))
+      0 lints
+  in
+  Obj
+    [
+      ("schema", Str "kirlint/1");
+      ("corpus", Bool corpus);
+      ("total", Int (List.length lints));
+      ("ok", Int (List.length (List.filter ok lints)));
+      ("musts", Int musts);
+      ("targets", List (List.map json_of_lint lints));
+    ]
+
+let junit lints : string =
+  let cases =
+    List.map
+      (fun (l : lint) ->
+        let failure =
+          if ok l then None
+          else
+            let body =
+              String.concat "\n"
+                ((match l.valid with
+                 | Error msg -> [ "invalid module: " ^ msg ]
+                 | Ok () -> [])
+                @ List.map RA.describe l.races)
+            in
+            Some (classification l, body)
+        in
+        {
+          Reporting.Junit.classname = "KirLint";
+          name = l.target.id;
+          time_s = 0.;
+          failure;
+        })
+      lints
+  in
+  Reporting.Junit.to_string ~suite_name:"kirlint" cases
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let contains ~sub name =
+    let nl = String.length name and sl = String.length sub in
+    let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+    at 0
+  in
+  let targets =
+    let all = if o.corpus then corpus_targets () else default_targets () in
+    match o.only with
+    | None -> all
+    | Some sub -> List.filter (fun t -> contains ~sub t.id) all
+  in
+  if targets = [] then begin
+    Fmt.epr "kirlint: no target matches --only %a@." Fmt.(option string) o.only;
+    exit 2
+  end;
+  if o.list_only then begin
+    List.iter (fun t -> Fmt.pr "%s@." t.id) targets;
+    exit 0
+  end;
+  let lints = List.map lint_target targets in
+  print_human lints;
+  let failed = List.filter (fun l -> not (ok l)) lints in
+  let musts = List.exists (fun l -> RA.has_must l.races) lints in
+  (match o.json_out with
+  | None -> ()
+  | Some path ->
+      write_file path
+        (Reporting.Mjson.to_string_pretty (json ~corpus:o.corpus lints));
+      Fmt.pr "wrote %s@." path);
+  (match o.junit_out with
+  | None -> ()
+  | Some path ->
+      write_file path (junit lints);
+      Fmt.pr "wrote %s@." path);
+  Fmt.pr "@.%d of %d kernels %s%s@."
+    (List.length lints - List.length failed)
+    (List.length lints)
+    (if o.corpus then "classified as expected" else "lint clean")
+    (if musts then " (must-races present)" else "");
+  if failed <> [] || musts then exit 1

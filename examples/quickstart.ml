@@ -72,6 +72,46 @@ let report title res =
     res.R.cuda_counters.Cusan.Counters.kernels
     res.R.tsan_counters.Tsan.Counters.fiber_switches
 
+(* Intra-kernel races are a different beast: both accesses happen
+   inside one launch, so no host-side synchronization is wrong — the
+   kernel itself is. The static analysis catches these at compile time
+   (the dynamic detector cannot, by construction). *)
+let intra_kernel ~with_barrier : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  if env.R.mpi.Mpi.rank = 0 then begin
+    let m =
+      if with_barrier then Testsuite.Corpus.two_phase_barrier
+      else Testsuite.Corpus.neighbor_write
+    in
+    let entry = List.hd m.Kir.Ir.kernels in
+    let k = env.R.compile (Cudasim.Kernel.make ~kir:(m, entry) entry) in
+    let pb = Mem.cuda_malloc ~tag:"p" dev ~ty:Typeart.Typedb.F64 ~count:(size + 1) in
+    let qb = Mem.cuda_malloc ~tag:"q" dev ~ty:Typeart.Typedb.F64 ~count:size in
+    let args =
+      if with_barrier then [| Kir.Interp.VPtr pb; Kir.Interp.VPtr qb |]
+      else [| Kir.Interp.VPtr pb |]
+    in
+    Dev.launch dev k ~grid:size ~args ();
+    Dev.device_synchronize dev;
+    Mem.free dev pb;
+    Mem.free dev qb
+  end
+
+let report_static title res =
+  Fmt.pr "@.== %s@." title;
+  (match R.static_musts res with
+  | [] -> Fmt.pr "   no static must-races@."
+  | musts ->
+      List.iter
+        (fun (kernel, descr) -> Fmt.pr "   kernel %s: %s@." kernel descr)
+        musts);
+  List.iter
+    (fun (kernel, verdict, descr) ->
+      if verdict = Cudasim.Kernel.May_race then
+        Fmt.pr "   (may) kernel %s: %s@." kernel descr)
+    res.R.static_races
+
 let () =
   Fmt.pr "CuSan quickstart: the paper's Fig. 4 example under MUST & CuSan@.";
   let run app = R.run ~nranks:2 ~flavor:Harness.Flavor.Must_cusan app in
@@ -80,4 +120,10 @@ let () =
   report "missing cudaDeviceSynchronize before MPI_Send (Fig. 4 line 4 removed)"
     (run (fig4 ~sync_send:false ~wait_recv:true));
   report "kernel launched before MPI_Wait (Fig. 4 line 8 moved down)"
-    (run (fig4 ~sync_send:true ~wait_recv:false))
+    (run (fig4 ~sync_send:true ~wait_recv:false));
+  report_static
+    "intra-kernel: p[tid] = p[tid+1] with no __syncthreads() (static must-race)"
+    (run (intra_kernel ~with_barrier:false));
+  report_static
+    "intra-kernel: neighbor exchange split by __syncthreads() (clean)"
+    (run (intra_kernel ~with_barrier:true))

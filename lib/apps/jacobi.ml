@@ -100,8 +100,16 @@ let norm_func =
     func "norm"
       [ ptr "out"; ptr "anew"; ptr "aold"; scalar "n" ]
       [
-        store (p 0) (i 0) (f 0.);
-        for_ "i" (i 0) (p 3) [ call "sqdiff" [ p 0; p 1; p 2; v "i" ] ];
+        (* Single-thread reduction: without the tid guard every thread
+           of the launch would write out[0] — an intra-kernel race the
+           static race analysis (rightly) flags as a must-race. *)
+        if_
+          (tid ==. i 0)
+          [
+            store (p 0) (i 0) (f 0.);
+            for_ "i" (i 0) (p 3) [ call "sqdiff" [ p 0; p 1; p 2; v "i" ] ];
+          ]
+          [];
       ])
 
 let device_module =

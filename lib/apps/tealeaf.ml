@@ -121,9 +121,19 @@ let dot_func =
     func "tl_dot"
       [ ptr "out"; ptr "xs"; ptr "ys"; scalar "n" ]
       [
-        store (p 0) (i 0) (f 0.);
-        for_ "i" (i 0) (p 3)
-          [ store (p 0) (i 0) (load (p 0) (i 0) +. (load (p 1) (v "i") *. load (p 2) (v "i"))) ];
+        (* Single-thread reduction: without the guard every thread
+           would write out[0] — a static intra-kernel must-race. *)
+        if_
+          (tid ==. i 0)
+          [
+            store (p 0) (i 0) (f 0.);
+            for_ "i" (i 0) (p 3)
+              [
+                store (p 0) (i 0)
+                  (load (p 0) (i 0) +. (load (p 1) (v "i") *. load (p 2) (v "i")));
+              ];
+          ]
+          [];
       ])
 
 (* x += s * y *)

@@ -11,6 +11,11 @@ let access_str = function R -> "r" | W -> "w" | RW -> "rw"
 let reads = function R | RW -> true | W -> false
 let writes = function W | RW -> true | R -> false
 
+(* Verdict of the static intra-kernel race analysis (the compiler-side
+   layer in lib/cusan); lives here because the instrumentation pass
+   attaches it to the kernel object, like the access attributes. *)
+type race_verdict = May_race | Must_race
+
 type t = {
   kname : string;
   kir : (Kir.Ir.modul * string) option; (* module + entry function *)
@@ -18,12 +23,15 @@ type t = {
   mutable access : access option array option;
       (* per argument; [None] entries are scalar arguments. [None] overall
          means the CuSan device pass has not analyzed this kernel. *)
+  mutable static_races : (race_verdict * string) list option;
+      (* intra-kernel races the static analysis found, with one-line
+         descriptions; [None] until the pass has run. *)
 }
 
 let make ?kir ?native kname =
   if kir = None && native = None then
     invalid_arg "Kernel.make: kernel needs IR or a native implementation";
-  { kname; kir; native; access = None }
+  { kname; kir; native; access = None; static_races = None }
 
 (* Execute the kernel body for a whole grid: the native fat-binary code
    when present, otherwise the IR interpreter. *)

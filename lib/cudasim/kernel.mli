@@ -10,6 +10,12 @@ val access_str : access -> string
 val reads : access -> bool
 val writes : access -> bool
 
+type race_verdict = May_race | Must_race
+(** Verdict of the static intra-kernel race analysis (lib/cusan's
+    [Race_analysis]); declared here because the instrumentation pass
+    attaches its result to the kernel object, like the access
+    attributes. *)
+
 type t = {
   kname : string;
   kir : (Kir.Ir.modul * string) option;  (** device IR module + entry *)
@@ -19,6 +25,9 @@ type t = {
       (** per-argument attributes; [None] entries are scalar arguments.
           [None] overall means the CuSan device pass has not analyzed the
           kernel — launches are then handled conservatively. *)
+  mutable static_races : (race_verdict * string) list option;
+      (** intra-kernel races the static analysis found, with one-line
+          descriptions; [None] until the pass has run. *)
 }
 
 val make :

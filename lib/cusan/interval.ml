@@ -45,12 +45,21 @@ let mul a b =
     hi = List.fold_left max min_int products;
   }
 
-(* Integer division: only by a strictly positive constant interval
-   (what index expressions like [tid / nx] use); anything else is top. *)
+(* Integer division: only by a non-zero constant interval (what index
+   expressions like [tid / nx] use); anything else is top. OCaml's [/]
+   truncates toward zero, which is monotone non-decreasing in the
+   dividend for a positive divisor and non-increasing for a negative
+   one — so the result bounds come from the endpoint quotients, swapped
+   when the divisor is negative. Infinities flip sign with the divisor. *)
 let div a b =
-  if is_const b && b.lo > 0 then
-    let d x = if x = min_int || x = max_int then x else x / b.lo in
-    { lo = d a.lo; hi = d a.hi }
+  if is_const b && b.lo <> 0 then
+    let q = b.lo in
+    let d x =
+      if x = min_int || x = max_int then if q < 0 then sat_neg x else x
+      else x / q
+    in
+    if q > 0 then { lo = d a.lo; hi = d a.hi }
+    else { lo = d a.hi; hi = d a.lo }
   else top
 
 (* Modulo by a positive constant: the result stays within [0, m-1] for

@@ -18,8 +18,9 @@ val neg : t -> t
 val mul : t -> t -> t
 
 val div : t -> t -> t
-(** Sound only for division by a strictly positive constant interval
-    (what index expressions like [tid / nx] use); {!top} otherwise. *)
+(** Precise for division by any non-zero constant interval (what index
+    expressions like [tid / nx] use), including strictly negative
+    divisors; {!top} otherwise. *)
 
 val rem : t -> t -> t
 (** Modulo by a positive constant; conservative for possibly-negative

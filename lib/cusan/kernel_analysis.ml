@@ -9,7 +9,18 @@
    access modes found at loads and stores. Both branches of an [If] and
    the body of every [For] are taken (may-analysis), so the result
    over-approximates any concrete execution's footprint — a property the
-   test suite checks against the IR interpreter. *)
+   test suite checks against the IR interpreter.
+
+   Call-graph cycles are handled by a Kleene fixpoint over function
+   summaries: every function starts from the bottom summary (nothing
+   read, nothing written) and all summaries are recomputed against the
+   current table until nothing changes. Access bits only ever turn on,
+   so the iteration is monotone and terminates after at most
+   2 * #params * #funcs rounds; the result is the least (most precise)
+   sound solution. This subsumes the earlier cycle bail-out that forced
+   every parameter of a recursive function to read+write: mutually
+   recursive functions now get exactly the accesses their bodies
+   perform. *)
 
 module IntSet = Set.Make (Int)
 
@@ -25,12 +36,6 @@ let as_kernel_access (a : access) : Cudasim.Kernel.access option =
   | false, true -> Some Cudasim.Kernel.W
   | false, false -> None (* pointer never dereferenced *)
 
-type state = {
-  m : Kir.Ir.modul;
-  memo : (string, summary) Hashtbl.t;
-  visiting : (string, unit) Hashtbl.t;
-}
-
 let fresh_summary (f : Kir.Ir.func) : summary =
   Array.of_list
     (List.map
@@ -38,6 +43,16 @@ let fresh_summary (f : Kir.Ir.func) : summary =
          | _, Kir.Ir.Pointer -> Some { reads = false; writes = false }
          | _, Kir.Ir.Scalar -> None)
        f.Kir.Ir.params)
+
+let summary_equal (a : summary) (b : summary) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | None, None -> true
+         | Some x, Some y -> x.reads = y.reads && x.writes = y.writes
+         | _ -> false)
+       a b
 
 (* Which parameters of the current function can expression [e] point to? *)
 let rec origins env (e : Kir.Ir.expr) : IntSet.t =
@@ -50,96 +65,100 @@ let rec origins env (e : Kir.Ir.expr) : IntSet.t =
   | F2i _ ->
       IntSet.empty
 
-let rec analyze_func st name : summary =
-  match Hashtbl.find_opt st.memo name with
-  | Some s -> s
-  | None -> (
-      match Kir.Ir.find_func st.m name with
-      | None ->
-          (* Unknown callee: nothing we can do; treated at call sites. *)
-          [||]
-      | Some f ->
-          if Hashtbl.mem st.visiting name then
-            (* Recursive cycle: be conservative, everything read+written. *)
-            Array.map
-              (Option.map (fun _ -> { reads = true; writes = true }))
-              (fresh_summary f)
-          else begin
-            Hashtbl.replace st.visiting name ();
-            let summary = fresh_summary f in
-            let env : (string, IntSet.t) Hashtbl.t = Hashtbl.create 8 in
-            let mark_read i =
-              match summary.(i) with Some a -> a.reads <- true | None -> ()
-            in
-            let mark_write i =
-              match summary.(i) with Some a -> a.writes <- true | None -> ()
-            in
-            (* walk expressions for loads *)
-            let rec walk_expr (e : Kir.Ir.expr) =
-              match e with
-              | Load (p, i) | Loadi (p, i) ->
-                  IntSet.iter mark_read (origins env p);
-                  walk_expr p;
-                  walk_expr i
-              | Binop (_, a, b) | Ptradd (a, b) ->
-                  walk_expr a;
-                  walk_expr b
-              | Neg a | I2f a | F2i a -> walk_expr a
-              | Int _ | Flt _ | Param _ | Local _ | Tid | Ntid -> ()
-            in
-            let rec walk_stmt (s : Kir.Ir.stmt) =
-              match s with
-              | Store (p, i, v) | Storei (p, i, v) ->
-                  IntSet.iter mark_write (origins env p);
-                  walk_expr p;
-                  walk_expr i;
-                  walk_expr v
-              | Let (n, e) ->
-                  walk_expr e;
-                  let prev =
-                    match Hashtbl.find_opt env n with
-                    | Some s -> s
-                    | None -> IntSet.empty
-                  in
-                  (* join with previous binding (loops/branches) *)
-                  Hashtbl.replace env n (IntSet.union prev (origins env e))
-              | If (c, t, e) ->
-                  walk_expr c;
-                  List.iter walk_stmt t;
-                  List.iter walk_stmt e
-              | For (v, lo, hi, body) ->
-                  walk_expr lo;
-                  walk_expr hi;
-                  Hashtbl.replace env v IntSet.empty;
-                  (* Two passes so origin joins from the first iteration
-                     reach uses earlier in the body. *)
-                  List.iter walk_stmt body;
-                  List.iter walk_stmt body
-              | Call (callee, args) ->
-                  List.iter walk_expr args;
-                  let callee_summary = analyze_func st callee in
-                  List.iteri
-                    (fun j arg ->
-                      if j < Array.length callee_summary then
-                        match callee_summary.(j) with
-                        | Some a ->
-                            let os = origins env arg in
-                            if a.reads then IntSet.iter mark_read os;
-                            if a.writes then IntSet.iter mark_write os
-                        | None -> ())
-                    args
-            in
-            List.iter walk_stmt f.Kir.Ir.body;
-            Hashtbl.remove st.visiting name;
-            Hashtbl.replace st.memo name summary;
-            summary
-          end)
+(* One transfer-function application: recompute [f]'s summary assuming
+   the callee summaries currently in [memo]. *)
+let compute (memo : (string, summary) Hashtbl.t) (f : Kir.Ir.func) : summary =
+  let summary = fresh_summary f in
+  let env : (string, IntSet.t) Hashtbl.t = Hashtbl.create 8 in
+  let mark_read i =
+    match summary.(i) with Some a -> a.reads <- true | None -> ()
+  in
+  let mark_write i =
+    match summary.(i) with Some a -> a.writes <- true | None -> ()
+  in
+  (* walk expressions for loads *)
+  let rec walk_expr (e : Kir.Ir.expr) =
+    match e with
+    | Load (p, i) | Loadi (p, i) ->
+        IntSet.iter mark_read (origins env p);
+        walk_expr p;
+        walk_expr i
+    | Binop (_, a, b) | Ptradd (a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Neg a | I2f a | F2i a -> walk_expr a
+    | Int _ | Flt _ | Param _ | Local _ | Tid | Ntid -> ()
+  in
+  let rec walk_stmt (s : Kir.Ir.stmt) =
+    match s with
+    | Store (p, i, v) | Storei (p, i, v) ->
+        IntSet.iter mark_write (origins env p);
+        walk_expr p;
+        walk_expr i;
+        walk_expr v
+    | Let (n, e) ->
+        walk_expr e;
+        let prev =
+          match Hashtbl.find_opt env n with
+          | Some s -> s
+          | None -> IntSet.empty
+        in
+        (* join with previous binding (loops/branches) *)
+        Hashtbl.replace env n (IntSet.union prev (origins env e))
+    | If (c, t, e) ->
+        walk_expr c;
+        List.iter walk_stmt t;
+        List.iter walk_stmt e
+    | For (v, lo, hi, body) ->
+        walk_expr lo;
+        walk_expr hi;
+        Hashtbl.replace env v IntSet.empty;
+        (* Two passes so origin joins from the first iteration
+           reach uses earlier in the body. *)
+        List.iter walk_stmt body;
+        List.iter walk_stmt body
+    | Call (callee, args) ->
+        List.iter walk_expr args;
+        let callee_summary =
+          match Hashtbl.find_opt memo callee with
+          | Some s -> s
+          | None -> [||] (* undefined callee: treated at the call site *)
+        in
+        List.iteri
+          (fun j arg ->
+            if j < Array.length callee_summary then
+              match callee_summary.(j) with
+              | Some a ->
+                  let os = origins env arg in
+                  if a.reads then IntSet.iter mark_read os;
+                  if a.writes then IntSet.iter mark_write os
+              | None -> ())
+          args
+    | Barrier -> () (* synchronization, not an access *)
+  in
+  List.iter walk_stmt f.Kir.Ir.body;
+  summary
 
 let analyze_module (m : Kir.Ir.modul) : (string, summary) Hashtbl.t =
-  let st = { m; memo = Hashtbl.create 8; visiting = Hashtbl.create 8 } in
-  List.iter (fun k -> ignore (analyze_func st k)) m.Kir.Ir.kernels;
-  st.memo
+  let memo : (string, summary) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Kir.Ir.func) -> Hashtbl.replace memo f.Kir.Ir.fname (fresh_summary f))
+    m.Kir.Ir.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Kir.Ir.func) ->
+        let s = compute memo f in
+        if not (summary_equal s (Hashtbl.find memo f.Kir.Ir.fname)) then begin
+          changed := true;
+          Hashtbl.replace memo f.Kir.Ir.fname s
+        end)
+      m.Kir.Ir.funcs
+  done;
+  memo
 
 let analyze (m : Kir.Ir.modul) ~entry : summary =
-  let st = { m; memo = Hashtbl.create 8; visiting = Hashtbl.create 8 } in
-  analyze_func st entry
+  match Hashtbl.find_opt (analyze_module m) entry with
+  | Some s -> s
+  | None -> [||]

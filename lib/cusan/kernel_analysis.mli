@@ -20,9 +20,11 @@ val as_kernel_access : access -> Cudasim.Kernel.access option
 (** [None] when the pointer is never dereferenced. *)
 
 val analyze : Kir.Ir.modul -> entry:string -> summary
-(** Analyze one kernel. Recursive cycles fall back to read+write for
-    every pointer parameter (conservative). *)
+(** Analyze one kernel. Call-graph cycles (including mutual recursion)
+    are resolved by a summary fixpoint ascending from the bottom
+    "untouched" summary, so recursive functions get exactly the
+    accesses their bodies perform. *)
 
 val analyze_module : Kir.Ir.modul -> (string, summary) Hashtbl.t
-(** Analyze every kernel entry of the module; the memo table maps each
-    reached function to its summary. *)
+(** Run the summary fixpoint over the whole module; the table maps
+    every defined function to its converged summary. *)

@@ -1,0 +1,223 @@
+(* Symbolic linear forms over the thread index, for the static
+   intra-kernel race analysis (Race_analysis).
+
+   A form describes an integer value as
+
+       a * tid  +  Σ ps_i * param_i  +  nt * ntid  +  c
+
+   where [a] is an interval coefficient of the thread index, [ps] maps
+   scalar-parameter positions to *exact* integer coefficients, [nt] is
+   an exact coefficient of the launch width, and [c] is a residual
+   interval. Scalar parameters and ntid are launch-uniform unknowns:
+   every thread and every dynamic instance of an access sees the same
+   value, so when two forms are subtracted these symbolic parts cancel
+   exactly — which is what lets [p + off][tid] stay provably race-free
+   without knowing [off].
+
+   [w] bounds how much the residual [c] can *differ between two dynamic
+   instances* of the same program point (two threads, or two loop
+   iterations): [w = 0] means the residual is one fixed (possibly
+   unknown) value for the whole launch, while a loop variable
+   contributes its full range width. [w <= width c] always holds, so
+   widening [w] to the residual width is the sound fallback whenever
+   uniformity is lost.
+
+   Anything non-linear in tid (division or modulo of a tid-dependent
+   value, products of two unknowns, loaded values) collapses to [Top],
+   which the race analysis treats as "may touch anything". *)
+
+module I = Interval
+
+type lin = {
+  a : I.t; (* coefficient of tid *)
+  ps : (int * int) list; (* exact scalar-param coefficients, sorted, no 0s *)
+  nt : int; (* exact coefficient of ntid *)
+  c : I.t; (* residual *)
+  w : int; (* instance variation bound of [c]; saturates at max_int *)
+}
+
+type t = Lin of lin | Top
+
+let top = Top
+let is_top = function Top -> true | Lin _ -> false
+
+(* Saturating arithmetic on the (non-negative) variation bound. *)
+let w_add a b =
+  if a = max_int || b = max_int then max_int
+  else
+    let s = a + b in
+    if s < 0 then max_int else s
+
+let w_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a = max_int || b = max_int then max_int
+  else
+    let p = a * b in
+    if p / b <> a || p < 0 then max_int else p
+
+let width (i : I.t) =
+  if i.I.lo = min_int || i.I.hi = max_int then max_int
+  else
+    let d = i.I.hi - i.I.lo in
+    if d < 0 then max_int else d
+
+let zero_iv = I.const 0
+let is_zero_iv (i : I.t) = i.I.lo = 0 && i.I.hi = 0
+
+let const n = Lin { a = zero_iv; ps = []; nt = 0; c = I.const n; w = 0 }
+let tid = Lin { a = I.const 1; ps = []; nt = 0; c = zero_iv; w = 0 }
+let ntid = Lin { a = zero_iv; ps = [ ]; nt = 1; c = zero_iv; w = 0 }
+let sparam i = Lin { a = zero_iv; ps = [ (i, 1) ]; nt = 0; c = zero_iv; w = 0 }
+
+(* An opaque interval value; [variant] marks it instance-dependent
+   (loop variables), uniform otherwise (a launch-constant unknown). *)
+let interval ?(variant = true) iv =
+  Lin { a = zero_iv; ps = []; nt = 0; c = iv; w = (if variant then width iv else 0) }
+
+(* No tid, param or ntid component: the form is just its residual. *)
+let pure (l : lin) = is_zero_iv l.a && l.ps = [] && l.nt = 0
+
+(* A launch-wide exact integer constant. *)
+let exact_const = function
+  | Lin l when pure l && I.is_const l.c && l.w = 0 -> Some l.c.I.lo
+  | _ -> None
+
+let rec ps_add xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (i, ci) :: xt, (j, cj) :: yt ->
+      if i < j then (i, ci) :: ps_add xt ys
+      else if j < i then (j, cj) :: ps_add xs yt
+      else
+        let s = ci + cj in
+        if s = 0 then ps_add xt yt else (i, s) :: ps_add xt yt
+
+let ps_scale k ps = if k = 0 then [] else List.map (fun (i, c) -> (i, c * k)) ps
+
+let add x y =
+  match (x, y) with
+  | Top, _ | _, Top -> Top
+  | Lin x, Lin y ->
+      Lin
+        {
+          a = I.add x.a y.a;
+          ps = ps_add x.ps y.ps;
+          nt = x.nt + y.nt;
+          c = I.add x.c y.c;
+          w = w_add x.w y.w;
+        }
+
+let neg = function
+  | Top -> Top
+  | Lin l ->
+      Lin
+        {
+          a = I.neg l.a;
+          ps = ps_scale (-1) l.ps;
+          nt = -l.nt;
+          c = I.neg l.c;
+          w = l.w;
+        }
+
+let sub x y = add x (neg y)
+
+let scale k = function
+  | Top -> if k = 0 then const 0 else Top
+  | Lin l ->
+      if k = 0 then const 0
+      else
+        Lin
+          {
+            a = I.mul l.a (I.const k);
+            ps = ps_scale k l.ps;
+            nt = l.nt * k;
+            c = I.mul l.c (I.const k);
+            w = w_mul (abs k) l.w;
+          }
+
+(* Interval combination of two residual-only forms: uniform when both
+   operands are uniform, else fully variant within the result. *)
+let pure2 op x y =
+  match (x, y) with
+  | Lin lx, Lin ly when pure lx && pure ly ->
+      let c = op lx.c ly.c in
+      Some (Lin { a = zero_iv; ps = []; nt = 0; c; w = (if lx.w = 0 && ly.w = 0 then 0 else width c) })
+  | _ -> None
+
+let mul x y =
+  match exact_const x with
+  | Some k -> scale k y
+  | None -> (
+      match exact_const y with
+      | Some k -> scale k x
+      | None -> ( match pure2 I.mul x y with Some r -> r | None -> Top))
+
+let div x y =
+  match pure2 I.div x y with Some r -> r | None -> Top
+
+let rem_ x y =
+  match pure2 I.rem x y with
+  | Some r -> r
+  | None -> (
+      (* tid-linear, provably non-negative, modulo a positive constant:
+         the value lands in [0, m-1] and is instance-variant. *)
+      match (x, exact_const y) with
+      | Lin l, Some m
+        when m > 0 && l.ps = [] && l.nt = 0 && l.a.I.lo >= 0 && l.c.I.lo >= 0
+        ->
+          Lin { a = zero_iv; ps = []; nt = 0; c = I.of_bounds 0 (m - 1); w = m - 1 }
+      | _ -> Top)
+
+let min_ x y = match pure2 I.min_ x y with Some r -> r | None -> Top
+let max_ x y = match pure2 I.max_ x y with Some r -> r | None -> Top
+
+let equal (x : t) (y : t) = x = y
+
+(* Is the value the same for every thread and instance? (The symbolic
+   ps/ntid parts are launch-uniform by construction.) *)
+let uniform = function
+  | Top -> false
+  | Lin l -> is_zero_iv l.a && l.w = 0
+
+(* Comparison / logical results: somewhere in [0,1]; uniform only when
+   both operands are. *)
+let bool_of x y =
+  Lin
+    {
+      a = zero_iv;
+      ps = [];
+      nt = 0;
+      c = I.bool_;
+      w = (if uniform x && uniform y then 0 else 1);
+    }
+
+let join x y =
+  match (x, y) with
+  | Top, _ | _, Top -> Top
+  | Lin lx, Lin ly ->
+      if lx.ps <> ly.ps || lx.nt <> ly.nt then Top
+      else if lx = ly then Lin lx
+      else
+        let c = I.join lx.c ly.c in
+        (* Instances may come from either branch, so the variation bound
+           must cover the whole joined residual. *)
+        Lin
+          {
+            a = I.join lx.a ly.a;
+            ps = lx.ps;
+            nt = lx.nt;
+            c;
+            w = max (max lx.w ly.w) (width c);
+          }
+
+let pp ppf = function
+  | Top -> Fmt.string ppf "⊤"
+  | Lin l ->
+      let part = ref false in
+      let sep () = if !part then Fmt.string ppf " + "; part := true in
+      if not (is_zero_iv l.a) then (sep (); Fmt.pf ppf "%a·tid" I.pp l.a);
+      List.iter (fun (i, c) -> sep (); Fmt.pf ppf "%d·arg%d" c i) l.ps;
+      if l.nt <> 0 then (sep (); Fmt.pf ppf "%d·ntid" l.nt);
+      if (not !part) || not (is_zero_iv l.c) then (sep (); I.pp ppf l.c);
+      if l.w <> 0 then
+        Fmt.pf ppf " (w=%s)" (if l.w = max_int then "oo" else string_of_int l.w)

@@ -1,0 +1,72 @@
+(** Symbolic linear forms over the thread index, the value domain of
+    the static intra-kernel race analysis ({!Race_analysis}).
+
+    A form describes an integer value as
+    [a*tid + Σ ps_i*param_i + nt*ntid + c]: an interval coefficient of
+    the thread index, exact integer coefficients of the (launch-uniform)
+    scalar parameters and of [ntid], and a residual interval [c].
+
+    [w] bounds how much the residual can differ between two dynamic
+    instances of the same program point (two threads, or two loop
+    iterations): 0 means launch-uniform; a loop variable contributes its
+    range width. [w <= width c] is an invariant, so falling back to the
+    residual width is always sound.
+
+    Anything non-linear in tid collapses to {!top}, which the race
+    analysis treats as "may touch anything". *)
+
+type lin = {
+  a : Interval.t;  (** coefficient of tid *)
+  ps : (int * int) list;
+      (** exact scalar-parameter coefficients by position, sorted, no
+          zero entries *)
+  nt : int;  (** exact coefficient of ntid *)
+  c : Interval.t;  (** residual *)
+  w : int;  (** instance-variation bound of [c]; saturates at [max_int] *)
+}
+
+type t = Lin of lin | Top
+
+val top : t
+val is_top : t -> bool
+val const : int -> t
+val tid : t
+val ntid : t
+
+val sparam : int -> t
+(** The symbolic value of scalar parameter [i]. *)
+
+val interval : ?variant:bool -> Interval.t -> t
+(** An opaque interval value. [variant] (default true) marks it
+    instance-dependent, e.g. a loop variable; pass [false] for a
+    launch-constant unknown. *)
+
+val exact_const : t -> int option
+(** [Some k] when the form is the launch-wide integer constant [k]. *)
+
+val uniform : t -> bool
+(** The value is identical for every thread and dynamic instance (its
+    tid coefficient is zero and its residual does not vary). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+val mul : t -> t -> t
+(** Exact when either factor is a launch-wide constant; interval
+    arithmetic when both are residual-only; {!top} otherwise. *)
+
+val div : t -> t -> t
+val rem_ : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+val bool_of : t -> t -> t
+(** Result form of a comparison or logical op on the two operands:
+    [0..1], uniform only when both operands are. *)
+
+val join : t -> t -> t
+val equal : t -> t -> bool
+val width : Interval.t -> int
+val pp : Format.formatter -> t -> unit

@@ -15,6 +15,16 @@ let instrument_kernel (k : Cudasim.Kernel.t) =
       Kir.Validate.check_module m;
       let summary = Kernel_analysis.analyze m ~entry in
       k.Cudasim.Kernel.access <-
-        Some (Array.map (fun a -> Option.bind a Kernel_analysis.as_kernel_access) summary)
+        Some (Array.map (fun a -> Option.bind a Kernel_analysis.as_kernel_access) summary);
+      let races = Race_analysis.analyze m ~entry in
+      k.Cudasim.Kernel.static_races <-
+        Some
+          (List.map
+             (fun r ->
+               ( (match r.Race_analysis.verdict with
+                 | Race_analysis.Must -> Cudasim.Kernel.Must_race
+                 | Race_analysis.May -> Cudasim.Kernel.May_race),
+                 Race_analysis.describe r ))
+             races)
 
 let instrument_kernels ks = List.iter instrument_kernel ks

@@ -8,9 +8,10 @@
 
 val instrument_kernel : Cudasim.Kernel.t -> unit
 (** Validate the kernel's device IR, run {!Kernel_analysis} and attach
-    the access attributes. A no-op for kernels without IR (pure
-    fat-binary), which stay unanalyzed and are handled conservatively at
-    launch.
+    the access attributes, then run {!Race_analysis} and attach the
+    static intra-kernel race summary. A no-op for kernels without IR
+    (pure fat-binary), which stay unanalyzed and are handled
+    conservatively at launch.
     @raise Kir.Validate.Invalid on ill-formed IR. *)
 
 val instrument_kernels : Cudasim.Kernel.t list -> unit

@@ -1,0 +1,523 @@
+(* Static intra-kernel race detection over KIR.
+
+   CuSan's dynamic stack deliberately scopes races *between* kernels
+   and MPI (the paper's model); two threads of one launch stepping on
+   the same element is invisible to it. This analysis closes that gap
+   statically, in the spirit of Liew/Cogumbreiro/Lange's "Provable GPU
+   Data-Races in Static Race Detection":
+
+   - The kernel body is split into *phases* at top-level [Barrier]
+     statements (__syncthreads): accesses in different phases are
+     ordered and cannot race. Barriers nested in conditionals, loops or
+     callees conservatively do not split (merging phases only adds
+     candidate pairs — sound).
+   - Every load/store is summarized as a symbolic byte-offset
+     {!Linform} over the thread index: [a*tid + Σ ps·param + nt·ntid + c].
+     Two accesses to the same pointer argument in the same phase race
+     when two *distinct* symbolic threads [tid ≠ tid'] can make the
+     byte ranges overlap and at least one access writes. Launch-uniform
+     symbolic parts (scalar params, ntid) cancel under subtraction, so
+     [p[off + tid]] stays provably race-free without knowing [off].
+   - Non-linear indices (division/modulo of tid, loaded values) fall
+     back to Top — "may touch anything" — and can only produce May
+     verdicts, never hide a race.
+
+   Verdicts: [Must] requires exact data (constant coefficients and
+   residuals), both accesses definite (executed unconditionally by
+   every thread), and a concrete witness on threads {0,1} — i.e. the
+   race fires on every launch with grid >= 2, which the linter assumes
+   and documents. Everything else that can overlap is [May].
+
+   Thread-uniqueness guards [if (tid == e)] with a launch-uniform [e]
+   are tracked: two accesses under provably-equal guards are the same
+   thread and never paired, and a pure-constant guard pins one side of
+   the pair to that thread id. This is what keeps single-thread
+   reduction idioms ([if (tid == 0) out[0] += ...]) race-free. *)
+
+module I = Interval
+module L = Linform
+
+type kind = Read | Write
+type verdict = May | Must
+
+type race = {
+  param : int;
+  pname : string;
+  phase : int;
+  kinds : string; (* "W/W" or "R/W" *)
+  verdict : verdict;
+  site1 : string;
+  site2 : string;
+}
+
+let describe r =
+  Fmt.str "%s %s race on arg%d '%s' (phase %d): %s vs %s"
+    (match r.verdict with Must -> "must" | May -> "may")
+    r.kinds r.param r.pname r.phase r.site1 r.site2
+
+(* ------------------------------------------------------------------ *)
+(* Access collection                                                   *)
+
+(* The executing thread satisfies tid = Σ gps·param + gnt·ntid + gk. *)
+type guard = { gps : (int * int) list; gnt : int; gk : int }
+
+type access = {
+  aparam : int; (* entry pointer parameter the access resolves to *)
+  form : L.t; (* symbolic byte offset of the access start *)
+  elt : int; (* access width in bytes *)
+  akind : kind;
+  definite : bool; (* executed by every thread, unconditionally *)
+  unique : guard option; (* only the guard's thread executes this *)
+  site : string;
+  aphase : int;
+}
+
+type aval = Scalar of L.t | Ptr of { param : int; off : L.t } | Unknown
+
+type env = {
+  m : Kir.Ir.modul;
+  args : aval array;
+  locals : (string, aval) Hashtbl.t;
+  acc : access list ref;
+  phase : int ref;
+  entry_ptr_params : int list;
+}
+
+type ctx = {
+  definite : bool;
+  unique : guard option;
+  top_level : bool; (* in the entry body: top-level barriers split phases *)
+  depth : int;
+}
+
+let as_scalar = function Scalar l -> l | Ptr _ | Unknown -> L.top
+
+let label_expr e =
+  let s = Fmt.str "%a" Kir.Ir.pp_expr e in
+  if String.length s > 72 then String.sub s 0 69 ^ "..." else s
+
+let label_stmt s =
+  let s = Fmt.str "%a" Kir.Ir.pp_stmt s in
+  if String.length s > 72 then String.sub s 0 69 ^ "..." else s
+
+let push env a = env.acc := a :: !(env.acc)
+
+let record env ctx ~kind ~elt pv idx ~site =
+  match pv with
+  | Ptr { param; off } ->
+      push env
+        {
+          aparam = param;
+          form = L.add off (L.scale elt idx);
+          elt;
+          akind = kind;
+          definite = ctx.definite;
+          unique = ctx.unique;
+          site;
+          aphase = !(env.phase);
+        }
+  | Unknown ->
+      (* Could alias any pointer argument: a Top access on each. *)
+      List.iter
+        (fun p ->
+          push env
+            {
+              aparam = p;
+              form = L.top;
+              elt;
+              akind = kind;
+              definite = false;
+              unique = ctx.unique;
+              site;
+              aphase = !(env.phase);
+            })
+        env.entry_ptr_params
+  | Scalar _ -> () (* ill-typed; Validate rejects this *)
+
+let rec eval env ctx (e : Kir.Ir.expr) : aval =
+  match e with
+  | Int n -> Scalar (L.const n)
+  | Flt f -> Scalar (L.const (int_of_float f))
+  | Param i ->
+      if i >= 0 && i < Array.length env.args then env.args.(i) else Unknown
+  | Local n -> (
+      match Hashtbl.find_opt env.locals n with Some v -> v | None -> Unknown)
+  | Tid -> Scalar L.tid
+  | Ntid -> Scalar L.ntid
+  | Load (pe, ie) ->
+      let pv = eval env ctx pe in
+      let idx = as_scalar (eval env ctx ie) in
+      record env ctx ~kind:Read ~elt:8 pv idx ~site:(label_expr e);
+      Scalar L.top (* loaded values are unknown and thread-variant *)
+  | Loadi (pe, ie) ->
+      let pv = eval env ctx pe in
+      let idx = as_scalar (eval env ctx ie) in
+      record env ctx ~kind:Read ~elt:4 pv idx ~site:(label_expr e);
+      Scalar L.top
+  | Binop (op, x, y) ->
+      let a = as_scalar (eval env ctx x) and b = as_scalar (eval env ctx y) in
+      Scalar
+        (match op with
+        | Add -> L.add a b
+        | Sub -> L.sub a b
+        | Mul -> L.mul a b
+        | Div -> L.div a b
+        | Mod -> L.rem_ a b
+        | Min -> L.min_ a b
+        | Max -> L.max_ a b
+        | Lt | Le | Eq | And | Or -> L.bool_of a b)
+  | Neg x -> Scalar (L.neg (as_scalar (eval env ctx x)))
+  | I2f x | F2i x ->
+      (* int<->float casts preserve the form; float rounding on huge or
+         fractional values is approximated away (indices are integral
+         in every kernel we model). *)
+      eval env ctx x
+  | Ptradd (pe, ie) -> (
+      let pv = eval env ctx pe in
+      let idx = as_scalar (eval env ctx ie) in
+      match pv with
+      | Ptr { param; off } -> Ptr { param; off = L.add off (L.scale 8 idx) }
+      | Unknown | Scalar _ -> Unknown)
+
+(* tid-uniqueness: does [cond] pin the executing thread to one
+   launch-uniform value?  cond ⟺ (d = 0) with d = lhs - rhs; when d is
+   (±1)·tid + uniform-exact, the branch runs for exactly one tid. *)
+let unique_of_cond env ctx (cond : Kir.Ir.expr) : guard option =
+  match cond with
+  | Binop (Eq, x, y) -> (
+      let vx = as_scalar (eval env ctx x) and vy = as_scalar (eval env ctx y) in
+      match L.sub vx vy with
+      | L.Lin l
+        when I.is_const l.L.a
+             && (l.L.a.I.lo = 1 || l.L.a.I.lo = -1)
+             && I.is_const l.L.c && l.L.w = 0 ->
+          let s = -l.L.a.I.lo in
+          Some
+            {
+              gps = List.map (fun (i, c) -> (i, s * c)) l.L.ps;
+              gnt = s * l.L.nt;
+              gk = s * l.L.c.I.lo;
+            }
+      | _ -> None)
+  | _ -> None
+
+let join_aval a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> Scalar (L.join x y)
+  | Ptr p, Ptr q when p.param = q.param ->
+      Ptr { param = p.param; off = L.join p.off q.off }
+  | _ -> Unknown
+
+(* A binding that only exists on some paths: keep it, degraded. *)
+let degrade = function Scalar _ -> Scalar L.top | Ptr _ | Unknown -> Unknown
+
+(* Locals (re)bound anywhere inside these statements, including nested
+   scopes — conservatively invalidated around loop bodies. *)
+let rec assigned acc (s : Kir.Ir.stmt) =
+  match s with
+  | Let (n, _) -> n :: acc
+  | If (_, t, e) ->
+      List.fold_left assigned (List.fold_left assigned acc t) e
+  | For (v, _, _, body) -> v :: List.fold_left assigned acc body
+  | Store _ | Storei _ | Call _ | Barrier -> acc
+
+let form_lower = function
+  | L.Top -> min_int
+  | L.Lin l -> if l.L.ps = [] && l.L.nt = 0 && l.L.a.I.lo >= 0 then l.L.c.I.lo else min_int
+
+let form_upper = function
+  | L.Top -> max_int
+  | L.Lin l ->
+      if l.L.ps = [] && l.L.nt = 0 && I.is_const l.L.a && l.L.a.I.lo = 0 then
+        l.L.c.I.hi
+      else max_int
+
+let rec exec env ctx (s : Kir.Ir.stmt) =
+  match s with
+  | Store (pe, ie, ve) ->
+      let pv = eval env ctx pe in
+      let idx = as_scalar (eval env ctx ie) in
+      ignore (eval env ctx ve);
+      record env ctx ~kind:Write ~elt:8 pv idx ~site:(label_stmt s)
+  | Storei (pe, ie, ve) ->
+      let pv = eval env ctx pe in
+      let idx = as_scalar (eval env ctx ie) in
+      ignore (eval env ctx ve);
+      record env ctx ~kind:Write ~elt:4 pv idx ~site:(label_stmt s)
+  | Let (n, e) -> Hashtbl.replace env.locals n (eval env ctx e)
+  | If (c, t, e) ->
+      let u = unique_of_cond env ctx c in
+      ignore (eval env ctx c);
+      let branch_ctx u' =
+        { ctx with definite = false; unique = (match u' with Some _ -> u' | None -> ctx.unique) }
+      in
+      let saved = Hashtbl.copy env.locals in
+      List.iter (exec env (branch_ctx u)) t;
+      let t_tbl = Hashtbl.copy env.locals in
+      Hashtbl.reset env.locals;
+      Hashtbl.iter (Hashtbl.replace env.locals) saved;
+      List.iter (exec env (branch_ctx None)) e;
+      (* merge: join bindings present in both branch outcomes, degrade
+         one-sided ones (they may be unbound on the other path) *)
+      Hashtbl.iter
+        (fun k v ->
+          match Hashtbl.find_opt t_tbl k with
+          | Some v' -> Hashtbl.replace env.locals k (join_aval v v')
+          | None -> Hashtbl.replace env.locals k (degrade v))
+        (Hashtbl.copy env.locals);
+      Hashtbl.iter
+        (fun k v ->
+          if not (Hashtbl.mem env.locals k) then
+            Hashtbl.replace env.locals k (degrade v))
+        t_tbl
+  | For (v, lo, hi, body) -> (
+      let llo = as_scalar (eval env ctx lo)
+      and lhi = as_scalar (eval env ctx hi) in
+      match (L.exact_const llo, L.exact_const lhi) with
+      | Some l, Some h when h <= l -> () (* provably empty *)
+      | clo, chi ->
+          let definite =
+            ctx.definite
+            && match (clo, chi) with Some l, Some h -> h > l | _ -> false
+          in
+          (* loop-carried locals: conservatively unknown for the
+             abstract iteration that stands for all of them *)
+          List.iter
+            (fun n -> Hashtbl.replace env.locals n Unknown)
+            (List.fold_left assigned [] body);
+          let lo_b = form_lower llo and hi_b = form_upper lhi in
+          if hi_b = min_int || (hi_b < max_int && hi_b - 1 < lo_b) then ()
+          else begin
+            let iv =
+              I.of_bounds lo_b (if hi_b = max_int then max_int else hi_b - 1)
+            in
+            Hashtbl.replace env.locals v (Scalar (L.interval ~variant:true iv));
+            List.iter (exec env { ctx with definite }) body
+          end)
+  | Call (name, args) -> (
+      let argv = Array.of_list (List.map (eval env ctx) args) in
+      if ctx.depth > 8 then conservative_all env ctx
+      else
+        match Kir.Ir.find_func env.m name with
+        | None -> conservative_all env ctx
+        | Some callee ->
+            let env' = { env with args = argv; locals = Hashtbl.create 8 } in
+            let ctx' = { ctx with top_level = false; depth = ctx.depth + 1 } in
+            List.iter (exec env' ctx') callee.Kir.Ir.body)
+  | Barrier -> if ctx.top_level then incr env.phase
+
+and conservative_all env ctx =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun kind ->
+          push env
+            {
+              aparam = p;
+              form = L.top;
+              elt = 8;
+              akind = kind;
+              definite = false;
+              unique = ctx.unique;
+              site = "<call depth limit>";
+              aphase = !(env.phase);
+            })
+        [ Read; Write ])
+    env.entry_ptr_params
+
+(* ------------------------------------------------------------------ *)
+(* Collision checks                                                    *)
+
+(* Floor/ceiling division for positive divisor. *)
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+let cdiv x y = if x >= 0 then (x + y - 1) / y else -((-x) / y)
+
+let intersects (a : I.t) (b : I.t) = a.I.lo <= b.I.hi && b.I.lo <= a.I.hi
+
+(* ∃ d ∈ ℤ, d ≠ 0 : alpha·d ∈ s  (d = tid - tid', unbounded grid). *)
+let exists_nonzero_d alpha (s : I.t) =
+  if alpha = 0 then s.I.lo <= 0 && 0 <= s.I.hi
+  else if s.I.lo = min_int || s.I.hi = max_int then true
+  else
+    let a = abs alpha in
+    let dmin = cdiv s.I.lo a and dmax = fdiv s.I.hi a in
+    dmin <= dmax && not (dmin = 0 && dmax = 0)
+
+(* ∃ t ∈ ℕ, t ≠ excl : alpha·t ∈ s. *)
+let exists_thread alpha ~excl (s : I.t) =
+  if alpha = 0 then s.I.lo <= 0 && 0 <= s.I.hi (* some other thread *)
+  else
+    let lo, hi =
+      if alpha > 0 then (s.I.lo, s.I.hi)
+      else
+        ( (if s.I.hi = max_int then min_int else -s.I.hi),
+          if s.I.lo = min_int then max_int else -s.I.lo )
+    in
+    let a = abs alpha in
+    let tmin = if lo = min_int then 0 else max 0 (cdiv lo a) in
+    let tmax = if hi = max_int then max_int else fdiv hi a in
+    tmin <= tmax && not (tmin = excl && tmax = excl)
+
+let pure_const_guard = function
+  | Some { gps = []; gnt = 0; gk } -> Some gk
+  | _ -> None
+
+(* Overlap interval for f1(t) - f2(t'): byte ranges of widths e1/e2
+   starting at the two forms intersect iff the difference lands here. *)
+let t_iv e1 e2 = I.of_bounds (-(e2 - 1)) (e1 - 1)
+
+(* Decide one candidate pair. [same_site] means a1 and a2 are the same
+   static access (racing against itself across threads). Returns None
+   when provably safe or not actually a cross-thread pair. *)
+let check_pair (a1 : access) (a2 : access) ~same_site : verdict option =
+  if a1.akind = Read && a2.akind = Read then None
+  else
+    match (a1.unique, a2.unique) with
+    | Some g1, Some g2 when g1 = g2 ->
+        None (* provably the same single thread *)
+    | _ when same_site && a1.unique <> None ->
+        None (* one thread, all instances intra-thread *)
+    | u1, u2 -> (
+        match (a1.form, a2.form) with
+        | L.Top, _ | _, L.Top -> Some May
+        | L.Lin l1, L.Lin l2 ->
+            if l1.L.ps <> l2.L.ps || l1.L.nt <> l2.L.nt then Some May
+            else begin
+              let e1 = a1.elt and e2 = a2.elt in
+              let exact1 = I.is_const l1.L.a and exact2 = I.is_const l2.L.a in
+              let safe =
+                if same_site then
+                  (* δ between two instances of one site is bounded by
+                     the variation width, not the full residual. *)
+                  exact1
+                  && l1.L.a.I.lo <> 0
+                  && l1.L.w < max_int
+                  && abs l1.L.a.I.lo >= e1 + l1.L.w
+                else if exact1 && exact2 then begin
+                  let alpha1 = l1.L.a.I.lo and alpha2 = l2.L.a.I.lo in
+                  let t = t_iv e1 e2 in
+                  let delta = I.sub l1.L.c l2.L.c in
+                  if alpha1 = alpha2 then
+                    match (pure_const_guard u1, pure_const_guard u2) with
+                    | Some k1, Some k2 ->
+                        (* both threads pinned; equal guards were
+                           dismissed above, so k1 <> k2 is a real pair *)
+                        k1 = k2
+                        || not
+                             (intersects
+                                (I.add delta (I.const ((alpha1 * k1) - (alpha2 * k2))))
+                                t)
+                    | Some k, None ->
+                        not
+                          (exists_thread alpha2 ~excl:k
+                             (I.add (I.sub delta t) (I.const (alpha1 * k))))
+                    | None, Some k ->
+                        not
+                          (exists_thread alpha1 ~excl:k
+                             (I.add (I.sub t delta) (I.const (alpha2 * k))))
+                    | None, None ->
+                        not (exists_nonzero_d alpha1 (I.sub t delta))
+                  else false (* distinct strides: overlap in general *)
+                end
+                else false
+              in
+              if safe then None
+              else begin
+                let must =
+                  a1.definite && a2.definite && u1 = None && u2 = None
+                  && exact1 && exact2
+                  && I.is_const l1.L.c && I.is_const l2.L.c
+                  && l1.L.w = 0 && l2.L.w = 0
+                  &&
+                  let alpha1 = l1.L.a.I.lo and alpha2 = l2.L.a.I.lo in
+                  let c1 = l1.L.c.I.lo and c2 = l2.L.c.I.lo in
+                  let overlap t t' =
+                    let s1 = (alpha1 * t) + c1 and s2 = (alpha2 * t') + c2 in
+                    s1 <= s2 + e2 - 1 && s2 <= s1 + e1 - 1
+                  in
+                  (* witness on threads {0,1}: fires on every grid >= 2 *)
+                  overlap 0 1 || overlap 1 0
+                in
+                Some (if must then Must else May)
+              end
+            end)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze (m : Kir.Ir.modul) ~entry : race list =
+  match Kir.Ir.find_func m entry with
+  | None -> []
+  | Some f ->
+      let params = Array.of_list f.Kir.Ir.params in
+      let args =
+        Array.mapi
+          (fun i (_, ty) ->
+            match ty with
+            | Kir.Ir.Pointer -> Ptr { param = i; off = L.const 0 }
+            | Kir.Ir.Scalar -> Scalar (L.sparam i))
+          params
+      in
+      let entry_ptr_params =
+        List.concat
+          (List.mapi
+             (fun i (_, ty) ->
+               match ty with Kir.Ir.Pointer -> [ i ] | Kir.Ir.Scalar -> [])
+             f.Kir.Ir.params)
+      in
+      let env =
+        {
+          m;
+          args;
+          locals = Hashtbl.create 8;
+          acc = ref [];
+          phase = ref 0;
+          entry_ptr_params;
+        }
+      in
+      let ctx = { definite = true; unique = None; top_level = true; depth = 0 } in
+      List.iter (exec env ctx) f.Kir.Ir.body;
+      let accesses = Array.of_list (List.rev !(env.acc)) in
+      let found : (int * int * string * string, race) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let report i j verdict =
+        let a1 = accesses.(i) and a2 = accesses.(j) in
+        let kinds =
+          if a1.akind = Write && a2.akind = Write then "W/W" else "R/W"
+        in
+        (* normalize site order so (i,j)/(j,i) dedup *)
+        let s1, s2 =
+          if a1.site <= a2.site then (a1.site, a2.site) else (a2.site, a1.site)
+        in
+        let key = (a1.aparam, a1.aphase, s1, s2) in
+        let r =
+          {
+            param = a1.aparam;
+            pname = fst params.(a1.aparam);
+            phase = a1.aphase;
+            kinds;
+            verdict;
+            site1 = s1;
+            site2 = s2;
+          }
+        in
+        match Hashtbl.find_opt found key with
+        | Some prev when prev.verdict = Must -> ()
+        | Some _ when verdict = Must -> Hashtbl.replace found key r
+        | Some _ -> ()
+        | None -> Hashtbl.replace found key r
+      in
+      let n = Array.length accesses in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let a1 = accesses.(i) and a2 = accesses.(j) in
+          if a1.aparam = a2.aparam && a1.aphase = a2.aphase then
+            match check_pair a1 a2 ~same_site:(i = j) with
+            | Some v -> report i j v
+            | None -> ()
+        done
+      done;
+      Hashtbl.fold (fun _ r acc -> r :: acc) found []
+      |> List.sort compare
+
+let has_must races = List.exists (fun r -> r.verdict = Must) races

@@ -1,0 +1,41 @@
+(** Static intra-kernel race detection over KIR.
+
+    The kernel body is split into phases at top-level [Barrier]
+    statements; every load/store is summarized as a symbolic byte-offset
+    {!Linform} over the thread index; two accesses to the same pointer
+    argument in the same phase race when two distinct symbolic threads
+    [tid <> tid'] can make the byte ranges overlap and at least one
+    access writes (W/W or R/W).
+
+    Verdicts: [Must] means a concrete witness exists on threads [{0,1}]
+    — the race fires on every launch with grid >= 2, which tooling
+    built on this analysis assumes and documents. [May] covers
+    everything else that cannot be proven safe, including all
+    non-linear (Top) index forms, so the analysis never hides a race it
+    abstracted away. Thread-uniqueness guards [if (tid == e)] with
+    launch-uniform [e] are understood, keeping single-thread reduction
+    idioms race-free. *)
+
+type verdict = May | Must
+
+type race = {
+  param : int;  (** pointer parameter position of the entry kernel *)
+  pname : string;  (** its source name *)
+  phase : int;  (** barrier-delimited phase the pair occurs in *)
+  kinds : string;  (** ["W/W"] or ["R/W"] *)
+  verdict : verdict;
+  site1 : string;  (** pretty-printed offending access *)
+  site2 : string;
+}
+
+val describe : race -> string
+(** One-line human rendering, e.g.
+    ["must W/W race on arg0 'out' (phase 0): out[0] := ... vs ..."]. *)
+
+val analyze : Kir.Ir.modul -> entry:string -> race list
+(** Collect the race candidates of one kernel, deduplicated per
+    (parameter, phase, site pair) with [Must] taking precedence.
+    Callers should run {!Kir.Validate.check_module} first; ill-formed
+    modules may produce meaningless (but defined) results. *)
+
+val has_must : race list -> bool

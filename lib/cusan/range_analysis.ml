@@ -189,6 +189,7 @@ let rec exec env (s : Kir.Ir.stmt) =
             }
           in
           List.iter (exec env') f.Kir.Ir.body)
+  | Barrier -> () (* synchronization: no bytes touched *)
 
 and walk_loop env v lo_i hi_i body =
   let var_iv =

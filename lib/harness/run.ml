@@ -128,9 +128,21 @@ type result = {
   history : (string * string list) list;
       (* flight-recorder context for blocked tasks on deadlock/stall;
          [] unless a trace recorder was enabled during the run *)
+  static_races : (string * Cudasim.Kernel.race_verdict * string) list;
+      (* (kernel, verdict, description): intra-kernel races the static
+         analysis attached at compile time, deduplicated across ranks;
+         [] when the flavor does not run the CuSan pass *)
 }
 
 let has_races r = r.races <> []
+
+let static_musts r =
+  List.filter_map
+    (fun (k, v, d) ->
+      match v with Cudasim.Kernel.Must_race -> Some (k, d) | May_race -> None)
+    r.static_races
+
+let has_static_musts r = static_musts r <> []
 
 (* Human-readable cause for a captured rank failure, with the MPI error
    class / CUDA error name a real tool report would carry. *)
@@ -210,6 +222,9 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
        | None -> None);
   let states : rank_state option array = Array.make nranks None in
   let failures = ref [] in
+  (* Static intra-kernel race verdicts attached by the compile hook;
+     every rank compiles its own kernel objects, so dedup by content. *)
+  let static_races = ref [] in
   (* The detector responsible for the current task: host threads
      spawned with [parallel] resolve through the thread registry, rank
      main tasks through their spawn-order id. *)
@@ -316,7 +331,18 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
           dev = device;
           compile =
             (fun k ->
-              if Flavor.uses_cusan flavor then Cusan.Pass.instrument_kernel k;
+              if Flavor.uses_cusan flavor then begin
+                Cusan.Pass.instrument_kernel k;
+                match k.Cudasim.Kernel.static_races with
+                | Some rs ->
+                    List.iter
+                      (fun (v, d) ->
+                        let entry = (k.Cudasim.Kernel.kname, v, d) in
+                        if not (List.mem entry !static_races) then
+                          static_races := entry :: !static_races)
+                      rs
+                | None -> ()
+              end;
               k);
         }
     with
@@ -442,4 +468,5 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     stall;
     fault_log;
     history;
+    static_races = List.sort compare !static_races;
   }

@@ -60,9 +60,20 @@ type result = {
       (** flight-recorder context for blocked tasks on deadlock/stall:
           [(what-blocked, recent event lines)] per task; empty unless a
           {!Trace.Recorder} was enabled during the run *)
+  static_races : (string * Cudasim.Kernel.race_verdict * string) list;
+      (** [(kernel, verdict, description)]: intra-kernel races the
+          static race analysis attached at compile time, deduplicated
+          across ranks; empty when the flavor does not run the CuSan
+          pass *)
 }
 
 val has_races : result -> bool
+
+val static_musts : result -> (string * string) list
+(** [(kernel, description)] of the static must-races only — the
+    verdicts strong enough to fail a run. *)
+
+val has_static_musts : result -> bool
 
 val run :
   ?nranks:int ->

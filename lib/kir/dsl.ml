@@ -38,6 +38,7 @@ let loadi ptr idx = Loadi (ptr, idx)
 let store ptr idx value = Store (ptr, idx, value)
 let storei ptr idx value = Storei (ptr, idx, value)
 let let_ name e = Let (name, e)
+let barrier = Barrier
 let if_ c t e = If (c, t, e)
 let for_ var lo hi body = For (var, lo, hi, body)
 let call name args = Call (name, args)

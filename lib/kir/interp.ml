@@ -89,6 +89,11 @@ type tracer = {
 
 let no_trace = { on_read = (fun _ ~bytes:_ -> ()); on_write = (fun _ ~bytes:_ -> ()) }
 
+(* A thread performing [Barrier_reached] suspends until every other
+   live thread of the launch has also arrived (or exited); the handler
+   in [run_kernel] parks the continuation for the next wave. *)
+type _ Effect.t += Barrier_reached : unit Effect.t
+
 let rec eval m tr fr (e : Ir.expr) : value =
   match e with
   | Int i -> VInt i
@@ -159,19 +164,96 @@ and exec m tr fr (s : Ir.stmt) =
             { fr with args = argv; locals = Hashtbl.create 8 }
           in
           List.iter (exec m tr fr') callee.Ir.body)
+  | Barrier -> Effect.perform Barrier_reached
 
-(* Run one thread of [name]. *)
-let run_thread ?(tracer = no_trace) m ~name ~args ~tid ~ntid =
+(* Run one thread of [name] to completion. [on_barrier] is invoked each
+   time the thread executes a [Barrier]; the default treats barriers as
+   no-ops, which is only correct for single-thread replay (the oracle
+   use-case: per-thread traces tagged with a phase counter). *)
+let run_thread ?(tracer = no_trace) ?on_barrier m ~name ~args ~tid ~ntid =
   match Ir.find_func m name with
   | None -> raise (Runtime_error ("undefined kernel " ^ name))
   | Some f ->
       let fr = { args; locals = Hashtbl.create 8; tid; ntid } in
-      List.iter (exec m tracer fr) f.Ir.body
+      let body () = List.iter (exec m tracer fr) f.Ir.body in
+      Effect.Deep.match_with body ()
+        {
+          retc = (fun () -> ());
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Barrier_reached ->
+                  Some
+                    (fun (k : (a, _) Effect.Deep.continuation) ->
+                      (match on_barrier with Some f -> f () | None -> ());
+                      Effect.Deep.continue k ())
+              | _ -> None);
+        }
 
-(* Run the whole grid, threads in tid order (the device's interleaving
-   does not matter for our race model: intra-kernel races are out of
-   scope, as in the paper). *)
+let module_has_barrier m name =
+  let visited = Hashtbl.create 8 in
+  let rec func name =
+    if Hashtbl.mem visited name then false
+    else begin
+      Hashtbl.replace visited name ();
+      match Ir.find_func m name with
+      | None -> false
+      | Some f -> List.exists stmt f.Ir.body
+    end
+  and stmt = function
+    | Ir.Barrier -> true
+    | Ir.If (_, t, e) -> List.exists stmt t || List.exists stmt e
+    | Ir.For (_, _, _, body) -> List.exists stmt body
+    | Ir.Call (callee, _) -> func callee
+    | Ir.Store _ | Ir.Storei _ | Ir.Let _ -> false
+  in
+  func name
+
+(* Run the whole grid with barrier semantics: execution proceeds in
+   waves — every live thread runs up to its next [Barrier] (or to
+   completion), then all threads resume together. Within a wave,
+   threads run in tid order (the device's finer interleaving does not
+   matter for the inter-kernel race model, which is the paper's scope;
+   intra-kernel orderings are the static race analysis's problem).
+   Barrier-free kernels take the old straight-line path. *)
 let run_kernel ?(tracer = no_trace) m ~name ~args ~grid =
-  for tid = 0 to grid - 1 do
-    run_thread ~tracer m ~name ~args ~tid ~ntid:grid
-  done
+  if not (module_has_barrier m name) then
+    for tid = 0 to grid - 1 do
+      run_thread ~tracer m ~name ~args ~tid ~ntid:grid
+    done
+  else begin
+    (* Continuations of threads parked at the current barrier. *)
+    let next_wave : (unit -> unit) list ref = ref [] in
+    let spawn tid () =
+      match Ir.find_func m name with
+      | None -> raise (Runtime_error ("undefined kernel " ^ name))
+      | Some f ->
+          let fr = { args; locals = Hashtbl.create 8; tid; ntid = grid } in
+          List.iter (exec m tracer fr) f.Ir.body
+    in
+    let handle body =
+      Effect.Deep.match_with body ()
+        {
+          retc = (fun () -> ());
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Barrier_reached ->
+                  Some
+                    (fun (k : (a, _) Effect.Deep.continuation) ->
+                      next_wave :=
+                        (fun () -> Effect.Deep.continue k ()) :: !next_wave)
+              | _ -> None);
+        }
+    in
+    for tid = 0 to grid - 1 do
+      handle (spawn tid)
+    done;
+    while !next_wave <> [] do
+      let wave = List.rev !next_wave in
+      next_wave := [];
+      List.iter (fun resume -> handle resume) wave
+    done
+  end

@@ -29,16 +29,23 @@ val no_trace : tracer
 
 val run_thread :
   ?tracer:tracer ->
+  ?on_barrier:(unit -> unit) ->
   Ir.modul ->
   name:string ->
   args:value array ->
   tid:int ->
   ntid:int ->
   unit
-(** Execute one thread of the kernel. *)
+(** Execute one thread of the kernel to completion. [on_barrier] fires
+    each time the thread executes a [Barrier]; the default ignores
+    barriers, which is only meaningful for single-thread replay (e.g.
+    tagging a per-thread trace with a phase counter). *)
 
 val run_kernel :
   ?tracer:tracer -> Ir.modul -> name:string -> args:value array -> grid:int -> unit
-(** Execute the whole grid, threads in tid order. (The device's
-    intra-kernel interleaving does not matter to the race model:
-    intra-kernel races are out of scope, as in the paper.) *)
+(** Execute the whole grid with barrier semantics: all live threads run
+    to their next [Barrier] (or to completion) before any proceeds past
+    it. Within a wave, threads run in tid order — the device's finer
+    interleaving does not matter to the inter-kernel race model, which
+    is the paper's scope; intra-kernel orderings are the static race
+    analysis's concern. *)

@@ -33,6 +33,7 @@ type stmt =
   | If of expr * stmt list * stmt list
   | For of string * expr * expr * stmt list (* var = lo .. hi-1 *)
   | Call of string * expr list (* device function call *)
+  | Barrier (* __syncthreads(): all threads of the launch rendezvous *)
 
 type func = {
   fname : string;
@@ -87,6 +88,7 @@ let rec pp_stmt ppf = function
         body
   | Call (f, args) ->
       Fmt.pf ppf "call %s(%a)" f (Fmt.list ~sep:Fmt.comma pp_expr) args
+  | Barrier -> Fmt.string ppf "__syncthreads()"
 
 let pp_func ppf f =
   Fmt.pf ppf "@[<v 2>func %s(%a) {@,%a@]@,}" f.fname

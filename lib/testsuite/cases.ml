@@ -375,6 +375,23 @@ let memset_async_case ~sync : R.app =
   end
   else receiver env
 
+(* intra-kernel: the race is between device threads of a single launch,
+   so no host/MPI ordering can fix or cause it. The simulator executes
+   device threads deterministically, so the dynamic detector never sees
+   these — detection comes from the compile-time intra-kernel analysis
+   (lib/cusan's [Race_analysis]), whose must-verdicts the harness
+   surfaces through [Harness.Run.static_musts]. *)
+let intra_kernel ~m ~entry ~alloc : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  if env.R.mpi.Mpi.rank = 0 then begin
+    let k = env.R.compile (Cudasim.Kernel.make ~kir:(m, entry) entry) in
+    let bufs, args = alloc dev in
+    Dev.launch dev k ~grid:n ~args ();
+    Dev.device_synchronize dev;
+    List.iter (Mem.free dev) bufs
+  end
+
 (* --- the matrix -------------------------------------------------------------- *)
 
 let suffix = function Clean -> "" | Racy -> "_nok"
@@ -485,4 +502,59 @@ let all () : case list =
         })
       [ Stream_sync; Dev_sync; No_sync ]
   in
-  c2m @ m2c @ cuda_only @ legacy @ memset
+  let intra =
+    [
+      {
+        name = "intra-kernel/neighbor_write_nok";
+        expect = Racy;
+        descr =
+          "kernel reads p[tid+1] while writing p[tid] with no \
+           __syncthreads() (static must-race)";
+        app =
+          intra_kernel ~m:Corpus.neighbor_write ~entry:"neighbor_write"
+            ~alloc:(fun dev ->
+              let pb = Mem.cuda_malloc ~tag:"p" dev ~ty:f64 ~count:(n + 1) in
+              ([ pb ], [| Kir.Interp.VPtr pb |]));
+      };
+      {
+        name = "intra-kernel/reduction_nosync_nok";
+        expect = Racy;
+        descr =
+          "every thread read-modify-writes out[0] without synchronization \
+           (static must-race)";
+        app =
+          intra_kernel ~m:Corpus.reduction_nosync ~entry:"reduction_nosync"
+            ~alloc:(fun dev ->
+              let out = Mem.cuda_malloc ~tag:"out" dev ~ty:f64 ~count:1 in
+              let xs = Mem.cuda_malloc ~tag:"xs" dev ~ty:f64 ~count:n in
+              ([ out; xs ], [| Kir.Interp.VPtr out; Kir.Interp.VPtr xs |]));
+      };
+      {
+        name = "intra-kernel/two_phase_barrier";
+        expect = Clean;
+        descr =
+          "neighbor exchange correctly split into two phases by \
+           __syncthreads()";
+        app =
+          intra_kernel ~m:Corpus.two_phase_barrier ~entry:"two_phase_barrier"
+            ~alloc:(fun dev ->
+              let pb = Mem.cuda_malloc ~tag:"p" dev ~ty:f64 ~count:n in
+              let qb = Mem.cuda_malloc ~tag:"q" dev ~ty:f64 ~count:n in
+              ([ pb; qb ], [| Kir.Interp.VPtr pb; Kir.Interp.VPtr qb |]));
+      };
+      {
+        name = "intra-kernel/guarded_reduction";
+        expect = Clean;
+        descr = "serial reduction owned by thread 0 via a tid == 0 guard";
+        app =
+          intra_kernel ~m:Corpus.guarded_reduction ~entry:"guarded_reduction"
+            ~alloc:(fun dev ->
+              let out = Mem.cuda_malloc ~tag:"out" dev ~ty:f64 ~count:1 in
+              let xs = Mem.cuda_malloc ~tag:"xs" dev ~ty:f64 ~count:n in
+              ( [ out; xs ],
+                [| Kir.Interp.VPtr out; Kir.Interp.VPtr xs; Kir.Interp.VInt n |]
+              ));
+      };
+    ]
+  in
+  c2m @ m2c @ cuda_only @ legacy @ memset @ intra

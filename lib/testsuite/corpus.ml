@@ -1,0 +1,156 @@
+(* Seeded kernel corpus for the static intra-kernel race analysis: each
+   entry is a one-kernel module with a known ground-truth verdict. The
+   corpus backs three consumers — `kirlint --corpus` (must exit
+   non-zero), the classification unit tests, and the intra-kernel
+   testsuite family, which launches the executable entries through the
+   full harness so the static verdict surfaces as a case detection. *)
+
+open Kir.Dsl
+
+type expect = Clean | May | Must | Invalid
+
+let expect_str = function
+  | Clean -> "clean"
+  | May -> "may"
+  | Must -> "must"
+  | Invalid -> "invalid"
+
+type entry = {
+  name : string;
+  expect : expect;
+  descr : string;
+  m : Kir.Ir.modul;
+  entry : string;
+}
+
+let one name params body =
+  modul ~kernels:[ name ] [ func name params body ]
+
+(* p[tid] = p[tid+1]: thread t's read of element t+1 collides with
+   thread t+1's write of the same element within one phase. *)
+let neighbor_write =
+  one "neighbor_write"
+    [ ptr "p" ]
+    [ store (p 0) tid (load (p 0) (tid +. i 1) *. f 0.5) ]
+
+(* Every thread accumulates into out[0] with no synchronization: the
+   textbook unguarded reduction, a W/W (and R/W) must-race. *)
+let reduction_nosync =
+  one "reduction_nosync"
+    [ ptr "out"; ptr "xs" ]
+    [ store (p 0) (i 0) (load (p 0) (i 0) +. load (p 1) tid) ]
+
+(* Phase 1 reads a neighbor element phase 0 wrote, with no barrier in
+   between. The wrap-around index is symbolic (mod ntid), so the read
+   set is unknown — a may-race, not provable as must. *)
+let two_phase_nobarrier =
+  one "two_phase_nobarrier"
+    [ ptr "p"; ptr "q" ]
+    [ store (p 0) tid (i2f tid);
+      store (p 1) tid (load (p 0) ((tid +. i 1) %. ntid) *. f 2.);
+    ]
+
+(* Same exchange, correctly separated by __syncthreads(): the write and
+   the cross-thread read land in different phases. *)
+let two_phase_barrier =
+  one "two_phase_barrier"
+    [ ptr "p"; ptr "q" ]
+    [ store (p 0) tid (i2f tid);
+      barrier;
+      store (p 1) tid (load (p 0) ((tid +. i 1) %. ntid) *. f 2.);
+    ]
+
+(* Serial reduction guarded by tid == 0: a single designated thread owns
+   out[0], so no cross-thread pair exists. *)
+let guarded_reduction =
+  one "guarded_reduction"
+    [ ptr "out"; ptr "xs"; scalar "n" ]
+    [ if_ (tid ==. i 0)
+        [ store (p 0) (i 0) (f 0.);
+          for_ "k" (i 0) (p 2)
+            [ store (p 0) (i 0) (load (p 0) (i 0) +. load (p 1) (v "k")) ];
+        ]
+        [];
+    ]
+
+(* p[tid + off]: the launch-uniform offset cancels when two instances
+   are compared, leaving a stride-1 per-thread partition. *)
+let offset_write =
+  one "offset_write"
+    [ ptr "p"; scalar "off" ]
+    [ store (p 0) (tid +. p 1) (i2f tid) ]
+
+(* p[tid * s]: the stride is a runtime scalar, so the footprint is not
+   affine in tid with known coefficients — s = 0 would collide every
+   thread; the analysis must keep this a may-race. *)
+let unknown_stride =
+  one "unknown_stride"
+    [ ptr "p"; scalar "s" ]
+    [ store (p 0) (tid *. p 1) (i2f tid) ]
+
+(* __syncthreads() under a tid-dependent branch: rejected by the
+   validator before any race question is asked. *)
+let divergent_barrier =
+  one "divergent_barrier"
+    [ ptr "p" ]
+    [ if_ (tid <. i 1) [ barrier ] [] ]
+
+let all =
+  [
+    {
+      name = "neighbor_write";
+      expect = Must;
+      descr = "unguarded read of p[tid+1] races with the write of p[tid]";
+      m = neighbor_write;
+      entry = "neighbor_write";
+    };
+    {
+      name = "reduction_nosync";
+      expect = Must;
+      descr = "all threads read-modify-write out[0] without a barrier";
+      m = reduction_nosync;
+      entry = "reduction_nosync";
+    };
+    {
+      name = "two_phase_nobarrier";
+      expect = May;
+      descr = "neighbor exchange with the barrier missing (symbolic index)";
+      m = two_phase_nobarrier;
+      entry = "two_phase_nobarrier";
+    };
+    {
+      name = "two_phase_barrier";
+      expect = Clean;
+      descr = "neighbor exchange correctly split by __syncthreads()";
+      m = two_phase_barrier;
+      entry = "two_phase_barrier";
+    };
+    {
+      name = "guarded_reduction";
+      expect = Clean;
+      descr = "serial reduction owned by thread 0 via a tid == 0 guard";
+      m = guarded_reduction;
+      entry = "guarded_reduction";
+    };
+    {
+      name = "offset_write";
+      expect = Clean;
+      descr = "stride-1 write at a launch-uniform scalar offset";
+      m = offset_write;
+      entry = "offset_write";
+    };
+    {
+      name = "unknown_stride";
+      expect = May;
+      descr = "write stride is a runtime scalar (zero collides everything)";
+      m = unknown_stride;
+      entry = "unknown_stride";
+    };
+    {
+      name = "divergent_barrier";
+      expect = Invalid;
+      descr = "__syncthreads() under a tid-divergent branch";
+      m = divergent_barrier;
+      entry = "divergent_barrier";
+    };
+  ]

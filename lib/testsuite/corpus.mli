@@ -1,0 +1,31 @@
+(** Seeded kernel corpus for the static intra-kernel race analysis:
+    one-kernel modules with known ground-truth verdicts, shared by
+    [kirlint --corpus], the classification unit tests, and the
+    testsuite's intra-kernel case family. *)
+
+type expect =
+  | Clean  (** no race reported (may or must) is acceptable; must-free *)
+  | May  (** at least one report expected, but no must-verdict *)
+  | Must  (** at least one must-race expected *)
+  | Invalid  (** the validator must reject the module *)
+
+val expect_str : expect -> string
+
+type entry = {
+  name : string;
+  expect : expect;
+  descr : string;
+  m : Kir.Ir.modul;
+  entry : string;  (** kernel entry point inside [m] *)
+}
+
+val neighbor_write : Kir.Ir.modul
+val reduction_nosync : Kir.Ir.modul
+val two_phase_nobarrier : Kir.Ir.modul
+val two_phase_barrier : Kir.Ir.modul
+val guarded_reduction : Kir.Ir.modul
+val offset_write : Kir.Ir.modul
+val unknown_stride : Kir.Ir.modul
+val divergent_barrier : Kir.Ir.modul
+
+val all : entry list

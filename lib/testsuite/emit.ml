@@ -41,6 +41,21 @@ let json_of_verdict (v : Runner.verdict) : Reporting.Mjson.t =
             (fun (rank, r) ->
               Obj [ ("rank", Int rank); ("report", Str (Tsan.Report.to_string r)) ])
             v.Runner.reports));
+      ("static_races",
+       List
+         (List.map
+            (fun (kernel, verdict, descr) ->
+              Obj
+                [
+                  ("kernel", Str kernel);
+                  ("verdict",
+                   Str
+                     (match verdict with
+                     | Cudasim.Kernel.Must_race -> "must"
+                     | Cudasim.Kernel.May_race -> "may"));
+                  ("description", Str descr);
+                ])
+            v.Runner.static_races));
       ("history",
        List
          (List.map
@@ -89,6 +104,14 @@ let junit (verdicts : Runner.verdict list) : string =
                     (fun (rank, r) ->
                       Fmt.str "rank %d: %s" rank (Tsan.Report.to_string r))
                     v.Runner.reports
+                @ List.map
+                    (fun (kernel, verdict, descr) ->
+                      Fmt.str "static %s-race in kernel %s: %s"
+                        (match verdict with
+                        | Cudasim.Kernel.Must_race -> "must"
+                        | Cudasim.Kernel.May_race -> "may")
+                        kernel descr)
+                    v.Runner.static_races
                 @ List.concat_map
                     (fun (context, lines) ->
                       Fmt.str "recent events (%s):" context

@@ -28,6 +28,8 @@ type verdict = {
   wall_s : float; (* wall time of this case's simulation *)
   history : (string * string list) list;
       (* flight-recorder context for blocked tasks (deadlock/stall) *)
+  static_races : (string * Cudasim.Kernel.race_verdict * string) list;
+      (* intra-kernel races the compile-time analysis attached *)
 }
 
 let fault_watchdog = 100_000
@@ -39,7 +41,14 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
     Harness.Run.run ~nranks:2 ~mode ?annotation ~check_types:true ?watchdog
       ?faults ~flavor:Harness.Flavor.Must_cusan case.Cases.app
   in
-  let detected = Harness.Run.has_races res in
+  (* A case counts as detected when either the dynamic detector reported
+     a race or the static intra-kernel analysis proved one (must-races
+     only — may-verdicts are too weak to fail a case). Static verdicts
+     are computed at compile time, so they are deterministic and do not
+     interact with the fault-injection stability rules below. *)
+  let detected =
+    Harness.Run.has_races res || Harness.Run.has_static_musts res
+  in
   let expected = case.Cases.expect = Cases.Racy in
   let injected = List.length res.Harness.Run.fault_log in
   let pass =
@@ -63,6 +72,7 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
     fault_log = res.Harness.Run.fault_log;
     wall_s = res.Harness.Run.wall_s;
     history = res.Harness.Run.history;
+    static_races = res.Harness.Run.static_races;
   }
 
 let run_all ?mode ?annotation ?faults () =

@@ -139,6 +139,23 @@ let recursion_conservative () =
       Alcotest.failf "recursion: unexpected %d-ary result %s" (Array.length got)
         (match got.(0) with `R -> "r" | `W -> "w" | _ -> "?")
 
+let mutual_recursion_fixpoint () =
+  (* f writes its first argument and recurses through g, which reads
+     its second: the summary fixpoint must converge to exactly W/R for
+     both — a cycle bail-out would degrade everything to RW. *)
+  let m =
+    Kir.Dsl.(
+      modul ~kernels:[ "f" ]
+        [
+          func "f" [ ptr "a"; ptr "b" ]
+            [ store (p 0) (i 0) (f 1.); call "g" [ p 0; p 1 ] ];
+          func "g" [ ptr "x"; ptr "y" ]
+            [ let_ "t" (load (p 1) (i 0)); call "f" [ p 0; p 1 ] ];
+        ])
+  in
+  check_summary "mutual recursion f" m "f" [| `W; `R |];
+  check_summary "mutual recursion g" m "g" [| `W; `R |]
+
 let two_level_call_chain () =
   let m =
     Kir.Dsl.(
@@ -431,6 +448,8 @@ let tests =
     Alcotest.test_case "access under loop+if" `Quick access_under_loop_and_if;
     Alcotest.test_case "index loads are reads" `Quick index_loads_count_as_reads;
     Alcotest.test_case "recursion conservative" `Quick recursion_conservative;
+    Alcotest.test_case "mutual recursion fixpoint" `Quick
+      mutual_recursion_fixpoint;
     Alcotest.test_case "two-level call chain" `Quick two_level_call_chain;
     Alcotest.test_case "instrument sets access" `Quick instrument_sets_access;
     Alcotest.test_case "instrument validates IR" `Quick

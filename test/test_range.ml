@@ -40,6 +40,38 @@ let interval_div_rem () =
   Alcotest.(check bool) "rem negative operand" true
     (I.equal (I.rem (iv (-3) 100) (I.const 8)) (iv (-7) 7))
 
+(* Truncated division by a constant, across every sign combination of
+   the dividend range; a negative divisor swaps the bounds. *)
+let interval_div_signs () =
+  Alcotest.(check bool) "pos range / neg const" true
+    (I.equal (I.div (iv 6 12) (I.const (-3))) (iv (-4) (-2)));
+  Alcotest.(check bool) "mixed range / neg const" true
+    (I.equal (I.div (iv (-6) 7) (I.const (-2))) (iv (-3) 3));
+  Alcotest.(check bool) "neg range / neg const" true
+    (I.equal (I.div (iv (-15) (-5)) (I.const (-5))) (iv 1 3));
+  Alcotest.(check bool) "neg range / pos const" true
+    (I.equal (I.div (iv (-7) (-3)) (I.const 2)) (iv (-3) (-1)));
+  Alcotest.(check bool) "div by zero = top" true
+    (I.is_top (I.div (iv 1 2) (I.const 0)));
+  Alcotest.(check bool) "top / neg const stays top" true
+    (I.is_top (I.div I.top (I.const (-4))))
+
+let prop_div_sound =
+  QCheck.Test.make ~name:"Interval.div contains x/q for all x in range"
+    ~count:500
+    QCheck.(
+      triple (int_range (-1000) 1000) (int_range (-1000) 1000)
+        (int_range (-20) 20))
+    (fun (a, b, q) ->
+      QCheck.assume (q <> 0);
+      let lo = min a b and hi = max a b in
+      let d = I.div (iv lo hi) (I.const q) in
+      List.for_all
+        (fun x ->
+          let r = x / q in
+          r >= d.I.lo && r <= d.I.hi)
+        [ lo; hi; (lo + hi) / 2; min hi (max lo 0) ])
+
 let interval_widen () =
   Alcotest.(check bool) "stable stays" true
     (I.equal (I.widen (iv 0 5) (iv 0 5)) (iv 0 5));
@@ -314,6 +346,8 @@ let tests =
     Alcotest.test_case "interval basics" `Quick interval_basics;
     Alcotest.test_case "interval saturation" `Quick interval_saturation;
     Alcotest.test_case "interval div/rem" `Quick interval_div_rem;
+    Alcotest.test_case "interval div signs" `Quick interval_div_signs;
+    QCheck_alcotest.to_alcotest prop_div_sound;
     Alcotest.test_case "interval widen" `Quick interval_widen;
     Alcotest.test_case "pack kernel row range" `Quick pack_kernel_row_range;
     Alcotest.test_case "loop accumulator widens" `Quick loop_accumulator_widens;
