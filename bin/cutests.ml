@@ -33,8 +33,12 @@ let usage () =
     \  --trace FILE record a flight-recorder trace (Chrome trace-event@.\
     \              JSON; forces -j 1)@.@.\
      SPEC  comma-separated rules SITE[@@RANK][#NTH|*EVERY|%%PROB][:ACTION]@.\
-    \      (actions: fail abort hang), plus optional seed=N@.\
-    \ e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@."
+    \      (actions: fail abort hang crash drop delayN wedge),@.\
+    \      plus optional seed=N@.\
+    \ e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@.\
+    \ `--faults help` prints the full site/action grammar@.@.\
+     exit status: 0 all cases classified correctly, 1 misclassification,@.\
+    \             2 usage error (incl. unknown sites/actions in SPEC)@."
 
 let die msg =
   Fmt.epr "cutests: %s@." msg;
@@ -113,6 +117,13 @@ let parse_args argv =
 
 let () =
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (* `--faults help` is a documentation query, not a plan: print the
+     grammar (generated from the parser's own tables) and stop. *)
+  (match o.faults_spec with
+  | Some "help" ->
+      Fmt.pr "%s@." (Faultsim.Plan.grammar_help ());
+      exit 0
+  | _ -> ());
   let faults =
     match o.faults_spec with
     | None -> None
@@ -188,6 +199,11 @@ let () =
   List.iteri
     (fun i v ->
       Fmt.pr "%a (%d of %d)@." Testsuite.Runner.pp_verdict v (i + 1) total;
+      (* Crashed ranks leave post-mortems even when the case still
+         passes (verdict stability): always show what died where. *)
+      List.iter
+        (fun pm -> Fmt.pr "    %a@." Harness.Run.pp_post_mortem pm)
+        v.Testsuite.Runner.post_mortems;
       if not v.Testsuite.Runner.pass then begin
         Fmt.pr "    reproduce: %s@." (repro v);
         List.iter
@@ -223,12 +239,14 @@ let () =
           ~j:jobs verdicts
       in
       Testsuite.Emit.write_file path (Reporting.Mjson.to_string_pretty doc);
-      Fmt.pr "wrote %s@." path);
+      (* stderr, like the trace notice: the @resilience soak diffs
+         stdout between runs that differ only in artifact flags. *)
+      Fmt.epr "wrote %s@." path);
   (match o.junit_out with
   | None -> ()
   | Some path ->
       Testsuite.Emit.write_file path (Testsuite.Emit.junit verdicts);
-      Fmt.pr "wrote %s@." path);
+      Fmt.epr "wrote %s@." path);
   (match o.trace_out with
   | None -> ()
   | Some path ->

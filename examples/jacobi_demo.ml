@@ -3,7 +3,14 @@
    reference, and prints races and event counters.
 
      dune exec examples/jacobi_demo.exe -- --flavor must-cusan --racy
-     dune exec examples/jacobi_demo.exe -- --nx 128 --ny 128 --iters 200 *)
+     dune exec examples/jacobi_demo.exe -- --nx 128 --ny 128 --iters 200
+
+   --faults SPEC (and optional --seed N) runs the fault-tolerant solver
+   under the deterministic injector: survivors revoke + shrink the
+   communicator, restore from the replicated in-memory checkpoint and
+   still converge to the reference norm.
+
+     dune exec examples/jacobi_demo.exe -- --faults 'mpi_collective@1#2:crash' *)
 
 let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
 
@@ -15,6 +22,8 @@ let () =
   and racy = ref false
   and deferred = ref false
   and rma = ref false
+  and faults_spec = ref None
+  and seed = ref None
   and flavor = ref Harness.Flavor.Must_cusan in
   let spec =
     [
@@ -34,6 +43,13 @@ let () =
             | Some f -> flavor := f
             | None -> raise (Arg.Bad ("unknown flavor " ^ s))),
         "tool stack: vanilla|tsan|must|cusan|must-cusan (default must-cusan)" );
+      ( "--faults",
+        Arg.String (fun s -> faults_spec := Some s),
+        "SPEC arm the fault injector and run the fault-tolerant solver \
+         (grammar: cutests --faults help)" );
+      ( "--seed",
+        Arg.Int (fun n -> seed := Some n),
+        "N fault-injection PRNG seed (default 0)" );
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected " ^ a))) "jacobi_demo";
@@ -49,10 +65,79 @@ let () =
     (if !racy then ", RACY (no sync before MPI)" else "")
     (if !rma then ", one-sided exchange" else "")
     (if !deferred then ", deferred execution" else "");
-  let res = Harness.Run.run ~nranks:!nranks ~mode ~flavor:!flavor (Apps.Jacobi.app cfg) in
   let expect =
     Apps.Jacobi.reference ~nx:!nx ~ny:!ny ~iters:!iters ~norm_every:1
   in
+  (match !faults_spec with
+  | None -> ()
+  | Some spec ->
+      (match Faultsim.Plan.parse_spec spec with
+      | Error msg ->
+          Fmt.epr "jacobi_demo: bad --faults spec: %s@." msg;
+          exit 2
+      | Ok (spec_seed, plan) ->
+          if !rma then begin
+            Fmt.epr "jacobi_demo: the fault-tolerant solver is Sendrecv-only@.";
+            exit 2
+          end;
+          let seed =
+            match (!seed, spec_seed) with
+            | Some s, _ -> s
+            | None, Some s -> s
+            | None, None -> 0
+          in
+          Fmt.pr "faults '%s' (seed %d): running the fault-tolerant solver@."
+            (Faultsim.Plan.to_string plan)
+            seed;
+          let out = Apps.Jacobi.resilient_outcome ~nranks:!nranks in
+          let res =
+            Harness.Run.run ~nranks:!nranks ~mode ~flavor:!flavor
+              ~watchdog:5_000_000 ~faults:(seed, plan)
+              (Apps.Jacobi.resilient_app cfg out)
+          in
+          List.iter
+            (fun pm -> Fmt.pr "  %a@." Harness.Run.pp_post_mortem pm)
+            res.Harness.Run.post_mortems;
+          (match res.Harness.Run.deadlock with
+          | None -> ()
+          | Some parties ->
+              Fmt.pr "  hang diagnosed (deadlock):@.";
+              List.iter
+                (fun (task, why) -> Fmt.pr "    %s blocked in %s@." task why)
+                parties);
+          (match res.Harness.Run.stall with
+          | None -> ()
+          | Some s ->
+              Fmt.pr "  hang diagnosed: %a@." Sched.Scheduler.pp_stall s);
+          let survivors = ref 0 and converged = ref 0 in
+          for rank = 0 to !nranks - 1 do
+            let dead =
+              List.exists
+                (fun pm -> pm.Harness.Run.pm_rank = rank)
+                res.Harness.Run.post_mortems
+            in
+            if dead then Fmt.pr "  rank %d: crashed@." rank
+            else begin
+              incr survivors;
+              let norm = cfg.Apps.Jacobi.results.(rank) in
+              let ok =
+                Float.abs (norm -. expect) <= 1e-9 *. Float.max 1. expect
+              in
+              if ok then incr converged;
+              Fmt.pr "  rank %d: final norm %.12g (reference %.12g)%s%s@." rank
+                norm expect
+                (if out.Apps.Jacobi.recovered.(rank) then
+                   Fmt.str ", recovered (restarted from iteration %d)"
+                     out.Apps.Jacobi.restart_iter.(rank)
+                 else "")
+                (if ok then "" else " MISMATCH")
+            end
+          done;
+          Fmt.pr "%d fault(s) injected; %d survivor(s), %d converged@."
+            (List.length res.Harness.Run.fault_log)
+            !survivors !converged;
+          exit (if !survivors > 0 && !converged = !survivors then 0 else 1)));
+  let res = Harness.Run.run ~nranks:!nranks ~mode ~flavor:!flavor (Apps.Jacobi.app cfg) in
   Fmt.pr "final residual norm: %.12g (serial reference: %.12g)@."
     cfg.Apps.Jacobi.results.(0) expect;
   Fmt.pr "wall time: %.3f s@." res.Harness.Run.wall_s;

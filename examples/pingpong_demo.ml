@@ -3,11 +3,96 @@
    transfers, plus what CuSan reports when the fill kernel is not
    synchronized before the first send.
 
-     dune exec examples/pingpong_demo.exe *)
+     dune exec examples/pingpong_demo.exe
+
+   With --faults SPEC (and optional --seed N) the demo instead runs the
+   fault-tolerant ping-pong under the deterministic injector: kill a
+   rank mid-volley and the survivor revokes, shrinks to a singleton
+   communicator, restores the payload from its checkpoint and finishes.
+
+     dune exec examples/pingpong_demo.exe -- --faults 'mpi_recv@1#3:crash' *)
 
 let () = Trace.Cli.setup () (* --trace FILE records a flight-recorder trace *)
 
 module R = Harness.Run
+
+(* Same minimal scan style as Trace.Cli: this demo has no strict parser. *)
+let find_value_arg name =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let rec go i =
+    if i >= n then None
+    else if argv.(i) = name && i + 1 < n then Some argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let resilient_demo spec =
+  match Faultsim.Plan.parse_spec spec with
+  | Error msg ->
+      Fmt.epr "pingpong_demo: bad --faults spec: %s@." msg;
+      exit 2
+  | Ok (spec_seed, plan) ->
+      let seed =
+        match Option.bind (find_value_arg "--seed") int_of_string_opt with
+        | Some s -> s
+        | None -> Option.value spec_seed ~default:0
+      in
+      let iters = 12 and n = 256 in
+      Fmt.pr "Fault-tolerant ping-pong: %d round trips, faults '%s' (seed %d)@."
+        iters
+        (Faultsim.Plan.to_string plan)
+        seed;
+      let rep = Apps.Pingpong.resilient_report ~nranks:2 in
+      let res =
+        R.run ~nranks:2 ~flavor:Harness.Flavor.Vanilla ~watchdog:1_000_000
+          ~faults:(seed, plan)
+          (Apps.Pingpong.resilient_app ~n ~iters rep)
+      in
+      List.iter
+        (fun pm -> Fmt.pr "  %a@." R.pp_post_mortem pm)
+        res.R.post_mortems;
+      (match res.R.deadlock with
+      | None -> ()
+      | Some parties ->
+          Fmt.pr "  hang diagnosed (deadlock):@.";
+          List.iter
+            (fun (task, why) -> Fmt.pr "    %s blocked in %s@." task why)
+            parties);
+      (match res.R.stall with
+      | None -> ()
+      | Some s -> Fmt.pr "  hang diagnosed: %a@." Sched.Scheduler.pp_stall s);
+      let expect = Apps.Pingpong.expected_checksum ~n in
+      let survivors = ref 0 and intact = ref 0 in
+      for rank = 0 to 1 do
+        let dead =
+          List.exists (fun pm -> pm.R.pm_rank = rank) res.R.post_mortems
+        in
+        if dead then Fmt.pr "  rank %d: crashed@." rank
+        else begin
+          incr survivors;
+          let sum = rep.Apps.Pingpong.checksum.(rank) in
+          if sum = expect then incr intact;
+          Fmt.pr "  rank %d: %d/%d round trips, checksum %g (expected %g)%s@."
+            rank
+            rep.Apps.Pingpong.completed.(rank)
+            iters sum expect
+            (if rep.Apps.Pingpong.recovered.(rank) then
+               ", recovered on shrunken communicator"
+             else "")
+        end
+      done;
+      Fmt.pr "%d fault(s) injected; %d survivor(s), %d with intact payload@."
+        (List.length res.R.fault_log)
+        !survivors !intact;
+      if !survivors = 0 || !intact <> !survivors then exit 1
+
+let () =
+  match find_value_arg "--faults" with
+  | Some spec ->
+      resilient_demo spec;
+      exit 0
+  | None -> ()
 
 let () =
   Fmt.pr "CUDA-aware ping-pong (osu_latency-style), modelled timings@.";

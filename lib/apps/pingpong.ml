@@ -54,6 +54,97 @@ let net_bandwidth = 12.5e9
 
 let net_cost ~bytes = net_overhead_s +. (float_of_int bytes /. net_bandwidth)
 
+(* --- fault-tolerant variant -------------------------------------------- *)
+
+(* Outcome of the resilient ping-pong, per world rank. A rank killed by
+   an injected crash never writes its slots, so they keep the initial
+   values (0 round trips, not recovered, nan checksum). *)
+type resilient_report = {
+  completed : int array; (* round trips completed *)
+  recovered : bool array; (* took the revoke/shrink recovery path *)
+  checksum : float array; (* final device-buffer checksum *)
+}
+
+let resilient_report ~nranks =
+  {
+    completed = Array.make nranks 0;
+    recovered = Array.make nranks false;
+    checksum = Array.make nranks nan;
+  }
+
+(* The fill kernel writes buf[t] = t, so the checksum of an intact
+   n-element buffer is 0 + 1 + ... + (n-1). *)
+let expected_checksum ~n = float_of_int (n * (n - 1) / 2)
+
+(* Ping-pong that survives the death of its peer: device-to-device
+   round trips under [Errors_return]; on [MPI_ERR_PROC_FAILED] /
+   [MPI_ERR_REVOKED] the survivor revokes, shrinks to a singleton
+   communicator, restores the payload from its checkpoint (the peer may
+   have died holding the ball), and finishes the remaining iterations
+   locally. *)
+let resilient_app ?(n = 256) ?(iters = 12) (rep : resilient_report)
+    (env : Harness.Run.env) =
+  let module Resil = Resilience in
+  let ctx0 = env.Harness.Run.mpi in
+  let dev = env.Harness.Run.dev in
+  if ctx0.Mpi.size <> 2 then
+    invalid_arg "resilient pingpong needs exactly 2 ranks";
+  let world_rank = ctx0.Mpi.rank in
+  Mpi.comm_set_errhandler ctx0 Mpisim.Comm.Errors_return;
+  let ctx = ref ctx0 in
+  let kernel =
+    env.Harness.Run.compile
+      (Cudasim.Kernel.make ~kir:(fill_src, "fill") ~native:native_fill "fill")
+  in
+  let dt = Mpisim.Datatype.double in
+  let bytes = n * 8 in
+  let d = Mem.cuda_malloc ~tag:"pp_dev" dev ~ty:Typeart.Typedb.F64 ~count:n in
+  Dev.launch dev kernel ~grid:n ~args:[| VPtr d; VInt n |] ();
+  Dev.device_synchronize dev;
+  let ckpt = Resil.Checkpoint.create () in
+  Resil.Checkpoint.save ckpt "payload" d ~bytes;
+  let recover () =
+    rep.recovered.(world_rank) <- true;
+    Resil.with_retries ~label:"pingpong_recover"
+      ~retryable:(function
+        | Mpisim.Comm.Proc_failed _ | Mpisim.Comm.Revoked -> true
+        | _ -> false)
+      (fun ~attempt:_ ->
+        Mpi.comm_revoke !ctx;
+        ctx := Mpi.comm_shrink !ctx;
+        Mpi.clear_error !ctx);
+    (* The peer may have died holding the ball: roll the payload back to
+       the last known-good snapshot. *)
+    Resil.Checkpoint.restore ckpt "payload" d
+  in
+  for i = 1 to iters do
+    if (!ctx).Mpi.size >= 2 then begin
+      Mpi.clear_error !ctx;
+      let rank = (!ctx).Mpi.rank in
+      let peer = 1 - rank in
+      let ok () = Mpi.last_error !ctx = Mpisim.Comm.Err_success in
+      if rank = 0 then begin
+        Mpi.send !ctx ~buf:d ~count:n ~dt ~dst:peer ~tag:0;
+        if ok () then Mpi.recv !ctx ~buf:d ~count:n ~dt ~src:peer ~tag:1
+      end
+      else begin
+        Mpi.recv !ctx ~buf:d ~count:n ~dt ~src:peer ~tag:0;
+        if ok () then Mpi.send !ctx ~buf:d ~count:n ~dt ~dst:peer ~tag:1
+      end;
+      if not (ok ()) then recover ()
+      else Resil.Checkpoint.save ckpt "payload" d ~bytes
+    end;
+    (* On a singleton communicator the round trip degenerates to a local
+       bounce: the payload is already home. *)
+    rep.completed.(world_rank) <- i
+  done;
+  let sum = ref 0. in
+  for t = 0 to n - 1 do
+    sum := !sum +. Memsim.Access.raw_get_f64 d t
+  done;
+  rep.checksum.(world_rank) <- !sum;
+  Mem.free dev d
+
 let app (cfg : config) (env : Harness.Run.env) =
   let ctx = env.Harness.Run.mpi in
   let dev = env.Harness.Run.dev in

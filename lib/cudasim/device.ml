@@ -30,6 +30,9 @@ type stream = {
   is_default : bool;
   mutable tail : op option;
   mutable destroyed : bool;
+  mutable wedged : string option;
+      (* injected device wedge: ops behind this stream never complete;
+         the string names the fault origin for diagnostics *)
 }
 
 and op = {
@@ -124,7 +127,8 @@ let create ?(mode = Eager) ?(default_stream_mode = Legacy) () =
     mode;
     default_stream_mode;
     default =
-      { sid = 0; flags = Blocking; is_default = true; tail = None; destroyed = false };
+      { sid = 0; flags = Blocking; is_default = true; tail = None;
+        destroyed = false; wedged = None };
     ptds = Hashtbl.create 4;
     thread_key = 0;
     user_streams = [];
@@ -249,6 +253,7 @@ let default_stream t =
               is_default = true;
               tail = None;
               destroyed = false;
+              wedged = None;
             }
           in
           t.next_sid <- t.next_sid + 1;
@@ -263,12 +268,39 @@ let streams t =
 
 (* --- op DAG ----------------------------------------------------------- *)
 
+exception Wedged of string
+(* Raised when forcing work that sits behind a wedged stream — directly
+   or through a dependency edge. Internal control flow: sync points
+   convert it into a sticky [Launch_timeout] via [surface_wedge];
+   asynchronous paths (eager enqueue, progress ticks) swallow it, since
+   on real hardware a wedged stream fails nothing until you wait on it. *)
+
+let wedge_stream (s : stream) ~origin =
+  if s.wedged = None then s.wedged <- Some origin
+
 let rec force op =
   if not op.executed then begin
+    (match op.op_stream.wedged with
+    | Some origin -> raise (Wedged origin)
+    | None -> ());
     List.iter force op.deps;
     op.executed <- true;
     op.action ()
   end
+
+(* Run [f] (a forcing computation) at a synchronization point: waiting
+   on wedged work surfaces as the sticky [Launch_timeout] a hung device
+   eventually produces, corrupting the context — every later call then
+   re-surfaces it. *)
+let surface_wedge t api f =
+  try f ()
+  with Wedged origin ->
+    record_error t Error.Launch_timeout;
+    Error.fail Error.Launch_timeout
+      (Fmt.str
+         "%s: stream wedged by injected fault (%s); queued device work will \
+          never complete"
+         api origin)
 
 let force_all_of t =
   List.iter
@@ -335,7 +367,10 @@ let enqueue t ?(extra_deps = []) ?(cost = 0.) stream label action =
   if stream.is_default && t.default_stream_mode = Legacy then
     t.legacy_tail <- Some op;
   Queue.push op t.pending;
-  if t.mode = Eager then force op;
+  (* Eager execution stops at a wedged stream: the enqueue itself still
+     succeeds (launches return cudaSuccess on a hung device), the work
+     just never runs. *)
+  if t.mode = Eager then (try force op with Wedged _ -> ());
   op
 
 (* One unit of asynchronous device progress: execute the oldest pending
@@ -348,10 +383,12 @@ let tick t =
     else
       let op = Queue.pop t.pending in
       if op.executed then go ()
-      else begin
-        force op;
-        true
-      end
+      else
+        match force op with
+        | () -> true
+        | exception Wedged _ ->
+            (* Wedged work makes no progress; try the next pending op. *)
+            go ()
   in
   go ()
 
@@ -361,7 +398,8 @@ let ops_executed t = t.ops_executed
 
 let stream_create ?(flags = Blocking) t =
   let s =
-    { sid = t.next_sid; flags; is_default = false; tail = None; destroyed = false }
+    { sid = t.next_sid; flags; is_default = false; tail = None;
+      destroyed = false; wedged = None }
   in
   t.next_sid <- t.next_sid + 1;
   t.user_streams <- s :: t.user_streams;
@@ -371,14 +409,16 @@ let stream_create ?(flags = Blocking) t =
 
 let stream_synchronize t s =
   fire t Pre (Stream_sync s);
-  (match s.tail with Some op -> force op | None -> ());
+  surface_wedge t "cudaStreamSynchronize" (fun () ->
+      match s.tail with Some op -> force op | None -> ());
   fire t Post (Stream_sync s);
   surface t "cudaStreamSynchronize"
 
 let stream_destroy t s =
   if s.is_default then invalid_arg "cannot destroy the default stream";
   fire t Pre (Stream_destroy s);
-  (match s.tail with Some op -> force op | None -> ());
+  surface_wedge t "cudaStreamDestroy" (fun () ->
+      match s.tail with Some op -> force op | None -> ());
   s.destroyed <- true;
   t.user_streams <- List.filter (fun s' -> s'.sid <> s.sid) t.user_streams;
   fire t Post (Stream_destroy s)
@@ -393,7 +433,7 @@ let stream_query t s =
 
 let device_synchronize t =
   fire t Pre Device_sync;
-  force_all_of t;
+  surface_wedge t "cudaDeviceSynchronize" (fun () -> force_all_of t);
   fire t Post Device_sync;
   surface t "cudaDeviceSynchronize"
 
@@ -412,7 +452,8 @@ let event_record t e s =
 
 let event_synchronize t e =
   fire t Pre (Event_sync e);
-  (match e.recorded with Some op -> force op | None -> ());
+  surface_wedge t "cudaEventSynchronize" (fun () ->
+      match e.recorded with Some op -> force op | None -> ());
   fire t Post (Event_sync e);
   surface t "cudaEventSynchronize"
 
@@ -431,11 +472,10 @@ let event_elapsed_time t e1 e2 =
   let finish e =
     match e.recorded with
     | Some op ->
-        force op;
+        surface_wedge t "cudaEventElapsedTime" (fun () -> force op);
         op.finished_at
     | None -> invalid_arg "event_elapsed_time: event never recorded"
   in
-  ignore t;
   let t1 = finish e1 in
   let t2 = finish e2 in
   (t2 -. t1) *. 1000.
@@ -482,13 +522,22 @@ let launch t kernel ~grid ~(args : Kir.Interp.value array) ?stream () =
       Error.fail Error.Launch_failed
         (Fmt.str "injected abort launching kernel %s" kernel.Kernel.kname)
   | Some Faultsim.Plan.Hang -> Faultsim.Injector.hang ~site:Faultsim.Site.Kernel_launch ()
-  | Some Faultsim.Plan.Fail | None -> ());
+  | Some Faultsim.Plan.Crash ->
+      Faultsim.Injector.crash ~site:Faultsim.Site.Kernel_launch ()
+  | Some Faultsim.Plan.Wedge ->
+      (* The stream behind this launch becomes permanently unresponsive;
+         the launch call itself still returns cudaSuccess. *)
+      wedge_stream stream
+        ~origin:(Fmt.str "kernel_launch:%s" kernel.Kernel.kname)
+  | Some (Faultsim.Plan.Fail | Faultsim.Plan.Drop | Faultsim.Plan.Delay _)
+  | None -> ());
   fire t Pre (Kernel_launch { kernel; grid; args; stream });
   let body =
     match injected with
-    | Some Faultsim.Plan.Fail ->
+    | Some (Faultsim.Plan.Fail | Faultsim.Plan.Drop | Faultsim.Plan.Delay _) ->
         (* The launch itself "succeeds"; the fault is an asynchronous
-           device-side failure that surfaces at the next sync point. *)
+           device-side failure that surfaces at the next sync point.
+           Drop/delay have no kernel meaning and degrade to this. *)
         fun () ->
           post_async_error t Error.Launch_failed
             (Fmt.str "kernel:%s" kernel.Kernel.kname)

@@ -18,6 +18,9 @@ type stream = {
   is_default : bool;
   mutable tail : op option;  (** last enqueued op (FIFO predecessor) *)
   mutable destroyed : bool;
+  mutable wedged : string option;
+      (** injected device wedge: work behind this stream never completes;
+          the string names the fault origin for diagnostics *)
 }
 
 and op
@@ -162,7 +165,26 @@ val enqueue :
     edges. [cost] is the virtual device time charged on execution. *)
 
 val force : op -> unit
-(** Execute an op (dependencies first); idempotent. *)
+(** Execute an op (dependencies first); idempotent.
+    @raise Wedged when the op (or a dependency) sits behind a wedged
+    stream. *)
+
+exception Wedged of string
+(** Forcing work behind a wedged stream. Sync points convert this into
+    a sticky [Launch_timeout] (see {!surface_wedge}); asynchronous paths
+    swallow it — a wedged stream fails nothing until you wait on it. *)
+
+val wedge_stream : stream -> origin:string -> unit
+(** Make the stream permanently unresponsive ([:wedge] fault action):
+    no op behind it ever completes; [stream_query] stays [false]
+    forever (busy-wait loops are then caught by the scheduler
+    watchdog); synchronization calls fail with sticky
+    [Launch_timeout]. First wedge wins. *)
+
+val surface_wedge : t -> string -> (unit -> 'a) -> 'a
+(** Run a forcing computation at a synchronization point: {!Wedged}
+    becomes a sticky [Error.Launch_timeout] raised as
+    [Error.Cuda_failure], naming the wedge origin. *)
 
 val force_all_of : t -> unit
 

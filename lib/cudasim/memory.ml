@@ -34,7 +34,13 @@ let probe_malloc dev api =
   | None -> ()
   | Some Faultsim.Plan.Hang ->
       Faultsim.Injector.hang ~site:Faultsim.Site.Cuda_malloc ()
-  | Some (Faultsim.Plan.Fail | Faultsim.Plan.Abort) ->
+  | Some Faultsim.Plan.Crash ->
+      Faultsim.Injector.crash ~site:Faultsim.Site.Cuda_malloc ()
+  | Some
+      ( Faultsim.Plan.Fail | Faultsim.Plan.Abort | Faultsim.Plan.Drop
+      | Faultsim.Plan.Delay _ | Faultsim.Plan.Wedge ) ->
+      (* Transport/stream actions have no allocation meaning and degrade
+         to the documented OOM failure. *)
       Device.record_error dev Error.Memory_allocation;
       Error.fail Error.Memory_allocation
         (Printf.sprintf "injected allocation failure in %s" api)
@@ -79,9 +85,15 @@ let memcpy dev ~dst ~src ~bytes ?(async = false) ?stream () =
   | Some Faultsim.Plan.Abort ->
       Error.fail Error.Illegal_address
         (Printf.sprintf "injected abort in %s" api)
-  | Some Faultsim.Plan.Fail ->
+  | Some Faultsim.Plan.Crash ->
+      Faultsim.Injector.crash ~site:Faultsim.Site.Memcpy ()
+  | Some Faultsim.Plan.Wedge ->
+      (* The stream carrying this copy wedges; the copy never lands. *)
+      Device.wedge_stream stream ~origin:api
+  | Some (Faultsim.Plan.Fail | Faultsim.Plan.Drop | Faultsim.Plan.Delay _) ->
       (* The copy faults device-side: a sticky illegal-address error,
-         deferred to the next sync point like real async failures. *)
+         deferred to the next sync point like real async failures.
+         Drop/delay have no copy meaning and degrade to this. *)
       Device.post_async_error dev Error.Illegal_address api
   | None -> ());
   Device.fire dev Device.Pre info;
@@ -91,7 +103,9 @@ let memcpy dev ~dst ~src ~bytes ?(async = false) ?stream () =
       stream api
       (fun () -> Access.raw_blit ~src ~dst ~bytes)
   in
-  if blocking then Device.force op;
+  (* A blocking copy is a sync point: waiting on a wedged stream
+     surfaces the sticky launch-timeout instead of hanging forever. *)
+  if blocking then Device.surface_wedge dev api (fun () -> Device.force op);
   Device.fire dev Device.Post info;
   if blocking then Device.surface dev api
 
@@ -111,7 +125,10 @@ let memset dev ~dst ~bytes ~value ?(async = false) ?stream () =
   | Some Faultsim.Plan.Abort ->
       Error.fail Error.Illegal_address
         (Printf.sprintf "injected abort in %s" api)
-  | Some Faultsim.Plan.Fail ->
+  | Some Faultsim.Plan.Crash ->
+      Faultsim.Injector.crash ~site:Faultsim.Site.Memset ()
+  | Some Faultsim.Plan.Wedge -> Device.wedge_stream stream ~origin:api
+  | Some (Faultsim.Plan.Fail | Faultsim.Plan.Drop | Faultsim.Plan.Delay _) ->
       Device.post_async_error dev Error.Illegal_address api
   | None -> ());
   Device.fire dev Device.Pre info;
@@ -119,7 +136,7 @@ let memset dev ~dst ~bytes ~value ?(async = false) ?stream () =
     Device.enqueue dev ~cost:(Costmodel.memset ~bytes) stream api
       (fun () -> Access.raw_fill dst ~bytes ~byte:value)
   in
-  if blocking then Device.force op;
+  if blocking then Device.surface_wedge dev api (fun () -> Device.force op);
   Device.fire dev Device.Post info;
   if blocking then Device.surface dev api
 

@@ -101,6 +101,23 @@ let probe ~site ?rank () =
               (Site.to_string site);
           Some action)
 
+exception Rank_killed of { rank : int; site : Site.t }
+(* A [Crash] firing: raised at the probe site and left to unwind the
+   whole rank task. The MPI layer's per-rank supervisor catches it,
+   marks the rank dead on its communicators (failure propagation), and
+   ends the task without running MPI_Finalize — the harness records the
+   failure and a post-mortem on the way through. *)
+
+(* Kill the calling rank: emit the crash instant on the dying rank's
+   track (so Chrome traces show *why* the rank ended) and unwind. *)
+let crash ~site () =
+  let rank = current_rank () in
+  if Trace.Recorder.on () then
+    Trace.Recorder.instant ~cat:"crash"
+      ~args:[ ("site", Site.to_string site); ("rank", string_of_int rank) ]
+      "rank_crashed";
+  raise (Rank_killed { rank; site })
+
 (* An injected hang: block on a condition nothing ever signals. The
    scheduler's deadlock detector or watchdog turns this into a
    diagnostic instead of a wedged process. The condition is created per

@@ -27,6 +27,16 @@ val hang : site:Site.t -> unit -> unit
 (** Block the calling task forever, with a labelled reason so the
     deadlock detector / watchdog names the injected hang. *)
 
+exception Rank_killed of { rank : int; site : Site.t }
+(** A [Crash] action firing: the rank is dead. Raised by {!crash} and
+    left to unwind the entire rank task; the MPI layer catches it,
+    propagates the failure to peers ([MPI_ERR_PROC_FAILED]), and skips
+    the dead rank's finalize. *)
+
+val crash : site:Site.t -> unit -> unit
+(** Kill the calling rank: record the crash instant on its trace track
+    and raise {!Rank_killed}. *)
+
 val log : unit -> decision list
 (** Firing decisions so far, in probe order. *)
 

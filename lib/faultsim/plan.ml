@@ -14,9 +14,23 @@
      cuda_malloc@1#2:fail        second cudaMalloc on rank 1 fails
      kernel_launch%0.1:fail      each launch fails with prob. 0.1
      mpi_send*3:abort            every 3rd send aborts the rank
-     mpi_wait#1:hang,seed=42     first wait hangs; PRNG seeded with 42 *)
+     mpi_wait#1:hang,seed=42     first wait hangs; PRNG seeded with 42
 
-type action = Fail | Abort | Hang
+   Hard-failure actions (PR 5): "crash" kills the calling rank outright
+   (the process dies — peers observe MPI_ERR_PROC_FAILED); "drop" loses
+   the message a send site was about to deposit; "delayN" hides that
+   message from matching for N progress rounds (out-of-order delivery);
+   "wedge" makes the CUDA stream behind the site permanently
+   unresponsive (sync points surface a sticky error). *)
+
+type action =
+  | Fail
+  | Abort
+  | Hang
+  | Crash (* terminal: the rank dies at the probe site *)
+  | Drop (* transport: the affected message is lost *)
+  | Delay of int (* transport: delivery hidden for N progress rounds *)
+  | Wedge (* device: the stream behind the site never completes again *)
 
 type which = Nth of int | Every of int | Prob of float
 
@@ -33,12 +47,27 @@ let action_to_string = function
   | Fail -> "fail"
   | Abort -> "abort"
   | Hang -> "hang"
+  | Crash -> "crash"
+  | Drop -> "drop"
+  | Delay n -> Printf.sprintf "delay%d" n
+  | Wedge -> "wedge"
 
-let action_of_string = function
+let action_of_string s =
+  match s with
   | "fail" -> Some Fail
   | "abort" -> Some Abort
   | "hang" -> Some Hang
-  | _ -> None
+  | "crash" -> Some Crash
+  | "drop" -> Some Drop
+  | "wedge" -> Some Wedge
+  | _ ->
+      let pre = "delay" in
+      let pl = String.length pre in
+      if String.length s > pl && String.sub s 0 pl = pre then
+        match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some n when n >= 1 -> Some (Delay n)
+        | _ -> None
+      else None
 
 let which_to_string = function
   | Nth n -> Printf.sprintf "#%d" n
@@ -79,7 +108,9 @@ let parse_rule token =
   let* action =
     match action_of_string action_part with
     | Some a -> Ok a
-    | None -> err "unknown action %S in %S (want fail|abort|hang)" action_part token
+    | None ->
+        err "unknown action %S in %S (want fail|abort|hang|crash|drop|delayN|wedge)"
+          action_part token
   in
   let site_part, rest = split_first "@#*%" head in
   let* site =
@@ -141,3 +172,47 @@ let parse_spec spec =
             | Error _ as e -> e))
   in
   go None [] tokens
+
+(* The full grammar, one example per action — `cutests --faults help`
+   prints this, so the CLI and the parser can never drift apart. *)
+let grammar_help () =
+  String.concat "\n"
+    [
+      "fault-injection plan grammar:";
+      "";
+      "  SPEC  ::= RULE ( ',' RULE | ',' 'seed=' N )*";
+      "  RULE  ::= SITE [ '@' RANK ] [ '#' NTH | '*' EVERY | '%' PROB ] \
+       [ ':' ACTION ]";
+      "";
+      "  sites:   " ^ String.concat " " (List.map Site.to_string Site.all);
+      "  which:   #N  exactly the N-th occurrence (default #1)";
+      "           *K  every K-th occurrence";
+      "           %P  each occurrence independently with probability P \
+       (seeded)";
+      "";
+      "  actions (default fail):";
+      "    fail    surface the site's natural error code / exception";
+      "            e.g.  cuda_malloc@1#2:fail";
+      "    abort   kill the calling rank with provenance (MPI_Abort-like)";
+      "            e.g.  mpi_send*3:abort";
+      "    hang    block the calling rank forever (watchdog diagnoses it)";
+      "            e.g.  mpi_wait#1:hang,seed=42";
+      "    crash   the rank dies at the site; peers observe \
+       MPI_ERR_PROC_FAILED";
+      "            e.g.  mpi_collective@1#3:crash";
+      "    drop    the message this send was depositing is lost in \
+       transport";
+      "            e.g.  mpi_send@0#2:drop";
+      "    delayN  the message is hidden from matching for N progress \
+       rounds";
+      "            e.g.  mpi_send%0.1:delay3";
+      "    wedge   the CUDA stream behind the site never completes again;";
+      "            sync points surface a sticky cudaErrorLaunchTimeout";
+      "            e.g.  kernel_launch@0#2:wedge";
+      "";
+      "  drop/delay are transport actions: outside send sites they \
+       degrade to";
+      "  fail. wedge is a device action: at cuda_malloc (no stream) it \
+       degrades";
+      "  to fail; at MPI sites it degrades to fail.";
+    ]

@@ -5,6 +5,16 @@ type action =
   | Fail  (** surface the site's natural error (code / exception) *)
   | Abort  (** kill the calling rank with provenance *)
   | Hang  (** block the calling rank forever *)
+  | Crash
+      (** terminal: the rank dies at the probe site; peers observe
+          [MPI_ERR_PROC_FAILED] (ULFM failure propagation) *)
+  | Drop  (** transport: the message a send site deposits is lost *)
+  | Delay of int
+      (** transport: the message is hidden from matching for N progress
+          rounds (out-of-order delivery) *)
+  | Wedge
+      (** device: the CUDA stream behind the site becomes permanently
+          unresponsive; sync points surface a sticky error *)
 
 type which =
   | Nth of int  (** exactly the n-th occurrence (1-based) *)
@@ -27,3 +37,8 @@ val to_string : t -> string
 
 val action_to_string : action -> string
 val rule_to_string : rule -> string
+
+val grammar_help : unit -> string
+(** The full site/action grammar with one example per action — what
+    [cutests --faults help] prints. Derived from {!Site.all} and this
+    module, so CLI help can never drift from the parser. *)

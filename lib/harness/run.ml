@@ -101,6 +101,37 @@ let parallel (env : env) fs =
   | Some d -> List.iter (fun id -> Tsan.Detector.happens_after d (join_key id)) !child_ids
   | None -> ()
 
+(* What a crashed rank leaves behind: where it died, what it was doing
+   (flight-recorder tail), what it was still waiting for (pending
+   requests), and which of its host threads never joined. The
+   supervisor builds this at the crash site, before the rank's threads
+   are reaped. *)
+type post_mortem = {
+  pm_rank : int;
+  pm_site : string; (* the fault site whose [:crash] action fired *)
+  pm_trace : string list; (* last flight-recorder events of the rank *)
+  pm_pending : string list; (* pending (incomplete) requests at death *)
+  pm_unjoined : string list; (* host threads of the rank never joined *)
+}
+
+let pp_post_mortem ppf pm =
+  Fmt.pf ppf "rank %d killed at %s@," pm.pm_rank pm.pm_site;
+  (match pm.pm_pending with
+  | [] -> ()
+  | reqs ->
+      Fmt.pf ppf "  pending requests:@,";
+      List.iter (fun r -> Fmt.pf ppf "    %s@," r) reqs);
+  (match pm.pm_unjoined with
+  | [] -> ()
+  | ts ->
+      Fmt.pf ppf "  unjoined host threads:@,";
+      List.iter (fun t -> Fmt.pf ppf "    %s@," t) ts);
+  match pm.pm_trace with
+  | [] -> ()
+  | lines ->
+      Fmt.pf ppf "  last events:@,";
+      List.iter (fun l -> Fmt.pf ppf "    %s@," l) lines
+
 type result = {
   flavor : Flavor.t;
   nranks : int;
@@ -123,6 +154,7 @@ type result = {
   tracked_write_bytes : int;
   deadlock : (string * string) list option;
   failures : (int * string) list; (* (rank, what killed it), rank order *)
+  post_mortems : post_mortem list; (* crashed ranks, in crash order *)
   stall : Sched.Scheduler.stall option; (* watchdog diagnostic *)
   fault_log : Faultsim.Injector.decision list; (* injected-fault replay log *)
   history : (string * string list) list;
@@ -152,6 +184,12 @@ let describe_exn = function
   | Mpisim.Mpi.Abort msg -> Fmt.str "MPI_Abort: %s" msg
   | Mpisim.Comm.Truncation msg -> Fmt.str "MPI_ERR_TRUNCATE: %s" msg
   | Mpisim.Comm.Invalid_rank r -> Fmt.str "MPI_ERR_RANK: invalid rank %d" r
+  | Mpisim.Comm.Proc_failed r ->
+      Fmt.str "MPI_ERR_PROC_FAILED: peer rank %d died" r
+  | Mpisim.Comm.Revoked -> "MPI_ERR_REVOKED: communicator revoked"
+  | Faultsim.Injector.Rank_killed { rank; site } ->
+      Fmt.str "killed by injected crash at %s (rank %d)"
+        (Faultsim.Site.to_string site) rank
   | Mpisim.Win.Target_out_of_bounds msg -> Fmt.str "MPI_ERR_RANGE: %s" msg
   | Mpisim.Win.Window_freed -> "MPI_ERR_WIN: operation on freed window"
   | Cudasim.Device.Invalid_launch msg ->
@@ -222,6 +260,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
        | None -> None);
   let states : rank_state option array = Array.make nranks None in
   let failures = ref [] in
+  let post_mortems = ref [] in
   (* Static intra-kernel race verdicts attached by the compile hook;
      every rank compiles its own kernel objects, so dedup by content. *)
   let static_races = ref [] in
@@ -348,10 +387,45 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     with
     | ( Cudasim.Error.Cuda_failure _ | Mpisim.Mpi.Abort _
       | Mpisim.Comm.Truncation _ | Mpisim.Comm.Invalid_rank _
+      | Mpisim.Comm.Proc_failed _ | Mpisim.Comm.Revoked
       | Mpisim.Win.Target_out_of_bounds _ | Mpisim.Win.Window_freed
       | Cudasim.Device.Invalid_launch _ | Cudasim.Device.Stream_destroyed ) as
       e ->
         failures := (rank, describe_exn e) :: !failures
+    | Faultsim.Injector.Rank_killed { site; _ } as e ->
+        (* Supervisor: the rank is dead, not merely failed. Record the
+           cause, capture a post-mortem while its state is still warm,
+           and reap its unjoined host threads so they neither run on as
+           orphans nor pollute deadlock diagnostics. The rank's
+           [states.(rank)] entry stays: its TSan/MUST counters and
+           already-found reports are flushed into the result like any
+           finished rank's. Re-raised so the MPI layer marks the rank
+           dead (peers get MPI_ERR_PROC_FAILED) and skips its finalize. *)
+        failures := (rank, describe_exn e) :: !failures;
+        let prefix = Fmt.str "rank%d:" rank in
+        let unjoined =
+          List.filter
+            (fun n -> String.starts_with ~prefix n)
+            (Sched.Scheduler.unfinished_tasks ())
+        in
+        post_mortems :=
+          {
+            pm_rank = rank;
+            pm_site = Faultsim.Site.to_string site;
+            pm_trace =
+              (if Trace.Recorder.on () then
+                 Trace.Recorder.recent_lines
+                   ~pid:(Trace.Recorder.pid_of_task (Fmt.str "rank%d" rank))
+                   ~k:8 ()
+               else []);
+            pm_pending =
+              List.map (Fmt.str "%a" Mpisim.Request.pp)
+                (Mpisim.Mpi.pending_requests ctx);
+            pm_unjoined = unjoined;
+          }
+          :: !post_mortems;
+        Sched.Scheduler.kill (fun n -> String.starts_with ~prefix n);
+        raise e
   in
   let t0 = Unix.gettimeofday () in
   let deadlock, stall =
@@ -465,6 +539,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     tracked_write_bytes;
     deadlock;
     failures = List.rev !failures;
+    post_mortems = List.rev !post_mortems;
     stall;
     fault_log;
     history;

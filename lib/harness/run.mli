@@ -21,6 +21,20 @@ val parallel : env -> (unit -> unit) list -> unit
     fiber with thread-creation/join synchronization, and its own default
     stream when the device runs in {!Cudasim.Device.Per_thread} mode. *)
 
+type post_mortem = {
+  pm_rank : int;
+  pm_site : string;  (** the fault site whose [:crash] action fired *)
+  pm_trace : string list;
+      (** last flight-recorder events of the rank; empty unless a
+          {!Trace.Recorder} was enabled during the run *)
+  pm_pending : string list;  (** pending (incomplete) requests at death *)
+  pm_unjoined : string list;  (** host threads of the rank never joined *)
+}
+(** What a crashed rank leaves behind, captured by the supervisor at the
+    crash site before the rank's threads are reaped. *)
+
+val pp_post_mortem : Format.formatter -> post_mortem -> unit
+
 type result = {
   flavor : Flavor.t;
   nranks : int;
@@ -50,6 +64,9 @@ type result = {
       (** rank-level failures (CUDA errors, MPI aborts, simulation
           errors) captured with rank provenance; the rank's counters and
           already-found reports are still flushed into this result *)
+  post_mortems : post_mortem list;
+      (** one per crashed ([:crash]) rank, in crash order; survivors
+          still produce their normal reports alongside *)
   stall : Sched.Scheduler.stall option;
       (** wait-for diagnostic when the watchdog stopped a livelock or
           partial hang *)

@@ -23,9 +23,15 @@ let error_string = Comm.errcode_to_string
 
 let set_errcode ctx code = ctx.comm.Comm.last_errcode.(ctx.rank) <- code
 
+(* Error codes persist across successful calls (like errno); recovery
+   loops clear explicitly before probing a fresh operation. *)
+let clear_error ctx = set_errcode ctx Comm.Err_success
+
 let errcode_of_exn = function
   | Comm.Truncation _ -> Comm.Err_truncate
   | Comm.Invalid_rank _ -> Comm.Err_rank
+  | Comm.Proc_failed _ -> Comm.Err_proc_failed
+  | Comm.Revoked -> Comm.Err_revoked
   | Win.Target_out_of_bounds _ -> Comm.Err_range
   | Win.Window_freed -> Comm.Err_win
   | _ -> Comm.Err_other
@@ -38,28 +44,54 @@ let errcode_of_exn = function
    [default ()]. [default] is a thunk so the error path allocates
    nothing (e.g. no Request ids) unless it is actually taken. Injected
    faults always carry rank provenance. *)
+let injected_error ctx ~call =
+  set_errcode ctx Comm.Err_other;
+  match ctx.comm.Comm.errhandler with
+  | Comm.Errors_return -> true
+  | Comm.Errors_are_fatal ->
+      raise (Abort (Fmt.str "rank %d: injected fault in %s" ctx.rank call))
+
 let guard ctx ~site ~call ~default f =
   let injected_fail =
-    match Faultsim.Injector.probe ~site ~rank:ctx.rank () with
+    (* Probes are attributed to *world* ranks: fault plans target the
+       ranks the job started with, stable across comm shrinks. *)
+    match
+      Faultsim.Injector.probe ~site ~rank:(Comm.world_rank ctx.comm ctx.rank) ()
+    with
     | None -> false
     | Some Faultsim.Plan.Hang ->
         Faultsim.Injector.hang ~site ();
         false
     | Some Faultsim.Plan.Abort ->
         raise (Abort (Fmt.str "rank %d: injected abort in %s" ctx.rank call))
-    | Some Faultsim.Plan.Fail -> (
-        set_errcode ctx Comm.Err_other;
-        match ctx.comm.Comm.errhandler with
-        | Comm.Errors_return -> true
-        | Comm.Errors_are_fatal ->
-            raise (Abort (Fmt.str "rank %d: injected fault in %s" ctx.rank call)))
+    | Some Faultsim.Plan.Crash ->
+        (* Terminal: unwinds the whole rank task; the supervisor in
+           [run] marks the rank dead so peers observe the failure. *)
+        Faultsim.Injector.crash ~site ();
+        false
+    | Some ((Faultsim.Plan.Drop | Faultsim.Plan.Delay _) as a)
+      when site = Faultsim.Site.Mpi_send ->
+        (* Transport faults apply to the message this send is about to
+           deposit; the call itself succeeds, as on real hardware. *)
+        Comm.set_transport_fault ctx.comm
+          (Some
+             (match a with
+             | Faultsim.Plan.Drop -> Comm.Xdrop
+             | Faultsim.Plan.Delay n -> Comm.Xdelay n
+             | _ -> assert false));
+        false
+    | Some (Faultsim.Plan.Drop | Faultsim.Plan.Delay _ | Faultsim.Plan.Wedge) ->
+        (* Outside their domain these degrade to a generic failure, as
+           the plan grammar documents. *)
+        injected_error ctx ~call
+    | Some Faultsim.Plan.Fail -> injected_error ctx ~call
   in
   if injected_fail then default ()
   else
     try f ()
     with
-    | ( Comm.Truncation _ | Comm.Invalid_rank _ | Win.Target_out_of_bounds _
-      | Win.Window_freed ) as e
+    | ( Comm.Truncation _ | Comm.Invalid_rank _ | Comm.Proc_failed _
+      | Comm.Revoked | Win.Target_out_of_bounds _ | Win.Window_freed ) as e
     -> (
       set_errcode ctx (errcode_of_exn e);
       match ctx.comm.Comm.errhandler with
@@ -78,15 +110,27 @@ let run ?watchdog ~nranks f =
              let ctx = { rank; size = nranks; comm } in
              H.fire ~rank H.Pre H.Init;
              H.fire ~rank H.Post H.Init;
-             f ctx;
-             H.fire ~rank H.Pre H.Finalize;
-             (* Shutdown path: never subject to fault injection, so a
-                surviving rank's tools always get their finalize. *)
-             ignore
-               (Comm.collective ~label:"MPI_Finalize" comm rank
-                  ~contribute:(fun _ -> ())
-                  ~extract:(fun _ -> ()));
-             H.fire ~rank H.Post H.Finalize )))
+             match f ctx with
+             | () ->
+                 H.fire ~rank H.Pre H.Finalize;
+                 (* Shutdown path: never subject to fault injection, so a
+                    surviving rank's tools always get their finalize. It
+                    tolerates failures: survivors must not wait for the
+                    dead. *)
+                 ignore
+                   (Comm.collective ~label:"MPI_Finalize"
+                      ~ignore_failures:true comm rank
+                      ~contribute:(fun _ -> ())
+                      ~extract:(fun _ -> ()));
+                 H.fire ~rank H.Post H.Finalize
+             | exception Faultsim.Injector.Rank_killed _ ->
+                 (* Per-rank supervisor: the rank is dead. Propagate the
+                    failure to every communicator (peers see
+                    MPI_ERR_PROC_FAILED), skip its finalize, and end the
+                    task normally so the survivors keep running. The
+                    harness has already recorded the post-mortem on the
+                    way through. *)
+                 Comm.mark_dead comm ~world_rank:rank )))
 
 (* --- point-to-point ----------------------------------------------------- *)
 
@@ -118,7 +162,14 @@ let ssend ctx ~buf ~count ~dt ~dst ~tag =
       Sched.Scheduler.wait_until
         ~reason:(Fmt.str "MPI_Ssend(dst=%d, tag=%d)" dst tag)
         ctx.comm.Comm.cond
-        (fun () -> m.Comm.m_delivered);
+        (fun () ->
+          (* Delivery is checked first: a message the receiver already
+             matched counts even if the receiver has since died. *)
+          m.Comm.m_delivered
+          ||
+          (if ctx.comm.Comm.revoked then raise Comm.Revoked;
+           if Comm.is_dead ctx.comm dst then raise (Comm.Proc_failed dst);
+           false));
       H.fire ~rank:ctx.rank H.Post call)
 
 let dummy_request ~kind ~buf ~count ~dt ~peer ~tag ~owner =
@@ -175,8 +226,18 @@ let wait_complete ?reason ctx (req : Request.t) =
       in
       Comm.progress ctx.comm;
       Sched.Scheduler.wait_until ~reason ctx.comm.Comm.cond (fun () ->
-          Comm.progress ctx.comm;
-          req.Request.complete)
+          if req.Request.complete then true
+          else begin
+            if ctx.comm.Comm.revoked then raise Comm.Revoked;
+            Comm.progress ctx.comm;
+            req.Request.complete
+          end);
+      (* A complete-with-error request (source died with nothing in
+         flight) surfaces as MPI_ERR_PROC_FAILED at the wait — it never
+         hangs. *)
+      (match req.Request.error with
+      | Some _ -> raise (Comm.Proc_failed (max 0 req.Request.peer))
+      | None -> ())
 
 let wait ctx req =
   guard ctx ~site:Faultsim.Site.Mpi_wait ~call:"MPI_Wait" ~default:(fun () -> ())
@@ -473,3 +534,35 @@ let bcast ctx ~buf ~count ~dt ~root =
       in
       if ctx.rank <> root then write_elems buf dt vals;
       H.fire ~rank:ctx.rank H.Post call)
+
+(* --- ULFM-style fault tolerance ----------------------------------------- *)
+
+let failed_ranks ctx = Comm.failed_ranks ctx.comm
+
+(* MPIX_Comm_revoke: interrupt every peer blocked on this communicator;
+   their pending operations return MPI_ERR_REVOKED. The standard
+   recovery opening move after observing MPI_ERR_PROC_FAILED. *)
+let comm_revoke ctx = Comm.revoke ctx.comm
+
+(* MPIX_Comm_shrink: returns a fresh context on a communicator of the
+   survivors, with this rank renumbered. Rank 0 of the new comm is the
+   lowest surviving world rank. *)
+let comm_shrink ctx =
+  let sub, new_rank = Comm.shrink ctx.comm ctx.rank in
+  { rank = new_rank; size = sub.Comm.size; comm = sub }
+
+(* MPIX_Comm_agree: fault-tolerant agreement (bitwise AND over live
+   ranks); completes despite failures and revocation. *)
+let comm_agree ctx v = Comm.agree ctx.comm ctx.rank v
+
+(* --- post-mortem support ------------------------------------------------ *)
+
+(* The rank's posted-but-unmatched receives — what a crashed rank was
+   still waiting for. The harness renders these in its post-mortem. *)
+let pending_requests ctx =
+  List.filter_map
+    (fun pr ->
+      if (not pr.Comm.r_matched) && pr.Comm.r_req.Request.owner = ctx.rank then
+        Some pr.Comm.r_req
+      else None)
+    (List.rev ctx.comm.Comm.recvs)

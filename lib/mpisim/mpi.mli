@@ -41,10 +41,51 @@ val comm_set_errhandler : ctx -> Comm.errhandler -> unit
 val comm_get_errhandler : ctx -> Comm.errhandler
 
 val last_error : ctx -> Comm.errcode
-(** The calling rank's last error class ([Err_success] if none). *)
+(** The calling rank's last error class ([Err_success] if none). Error
+    codes persist across successful calls, like [errno]. *)
+
+val clear_error : ctx -> unit
+(** Reset {!last_error} to [Err_success]; recovery loops call this
+    before probing a fresh operation. *)
 
 val error_string : Comm.errcode -> string
 (** [MPI_Error_string]. *)
+
+(** {1 Fault tolerance (ULFM subset)}
+
+    A rank killed by an injected [Crash] is marked dead on all its
+    communicators. Operations that need the dead peer fail with
+    [MPI_ERR_PROC_FAILED] (exception [Comm.Proc_failed] under
+    [Errors_are_fatal], error code under [Errors_return]); requests on
+    it become complete-with-error so waits never hang. Recovery
+    pattern: observe the error, {!comm_revoke} to interrupt peers,
+    {!comm_shrink} to rebuild, optionally {!comm_agree} to agree on a
+    restart point. *)
+
+val failed_ranks : ctx -> int list
+(** Ranks of this communicator known to have crashed, ascending
+    ([MPIX_Comm_failure_ack]/[get_acked] collapsed into one query). *)
+
+val comm_revoke : ctx -> unit
+(** [MPIX_Comm_revoke]: mark the communicator unusable on all ranks and
+    interrupt peers blocked on it (they get [MPI_ERR_REVOKED]). Any
+    rank may call it; idempotent, not collective. *)
+
+val comm_shrink : ctx -> ctx
+(** [MPIX_Comm_shrink]: fault-tolerant collective over the survivors;
+    returns a context on a fresh communicator containing exactly the
+    live ranks, with this rank renumbered (rank 0 is the lowest
+    surviving world rank). The new communicator inherits the error
+    handler and receives subsequent failure notifications. *)
+
+val comm_agree : ctx -> int -> int
+(** [MPIX_Comm_agree]: fault-tolerant agreement — returns the bitwise
+    AND of the live ranks' contributions. Works on a revoked
+    communicator. *)
+
+val pending_requests : ctx -> Request.t list
+(** The rank's posted-but-unmatched receives, in post order — what a
+    crashed rank was still waiting for. Used by harness post-mortems. *)
 
 (** {1 Point-to-point}
 

@@ -12,6 +12,10 @@ type t = {
   tag : int;
   owner : int; (* posting rank *)
   mutable complete : bool;
+  mutable error : string option;
+      (* complete-with-error: a failed request is always also complete,
+         so MPI_Wait{,all} can never hang on it — the wait returns and
+         surfaces the error through the communicator's handler *)
 }
 
 (* Domain-local and resettable: request ids appear in fiber names and
@@ -24,7 +28,7 @@ let reset_ids () = Domain.DLS.set next_rid 0
 let make ~kind ~buf ~count ~dt ~peer ~tag ~owner =
   let rid = Domain.DLS.get next_rid in
   Domain.DLS.set next_rid (rid + 1);
-  { rid; kind; buf; count; dt; peer; tag; owner; complete = false }
+  { rid; kind; buf; count; dt; peer; tag; owner; complete = false; error = None }
 
 let bytes t = t.count * t.dt.Datatype.size
 

@@ -12,6 +12,10 @@ type t = {
   tag : int;
   owner : int;  (** posting rank *)
   mutable complete : bool;
+  mutable error : string option;
+      (** complete-with-error. Invariant: [error <> None] implies
+          [complete], so [MPI_Wait{,all}] on a failed request returns
+          (and surfaces the error) instead of hanging. *)
 }
 
 val make :

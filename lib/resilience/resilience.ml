@@ -1,0 +1,111 @@
+(* Application-level resilience building blocks for the simulated
+   MPI+CUDA stack: bounded retry with deterministic backoff, bounded
+   waiting, and checkpoint/restore of application buffers.
+
+   Everything here is deterministic by construction. "Time" is
+   scheduler progress (cooperative yields), not wall-clock time, so a
+   retry loop backs off by yielding a fixed, attempt-dependent number
+   of times — the interleaving it produces is a pure function of the
+   program, exactly like the rest of the simulator. *)
+
+exception Retries_exhausted of { label : string; attempts : int; last : exn }
+
+(* Deterministic backoff: 2^attempt cooperative yields (capped), the
+   virtual-time analogue of truncated exponential backoff. Yielding
+   lets peers make progress — e.g. finish the recovery collective this
+   rank will join on the next attempt. *)
+let backoff_yields ~attempt = 1 lsl min attempt 10
+
+let yield_n n =
+  for _ = 1 to n do
+    Sched.Scheduler.yield ()
+  done
+
+(* Run [f], retrying on exceptions [retryable] accepts, up to
+   [max_attempts] total attempts with deterministic backoff between
+   them. [f] receives the 1-based attempt number so it can switch
+   strategy (e.g. re-shrink the communicator after the first failure).
+   Non-retryable exceptions propagate immediately; exhausting the
+   budget raises [Retries_exhausted] carrying the last failure. *)
+let with_retries ?(label = "retry") ?(max_attempts = 3) ~retryable f =
+  if max_attempts <= 0 then invalid_arg "with_retries: max_attempts";
+  let rec go attempt =
+    match f ~attempt with
+    | v -> v
+    | exception e when retryable e ->
+        if Trace.Recorder.on () then
+          Trace.Recorder.instant ~cat:"resilience"
+            ~args:
+              [
+                ("label", label);
+                ("attempt", string_of_int attempt);
+                ("error", Printexc.to_string e);
+              ]
+            "retry";
+        if attempt >= max_attempts then
+          raise (Retries_exhausted { label; attempts = attempt; last = e })
+        else begin
+          yield_n (backoff_yields ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+(* Bounded wait: poll [pred] for at most [budget] yields. Returns
+   whether the predicate became true — the caller decides what a
+   timeout means (give up, declare the peer dead, ...). A bounded
+   alternative to blocking on a condition that may never be signalled. *)
+let await ?(label = "await") ?(budget = 1000) pred =
+  let rec go n =
+    if pred () then true
+    else if n >= budget then begin
+      if Trace.Recorder.on () then
+        Trace.Recorder.instant ~cat:"resilience"
+          ~args:[ ("label", label); ("budget", string_of_int budget) ]
+          "await_timeout";
+      false
+    end
+    else begin
+      Sched.Scheduler.yield ();
+      go (n + 1)
+    end
+  in
+  go 0
+
+(* Checkpoint/restore of application buffers. Snapshots are raw byte
+   copies of simulated memory — like writing to stable storage, they
+   are invisible to load/store instrumentation and perturb no race
+   report. Keyed by label so one checkpoint can hold several buffers
+   and survive the owning buffers being reallocated after recovery. *)
+module Checkpoint = struct
+  type t = (string, Bytes.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 4
+
+  let save (t : t) key ptr ~bytes =
+    Memsim.Ptr.check ptr bytes;
+    let snap =
+      Bytes.sub ptr.Memsim.Ptr.alloc.Memsim.Alloc.data ptr.Memsim.Ptr.off bytes
+    in
+    Hashtbl.replace t key snap;
+    if Trace.Recorder.on () then
+      Trace.Recorder.instant ~cat:"resilience"
+        ~args:[ ("key", key); ("bytes", string_of_int bytes) ]
+        "checkpoint_save"
+
+  let mem (t : t) key = Hashtbl.mem t key
+  let size (t : t) key = Option.map Bytes.length (Hashtbl.find_opt t key)
+
+  let restore (t : t) key ptr =
+    match Hashtbl.find_opt t key with
+    | None -> invalid_arg (Printf.sprintf "Checkpoint.restore: no snapshot %S" key)
+    | Some snap ->
+        let bytes = Bytes.length snap in
+        Memsim.Ptr.check ptr bytes;
+        Bytes.blit snap 0 ptr.Memsim.Ptr.alloc.Memsim.Alloc.data
+          ptr.Memsim.Ptr.off bytes;
+        if Trace.Recorder.on () then
+          Trace.Recorder.instant ~cat:"resilience"
+            ~args:[ ("key", key); ("bytes", string_of_int bytes) ]
+            "checkpoint_restore"
+end

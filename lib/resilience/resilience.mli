@@ -1,0 +1,55 @@
+(** Application-level resilience building blocks: bounded retry with
+    deterministic backoff, bounded waiting, and checkpoint/restore of
+    application buffers.
+
+    Deterministic by construction: "time" is scheduler progress
+    (cooperative yields), never wall-clock time, so recovery paths
+    replay exactly like the rest of the simulator. *)
+
+exception Retries_exhausted of { label : string; attempts : int; last : exn }
+
+val backoff_yields : attempt:int -> int
+(** [2^attempt] capped at 1024 — the virtual-time analogue of truncated
+    exponential backoff. *)
+
+val with_retries :
+  ?label:string ->
+  ?max_attempts:int ->
+  retryable:(exn -> bool) ->
+  (attempt:int -> 'a) ->
+  'a
+(** Run the body, retrying on exceptions [retryable] accepts, up to
+    [max_attempts] (default 3) total attempts, yielding
+    {!backoff_yields} times between attempts so peers can progress
+    (e.g. join the recovery collective). The body receives the 1-based
+    attempt number. Non-retryable exceptions propagate;
+    @raise Retries_exhausted when the budget is spent. *)
+
+val await : ?label:string -> ?budget:int -> (unit -> bool) -> bool
+(** Poll the predicate for at most [budget] (default 1000) yields;
+    returns whether it became true. A bounded alternative to blocking
+    on a condition that may never be signalled. *)
+
+(** Checkpoint/restore of application buffers, keyed by label. Raw byte
+    snapshots of simulated memory — like stable storage, invisible to
+    load/store instrumentation, perturbing no race report. *)
+module Checkpoint : sig
+  type t
+
+  val create : unit -> t
+
+  val save : t -> string -> Memsim.Ptr.t -> bytes:int -> unit
+  (** Snapshot [bytes] bytes behind the pointer under the key,
+      replacing any previous snapshot. *)
+
+  val mem : t -> string -> bool
+
+  val size : t -> string -> int option
+  (** Size in bytes of the stored snapshot, if any. *)
+
+  val restore : t -> string -> Memsim.Ptr.t -> unit
+  (** Copy the snapshot back behind the pointer (which may be a
+      different allocation than the one saved from).
+      @raise Invalid_argument when no snapshot exists under the key or
+      the target is too small. *)
+end

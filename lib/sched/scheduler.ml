@@ -36,6 +36,7 @@ and task = {
   t_id : int;
   mutable t_state : state;
   mutable t_reason : string option; (* why it blocks, for diagnostics *)
+  mutable t_killed : bool; (* reaped: never resumed again *)
 }
 
 and state = Runnable | Blocked of cond | Finished
@@ -123,9 +124,14 @@ let signal c =
   c.waiters <- [];
   List.iter
     (fun w ->
-      w.w_task.t_state <- Runnable;
-      w.w_task.t_reason <- None;
-      Queue.push (w.w_task, fun () -> Effect.Deep.continue w.w_resume ()) s.runq)
+      (* A reaped waiter's continuation is abandoned, not resumed. *)
+      if not w.w_task.t_killed then begin
+        w.w_task.t_state <- Runnable;
+        w.w_task.t_reason <- None;
+        Queue.push
+          (w.w_task, fun () -> Effect.Deep.continue w.w_resume ())
+          s.runq
+      end)
     ws
 
 let wait_until ?reason c pred =
@@ -133,9 +139,41 @@ let wait_until ?reason c pred =
     wait ?reason c
   done
 
+(* Reap tasks matching [pred]: they are never resumed again (a queued
+   or later-signalled continuation is dropped at pop time) and they no
+   longer count as blocked for deadlock/stall diagnostics — the
+   semantics of threads of a process that died. The continuations are
+   simply abandoned; the GC collects them. *)
+let kill pred =
+  let s = get () in
+  List.iter
+    (fun t ->
+      if t.t_state <> Finished && pred t.t_name then begin
+        t.t_killed <- true;
+        t.t_state <- Finished
+      end)
+    s.tasks
+
+(* Names of tasks that are neither finished nor reaped — the dead
+   rank's unjoined host threads a post-mortem lists. *)
+let unfinished_tasks () =
+  let s = get () in
+  List.filter_map
+    (fun t ->
+      match t.t_state with
+      | Finished -> None
+      | Runnable | Blocked _ -> Some t.t_name)
+    (List.rev s.tasks)
+
 let spawn_in s name f =
   let task =
-    { t_name = name; t_id = s.next_id; t_state = Runnable; t_reason = None }
+    {
+      t_name = name;
+      t_id = s.next_id;
+      t_state = Runnable;
+      t_reason = None;
+      t_killed = false;
+    }
   in
   s.next_id <- s.next_id + 1;
   s.tasks <- task :: s.tasks;
@@ -200,7 +238,8 @@ let run ?watchdog tasks =
             let spinning =
               Queue.fold
                 (fun acc (t, _) ->
-                  if List.mem t.t_name acc then acc else t.t_name :: acc)
+                  if t.t_killed || List.mem t.t_name acc then acc
+                  else t.t_name :: acc)
                 [] s.runq
               |> List.rev
             in
@@ -213,6 +252,8 @@ let run ?watchdog tasks =
                  })
         | _ -> ());
         let task, thunk = Queue.pop s.runq in
+        if task.t_killed then () (* reaped: drop the continuation *)
+        else begin
         s.current <- Some task;
         s.steps <- s.steps + 1;
         (* The trace probe runs before the resume hooks, so a hook that
@@ -222,6 +263,7 @@ let run ?watchdog tasks =
         List.iter (fun f -> f task.t_name task.t_id) (Domain.DLS.get resume_hooks);
         thunk ();
         s.current <- None
+        end
       done;
       let blocked = blocked_pairs s in
       if blocked <> [] then raise (Deadlock blocked))

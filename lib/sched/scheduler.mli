@@ -67,6 +67,19 @@ val wait_until : ?reason:string -> cond -> (unit -> bool) -> unit
 val signal : cond -> unit
 (** Wake every task blocked on the condition. *)
 
+val kill : (string -> bool) -> unit
+(** Reap every unfinished task whose name matches the predicate: it is
+    never resumed again (queued or later-signalled continuations are
+    dropped), and it stops counting as blocked for deadlock/stall
+    diagnostics — the semantics of threads of a process that died. The
+    harness supervisor uses this to reap a crashed rank's unjoined host
+    threads. *)
+
+val unfinished_tasks : unit -> string list
+(** Names of tasks that are neither finished nor reaped, in spawn
+    order. A crashed rank's post-mortem filters this for its unjoined
+    host threads. *)
+
 val self : unit -> string
 (** Name of the current task. *)
 

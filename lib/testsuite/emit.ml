@@ -35,6 +35,22 @@ let json_of_verdict (v : Runner.verdict) : Reporting.Mjson.t =
             (fun (rank, why) ->
               Obj [ ("rank", Int rank); ("error", Str why) ])
             v.Runner.failures));
+      ("post_mortems",
+       List
+         (List.map
+            (fun (pm : Harness.Run.post_mortem) ->
+              Obj
+                [
+                  ("rank", Int pm.Harness.Run.pm_rank);
+                  ("site", Str pm.Harness.Run.pm_site);
+                  ("pending",
+                   List (List.map (fun s -> Str s) pm.Harness.Run.pm_pending));
+                  ("unjoined",
+                   List (List.map (fun s -> Str s) pm.Harness.Run.pm_unjoined));
+                  ("trace",
+                   List (List.map (fun s -> Str s) pm.Harness.Run.pm_trace));
+                ])
+            v.Runner.post_mortems));
       ("reports",
        List
          (List.map

@@ -24,6 +24,7 @@ type verdict = {
   pass : bool;
   injected : int; (* faults that fired during this case *)
   failures : (int * string) list; (* captured per-rank failures *)
+  post_mortems : Harness.Run.post_mortem list; (* crashed-rank remains *)
   fault_log : Faultsim.Injector.decision list; (* replay lines *)
   wall_s : float; (* wall time of this case's simulation *)
   history : (string * string list) list;
@@ -69,6 +70,7 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
     pass;
     injected;
     failures = res.Harness.Run.failures;
+    post_mortems = res.Harness.Run.post_mortems;
     fault_log = res.Harness.Run.fault_log;
     wall_s = res.Harness.Run.wall_s;
     history = res.Harness.Run.history;

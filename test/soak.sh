@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Resilience soak (`dune build @resilience`): the fault stability gate
+# over 10 seeds with hard-failure plans armed. For every seed the whole
+# correctness matrix runs sequentially and on 8 worker domains; both
+# runs must classify every case correctly (exit 0) and their stdouts
+# must be byte-identical — crash/drop plans may not erode scheduling
+# determinism. The per-seed JSON verdict documents (post-mortems
+# included) are left next to the outputs as resilience-seed<N>.json;
+# CI uploads them when this script fails.
+set -u
+
+cutests=${1:?usage: soak.sh path/to/cutests.exe}
+# A deterministic rank crash plus probabilistic drops and kernel
+# crashes, so the seed genuinely changes which ranks die and where.
+plan='mpi_recv@1#3:crash,mpi_send%0.1:drop,kernel_launch%0.05:crash'
+status=0
+
+for seed in 0 1 2 3 4 5 6 7 8 9; do
+  # Only stdout is diffed: artifact notices go to stderr by contract.
+  if ! "$cutests" --seed "$seed" -j 1 --faults "$plan" \
+       --json "resilience-seed$seed.json" >"resilience-seed$seed-j1.out"
+  then
+    echo "soak: seed $seed failed the matrix at -j 1:" >&2
+    tail -5 "resilience-seed$seed-j1.out" >&2
+    status=1
+  fi
+  if ! "$cutests" --seed "$seed" -j 8 --faults "$plan" \
+       >"resilience-seed$seed-j8.out"
+  then
+    echo "soak: seed $seed failed the matrix at -j 8:" >&2
+    tail -5 "resilience-seed$seed-j8.out" >&2
+    status=1
+  fi
+  if ! cmp -s "resilience-seed$seed-j1.out" "resilience-seed$seed-j8.out"; then
+    echo "soak: seed $seed verdicts differ between -j 1 and -j 8:" >&2
+    diff "resilience-seed$seed-j1.out" "resilience-seed$seed-j8.out" >&2 | head -20
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "soak: 10 seeds x {-j 1, -j 8}, all verdicts correct and byte-identical"
+fi
+exit "$status"

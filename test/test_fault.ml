@@ -349,6 +349,188 @@ let matrix_stable_under_unfired_plan () =
           a.Testsuite.Runner.case.Testsuite.Cases.name)
     baseline armed
 
+(* --- hard failures: crash propagation and post-mortems ------------------- *)
+
+let crash_propagates_and_leaves_post_mortem () =
+  let faults = (0, plan_of_string "mpi_send@0#2:crash") in
+  let peer_code = ref Mpisim.Comm.Err_success in
+  let got = ref 0. in
+  let res =
+    R.run ~nranks:2 ~watchdog:50_000 ~faults ~flavor:Harness.Flavor.Must_cusan
+      (fun env ->
+        let ctx = env.R.mpi in
+        Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+        let buf = alloc_f64 1 in
+        if ctx.Mpi.rank = 0 then begin
+          Memsim.Access.raw_set_f64 buf 0 4.5;
+          Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0;
+          (* The crash fires here and unwinds the whole rank. *)
+          Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:1
+        end
+        else begin
+          (* The first message was in flight before the crash. *)
+          Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+          got := Memsim.Access.raw_get_f64 buf 0;
+          (* The second never left: dead peer, fail fast. *)
+          Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:1;
+          peer_code := Mpi.last_error ctx
+        end)
+  in
+  Alcotest.(check (float 0.)) "in-flight message delivered" 4.5 !got;
+  Alcotest.(check string) "peer sees MPI_ERR_PROC_FAILED"
+    "MPI_ERR_PROC_FAILED"
+    (Mpi.error_string !peer_code);
+  (match res.R.failures with
+  | [ (0, _) ] -> ()
+  | l -> Alcotest.failf "expected a rank-0 failure, got %d" (List.length l));
+  (match res.R.post_mortems with
+  | [ pm ] ->
+      Alcotest.(check int) "post-mortem rank" 0 pm.R.pm_rank;
+      Alcotest.(check string) "post-mortem names the fault site" "mpi_send"
+        pm.R.pm_site
+  | l -> Alcotest.failf "expected one post-mortem, got %d" (List.length l));
+  Alcotest.(check (option (list (pair string string)))) "no deadlock" None
+    res.R.deadlock
+
+(* Crash events appear as an explicit instant on the dying rank's track,
+   attributed to the firing fault site, so a Chrome trace shows *why*
+   the rank ended. *)
+let crash_emits_trace_instant_on_dying_track () =
+  let faults = (0, plan_of_string "mpi_send@1#1:crash") in
+  Trace.Recorder.enable ();
+  Fun.protect ~finally:Trace.Recorder.disable @@ fun () ->
+  ignore
+    (R.run ~nranks:2 ~watchdog:50_000 ~faults ~flavor:Harness.Flavor.Vanilla
+       (fun env ->
+         let ctx = env.R.mpi in
+         Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+         let buf = alloc_f64 1 in
+         if ctx.Mpi.rank = 1 then
+           Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:0 ~tag:0
+         else begin
+           Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:1 ~tag:0;
+           ignore (Mpi.last_error ctx)
+         end));
+  let evs = Trace.Recorder.events () in
+  match
+    List.find_opt (fun e -> e.Trace.Event.name = "rank_crashed") evs
+  with
+  | None -> Alcotest.fail "no rank_crashed instant recorded"
+  | Some e ->
+      Alcotest.(check string) "category" "crash" e.Trace.Event.cat;
+      Alcotest.(check int) "dying rank's pid" 1 e.Trace.Event.pid;
+      Alcotest.(check string) "dying rank's track" "rank1" e.Trace.Event.track;
+      Alcotest.(check (option string)) "fault site attributed"
+        (Some "mpi_send")
+        (List.assoc_opt "site" e.Trace.Event.args)
+
+(* --- transport faults ---------------------------------------------------- *)
+
+let drop_on_blocking_recv_is_diagnosed () =
+  (* A dropped message with a blocking receiver cannot be recovered by
+     the receiver alone — but it must be an orderly *diagnosed* hang
+     (deadlock detector or watchdog), never a silent wedge. *)
+  let faults = (0, plan_of_string "mpi_send@0#1:drop") in
+  let res =
+    R.run ~nranks:2 ~watchdog:50_000 ~faults ~flavor:Harness.Flavor.Vanilla
+      (fun env ->
+        let ctx = env.R.mpi in
+        let buf = alloc_f64 1 in
+        if ctx.Mpi.rank = 0 then
+          Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0
+        else Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0)
+  in
+  Alcotest.(check int) "one fault fired" 1 (List.length res.R.fault_log);
+  Alcotest.(check bool) "hang diagnosed" true
+    (res.R.deadlock <> None || res.R.stall <> None)
+
+let delayed_message_is_overtaken () =
+  (* delay2 hides the first message from matching for two progress
+     rounds: a later same-tag message overtakes it — exactly the
+     reordering a lossy network produces — yet both are delivered. *)
+  let faults = (0, plan_of_string "mpi_send@0#1:delay2") in
+  let got = ref [] in
+  let res =
+    R.run ~nranks:2 ~watchdog:50_000 ~faults ~flavor:Harness.Flavor.Vanilla
+      (fun env ->
+        let ctx = env.R.mpi in
+        let buf = alloc_f64 1 in
+        if ctx.Mpi.rank = 0 then
+          List.iter
+            (fun v ->
+              Memsim.Access.raw_set_f64 buf 0 v;
+              Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0)
+            [ 1.; 2. ]
+        else
+          for _ = 1 to 2 do
+            Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+            got := Memsim.Access.raw_get_f64 buf 0 :: !got
+          done)
+  in
+  Alcotest.(check int) "one fault fired" 1 (List.length res.R.fault_log);
+  Alcotest.(check (list (float 0.))) "second message overtakes the delayed"
+    [ 2.; 1. ]
+    (List.rev !got)
+
+(* --- wedged streams ------------------------------------------------------ *)
+
+let wedged_stream_is_sticky_at_sync () =
+  with_clean @@ fun () ->
+  Inj.arm ~seed:0 ~plan:(plan_of_string "kernel_launch#1:wedge") ();
+  let dev = Dev.create ~mode:Dev.Eager () in
+  Dev.launch dev noop_kernel ~grid:1 ~args:[||] ();
+  (* A wedged stream fails nothing until you wait on it. *)
+  Alcotest.(check string) "launch itself succeeded" "cudaSuccess"
+    (Err.to_string (Dev.peek_at_last_error dev));
+  (match Dev.device_synchronize dev with
+  | () -> Alcotest.fail "sync on a wedged stream returned"
+  | exception Err.Cuda_failure { code = Err.Launch_timeout; _ } -> ());
+  (* The timeout is sticky, like a real hung-kernel abort. *)
+  Alcotest.(check string) "sticky" "cudaErrorLaunchTimeout"
+    (Err.to_string (Dev.get_last_error dev));
+  Alcotest.(check string) "still sticky after get" "cudaErrorLaunchTimeout"
+    (Err.to_string (Dev.get_last_error dev))
+
+(* --- application-level recovery (ULFM + lib/resilience) ------------------ *)
+
+let pingpong_survives_peer_crash () =
+  let faults = (0, plan_of_string "mpi_send@1#3:crash") in
+  let rep = Apps.Pingpong.resilient_report ~nranks:2 in
+  let res =
+    R.run ~nranks:2 ~watchdog:1_000_000 ~faults ~flavor:Harness.Flavor.Vanilla
+      (Apps.Pingpong.resilient_app ~n:64 ~iters:6 rep)
+  in
+  (match res.R.post_mortems with
+  | [ pm ] -> Alcotest.(check int) "rank 1 died" 1 pm.R.pm_rank
+  | l -> Alcotest.failf "expected one post-mortem, got %d" (List.length l));
+  Alcotest.(check bool) "survivor recovered" true
+    rep.Apps.Pingpong.recovered.(0);
+  Alcotest.(check int) "all rounds completed" 6 rep.Apps.Pingpong.completed.(0);
+  Alcotest.(check (float 0.)) "payload intact across the recovery"
+    (Apps.Pingpong.expected_checksum ~n:64)
+    rep.Apps.Pingpong.checksum.(0)
+
+let jacobi_recovers_to_reference_norm () =
+  let nx = 32 and ny = 32 and iters = 40 in
+  let cfg =
+    Apps.Jacobi.config ~nx ~ny ~iters ~norm_every:(iters / 2) ~racy:false
+      ~exchange:Apps.Jacobi.Sendrecv ~nranks:2 ()
+  in
+  let out = Apps.Jacobi.resilient_outcome ~nranks:2 in
+  let faults = (0, plan_of_string "mpi_collective@1#4:crash") in
+  let res =
+    R.run ~nranks:2 ~watchdog:5_000_000 ~faults ~flavor:Harness.Flavor.Vanilla
+      (Apps.Jacobi.resilient_app cfg out)
+  in
+  let expect = Apps.Jacobi.reference ~nx ~ny ~iters ~norm_every:1 in
+  (match res.R.post_mortems with
+  | [ pm ] -> Alcotest.(check int) "rank 1 died" 1 pm.R.pm_rank
+  | l -> Alcotest.failf "expected one post-mortem, got %d" (List.length l));
+  Alcotest.(check bool) "survivor recovered" true out.Apps.Jacobi.recovered.(0);
+  Alcotest.(check (float 1e-9)) "survivor converges to the serial reference"
+    expect
+    cfg.Apps.Jacobi.results.(0)
+
 let tests =
   [
     Alcotest.test_case "prng: same seed, same stream" `Quick
@@ -378,6 +560,20 @@ let tests =
       aborted_rank_still_flushes_tools;
     Alcotest.test_case "determinism: same seed, same fault log" `Quick
       same_seed_same_fault_log;
+    Alcotest.test_case "crash: propagates and leaves a post-mortem" `Quick
+      crash_propagates_and_leaves_post_mortem;
+    Alcotest.test_case "crash: instant on the dying rank's track" `Quick
+      crash_emits_trace_instant_on_dying_track;
+    Alcotest.test_case "drop: blocking receiver is diagnosed" `Quick
+      drop_on_blocking_recv_is_diagnosed;
+    Alcotest.test_case "delay: reorders but delivers" `Quick
+      delayed_message_is_overtaken;
+    Alcotest.test_case "wedge: sticky timeout at sync" `Quick
+      wedged_stream_is_sticky_at_sync;
+    Alcotest.test_case "recovery: pingpong survives a peer crash" `Quick
+      pingpong_survives_peer_crash;
+    Alcotest.test_case "recovery: jacobi reconverges after a crash" `Quick
+      jacobi_recovers_to_reference_norm;
     Alcotest.test_case "stability: armed-but-unfired matches baseline" `Slow
       matrix_stable_under_unfired_plan;
   ]

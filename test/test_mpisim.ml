@@ -526,6 +526,170 @@ let prop_matched_traffic =
       sorted (by_tag 0) && sorted (by_tag 1)
       && List.length !delivered = List.length expected)
 
+(* --- hard failures ------------------------------------------------------ *)
+
+(* Kill the calling rank exactly as an injected [:crash] does: raise
+   [Rank_killed] and let [Mpi.run]'s per-rank supervisor mark the rank
+   dead on its communicators. Every test runs under a watchdog, so a
+   wait that wrongly blocks on the dead peer fails the test instead of
+   hanging the suite. *)
+let die ctx =
+  raise
+    (Faultsim.Injector.Rank_killed
+       { rank = ctx.Mpi.rank; site = Faultsim.Site.Mpi_send })
+
+(* Regression: a request whose peer died must be complete-with-error —
+   MPI_Wait returns and surfaces MPI_ERR_PROC_FAILED, it never hangs. *)
+let wait_on_dead_peer_never_hangs () =
+  with_clean @@ fun () ->
+  let code = ref Mpisim.Comm.Err_success in
+  let state = ref None in
+  Mpi.run ~watchdog:50_000 ~nranks:2 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      if ctx.Mpi.rank = 0 then die ctx
+      else begin
+        let buf = alloc_f64 1 in
+        let req = Mpi.irecv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0 in
+        Mpi.wait ctx req;
+        code := Mpi.last_error ctx;
+        state :=
+          Some (req.Mpisim.Request.complete, req.Mpisim.Request.error <> None)
+      end);
+  Alcotest.(check string) "wait surfaces the failure" "MPI_ERR_PROC_FAILED"
+    (Mpi.error_string !code);
+  Alcotest.(check (option (pair bool bool)))
+    "request is complete-with-error"
+    (Some (true, true))
+    !state
+
+let waitall_with_dead_and_live_peers () =
+  with_clean @@ fun () ->
+  let code = ref Mpisim.Comm.Err_success in
+  let failed = ref [] in
+  let got = ref 0. in
+  Mpi.run ~watchdog:50_000 ~nranks:3 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      match ctx.Mpi.rank with
+      | 0 -> die ctx
+      | 2 ->
+          let buf = alloc_f64 1 in
+          Memsim.Access.raw_set_f64 buf 0 7.5;
+          Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:1
+      | _ ->
+          let a = alloc_f64 1 and b = alloc_f64 1 in
+          let r_dead =
+            Mpi.irecv ctx ~buf:a ~count:1 ~dt:Dt.double ~src:0 ~tag:0
+          in
+          let r_live =
+            Mpi.irecv ctx ~buf:b ~count:1 ~dt:Dt.double ~src:2 ~tag:1
+          in
+          (* Returns with the error instead of hanging on the dead rank. *)
+          Mpi.waitall ctx [ r_dead; r_live ];
+          code := Mpi.last_error ctx;
+          failed := Mpi.failed_ranks ctx;
+          (* The live transfer is unaffected: finish it and read. *)
+          Mpi.clear_error ctx;
+          Mpi.wait ctx r_live;
+          if Mpi.last_error ctx = Mpisim.Comm.Err_success then
+            got := Memsim.Access.raw_get_f64 b 0);
+  Alcotest.(check string) "waitall surfaces the dead peer"
+    "MPI_ERR_PROC_FAILED"
+    (Mpi.error_string !code);
+  Alcotest.(check (list int)) "failure detector names rank 0" [ 0 ] !failed;
+  Alcotest.(check (float 0.)) "live message still delivered" 7.5 !got
+
+let in_flight_message_outlives_sender () =
+  with_clean @@ fun () ->
+  let first = ref 0. and second = ref Mpisim.Comm.Err_success in
+  Mpi.run ~watchdog:50_000 ~nranks:2 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then begin
+        Memsim.Access.raw_set_f64 buf 0 9.25;
+        Mpi.send ctx ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:0;
+        die ctx
+      end
+      else begin
+        (* The payload was already in flight when the sender died:
+           deliverable, like RDMA data that left the NIC. *)
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+        first := Memsim.Access.raw_get_f64 buf 0;
+        (* Nothing further is coming: fail fast, never hang. *)
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+        second := Mpi.last_error ctx
+      end);
+  Alcotest.(check (float 0.)) "in-flight payload delivered" 9.25 !first;
+  Alcotest.(check string) "next receive fails fast" "MPI_ERR_PROC_FAILED"
+    (Mpi.error_string !second)
+
+(* --- ULFM-style recovery ------------------------------------------------ *)
+
+let revoke_wakes_blocked_peer () =
+  with_clean @@ fun () ->
+  let code = ref Mpisim.Comm.Err_success in
+  Mpi.run ~watchdog:50_000 ~nranks:2 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      let buf = alloc_f64 1 in
+      if ctx.Mpi.rank = 0 then Mpi.comm_revoke ctx
+      else begin
+        (* Blocks (nothing is coming) until the revocation lands. *)
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:0;
+        code := Mpi.last_error ctx
+      end);
+  Alcotest.(check string) "blocked receive woken with MPI_ERR_REVOKED"
+    "MPI_ERR_REVOKED"
+    (Mpi.error_string !code)
+
+let shrink_builds_working_subcomm () =
+  with_clean @@ fun () ->
+  (* world rank -> (new rank, new size, payload exchanged on the sub) *)
+  let seen = Array.make 3 None in
+  Mpi.run ~watchdog:50_000 ~nranks:3 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      if ctx.Mpi.rank = 1 then die ctx
+      else begin
+        let buf = alloc_f64 1 in
+        (* Observe the failure first so the live set is settled. *)
+        Mpi.recv ctx ~buf ~count:1 ~dt:Dt.double ~src:1 ~tag:0;
+        Mpi.clear_error ctx;
+        let sub = Mpi.comm_shrink ctx in
+        (* The shrunken communicator is fully functional: survivors are
+           renumbered densely and point-to-point works. *)
+        if sub.Mpi.rank = 0 then begin
+          Memsim.Access.raw_set_f64 buf 0 3.5;
+          Mpi.send sub ~buf ~count:1 ~dt:Dt.double ~dst:1 ~tag:9
+        end
+        else Mpi.recv sub ~buf ~count:1 ~dt:Dt.double ~src:0 ~tag:9;
+        seen.(ctx.Mpi.rank) <-
+          Some (sub.Mpi.rank, sub.Mpi.size, Memsim.Access.raw_get_f64 buf 0)
+      end);
+  Alcotest.(check (option (triple int int (float 0.))))
+    "world rank 0 -> sub rank 0"
+    (Some (0, 2, 3.5))
+    seen.(0);
+  Alcotest.(check (option (triple int int (float 0.))))
+    "world rank 2 -> sub rank 1, payload delivered"
+    (Some (1, 2, 3.5))
+    seen.(2);
+  Alcotest.(check bool) "dead rank never joined" true (seen.(1) = None)
+
+let agree_is_bitwise_and_of_survivors () =
+  with_clean @@ fun () ->
+  let vals = Array.make 3 (-1) in
+  Mpi.run ~watchdog:50_000 ~nranks:3 (fun ctx ->
+      Mpi.comm_set_errhandler ctx Mpisim.Comm.Errors_return;
+      if ctx.Mpi.rank = 0 then die ctx
+      else begin
+        (* Agreement must work even on a revoked communicator — it is
+           the one collective recovery can rely on. *)
+        Mpi.comm_revoke ctx;
+        vals.(ctx.Mpi.rank) <-
+          Mpi.comm_agree ctx (if ctx.Mpi.rank = 1 then 0b110 else 0b011)
+      end);
+  Alcotest.(check int) "rank 1 agrees on the AND" 0b010 vals.(1);
+  Alcotest.(check int) "rank 2 agrees on the AND" 0b010 vals.(2);
+  Alcotest.(check int) "dead rank contributed nothing" (-1) vals.(0)
+
 let tests =
   [
     Alcotest.test_case "send/recv roundtrip" `Quick send_recv_roundtrip;
@@ -565,6 +729,18 @@ let tests =
     Alcotest.test_case "scatter slices" `Quick scatter_slices;
     Alcotest.test_case "hooks fire in order" `Quick hooks_fire_in_order;
     Alcotest.test_case "datatypes" `Quick datatypes;
+    Alcotest.test_case "dead peer: wait never hangs" `Quick
+      wait_on_dead_peer_never_hangs;
+    Alcotest.test_case "dead peer: waitall completes-with-error" `Quick
+      waitall_with_dead_and_live_peers;
+    Alcotest.test_case "dead peer: in-flight data delivered" `Quick
+      in_flight_message_outlives_sender;
+    Alcotest.test_case "ulfm: revoke wakes blocked peer" `Quick
+      revoke_wakes_blocked_peer;
+    Alcotest.test_case "ulfm: shrink renumbers survivors" `Quick
+      shrink_builds_working_subcomm;
+    Alcotest.test_case "ulfm: agree is AND of survivors" `Quick
+      agree_is_bitwise_and_of_survivors;
     QCheck_alcotest.to_alcotest prop_matched_traffic;
   ]
 

@@ -107,6 +107,39 @@ let parallel_matches_sequential =
       let fpar = List.map render (Testsuite.Runner.run_matrix ?faults ~j ()) in
       seq = par && fseq = fpar)
 
+(* Hard failures must not erode the guarantee: a plan that kills ranks
+   and loses messages still yields byte-identical verdicts AND reports
+   (the full JSON document, post-mortems included) for -j 1 vs -j 8,
+   across seeds. Wall time is the one legitimately nondeterministic
+   field, so it is zeroed before rendering. *)
+let hard_failure_plans_deterministic =
+  QCheck.Test.make ~count:3
+    ~name:"crash/drop plans: -j 8 == -j 1 across seeds"
+    (QCheck.oneofl [ 7; 21; 42 ])
+    (fun seed ->
+      let plan =
+        match
+          Faultsim.Plan.parse_spec "mpi_recv@1#3:crash,mpi_send@0#2:drop"
+        with
+        | Ok (_, p) -> p
+        | Error msg -> QCheck.Test.fail_reportf "plan did not parse: %s" msg
+      in
+      let faults = Some (seed, plan) in
+      let strip (v : Testsuite.Runner.verdict) =
+        { v with Testsuite.Runner.wall_s = 0. }
+      in
+      let doc vs =
+        Reporting.Mjson.to_string
+          (Testsuite.Emit.json ~seed ~mode:"eager" ~j:0 vs)
+      in
+      let seq =
+        List.map strip (Testsuite.Runner.run_matrix ?faults ~j:1 ())
+      in
+      let par =
+        List.map strip (Testsuite.Runner.run_matrix ?faults ~j:8 ())
+      in
+      List.map render seq = List.map render par && doc seq = doc par)
+
 (* --- Mjson ------------------------------------------------------------- *)
 
 let sample : Reporting.Mjson.t =
@@ -441,7 +474,10 @@ let () =
             exclusively_returns_value;
         ] );
       ( "determinism",
-        [ QCheck_alcotest.to_alcotest parallel_matches_sequential ] );
+        [
+          QCheck_alcotest.to_alcotest parallel_matches_sequential;
+          QCheck_alcotest.to_alcotest hard_failure_plans_deterministic;
+        ] );
       ( "mjson",
         [
           Alcotest.test_case "roundtrip" `Quick mjson_roundtrip;
