@@ -66,6 +66,26 @@ let () =
   in
   let baseline = load_cells "baseline" baseline_path in
   let run = load_cells "run" run_path in
+  (* Run cells the baseline has never heard of are an inputs problem,
+     not a drift verdict: the gate can't vouch for a cell with no
+     reference, so name each one and bail with usage-style guidance. *)
+  (match Reporting.Benchcmp.unbaselined ~baseline ~run with
+  | [] -> ()
+  | missing ->
+      Fmt.epr "benchdiff: %d run cell(s) missing from baseline %s:@."
+        (List.length missing) baseline_path;
+      List.iter
+        (fun c ->
+          Fmt.epr "  %-24s %8.3fx (no baseline entry)@."
+            c.Reporting.Benchcmp.key c.Reporting.Benchcmp.value)
+        missing;
+      Fmt.epr
+        "@.refresh the committed baseline to cover these cells, e.g.:@.\
+        \  cp %s %s@.\
+         or regenerate it with the bench harness before re-running benchdiff.@."
+        run_path baseline_path;
+      usage ();
+      exit 2);
   let outcomes =
     Reporting.Benchcmp.compare ~threshold_pct:o.threshold ~baseline ~run
   in

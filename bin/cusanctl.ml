@@ -1,0 +1,190 @@
+(* cusanctl: the cusand client. Sends one request frame over the
+   Unix-domain socket, prints the reply JSON on stdout, and maps the
+   reply status onto the exit code.
+
+   The retry loop is the client half of the daemon's backpressure
+   contract: a busy/retry_after reply (or a daemon that is not up yet)
+   is retried through Resilience.with_retries with the same seeded
+   Prng-jittered exponential backoff the in-simulation recovery paths
+   use — the yield counts are deterministic under --seed, and the
+   client folds the daemon's retry_after hint and a wall-clock quantum
+   into actual sleeps. *)
+
+module Mjson = Reporting.Mjson
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "cusand.sock"
+
+(* Seconds per backoff yield: Resilience hands us virtual yield counts
+   (2, 4, 8, ... plus jitter); the client maps them to wall clock,
+   scaled by the daemon's latest retry_after hint. *)
+let quantum = 0.005
+
+let usage () =
+  Fmt.pr
+    "usage: cusanctl [options] COMMAND@.@.\
+     commands:@.\
+    \  lint TARGET                static race lint of one kirlint target@.\
+    \  soak CASE                  run one matrix case (see --faults/--fault-seed)@.\
+    \  bench APP FLAVOR           run one bench cell (pingpong|jacobi|tealeaf)@.\
+    \  boom                       chaos drill: crash a worker on purpose@.\
+    \  spin STEPS                 wedge drill: occupy a worker until the@.\
+    \                             step-budget watchdog fires@.\
+    \  health                     liveness + queue depth@.\
+    \  stats                      daemon counters@.\
+    \  shutdown                   request a graceful drain@.@.\
+     options:@.\
+    \  --socket PATH     daemon socket (default %s)@.\
+    \  --faults SPEC     fault plan for soak (cutests --faults grammar)@.\
+    \  --fault-seed N    fault-plan seed for soak (default 0)@.\
+    \  --seed N          backoff jitter seed (default 1)@.\
+    \  --retries N       max attempts against busy/absent daemon (default 6)@.@.\
+     exit codes: 0 ok, 1 job crashed (post-mortem printed), 2 client/protocol@.\
+     error, 3 daemon unreachable or still busy after all retries@."
+    default_socket
+
+let die msg =
+  Fmt.epr "cusanctl: %s@." msg;
+  usage ();
+  exit 2
+
+type opts = {
+  socket : string;
+  faults : string option;
+  fault_seed : int;
+  seed : int;
+  retries : int;
+  rest : string list;
+}
+
+let parse_args argv =
+  let rec go acc = function
+    | [] -> acc
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--socket" :: v :: rest -> go { acc with socket = v } rest
+    | "--faults" :: v :: rest -> go { acc with faults = Some v } rest
+    | "--fault-seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n -> go { acc with fault_seed = n } rest
+        | None -> die (Fmt.str "--fault-seed expects an integer, got %S" v))
+    | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n -> go { acc with seed = n } rest
+        | None -> die (Fmt.str "--seed expects an integer, got %S" v))
+    | "--retries" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> go { acc with retries = n } rest
+        | _ -> die (Fmt.str "--retries expects a positive integer, got %S" v))
+    | [ ("--socket" | "--faults" | "--fault-seed" | "--seed" | "--retries") as f ]
+      ->
+        die (f ^ " requires a value")
+    | arg :: rest -> go { acc with rest = acc.rest @ [ arg ] } rest
+  in
+  go
+    {
+      socket = default_socket;
+      faults = None;
+      fault_seed = 0;
+      seed = 1;
+      retries = 6;
+      rest = [];
+    }
+    argv
+
+let request_of_opts o : Server.Protocol.request =
+  match o.rest with
+  | [ "lint"; target ] -> Submit (Lint { target })
+  | [ "soak"; case ] ->
+      Submit (Soak { case; seed = o.fault_seed; faults = o.faults })
+  | [ "bench"; app; flavor ] -> Submit (Bench { app; flavor })
+  | [ "boom" ] -> Submit Boom
+  | [ "spin"; n ] -> (
+      match int_of_string_opt n with
+      | Some steps when steps > 0 -> Submit (Spin { steps })
+      | _ -> die (Fmt.str "spin expects a positive step count, got %S" n))
+  | [ "health" ] -> Health
+  | [ "stats" ] -> Stats
+  | [ "shutdown" ] -> Shutdown
+  | [] -> die "no command given"
+  | cmd -> die (Fmt.str "bad command %S" (String.concat " " cmd))
+
+(* One connection, one frame each way. *)
+let roundtrip ~socket req : Mjson.t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.
+   with Unix.Unix_error _ -> ());
+  Server.Protocol.write_frame fd (Server.Protocol.request_to_json req);
+  match Server.Protocol.read_frame fd with
+  | Error e -> failwith (Server.Protocol.read_error_to_string e)
+  | Ok line -> (
+      match Mjson.of_string line with
+      | Error msg -> failwith ("bad reply JSON: " ^ msg)
+      | Ok j -> j)
+
+exception Busy of int
+
+let status j =
+  match Mjson.member "status" j |> Fun.flip Option.bind Mjson.to_str with
+  | Some s -> s
+  | None -> "error"
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let req = request_of_opts o in
+  (* The daemon's retry_after hint scales the next sleep; 1 until the
+     daemon says otherwise. *)
+  let hint = ref 1 in
+  let reply =
+    try
+      Resilience.with_retries ~label:"cusanctl" ~max_attempts:o.retries
+        ~jitter:(Faultsim.Prng.create o.seed)
+        ~on_backoff:(fun ~yields ->
+          Unix.sleepf (quantum *. float_of_int (yields * !hint)))
+        ~retryable:(function
+          | Busy _ -> true
+          | Unix.Unix_error
+              ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET
+                | Unix.EPIPE | Unix.EAGAIN ),
+                _,
+                _ ) ->
+              (* daemon not up yet, or it went away mid-frame *)
+              true
+          | _ -> false)
+        (fun ~attempt:_ ->
+          let j = roundtrip ~socket:o.socket req in
+          match status j with
+          | "busy" ->
+              hint :=
+                (match
+                   Mjson.member "retry_after" j
+                   |> Fun.flip Option.bind Mjson.to_int
+                 with
+                | Some n when n > 0 -> n
+                | _ -> 1);
+              raise (Busy !hint)
+          | _ -> j)
+    with
+    | Resilience.Retries_exhausted { attempts; last; _ } ->
+        Fmt.epr "cusanctl: giving up after %d attempts (%s)@." attempts
+          (Printexc.to_string last);
+        exit 3
+    | Failure msg ->
+        Fmt.epr "cusanctl: %s@." msg;
+        exit 2
+    | Unix.Unix_error (e, fn, _) ->
+        Fmt.epr "cusanctl: %s: %s (%s)@." o.socket (Unix.error_message e) fn;
+        exit 3
+  in
+  print_endline (Mjson.to_string reply);
+  match status reply with
+  | "ok" -> exit 0
+  | "crashed" -> exit 1
+  | _ -> exit 2

@@ -1,0 +1,117 @@
+(* cusand: the long-running analysis daemon. Accepts lint / soak /
+   bench jobs over a Unix-domain socket (the cusand/1 wire protocol),
+   shards them across a domain pool, and survives anything a job does:
+   crashes are reaped into post-mortem replies, wedges become watchdog
+   [stalled] verdicts, overload is shed with retry_after hints, and
+   SIGTERM drains gracefully — admission stops, in-flight jobs finish
+   or are cancelled at the deadline, the final stats are flushed, and
+   the process exits 0. See lib/server and DESIGN.md. *)
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "cusand.sock"
+
+let usage () =
+  Fmt.pr
+    "usage: cusand [options]@.@.\
+    \  --socket PATH      listen on PATH (default %s)@.\
+    \  --workers N        worker domains (default 2)@.\
+    \  --queue-max N      in-flight high-water mark; beyond it jobs are@.\
+    \                     shed with a busy/retry_after reply (default 8)@.\
+    \  --watchdog STEPS   scheduler step budget per job; wedged jobs@.\
+    \                     become stalled verdicts (default %d)@.\
+    \  --cache-cap N      max cached results, 0 disables (default 1024)@.\
+    \  --drain-timeout S  wall-clock budget for in-flight jobs at drain@.\
+    \                     (default 30)@.\
+    \  --stats FILE       also write the final drain stats JSON to FILE@.\
+    \  --trace            arm per-worker flight recorders@.\
+    \  --verbose          log admissions, sheds, and reaped jobs@.@.\
+     SIGTERM or SIGINT (or a shutdown frame) requests a graceful drain.@."
+    default_socket Server.Engine.default_watchdog
+
+let die msg =
+  Fmt.epr "cusand: %s@." msg;
+  usage ();
+  exit 2
+
+let pos_int flag v =
+  match int_of_string_opt v with
+  | Some n when n > 0 -> n
+  | _ -> die (Fmt.str "%s expects a positive integer, got %S" flag v)
+
+let () =
+  let cfg = ref (Server.Daemon.default_cfg ~socket_path:default_socket) in
+  let stats_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+        usage ();
+        exit 0
+    | "--socket" :: v :: rest ->
+        cfg := { !cfg with Server.Daemon.socket_path = v };
+        parse rest
+    | "--workers" :: v :: rest ->
+        cfg := { !cfg with Server.Daemon.workers = pos_int "--workers" v };
+        parse rest
+    | "--queue-max" :: v :: rest ->
+        cfg := { !cfg with Server.Daemon.queue_max = pos_int "--queue-max" v };
+        parse rest
+    | "--watchdog" :: v :: rest ->
+        cfg := { !cfg with Server.Daemon.watchdog = pos_int "--watchdog" v };
+        parse rest
+    | "--cache-cap" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 ->
+            cfg := { !cfg with Server.Daemon.cache_cap = n };
+            parse rest
+        | _ -> die (Fmt.str "--cache-cap expects a non-negative integer, got %S" v))
+    | "--drain-timeout" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some s when s >= 0. ->
+            cfg := { !cfg with Server.Daemon.drain_timeout_s = s };
+            parse rest
+        | _ ->
+            die (Fmt.str "--drain-timeout expects a non-negative number, got %S" v))
+    | "--stats" :: v :: rest ->
+        stats_file := Some v;
+        parse rest
+    | "--trace" :: rest ->
+        cfg := { !cfg with Server.Daemon.trace = true };
+        parse rest
+    | "--verbose" :: rest ->
+        cfg := { !cfg with Server.Daemon.verbose = true };
+        parse rest
+    | [ ("--socket" | "--workers" | "--queue-max" | "--watchdog" | "--cache-cap"
+        | "--drain-timeout" | "--stats") as flag ] ->
+        die (flag ^ " requires a value")
+    | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let t =
+    try Server.Daemon.create !cfg
+    with Unix.Unix_error (e, fn, arg) ->
+      Fmt.epr "cusand: cannot listen on %s: %s (%s %s)@."
+        !cfg.Server.Daemon.socket_path (Unix.error_message e) fn arg;
+      exit 1
+  in
+  (* The handlers only flip an atomic; the accept loop notices at its
+     next select tick (EINTR included) and starts the drain. *)
+  let on_signal _ = Server.Daemon.request_drain t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let stats = Server.Daemon.serve t in
+  let report =
+    Reporting.Mjson.Obj
+      [
+        ("schema", Reporting.Mjson.Str Server.Protocol.schema);
+        ("event", Reporting.Mjson.Str "drained");
+        ("stats", Server.Daemon.stats_json stats);
+      ]
+  in
+  let line = Reporting.Mjson.to_string report in
+  print_endline line;
+  (match !stats_file with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (line ^ "\n")));
+  exit 0

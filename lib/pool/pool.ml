@@ -133,6 +133,125 @@ let map_pool t f xs =
   Array.to_list out
   |> List.map (function Some v -> v | None -> failwith "Pool.map_pool: lost result")
 
+(* --- cancellable submissions -------------------------------------------- *)
+
+(* A handle tracks one submitted task through its life. Cancellation is
+   cooperative: domains cannot be preempted, so a [Pending] task is
+   dequeued-by-flag (the wrapper sees the state and returns without
+   running user code), while a [Running] task only observes the request
+   through the [cancelled] probe it was handed. Either way the handle
+   resolves exactly once, and the result of a cancelled-while-running
+   task is still recorded — the caller already moved on, but the slot's
+   bookkeeping stays consistent. *)
+
+type 'a state =
+  | Pending
+  | Running
+  | Done of ('a, exn) result
+  | Cancelled
+
+type 'a handle = {
+  hm : Mutex.t;
+  hc : Condition.t;
+  mutable state : 'a state;
+  flag : bool Atomic.t; (* set by [cancel]; polled by the task *)
+}
+
+let submit_cancellable t f =
+  let h =
+    { hm = Mutex.create (); hc = Condition.create (); state = Pending;
+      flag = Atomic.make false }
+  in
+  submit t (fun () ->
+      Mutex.lock h.hm;
+      match h.state with
+      | Cancelled | Done _ | Running -> Mutex.unlock h.hm
+      | Pending ->
+          h.state <- Running;
+          Mutex.unlock h.hm;
+          let r =
+            try Ok (f ~cancelled:(fun () -> Atomic.get h.flag))
+            with e -> Error e
+          in
+          Mutex.lock h.hm;
+          h.state <- Done r;
+          Condition.broadcast h.hc;
+          Mutex.unlock h.hm);
+  h
+
+let cancel h =
+  Atomic.set h.flag true;
+  Mutex.lock h.hm;
+  (match h.state with
+  | Pending ->
+      h.state <- Cancelled;
+      Condition.broadcast h.hc
+  | Running | Done _ | Cancelled -> ());
+  Mutex.unlock h.hm
+
+let poll h =
+  Mutex.lock h.hm;
+  let s = h.state in
+  Mutex.unlock h.hm;
+  match s with
+  | Done r -> `Done r
+  | Cancelled -> `Cancelled
+  | Pending | Running -> `Pending
+
+(* Condition variables have no timed wait in the stdlib, so the bounded
+   variant polls: latency is capped at the poll interval, which is noise
+   against the job granularity the daemon runs at. *)
+let await ?timeout_s h =
+  match timeout_s with
+  | None ->
+      Mutex.lock h.hm;
+      let rec wait () =
+        match h.state with
+        | Done r ->
+            Mutex.unlock h.hm;
+            `Done r
+        | Cancelled ->
+            Mutex.unlock h.hm;
+            `Cancelled
+        | Pending | Running ->
+            Condition.wait h.hc h.hm;
+            wait ()
+      in
+      wait ()
+  | Some budget ->
+      let deadline = Unix.gettimeofday () +. budget in
+      let rec wait () =
+        match poll h with
+        | (`Done _ | `Cancelled) as r -> r
+        | `Pending ->
+            if Unix.gettimeofday () >= deadline then `Timeout
+            else begin
+              Unix.sleepf 0.002;
+              wait ()
+            end
+      in
+      wait ()
+
+(* Bounded map: every item gets a handle and one shared absolute
+   deadline. Slots resolve strictly by their own handle — a task that
+   outlives its deadline keeps running (domains are not preemptable) but
+   can only ever write into its own handle, so survivors' results land
+   in their input slots untouched. Timed-out slots are [None] and their
+   tasks see [cancelled () = true] at the next poll. *)
+let map_timeout t ~timeout_s f xs =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let handles = List.map (fun x -> submit_cancellable t (fun ~cancelled -> f ~cancelled x)) xs in
+  List.map
+    (fun h ->
+      let left = deadline -. Unix.gettimeofday () in
+      match await ~timeout_s:(Float.max 0. left) h with
+      | `Done r -> Some r
+      | `Cancelled -> None
+      | `Timeout ->
+          cancel h;
+          None)
+    handles
+
 let shutdown t =
   Mutex.lock t.m;
   t.stop <- true;

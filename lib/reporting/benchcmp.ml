@@ -79,6 +79,15 @@ let compare ~threshold_pct ~(baseline : cell list) ~(run : cell list) :
           else Ok_cell { key = b.key; base = b.value; run = r.value; drift_pct })
     baseline
 
+(* Run cells with no baseline counterpart. [compare] ignores these so
+   new benchmarks don't fail the drift gate, but leaving them invisible
+   lets a baseline quietly rot; benchdiff surfaces them by name as an
+   inputs problem (exit 2: refresh the committed baseline). *)
+let unbaselined ~(baseline : cell list) ~(run : cell list) : cell list =
+  List.filter
+    (fun r -> not (List.exists (fun b -> b.key = r.key) baseline))
+    run
+
 let failed = function Ok_cell _ -> false | Regressed _ | Missing _ -> true
 
 let any_failed outcomes = List.exists failed outcomes

@@ -13,8 +13,26 @@ exception Retries_exhausted of { label : string; attempts : int; last : exn }
 (* Deterministic backoff: 2^attempt cooperative yields (capped), the
    virtual-time analogue of truncated exponential backoff. Yielding
    lets peers make progress — e.g. finish the recovery collective this
-   rank will join on the next attempt. *)
-let backoff_yields ~attempt = 1 lsl min attempt 10
+   rank will join on the next attempt.
+
+   Jitter is deterministic too: callers that want decorrelated retry
+   schedules (several cusanctl clients hammering a busy daemon) pass a
+   seeded Faultsim.Prng stream, never wall-clock noise or [Random], so
+   any retry schedule is a pure function of its seed and replays under
+   --seed exactly like a fault plan does. The draw adds up to one extra
+   backoff period: full-jitter on the top half of the window. *)
+let backoff_yields ?jitter ~attempt () =
+  let base = 1 lsl min attempt 10 in
+  match jitter with
+  | None -> base
+  | Some prng -> base + (Int64.to_int (Faultsim.Prng.next prng) land (base - 1))
+
+(* The whole backoff schedule for [attempts] retries under [seed] — the
+   sequence a seeded client will sleep through, laid bare for tests to
+   pin and for operators to reason about. *)
+let backoff_schedule ~seed ~attempts =
+  let prng = Faultsim.Prng.create seed in
+  List.init attempts (fun i -> backoff_yields ~jitter:prng ~attempt:(i + 1) ())
 
 let yield_n n =
   for _ = 1 to n do
@@ -26,8 +44,15 @@ let yield_n n =
    them. [f] receives the 1-based attempt number so it can switch
    strategy (e.g. re-shrink the communicator after the first failure).
    Non-retryable exceptions propagate immediately; exhausting the
-   budget raises [Retries_exhausted] carrying the last failure. *)
-let with_retries ?(label = "retry") ?(max_attempts = 3) ~retryable f =
+   budget raises [Retries_exhausted] carrying the last failure.
+
+   [on_backoff] is where the backoff quantum is spent. The default
+   yields on the cooperative scheduler — the in-simulation callers'
+   medium. Out-of-simulation callers (cusanctl talking to a daemon over
+   a socket) map yields onto wall-clock sleeps instead; the *count* of
+   yields stays the deterministic part either way. *)
+let with_retries ?(label = "retry") ?(max_attempts = 3) ?jitter
+    ?(on_backoff = fun ~yields -> yield_n yields) ~retryable f =
   if max_attempts <= 0 then invalid_arg "with_retries: max_attempts";
   let rec go attempt =
     match f ~attempt with
@@ -45,7 +70,7 @@ let with_retries ?(label = "retry") ?(max_attempts = 3) ~retryable f =
         if attempt >= max_attempts then
           raise (Retries_exhausted { label; attempts = attempt; last = e })
         else begin
-          yield_n (backoff_yields ~attempt);
+          on_backoff ~yields:(backoff_yields ?jitter ~attempt ());
           go (attempt + 1)
         end
   in

@@ -8,21 +8,34 @@
 
 exception Retries_exhausted of { label : string; attempts : int; last : exn }
 
-val backoff_yields : attempt:int -> int
+val backoff_yields : ?jitter:Faultsim.Prng.t -> attempt:int -> unit -> int
 (** [2^attempt] capped at 1024 — the virtual-time analogue of truncated
-    exponential backoff. *)
+    exponential backoff. With [jitter], a {!Faultsim.Prng} draw adds up
+    to one extra backoff period (full-jitter on the top half of the
+    window): deterministic decorrelation, reproducible under a seed,
+    never wall-clock or [Random] noise. *)
+
+val backoff_schedule : seed:int -> attempts:int -> int list
+(** The jittered yield counts a fresh [Prng.create seed] stream produces
+    for attempts [1..attempts] — the exact schedule a seeded retry loop
+    will spend, pinnable by tests. *)
 
 val with_retries :
   ?label:string ->
   ?max_attempts:int ->
+  ?jitter:Faultsim.Prng.t ->
+  ?on_backoff:(yields:int -> unit) ->
   retryable:(exn -> bool) ->
   (attempt:int -> 'a) ->
   'a
 (** Run the body, retrying on exceptions [retryable] accepts, up to
-    [max_attempts] (default 3) total attempts, yielding
-    {!backoff_yields} times between attempts so peers can progress
-    (e.g. join the recovery collective). The body receives the 1-based
-    attempt number. Non-retryable exceptions propagate;
+    [max_attempts] (default 3) total attempts, spending
+    {!backoff_yields} (jittered when [jitter] is given) between attempts
+    so peers can progress (e.g. join the recovery collective). The body
+    receives the 1-based attempt number. [on_backoff] chooses the
+    backoff medium: the default yields on the cooperative scheduler;
+    out-of-simulation callers (the cusand client) map the same yield
+    counts onto wall-clock sleeps. Non-retryable exceptions propagate;
     @raise Retries_exhausted when the budget is spent. *)
 
 val await : ?label:string -> ?budget:int -> (unit -> bool) -> bool

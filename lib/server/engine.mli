@@ -1,0 +1,37 @@
+(** Job execution engine: one call from a protocol job to a
+    deterministic {!Reporting.Mjson} result, runnable on any pool
+    worker domain.
+
+    Determinism is load-bearing twice: it makes the daemon's
+    content-addressed result cache correct (same job key ⇒ same
+    result), and it is what the chaos acceptance pins — a verdict
+    served by the daemon must be byte-identical to the same job run
+    in-process through the batch CLI path. Soak results carry no
+    wall-clock fields.
+
+    Exceptions escape on purpose: crash isolation is the daemon's job;
+    the engine stays an ordinary library function tests call directly. *)
+
+val default_watchdog : int
+(** Default per-job scheduler step budget (wedges become labelled
+    [stalled] verdicts, never hung workers). *)
+
+val lint_target_ids : unit -> string list
+(** The kirlint universe: app/example device kernels plus the seeded
+    corpus, addressable by the ids kirlint prints. *)
+
+val soak_case_ids : unit -> string list
+(** Every correctness-matrix case name. *)
+
+val bench_apps : string list
+
+exception Chaos_drill
+(** Raised by a [Boom] job: a stand-in for the unknown bug that will
+    eventually escape a job, so crash isolation is exercised on every
+    CI run instead of waiting for the real one. *)
+
+val run_job :
+  ?watchdog:int -> Protocol.job -> (Reporting.Mjson.t, string) result
+(** Execute one job. [Error] is a client mistake (unknown target/case/
+    app, bad fault spec) to be sent back as an error reply; exceptions
+    are worker crashes for the daemon to reap. *)

@@ -1,0 +1,77 @@
+(** cusand wire protocol: newline-delimited {!Reporting.Mjson} frames
+    over a Unix-domain socket (schema ["cusand/1"]), one request per
+    connection. Frames are size-bounded and torn/hostile input decodes
+    to an explicit error — the accept loop never sees an exception from
+    this layer. *)
+
+module Mjson = Reporting.Mjson
+
+val schema : string
+
+val max_frame : int
+(** Upper bound on a frame's byte length; longer frames are refused. *)
+
+(** A job the daemon can execute. *)
+type job =
+  | Lint of { target : string }
+      (** static intra-kernel race lint of one kirlint target id *)
+  | Soak of { case : string; seed : int; faults : string option }
+      (** one correctness-matrix case, optionally under a seeded fault
+          plan (the cutests [--faults] grammar) *)
+  | Bench of { app : string; flavor : string }
+      (** one app × tool-configuration bench cell *)
+  | Boom
+      (** chaos drill: raises inside the worker on purpose, to exercise
+          crash isolation end-to-end *)
+  | Spin of { steps : int }
+      (** wedge drill: spin in-sim until the step-budget watchdog fires
+          after [steps] scheduler steps — a worker-occupying job of
+          tunable duration that ends in a labelled stalled verdict,
+          used to exercise backpressure and drain *)
+
+type request = Submit of job | Health | Stats | Shutdown
+
+val job_key : job -> string
+(** Canonical content address: equal keys mean the same deterministic
+    computation — the correctness argument for the result cache. *)
+
+val job_digest : job -> string
+(** Hex digest of {!job_key}; the ["job"] field of replies. *)
+
+val job_describe : job -> string
+(** One-line human rendering for logs. *)
+
+val request_to_json : request -> Mjson.t
+val request_of_json : Mjson.t -> (request, string) result
+
+val parse_request : string -> (request, string) result
+(** Parse one frame body. Any failure (bad JSON, wrong schema, missing
+    fields) is an [Error] message suitable for an error reply. *)
+
+val ok_reply :
+  ?cached:bool -> job:string -> elapsed_s:float -> Mjson.t -> Mjson.t
+
+val crashed_reply :
+  job:string -> error:string -> backtrace:string list -> Mjson.t
+(** Tombstone for a job the worker reaped: the daemon-level analogue of
+    a crashed rank's post-mortem. *)
+
+val busy_reply : retry_after:int -> in_flight:int -> high_water:int -> Mjson.t
+(** Load-shed reply; [retry_after] is a deterministic backoff hint in
+    abstract units the client folds into its retry schedule. *)
+
+val error_reply : string -> Mjson.t
+
+type read_error =
+  | Closed  (** peer closed before sending anything *)
+  | Truncated of string  (** EOF (or receive timeout) mid-frame *)
+  | Oversized of int  (** frame exceeded {!max_frame} *)
+
+val read_error_to_string : read_error -> string
+
+val read_frame : Unix.file_descr -> (string, read_error) result
+(** Read one newline-terminated frame, bounded by {!max_frame}. *)
+
+val write_frame : Unix.file_descr -> Mjson.t -> unit
+(** Write one frame (appends the newline). Raises [Unix.Unix_error] on
+    a broken peer. *)

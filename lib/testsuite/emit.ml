@@ -82,6 +82,23 @@ let json_of_verdict (v : Runner.verdict) : Reporting.Mjson.t =
                   ("events", List (List.map (fun l -> Str l) lines));
                 ])
             v.Runner.history));
+      ("stall",
+       match v.Runner.stall with
+       | None -> Null
+       | Some s ->
+           Obj
+             [
+               ("steps", Int s.Sched.Scheduler.stall_steps);
+               ("blocked",
+                List
+                  (List.map
+                     (fun (task, why) ->
+                       Obj [ ("task", Str task); ("on", Str why) ])
+                     s.Sched.Scheduler.stall_blocked));
+               ("spinning",
+                List
+                  (List.map (fun t -> Str t) s.Sched.Scheduler.stall_spinning));
+             ]);
     ]
 
 let json ?seed ?faults_spec ~mode ~j (verdicts : Runner.verdict list) :

@@ -29,15 +29,25 @@ type verdict = {
   wall_s : float; (* wall time of this case's simulation *)
   history : (string * string list) list;
       (* flight-recorder context for blocked tasks (deadlock/stall) *)
+  stall : Sched.Scheduler.stall option;
+      (* watchdog diagnosis when the step budget expired mid-run *)
   static_races : (string * Cudasim.Kernel.race_verdict * string) list;
       (* intra-kernel races the compile-time analysis attached *)
 }
 
 let fault_watchdog = 100_000
 
-let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
+(* [watchdog] overrides the step budget (the daemon gives *every* job
+   one so a wedged case becomes a labelled [stall] verdict instead of a
+   hung service); by default only fault-injected runs get the budget,
+   preserving the batch CLI's behavior exactly. *)
+let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults ?watchdog
     (case : Cases.case) =
-  let watchdog = Option.map (fun _ -> fault_watchdog) faults in
+  let watchdog =
+    match watchdog with
+    | Some _ as w -> w
+    | None -> Option.map (fun _ -> fault_watchdog) faults
+  in
   let res =
     Harness.Run.run ~nranks:2 ~mode ?annotation ~check_types:true ?watchdog
       ?faults ~flavor:Harness.Flavor.Must_cusan case.Cases.app
@@ -74,6 +84,7 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults
     fault_log = res.Harness.Run.fault_log;
     wall_s = res.Harness.Run.wall_s;
     history = res.Harness.Run.history;
+    stall = res.Harness.Run.stall;
     static_races = res.Harness.Run.static_races;
   }
 

@@ -65,6 +65,154 @@ let exclusively_returns_value () =
       in
       Alcotest.(check (list int)) "value threaded through" [ 42 ] r)
 
+(* --- Cancellable submissions and timeouts ------------------------------ *)
+
+let with_pool workers f =
+  let p = Pool.create ~workers in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let submit_cancellable_completes () =
+  with_pool 2 (fun p ->
+      let h = Pool.submit_cancellable p (fun ~cancelled:_ -> 21 * 2) in
+      match Pool.await h with
+      | `Done (Ok 42) -> ()
+      | `Done (Ok n) -> Alcotest.failf "wrong value %d" n
+      | `Done (Error e) -> Alcotest.failf "raised %s" (Printexc.to_string e)
+      | `Cancelled -> Alcotest.fail "spuriously cancelled"
+      | `Timeout -> Alcotest.fail "await without timeout returned `Timeout")
+
+let submit_cancellable_records_exception () =
+  with_pool 2 (fun p ->
+      let h = Pool.submit_cancellable p (fun ~cancelled:_ -> raise (Boom 3)) in
+      match Pool.await h with
+      | `Done (Error (Boom 3)) -> ()
+      | _ -> Alcotest.fail "expected Done (Error (Boom 3))")
+
+let cancel_pending_never_runs () =
+  with_pool 1 (fun p ->
+      (* One worker, held hostage by a gate: the second submission must
+         still be pending when we cancel it, so it must never run. *)
+      let gate = Atomic.make false in
+      let ran = Atomic.make false in
+      let blocker =
+        Pool.submit_cancellable p (fun ~cancelled:_ ->
+            while not (Atomic.get gate) do
+              Unix.sleepf 0.001
+            done)
+      in
+      let victim =
+        Pool.submit_cancellable p (fun ~cancelled:_ -> Atomic.set ran true)
+      in
+      Pool.cancel victim;
+      Atomic.set gate true;
+      (match Pool.await blocker with
+      | `Done (Ok ()) -> ()
+      | _ -> Alcotest.fail "blocker did not finish");
+      (match Pool.await victim with
+      | `Cancelled -> ()
+      | `Done _ -> Alcotest.fail "cancelled-while-pending task ran"
+      | `Timeout -> assert false);
+      Alcotest.(check bool) "task body never executed" false (Atomic.get ran))
+
+let cancel_running_task_cooperates () =
+  with_pool 1 (fun p ->
+      let started = Atomic.make false in
+      let h =
+        Pool.submit_cancellable p (fun ~cancelled ->
+            Atomic.set started true;
+            while not (cancelled ()) do
+              Unix.sleepf 0.001
+            done;
+            7)
+      in
+      while not (Atomic.get started) do
+        Unix.sleepf 0.001
+      done;
+      Pool.cancel h;
+      (* A running task keeps its slot until it observes the probe; its
+         result is still recorded. *)
+      match Pool.await h with
+      | `Done (Ok 7) -> ()
+      | _ -> Alcotest.fail "running task's result was not recorded")
+
+let await_timeout_fires () =
+  with_pool 1 (fun p ->
+      let release = Atomic.make false in
+      let h =
+        Pool.submit_cancellable p (fun ~cancelled ->
+            while not (Atomic.get release || cancelled ()) do
+              Unix.sleepf 0.001
+            done)
+      in
+      (match Pool.await ~timeout_s:0.05 h with
+      | `Timeout -> ()
+      | _ -> Alcotest.fail "expected `Timeout");
+      Atomic.set release true;
+      match Pool.await h with
+      | `Done (Ok ()) -> ()
+      | _ -> Alcotest.fail "task did not finish after release")
+
+let map_timeout_mixed () =
+  with_pool 4 (fun p ->
+      let items = [ `Fast 1; `Slow; `Fast 2; `Slow ] in
+      let rs =
+        Pool.map_timeout p ~timeout_s:0.5
+          (fun ~cancelled -> function
+            | `Fast x -> x * 10
+            | `Slow ->
+                while not (cancelled ()) do
+                  Unix.sleepf 0.001
+                done;
+                -1)
+          items
+      in
+      match rs with
+      | [ Some (Ok 10); None; Some (Ok 20); None ] -> ()
+      | _ ->
+          Alcotest.failf "unexpected outcomes: [%s]"
+            (String.concat ";"
+               (List.map
+                  (function
+                    | Some (Ok n) -> string_of_int n
+                    | Some (Error e) -> Printexc.to_string e
+                    | None -> "None")
+                  rs)))
+
+(* The satellite property: a timed-out task can never corrupt a
+   survivor's slot. Random mixes of fast tasks (some of which raise),
+   and slow tasks that only end when cancelled at the deadline — every
+   slot is either [None] or exactly the value/exception its own input
+   produces, in input order. *)
+let prop_map_timeout_slots =
+  let gen = QCheck.(list_of_size Gen.(0 -- 8) (pair small_nat bool)) in
+  QCheck.Test.make ~count:15
+    ~name:"map_timeout: timed-out tasks never corrupt survivor slots" gen
+    (fun items ->
+      with_pool 3 (fun p ->
+          let rs =
+            Pool.map_timeout p ~timeout_s:0.3
+              (fun ~cancelled (x, slow) ->
+                if slow then begin
+                  while not (cancelled ()) do
+                    Unix.sleepf 0.001
+                  done;
+                  (* a poisoned value: must never surface in any slot *)
+                  -1
+                end
+                else if x mod 5 = 0 then raise (Boom x)
+                else x + 1)
+              items
+          in
+          List.length rs = List.length items
+          && List.for_all2
+               (fun (x, slow) r ->
+                 match r with
+                 | None -> true (* timed out, or never got a worker *)
+                 | Some (Ok v) -> (not slow) && x mod 5 <> 0 && v = x + 1
+                 | Some (Error (Boom y)) -> (not slow) && x mod 5 = 0 && y = x
+                 | Some (Error _) -> false)
+               items rs))
+
 (* --- Parallel testsuite determinism ----------------------------------- *)
 
 (* Render everything observable about a verdict except wall time (the
@@ -390,6 +538,25 @@ let benchcmp_thresholds () =
     (any_failed (compare ~threshold_pct:25.0 ~baseline:[ cell "a" 2.0 ]
        ~run:[ cell "a" 2.2 ]))
 
+(* Satellite of the benchdiff CLI contract: run cells the baseline has
+   never heard of are surfaced by name (benchdiff turns a non-empty
+   list into exit 2 with refresh guidance) instead of being silently
+   ignored forever. *)
+let benchcmp_unbaselined () =
+  let open Reporting.Benchcmp in
+  let baseline = [ cell "a" 1.0; cell "b" 2.0 ] in
+  let run = [ cell "b" 2.0; cell "new1" 9.0; cell "new2" 3.0 ] in
+  Alcotest.(check (list string))
+    "new cells reported by name"
+    [ "new1"; "new2" ]
+    (List.map
+       (fun c -> c.Reporting.Benchcmp.key)
+       (unbaselined ~baseline ~run));
+  Alcotest.(check (list string)) "covered runs report nothing" []
+    (List.map
+       (fun c -> c.Reporting.Benchcmp.key)
+       (unbaselined ~baseline ~run:[ cell "a" 5.0 ]))
+
 let benchcmp_cells_of_json () =
   let open Reporting.Mjson in
   let doc =
@@ -473,6 +640,19 @@ let () =
           Alcotest.test_case "exclusively returns value" `Quick
             exclusively_returns_value;
         ] );
+      ( "cancellable",
+        [
+          Alcotest.test_case "completes" `Quick submit_cancellable_completes;
+          Alcotest.test_case "records exception" `Quick
+            submit_cancellable_records_exception;
+          Alcotest.test_case "cancel pending never runs" `Quick
+            cancel_pending_never_runs;
+          Alcotest.test_case "cancel running cooperates" `Quick
+            cancel_running_task_cooperates;
+          Alcotest.test_case "await timeout fires" `Quick await_timeout_fires;
+          Alcotest.test_case "map_timeout mixed" `Quick map_timeout_mixed;
+          QCheck_alcotest.to_alcotest prop_map_timeout_slots;
+        ] );
       ( "determinism",
         [
           QCheck_alcotest.to_alcotest parallel_matches_sequential;
@@ -494,6 +674,8 @@ let () =
       ( "benchcmp",
         [
           Alcotest.test_case "thresholds" `Quick benchcmp_thresholds;
+          Alcotest.test_case "unbaselined cells named" `Quick
+            benchcmp_unbaselined;
           Alcotest.test_case "cells_of_json" `Quick benchcmp_cells_of_json;
           Alcotest.test_case "fig11 gated" `Quick benchcmp_gates_fig11;
         ] );

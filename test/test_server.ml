@@ -1,0 +1,636 @@
+(* Tests for the cusand analysis daemon stack: the wire protocol
+   (roundtrips, hostile and torn frames), the job engine's determinism
+   (the property that makes the result cache and the daemon-vs-batch
+   byte-identity contract sound), the deterministic retry backoff, and
+   the daemon itself end-to-end over a real Unix-domain socket —
+   including the chaos acceptance: with a third of the jobs crashing or
+   wedging, every surviving job is served byte-identically to a local
+   batch run, every killed job gets a post-mortem, the queue stays
+   bounded, and the drain completes cleanly. *)
+
+module Mjson = Reporting.Mjson
+module P = Server.Protocol
+module D = Server.Daemon
+module E = Server.Engine
+
+let mstr = Mjson.to_string
+
+let member_str k j =
+  Mjson.member k j |> Fun.flip Option.bind Mjson.to_str
+
+let member_int k j =
+  Mjson.member k j |> Fun.flip Option.bind Mjson.to_int
+
+let member_bool k j =
+  Mjson.member k j |> Fun.flip Option.bind Mjson.to_bool
+
+(* --- protocol: requests roundtrip the wire ------------------------------ *)
+
+let string_gen =
+  (* Full byte range minus '\255' markers QCheck dislikes printing:
+     hostile on purpose — quotes, braces, newlines, NULs, high bytes. *)
+  QCheck.Gen.(string_size ~gen:(map Char.chr (0 -- 255)) (0 -- 40))
+
+let job_gen : P.job QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun target -> P.Lint { target }) string_gen;
+      map3
+        (fun case seed faults -> P.Soak { case; seed; faults })
+        string_gen small_signed_int
+        (option string_gen);
+      map2 (fun app flavor -> P.Bench { app; flavor }) string_gen string_gen;
+      return P.Boom;
+      map (fun steps -> P.Spin { steps = steps + 1 }) small_nat;
+    ]
+
+let request_gen : P.request QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun j -> P.Submit j) job_gen;
+      return P.Health;
+      return P.Stats;
+      return P.Shutdown;
+    ]
+
+let request_print r = mstr (P.request_to_json r)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request -> json -> string -> request"
+    (QCheck.make ~print:request_print request_gen)
+    (fun r -> P.parse_request (mstr (P.request_to_json r)) = Ok r)
+
+(* Hostile bytes must decode to Ok or Error — never an exception for
+   the accept loop to trip over. *)
+let prop_parse_never_raises =
+  QCheck.Test.make ~count:500 ~name:"parse_request total on hostile input"
+    (QCheck.make ~print:(Printf.sprintf "%S") string_gen)
+    (fun s ->
+      match P.parse_request s with Ok _ | Error _ -> true)
+
+(* A parse failure must name the problem: bad JSON, bad schema, bad op,
+   missing field. *)
+let parse_request_errors () =
+  let err s =
+    match P.parse_request s with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "bad json named" true
+    (contains ~sub:"bad JSON" (err "{not json"));
+  Alcotest.(check bool) "unknown schema named" true
+    (contains ~sub:"schema" (err {|{"schema":"bogus/9","op":"health"}|}));
+  Alcotest.(check bool) "unknown op named" true
+    (contains ~sub:"unknown op" (err {|{"op":"frobnicate"}|}));
+  Alcotest.(check bool) "missing field named" true
+    (contains ~sub:"target" (err {|{"op":"lint"}|}));
+  Alcotest.(check bool) "missing op named" true
+    (contains ~sub:"op" (err {|{"schema":"cusand/1"}|}))
+
+(* --- protocol: framing over a real socketpair --------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let doc = P.error_reply "x\"y\nz" in
+      P.write_frame a doc;
+      match P.read_frame b with
+      | Ok line -> (
+          match Mjson.of_string line with
+          | Ok j -> Alcotest.(check string) "frame roundtrips" (mstr doc) (mstr j)
+          | Error m -> Alcotest.failf "reply does not parse: %s" m)
+      | Error e -> Alcotest.failf "read failed: %s" (P.read_error_to_string e))
+
+let frame_closed () =
+  with_socketpair (fun a b ->
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match P.read_frame b with
+      | Error P.Closed -> ()
+      | Error e -> Alcotest.failf "expected Closed, got %s" (P.read_error_to_string e)
+      | Ok s -> Alcotest.failf "expected Closed, got frame %S" s)
+
+let frame_truncated () =
+  with_socketpair (fun a b ->
+      write_all a "{\"op\":\"health\"";
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match P.read_frame b with
+      | Error (P.Truncated partial) ->
+          Alcotest.(check string) "partial bytes kept" "{\"op\":\"health\"" partial
+      | Error e ->
+          Alcotest.failf "expected Truncated, got %s" (P.read_error_to_string e)
+      | Ok s -> Alcotest.failf "expected Truncated, got frame %S" s)
+
+let frame_oversized () =
+  with_socketpair (fun a b ->
+      (* Feed > max_frame bytes with no newline from a writer thread
+         (the reader must give up; a single-threaded write could fill
+         both socket buffers and deadlock the test). *)
+      let writer =
+        Thread.create
+          (fun () ->
+            try write_all a (String.make ((P.max_frame + 8192) land max_int) 'a')
+            with Unix.Unix_error _ -> ())
+          ()
+      in
+      let r = P.read_frame b in
+      (try Unix.close b with Unix.Unix_error _ -> ());
+      Thread.join writer;
+      match r with
+      | Error (P.Oversized _) -> ()
+      | Error e ->
+          Alcotest.failf "expected Oversized, got %s" (P.read_error_to_string e)
+      | Ok s -> Alcotest.failf "expected Oversized, got %d-byte frame" (String.length s))
+
+(* --- engine: determinism (cache + byte-identity soundness) -------------- *)
+
+let run_ok job =
+  match E.run_job job with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "job failed: %s" m
+
+let engine_deterministic () =
+  List.iter
+    (fun job ->
+      let a = mstr (run_ok job) in
+      let b = mstr (run_ok job) in
+      Alcotest.(check string) (P.job_describe job) a b)
+    [
+      P.Lint { target = "jacobi/jacobi" };
+      P.Soak { case = "legacy/default_barrier_blocking"; seed = 0; faults = None };
+      P.Soak
+        {
+          case = "cuda-to-mpi/send_device_nosync_nok";
+          seed = 11;
+          faults = Some "kernel_launch%0.3:fail";
+        };
+      P.Spin { steps = 20_000 };
+    ]
+
+let engine_rejects_unknown () =
+  let check_err job sub =
+    match E.run_job job with
+    | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" (P.job_describe job)
+    | Error m ->
+        let contains =
+          let n = String.length m and k = String.length sub in
+          let rec at i = i + k <= n && (String.sub m i k = sub || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool) (Fmt.str "%s names %s" m sub) true contains
+  in
+  check_err (P.Lint { target = "no/such" }) "known:";
+  check_err (P.Soak { case = "no/such"; seed = 0; faults = None }) "known:";
+  check_err
+    (P.Soak
+       { case = "legacy/default_barrier_blocking"; seed = 0; faults = Some "%%%" })
+    "fault spec";
+  check_err (P.Bench { app = "no-such"; flavor = "cusan" }) "known:";
+  check_err (P.Bench { app = "jacobi"; flavor = "warp9" }) "flavor"
+
+let engine_boom_raises () =
+  match E.run_job P.Boom with
+  | exception E.Chaos_drill -> ()
+  | _ -> Alcotest.fail "boom did not raise Chaos_drill"
+
+let engine_spin_stalls () =
+  let j = run_ok (P.Spin { steps = 20_000 }) in
+  Alcotest.(check (option string)) "outcome" (Some "stalled") (member_str "outcome" j);
+  let stall = Option.get (Mjson.member "stall" j) in
+  Alcotest.(check (option int)) "budget hit" (Some 20_000) (member_int "steps" stall)
+
+(* --- resilience: deterministic seeded backoff --------------------------- *)
+
+let backoff_deterministic () =
+  Alcotest.(check (list int)) "same seed, same schedule"
+    (Resilience.backoff_schedule ~seed:42 ~attempts:8)
+    (Resilience.backoff_schedule ~seed:42 ~attempts:8);
+  Alcotest.(check bool) "different seeds decorrelate" true
+    (Resilience.backoff_schedule ~seed:1 ~attempts:8
+    <> Resilience.backoff_schedule ~seed:2 ~attempts:8)
+
+(* The pinned sequence: uncapped exponential base doubling into the
+   1024 cap, plus the seed-42 Prng jitter. A change to the Prng stream,
+   the cap, or the jitter window shows up here as a literal diff. *)
+let backoff_pinned () =
+  Alcotest.(check (list int)) "unjittered base doubles then caps"
+    [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 1024; 1024 ]
+    (List.init 12 (fun i -> Resilience.backoff_yields ~attempt:(i + 1) ()));
+  Alcotest.(check (list int)) "seed 42 jittered schedule"
+    [ 3; 7; 10; 20; 50; 70 ]
+    (Resilience.backoff_schedule ~seed:42 ~attempts:6)
+
+let with_retries_spends_schedule () =
+  (* The retry loop must spend exactly the schedule the seed predicts,
+     via whatever medium on_backoff maps yields onto. *)
+  let seed = 42 in
+  let spent = ref [] in
+  let attempts_seen = ref [] in
+  let v =
+    Resilience.with_retries ~label:"t" ~max_attempts:4
+      ~jitter:(Faultsim.Prng.create seed)
+      ~on_backoff:(fun ~yields -> spent := !spent @ [ yields ])
+      ~retryable:(function Failure _ -> true | _ -> false)
+      (fun ~attempt ->
+        attempts_seen := !attempts_seen @ [ attempt ];
+        if attempt < 3 then failwith "transient" else 99)
+  in
+  Alcotest.(check int) "value" 99 v;
+  Alcotest.(check (list int)) "attempts" [ 1; 2; 3 ] !attempts_seen;
+  Alcotest.(check (list int)) "backoff spent = predicted schedule"
+    (Resilience.backoff_schedule ~seed ~attempts:2)
+    !spent
+
+let with_retries_exhausts () =
+  match
+    Resilience.with_retries ~label:"t" ~max_attempts:3
+      ~on_backoff:(fun ~yields:_ -> ())
+      ~retryable:(function Failure _ -> true | _ -> false)
+      (fun ~attempt:_ -> failwith "always")
+  with
+  | _ -> Alcotest.fail "expected Retries_exhausted"
+  | exception Resilience.Retries_exhausted { attempts = 3; last = Failure _; _ }
+    ->
+      ()
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+
+(* --- daemon: end-to-end over a real socket ------------------------------ *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cusand-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+(* Start a daemon on a fresh socket, run the body against it, then
+   drain and hand the body's result plus the final stats back. *)
+let with_daemon ?(cfg = fun c -> c) f =
+  let path = fresh_sock () in
+  let t = D.create (cfg (D.default_cfg ~socket_path:path)) in
+  let server = Domain.spawn (fun () -> D.serve t) in
+  let res =
+    try f path t
+    with e ->
+      D.request_drain t;
+      ignore (Domain.join server);
+      raise e
+  in
+  D.request_drain t;
+  let stats = Domain.join server in
+  (res, stats)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+(* One full request/reply exchange. *)
+let rpc path req =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      P.write_frame fd (P.request_to_json req);
+      match P.read_frame fd with
+      | Error e -> Alcotest.failf "rpc read: %s" (P.read_error_to_string e)
+      | Ok line -> (
+          match Mjson.of_string line with
+          | Error m -> Alcotest.failf "rpc reply does not parse: %s" m
+          | Ok j -> j))
+
+(* Send raw bytes (optionally torn: no newline, half a frame) and read
+   whatever the daemon answers. *)
+let rpc_raw path bytes ~tear =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd bytes;
+      if tear then Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      match P.read_frame fd with
+      | Error e -> Alcotest.failf "rpc_raw read: %s" (P.read_error_to_string e)
+      | Ok line -> (
+          match Mjson.of_string line with
+          | Error m -> Alcotest.failf "rpc_raw reply does not parse: %s" m
+          | Ok j -> j))
+
+let daemon_health_and_lint () =
+  let (), stats =
+    with_daemon (fun path _t ->
+        let h = rpc path P.Health in
+        Alcotest.(check (option string)) "health ok" (Some "ok")
+          (member_str "status" h);
+        Alcotest.(check (option bool)) "not draining" (Some false)
+          (member_bool "draining" h);
+        (* A daemon-served job must be byte-identical to the same job
+           run locally through the engine (the batch CLI path). *)
+        let job = P.Lint { target = "jacobi/jacobi" } in
+        let local = mstr (run_ok job) in
+        let r1 = rpc path (P.Submit job) in
+        Alcotest.(check (option string)) "ok" (Some "ok") (member_str "status" r1);
+        Alcotest.(check (option bool)) "first run not cached" (Some false)
+          (member_bool "cached" r1);
+        Alcotest.(check string) "byte-identical to local run" local
+          (mstr (Option.get (Mjson.member "result" r1)));
+        let r2 = rpc path (P.Submit job) in
+        Alcotest.(check (option bool)) "second run cache hit" (Some true)
+          (member_bool "cached" r2);
+        Alcotest.(check string) "cache serves identical bytes" local
+          (mstr (Option.get (Mjson.member "result" r2))))
+  in
+  Alcotest.(check int) "served" 2 stats.D.served;
+  Alcotest.(check int) "cache hits" 1 stats.D.cache_hits
+
+let daemon_crash_isolated () =
+  let (), stats =
+    with_daemon (fun path _t ->
+        let r = rpc path (P.Submit P.Boom) in
+        Alcotest.(check (option string)) "crashed status" (Some "crashed")
+          (member_str "status" r);
+        let pm = Option.get (Mjson.member "post_mortem" r) in
+        (match member_str "error" pm with
+        | Some e when String.length e > 0 -> ()
+        | _ -> Alcotest.fail "post_mortem carries no error");
+        (* The daemon survived: it answers, and the recycled worker
+           still executes jobs. *)
+        let h = rpc path P.Health in
+        Alcotest.(check (option string)) "daemon alive after crash" (Some "ok")
+          (member_str "status" h);
+        let r2 = rpc path (P.Submit (P.Lint { target = "jacobi/jacobi" })) in
+        Alcotest.(check (option string)) "worker slot recycled" (Some "ok")
+          (member_str "status" r2))
+  in
+  Alcotest.(check int) "one crash counted" 1 stats.D.crashed
+
+let daemon_protocol_errors_survive () =
+  let (), stats =
+    with_daemon (fun path _t ->
+        (* bad JSON *)
+        let r = rpc_raw path "this is not json\n" ~tear:false in
+        Alcotest.(check (option string)) "bad json -> error reply" (Some "error")
+          (member_str "status" r);
+        (* torn frame: half a request, then EOF *)
+        let r = rpc_raw path "{\"op\":\"hea" ~tear:true in
+        Alcotest.(check (option string)) "torn frame -> error reply"
+          (Some "error") (member_str "status" r);
+        (* valid JSON, hostile content *)
+        let r = rpc_raw path "{\"op\":\"\\u0000\\\"<&\"}\n" ~tear:false in
+        Alcotest.(check (option string)) "hostile op -> error reply"
+          (Some "error") (member_str "status" r);
+        (* instant close: no reply expected, daemon must not care *)
+        let fd = connect path in
+        Unix.close fd;
+        let h = rpc path P.Health in
+        Alcotest.(check (option string)) "alive after abuse" (Some "ok")
+          (member_str "status" h))
+  in
+  Alcotest.(check int) "client errors counted" 3 stats.D.client_errors
+
+(* Occupy the single worker with a spin long enough to observe the
+   daemon under load, then check backpressure and health-under-load. *)
+let daemon_backpressure () =
+  let (), stats =
+    with_daemon
+      ~cfg:(fun c ->
+        { c with D.workers = 1; queue_max = 1; watchdog = 60_000_000 })
+      (fun path _t ->
+        (* ~1s of in-sim spinning on the lone worker *)
+        let spin_fd = connect path in
+        P.write_frame spin_fd
+          (P.request_to_json (P.Submit (P.Spin { steps = 8_000_000 })));
+        (* admission is synchronous in the accept loop: once health
+           reports the spin in flight, the next submit must shed *)
+        let rec wait_busy n =
+          if n = 0 then Alcotest.fail "spin never became in-flight"
+          else
+            let h = rpc path P.Health in
+            if member_int "in_flight" h <> Some 1 then begin
+              Unix.sleepf 0.01;
+              wait_busy (n - 1)
+            end
+        in
+        wait_busy 500;
+        let b = rpc path (P.Submit (P.Lint { target = "jacobi/jacobi" })) in
+        Alcotest.(check (option string)) "full queue sheds" (Some "busy")
+          (member_str "status" b);
+        (match member_int "retry_after" b with
+        | Some n when n >= 1 -> ()
+        | _ -> Alcotest.fail "busy reply carries no retry_after");
+        Alcotest.(check (option int)) "high_water reported" (Some 1)
+          (member_int "high_water" b);
+        (* health stays answerable while saturated *)
+        let h = rpc path P.Health in
+        Alcotest.(check (option string)) "health under load" (Some "ok")
+          (member_str "status" h);
+        (* the wedged job itself resolves as a stalled verdict *)
+        (match P.read_frame spin_fd with
+        | Ok line -> (
+            match Mjson.of_string line with
+            | Ok r ->
+                Alcotest.(check (option string)) "spin served" (Some "ok")
+                  (member_str "status" r);
+                Alcotest.(check (option string)) "spin stalled"
+                  (Some "stalled")
+                  (Option.bind (Mjson.member "result" r) (member_str "outcome"))
+            | Error m -> Alcotest.failf "spin reply does not parse: %s" m)
+        | Error e -> Alcotest.failf "spin reply: %s" (P.read_error_to_string e));
+        Unix.close spin_fd)
+  in
+  Alcotest.(check int) "shed counted" 1 stats.D.shed;
+  Alcotest.(check int) "stalled counted" 1 stats.D.stalled;
+  Alcotest.(check bool) "queue never exceeded high water" true
+    (stats.D.peak_in_flight <= 1)
+
+(* A straggler past the drain deadline is cancelled and answered. *)
+let daemon_drain_cancels_stragglers () =
+  let (), stats =
+    with_daemon
+      ~cfg:(fun c ->
+        {
+          c with
+          D.workers = 1;
+          watchdog = 60_000_000;
+          drain_timeout_s = 0.1;
+        })
+      (fun path t ->
+        let spin_fd = connect path in
+        P.write_frame spin_fd
+          (P.request_to_json (P.Submit (P.Spin { steps = 8_000_000 })));
+        let rec wait_inflight n =
+          if n = 0 then Alcotest.fail "spin never became in-flight"
+          else
+            let h = rpc path P.Health in
+            if member_int "in_flight" h <> Some 1 then begin
+              Unix.sleepf 0.01;
+              wait_inflight (n - 1)
+            end
+        in
+        wait_inflight 500;
+        D.request_drain t;
+        (* the abandoned client is told, not left hanging *)
+        (match P.read_frame spin_fd with
+        | Ok line -> (
+            match Mjson.of_string line with
+            | Ok r ->
+                Alcotest.(check (option string)) "straggler answered"
+                  (Some "error") (member_str "status" r)
+            | Error m -> Alcotest.failf "straggler reply does not parse: %s" m)
+        | Error e ->
+            Alcotest.failf "straggler reply: %s" (P.read_error_to_string e));
+        Unix.close spin_fd)
+  in
+  Alcotest.(check int) "drain cancelled the straggler" 1 stats.D.drain_cancelled
+
+(* --- chaos acceptance ---------------------------------------------------
+   Across 10 seeds, a job mix where >= 30% of jobs crash (boom) or
+   wedge (spin): the daemon must serve every remaining job with replies
+   byte-identical to a local batch run, emit a post-mortem for every
+   killed job, keep the queue bounded, and drain cleanly. *)
+
+let chaos_jobs seed =
+  [
+    P.Lint { target = "jacobi/jacobi" };
+    P.Boom;
+    P.Soak { case = "legacy/default_barrier_blocking"; seed; faults = None };
+    P.Spin { steps = 30_000 };
+    P.Soak
+      {
+        case = "cuda-to-mpi/send_device_nosync_nok";
+        seed;
+        faults = Some "kernel_launch%0.3:fail,mpi_send%0.2:drop";
+      };
+    P.Boom;
+  ]
+
+let daemon_chaos_acceptance () =
+  (* Local ground truth, computed once per distinct job. *)
+  let expected = Hashtbl.create 32 in
+  let local job =
+    let key = P.job_key job in
+    match Hashtbl.find_opt expected key with
+    | Some v -> v
+    | None ->
+        let v = mstr (run_ok job) in
+        Hashtbl.add expected key v;
+        v
+  in
+  let seeds = List.init 10 (fun i -> (i * 7) + 1) in
+  let (), stats =
+    with_daemon
+      ~cfg:(fun c -> { c with D.workers = 2; queue_max = 4; cache_cap = 0 })
+      (fun path _t ->
+        List.iter
+          (fun seed ->
+            List.iter
+              (fun job ->
+                let r = rpc path (P.Submit job) in
+                match job with
+                | P.Boom ->
+                    Alcotest.(check (option string))
+                      (Fmt.str "seed %d: boom reaped" seed)
+                      (Some "crashed") (member_str "status" r);
+                    (match
+                       Option.bind (Mjson.member "post_mortem" r)
+                         (member_str "error")
+                     with
+                    | Some e when String.length e > 0 -> ()
+                    | _ -> Alcotest.fail "killed job has no post-mortem")
+                | P.Spin _ ->
+                    Alcotest.(check (option string))
+                      (Fmt.str "seed %d: wedge stalled" seed)
+                      (Some "stalled")
+                      (Option.bind (Mjson.member "result" r)
+                         (member_str "outcome"))
+                | _ ->
+                    Alcotest.(check (option string))
+                      (Fmt.str "seed %d: %s ok" seed (P.job_describe job))
+                      (Some "ok") (member_str "status" r);
+                    Alcotest.(check string)
+                      (Fmt.str "seed %d: %s byte-identical" seed
+                         (P.job_describe job))
+                      (local job)
+                      (mstr (Option.get (Mjson.member "result" r))))
+              (chaos_jobs seed);
+            (* queue stays bounded while the chaos runs *)
+            match member_int "in_flight" (rpc path P.Health) with
+            | Some n when n <= 4 -> ()
+            | n ->
+                Alcotest.failf "queue exceeded bound: %s"
+                  (match n with Some n -> string_of_int n | None -> "?"))
+          seeds)
+  in
+  Alcotest.(check int) "every killed job has a post-mortem" 20 stats.D.crashed;
+  Alcotest.(check int) "every wedge became a stalled verdict" 10 stats.D.stalled;
+  Alcotest.(check bool) "bounded queue never exceeded" true
+    (stats.D.peak_in_flight <= 4);
+  Alcotest.(check int) "nothing abandoned" 0 stats.D.drain_cancelled
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parse_never_raises;
+          Alcotest.test_case "parse errors are named" `Quick
+            parse_request_errors;
+          Alcotest.test_case "frame roundtrip" `Quick frame_roundtrip;
+          Alcotest.test_case "closed peer" `Quick frame_closed;
+          Alcotest.test_case "truncated frame" `Quick frame_truncated;
+          Alcotest.test_case "oversized frame" `Quick frame_oversized;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "deterministic results" `Quick engine_deterministic;
+          Alcotest.test_case "unknown ids rejected" `Quick engine_rejects_unknown;
+          Alcotest.test_case "boom raises" `Quick engine_boom_raises;
+          Alcotest.test_case "spin stalls at budget" `Quick engine_spin_stalls;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "deterministic under seed" `Quick
+            backoff_deterministic;
+          Alcotest.test_case "pinned schedule" `Quick backoff_pinned;
+          Alcotest.test_case "with_retries spends schedule" `Quick
+            with_retries_spends_schedule;
+          Alcotest.test_case "with_retries exhausts" `Quick with_retries_exhausts;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "health, lint, cache" `Quick daemon_health_and_lint;
+          Alcotest.test_case "crash isolation" `Quick daemon_crash_isolated;
+          Alcotest.test_case "protocol abuse survived" `Quick
+            daemon_protocol_errors_survive;
+          Alcotest.test_case "backpressure + health under load" `Quick
+            daemon_backpressure;
+          Alcotest.test_case "drain cancels stragglers" `Quick
+            daemon_drain_cancels_stragglers;
+        ] );
+      ("chaos", [ Alcotest.test_case "acceptance" `Slow daemon_chaos_acceptance ]);
+    ]
