@@ -33,17 +33,23 @@ let default_sizes =
     fig12_iters = 60;
   }
 
+(* The flat-arena shadow dropped per-cell overheads to ~1.0-1.8x, which
+   also shrank the absolute quick-cell runtimes to the point where
+   scheduling noise swamped a 10% drift gate. Quick mode therefore runs
+   more iterations (cells in the tens of milliseconds, noise < a few
+   percent) and a wider median; the whole quick sweep still finishes in
+   well under a minute. *)
 let quick_sizes =
   {
     default_sizes with
     jacobi_nx = 256;
     jacobi_ny = 128;
-    jacobi_iters = 120;
-    tealeaf_steps = 2;
-    tealeaf_cg = 8;
-    repeats = 5;
+    jacobi_iters = 400;
+    tealeaf_steps = 3;
+    tealeaf_cg = 10;
+    repeats = 7;
     fig12_domains = [ (64, 32); (128, 64); (256, 128) ];
-    fig12_iters = 30;
+    fig12_iters = 100;
   }
 
 let jacobi_app sz () =
@@ -59,6 +65,11 @@ let tealeaf_app sz () =
       ~steps:sz.tealeaf_steps ~cg_iters:sz.tealeaf_cg ~nranks:2 ()
   in
   Apps.Tealeaf.app cfg
+
+let median_of f results =
+  let xs = List.map f results |> List.sort Float.compare |> Array.of_list in
+  let n = Array.length xs in
+  if n mod 2 = 1 then xs.(n / 2) else (xs.((n / 2) - 1) +. xs.(n / 2)) /. 2.
 
 (* One warmup + [repeats] measured runs; averages of runtime and memory,
    last run's full result for counters.
@@ -82,14 +93,41 @@ let measure ?pool ?(repeats = 4) ?granule ?annotation ?max_range_bytes ~flavor
   (* Median for runtime: the short quick-size runs are sub-millisecond,
      where a single scheduling hiccup can double the mean; the median
      keeps overhead ratios stable enough for benchdiff's CI gate. *)
-  let median f =
-    let xs = List.map f results |> List.sort Float.compare |> Array.of_list in
-    let n = Array.length xs in
-    if n mod 2 = 1 then xs.(n / 2) else (xs.((n / 2) - 1) +. xs.(n / 2)) /. 2.
-  in
-  let proc_s = median (fun r -> r.R.proc_s) in
+  let proc_s = median_of (fun r -> r.R.proc_s) results in
   let rss = avg (fun r -> float r.R.rss_bytes) in
   (proc_s, rss, List.nth results (repeats - 1))
+
+(* Overhead ratios divide a flavor's runtime by vanilla's, so both sides
+   must see the same machine. Measuring them as separate cells lets
+   correlated machine-speed drift (a throttling CI runner, a co-tenant
+   burst minutes apart) land on one side of the division and masquerade
+   as an overhead change. Instead a ratio cell runs interleaved rounds —
+   vanilla then flavor, back to back inside one exclusive window — and
+   reports the median of the per-round ratios: drift hits both runs of a
+   round and cancels. The vanilla median and the last flavor result ride
+   along for absolute-time display and counter reporting. *)
+let measure_ratio ?pool ?(repeats = 4) ~flavor mk_app =
+  ignore (R.run ~nranks:2 ~flavor:F.Vanilla (mk_app ()));
+  let warm = R.run ~nranks:2 ~flavor (mk_app ()) in
+  let timed () =
+    List.init repeats (fun _ ->
+        (* drain GC debt so the collector's timing is not carried from
+           one side of the ratio into the other: the combined flavors
+           allocate far more than vanilla, and a major slice landing in
+           the vanilla run of the next round skews the pair *)
+        Gc.full_major ();
+        let v = R.run ~nranks:2 ~flavor:F.Vanilla (mk_app ()) in
+        Gc.full_major ();
+        let f = R.run ~nranks:2 ~flavor (mk_app ()) in
+        (v, f))
+  in
+  let rounds =
+    match pool with None -> timed () | Some p -> Pool.exclusively p timed
+  in
+  let ratio = median_of (fun (v, f) -> f.R.proc_s /. v.R.proc_s) rounds in
+  let vanilla_s = median_of (fun (v, _) -> v.R.proc_s) rounds in
+  let last = match List.rev rounds with (_, f) :: _ -> f | [] -> warm in
+  (ratio, vanilla_s, last)
 
 (* Evaluate independent bench cells: on the pool when one is given
    (results in input order, so downstream printing is deterministic),
@@ -108,7 +146,7 @@ let bar width max_v v =
 
 let fig10 ?pool sz =
   Fmt.pr "@.=== Fig. 10 — relative runtime overhead  [T_flavor / T_vanilla]@.";
-  Fmt.pr "(median of %d runs after 1 warmup; per-process runtime semantics, see EXPERIMENTS.md)@." sz.repeats;
+  Fmt.pr "(median of %d interleaved vanilla/flavor run pairs after warmup; per-process runtime semantics, see EXPERIMENTS.md)@." sz.repeats;
   let apps =
     [
       ( "Jacobi",
@@ -121,34 +159,37 @@ let fig10 ?pool sz =
         Paper_ref.vanilla_runtime_tealeaf );
     ]
   in
-  (* Every (app × flavor) cell — vanilla included — is an independent
-     measurement, so compute them all first (concurrently on the pool)
-     and print afterwards from the collected values. *)
+  (* Every (app × flavor) cell is an independent measurement pairing
+     the flavor against vanilla (see measure_ratio), so compute them
+     all first (concurrently on the pool) and print afterwards from
+     the collected values. *)
   let cells =
     List.concat_map
       (fun (name, mk_app, paper, _) ->
-        List.map (fun f -> (name, mk_app, f)) ("vanilla" :: List.map fst paper))
+        List.map (fun (fname, _) -> (name, mk_app, fname)) paper)
       apps
   in
   let timed =
     run_cells ?pool
       (fun (app, mk_app, fname) ->
-        let flavor =
-          if fname = "vanilla" then F.Vanilla else Option.get (F.of_string fname)
+        let flavor = Option.get (F.of_string fname) in
+        let ratio, vanilla_s, _ =
+          measure_ratio ?pool ~repeats:sz.repeats ~flavor mk_app
         in
-        let t, _, _ = measure ?pool ~repeats:sz.repeats ~flavor mk_app in
-        ((app, fname), t))
+        ((app, fname), (ratio, vanilla_s)))
       cells
   in
-  let time app fname = List.assoc (app, fname) timed in
+  let cell app fname = List.assoc (app, fname) timed in
   let one (name, _, paper, vanilla_paper) =
-    let v = time name "vanilla" in
+    let v =
+      median_of (fun (fname, _) -> snd (cell name fname)) paper
+    in
     Fmt.pr "@.%s  (vanilla: %.3f s simulated; paper vanilla: %.2f s on V100)@."
       name v vanilla_paper;
     Fmt.pr "  %-14s %11s %16s@." "flavor" "measured" "paper";
     let rows =
       List.map
-        (fun (fname, paper_x) -> (fname, time name fname /. v, paper_x))
+        (fun (fname, paper_x) -> (fname, fst (cell name fname), paper_x))
         paper
     in
     List.iter (fun r -> pp_ratio_row Fmt.stdout r) rows;
@@ -241,16 +282,11 @@ let fig12 ?pool sz =
   Fmt.pr " with the bytes tracked by TSan, is the reproduction target)@.";
   Fmt.pr "  %-12s %12s %12s %10s %14s %14s@." "domain" "vanilla[s]" "CuSan[s]"
     "rel" "TSan reads" "TSan writes";
-  (* 2 cells per domain size (vanilla / CuSan), all independent:
-     computed on the pool, printed afterwards in domain order. *)
-  let cells =
-    List.concat_map
-      (fun (nx, ny) -> [ (nx, ny, F.Vanilla); (nx, ny, F.Cusan) ])
-      sz.fig12_domains
-  in
+  (* One paired vanilla/CuSan ratio cell per domain size: computed on
+     the pool, printed afterwards in domain order. *)
   let timed =
     run_cells ?pool
-      (fun (nx, ny, flavor) ->
+      (fun (nx, ny) ->
         let mk () =
           let cfg =
             Apps.Jacobi.config ~nx ~ny ~iters:sz.fig12_iters
@@ -258,14 +294,16 @@ let fig12 ?pool sz =
           in
           Apps.Jacobi.app cfg
         in
-        let t, _, res = measure ?pool ~repeats:sz.repeats ~flavor mk in
-        ((nx, ny, flavor), (t, res)))
-      cells
+        let ratio, vanilla_s, res =
+          measure_ratio ?pool ~repeats:sz.repeats ~flavor:F.Cusan mk
+        in
+        ((nx, ny), (ratio, vanilla_s, res)))
+      sz.fig12_domains
   in
   List.map
     (fun (nx, ny) ->
-      let v, _ = List.assoc (nx, ny, F.Vanilla) timed in
-      let c, res = List.assoc (nx, ny, F.Cusan) timed in
+      let ratio, v, res = List.assoc (nx, ny) timed in
+      let c = ratio *. v in
       let mb x = float_of_int x /. 1048576. in
       Fmt.pr "  %4dx%-7d %12.4f %12.4f %9.1fx %11.1f MB %11.1f MB@." nx ny v c
         (c /. v)

@@ -98,6 +98,7 @@ let () =
   let fig11_rows = ref None in
   let fig12_rows = ref None in
   let suite_sum = ref None in
+  let micro_rows = ref None in
   Fun.protect
     ~finally:(fun () -> Option.iter Pool.shutdown pool)
     (fun () ->
@@ -109,7 +110,7 @@ let () =
           | "table1" -> ignore (Figs.table1 sz)
           | "fig12" -> fig12_rows := Some (Figs.fig12 ?pool sz)
           | "ablation" -> Figs.ablation sz
-          | "micro" -> Micro.run ()
+          | "micro" -> micro_rows := Some (Micro.run ())
           | "suite" ->
               let vs = Testsuite.Runner.run_matrix ~j:jobs () in
               let pass, total = Testsuite.Runner.summary vs in
@@ -189,6 +190,19 @@ let () =
         | Some (pass, total) ->
             [ ("suite", Obj [ ("pass", Int pass); ("total", Int total) ]) ]
       in
+      let micro_json =
+        match !micro_rows with
+        | None -> []
+        | Some rows ->
+            [
+              ( "micro",
+                List
+                  (List.map
+                     (fun (name, ns) ->
+                       Obj [ ("name", Str name); ("ns", Float ns) ])
+                     rows) );
+            ]
+      in
       let doc =
         Obj
           ([
@@ -196,7 +210,7 @@ let () =
              ("quick", Bool o.quick);
              ("workers", Int jobs);
            ]
-          @ fig10_json @ fig11_json @ fig12_json @ suite_json)
+          @ fig10_json @ fig11_json @ fig12_json @ suite_json @ micro_json)
       in
       let oc = open_out path in
       Fun.protect

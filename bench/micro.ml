@@ -51,6 +51,46 @@ let t_vclock_join =
   Test.make ~name:"tsan/vclock join (16 fibers)"
     (Staged.stage (fun () -> Tsan.Vclock.join a b))
 
+(* Cold-path variants: the page-level same-epoch skip cannot fire.
+   [fresh-epoch] advances the caller's epoch before every range, so each
+   walk re-stamps the page summaries; [stride cold] additionally
+   scatters short accesses across the pages of a 1 MiB region whose
+   pages were all partially touched up front, so the walk works on
+   materialized per-cell chunks instead of uniform summaries. Without
+   these, the range rows only ever measure the cache-hot fast path. *)
+let t_write_range_fresh_epoch bytes =
+  let d = detector_with_region (max bytes 4096) in
+  Test.make
+    ~name:(Fmt.str "tsan/write_range %dB fresh-epoch" bytes)
+    (Staged.stage (fun () ->
+         Tsan.Detector.happens_before d 7;
+         Tsan.Detector.write_range d ~addr:base ~len:bytes))
+
+let t_read_range_fresh_epoch bytes =
+  let d = detector_with_region (max bytes 4096) in
+  Test.make
+    ~name:(Fmt.str "tsan/read_range %dB fresh-epoch" bytes)
+    (Staged.stage (fun () ->
+         Tsan.Detector.happens_before d 7;
+         Tsan.Detector.read_range d ~addr:base ~len:bytes))
+
+let t_write_range_stride =
+  let size = 1 lsl 20 in
+  let d = detector_with_region size in
+  let page_app_bytes = Tsan.Shadow.cells_per_page * 8 in
+  (* partially touch every page so its shadow is a per-cell chunk *)
+  let p = ref 8 in
+  while !p < size do
+    Tsan.Detector.write_range d ~addr:(base + !p) ~len:8;
+    p := !p + page_app_bytes
+  done;
+  let pos = ref 0 in
+  Test.make ~name:"tsan/write_range 64B stride cold"
+    (Staged.stage (fun () ->
+         Tsan.Detector.happens_before d 9;
+         Tsan.Detector.write_range d ~addr:(base + !pos) ~len:64;
+         pos := (!pos + page_app_bytes + 64) mod (size - 64)))
+
 let t_kernel_analysis =
   Test.make ~name:"cusan/kernel access analysis (Jacobi module)"
     (Staged.stage (fun () ->
@@ -71,6 +111,9 @@ let tests =
       t_write_range 4096;
       t_write_range 65536;
       t_read_range 4096;
+      t_write_range_fresh_epoch 4096;
+      t_read_range_fresh_epoch 4096;
+      t_write_range_stride;
       t_hb_ha;
       t_switch;
       t_vclock_join;
@@ -95,6 +138,6 @@ let run () =
         | _ -> acc)
       results []
   in
-  List.iter
-    (fun (name, t) -> Fmt.pr "  %-45s %12.1f ns/op@." name t)
-    (List.sort compare rows)
+  let rows = List.sort compare rows in
+  List.iter (fun (name, t) -> Fmt.pr "  %-45s %12.1f ns/op@." name t) rows;
+  rows

@@ -1,15 +1,23 @@
 (* Compare a bench JSON artifact (bench/main.exe --json) against a
    committed baseline and gate on overhead-ratio drift. The CI benchdiff
    job runs this against BENCH_baseline.json; exit 1 means at least one
-   fig10/fig12 overhead ratio regressed past the threshold (or vanished
-   from the run), exit 2 means the invocation or the inputs were bad. *)
+   overhead cell regressed past the threshold (or vanished from the
+   run), exit 2 means the invocation or the inputs were bad. --mode
+   selects the cell family: macro (fig10/fig11/fig12 ratios, tight
+   threshold) or micro (ns/op rows from bench micro, gated loosely
+   against a separate BENCH_micro.json baseline). *)
 
 let usage () =
   Fmt.pr
-    "usage: benchdiff --baseline FILE --run FILE [--threshold PCT]@.@.\
+    "usage: benchdiff --baseline FILE --run FILE [--threshold PCT]@.\
+    \       [--mode macro|micro|all] [--summary FILE]@.@.\
     \  --baseline FILE committed reference JSON (e.g. BENCH_baseline.json)@.\
     \  --run FILE      fresh bench JSON to check@.\
-    \  --threshold PCT max allowed ratio growth in percent (default 25)@."
+    \  --threshold PCT max allowed growth in percent (default 25)@.\
+    \  --mode MODE     cell family to compare: macro = fig10/fig11/fig12@.\
+    \                  overhead ratios, micro = micro/* ns rows (default all)@.\
+    \  --summary FILE  append a markdown before/after table (for@.\
+    \                  $GITHUB_STEP_SUMMARY)@."
 
 let die msg =
   Fmt.epr "benchdiff: %s@." msg;
@@ -20,6 +28,8 @@ type opts = {
   baseline : string option;
   run : string option;
   threshold : float;
+  mode : Reporting.Benchcmp.mode;
+  summary : string option;
 }
 
 let parse_args argv =
@@ -39,11 +49,27 @@ let parse_args argv =
         | Some t when t >= 0. -> go { acc with threshold = t } rest
         | _ -> die (Fmt.str "--threshold expects a non-negative number, got %S" v))
     | [ "--threshold" ] -> die "--threshold requires a value"
+    | "--mode" :: v :: rest -> (
+        match Reporting.Benchcmp.mode_of_string v with
+        | Some m -> go { acc with mode = m } rest
+        | None -> die (Fmt.str "--mode expects macro|micro|all, got %S" v))
+    | [ "--mode" ] -> die "--mode requires a value"
+    | "--summary" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with summary = Some v } rest
+    | [ "--summary" ] | "--summary" :: _ -> die "--summary requires a file"
     | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
   in
-  go { baseline = None; run = None; threshold = 25. } argv
+  go
+    {
+      baseline = None;
+      run = None;
+      threshold = 25.;
+      mode = Reporting.Benchcmp.All;
+      summary = None;
+    }
+    argv
 
-let load_cells what path =
+let load_cells ~mode what path =
   let contents =
     try In_channel.with_open_bin path In_channel.input_all
     with Sys_error msg -> die (Fmt.str "cannot read %s file: %s" what msg)
@@ -51,10 +77,44 @@ let load_cells what path =
   match Reporting.Mjson.of_string contents with
   | Error msg -> die (Fmt.str "%s %s is not valid JSON: %s" what path msg)
   | Ok j ->
-      let cells = Reporting.Benchcmp.cells_of_json j in
+      let cells =
+        Reporting.Benchcmp.(filter_mode mode (cells_of_json j))
+      in
       if cells = [] then
-        die (Fmt.str "%s %s contains no fig10/fig12 overhead cells" what path);
+        die
+          (Fmt.str "%s %s contains no overhead cells for the selected mode" what
+             path);
       cells
+
+(* Markdown rendition of the outcomes, appended to --summary FILE:
+   GitHub renders $GITHUB_STEP_SUMMARY, so the per-cell deltas show up
+   on the workflow run page without digging through logs. *)
+let write_summary path ~run_path ~baseline_path ~threshold outcomes =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "### benchdiff: `%s` vs `%s` (threshold %+.0f%%)\n\n" run_path
+        baseline_path threshold;
+      p "| cell | baseline | run | drift |\n|---|---:|---:|---:|\n";
+      List.iter
+        (fun oc_ ->
+          match oc_ with
+          | Reporting.Benchcmp.Ok_cell { key; base; run; drift_pct } ->
+              p "| %s | %.3f | %.3f | %+.1f%% |\n" key base run drift_pct
+          | Reporting.Benchcmp.Regressed { key; base; run; drift_pct } ->
+              p "| **%s** | %.3f | %.3f | **%+.1f%%** ❌ |\n" key base run
+                drift_pct
+          | Reporting.Benchcmp.Missing { key; base } ->
+              p "| **%s** | %.3f | absent | ❌ |\n" key base)
+        outcomes;
+      let failed = List.filter Reporting.Benchcmp.failed outcomes in
+      if failed = [] then
+        p "\nall %d cells within threshold\n\n" (List.length outcomes)
+      else
+        p "\n**%d of %d cells regressed beyond %.0f%%**\n\n"
+          (List.length failed) (List.length outcomes) threshold)
 
 let () =
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
@@ -64,8 +124,8 @@ let () =
   let run_path =
     match o.run with Some p -> p | None -> die "--run is required"
   in
-  let baseline = load_cells "baseline" baseline_path in
-  let run = load_cells "run" run_path in
+  let baseline = load_cells ~mode:o.mode "baseline" baseline_path in
+  let run = load_cells ~mode:o.mode "run" run_path in
   (* Run cells the baseline has never heard of are an inputs problem,
      not a drift verdict: the gate can't vouch for a cell with no
      reference, so name each one and bail with usage-style guidance. *)
@@ -76,7 +136,7 @@ let () =
         (List.length missing) baseline_path;
       List.iter
         (fun c ->
-          Fmt.epr "  %-24s %8.3fx (no baseline entry)@."
+          Fmt.epr "  %-24s %8.3f (no baseline entry)@."
             c.Reporting.Benchcmp.key c.Reporting.Benchcmp.value)
         missing;
       Fmt.epr
@@ -92,6 +152,11 @@ let () =
   Fmt.pr "benchdiff: %s vs %s (threshold %+.0f%%)@." run_path baseline_path
     o.threshold;
   List.iter (fun oc -> Fmt.pr "  %a@." Reporting.Benchcmp.pp_outcome oc) outcomes;
+  Option.iter
+    (fun path ->
+      write_summary path ~run_path ~baseline_path ~threshold:o.threshold
+        outcomes)
+    o.summary;
   let failed = List.filter Reporting.Benchcmp.failed outcomes in
   if failed <> [] then begin
     Fmt.pr "@.%d of %d cells regressed beyond %.0f%%@." (List.length failed)

@@ -88,7 +88,26 @@ let extent_of (p : Memsim.Ptr.t) =
   | Some bytes -> bytes
   | None -> Memsim.Ptr.remaining p
 
-type range = { ptr : Memsim.Ptr.t; bytes : int; kind : [ `Read | `Write ] }
+type range = { ptr : Memsim.Ptr.t; bytes : int; kind : [ `Read | `Write | `Rw ] }
+
+(* Kernel argument lists routinely alias (the same buffer passed twice,
+   e.g. an in-place update): annotating the extent once is enough — the
+   detector's state transition is idempotent within one operation — so
+   drop exact duplicates before walking the shadow. Order-preserving on
+   first occurrence; argument lists are short. *)
+let dedupe_ranges ranges =
+  List.fold_left
+    (fun acc r ->
+      if
+        List.exists
+          (fun r' ->
+            Memsim.Ptr.addr r'.ptr = Memsim.Ptr.addr r.ptr
+            && r'.bytes = r.bytes && r'.kind = r.kind)
+          acc
+      then acc
+      else r :: acc)
+    [] ranges
+  |> List.rev
 
 (* Steps 1-5 above. The issuing fiber is saved and restored (rather than
    assuming a single host fiber) so interception works from any host
@@ -119,7 +138,8 @@ let device_op t (s : D.stream) ~label ~(ranges : range list) ~host_syncs =
           match r.kind with
           | `Read -> T.read_range t.tsan ~addr:(Memsim.Ptr.addr r.ptr) ~len:r.bytes
           | `Write ->
-              T.write_range t.tsan ~addr:(Memsim.Ptr.addr r.ptr) ~len:r.bytes)
+              T.write_range t.tsan ~addr:(Memsim.Ptr.addr r.ptr) ~len:r.bytes
+          | `Rw -> T.rw_range t.tsan ~addr:(Memsim.Ptr.addr r.ptr) ~len:r.bytes)
         ranges);
   T.happens_before t.tsan (stream_key s.D.sid);
   if legacy && s.D.is_default then
@@ -151,11 +171,19 @@ let whole_ranges t (k : K.t) (args : Kir.Interp.value array) =
           | None -> ()
           | Some a ->
               let bytes = cap t (extent_of p) in
-              if K.reads a then ranges := { ptr = p; bytes; kind = `Read } :: !ranges;
-              if K.writes a then ranges := { ptr = p; bytes; kind = `Write } :: !ranges)
+              let kind =
+                match (K.reads a, K.writes a) with
+                | true, true -> Some `Rw
+                | true, false -> Some `Read
+                | false, true -> Some `Write
+                | false, false -> None
+              in
+              Option.iter
+                (fun kind -> ranges := { ptr = p; bytes; kind } :: !ranges)
+                kind)
       | _ -> ())
     args;
-  List.rev !ranges
+  dedupe_ranges (List.rev !ranges)
 
 (* Precise annotation from the launch-time range analysis; clips the
    derived byte intervals to the allocation and falls back to the whole
@@ -173,11 +201,9 @@ let precise_ranges t (k : K.t) (args : Kir.Interp.value array) ~grid =
               match arg with
               | Kir.Interp.VPtr p ->
                   let extent = extent_of p in
-                  if s.Range_analysis.imprecise.(i) then begin
-                    let bytes = cap t extent in
-                    ranges := { ptr = p; bytes; kind = `Read } :: !ranges;
-                    ranges := { ptr = p; bytes; kind = `Write } :: !ranges
-                  end
+                  if s.Range_analysis.imprecise.(i) then
+                    ranges :=
+                      { ptr = p; bytes = cap t extent; kind = `Rw } :: !ranges
                   else begin
                     let clip kind = function
                       | None -> ()
@@ -199,7 +225,7 @@ let precise_ranges t (k : K.t) (args : Kir.Interp.value array) ~grid =
                   end
               | _ -> ())
             args;
-          List.rev !ranges)
+          dedupe_ranges (List.rev !ranges))
 
 let kernel_ranges t (k : K.t) (args : Kir.Interp.value array) ~grid =
   match t.annotation with

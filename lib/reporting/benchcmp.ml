@@ -17,7 +17,8 @@ type outcome =
    Recognized shapes (fields produced by bench/main.exe --json):
    - fig10: [{app, flavor, rel, ...}]   -> "fig10/<app>/<flavor>"
    - fig11: [{app, flavor, rel, ...}]   -> "fig11/<app>/<flavor>"
-   - fig12: [{nx, ny, rel, ...}]        -> "fig12/<nx>x<ny>"        *)
+   - fig12: [{nx, ny, rel, ...}]        -> "fig12/<nx>x<ny>"
+   - micro: [{name, ns}]                -> "micro/<name>"           *)
 let cells_of_json (j : Mjson.t) : cell list =
   (* fig10 (runtime overhead) and fig11 (memory overhead) rows share a
      shape: {app, flavor, rel}. *)
@@ -56,7 +57,41 @@ let cells_of_json (j : Mjson.t) : cell list =
           rows
     | _ -> []
   in
-  fig10 @ fig11 @ fig12
+  let micro =
+    match Mjson.(member "micro" j |> Option.map to_list) with
+    | Some (Some rows) ->
+        List.filter_map
+          (fun row ->
+            match
+              ( Mjson.(member "name" row |> Option.map to_str),
+                Mjson.(member "ns" row |> Option.map to_float) )
+            with
+            | Some (Some name), Some (Some ns) ->
+                Some { key = "micro/" ^ name; value = ns }
+            | _ -> None)
+          rows
+    | _ -> []
+  in
+  fig10 @ fig11 @ fig12 @ micro
+
+(* Cell-key families, selectable with benchdiff's --mode. Macro cells
+   are overhead *ratios* (stable across machines, tight thresholds);
+   micro cells are absolute ns/op (noisier, gated loosely to catch
+   order-of-magnitude regressions only). Comparing them under one
+   threshold would either mute the macro gate or make micro flaky. *)
+type mode = Macro | Micro | All
+
+let mode_of_string = function
+  | "macro" -> Some Macro
+  | "micro" -> Some Micro
+  | "all" -> Some All
+  | _ -> None
+
+let in_mode mode (c : cell) =
+  let is_micro = String.length c.key >= 6 && String.sub c.key 0 6 = "micro/" in
+  match mode with All -> true | Micro -> is_micro | Macro -> not is_micro
+
+let filter_mode mode cells = List.filter (in_mode mode) cells
 
 (* Compare a run against a baseline. A cell regresses when its ratio
    grew by more than [threshold_pct] percent over the baseline value;

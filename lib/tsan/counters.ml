@@ -9,6 +9,14 @@ type t = {
   mutable write_ranges : int;
   mutable read_bytes : int;
   mutable write_bytes : int;
+  (* Shadow hot-path telemetry (not part of Table I): how often the
+     per-fiber last-hit region cache resolved without the hashtable,
+     how many page-granular transitions stayed uniform (O(1) instead of
+     a cell loop), and how many pages had to materialize per-cell
+     chunks. *)
+  mutable region_cache_hits : int;
+  mutable uniform_pages : int;
+  mutable materialized_pages : int;
 }
 
 let create () =
@@ -20,6 +28,9 @@ let create () =
     write_ranges = 0;
     read_bytes = 0;
     write_bytes = 0;
+    region_cache_hits = 0;
+    uniform_pages = 0;
+    materialized_pages = 0;
   }
 
 let avg_kb total count = if count = 0 then 0. else float total /. float count /. 1024.
@@ -34,7 +45,10 @@ let add ~into t =
   into.read_ranges <- into.read_ranges + t.read_ranges;
   into.write_ranges <- into.write_ranges + t.write_ranges;
   into.read_bytes <- into.read_bytes + t.read_bytes;
-  into.write_bytes <- into.write_bytes + t.write_bytes
+  into.write_bytes <- into.write_bytes + t.write_bytes;
+  into.region_cache_hits <- into.region_cache_hits + t.region_cache_hits;
+  into.uniform_pages <- into.uniform_pages + t.uniform_pages;
+  into.materialized_pages <- into.materialized_pages + t.materialized_pages
 
 let pp ppf t =
   Fmt.pf ppf

@@ -10,6 +10,12 @@ type t = {
   mutable write_ranges : int;
   mutable read_bytes : int;  (** total bytes covered by read ranges *)
   mutable write_bytes : int;
+  mutable region_cache_hits : int;
+      (** range lookups resolved by the per-fiber last-hit region cache *)
+  mutable uniform_pages : int;
+      (** page-granular O(1) shadow transitions (uniform fast path) *)
+  mutable materialized_pages : int;
+      (** pages that diverged into per-cell arena chunks *)
 }
 
 val create : unit -> t

@@ -4,7 +4,20 @@
    address, and tsan_read_range/tsan_write_range.
 
    One detector instance corresponds to one process under TSan; the MPI
-   simulator creates one per rank. *)
+   simulator creates one per rank.
+
+   Range annotations are extent-batched: one region lookup (usually
+   resolved by the fiber's last-hit cache), then one walk over the
+   shadow pages the extent covers. Pages that are uniform — the common
+   case under CuSan's whole-allocation annotations — transition with a
+   constant number of epoch comparisons; only pages whose cells have
+   diverged fall back to the per-cell FastTrack loop over the arena
+   chunk. The page-granular same-epoch skip is sound for the same
+   reason FastTrack's per-cell one is: releasing (happens_before,
+   fiber_create_inherit, switch_to_fiber_sync) increments the fiber's
+   clock component and refreshes its epoch, so an unchanged epoch
+   proves the fiber has published nothing since it last owned the
+   page. *)
 
 type fiber = {
   tid : int;
@@ -12,6 +25,9 @@ type fiber = {
   vc : Vclock.t;
   mutable epoch : int; (* cached Epoch.pack tid vc.(tid) *)
   mutable ctx : string list; (* innermost-first context ("stack") *)
+  mutable origin_id : int; (* interned id of the top context; -1 = stale *)
+  mutable cache_region : Shadow.region option; (* last-hit region *)
+  mutable cache_version : int; (* Shadow.version it was valid for *)
 }
 
 type t = {
@@ -38,7 +54,18 @@ let make_fiber t name =
   t.next_tid <- t.next_tid + 1;
   let vc = Vclock.create () in
   Vclock.set vc tid 1;
-  let f = { tid; name; vc; epoch = 0; ctx = [] } in
+  let f =
+    {
+      tid;
+      name;
+      vc;
+      epoch = 0;
+      ctx = [];
+      origin_id = -1;
+      cache_region = None;
+      cache_version = -1;
+    }
+  in
   refresh_epoch f;
   t.fibers <- f :: t.fibers;
   f
@@ -88,6 +115,18 @@ let origin_name t i =
 
 let current_origin t =
   match t.cur.ctx with [] -> t.cur.name | o :: _ -> o
+
+(* The interned id of the current origin, cached on the fiber until the
+   context stack changes — range annotations skip the string hashtable
+   probe entirely. *)
+let origin_id t =
+  let cur = t.cur in
+  if cur.origin_id >= 0 then cur.origin_id
+  else begin
+    let id = intern_origin t (current_origin t) in
+    cur.origin_id <- id;
+    id
+  end
 
 (* --- fibers ---------------------------------------------------------- *)
 
@@ -139,10 +178,16 @@ let fiber_name f = f.name
 
 (* Push/pop a context label on the current fiber; stands in for TSan's
    func_entry/func_exit stack tracking. *)
-let push_context t label = t.cur.ctx <- label :: t.cur.ctx
+let push_context t label =
+  t.cur.ctx <- label :: t.cur.ctx;
+  t.cur.origin_id <- -1
 
 let pop_context t =
-  match t.cur.ctx with [] -> () | _ :: rest -> t.cur.ctx <- rest
+  match t.cur.ctx with
+  | [] -> ()
+  | _ :: rest ->
+      t.cur.ctx <- rest;
+      t.cur.origin_id <- -1
 
 let with_context t label f =
   push_context t label;
@@ -195,9 +240,13 @@ let fiber_history fibers =
         | lines -> (Fmt.str "fiber '%s'" name, lines))
       fibers
 
-let report t ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
+(* [count] is the number of cells this race event covers: a uniform page
+   reports once for all its cells, but the raw-event tally must match
+   the per-cell accounting so extent-level detection stays
+   verdict-identical to the per-cell walk. *)
+let report t ~count ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
     ~prev_origin ~(prev_kind : [ `Read | `Write ]) =
-  t.races_total <- t.races_total + 1;
+  t.races_total <- t.races_total + count;
   let prev_fiber =
     match List.find_opt (fun f -> f.tid = Epoch.tid prev_epoch) t.fibers with
     | Some f -> f.name
@@ -227,104 +276,319 @@ let report t ~addr ~granule ~(cur_kind : [ `Read | `Write ]) ~prev_epoch
 
 (* --- FastTrack core -------------------------------------------------- *)
 
-let check_write_hb t region i ~cur_kind =
-  let we = Array.unsafe_get region.Shadow.w_epoch i in
-  if not (Epoch.is_none we || Epoch.hb we t.cur.vc) then
-    report t
-      ~addr:(region.Shadow.base + (i * region.Shadow.granule))
-      ~granule:region.Shadow.granule ~cur_kind ~prev_epoch:we
-      ~prev_origin:(Array.unsafe_get region.Shadow.w_origin i)
-      ~prev_kind:`Write
+let cell_addr (region : Shadow.region) i =
+  region.Shadow.base + (i * region.Shadow.granule)
 
-let write_cell t region i ~origin =
+(* Write transition of a whole uniform page (every cell identical, full
+   extent coverage): the per-cell checks degenerate to one write-write
+   and one read-write check against the shared quadruple. *)
+let write_uniform t (region : Shadow.region) (u : Shadow.uniform) ~addr0
+    ~count ~e ~origin =
   let cur = t.cur in
-  let e = cur.epoch in
-  if Array.unsafe_get region.Shadow.w_epoch i <> e then begin
-    (* write-write race? *)
-    check_write_hb t region i ~cur_kind:`Write;
-    (* read-write race? *)
-    let re = Array.unsafe_get region.Shadow.r_epoch i in
-    if re = Shadow.promoted then begin
-      (match Hashtbl.find_opt region.Shadow.read_vcs i with
-      | Some rvc -> (
-          match Vclock.find_gt rvc cur.vc with
-          | Some (rtid, rclk) ->
-              report t
-                ~addr:(region.Shadow.base + (i * region.Shadow.granule))
-                ~granule:region.Shadow.granule ~cur_kind:`Write
-                ~prev_epoch:(Epoch.pack ~tid:rtid ~clock:rclk)
-                ~prev_origin:(Array.unsafe_get region.Shadow.r_origin i)
-                ~prev_kind:`Read
-          | None -> ())
-      | None -> ());
-      Hashtbl.remove region.Shadow.read_vcs i
-    end
-    else if not (Epoch.is_none re || Epoch.hb re cur.vc) then
-      report t
-        ~addr:(region.Shadow.base + (i * region.Shadow.granule))
-        ~granule:region.Shadow.granule ~cur_kind:`Write ~prev_epoch:re
-        ~prev_origin:(Array.unsafe_get region.Shadow.r_origin i)
-        ~prev_kind:`Read;
-    Array.unsafe_set region.Shadow.w_epoch i e;
-    Array.unsafe_set region.Shadow.w_origin i origin;
-    Array.unsafe_set region.Shadow.r_epoch i Epoch.none
-  end
+  let granule = region.Shadow.granule in
+  let we = u.Shadow.u_we in
+  if not (Epoch.is_none we || Epoch.hb we cur.vc) then
+    report t ~count ~addr:addr0 ~granule ~cur_kind:`Write ~prev_epoch:we
+      ~prev_origin:u.Shadow.u_wo ~prev_kind:`Write;
+  let re = u.Shadow.u_re in
+  (if re = Shadow.promoted then begin
+     (match u.Shadow.u_rvc with
+     | Some rvc ->
+         (match Vclock.find_gt rvc cur.vc with
+         | Some (rtid, rclk) ->
+             report t ~count ~addr:addr0 ~granule ~cur_kind:`Write
+               ~prev_epoch:(Epoch.pack ~tid:rtid ~clock:rclk)
+               ~prev_origin:u.Shadow.u_ro ~prev_kind:`Read
+         | None -> ());
+         Shadow.vc_free t.shadow rvc
+     | None -> ());
+     u.Shadow.u_rvc <- None
+   end
+   else if not (Epoch.is_none re || Epoch.hb re cur.vc) then
+     report t ~count ~addr:addr0 ~granule ~cur_kind:`Write ~prev_epoch:re
+       ~prev_origin:u.Shadow.u_ro ~prev_kind:`Read);
+  u.Shadow.u_we <- e;
+  u.Shadow.u_wo <- origin;
+  u.Shadow.u_re <- Epoch.none
 
-let read_cell t region i ~origin =
+(* Per-cell write walk over a materialized page's chunk. Returns whether
+   the covered cells all ended in the same {e, none, origin} state, so a
+   full-page walk can collapse back to a uniform summary (cells skipped
+   on the same-epoch fast path may carry an older read epoch or a
+   different origin and veto the collapse). *)
+let write_cells t (region : Shadow.region) chunk ~first ~l ~h ~e ~origin =
   let cur = t.cur in
-  let e = cur.epoch in
-  let re = Array.unsafe_get region.Shadow.r_epoch i in
-  if re <> e then begin
-    (* write-read race? *)
-    check_write_hb t region i ~cur_kind:`Read;
-    if re = Shadow.promoted then begin
-      (match Hashtbl.find_opt region.Shadow.read_vcs i with
-      | Some rvc -> Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid)
-      | None -> ());
-      Array.unsafe_set region.Shadow.r_origin i origin
-    end
-    else if Epoch.is_none re || Epoch.hb re cur.vc then begin
-      (* exclusive read: replace the epoch *)
-      Array.unsafe_set region.Shadow.r_epoch i e;
-      Array.unsafe_set region.Shadow.r_origin i origin
+  let granule = region.Shadow.granule in
+  let uniform = ref true in
+  for i = l to h do
+    let o = (i - first) * 4 in
+    let we = Array.unsafe_get chunk o in
+    if we = e then begin
+      if
+        Array.unsafe_get chunk (o + 1) <> Epoch.none
+        || Array.unsafe_get chunk (o + 2) <> origin
+      then uniform := false
     end
     else begin
-      (* concurrent reads from several fibers: promote to a vector clock *)
-      let rvc = Vclock.create () in
-      Vclock.set rvc (Epoch.tid re) (Epoch.clock re);
-      Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid);
-      Hashtbl.replace region.Shadow.read_vcs i rvc;
-      Array.unsafe_set region.Shadow.r_epoch i Shadow.promoted;
-      Array.unsafe_set region.Shadow.r_origin i origin
+      (* write-write race? *)
+      if not (Epoch.is_none we || Epoch.hb we cur.vc) then
+        report t ~count:1 ~addr:(cell_addr region i) ~granule ~cur_kind:`Write
+          ~prev_epoch:we
+          ~prev_origin:(Array.unsafe_get chunk (o + 2))
+          ~prev_kind:`Write;
+      (* read-write race? *)
+      let re = Array.unsafe_get chunk (o + 1) in
+      (if re = Shadow.promoted then (
+         match Hashtbl.find_opt region.Shadow.read_vcs i with
+         | Some rvc ->
+             (match Vclock.find_gt rvc cur.vc with
+             | Some (rtid, rclk) ->
+                 report t ~count:1 ~addr:(cell_addr region i) ~granule
+                   ~cur_kind:`Write
+                   ~prev_epoch:(Epoch.pack ~tid:rtid ~clock:rclk)
+                   ~prev_origin:(Array.unsafe_get chunk (o + 3))
+                   ~prev_kind:`Read
+             | None -> ());
+             Hashtbl.remove region.Shadow.read_vcs i;
+             Shadow.vc_free t.shadow rvc
+         | None -> ())
+       else if not (Epoch.is_none re || Epoch.hb re cur.vc) then
+         report t ~count:1 ~addr:(cell_addr region i) ~granule ~cur_kind:`Write
+           ~prev_epoch:re
+           ~prev_origin:(Array.unsafe_get chunk (o + 3))
+           ~prev_kind:`Read);
+      Array.unsafe_set chunk o e;
+      Array.unsafe_set chunk (o + 2) origin;
+      Array.unsafe_set chunk (o + 1) Epoch.none
     end
+  done;
+  !uniform
+
+(* Read transition of a whole uniform page. *)
+let read_uniform t (region : Shadow.region) (u : Shadow.uniform) ~addr0 ~count
+    ~e ~origin =
+  let cur = t.cur in
+  let granule = region.Shadow.granule in
+  (* write-read race? *)
+  let we = u.Shadow.u_we in
+  if not (Epoch.is_none we || Epoch.hb we cur.vc) then
+    report t ~count ~addr:addr0 ~granule ~cur_kind:`Read ~prev_epoch:we
+      ~prev_origin:u.Shadow.u_wo ~prev_kind:`Write;
+  let re = u.Shadow.u_re in
+  if re = Shadow.promoted then begin
+    (match u.Shadow.u_rvc with
+    | Some rvc -> Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid)
+    | None -> ());
+    u.Shadow.u_ro <- origin
+  end
+  else if Epoch.is_none re || Epoch.hb re cur.vc then begin
+    (* exclusive read: replace the epoch *)
+    u.Shadow.u_re <- e;
+    u.Shadow.u_ro <- origin
+  end
+  else begin
+    (* concurrent reads from several fibers: promote to a shared clock *)
+    let rvc = Shadow.vc_alloc t.shadow in
+    Vclock.set rvc (Epoch.tid re) (Epoch.clock re);
+    Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid);
+    u.Shadow.u_rvc <- Some rvc;
+    u.Shadow.u_re <- Shadow.promoted;
+    u.Shadow.u_ro <- origin
   end
 
+(* Per-cell read walk. Returns [Some (we, wo, ro)] when every covered
+   cell ended with identical write state and read epoch [e], so a
+   full-page walk can collapse the page back to a uniform summary. *)
+let read_cells t (region : Shadow.region) chunk ~first ~l ~h ~e ~origin =
+  let cur = t.cur in
+  let granule = region.Shadow.granule in
+  let uniform = ref true in
+  let cwe = ref 0 and cwo = ref 0 and cro = ref 0 in
+  for i = l to h do
+    let o = (i - first) * 4 in
+    let re = Array.unsafe_get chunk (o + 1) in
+    if re <> e then begin
+      (* write-read race? *)
+      let we = Array.unsafe_get chunk o in
+      if not (Epoch.is_none we || Epoch.hb we cur.vc) then
+        report t ~count:1 ~addr:(cell_addr region i) ~granule ~cur_kind:`Read
+          ~prev_epoch:we
+          ~prev_origin:(Array.unsafe_get chunk (o + 2))
+          ~prev_kind:`Write;
+      if re = Shadow.promoted then begin
+        (match Hashtbl.find_opt region.Shadow.read_vcs i with
+        | Some rvc -> Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid)
+        | None -> ());
+        Array.unsafe_set chunk (o + 3) origin;
+        uniform := false
+      end
+      else if Epoch.is_none re || Epoch.hb re cur.vc then begin
+        (* exclusive read: replace the epoch *)
+        Array.unsafe_set chunk (o + 1) e;
+        Array.unsafe_set chunk (o + 3) origin
+      end
+      else begin
+        (* concurrent reads from several fibers: promote to a clock *)
+        let rvc = Shadow.vc_alloc t.shadow in
+        Vclock.set rvc (Epoch.tid re) (Epoch.clock re);
+        Vclock.set rvc cur.tid (Vclock.get cur.vc cur.tid);
+        Hashtbl.replace region.Shadow.read_vcs i rvc;
+        Array.unsafe_set chunk (o + 1) Shadow.promoted;
+        Array.unsafe_set chunk (o + 3) origin;
+        uniform := false
+      end
+    end
+    else if re = Shadow.promoted then uniform := false;
+    if i = l then begin
+      cwe := Array.unsafe_get chunk o;
+      cwo := Array.unsafe_get chunk (o + 2);
+      cro := Array.unsafe_get chunk (o + 3)
+    end
+    else if
+      Array.unsafe_get chunk o <> !cwe
+      || Array.unsafe_get chunk (o + 2) <> !cwo
+      || Array.unsafe_get chunk (o + 3) <> !cro
+      || Array.unsafe_get chunk (o + 1) <> e
+    then uniform := false
+  done;
+  if !uniform then Some (!cwe, !cwo, !cro) else None
+
 (* --- ranges ---------------------------------------------------------- *)
+
+(* The region for [addr], resolved through the fiber's last-hit cache
+   when the shadow map hasn't changed since (Shadow.version guards
+   alloc/free/realloc and wild mappings by other fibers). *)
+let region_for t addr =
+  let cur = t.cur in
+  let v = Shadow.version t.shadow in
+  match cur.cache_region with
+  | Some r
+    when cur.cache_version = v
+         && addr lsr Shadow.slot_shift = r.Shadow.base lsr Shadow.slot_shift
+         && Shadow.covers r addr ->
+      t.counters.Counters.region_cache_hits <-
+        t.counters.Counters.region_cache_hits + 1;
+      r
+  | _ ->
+      let r = Shadow.find_or_map t.shadow addr in
+      cur.cache_region <- Some r;
+      (* find_or_map may itself have mapped a wild region *)
+      cur.cache_version <- Shadow.version t.shadow;
+      r
+
+(* One shadow walk over the pages covering cells [lo..hi]. *)
+let write_extent t (region : Shadow.region) ~lo ~hi ~e ~origin =
+  let c = t.counters in
+  let p0 = lo lsr Shadow.page_shift and p1 = hi lsr Shadow.page_shift in
+  for p = p0 to p1 do
+    let first = p lsl Shadow.page_shift in
+    let last = Shadow.page_last region p in
+    let l = if lo > first then lo else first in
+    let h = if hi < last then hi else last in
+    let full = l = first && h = last in
+    match Shadow.page region p with
+    | Shadow.Uniform u when u.Shadow.u_we = e ->
+        (* The page is owned by the current epoch: since our last write
+           we have released nothing, so there is nothing new to check
+           and nothing to update — even under partial coverage. *)
+        c.Counters.uniform_pages <- c.Counters.uniform_pages + 1
+    | Shadow.Untouched when full ->
+        c.Counters.uniform_pages <- c.Counters.uniform_pages + 1;
+        Shadow.set_uniform t.shadow region p ~we:e ~re:Epoch.none ~wo:origin
+          ~ro:0
+    | Shadow.Uniform u when full ->
+        c.Counters.uniform_pages <- c.Counters.uniform_pages + 1;
+        write_uniform t region u ~addr0:(cell_addr region l) ~count:(h - l + 1)
+          ~e ~origin
+    | st ->
+        let chunk =
+          match st with
+          | Shadow.Cells chunk -> chunk
+          | _ ->
+              c.Counters.materialized_pages <-
+                c.Counters.materialized_pages + 1;
+              Shadow.materialize t.shadow region p
+        in
+        let collapsible = write_cells t region chunk ~first ~l ~h ~e ~origin in
+        if full && collapsible then
+          Shadow.collapse t.shadow region p ~we:e ~re:Epoch.none ~wo:origin
+            ~ro:0
+  done
+
+let read_extent t (region : Shadow.region) ~lo ~hi ~e ~origin =
+  let c = t.counters in
+  let p0 = lo lsr Shadow.page_shift and p1 = hi lsr Shadow.page_shift in
+  for p = p0 to p1 do
+    let first = p lsl Shadow.page_shift in
+    let last = Shadow.page_last region p in
+    let l = if lo > first then lo else first in
+    let h = if hi < last then hi else last in
+    let full = l = first && h = last in
+    match Shadow.page region p with
+    | Shadow.Uniform u when u.Shadow.u_re = e ->
+        c.Counters.uniform_pages <- c.Counters.uniform_pages + 1
+    | Shadow.Untouched when full ->
+        c.Counters.uniform_pages <- c.Counters.uniform_pages + 1;
+        Shadow.set_uniform t.shadow region p ~we:Epoch.none ~re:e ~wo:0
+          ~ro:origin
+    | Shadow.Uniform u when full ->
+        c.Counters.uniform_pages <- c.Counters.uniform_pages + 1;
+        read_uniform t region u ~addr0:(cell_addr region l) ~count:(h - l + 1)
+          ~e ~origin
+    | st -> (
+        let chunk =
+          match st with
+          | Shadow.Cells chunk -> chunk
+          | _ ->
+              c.Counters.materialized_pages <-
+                c.Counters.materialized_pages + 1;
+              Shadow.materialize t.shadow region p
+        in
+        match read_cells t region chunk ~first ~l ~h ~e ~origin with
+        | Some (we, wo, ro) when full ->
+            Shadow.collapse t.shadow region p ~we ~re:e ~wo ~ro
+        | _ -> ())
+  done
 
 let write_range t ~addr ~len =
   if len > 0 then begin
     t.counters.Counters.write_ranges <- t.counters.Counters.write_ranges + 1;
     t.counters.Counters.write_bytes <- t.counters.Counters.write_bytes + len;
-    let region = Shadow.find_or_map t.shadow addr in
+    let region = region_for t addr in
     let lo, hi = Shadow.cell_range region ~addr ~len in
-    Shadow.touch_range t.shadow region ~lo ~hi;
-    let origin = intern_origin t (current_origin t) in
-    for i = lo to hi do
-      write_cell t region i ~origin
-    done
+    let e = t.cur.epoch in
+    let origin = origin_id t in
+    write_extent t region ~lo ~hi ~e ~origin
   end
 
 let read_range t ~addr ~len =
   if len > 0 then begin
     t.counters.Counters.read_ranges <- t.counters.Counters.read_ranges + 1;
     t.counters.Counters.read_bytes <- t.counters.Counters.read_bytes + len;
-    let region = Shadow.find_or_map t.shadow addr in
+    let region = region_for t addr in
     let lo, hi = Shadow.cell_range region ~addr ~len in
-    Shadow.touch_range t.shadow region ~lo ~hi;
-    let origin = intern_origin t (current_origin t) in
-    for i = lo to hi do
-      read_cell t region i ~origin
-    done
+    let e = t.cur.epoch in
+    let origin = origin_id t in
+    read_extent t region ~lo ~hi ~e ~origin
+  end
+
+(* Combined read+write annotation of one extent (a kernel argument with
+   RW access): exactly read_range followed by write_range, but with the
+   region lookup, clamping and origin interning shared. Counters still
+   record one read range and one write range so Table I is unchanged. *)
+let rw_range t ~addr ~len =
+  if len > 0 then begin
+    let c = t.counters in
+    c.Counters.read_ranges <- c.Counters.read_ranges + 1;
+    c.Counters.read_bytes <- c.Counters.read_bytes + len;
+    c.Counters.write_ranges <- c.Counters.write_ranges + 1;
+    c.Counters.write_bytes <- c.Counters.write_bytes + len;
+    let region = region_for t addr in
+    let lo, hi = Shadow.cell_range region ~addr ~len in
+    let e = t.cur.epoch in
+    let origin = origin_id t in
+    read_extent t region ~lo ~hi ~e ~origin;
+    write_extent t region ~lo ~hi ~e ~origin
   end
 
 (* --- allocator interception ------------------------------------------ *)

@@ -72,6 +72,11 @@ val happens_after : t -> int -> unit
 val read_range : t -> addr:int -> len:int -> unit
 val write_range : t -> addr:int -> len:int -> unit
 
+val rw_range : t -> addr:int -> len:int -> unit
+(** Read followed by write of one extent (a kernel argument with RW
+    access) with the region lookup shared; semantically identical to
+    {!read_range} then {!write_range}, and counted as one of each. *)
+
 (** {1 Allocator interception} *)
 
 val on_alloc : t -> base:int -> size:int -> unit

@@ -30,6 +30,10 @@ let join dst src =
 
 let copy t = { v = Array.copy t.v }
 
+(* Zero every component, keeping the capacity: clocks recycled through
+   the shadow pool must not leak their previous owner's history. *)
+let reset t = Array.fill t.v 0 (Array.length t.v) 0
+
 (* [leq a b] : a ≤ b pointwise — "everything a knows, b knows". *)
 let leq a b =
   let n = Array.length a.v in

@@ -24,6 +24,9 @@ val join : t -> t -> unit
 
 val copy : t -> t
 
+val reset : t -> unit
+(** Zero every component, keeping the capacity — for clock pooling. *)
+
 val leq : t -> t -> bool
 (** [leq a b] is the happens-before order: everything [a] knows, [b]
     knows. *)

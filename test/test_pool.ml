@@ -584,6 +584,12 @@ let benchcmp_cells_of_json () =
             ] );
         ( "fig12",
           List [ Obj [ ("nx", Int 64); ("ny", Int 32); ("rel", Float 4.5) ] ] );
+        ( "micro",
+          List
+            [
+              Obj
+                [ ("name", Str "tsan/write_range 4096B"); ("ns", Float 67.5) ];
+            ] );
       ]
   in
   let cells = Reporting.Benchcmp.cells_of_json doc in
@@ -593,10 +599,27 @@ let benchcmp_cells_of_json () =
       ("fig10/Jacobi/CuSan", 19.5);
       ("fig11/TeaLeaf/MUST & CuSan", 7.25);
       ("fig12/64x32", 4.5);
+      ("micro/tsan/write_range 4096B", 67.5);
     ]
     (List.map
        (fun c -> (c.Reporting.Benchcmp.key, c.Reporting.Benchcmp.value))
-       cells)
+       cells);
+  (* --mode separates the ratio cells from the ns/op cells *)
+  let keys mode =
+    List.map
+      (fun c -> c.Reporting.Benchcmp.key)
+      (Reporting.Benchcmp.filter_mode mode cells)
+  in
+  Alcotest.(check (list string))
+    "macro mode excludes micro cells"
+    [ "fig10/Jacobi/CuSan"; "fig11/TeaLeaf/MUST & CuSan"; "fig12/64x32" ]
+    (keys Reporting.Benchcmp.Macro);
+  Alcotest.(check (list string))
+    "micro mode keeps only micro cells"
+    [ "micro/tsan/write_range 4096B" ]
+    (keys Reporting.Benchcmp.Micro);
+  Alcotest.(check int) "all mode keeps everything" 4
+    (List.length (keys Reporting.Benchcmp.All))
 
 (* Regression: fig11 (memory overhead) was invisible to the bench gate —
    cells_of_json only extracted fig10/fig12, so a run whose memory

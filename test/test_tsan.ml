@@ -371,7 +371,10 @@ let counters_track () =
 
 let shadow_accounting () =
   (* Shadow materializes lazily, on first touch — like real TSan's
-     demand-faulted shadow pages. *)
+     demand-faulted shadow pages. Pages whose cells stay identical are
+     priced as uniform summaries, so a full-extent write (the CuSan
+     whole-allocation case) costs a summary per page, not 4x the data;
+     only the partially-written page pays for a per-cell chunk. *)
   let d = Detector.create ~granule:8 () in
   Alcotest.(check int) "empty" 0 (Detector.shadow_bytes d);
   Detector.on_alloc d ~base ~size:(1 lsl 20);
@@ -381,12 +384,55 @@ let shadow_accounting () =
   Alcotest.(check bool) "one page materialized" true (small > 0 && small <= 8192);
   Detector.write_range d ~addr:base ~len:(1 lsl 20);
   let full = Detector.shadow_bytes d in
-  Alcotest.(check bool) "full range costs ~4x data" true
-    (full >= (1 lsl 20) * 3 && full <= (1 lsl 20) * 6);
+  Alcotest.(check bool) "full range stays summary-priced" true
+    (full > 0 && full <= (1 lsl 20) / 8);
+  Alcotest.(check bool) "peak counted the materialized page" true
+    (Detector.shadow_bytes_peak d >= Shadow.page_bytes);
   Detector.on_free d ~base;
   Alcotest.(check int) "released" 0 (Detector.shadow_bytes d);
   Alcotest.(check bool) "peak survives free" true
     (Detector.shadow_bytes_peak d >= full)
+
+(* Regression: shadow_bytes_peak must track page-granular
+   materialization exactly — a chunk per diverged page, a summary per
+   uniform page, the peak frozen at the worst point. *)
+let shadow_page_materialization () =
+  let d = Detector.create ~granule:8 () in
+  let size = 64 * 1024 in
+  Detector.on_alloc d ~base ~size;
+  let npages = size / 8 / Shadow.cells_per_page in
+  let page_app_bytes = Shadow.cells_per_page * 8 in
+  (* Partial writes in three distinct pages materialize three chunks. *)
+  List.iter
+    (fun p ->
+      Detector.write_range d ~addr:(base + (p * page_app_bytes)) ~len:8)
+    [ 0; 5; 9 ];
+  Alcotest.(check int) "three materialized pages" (3 * Shadow.page_bytes)
+    (Detector.shadow_bytes d);
+  (* A full-extent write leaves every cell identical: the chunks
+     collapse back to summaries and the untouched pages only ever get
+     summaries — one per page, nothing else. *)
+  Detector.write_range d ~addr:base ~len:size;
+  Alcotest.(check int) "all pages uniform" (npages * Shadow.summary_bytes)
+    (Detector.shadow_bytes d);
+  Alcotest.(check int) "peak was the three chunks" (3 * Shadow.page_bytes)
+    (Detector.shadow_bytes_peak d)
+
+(* Regression: the per-fiber last-hit region cache must be invalidated
+   by free/realloc. A stale cache would route main's last write into the
+   old region's shadow and miss the race against the realloc writer. *)
+let region_cache_invalidation () =
+  let d = detector () in
+  let f = Detector.fiber_create d "f" in
+  Detector.write_range d ~addr:base ~len:8 (* main caches the region *);
+  Detector.on_free d ~base;
+  Detector.on_alloc d ~base ~size:4096;
+  Detector.switch_to_fiber d f;
+  Detector.write_range d ~addr:base ~len:8;
+  Detector.switch_to_fiber d (Detector.main_fiber d);
+  Detector.write_range d ~addr:base ~len:8;
+  Alcotest.(check bool) "race against realloc writer found" true
+    (Detector.races_total d > 0)
 
 let report_pp_smoke () =
   let d = detector () in
@@ -538,6 +584,393 @@ let prop_fasttrack_vs_reference =
          exists must agree. *)
       !ft_raced = r.Ref_detector.race)
 
+(* --- flat-arena shadow vs. the per-cell oracle ------------------------ *)
+
+(* A faithful port of the previous per-granule implementation: one
+   FastTrack check per shadow cell over eager per-region arrays. The
+   flat-arena shadow must match it verdict for verdict — not just
+   "was there a race" but races_total and the exact report text. *)
+module Oracle = struct
+  let promoted = -1
+
+  type oregion = {
+    obase : int;
+    osize : int;
+    ogran : int;
+    owild : bool;
+    w_epoch : int array;
+    r_epoch : int array;
+    w_origin : string array;
+    r_origin : string array;
+    read_vcs : (int, Vclock.t) Hashtbl.t;
+  }
+
+  type ofiber = {
+    otid : int;
+    oname : string;
+    ovc : Vclock.t;
+    mutable oepoch : int;
+    mutable octx : string list;
+  }
+
+  type t = {
+    mutable fibers : ofiber list;
+    mutable cur : ofiber;
+    sync : (int, Vclock.t) Hashtbl.t;
+    regions : (int, oregion list) Hashtbl.t;
+    granule : int;
+    mutable reports : Report.t list;
+    mutable total : int;
+    seen :
+      (string * [ `Read | `Write ] * string * [ `Read | `Write ], unit)
+      Hashtbl.t;
+    limit : int;
+    mutable next_tid : int;
+  }
+
+  let refresh f =
+    f.oepoch <- Epoch.pack ~tid:f.otid ~clock:(Vclock.get f.ovc f.otid)
+
+  let make_fiber t name =
+    let tid = t.next_tid in
+    t.next_tid <- t.next_tid + 1;
+    let vc = Vclock.create () in
+    Vclock.set vc tid 1;
+    let f = { otid = tid; oname = name; ovc = vc; oepoch = 0; octx = [] } in
+    refresh f;
+    t.fibers <- f :: t.fibers;
+    f
+
+  let create () =
+    let t =
+      {
+        fibers = [];
+        cur = Obj.magic 0;
+        sync = Hashtbl.create 16;
+        regions = Hashtbl.create 16;
+        granule = 8;
+        reports = [];
+        total = 0;
+        seen = Hashtbl.create 16;
+        limit = 64;
+        next_tid = 0;
+      }
+    in
+    t.cur <- make_fiber t "main";
+    t
+
+  let switch t f = t.cur <- f
+
+  let hb t key =
+    let vc =
+      match Hashtbl.find_opt t.sync key with
+      | Some vc -> vc
+      | None ->
+          let vc = Vclock.create () in
+          Hashtbl.replace t.sync key vc;
+          vc
+    in
+    Vclock.join vc t.cur.ovc;
+    Vclock.incr t.cur.ovc t.cur.otid;
+    refresh t.cur
+
+  let ha t key =
+    match Hashtbl.find_opt t.sync key with
+    | None -> ()
+    | Some vc -> Vclock.join t.cur.ovc vc
+
+  let push t label = t.cur.octx <- label :: t.cur.octx
+  let pop t = match t.cur.octx with [] -> () | _ :: rest -> t.cur.octx <- rest
+  let cur_origin t = match t.cur.octx with [] -> t.cur.oname | o :: _ -> o
+
+  let map ?(wild = false) t ~base ~size =
+    let n = max 1 ((size + t.granule - 1) / t.granule) in
+    let r =
+      {
+        obase = base;
+        osize = size;
+        ogran = t.granule;
+        owild = wild;
+        w_epoch = Array.make n Epoch.none;
+        r_epoch = Array.make n Epoch.none;
+        w_origin = Array.make n "?";
+        r_origin = Array.make n "?";
+        read_vcs = Hashtbl.create 4;
+      }
+    in
+    let slot = base lsr 36 in
+    let others =
+      match Hashtbl.find_opt t.regions slot with
+      | None -> []
+      | Some rs -> List.filter (fun r -> r.obase <> base) rs
+    in
+    Hashtbl.replace t.regions slot (r :: others);
+    r
+
+  let unmap t ~base =
+    let slot = base lsr 36 in
+    match Hashtbl.find_opt t.regions slot with
+    | None -> ()
+    | Some rs -> (
+        match List.filter (fun r -> r.obase <> base) rs with
+        | [] -> Hashtbl.remove t.regions slot
+        | rs' -> Hashtbl.replace t.regions slot rs')
+
+  let covers r addr =
+    if r.owild then addr >= r.obase && addr < r.obase + max r.osize r.ogran
+    else addr >= r.obase
+
+  let find_or_map t addr =
+    let found =
+      match Hashtbl.find_opt t.regions (addr lsr 36) with
+      | None -> None
+      | Some rs -> List.find_opt (fun r -> covers r addr) rs
+    in
+    match found with
+    | Some r -> r
+    | None -> map ~wild:true t ~base:(addr - (addr mod t.granule)) ~size:t.granule
+
+  let cell_range r ~addr ~len =
+    let lo = (addr - r.obase) / r.ogran in
+    let hi = (addr + len - 1 - r.obase) / r.ogran in
+    let last = Array.length r.w_epoch - 1 in
+    (max 0 (min lo last), max 0 (min hi last))
+
+  let report t ~addr ~cur_kind ~prev_epoch ~prev_origin ~prev_kind =
+    t.total <- t.total + 1;
+    let prev_fiber =
+      match
+        List.find_opt (fun f -> f.otid = Epoch.tid prev_epoch) t.fibers
+      with
+      | Some f -> f.oname
+      | None -> Fmt.str "fiber#%d" (Epoch.tid prev_epoch)
+    in
+    let r =
+      {
+        Report.addr;
+        bytes = t.granule;
+        current =
+          { Report.fiber = t.cur.oname; kind = cur_kind; origin = cur_origin t };
+        previous =
+          { Report.fiber = prev_fiber; kind = prev_kind; origin = prev_origin };
+        location = Report.symbolize addr;
+        history = [];
+      }
+    in
+    let key = Report.dedup_key r in
+    if not (Hashtbl.mem t.seen key) then begin
+      Hashtbl.replace t.seen key ();
+      if List.length t.reports < t.limit then t.reports <- r :: t.reports
+    end
+
+  let check_write_hb t r i ~cur_kind =
+    let we = r.w_epoch.(i) in
+    if not (Epoch.is_none we || Epoch.hb we t.cur.ovc) then
+      report t
+        ~addr:(r.obase + (i * r.ogran))
+        ~cur_kind ~prev_epoch:we ~prev_origin:r.w_origin.(i) ~prev_kind:`Write
+
+  let write_cell t r i ~origin =
+    let cur = t.cur in
+    let e = cur.oepoch in
+    if r.w_epoch.(i) <> e then begin
+      check_write_hb t r i ~cur_kind:`Write;
+      let re = r.r_epoch.(i) in
+      if re = promoted then begin
+        (match Hashtbl.find_opt r.read_vcs i with
+        | Some rvc -> (
+            match Vclock.find_gt rvc cur.ovc with
+            | Some (rtid, rclk) ->
+                report t
+                  ~addr:(r.obase + (i * r.ogran))
+                  ~cur_kind:`Write
+                  ~prev_epoch:(Epoch.pack ~tid:rtid ~clock:rclk)
+                  ~prev_origin:r.r_origin.(i) ~prev_kind:`Read
+            | None -> ())
+        | None -> ());
+        Hashtbl.remove r.read_vcs i
+      end
+      else if not (Epoch.is_none re || Epoch.hb re cur.ovc) then
+        report t
+          ~addr:(r.obase + (i * r.ogran))
+          ~cur_kind:`Write ~prev_epoch:re ~prev_origin:r.r_origin.(i)
+          ~prev_kind:`Read;
+      r.w_epoch.(i) <- e;
+      r.w_origin.(i) <- origin;
+      r.r_epoch.(i) <- Epoch.none
+    end
+
+  let read_cell t r i ~origin =
+    let cur = t.cur in
+    let e = cur.oepoch in
+    let re = r.r_epoch.(i) in
+    if re <> e then begin
+      check_write_hb t r i ~cur_kind:`Read;
+      if re = promoted then begin
+        (match Hashtbl.find_opt r.read_vcs i with
+        | Some rvc -> Vclock.set rvc cur.otid (Vclock.get cur.ovc cur.otid)
+        | None -> ());
+        r.r_origin.(i) <- origin
+      end
+      else if Epoch.is_none re || Epoch.hb re cur.ovc then begin
+        r.r_epoch.(i) <- e;
+        r.r_origin.(i) <- origin
+      end
+      else begin
+        let rvc = Vclock.create () in
+        Vclock.set rvc (Epoch.tid re) (Epoch.clock re);
+        Vclock.set rvc cur.otid (Vclock.get cur.ovc cur.otid);
+        Hashtbl.replace r.read_vcs i rvc;
+        r.r_epoch.(i) <- promoted;
+        r.r_origin.(i) <- origin
+      end
+    end
+
+  let write_range t ~addr ~len =
+    if len > 0 then begin
+      let r = find_or_map t addr in
+      let lo, hi = cell_range r ~addr ~len in
+      let origin = cur_origin t in
+      for i = lo to hi do
+        write_cell t r i ~origin
+      done
+    end
+
+  let read_range t ~addr ~len =
+    if len > 0 then begin
+      let r = find_or_map t addr in
+      let lo, hi = cell_range r ~addr ~len in
+      let origin = cur_origin t in
+      for i = lo to hi do
+        read_cell t r i ~origin
+      done
+    end
+
+  let races t = List.rev t.reports
+end
+
+(* Random traces over the full annotation surface: multi-page ranges,
+   overflowing accesses (clamp path), RW kernel arguments, fiber
+   switches, contexts, alloc/free/realloc reuse and wild (never
+   allocated) addresses. *)
+type xop =
+  | XSwitch of int
+  | XHb of int
+  | XHa of int
+  | XRead of int * int * int (* slot, offset, length *)
+  | XWrite of int * int * int
+  | XRw of int * int * int
+  | XAlloc of int
+  | XFree of int
+  | XWildW of int
+  | XPush of int
+  | XPop
+
+let xbase s = (s + 1) lsl 36
+let xsize = 4096 (* 512 cells at granule 8 = 4 shadow pages *)
+
+let xop_gen =
+  QCheck.Gen.(
+    let slot = 0 -- 1 in
+    (* offsets inside the region, near page boundaries, and past the
+       end (the clamp path); lengths spanning none, part of a page,
+       and multiple pages *)
+    let off = frequency [ (4, 0 -- 192); (2, 900 -- 1300); (1, 4000 -- 4500) ] in
+    let len = frequency [ (1, return 0); (4, 1 -- 96); (2, 700 -- 2500) ] in
+    frequency
+      [
+        (2, map (fun f -> XSwitch f) (0 -- 2));
+        (2, map (fun k -> XHb k) (0 -- 2));
+        (2, map (fun k -> XHa k) (0 -- 2));
+        (3, map3 (fun s o l -> XRead (s, o, l)) slot off len);
+        (3, map3 (fun s o l -> XWrite (s, o, l)) slot off len);
+        (2, map3 (fun s o l -> XRw (s, o, l)) slot off len);
+        (1, map (fun s -> XAlloc s) slot);
+        (1, map (fun s -> XFree s) slot);
+        (1, map (fun o -> XWildW o) (0 -- 15));
+        (1, map (fun c -> XPush c) (0 -- 2));
+        (1, return XPop);
+      ])
+
+let show_xop = function
+  | XSwitch f -> Printf.sprintf "switch %d" f
+  | XHb k -> Printf.sprintf "hb %d" k
+  | XHa k -> Printf.sprintf "ha %d" k
+  | XRead (s, o, l) -> Printf.sprintf "read %d+%d#%d" s o l
+  | XWrite (s, o, l) -> Printf.sprintf "write %d+%d#%d" s o l
+  | XRw (s, o, l) -> Printf.sprintf "rw %d+%d#%d" s o l
+  | XAlloc s -> Printf.sprintf "alloc %d" s
+  | XFree s -> Printf.sprintf "free %d" s
+  | XWildW o -> Printf.sprintf "wildw %d" o
+  | XPush c -> Printf.sprintf "push %d" c
+  | XPop -> "pop"
+
+let prop_flat_arena_matches_oracle =
+  QCheck.Test.make ~name:"flat-arena shadow matches per-cell oracle" ~count:300
+    (QCheck.make
+       ~print:(fun l -> String.concat "; " (List.map show_xop l))
+       QCheck.Gen.(list_size (0 -- 60) xop_gen))
+    (fun ops ->
+      let d = Detector.create ~granule:8 () in
+      let dfibers =
+        [|
+          Detector.main_fiber d;
+          Detector.fiber_create d "f1";
+          Detector.fiber_create d "f2";
+        |]
+      in
+      let o = Oracle.create () in
+      let ofibers =
+        [| o.Oracle.cur; Oracle.make_fiber o "f1"; Oracle.make_fiber o "f2" |]
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | XSwitch f ->
+              Detector.switch_to_fiber d dfibers.(f);
+              Oracle.switch o ofibers.(f)
+          | XHb k ->
+              Detector.happens_before d k;
+              Oracle.hb o k
+          | XHa k ->
+              Detector.happens_after d k;
+              Oracle.ha o k
+          | XRead (s, off, len) ->
+              let addr = xbase s + off in
+              Detector.read_range d ~addr ~len;
+              Oracle.read_range o ~addr ~len
+          | XWrite (s, off, len) ->
+              let addr = xbase s + off in
+              Detector.write_range d ~addr ~len;
+              Oracle.write_range o ~addr ~len
+          | XRw (s, off, len) ->
+              let addr = xbase s + off in
+              Detector.rw_range d ~addr ~len;
+              (* rw_range is defined as read-then-write of one extent *)
+              Oracle.read_range o ~addr ~len;
+              Oracle.write_range o ~addr ~len
+          | XAlloc s ->
+              Detector.on_alloc d ~base:(xbase s) ~size:xsize;
+              ignore (Oracle.map o ~base:(xbase s) ~size:xsize)
+          | XFree s ->
+              Detector.on_free d ~base:(xbase s);
+              Oracle.unmap o ~base:(xbase s)
+          | XWildW off ->
+              let addr = (7 lsl 36) + (off * 24) + 5 in
+              Detector.write_range d ~addr ~len:8;
+              Oracle.write_range o ~addr ~len:8
+          | XPush c ->
+              let label = Printf.sprintf "ctx%d" c in
+              Detector.push_context d label;
+              Oracle.push o label
+          | XPop ->
+              Detector.pop_context d;
+              Oracle.pop o)
+        ops;
+      Detector.races_total d = o.Oracle.total
+      && List.map Report.to_string (Detector.races d)
+         = List.map Report.to_string (Oracle.races o))
+
 let tests =
   [
     Alcotest.test_case "vclock basics" `Quick vclock_basics;
@@ -576,8 +1009,13 @@ let tests =
     Alcotest.test_case "suppressions file format" `Quick suppressions_file_format;
     Alcotest.test_case "counters" `Quick counters_track;
     Alcotest.test_case "shadow accounting" `Quick shadow_accounting;
+    Alcotest.test_case "shadow page materialization" `Quick
+      shadow_page_materialization;
+    Alcotest.test_case "region cache invalidation" `Quick
+      region_cache_invalidation;
     Alcotest.test_case "report pretty-print" `Quick report_pp_smoke;
     QCheck_alcotest.to_alcotest prop_fasttrack_vs_reference;
+    QCheck_alcotest.to_alcotest prop_flat_arena_matches_oracle;
   ]
 
 let () = Alcotest.run "tsan" [ ("tsan", tests) ]
