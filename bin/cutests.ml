@@ -26,19 +26,30 @@ let usage () =
   Fmt.pr
     "usage: cutests [--deferred] [--verbose] [--list] [--only SUBSTR]@.\
     \       [--seed N] [--faults SPEC] [-j N] [--json FILE] [--junit FILE]@.\
-    \       [--trace FILE]@.@.\
+    \       [--trace FILE] [--explore] [--explore-budget N]@.@.\
     \  -j N        run the matrix on N worker domains (0 = one per core)@.\
     \  --json FILE write verdicts as JSON (schema cusan-tests/1)@.\
     \  --junit FILE write verdicts as JUnit XML@.\
     \  --trace FILE record a flight-recorder trace (Chrome trace-event@.\
     \              JSON; forces -j 1)@.@.\
+    \  --explore   schedule-space exploration (sleep-set DPOR) over the@.\
+    \              sched-sensitive family: re-execute each case under@.\
+    \              forced schedule prefixes until its interleaving space@.\
+    \              is exhausted or the budget is hit, and report how@.\
+    \              many schedules exposing each race needed. --only@.\
+    \              filters the family; --json writes the frontier stats@.\
+    \              (schema cusan-explore/1); -j shards the schedules of@.\
+    \              a case. Incompatible with --faults/--trace/--deferred.@.\
+    \  --explore-budget N  cap schedules per case (default 256)@.@.\
      SPEC  comma-separated rules SITE[@@RANK][#NTH|*EVERY|%%PROB][:ACTION]@.\
     \      (actions: fail abort hang crash drop delayN wedge),@.\
     \      plus optional seed=N@.\
     \ e.g.  --faults 'cuda_malloc@@1#2:fail,mpi_wait#1:hang,seed=7'@.\
     \ `--faults help` prints the full site/action grammar@.@.\
-     exit status: 0 all cases classified correctly, 1 misclassification,@.\
-    \             2 usage error (incl. unknown sites/actions in SPEC)@."
+     exit status: 0 all cases classified correctly (under --explore:@.\
+    \               every racy case exposed, no clean case misfired),@.\
+    \             1 misclassification, 2 usage error (incl. unknown@.\
+    \               sites/actions in SPEC)@."
 
 let die msg =
   Fmt.epr "cutests: %s@." msg;
@@ -56,6 +67,8 @@ type opts = {
   json_out : string option;
   junit_out : string option;
   trace_out : string option;
+  explore : bool;
+  explore_budget : int;
 }
 
 let default_opts =
@@ -70,6 +83,8 @@ let default_opts =
     json_out = None;
     junit_out = None;
     trace_out = None;
+    explore = false;
+    explore_budget = 256;
   }
 
 (* Strict parsing: every option that takes a value must get one, and
@@ -111,6 +126,13 @@ let parse_args argv =
     | "--trace" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
         go { acc with trace_out = Some v } rest
     | [ "--trace" ] | "--trace" :: _ -> die "--trace requires a file name"
+    | "--explore" :: rest -> go { acc with explore = true } rest
+    | "--explore-budget" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> go { acc with explore_budget = n } rest
+        | Some _ -> die "--explore-budget expects a positive integer"
+        | None -> die (Fmt.str "--explore-budget expects an integer, got %S" v))
+    | [ "--explore-budget" ] -> die "--explore-budget requires a value"
     | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
   in
   go default_opts argv
@@ -143,6 +165,66 @@ let () =
     if o.deferred then Cudasim.Device.Deferred else Cudasim.Device.Eager
   in
   let jobs = if o.jobs = 0 then Pool.default_workers () else o.jobs in
+  let contains_sub ~sub name =
+    let nl = String.length name and sl = String.length sub in
+    let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+    at 0
+  in
+  (* --explore: systematic schedule-space exploration of the
+     sched-sensitive family instead of one classification run per case.
+     A separate mode, not a matrix flag: these cases are clean under
+     the default FIFO schedule by construction, so single-schedule
+     classification would misread them. *)
+  if o.explore then begin
+    if o.faults_spec <> None then die "--explore is incompatible with --faults";
+    if o.trace_out <> None then die "--explore is incompatible with --trace";
+    if o.deferred then die "--explore is incompatible with --deferred";
+    let cases =
+      match o.only with
+      | None -> Testsuite.Cases.sched_sensitive ()
+      | Some sub ->
+          List.filter
+            (fun (c : Testsuite.Cases.case) ->
+              contains_sub ~sub c.Testsuite.Cases.name)
+            (Testsuite.Cases.sched_sensitive ())
+    in
+    if cases = [] then begin
+      Fmt.epr "cutests: no sched-sensitive case matches --only %a@."
+        Fmt.(option string)
+        o.only;
+      exit 2
+    end;
+    if o.list_only then begin
+      List.iter
+        (fun (c : Testsuite.Cases.case) -> Fmt.pr "%s@." c.Testsuite.Cases.name)
+        cases;
+      exit 0
+    end;
+    let verdicts =
+      List.map
+        (Testsuite.Explore_runner.explore_case ~budget:o.explore_budget
+           ~workers:jobs)
+        cases
+    in
+    let total = List.length verdicts in
+    List.iteri
+      (fun i v ->
+        Fmt.pr "%a (%d of %d)@." Testsuite.Explore_runner.pp_verdict v (i + 1)
+          total)
+      verdicts;
+    (match o.json_out with
+    | None -> ()
+    | Some path ->
+        let doc =
+          Testsuite.Explore_runner.json ~budget:o.explore_budget ~j:jobs
+            verdicts
+        in
+        Testsuite.Emit.write_file path (Reporting.Mjson.to_string_pretty doc);
+        Fmt.epr "wrote %s@." path);
+    let pass, total = Testsuite.Explore_runner.summary verdicts in
+    Fmt.pr "@.%d of %d sched-sensitive cases classified correctly@." pass total;
+    exit (if pass = total then 0 else 1)
+  end;
   (* The recorder is domain-local: tracing a sharded run would only see
      the coordinating domain. Trace runs are sequential. *)
   let jobs =

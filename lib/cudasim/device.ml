@@ -263,7 +263,13 @@ let default_stream t =
           s)
 
 let streams t =
-  let ptds = Hashtbl.fold (fun _ s acc -> s :: acc) t.ptds [] in
+  (* Sorted by stream id, not hash order: callers fold this into
+     reports and sync sweeps, which must not vary between runs that
+     created the same streams in a different schedule. *)
+  let ptds =
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.ptds []
+    |> List.sort (fun a b -> compare a.sid b.sid)
+  in
   (t.default :: ptds) @ List.rev t.user_streams
 
 (* --- op DAG ----------------------------------------------------------- *)

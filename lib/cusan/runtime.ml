@@ -233,7 +233,13 @@ let kernel_ranges t (k : K.t) (args : Kir.Interp.value array) ~grid =
   | Precise -> precise_ranges t k args ~grid
 
 let sync_all_streams t =
-  Hashtbl.iter (fun sid _ -> T.happens_after t.tsan (stream_key sid)) t.fibers
+  (* Acquire in stream-id order, not hash order: each happens_after
+     merges a clock into the host fiber, and a hash-order walk makes the
+     merge order — and with it downstream epoch values and report text —
+     depend on table internals rather than on the program. *)
+  Hashtbl.fold (fun sid _ acc -> sid :: acc) t.fibers []
+  |> List.sort compare
+  |> List.iter (fun sid -> T.happens_after t.tsan (stream_key sid))
 
 (* Trace a sync-matrix decision: this call was modelled as host
    synchronization against [what] (paper, Table I). *)

@@ -1,0 +1,352 @@
+(* Stateless model checking of the cooperative scheduler's schedule
+   space: sleep-set DPOR (dynamic partial-order reduction, after
+   Flanagan & Godefroid) over whole-program runs.
+
+   The detector observes exactly one deterministic interleaving per
+   run, so a race whose exposure needs a different fiber/stream/MPI
+   ordering is silently missed. This engine enumerates the interleaving
+   space systematically instead: it executes the program under a
+   recording picker (see {!Sched.Scheduler.picker}), derives backtrack
+   points at pairs of *dependent* scheduling slices — overlapping
+   memory extents with at least one write, MPI sends racing for the
+   same matching order, wildcard receives — and re-executes with forced
+   schedule prefixes until the space is exhausted or a budget is hit.
+
+   The engine is generic over the program: callers provide [run], which
+   executes one schedule under the given picker and reports the ops the
+   slices performed through [record_op]. It never touches harness or
+   detector state itself, so it layers under any runner (the testsuite
+   glue lives in [Testsuite.Explore_runner]).
+
+   Terminology: decision i is the i-th picker call; the *slice* of
+   decision i is everything the chosen task does until the next
+   decision. Dependency is judged between slices, the unit the
+   scheduler can actually reorder. *)
+
+(* --- the dependency relation ------------------------------------------ *)
+
+type op =
+  | Mem of { write : bool; addr : int; len : int }
+      (* a detector-checked host/device access extent *)
+  | Send of { src : int; dst : int; tag : int }
+      (* an eager deposit: racing sends to one dst contend for match
+         order at the receiver *)
+  | Recv of { owner : int; src : int; tag : int }
+      (* a receive/wait/test by [owner]; [src]/[tag] may be -1 (ANY) *)
+
+let sel_matches ~sel ~actual = sel < 0 || sel = actual
+
+(* Conservative dependency: could reordering the two ops change what
+   the detector observes? Over-approximation is safe — it only costs
+   extra (deduplicated) runs. *)
+let ops_dependent a b =
+  match (a, b) with
+  | Mem x, Mem y ->
+      (x.write || y.write)
+      && x.addr < y.addr + y.len
+      && y.addr < x.addr + x.len
+  | Send x, Send y -> x.dst = y.dst
+  | Send s, Recv r | Recv r, Send s ->
+      r.owner = s.dst
+      && sel_matches ~sel:r.src ~actual:s.src
+      && sel_matches ~sel:r.tag ~actual:s.tag
+  | Recv x, Recv y -> x.owner = y.owner
+  | Mem _, (Send _ | Recv _) | (Send _ | Recv _), Mem _ -> false
+
+let slices_dependent xs ys =
+  List.exists (fun a -> List.exists (fun b -> ops_dependent a b) ys) xs
+
+(* --- one run's record ------------------------------------------------- *)
+
+type slice = {
+  sl_chosen : int; (* task id resumed at this decision *)
+  sl_candidates : int list; (* runnable ids, FIFO order *)
+  mutable sl_ops : op list; (* ops of the slice, reverse order *)
+}
+
+type record = {
+  mutable slices : slice list; (* reverse decision order *)
+  mutable sleep : (int * op list) list; (* sleeping task id, its slice *)
+  forced : int array; (* schedule prefix to replay *)
+  mutable depth : int; (* decisions taken so far *)
+  mutable infeasible : bool; (* forced task wasn't runnable *)
+  mutable redundant : bool; (* had to wake a sleeping task *)
+  mutable sleep_skips : int; (* times the sleep set redirected a pick *)
+}
+
+(* Contiguous same-kind accesses (an instrumented host loop walking a
+   buffer) coalesce into one extent, keeping the pairwise dependency
+   check over slices cheap. *)
+let record_op r op =
+  match r.slices with
+  | [] -> ()
+  | sl :: _ -> (
+      match (op, sl.sl_ops) with
+      | ( Mem { write = w2; addr = a2; len = l2 },
+          Mem { write = w1; addr = a1; len = l1 } :: rest )
+        when w1 = w2 && a2 = a1 + l1 ->
+          sl.sl_ops <- Mem { write = w1; addr = a1; len = l1 + l2 } :: rest
+      | _ -> sl.sl_ops <- op :: sl.sl_ops)
+
+(* Retire the just-completed slice: executing a slice dependent with a
+   sleeping task's recorded slice wakes that task (classic sleep-set
+   maintenance), as does scheduling the task itself. *)
+let retire_last r =
+  match r.slices with
+  | [] -> ()
+  | sl :: _ ->
+      r.sleep <-
+        List.filter
+          (fun (tid, ops) ->
+            tid <> sl.sl_chosen && not (slices_dependent ops sl.sl_ops))
+          r.sleep
+
+let index_of id cands =
+  let n = Array.length cands in
+  let rec go i =
+    if i >= n then None
+    else if cands.(i).Sched.Scheduler.c_id = id then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* The recording/replaying picker: follow the forced prefix exactly,
+   then fall back to FIFO steered away from sleeping tasks. Every
+   decision (chosen task, enabled set) is recorded for the backtrack
+   analysis. *)
+let make_picker r : Sched.Scheduler.picker =
+ fun ~step:_ cands ->
+  retire_last r;
+  let d = r.depth in
+  let choice =
+    if d < Array.length r.forced then
+      match index_of r.forced.(d) cands with
+      | Some i -> i
+      | None ->
+          (* The prefix replays a deterministic parent run, so this
+             should be unreachable; degrade to FIFO and mark the run so
+             it is never used for backtracking. *)
+          r.infeasible <- true;
+          0
+    else begin
+      let n = Array.length cands in
+      let asleep id = List.mem_assoc id r.sleep in
+      let rec first_awake i =
+        if i >= n then None
+        else if asleep cands.(i).Sched.Scheduler.c_id then first_awake (i + 1)
+        else Some i
+      in
+      match first_awake 0 with
+      | Some 0 -> 0
+      | Some i ->
+          r.sleep_skips <- r.sleep_skips + 1;
+          i
+      | None ->
+          (* Every enabled task sleeps: the subtree is already covered;
+             finish the run FIFO and mark it redundant. *)
+          r.redundant <- true;
+          0
+    end
+  in
+  r.depth <- d + 1;
+  r.slices <-
+    {
+      sl_chosen = cands.(choice).Sched.Scheduler.c_id;
+      sl_candidates =
+        Array.to_list (Array.map (fun c -> c.Sched.Scheduler.c_id) cands);
+      sl_ops = [];
+    }
+    :: r.slices;
+  choice
+
+(* --- frontier --------------------------------------------------------- *)
+
+type node = { prefix : int list; seed_sleep : (int * op list) list }
+
+type outcome = {
+  trace : int list; (* the full decision trace, first decision first *)
+  slices : slice array; (* decision order *)
+  interesting : bool;
+  infeasible : bool;
+  redundant : bool;
+  sleep_skips : int;
+}
+
+type stats = {
+  runs : int; (* program executions performed *)
+  distinct_traces : int; (* distinct complete decision traces seen *)
+  exhausted : bool; (* frontier drained before the budget *)
+  exposed_at : int option; (* 1-based run index that first exposed *)
+  interesting_runs : int; (* runs the caller flagged (races found) *)
+  branches : int; (* backtrack points pushed *)
+  visited_hits : int; (* branches pruned by the prefix-visited table *)
+  sleep_skips : int; (* picks redirected by sleep sets *)
+  max_depth : int; (* longest decision trace *)
+}
+
+let exec_node ~run node =
+  let r =
+    {
+      slices = [];
+      sleep = node.seed_sleep;
+      forced = Array.of_list node.prefix;
+      depth = 0;
+      infeasible = false;
+      redundant = false;
+      sleep_skips = 0;
+    }
+  in
+  let interesting = run ~picker:(make_picker r) ~record_op:(record_op r) in
+  retire_last r;
+  let slices = Array.of_list (List.rev r.slices) in
+  {
+    trace = Array.to_list (Array.map (fun sl -> sl.sl_chosen) slices);
+    slices;
+    interesting;
+    infeasible = r.infeasible;
+    redundant = r.redundant;
+    sleep_skips = r.sleep_skips;
+  }
+
+(* Backtrack points of a completed run: for every dependent pair of
+   slices (i, j) of different tasks where task(j) was already runnable
+   at decision i and slice j is task(j)'s *next* slice after i, the
+   reversal "run task(j) at i instead" is a schedule worth exploring.
+   The branch's sleep set is seeded with slice i, so the child does not
+   re-explore the parent's subtree from that state. *)
+let branches_of outcome =
+  if outcome.infeasible then []
+  else begin
+    let sl = outcome.slices in
+    let m = Array.length sl in
+    let prefix_to i =
+      (* decisions 0..i-1 as a forward list *)
+      let rec go k acc = if k < 0 then acc else go (k - 1) (sl.(k).sl_chosen :: acc) in
+      go (i - 1) []
+    in
+    let out = ref [] in
+    for j = 0 to m - 1 do
+      let tj = sl.(j).sl_chosen in
+      (* walk i backwards from j-1 until tj's previous slice: past that
+         point, reordering slice j to position i is not a single
+         adjacent reversal of tj's next step. *)
+      let rec scan i =
+        if i < 0 then ()
+        else if sl.(i).sl_chosen = tj then ()
+        else begin
+          if
+            List.mem tj sl.(i).sl_candidates
+            && slices_dependent sl.(i).sl_ops sl.(j).sl_ops
+          then
+            out :=
+              {
+                prefix = prefix_to i @ [ tj ];
+                seed_sleep = [ (sl.(i).sl_chosen, sl.(i).sl_ops) ];
+              }
+              :: !out;
+          scan (i - 1)
+        end
+      in
+      scan (j - 1)
+    done;
+    List.rev !out
+  end
+
+let explore ?(budget = 512) ?(workers = 1) ~run () =
+  let visited : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let traces : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let frontier = ref [ { prefix = []; seed_sleep = [] } ] in
+  Hashtbl.replace visited [] ();
+  let runs = ref 0 in
+  let interesting_runs = ref 0 in
+  let exposed_at = ref None in
+  let branches = ref 0 in
+  let visited_hits = ref 0 in
+  let sleep_skips = ref 0 in
+  let max_depth = ref 0 in
+  let pool = if workers > 1 then Some (Pool.create ~workers) else None in
+  let exec_batch nodes =
+    match pool with
+    | Some p -> Pool.map_pool p (fun n -> exec_node ~run n) nodes
+    | None -> List.map (fun n -> exec_node ~run n) nodes
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      while !frontier <> [] && !runs < budget do
+        (* Take a worker-sized batch off the DFS stack; results are
+           processed in input order, so exploration order — and with it
+           every statistic — is independent of the worker count. *)
+        let batch_size = max 1 (min workers (budget - !runs)) in
+        let rec take k = function
+          | x :: rest when k > 0 ->
+              let xs, rest' = take (k - 1) rest in
+              (x :: xs, rest')
+          | rest -> ([], rest)
+        in
+        let batch, rest = take batch_size !frontier in
+        frontier := rest;
+        let outcomes = exec_batch batch in
+        List.iter
+          (fun (o : outcome) ->
+            incr runs;
+            sleep_skips := !sleep_skips + o.sleep_skips;
+            max_depth := max !max_depth (Array.length o.slices);
+            if not (Hashtbl.mem traces o.trace) then
+              Hashtbl.replace traces o.trace ();
+            if o.interesting then begin
+              incr interesting_runs;
+              if !exposed_at = None then exposed_at := Some !runs
+            end;
+            if not o.redundant then
+              List.iter
+                (fun b ->
+                  if Hashtbl.mem visited b.prefix then incr visited_hits
+                  else begin
+                    Hashtbl.replace visited b.prefix ();
+                    incr branches;
+                    frontier := b :: !frontier
+                  end)
+                (branches_of o))
+          outcomes
+      done;
+      {
+        runs = !runs;
+        distinct_traces = Hashtbl.length traces;
+        exhausted = !frontier = [];
+        exposed_at = !exposed_at;
+        interesting_runs = !interesting_runs;
+        branches = !branches;
+        visited_hits = !visited_hits;
+        sleep_skips = !sleep_skips;
+        max_depth = !max_depth;
+      })
+
+(* --- record / replay primitives --------------------------------------- *)
+
+(* FIFO-equivalent picker that logs every decision (reverse order) —
+   the "record" half of schedule record/replay. *)
+let recording_picker buf : Sched.Scheduler.picker =
+ fun ~step:_ cands ->
+  buf := cands.(0).Sched.Scheduler.c_id :: !buf;
+  0
+
+(* Replays a recorded decision trace, falling back to FIFO past its end
+   (or if a decision is unreplayable — which a deterministic program
+   never produces). *)
+let replay_picker trace : Sched.Scheduler.picker =
+  let forced = Array.of_list trace in
+  let k = ref 0 in
+  fun ~step:_ cands ->
+    let d = !k in
+    incr k;
+    if d >= Array.length forced then 0
+    else match index_of forced.(d) cands with Some i -> i | None -> 0
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d schedule%s, %s" s.runs
+    (if s.runs = 1 then "" else "s")
+    (if s.exhausted then "space exhausted" else "budget reached");
+  match s.exposed_at with
+  | Some k -> Fmt.pf ppf "; exposed at schedule %d" k
+  | None -> ()

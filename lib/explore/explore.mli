@@ -1,0 +1,79 @@
+(** Stateless model checking of the cooperative scheduler's schedule
+    space: sleep-set DPOR over whole-program runs.
+
+    The engine repeatedly executes a program under a recording
+    {!Sched.Scheduler.picker}, derives backtrack points at dependent
+    slice pairs (overlapping memory extents with a write, MPI sends
+    contending for match order, wildcard receives), and re-executes
+    with forced schedule prefixes until the space is exhausted or a
+    budget is hit. It is generic over the program: callers provide
+    [run], which executes one schedule and feeds back the
+    dependency-relevant ops; the testsuite glue lives in
+    [Testsuite.Explore_runner]. *)
+
+type op =
+  | Mem of { write : bool; addr : int; len : int }
+      (** a detector-checked access extent *)
+  | Send of { src : int; dst : int; tag : int }
+      (** an eager deposit contending for match order at [dst] *)
+  | Recv of { owner : int; src : int; tag : int }
+      (** a receive/wait/test by rank [owner]; [src]/[tag] may be [-1]
+          for ANY *)
+
+val ops_dependent : op -> op -> bool
+(** Could reordering the two ops change what the detector observes?
+    Conservative (over-approximate): extra dependencies only cost
+    extra, deduplicated runs. *)
+
+type stats = {
+  runs : int;  (** program executions performed *)
+  distinct_traces : int;  (** distinct complete decision traces *)
+  exhausted : bool;  (** frontier drained before the budget *)
+  exposed_at : int option;  (** 1-based run index that first exposed *)
+  interesting_runs : int;  (** runs the caller flagged (races found) *)
+  branches : int;  (** backtrack points pushed *)
+  visited_hits : int;  (** branches pruned by the visited table *)
+  sleep_skips : int;  (** picks redirected by sleep sets *)
+  max_depth : int;  (** longest decision trace *)
+}
+
+val explore :
+  ?budget:int ->
+  ?workers:int ->
+  run:
+    (picker:Sched.Scheduler.picker ->
+    record_op:(op -> unit) ->
+    bool) ->
+  unit ->
+  stats
+(** [explore ~run ()] enumerates schedules of the program behind [run].
+
+    [run ~picker ~record_op] must execute the program once with
+    [picker] installed as the scheduler's dispatch policy and call
+    [record_op] for every dependency-relevant event of the run, then
+    return whether the run was interesting (exposed a race). It is
+    called repeatedly — possibly on pool worker domains when [workers]
+    > 1 — and must be self-contained per call, like a testsuite case
+    under the sharded runner.
+
+    [budget] caps executions (default 512). Results and statistics are
+    independent of [workers]: batches come off the DFS stack in
+    deterministic order and are merged in input order. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** ["N schedules, space exhausted; exposed at schedule K"]. *)
+
+(** {1 Record / replay}
+
+    The primitive pair behind schedule reproducibility: record a run's
+    decision trace, then force the identical schedule in a later run.
+    For a deterministic program, replaying a recorded trace must
+    reproduce the run — including report text — byte for byte. *)
+
+val recording_picker : int list ref -> Sched.Scheduler.picker
+(** FIFO-equivalent picker that prepends each chosen task id to the
+    given list (reverse decision order). *)
+
+val replay_picker : int list -> Sched.Scheduler.picker
+(** Picker that replays a recorded trace (forward order), falling back
+    to FIFO past its end. *)

@@ -223,7 +223,8 @@ let rank_rss ~nranks ~baseline (st : rank_state) =
 let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     ?(default_stream_mode = Cudasim.Device.Legacy) ?(suppressions = [])
     ?(check_types = false) ?(baseline_rss = 0) ?(granule = 8) ?annotation
-    ?max_range_bytes ?watchdog ?faults ~flavor app =
+    ?max_range_bytes ?watchdog ?picker ?access_observer ?mpi_observer ?faults
+    ~flavor app =
   (* Fresh global state, as a fresh process would have. *)
   (match faults with
   | Some (seed, plan) -> Faultsim.Injector.arm ~seed ~plan ()
@@ -320,6 +321,10 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
           Option.bind states.(rank) (fun st -> st.must)
         else None)
   end;
+  (* The schedule explorer's MPI-event observer. Installed here — not by
+     the caller — because the harness clears all PMPI hooks above; a hook
+     installed before [run] would be silently wiped. *)
+  (match mpi_observer with Some f -> Mpisim.Hooks.add f | None -> ());
   (* RSS probe at MPI_Finalize, as in the paper's Fig. 11 setup. *)
   Mpisim.Hooks.add (fun ~rank phase call ->
       match (phase, call) with
@@ -335,6 +340,9 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
         Some (Tsan.Detector.create ~granule ~suppressions ())
       else None
     in
+    (match (detector, access_observer) with
+    | Some d, Some obs -> Tsan.Detector.set_observer d (Some obs)
+    | _ -> ());
     let device = Cudasim.Device.create ~mode ~default_stream_mode () in
     let cusan =
       if Flavor.uses_cusan flavor then
@@ -429,7 +437,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
   in
   let t0 = Unix.gettimeofday () in
   let deadlock, stall =
-    match Mpisim.Mpi.run ?watchdog ~nranks wrapped with
+    match Mpisim.Mpi.run ?watchdog ?picker ~nranks wrapped with
     | () -> (None, None)
     | exception Sched.Scheduler.Deadlock blocked -> (Some blocked, None)
     | exception Sched.Scheduler.Stalled s -> (None, Some s)

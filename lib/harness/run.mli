@@ -103,6 +103,9 @@ val run :
   ?annotation:Cusan.Runtime.annotation_mode ->
   ?max_range_bytes:int ->
   ?watchdog:int ->
+  ?picker:Sched.Scheduler.picker ->
+  ?access_observer:(kind:[ `Read | `Write ] -> addr:int -> len:int -> unit) ->
+  ?mpi_observer:(rank:int -> Mpisim.Hooks.phase -> Mpisim.Hooks.call -> unit) ->
   ?faults:int * Faultsim.Plan.t ->
   flavor:Flavor.t ->
   app ->
@@ -118,7 +121,15 @@ val run :
     [max_range_bytes] are the ablation knobs of the bench harness.
 
     [watchdog] bounds scheduling steps: livelocks and partial hangs end
-    in [result.stall] instead of running forever. [faults] arms the
+    in [result.stall] instead of running forever.
+
+    [picker] overrides the scheduler's FIFO dispatch (see
+    {!Sched.Scheduler.run}); [access_observer] is installed on every
+    rank's race detector ({!Tsan.Detector.set_observer});
+    [mpi_observer] is registered as a PMPI hook after the harness clears
+    the hook registries. All three exist for the schedule explorer,
+    which records decision traces and the dependency-relevant events of
+    each run. [faults] arms the
     deterministic fault injector with [(seed, plan)] for this run only;
     the firing log lands in [result.fault_log]. Rank-level failures are
     captured in [result.failures] — the harness itself never aborts on

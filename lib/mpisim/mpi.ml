@@ -100,10 +100,10 @@ let guard ctx ~site ~call ~default f =
 
 (* --- run --------------------------------------------------------------- *)
 
-let run ?watchdog ~nranks f =
+let run ?watchdog ?picker ~nranks f =
   if nranks <= 0 then invalid_arg "Mpi.run: nranks";
   let comm = Comm.create nranks in
-  Sched.Scheduler.run ?watchdog
+  Sched.Scheduler.run ?watchdog ?picker
     (List.init nranks (fun rank ->
          ( Fmt.str "rank%d" rank,
            fun () ->

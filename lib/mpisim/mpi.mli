@@ -15,11 +15,17 @@ val any_tag : int
 
 exception Abort of string
 
-val run : ?watchdog:int -> nranks:int -> (ctx -> unit) -> unit
+val run :
+  ?watchdog:int ->
+  ?picker:Sched.Scheduler.picker ->
+  nranks:int ->
+  (ctx -> unit) ->
+  unit
 (** Run one instance of the program per rank under the deterministic
     scheduler. [MPI_Init]/[MPI_Finalize] events fire around the program,
     and [MPI_Finalize] is collective. [watchdog] bounds scheduling steps
-    (see {!Sched.Scheduler.run}); the shutdown path is never subject to
+    and [picker] overrides the FIFO dispatch policy (see
+    {!Sched.Scheduler.run}); the shutdown path is never subject to
     fault injection.
     @raise Sched.Scheduler.Deadlock when communication deadlocks.
     @raise Sched.Scheduler.Stalled when the watchdog budget expires. *)

@@ -41,6 +41,16 @@ and task = {
 
 and state = Runnable | Blocked of cond | Finished
 
+type candidate = { c_name : string; c_id : int }
+
+(* A picker chooses which runnable task resumes next. It is called with
+   the scheduling step and the runnable candidates in FIFO order (the
+   order the default dispatcher would drain them) and returns the index
+   of its choice. The default FIFO dispatch — picker absent — does not
+   go through this indirection at all, so its behavior (and output) is
+   byte-identical to the historical scheduler. *)
+type picker = step:int -> candidate array -> int
+
 type t = {
   runq : (task * (unit -> unit)) Queue.t;
   mutable tasks : task list; (* reverse spawn order *)
@@ -48,6 +58,7 @@ type t = {
   mutable current : task option;
   mutable steps : int; (* task resumptions so far *)
   watchdog : int option; (* step budget; None = unbounded *)
+  picker : picker option; (* None = FIFO *)
 }
 
 exception Deadlock of (string * string) list
@@ -143,16 +154,29 @@ let wait_until ?reason c pred =
    or later-signalled continuation is dropped at pop time) and they no
    longer count as blocked for deadlock/stall diagnostics — the
    semantics of threads of a process that died. The continuations are
-   simply abandoned; the GC collects them. *)
+   simply abandoned; the GC collects them.
+
+   A blocked victim's waiter record is purged from its condition right
+   here: the record holds the abandoned continuation (and through it
+   the task's whole stack), so leaving it on the list would keep all of
+   that reachable until the condition itself dies — a leak on every
+   crash-and-recover cycle of a long-lived run. *)
 let kill pred =
   let s = get () in
   List.iter
     (fun t ->
       if t.t_state <> Finished && pred t.t_name then begin
+        (match t.t_state with
+        | Blocked c -> c.waiters <- List.filter (fun w -> w.w_task != t) c.waiters
+        | Runnable | Finished -> ());
         t.t_killed <- true;
         t.t_state <- Finished
       end)
     s.tasks
+
+(* Number of waiter records parked on a condition — observability for
+   the kill-purge invariant above (tests assert it returns to zero). *)
+let waiter_count c = List.length c.waiters
 
 (* Names of tasks that are neither finished nor reaped — the dead
    rank's unjoined host threads a post-mortem lists. *)
@@ -165,7 +189,23 @@ let unfinished_tasks () =
       | Runnable | Blocked _ -> Some t.t_name)
     (List.rev s.tasks)
 
+(* Duplicate task names would silently break [kill]-by-predicate and
+   trace attribution — both key on names — so a second spawn of "foo"
+   becomes "foo#2", a third "foo#3", and so on. Finished tasks stay in
+   [s.tasks], so a name is never recycled within one run and decision
+   traces stay unambiguous. *)
+let unique_name s name =
+  if not (List.exists (fun t -> t.t_name = name) s.tasks) then name
+  else
+    let rec pick k =
+      let cand = Printf.sprintf "%s#%d" name k in
+      if List.exists (fun t -> t.t_name = cand) s.tasks then pick (k + 1)
+      else cand
+    in
+    pick 2
+
 let spawn_in s name f =
+  let name = unique_name s name in
   let task =
     {
       t_name = name;
@@ -203,6 +243,38 @@ let spawn_in s name f =
 (* Spawn a task dynamically from inside a running scheduler. *)
 let spawn name f = spawn_in (get ()) name f
 
+(* Pop the next entry to resume, or [None] for a reaped entry that is
+   simply dropped. Without a picker this is the historical FIFO
+   [Queue.pop] — no indirection, byte-identical scheduling. With one,
+   killed entries are purged eagerly (a picker must only ever see live
+   candidates), the runnable set is offered in FIFO order, and the
+   chosen entry is removed with the others' relative order preserved. *)
+let dispatch s =
+  match s.picker with
+  | None ->
+      let ((task, _) as entry) = Queue.pop s.runq in
+      if task.t_killed then None (* reaped: drop the continuation *)
+      else Some entry
+  | Some pick ->
+      let entries =
+        Queue.fold
+          (fun acc ((t, _) as e) -> if t.t_killed then acc else e :: acc)
+          [] s.runq
+        |> List.rev |> Array.of_list
+      in
+      Queue.clear s.runq;
+      if Array.length entries = 0 then None
+      else begin
+        let cands =
+          Array.map (fun (t, _) -> { c_name = t.t_name; c_id = t.t_id }) entries
+        in
+        let i = pick ~step:s.steps cands in
+        if i < 0 || i >= Array.length entries then
+          invalid_arg "Scheduler: picker returned an out-of-range index";
+        Array.iteri (fun j e -> if j <> i then Queue.push e s.runq) entries;
+        Some entries.(i)
+      end
+
 let blocked_pairs s =
   List.filter_map
     (fun t ->
@@ -211,7 +283,7 @@ let blocked_pairs s =
       | Runnable | Finished -> None)
     (List.rev s.tasks)
 
-let run ?watchdog tasks =
+let run ?watchdog ?picker tasks =
   (match Domain.DLS.get instance with
   | Some _ -> invalid_arg "Scheduler.run: nested run"
   | None -> ());
@@ -223,6 +295,7 @@ let run ?watchdog tasks =
       current = None;
       steps = 0;
       watchdog;
+      picker;
     }
   in
   Domain.DLS.set instance (Some s);
@@ -251,19 +324,21 @@ let run ?watchdog tasks =
                    stall_spinning = spinning;
                  })
         | _ -> ());
-        let task, thunk = Queue.pop s.runq in
-        if task.t_killed then () (* reaped: drop the continuation *)
-        else begin
-        s.current <- Some task;
-        s.steps <- s.steps + 1;
-        (* The trace probe runs before the resume hooks, so a hook that
-           retargets the race detector (and with it the trace track)
-           overrides the task-level attribution set here. *)
-        if Trace.Recorder.on () then Trace.Recorder.task_resume ~task:task.t_name;
-        List.iter (fun f -> f task.t_name task.t_id) (Domain.DLS.get resume_hooks);
-        thunk ();
-        s.current <- None
-        end
+        match dispatch s with
+        | None -> () (* reaped entry dropped *)
+        | Some (task, thunk) ->
+            s.current <- Some task;
+            s.steps <- s.steps + 1;
+            (* The trace probe runs before the resume hooks, so a hook that
+               retargets the race detector (and with it the trace track)
+               overrides the task-level attribution set here. *)
+            if Trace.Recorder.on () then
+              Trace.Recorder.task_resume ~task:task.t_name;
+            List.iter
+              (fun f -> f task.t_name task.t_id)
+              (Domain.DLS.get resume_hooks);
+            thunk ();
+            s.current <- None
       done;
       let blocked = blocked_pairs s in
       if blocked <> [] then raise (Deadlock blocked))

@@ -39,7 +39,20 @@ val cond : string -> cond
 (** [cond name] creates a fresh condition variable; [name] appears in
     {!Deadlock} diagnostics when the wait gave no [reason]. *)
 
-val run : ?watchdog:int -> (string * (unit -> unit)) list -> unit
+type candidate = { c_name : string; c_id : int }
+(** A runnable task offered to a {!picker}: its (unique) name and
+    spawn-order id. *)
+
+type picker = step:int -> candidate array -> int
+(** A scheduling policy: called at each dispatch with the current step
+    number and the runnable candidates in FIFO order (the order the
+    default dispatcher would drain them); returns the index of the task
+    to resume next. Returning an out-of-range index is a programming
+    error ([Invalid_argument]). The schedule explorer uses pickers to
+    record decision traces and to replay forced schedule prefixes. *)
+
+val run :
+  ?watchdog:int -> ?picker:picker -> (string * (unit -> unit)) list -> unit
 (** [run tasks] spawns each named task and schedules until all finish.
     Exceptions from tasks propagate immediately. Not reentrant.
 
@@ -48,10 +61,19 @@ val run : ?watchdog:int -> (string * (unit -> unit)) list -> unit
     diagnostic. This catches livelocks and partial hangs the all-blocked
     {!Deadlock} check cannot see. Being cooperative, the watchdog only
     fires between resumptions — a task spinning without yielding is not
-    preemptable. *)
+    preemptable.
+
+    [picker] overrides the dispatch policy (see {!picker}). When absent
+    the historical FIFO dispatch runs with no indirection, so default
+    scheduling — and therefore program output — is byte-identical to a
+    scheduler without the hook. *)
 
 val spawn : string -> (unit -> unit) -> unit
-(** Spawn an additional task from inside a running scheduler. *)
+(** Spawn an additional task from inside a running scheduler. Task
+    names are unique within a run: spawning a name already taken (even
+    by a finished task) yields ["name#2"], then ["name#3"], and so on,
+    so [kill]-by-predicate and trace attribution never conflate two
+    tasks. *)
 
 val yield : unit -> unit
 (** Re-enqueue the current task at the back of the run queue. *)
@@ -74,6 +96,12 @@ val kill : (string -> bool) -> unit
     diagnostics — the semantics of threads of a process that died. The
     harness supervisor uses this to reap a crashed rank's unjoined host
     threads. *)
+
+val waiter_count : cond -> int
+(** Number of waiter records currently parked on the condition. [kill]
+    purges a blocked victim's record at reap time (dropping the last
+    reference to its abandoned stack); tests assert this returns to
+    zero afterwards. *)
 
 val unfinished_tasks : unit -> string list
 (** Names of tasks that are neither finished nor reaped, in spawn

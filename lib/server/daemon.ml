@@ -364,7 +364,12 @@ let drain_now t =
   in
   wait ();
   Mutex.lock t.m;
-  let stragglers = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.jobs [] in
+  let stragglers =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.jobs []
+    (* Ticket order, not hash order: abandoned jobs get their error
+       replies (and the cancel calls) in a deterministic sequence. *)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   List.iter
     (fun (ticket, inf) ->
       Option.iter Pool.cancel inf.handle;

@@ -27,8 +27,14 @@ type case = {
   name : string;
   expect : expect;
   descr : string;
+  nranks : int;
   app : R.app;
 }
+
+(* Most of the matrix runs on the paper's two ranks; only cases built
+   around wildcard matching need a third. *)
+let case ?(nranks = 2) ~name ~expect ~descr app =
+  { name; expect; descr; nranks; app }
 
 let n = 64 (* elements per buffer *)
 let f64 = Typeart.Typedb.F64
@@ -415,6 +421,7 @@ let all () : case list =
                     Fmt.str "kernel writes %s memory; %s; %s"
                       (mem_name memkind) (sync_descr sync)
                       (if isend then "MPI_Isend + MPI_Wait" else "MPI_Send");
+                  nranks = 2;
                   app = cuda_to_mpi ~isend ~memkind ~sync;
                 })
               [
@@ -443,6 +450,7 @@ let all () : case list =
                   | Wait_first -> "after MPI_Wait"
                   | Test_loop -> "after a successful MPI_Test loop"
                   | Kernel_before_wait -> "before MPI_Wait (racy)");
+              nranks = 2;
               app = mpi_to_cuda ~memkind ~variant;
             })
           [ Wait_first; Test_loop; Kernel_before_wait ])
@@ -458,6 +466,7 @@ let all () : case list =
           expect;
           descr =
             Fmt.str "host reads managed memory a kernel wrote; %s" (sync_descr sync);
+          nranks = 2;
           app = managed_host ~sync;
         })
       [ Dev_sync; Stream_sync; Event_sync; No_sync; Stale_event ]
@@ -470,6 +479,7 @@ let all () : case list =
         descr =
           "kernel on a blocking user stream, covered transitively by a \
            default-stream kernel + default-stream sync (legacy barrier)";
+        nranks = 2;
         app = legacy_barrier ~nonblocking:false;
       };
       {
@@ -478,6 +488,7 @@ let all () : case list =
         descr =
           "same, but the user stream is non-blocking: the legacy barrier \
            does not apply";
+        nranks = 2;
         app = legacy_barrier ~nonblocking:true;
       };
       {
@@ -486,6 +497,7 @@ let all () : case list =
         descr =
           "cross-stream ordering via cudaStreamWaitEvent, host syncs the \
            waiting stream only";
+        nranks = 2;
         app = stream_wait_event_case;
       };
     ]
@@ -498,6 +510,7 @@ let all () : case list =
           name = Fmt.str "cuda-to-mpi/memsetasync_%s%s" (sync_name sync) (suffix expect);
           expect;
           descr = Fmt.str "cudaMemsetAsync output communicated; %s" (sync_descr sync);
+          nranks = 2;
           app = memset_async_case ~sync;
         })
       [ Stream_sync; Dev_sync; No_sync ]
@@ -510,6 +523,7 @@ let all () : case list =
         descr =
           "kernel reads p[tid+1] while writing p[tid] with no \
            __syncthreads() (static must-race)";
+        nranks = 2;
         app =
           intra_kernel ~m:Corpus.neighbor_write ~entry:"neighbor_write"
             ~alloc:(fun dev ->
@@ -522,6 +536,7 @@ let all () : case list =
         descr =
           "every thread read-modify-writes out[0] without synchronization \
            (static must-race)";
+        nranks = 2;
         app =
           intra_kernel ~m:Corpus.reduction_nosync ~entry:"reduction_nosync"
             ~alloc:(fun dev ->
@@ -535,6 +550,7 @@ let all () : case list =
         descr =
           "neighbor exchange correctly split into two phases by \
            __syncthreads()";
+        nranks = 2;
         app =
           intra_kernel ~m:Corpus.two_phase_barrier ~entry:"two_phase_barrier"
             ~alloc:(fun dev ->
@@ -546,6 +562,7 @@ let all () : case list =
         name = "intra-kernel/guarded_reduction";
         expect = Clean;
         descr = "serial reduction owned by thread 0 via a tid == 0 guard";
+        nranks = 2;
         app =
           intra_kernel ~m:Corpus.guarded_reduction ~entry:"guarded_reduction"
             ~alloc:(fun dev ->
@@ -558,3 +575,159 @@ let all () : case list =
     ]
   in
   c2m @ m2c @ cuda_only @ legacy @ memset @ intra
+
+(* --- sched-sensitive family ---------------------------------------------- *)
+
+(* Programs whose correctness depends on the *schedule*: the racy
+   variants are clean under the default FIFO interleaving (a
+   single-schedule run with any seed misses them) and only expose their
+   race when the scheduler orders the ranks differently — the schedule
+   explorer's quarry. They are deliberately NOT part of {!all}: under a
+   single schedule their ground truth is unobservable, so they would
+   misclassify by construction. [expect] states the verdict over the
+   whole schedule space: [Racy] = some schedule exposes a race, [Clean]
+   = no schedule does. *)
+
+(* rank 1 polls its Irecv exactly once and branches on the answer. In
+   FIFO order rank 0's eager send has already deposited, the test
+   succeeds and the kernel launch is properly ordered. If rank 1 runs
+   first the test fails — and the buggy variant launches the consuming
+   kernel anyway, before MPI_Wait (the Fig. 4 violation, but guarded by
+   a schedule-dependent branch). The clean variant waits first on the
+   failure path. *)
+let test_poll_branch ~buggy : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let k_write = kernel env "ts_write" in
+    let dbuf = Mem.cuda_malloc ~tag:"s_buf" dev ~ty:f64 ~count:n in
+    Dev.launch dev k_write ~grid:n ~args:[| VPtr dbuf; VInt n |] ();
+    Dev.device_synchronize dev;
+    Mpi.send ctx ~buf:dbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:7;
+    Mem.free dev dbuf
+  end
+  else begin
+    let k_read = kernel env "ts_read" in
+    let buf = Mem.cuda_malloc ~tag:"r_buf" dev ~ty:f64 ~count:n in
+    let out = Mem.cuda_malloc ~tag:"r_out" dev ~ty:f64 ~count:n in
+    let req =
+      Mpi.irecv ctx ~buf ~count:n ~dt:Mpisim.Datatype.double ~src:0 ~tag:7
+    in
+    let launch_read () =
+      Dev.launch dev k_read ~grid:n ~args:[| VPtr out; VPtr buf; VInt n |] ()
+    in
+    (if Mpi.test ctx req then launch_read ()
+     else if buggy then begin
+       launch_read ();
+       Mpi.wait ctx req
+     end
+     else begin
+       Mpi.wait ctx req;
+       launch_read ()
+     end);
+    Dev.device_synchronize dev;
+    Mem.free dev buf;
+    Mem.free dev out
+  end
+
+(* rank 0 receives a flag from ANY_SOURCE and branches on the payload;
+   ranks 1 and 2 race to deposit first (wildcard matching follows
+   deposit order). FIFO order delivers rank 1's flag and takes the
+   synchronized path; only a schedule that reorders the two sends takes
+   the other branch — where the buggy variant reads managed memory a
+   kernel is still writing. *)
+let wildcard_payload ~buggy : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let flag = Mem.cuda_host_alloc ~tag:"flag" dev ~ty:f64 ~count:1 in
+    Mpi.recv ctx ~buf:flag ~count:1 ~dt:Mpisim.Datatype.double
+      ~src:Mpi.any_source ~tag:3;
+    let first_sender = Memsim.Access.get_f64 flag 0 in
+    let k_write = kernel env "ts_write" in
+    let stream = Dev.stream_create dev in
+    let mbuf = Mem.cuda_malloc_managed ~tag:"m_buf" dev ~ty:f64 ~count:n in
+    Dev.launch dev k_write ~grid:n ~args:[| VPtr mbuf; VInt n |] ~stream ();
+    if first_sender = 1.0 || not buggy then Dev.stream_synchronize dev stream;
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      s := !s +. Memsim.Access.get_f64 mbuf i
+    done;
+    ignore !s;
+    Dev.device_synchronize dev;
+    Mem.free dev mbuf
+  end
+  else begin
+    let flag = Mem.cuda_host_alloc ~tag:"flag" dev ~ty:f64 ~count:1 in
+    Memsim.Access.set_f64 flag 0 (float_of_int ctx.Mpi.rank);
+    Mpi.send ctx ~buf:flag ~count:1 ~dt:Mpisim.Datatype.double ~dst:0 ~tag:3
+  end
+
+(* rank 1 polls its Irecv once and reads the buffer from *host* code:
+   on the success path the test synchronizes host and request fiber, on
+   the failure path the buggy variant reads while the simulated RDMA
+   deposit is still in flight. *)
+let single_poll_host ~buggy : R.app =
+ fun env ->
+  let dev = env.R.dev in
+  let ctx = env.R.mpi in
+  if ctx.Mpi.rank = 0 then begin
+    let sbuf = Mem.cuda_host_alloc ~tag:"s_buf" dev ~ty:f64 ~count:n in
+    for i = 0 to n - 1 do
+      Memsim.Access.set_f64 sbuf i (float_of_int i)
+    done;
+    Mpi.send ctx ~buf:sbuf ~count:n ~dt:Mpisim.Datatype.double ~dst:1 ~tag:9
+  end
+  else begin
+    let buf = Mem.cuda_host_alloc ~tag:"r_buf" dev ~ty:f64 ~count:n in
+    let req =
+      Mpi.irecv ctx ~buf ~count:n ~dt:Mpisim.Datatype.double ~src:0 ~tag:9
+    in
+    let consume () =
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        s := !s +. Memsim.Access.get_f64 buf i
+      done;
+      ignore !s
+    in
+    if Mpi.test ctx req then consume ()
+    else if buggy then begin
+      consume ();
+      Mpi.wait ctx req
+    end
+    else begin
+      Mpi.wait ctx req;
+      consume ()
+    end
+  end
+
+let sched_sensitive () : case list =
+  [
+    case ~name:"sched-sensitive/test_poll_branch_nok" ~expect:Racy
+      ~descr:
+        "single MPI_Test branch: the failure path launches the consuming \
+         kernel before MPI_Wait — racy only in schedules where the \
+         receiver outruns the sender"
+      (test_poll_branch ~buggy:true);
+    case ~name:"sched-sensitive/test_poll_branch" ~expect:Clean
+      ~descr:"same branch structure, but the failure path waits first"
+      (test_poll_branch ~buggy:false);
+    case ~nranks:3 ~name:"sched-sensitive/wildcard_payload_nok" ~expect:Racy
+      ~descr:
+        "ANY_SOURCE flag decides the sync policy: the branch taken when \
+         rank 2's deposit wins the match skips stream synchronization"
+      (wildcard_payload ~buggy:true);
+    case ~nranks:3 ~name:"sched-sensitive/wildcard_payload" ~expect:Clean
+      ~descr:"same wildcard branch, but both payload paths synchronize"
+      (wildcard_payload ~buggy:false);
+    case ~name:"sched-sensitive/single_poll_host_nok" ~expect:Racy
+      ~descr:
+        "single MPI_Test then host read of the receive buffer: the \
+         failure path reads while the deposit is still in flight"
+      (single_poll_host ~buggy:true);
+    case ~name:"sched-sensitive/single_poll_host" ~expect:Clean
+      ~descr:"same poll, but the failure path waits before reading"
+      (single_poll_host ~buggy:false);
+  ]

@@ -1,0 +1,139 @@
+(* Glue between the schedule explorer (lib/explore) and the testsuite:
+   runs one case's whole schedule space and classifies it against its
+   ground truth over that space — Racy means *some* schedule exposes a
+   race, Clean means none does. The headline metric is
+   "schedules-to-expose": how many runs a systematic search needs
+   before the race shows, where a single-schedule run reports only
+   schedule 1.
+
+   Every run executes under the full Must_cusan stack like a normal
+   testsuite case, with the explorer's three probes attached: the
+   picker (schedule control), the detector's access observer (memory
+   extents per slice) and a PMPI observer (sends and receives racing
+   for match order). *)
+
+module H = Mpisim.Hooks
+
+(* Map a PMPI event to the explorer's dependency alphabet. Only Pre
+   events are mapped (one op per call), and only the calls whose
+   reordering changes matching: point-to-point traffic. Collectives
+   impose the same matching in every schedule. *)
+let op_of_call ~rank (call : H.call) : Explore.op option =
+  let of_req (r : Mpisim.Request.t) =
+    match r.Mpisim.Request.kind with
+    | Mpisim.Request.Irecv ->
+        Some
+          (Explore.Recv
+             { owner = rank; src = r.Mpisim.Request.peer; tag = r.Mpisim.Request.tag })
+    | Mpisim.Request.Isend ->
+        (* The deposit happened at the Isend; polling the request adds
+           no new matching dependency. *)
+        None
+  in
+  match call with
+  | H.Send { dst; tag; _ } | H.Ssend { dst; tag; _ } ->
+      Some (Explore.Send { src = rank; dst; tag })
+  | H.Isend { req } ->
+      Some
+        (Explore.Send
+           { src = rank; dst = req.Mpisim.Request.peer; tag = req.Mpisim.Request.tag })
+  | H.Recv { src; tag; _ } -> Some (Explore.Recv { owner = rank; src; tag })
+  | H.Irecv { req } | H.Wait { req } | H.Test { req; _ } -> of_req req
+  | H.Waitall _ | H.Init | H.Finalize | H.Barrier | H.Allreduce _ | H.Bcast _
+  | H.Reduce _ | H.Allgather _ | H.Gather _ | H.Scatter _ | H.Win_create _
+  | H.Win_fence _ | H.Win_free _ | H.Rma_put _ | H.Rma_get _
+  | H.Rma_accumulate _ ->
+      None
+
+(* Adversarial schedules can park a rank behind a spinning peer
+   indefinitely; every exploration run gets a step budget so such
+   schedules resolve into a diagnosable stall instead of a hang. *)
+let explore_watchdog = 200_000
+
+let run_one (case : Cases.case) ~picker ~record_op =
+  let access_observer ~kind ~addr ~len =
+    record_op (Explore.Mem { write = kind = `Write; addr; len })
+  in
+  let mpi_observer ~rank phase call =
+    if phase = H.Pre then
+      match op_of_call ~rank call with
+      | Some op -> record_op op
+      | None -> ()
+  in
+  let res =
+    Harness.Run.run ~nranks:case.Cases.nranks ~check_types:true
+      ~watchdog:explore_watchdog ~picker ~access_observer ~mpi_observer
+      ~flavor:Harness.Flavor.Must_cusan case.Cases.app
+  in
+  Harness.Run.has_races res
+
+type explore_verdict = {
+  case : Cases.case;
+  stats : Explore.stats;
+  pass : bool;
+}
+
+let explore_case ?(budget = 256) ?(workers = 1) (case : Cases.case) =
+  let stats =
+    Explore.explore ~budget ~workers
+      ~run:(fun ~picker ~record_op -> run_one case ~picker ~record_op)
+      ()
+  in
+  let exposed = stats.Explore.exposed_at <> None in
+  let pass = exposed = (case.Cases.expect = Cases.Racy) in
+  { case; stats; pass }
+
+let explore_family ?budget ?workers () =
+  List.map (explore_case ?budget ?workers) (Cases.sched_sensitive ())
+
+let pp_verdict ppf v =
+  let s = v.stats in
+  Fmt.pf ppf "%s: CuSanExplore :: %s (%a%s)"
+    (if v.pass then "PASS" else "FAIL")
+    v.case.Cases.name Explore.pp_stats s
+    (match (v.case.Cases.expect, s.Explore.exposed_at) with
+    | Cases.Racy, None -> "; race NEVER EXPOSED"
+    | Cases.Clean, Some _ -> "; FALSE POSITIVE"
+    | Cases.Racy, Some _ | Cases.Clean, None -> "")
+
+let summary verdicts =
+  let pass = List.length (List.filter (fun v -> v.pass) verdicts) in
+  (pass, List.length verdicts)
+
+(* Frontier statistics document, schema "cusan-explore/1": one entry
+   per case, emitted in case order so identical explorations produce
+   byte-identical documents at any worker count. *)
+let json ~budget ~j (verdicts : explore_verdict list) : Reporting.Mjson.t =
+  let open Reporting.Mjson in
+  let pass, total = summary verdicts in
+  let case_json v =
+    let s = v.stats in
+    Obj
+      [
+        ("name", Str v.case.Cases.name);
+        ("expect",
+         Str (match v.case.Cases.expect with
+              | Cases.Racy -> "racy"
+              | Cases.Clean -> "clean"));
+        ("pass", Bool v.pass);
+        ("schedules", Int s.Explore.runs);
+        ("distinct_traces", Int s.Explore.distinct_traces);
+        ("exhausted", Bool s.Explore.exhausted);
+        ("exposed_at",
+         match s.Explore.exposed_at with Some k -> Int k | None -> Null);
+        ("interesting_runs", Int s.Explore.interesting_runs);
+        ("branches", Int s.Explore.branches);
+        ("visited_hits", Int s.Explore.visited_hits);
+        ("sleep_skips", Int s.Explore.sleep_skips);
+        ("max_depth", Int s.Explore.max_depth);
+      ]
+  in
+  Obj
+    [
+      ("schema", Str "cusan-explore/1");
+      ("budget", Int budget);
+      ("workers", Int j);
+      ("pass", Int pass);
+      ("total", Int total);
+      ("cases", List (List.map case_json verdicts));
+    ]

@@ -49,8 +49,9 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults ?watchdog
     | None -> Option.map (fun _ -> fault_watchdog) faults
   in
   let res =
-    Harness.Run.run ~nranks:2 ~mode ?annotation ~check_types:true ?watchdog
-      ?faults ~flavor:Harness.Flavor.Must_cusan case.Cases.app
+    Harness.Run.run ~nranks:case.Cases.nranks ~mode ?annotation
+      ~check_types:true ?watchdog ?faults ~flavor:Harness.Flavor.Must_cusan
+      case.Cases.app
   in
   (* A case counts as detected when either the dynamic detector reported
      a race or the static intra-kernel analysis proved one (must-races

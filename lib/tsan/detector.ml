@@ -45,6 +45,11 @@ type t = {
   mutable n_origins : int;
   report_limit : int;
   mutable next_tid : int;
+  (* Observer of every checked access range, or None (the overwhelmingly
+     common case — a plain field test, so the hot path stays flat). The
+     schedule explorer installs one to learn which extents each
+     scheduling slice touched; it must not call back into the detector. *)
+  mutable observer : (kind:[ `Read | `Write ] -> addr:int -> len:int -> unit) option;
 }
 
 let refresh_epoch f = f.epoch <- Epoch.pack ~tid:f.tid ~clock:(Vclock.get f.vc f.tid)
@@ -87,6 +92,7 @@ let create ?(granule = 8) ?(report_limit = 64) ?(suppressions = []) () =
       n_origins = 0;
       report_limit;
       next_tid = 0;
+      observer = None;
     }
   in
   let main = make_fiber t "main" in
@@ -550,8 +556,14 @@ let read_extent t (region : Shadow.region) ~lo ~hi ~e ~origin =
         | _ -> ())
   done
 
+let set_observer t obs = t.observer <- obs
+
+let notify t ~kind ~addr ~len =
+  match t.observer with Some f -> f ~kind ~addr ~len | None -> ()
+
 let write_range t ~addr ~len =
   if len > 0 then begin
+    notify t ~kind:`Write ~addr ~len;
     t.counters.Counters.write_ranges <- t.counters.Counters.write_ranges + 1;
     t.counters.Counters.write_bytes <- t.counters.Counters.write_bytes + len;
     let region = region_for t addr in
@@ -563,6 +575,7 @@ let write_range t ~addr ~len =
 
 let read_range t ~addr ~len =
   if len > 0 then begin
+    notify t ~kind:`Read ~addr ~len;
     t.counters.Counters.read_ranges <- t.counters.Counters.read_ranges + 1;
     t.counters.Counters.read_bytes <- t.counters.Counters.read_bytes + len;
     let region = region_for t addr in
@@ -578,6 +591,8 @@ let read_range t ~addr ~len =
    record one read range and one write range so Table I is unchanged. *)
 let rw_range t ~addr ~len =
   if len > 0 then begin
+    notify t ~kind:`Read ~addr ~len;
+    notify t ~kind:`Write ~addr ~len;
     let c = t.counters in
     c.Counters.read_ranges <- c.Counters.read_ranges + 1;
     c.Counters.read_bytes <- c.Counters.read_bytes + len;

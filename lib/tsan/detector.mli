@@ -77,6 +77,15 @@ val rw_range : t -> addr:int -> len:int -> unit
     access) with the region lookup shared; semantically identical to
     {!read_range} then {!write_range}, and counted as one of each. *)
 
+val set_observer :
+  t -> (kind:[ `Read | `Write ] -> addr:int -> len:int -> unit) option -> unit
+(** Install (or clear) an observer called with every checked access
+    range before it is checked; {!rw_range} reports one read and one
+    write. The schedule explorer uses this to learn which extents each
+    scheduling slice touched. With no observer installed — the default —
+    the cost is one field test per range. The observer must not call
+    back into the detector. *)
+
 (** {1 Allocator interception} *)
 
 val on_alloc : t -> base:int -> size:int -> unit

@@ -1,0 +1,225 @@
+(* Tests for the schedule explorer (lib/explore): the dependency
+   relation, sleep-set DPOR on synthetic scheduler programs with known
+   schedule spaces, the sched-sensitive family end to end, the
+   schedule-independence of race-free corpus programs, and the
+   record/replay determinism contract. *)
+
+module E = Explore
+module Cases = Testsuite.Cases
+module ER = Testsuite.Explore_runner
+
+let mem w addr len = E.Mem { write = w; addr; len }
+let send ~src ~dst ~tag = E.Send { src; dst; tag }
+let recv ~owner ~src ~tag = E.Recv { owner; src; tag }
+let dep = E.ops_dependent
+
+(* --- the dependency relation ------------------------------------------ *)
+
+let dep_mem () =
+  Alcotest.(check bool) "overlapping write/read" true
+    (dep (mem true 100 8) (mem false 104 8));
+  Alcotest.(check bool) "symmetric" true
+    (dep (mem false 104 8) (mem true 100 8));
+  Alcotest.(check bool) "adjacent extents don't overlap" false
+    (dep (mem true 100 8) (mem true 108 8));
+  Alcotest.(check bool) "read/read commutes" false
+    (dep (mem false 100 8) (mem false 100 8));
+  Alcotest.(check bool) "mem vs message commutes" false
+    (dep (mem true 100 8) (send ~src:0 ~dst:1 ~tag:0))
+
+let dep_messages () =
+  Alcotest.(check bool) "sends contending at one dst" true
+    (dep (send ~src:1 ~dst:0 ~tag:3) (send ~src:2 ~dst:0 ~tag:3));
+  Alcotest.(check bool) "sends to different dsts commute" false
+    (dep (send ~src:1 ~dst:0 ~tag:3) (send ~src:1 ~dst:2 ~tag:3));
+  Alcotest.(check bool) "wildcard recv matches any sender" true
+    (dep (recv ~owner:0 ~src:(-1) ~tag:3) (send ~src:2 ~dst:0 ~tag:3));
+  Alcotest.(check bool) "selective recv vs mismatched tag" false
+    (dep (recv ~owner:0 ~src:1 ~tag:4) (send ~src:1 ~dst:0 ~tag:3));
+  Alcotest.(check bool) "recv at wrong rank commutes" false
+    (dep (recv ~owner:2 ~src:1 ~tag:3) (send ~src:1 ~dst:0 ~tag:3));
+  Alcotest.(check bool) "recvs of one owner race for order" true
+    (dep (recv ~owner:0 ~src:(-1) ~tag:3) (recv ~owner:0 ~src:1 ~tag:3))
+
+(* --- DPOR over synthetic scheduler programs --------------------------- *)
+
+(* Two tasks writing one cell: the space has exactly two inequivalent
+   interleavings. The engine needs one extra (deduplicated) run to
+   prove the reversal of the reversal is the original, so: three runs,
+   two distinct traces, exhausted, and the b-before-a order first seen
+   on schedule 2. *)
+let synthetic_two_writers () =
+  let run ~picker ~record_op =
+    let order = ref [] in
+    Sched.Scheduler.run ~picker
+      [
+        ("a", fun () -> record_op (mem true 0 8); order := "a" :: !order);
+        ("b", fun () -> record_op (mem true 0 8); order := "b" :: !order);
+      ];
+    !order = [ "a"; "b" ] (* b ran first *)
+  in
+  let s = E.explore ~budget:16 ~run () in
+  Alcotest.(check bool) "exhausted" true s.E.exhausted;
+  Alcotest.(check int) "runs" 3 s.E.runs;
+  Alcotest.(check int) "distinct traces" 2 s.E.distinct_traces;
+  Alcotest.(check (option int)) "reversal found on schedule 2" (Some 2)
+    s.E.exposed_at
+
+(* Independent tasks: one schedule covers the space; no backtracking. *)
+let synthetic_independent () =
+  let run ~picker ~record_op =
+    Sched.Scheduler.run ~picker
+      [
+        ("a", fun () -> record_op (mem true 0 8));
+        ("b", fun () -> record_op (mem true 16 8));
+      ];
+    false
+  in
+  let s = E.explore ~budget:16 ~run () in
+  Alcotest.(check int) "single run suffices" 1 s.E.runs;
+  Alcotest.(check bool) "exhausted" true s.E.exhausted;
+  Alcotest.(check int) "no branches" 0 s.E.branches;
+  Alcotest.(check (option int)) "nothing exposed" None s.E.exposed_at
+
+(* The budget is a hard cap even when the frontier still has work. *)
+let synthetic_budget_cap () =
+  let run ~picker ~record_op =
+    Sched.Scheduler.run ~picker
+      (List.init 4 (fun i ->
+           ( Printf.sprintf "t%d" i,
+             fun () ->
+               record_op (mem true 0 8);
+               Sched.Scheduler.yield ();
+               record_op (mem true 0 8) )));
+    false
+  in
+  let s = E.explore ~budget:5 ~run () in
+  Alcotest.(check int) "stopped at the budget" 5 s.E.runs;
+  Alcotest.(check bool) "not exhausted" false s.E.exhausted
+
+(* --- the sched-sensitive family --------------------------------------- *)
+
+(* The crux of the family: a single FIFO schedule (what a plain
+   testsuite run executes) misses every seeded race. *)
+let single_schedule_blind () =
+  List.iter
+    (fun (case : Cases.case) ->
+      if case.expect = Cases.Racy then begin
+        let res =
+          Harness.Run.run ~nranks:case.nranks ~check_types:true
+            ~flavor:Harness.Flavor.Must_cusan case.app
+        in
+        Alcotest.(check bool)
+          (case.name ^ ": FIFO run misses the race")
+          false
+          (Harness.Run.has_races res)
+      end)
+    (Cases.sched_sensitive ())
+
+(* Exploration classifies the whole family correctly: racy cases are
+   exposed by some non-first schedule, clean cases exhaust their space
+   without a single report. *)
+let family_classified () =
+  List.iter
+    (fun (v : ER.explore_verdict) ->
+      Alcotest.(check bool) (v.case.Cases.name ^ " classified") true v.pass;
+      match v.case.Cases.expect with
+      | Cases.Racy -> (
+          match v.stats.E.exposed_at with
+          | Some k ->
+              Alcotest.(check bool)
+                (v.case.Cases.name ^ " needed >1 schedule")
+                true (k >= 2)
+          | None -> Alcotest.fail (v.case.Cases.name ^ ": never exposed"))
+      | Cases.Clean ->
+          Alcotest.(check int)
+            (v.case.Cases.name ^ " zero interesting runs")
+            0 v.stats.E.interesting_runs;
+          Alcotest.(check bool)
+            (v.case.Cases.name ^ " space exhausted")
+            true v.stats.E.exhausted)
+    (ER.explore_family ~budget:64 ())
+
+(* --- schedule independence of the race-free corpus -------------------- *)
+
+let clean_corpus =
+  List.filter (fun (c : Cases.case) -> c.expect = Cases.Clean) (Cases.all ())
+
+(* Property: a race-free corpus program stays race-free in *every*
+   explored schedule — correct synchronization is schedule-independent,
+   and exploration must not manufacture false positives. *)
+let prop_clean_schedule_independent =
+  QCheck.Test.make
+    ~name:"race-free corpus: zero reports in every explored schedule"
+    ~count:10
+    QCheck.(int_range 0 (List.length clean_corpus - 1))
+    (fun idx ->
+      let case = List.nth clean_corpus idx in
+      let v = ER.explore_case ~budget:10 case in
+      v.ER.stats.E.interesting_runs = 0)
+
+(* --- record / replay --------------------------------------------------- *)
+
+let render (res : Harness.Run.result) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (rank, r) ->
+      Buffer.add_string b (Printf.sprintf "== rank %d ==\n" rank);
+      Buffer.add_string b (Tsan.Report.to_string r))
+    res.Harness.Run.races;
+  Buffer.add_string b
+    (Printf.sprintf "race_events=%d\n" res.Harness.Run.race_events);
+  Buffer.add_string b
+    (Printf.sprintf "musts=%d\n" (List.length res.Harness.Run.must_errors));
+  Buffer.contents b
+
+let run_with ?picker (case : Cases.case) =
+  Harness.Run.run ~nranks:case.Cases.nranks ~check_types:true ?picker
+    ~flavor:Harness.Flavor.Must_cusan case.Cases.app
+
+(* Recording must not perturb the run it records: a recorded run's
+   reports are byte-identical to the default FIFO run's. *)
+let recording_is_fifo () =
+  List.iter
+    (fun (case : Cases.case) ->
+      let r0 = run_with case in
+      let buf = ref [] in
+      let r1 = run_with ~picker:(E.recording_picker buf) case in
+      Alcotest.(check string)
+        (case.name ^ ": recording = FIFO")
+        (render r0) (render r1);
+      Alcotest.(check bool) (case.name ^ ": trace non-empty") true (!buf <> []))
+    [ List.hd (Cases.all ()); List.hd (Cases.sched_sensitive ()) ]
+
+(* Property: record a run's decision trace, replay it, and the reports
+   come back byte-identical — over the whole corpus, racy and clean. *)
+let prop_record_replay =
+  QCheck.Test.make
+    ~name:"record then replay reproduces reports byte-identically" ~count:12
+    QCheck.(int_range 0 10000)
+    (fun idx ->
+      let cases = Cases.all () @ Cases.sched_sensitive () in
+      let case = List.nth cases (idx mod List.length cases) in
+      let buf = ref [] in
+      let r1 = run_with ~picker:(E.recording_picker buf) case in
+      let trace = List.rev !buf in
+      let r2 = run_with ~picker:(E.replay_picker trace) case in
+      render r1 = render r2)
+
+let tests =
+  [
+    Alcotest.test_case "dependency: memory extents" `Quick dep_mem;
+    Alcotest.test_case "dependency: messages" `Quick dep_messages;
+    Alcotest.test_case "DPOR: two writers" `Quick synthetic_two_writers;
+    Alcotest.test_case "DPOR: independent tasks" `Quick synthetic_independent;
+    Alcotest.test_case "DPOR: budget cap" `Quick synthetic_budget_cap;
+    Alcotest.test_case "FIFO misses the seeded races" `Quick
+      single_schedule_blind;
+    Alcotest.test_case "family classified over its space" `Quick
+      family_classified;
+    QCheck_alcotest.to_alcotest prop_clean_schedule_independent;
+    Alcotest.test_case "recording picker is FIFO" `Quick recording_is_fifo;
+    QCheck_alcotest.to_alcotest prop_record_replay;
+  ]
+
+let () = Alcotest.run "explore" [ ("explore", tests) ]

@@ -197,6 +197,183 @@ let prop_deterministic_termination =
         (List.init (List.length spec) Fun.id)
         spec)
 
+(* --- kill / waiter-record hygiene ------------------------------------ *)
+
+let kill_purges_waiters () =
+  let c = Sched.Scheduler.cond "c" in
+  let before = ref 0 and after = ref (-1) in
+  Sched.Scheduler.run
+    [
+      ("victim", fun () -> Sched.Scheduler.wait c);
+      ( "reaper",
+        fun () ->
+          before := Sched.Scheduler.waiter_count c;
+          Sched.Scheduler.kill (fun n -> n = "victim");
+          after := Sched.Scheduler.waiter_count c );
+    ];
+  Alcotest.(check int) "victim was parked" 1 !before;
+  Alcotest.(check int) "record purged at kill time" 0 !after
+
+let kill_soak_no_waiter_leak () =
+  (* The original leak: killing a blocked task dropped it from
+     scheduling but left its waiter record — and with it the whole
+     suspended stack — parked on the condition forever. A long-lived
+     condition outliving a thousand reaped waiters must end empty. *)
+  let c = Sched.Scheduler.cond "pool" in
+  Sched.Scheduler.run
+    [
+      ( "driver",
+        fun () ->
+          for i = 1 to 1000 do
+            let name = Printf.sprintf "w%d" i in
+            Sched.Scheduler.spawn name (fun () -> Sched.Scheduler.wait c);
+            Sched.Scheduler.yield ();
+            (* the worker is blocked on [c] now *)
+            Sched.Scheduler.kill (fun n -> n = name)
+          done );
+    ];
+  Alcotest.(check int) "no abandoned waiter records" 0
+    (Sched.Scheduler.waiter_count c)
+
+let kill_runnable_then_signal () =
+  (* Killing a *runnable* waiterless task and then signalling the
+     condition later must not resurrect anything. *)
+  let c = Sched.Scheduler.cond "c" in
+  let ran = ref false in
+  Sched.Scheduler.run
+    [
+      ("victim", fun () -> Sched.Scheduler.yield (); ran := true);
+      ( "reaper",
+        fun () ->
+          Sched.Scheduler.kill (fun n -> n = "victim");
+          Sched.Scheduler.signal c );
+    ];
+  Alcotest.(check bool) "killed runnable task never resumed" false !ran;
+  Alcotest.(check int) "condition untouched" 0 (Sched.Scheduler.waiter_count c)
+
+(* --- duplicate task names --------------------------------------------- *)
+
+let duplicate_names_disambiguated () =
+  let names = ref [] in
+  let note () = names := Sched.Scheduler.self () :: !names in
+  Sched.Scheduler.run
+    [ ("dup", note); ("dup", note); ("other", note); ("dup", note) ];
+  Alcotest.(check (list string)) "suffixed in spawn order"
+    [ "dup"; "dup#2"; "other"; "dup#3" ]
+    (List.rev !names)
+
+let duplicate_name_kill_precise () =
+  (* With disambiguated names, kill-by-exact-name reaps exactly the
+     task it names — before the fix both "worker" tasks shared a name
+     and could not be told apart. *)
+  let log, emit = trace () in
+  Sched.Scheduler.run
+    [
+      ("worker", fun () -> Sched.Scheduler.yield (); emit "first survived");
+      ("worker", fun () -> Sched.Scheduler.yield (); emit "second survived");
+      ("reaper", fun () -> Sched.Scheduler.kill (fun n -> n = "worker#2"));
+    ];
+  Alcotest.(check (list string)) "only worker#2 reaped" [ "first survived" ]
+    (List.rev !log)
+
+let duplicate_name_of_finished_task () =
+  (* Even a finished task keeps its name reserved: respawning "t" after
+     "t" completed yields "t#2", so traces never conflate the two. *)
+  let names = ref [] in
+  Sched.Scheduler.run
+    [
+      ("t", fun () -> names := Sched.Scheduler.self () :: !names);
+      ( "spawner",
+        fun () ->
+          Sched.Scheduler.spawn "t" (fun () ->
+              names := Sched.Scheduler.self () :: !names) );
+    ];
+  Alcotest.(check (list string)) "finished name stays reserved"
+    [ "t"; "t#2" ] (List.rev !names)
+
+(* --- pickers ----------------------------------------------------------- *)
+
+let picker_sees_fifo_candidates () =
+  let seen = ref [] in
+  let picker ~step:_ (cands : Sched.Scheduler.candidate array) =
+    seen :=
+      Array.to_list (Array.map (fun c -> c.Sched.Scheduler.c_name) cands)
+      :: !seen;
+    0
+  in
+  Sched.Scheduler.run ~picker
+    [ ("a", fun () -> ()); ("b", fun () -> ()); ("c", fun () -> ()) ];
+  Alcotest.(check (list (list string))) "candidates offered in FIFO order"
+    [ [ "a"; "b"; "c" ]; [ "b"; "c" ]; [ "c" ] ]
+    (List.rev !seen)
+
+let picker_reverses_order () =
+  let log, emit = trace () in
+  let picker ~step:_ cands = Array.length cands - 1 in
+  Sched.Scheduler.run ~picker
+    [
+      ("a", fun () -> emit "a");
+      ("b", fun () -> emit "b");
+      ("c", fun () -> emit "c");
+    ];
+  Alcotest.(check (list string)) "LIFO under a reversing picker"
+    [ "c"; "b"; "a" ] (List.rev !log)
+
+let picker_fifo_matches_default () =
+  (* A picker that always takes index 0 is the FIFO policy: its trace
+     must be byte-identical to the default (no-picker) dispatcher's. *)
+  let exec picker =
+    let log, emit = trace () in
+    Sched.Scheduler.run ?picker
+      (List.init 4 (fun i ->
+           ( Printf.sprintf "p%d" i,
+             fun () ->
+               for k = 0 to 2 do
+                 emit (Printf.sprintf "p%d.%d" i k);
+                 Sched.Scheduler.yield ()
+               done )));
+    List.rev !log
+  in
+  Alcotest.(check (list string)) "index-0 picker = default FIFO"
+    (exec None)
+    (exec (Some (fun ~step:_ _ -> 0)))
+
+let picker_out_of_range_rejected () =
+  match
+    Sched.Scheduler.run
+      ~picker:(fun ~step:_ cands -> Array.length cands)
+      [ ("a", fun () -> ()) ]
+  with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Property: under any picker, every task still runs to completion and
+   the same picker yields the same execution twice — schedule control
+   never loses tasks or erodes determinism. *)
+let prop_any_picker_runs_all =
+  QCheck.Test.make ~name:"any picker runs every task to completion" ~count:100
+    QCheck.(
+      pair (int_range 1 8) (list_of_size Gen.(1 -- 20) (int_range 0 1000)))
+    (fun (ntasks, choices) ->
+      let arr = Array.of_list choices in
+      let run () =
+        let finished = ref 0 in
+        let calls = ref 0 in
+        let picker ~step:_ cands =
+          let k = arr.(!calls mod Array.length arr) in
+          incr calls;
+          k mod Array.length cands
+        in
+        Sched.Scheduler.run ~picker
+          (List.init ntasks (fun t ->
+               ( Printf.sprintf "q%d" t,
+                 fun () ->
+                   Sched.Scheduler.yield ();
+                   incr finished )));
+        !finished
+      in
+      run () = ntasks && run () = ntasks)
+
 let tests =
   [
     Alcotest.test_case "round-robin order" `Quick order;
@@ -213,7 +390,25 @@ let tests =
     Alcotest.test_case "ops outside run rejected" `Quick outside_scheduler;
     Alcotest.test_case "200 tasks stress" `Quick many_tasks;
     Alcotest.test_case "signals are not sticky" `Quick signal_before_wait_is_lost;
+    Alcotest.test_case "kill purges waiter records" `Quick kill_purges_waiters;
+    Alcotest.test_case "kill soak leaves no waiters" `Quick
+      kill_soak_no_waiter_leak;
+    Alcotest.test_case "kill of runnable task" `Quick kill_runnable_then_signal;
+    Alcotest.test_case "duplicate names disambiguated" `Quick
+      duplicate_names_disambiguated;
+    Alcotest.test_case "kill by disambiguated name" `Quick
+      duplicate_name_kill_precise;
+    Alcotest.test_case "finished names stay reserved" `Quick
+      duplicate_name_of_finished_task;
+    Alcotest.test_case "picker sees FIFO candidates" `Quick
+      picker_sees_fifo_candidates;
+    Alcotest.test_case "picker steers order" `Quick picker_reverses_order;
+    Alcotest.test_case "index-0 picker equals default" `Quick
+      picker_fifo_matches_default;
+    Alcotest.test_case "out-of-range pick rejected" `Quick
+      picker_out_of_range_rejected;
     QCheck_alcotest.to_alcotest prop_deterministic_termination;
+    QCheck_alcotest.to_alcotest prop_any_picker_runs_all;
   ]
 
 let () = Alcotest.run "sched" [ ("scheduler", tests) ]
