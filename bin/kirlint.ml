@@ -17,27 +17,67 @@
    kernels the run exits 1 — CI asserts that too, proving the gate
    actually fires.
 
-   --json FILE writes a "kirlint/1" document; --junit FILE writes JUnit
-   XML (classname KirLint); --only SUBSTR filters targets; --list
-   prints the selected target ids after filtering. *)
+   --witness upgrades the pipeline from "report" to "prove": every race
+   candidate is handed to the witness solver (Cusan.Witness), which
+   searches for a concrete thread pair / launch width / parameter
+   valuation and validates it by replaying exactly those two threads
+   through the interpreter. Validated candidates become proved-races
+   (and gate the exit code, may or must); a must the replay cannot
+   validate is downgraded to a may with the solver's diagnostic. In
+   corpus mode the proved/unproved split is checked against the seeded
+   [proves] ground truth.
+
+   --certify FILE emits DRF certificates (schema kirlint-cert/1) for
+   the race-free targets: the access set with its symbolic coefficients
+   plus one disjointness fact per access pair. Each certificate is
+   re-validated through the independent checker (Cusan.Certcheck) from
+   the serialized JSON bytes — a re-check failure fails the lint.
+
+   --suggest-fixes runs barrier repair (Cusan.Repair) on every target
+   with provable races: a minimal, interpreter-verified set of
+   __syncthreads() insertion points, checked against the corpus
+   [repair] ground truth in corpus mode.
+
+   --suppress FILE reads TSan-suppressions syntax (race:PATTERN);
+   targets whose id or race descriptions match a pattern still print
+   but no longer affect the exit status — the escape hatch for
+   known-racy demo kernels.
+
+   --json FILE writes a "kirlint/1" document ("kirlint/2" when any of
+   the proving flags is active); --junit FILE writes JUnit XML
+   (classname KirLint); --only LIST filters targets by comma-separated
+   substrings; --list prints the selected target ids after filtering. *)
 
 module V = Kir.Validate
 module KA = Cusan.Kernel_analysis
 module RA = Cusan.Race_analysis
+module W = Cusan.Witness
 module Corpus = Testsuite.Corpus
 
 let usage () =
   Fmt.pr
-    "usage: kirlint [--corpus] [--only SUBSTR] [--list]@.\
+    "usage: kirlint [--corpus] [--only LIST] [--list] [--witness]@.\
+    \       [--certify FILE] [--suggest-fixes] [--suppress FILE]@.\
     \       [--json FILE] [--junit FILE]@.@.\
-    \  --corpus     lint the seeded ground-truth corpus instead of the@.\
-    \               app/example suite (contains must-races; exits 1)@.\
-    \  --only SUB   lint only targets whose id contains SUB@.\
-    \  --list       print the selected target ids and exit@.\
-    \  --json FILE  write results as JSON (schema kirlint/1)@.\
-    \  --junit FILE write results as JUnit XML@.@.\
-     exit status: 0 clean, 1 must-races / invalid modules /@.\
-    \             corpus misclassification, 2 usage error@."
+    \  --corpus        lint the seeded ground-truth corpus instead of the@.\
+    \                  app/example suite (contains must-races; exits 1)@.\
+    \  --only LIST     lint only targets whose id contains one of the@.\
+    \                  comma-separated substrings@.\
+    \  --list          print the selected target ids and exit@.\
+    \  --witness       prove race candidates by interpreter-validated@.\
+    \                  witnesses; unproved musts are downgraded@.\
+    \  --certify FILE  write DRF certificates for race-free targets@.\
+    \                  (schema kirlint-cert/1), re-checked independently@.\
+    \  --suggest-fixes propose minimal verified barrier insertions for@.\
+    \                  targets with provable races@.\
+    \  --suppress FILE TSan-suppressions file (race:PATTERN); matching@.\
+    \                  targets stop affecting the exit status@.\
+    \  --json FILE     write results as JSON (schema kirlint/1, or@.\
+    \                  kirlint/2 with --witness/--suggest-fixes/--suppress)@.\
+    \  --junit FILE    write results as JUnit XML@.@.\
+     exit status: 0 clean, 1 must- or proved-races / invalid modules /@.\
+    \             corpus mismatch / certificate re-check failure,@.\
+    \             2 usage error@."
 
 let die msg =
   Fmt.epr "kirlint: %s@." msg;
@@ -46,8 +86,12 @@ let die msg =
 
 type opts = {
   corpus : bool;
-  only : string option;
+  only : string list; (* comma-separated substrings; [] = everything *)
   list_only : bool;
+  witness : bool;
+  certify_out : string option;
+  fixes : bool;
+  suppress : string option;
   json_out : string option;
   junit_out : string option;
 }
@@ -60,9 +104,21 @@ let parse_args argv =
         exit 0
     | "--corpus" :: rest -> go { acc with corpus = true } rest
     | "--list" :: rest -> go { acc with list_only = true } rest
+    | "--witness" :: rest -> go { acc with witness = true } rest
+    | "--suggest-fixes" :: rest -> go { acc with fixes = true } rest
     | "--only" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
-        go { acc with only = Some v } rest
+        let subs = String.split_on_char ',' v in
+        if List.exists (fun s -> s = "") subs then
+          die "--only takes a comma-separated list of non-empty substrings"
+        else go { acc with only = acc.only @ subs } rest
     | [ "--only" ] | "--only" :: _ -> die "--only requires a value"
+    | "--certify" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with certify_out = Some v } rest
+    | [ "--certify" ] | "--certify" :: _ -> die "--certify requires a file name"
+    | "--suppress" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
+        go { acc with suppress = Some v } rest
+    | [ "--suppress" ] | "--suppress" :: _ ->
+        die "--suppress requires a file name"
     | "--json" :: v :: rest when not (String.length v > 0 && v.[0] = '-') ->
         go { acc with json_out = Some v } rest
     | [ "--json" ] | "--json" :: _ -> die "--json requires a file name"
@@ -72,7 +128,8 @@ let parse_args argv =
     | arg :: _ -> die (Fmt.str "unknown argument %S" arg)
   in
   go
-    { corpus = false; only = None; list_only = false; json_out = None;
+    { corpus = false; only = []; list_only = false; witness = false;
+      certify_out = None; fixes = false; suppress = None; json_out = None;
       junit_out = None }
     argv
 
@@ -82,13 +139,15 @@ type target = {
   id : string;  (* "suite/kernel" *)
   m : Kir.Ir.modul;
   entry : string;
-  expect : Corpus.expect option;  (* ground truth in corpus mode *)
+  gt : Corpus.entry option;  (* ground truth in corpus mode *)
 }
+
+let expect_of t = Option.map (fun (e : Corpus.entry) -> e.Corpus.expect) t.gt
 
 let default_targets () =
   let of_module suite (m : Kir.Ir.modul) =
     List.map
-      (fun entry -> { id = suite ^ "/" ^ entry; m; entry; expect = None })
+      (fun entry -> { id = suite ^ "/" ^ entry; m; entry; gt = None })
       m.Kir.Ir.kernels
   in
   of_module "jacobi" Apps.Jacobi.device_module
@@ -100,7 +159,7 @@ let corpus_targets () =
   List.map
     (fun (e : Corpus.entry) ->
       { id = "corpus/" ^ e.Corpus.name; m = e.Corpus.m; entry = e.Corpus.entry;
-        expect = Some e.Corpus.expect })
+        gt = Some e })
     Corpus.all
 
 (* --- lint ---------------------------------------------------------------- *)
@@ -110,12 +169,17 @@ type lint = {
   valid : (unit, string) result;
   params : (string * string) list;  (* (source name, R|W|RW|unused|scalar) *)
   races : RA.race list;
+  proofs : (RA.race * W.outcome) list option;
+      (* witness mode: one solver outcome per race, in race order *)
+  fix : Cusan.Repair.outcome option;  (* --suggest-fixes, valid targets *)
+  suppressed : bool;
 }
 
-let lint_target (t : target) =
+let lint_target ~witness ~fixes (t : target) =
   match V.check_module t.m with
   | exception V.Invalid msg ->
-      { target = t; valid = Error msg; params = []; races = [] }
+      { target = t; valid = Error msg; params = []; races = []; proofs = None;
+        fix = None; suppressed = false }
   | () ->
       let f = List.find (fun f -> f.Kir.Ir.fname = t.entry) t.m.Kir.Ir.funcs in
       let summary = KA.analyze t.m ~entry:t.entry in
@@ -135,56 +199,223 @@ let lint_target (t : target) =
             (pname, acc))
           f.Kir.Ir.params
       in
-      { target = t; valid = Ok (); params;
-        races = RA.analyze t.m ~entry:t.entry }
+      let races = RA.analyze t.m ~entry:t.entry in
+      let proofs =
+        if witness then
+          Some (List.map (fun r -> (r, W.prove t.m ~entry:t.entry r)) races)
+        else None
+      in
+      let fix =
+        if fixes then Some (Cusan.Repair.suggest t.m ~entry:t.entry) else None
+      in
+      { target = t; valid = Ok (); params; races; proofs; fix;
+        suppressed = false }
+
+let is_proved = function W.Proved _ -> true | W.Unproved _ -> false
+
+let has_proved (l : lint) =
+  match l.proofs with
+  | None -> false
+  | Some ps -> List.exists (fun (_, o) -> is_proved o) ps
+
+(* Verdicts that gate the exit status: proved races once the witness
+   engine has spoken, static musts otherwise. *)
+let gating_races (l : lint) =
+  match l.proofs with None -> RA.has_must l.races | Some _ -> has_proved l
 
 (* Did the target meet expectations? Outside corpus mode that means
-   "valid and free of must-races"; in corpus mode the classification
-   must match the seeded ground truth exactly. *)
+   "valid and free of gating races"; in corpus mode the static
+   classification must match the seeded ground truth exactly, and the
+   witness/repair outcomes (when those stages ran) must match the
+   seeded [proves]/[repair] fields. *)
 let ok (l : lint) =
-  match l.target.expect with
-  | None -> (
-      match l.valid with Ok () -> not (RA.has_must l.races) | Error _ -> false)
-  | Some Corpus.Invalid -> Result.is_error l.valid
-  | Some Corpus.Must -> Result.is_ok l.valid && RA.has_must l.races
-  | Some Corpus.May ->
-      Result.is_ok l.valid && l.races <> [] && not (RA.has_must l.races)
-  | Some Corpus.Clean -> Result.is_ok l.valid && l.races = []
+  let static_ok =
+    match expect_of l.target with
+    | None -> (
+        match l.valid with
+        | Ok () -> not (gating_races l)
+        | Error _ -> false)
+    | Some Corpus.Invalid -> Result.is_error l.valid
+    | Some Corpus.Must -> Result.is_ok l.valid && RA.has_must l.races
+    | Some Corpus.May ->
+        Result.is_ok l.valid && l.races <> [] && not (RA.has_must l.races)
+    | Some Corpus.Clean -> Result.is_ok l.valid && l.races = []
+  in
+  let witness_ok =
+    match (l.proofs, l.target.gt) with
+    | None, _ | Some _, None -> true
+    | Some _, Some e -> has_proved l = e.Corpus.proves
+  in
+  let repair_ok =
+    match (l.fix, l.target.gt) with
+    | None, _ | Some _, None -> true
+    | Some f, Some e -> (
+        match (f, e.Corpus.repair) with
+        | Cusan.Repair.Already_clean, Corpus.Nothing_to_fix -> true
+        | Cusan.Repair.Fixed fx, Corpus.Fixable pts ->
+            fx.Cusan.Repair.fpoints = pts
+        | Cusan.Repair.Unrepairable _, Corpus.Unfixable -> true
+        | _ -> false)
+  in
+  static_ok && witness_ok && repair_ok
 
 let classification (l : lint) =
   match l.valid with
   | Error msg -> "invalid: " ^ msg
-  | Ok () ->
-      let musts = List.length (List.filter (fun r -> r.RA.verdict = RA.Must) l.races) in
-      let mays = List.length l.races - musts in
+  | Ok () -> (
       if l.races = [] then "clean"
       else
-        String.concat ", "
-          ((if musts > 0 then [ Fmt.str "%d must-race(s)" musts ] else [])
-          @ if mays > 0 then [ Fmt.str "%d may-race(s)" mays ] else [])
+        match l.proofs with
+        | None ->
+            let musts =
+              List.length
+                (List.filter (fun r -> r.RA.verdict = RA.Must) l.races)
+            in
+            let mays = List.length l.races - musts in
+            String.concat ", "
+              ((if musts > 0 then [ Fmt.str "%d must-race(s)" musts ] else [])
+              @ if mays > 0 then [ Fmt.str "%d may-race(s)" mays ] else [])
+        | Some ps ->
+            let proved =
+              List.length (List.filter (fun (_, o) -> is_proved o) ps)
+            in
+            let mays = List.length ps - proved in
+            String.concat ", "
+              ((if proved > 0 then [ Fmt.str "%d proved-race(s)" proved ]
+                else [])
+              @ if mays > 0 then [ Fmt.str "%d may-race(s)" mays ] else []))
 
 (* --- output -------------------------------------------------------------- *)
+
+let describe_as verdict (r : RA.race) =
+  Fmt.str "%s %s race on arg%d '%s' (phase %d): %s vs %s" verdict r.RA.kinds
+    r.RA.param r.RA.pname r.RA.phase r.RA.site1 r.RA.site2
+
+let race_line (l : lint) i (r : RA.race) =
+  match l.proofs with
+  | None -> RA.describe r
+  | Some ps -> (
+      match snd (List.nth ps i) with
+      | W.Proved w ->
+          Fmt.str "%s [witness: %s]" (describe_as "proved" r) (W.describe w)
+      | W.Unproved why when r.RA.verdict = RA.Must ->
+          Fmt.str "%s [downgraded from must: %s]" (describe_as "may" r) why
+      | W.Unproved _ -> RA.describe r)
 
 let print_human lints =
   List.iter
     (fun l ->
       let expect_note =
-        match l.target.expect with
+        match expect_of l.target with
         | None -> ""
         | Some e ->
             Fmt.str " [expect %s: %s]" (Corpus.expect_str e)
               (if ok l then "ok" else "MISMATCH")
       in
-      Fmt.pr "%-38s %s%s@." l.target.id (classification l) expect_note;
+      let suppress_note = if l.suppressed then " [suppressed]" else "" in
+      Fmt.pr "%-38s %s%s%s@." l.target.id (classification l) expect_note
+        suppress_note;
       if l.valid = Ok () && l.params <> [] then
         Fmt.pr "    args: %s@."
           (String.concat " "
              (List.map (fun (n, a) -> Fmt.str "%s=%s" n a) l.params));
-      List.iter (fun r -> Fmt.pr "    %s@." (RA.describe r)) l.races)
+      List.iteri (fun i r -> Fmt.pr "    %s@." (race_line l i r)) l.races;
+      match l.fix with
+      | None | Some Cusan.Repair.Already_clean -> ()
+      | Some (Cusan.Repair.Fixed f) ->
+          Fmt.pr "    fix: insert %d barrier(s) at gap(s) [%s]@."
+            (List.length f.Cusan.Repair.fpoints)
+            (String.concat "; "
+               (List.map string_of_int f.Cusan.Repair.fpoints));
+          List.iter
+            (fun p -> Fmt.pr "      %s@." p)
+            f.Cusan.Repair.fpreviews
+      | Some (Cusan.Repair.Unrepairable why) ->
+          Fmt.pr "    fix: unrepairable (%s)@." why)
     lints
 
-let json_of_lint (l : lint) : Reporting.Mjson.t =
+let json_of_lint ~v2 (l : lint) : Reporting.Mjson.t =
   let open Reporting.Mjson in
+  let race_json i (r : RA.race) =
+    let base_verdict =
+      match r.RA.verdict with RA.Must -> "must" | RA.May -> "may"
+    in
+    let verdict, extra =
+      if not v2 then (base_verdict, [])
+      else
+        match l.proofs with
+        | None -> (base_verdict, [ ("witness", Null) ])
+        | Some ps -> (
+            match snd (List.nth ps i) with
+            | W.Proved w ->
+                ( "proved",
+                  [
+                    ("witness",
+                     Obj
+                       [
+                         ("tid1", Int w.W.wtid1);
+                         ("tid2", Int w.W.wtid2);
+                         ("ntid", Int w.W.wntid);
+                         ("params",
+                          Obj
+                            (List.map
+                               (fun (n, v) -> (n, Int v))
+                               w.W.wparams));
+                         ("byte", Int w.W.wbyte);
+                         ("phase", Int w.W.wphase);
+                         ("kinds", Str w.W.wkinds);
+                       ]);
+                  ] )
+            | W.Unproved why ->
+                ( "may",
+                  [
+                    ("witness", Null);
+                    ("downgraded", Bool (r.RA.verdict = RA.Must));
+                    ("unproved", Str why);
+                  ] ))
+    in
+    Obj
+      ([
+         ("verdict", Str verdict);
+         ("kinds", Str r.RA.kinds);
+         ("param", Int r.RA.param);
+         ("pname", Str r.RA.pname);
+         ("phase", Int r.RA.phase);
+         ("site1", Str r.RA.site1);
+         ("site2", Str r.RA.site2);
+         ("description", Str (RA.describe r));
+       ]
+      @ extra)
+  in
+  let fix_json =
+    if not v2 then []
+    else
+      match l.fix with
+      | None -> []
+      | Some Cusan.Repair.Already_clean ->
+          [ ("fix", Obj [ ("status", Str "already-clean") ]) ]
+      | Some (Cusan.Repair.Fixed f) ->
+          [
+            ("fix",
+             Obj
+               [
+                 ("status", Str "fixed");
+                 ("points",
+                  List
+                    (List.map (fun p -> Int p) f.Cusan.Repair.fpoints));
+                 ("previews",
+                  List
+                    (List.map
+                       (fun p -> Str p)
+                       f.Cusan.Repair.fpreviews));
+               ]);
+          ]
+      | Some (Cusan.Repair.Unrepairable why) ->
+          [
+            ("fix",
+             Obj [ ("status", Str "unrepairable"); ("reason", Str why) ]);
+          ]
+  in
   Obj
     ([
        ("name", Str l.target.id);
@@ -196,31 +427,17 @@ let json_of_lint (l : lint) : Reporting.Mjson.t =
           (List.map
              (fun (n, a) -> Obj [ ("name", Str n); ("access", Str a) ])
              l.params));
-       ("races",
-        List
-          (List.map
-             (fun (r : RA.race) ->
-               Obj
-                 [
-                   ("verdict",
-                    Str (match r.RA.verdict with RA.Must -> "must" | RA.May -> "may"));
-                   ("kinds", Str r.RA.kinds);
-                   ("param", Int r.RA.param);
-                   ("pname", Str r.RA.pname);
-                   ("phase", Int r.RA.phase);
-                   ("site1", Str r.RA.site1);
-                   ("site2", Str r.RA.site2);
-                   ("description", Str (RA.describe r));
-                 ])
-             l.races));
+       ("races", List (List.mapi race_json l.races));
        ("ok", Bool (ok l));
      ]
+    @ fix_json
+    @ (if v2 then [ ("suppressed", Bool l.suppressed) ] else [])
     @
-    match l.target.expect with
+    match expect_of l.target with
     | None -> []
     | Some e -> [ ("expect", Str (Corpus.expect_str e)) ])
 
-let json ~corpus lints : Reporting.Mjson.t =
+let json ~corpus ~v2 lints : Reporting.Mjson.t =
   let open Reporting.Mjson in
   let musts =
     List.fold_left
@@ -228,15 +445,31 @@ let json ~corpus lints : Reporting.Mjson.t =
         acc + List.length (List.filter (fun r -> r.RA.verdict = RA.Must) l.races))
       0 lints
   in
+  let proved =
+    List.fold_left
+      (fun acc l ->
+        acc
+        + match l.proofs with
+          | None -> 0
+          | Some ps -> List.length (List.filter (fun (_, o) -> is_proved o) ps))
+      0 lints
+  in
   Obj
-    [
-      ("schema", Str "kirlint/1");
-      ("corpus", Bool corpus);
-      ("total", Int (List.length lints));
-      ("ok", Int (List.length (List.filter ok lints)));
-      ("musts", Int musts);
-      ("targets", List (List.map json_of_lint lints));
-    ]
+    ([
+       ("schema", Str (if v2 then "kirlint/2" else "kirlint/1"));
+       ("corpus", Bool corpus);
+       ("total", Int (List.length lints));
+       ("ok", Int (List.length (List.filter ok lints)));
+       ("musts", Int musts);
+     ]
+    @ (if v2 then
+         [
+           ("proved", Int proved);
+           ("suppressed",
+            Int (List.length (List.filter (fun l -> l.suppressed) lints)));
+         ]
+       else [])
+    @ [ ("targets", List (List.map (json_of_lint ~v2) lints)) ])
 
 let junit lints : string =
   let cases =
@@ -270,47 +503,157 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- certification ------------------------------------------------------- *)
+
+(* Build DRF certificates for the race-free targets and re-validate
+   each one through the independent checker, from the serialized JSON
+   bytes — never the in-memory analysis structures. Returns the
+   kirlint-cert/1 document and the re-check failures (which fail the
+   lint: the analysis and the checker disagreeing is a bug in one of
+   them). *)
+let certify lints =
+  let open Reporting.Mjson in
+  let certified = ref [] and uncertified = ref [] and failures = ref [] in
+  List.iter
+    (fun (l : lint) ->
+      match l.valid with
+      | Error msg ->
+          uncertified := (l.target.id, "invalid module: " ^ msg) :: !uncertified
+      | Ok () -> (
+          match Cusan.Certificate.build l.target.m ~entry:l.target.entry with
+          | Error reason -> uncertified := (l.target.id, reason) :: !uncertified
+          | Ok cert -> (
+              let doc = Cusan.Certificate.to_json cert in
+              (* round-trip through the serialized bytes so the checker
+                 sees exactly what a consumer would read from disk *)
+              match of_string (to_string_pretty doc) with
+              | Error e ->
+                  failures :=
+                    (l.target.id, "serialization round-trip: " ^ e)
+                    :: !failures
+              | Ok reread -> (
+                  match
+                    Cusan.Certcheck.check l.target.m ~entry:l.target.entry
+                      reread
+                  with
+                  | Ok () -> certified := (l.target.id, doc) :: !certified
+                  | Error e -> failures := (l.target.id, e) :: !failures))))
+    lints;
+  let doc =
+    Obj
+      [
+        ("schema", Str "kirlint-cert/1");
+        ("total", Int (List.length lints));
+        ("certified", Int (List.length !certified));
+        ("uncertified",
+         List
+           (List.rev_map
+              (fun (n, r) -> Obj [ ("name", Str n); ("reason", Str r) ])
+              !uncertified));
+        ("certificates",
+         List
+           (List.rev_map
+              (fun (n, c) -> Obj [ ("name", Str n); ("cert", c) ])
+              !certified));
+      ]
+  in
+  (doc, List.length !certified, List.rev !failures)
+
 (* --- main ---------------------------------------------------------------- *)
+
+let contains ~sub name =
+  let nl = String.length name and sl = String.length sub in
+  let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
+  at 0
 
 let () =
   let o = parse_args (List.tl (Array.to_list Sys.argv)) in
-  let contains ~sub name =
-    let nl = String.length name and sl = String.length sub in
-    let rec at i = i + sl <= nl && (String.sub name i sl = sub || at (i + 1)) in
-    at 0
-  in
   let targets =
     let all = if o.corpus then corpus_targets () else default_targets () in
     match o.only with
-    | None -> all
-    | Some sub -> List.filter (fun t -> contains ~sub t.id) all
+    | [] -> all
+    | subs ->
+        List.filter
+          (fun t -> List.exists (fun sub -> contains ~sub t.id) subs)
+          all
   in
   if targets = [] then begin
-    Fmt.epr "kirlint: no target matches --only %a@." Fmt.(option string) o.only;
+    Fmt.epr "kirlint: no target matches --only %s@."
+      (String.concat "," o.only);
     exit 2
   end;
   if o.list_only then begin
     List.iter (fun t -> Fmt.pr "%s@." t.id) targets;
     exit 0
   end;
-  let lints = List.map lint_target targets in
+  let patterns =
+    match o.suppress with
+    | None -> []
+    | Some path -> (
+        match read_file path with
+        | content -> Tsan.Suppress.parse content
+        | exception Sys_error e -> die ("--suppress: " ^ e))
+  in
+  let lints =
+    List.map
+      (fun t ->
+        let l = lint_target ~witness:o.witness ~fixes:o.fixes t in
+        let suppressed =
+          List.exists
+            (fun pat ->
+              contains ~sub:pat l.target.id
+              || List.exists (fun r -> contains ~sub:pat (RA.describe r))
+                   l.races)
+            patterns
+        in
+        { l with suppressed })
+      targets
+  in
   print_human lints;
   let failed = List.filter (fun l -> not (ok l)) lints in
-  let musts = List.exists (fun l -> RA.has_must l.races) lints in
+  let gate_failed = List.filter (fun l -> not l.suppressed) failed in
+  let gate_races =
+    List.exists (fun l -> (not l.suppressed) && gating_races l) lints
+  in
+  let cert_failures =
+    match o.certify_out with
+    | None -> []
+    | Some path ->
+        let doc, ncerts, failures = certify lints in
+        write_file path (Reporting.Mjson.to_string_pretty doc);
+        Fmt.pr "wrote %s (%d certificate(s), %d uncertified)@." path ncerts
+          (List.length lints - ncerts);
+        List.iter
+          (fun (n, e) ->
+            Fmt.epr "kirlint: certificate re-check FAILED for %s: %s@." n e)
+          failures;
+        failures
+  in
+  let v2 = o.witness || o.fixes || o.suppress <> None in
   (match o.json_out with
   | None -> ()
   | Some path ->
       write_file path
-        (Reporting.Mjson.to_string_pretty (json ~corpus:o.corpus lints));
+        (Reporting.Mjson.to_string_pretty (json ~corpus:o.corpus ~v2 lints));
       Fmt.pr "wrote %s@." path);
   (match o.junit_out with
   | None -> ()
   | Some path ->
       write_file path (junit lints);
       Fmt.pr "wrote %s@." path);
-  Fmt.pr "@.%d of %d kernels %s%s@."
+  let nsupp = List.length (List.filter (fun l -> l.suppressed) lints) in
+  Fmt.pr "@.%d of %d kernels %s%s%s@."
     (List.length lints - List.length failed)
     (List.length lints)
     (if o.corpus then "classified as expected" else "lint clean")
-    (if musts then " (must-races present)" else "");
-  if failed <> [] || musts then exit 1
+    (if gate_races then
+       if o.witness then " (proved-races present)" else " (must-races present)"
+     else "")
+    (if nsupp > 0 then Fmt.str " (%d suppressed)" nsupp else "");
+  if gate_failed <> [] || gate_races || cert_failures <> [] then exit 1

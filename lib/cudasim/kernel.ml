@@ -13,8 +13,10 @@ let writes = function W | RW -> true | R -> false
 
 (* Verdict of the static intra-kernel race analysis (the compiler-side
    layer in lib/cusan); lives here because the instrumentation pass
-   attaches it to the kernel object, like the access attributes. *)
-type race_verdict = May_race | Must_race
+   attaches it to the kernel object, like the access attributes.
+   [Proved_race] is a [Must_race] whose concrete witness was validated
+   by an interpreter replay (witness mode only). *)
+type race_verdict = May_race | Must_race | Proved_race
 
 type t = {
   kname : string;

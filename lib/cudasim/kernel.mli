@@ -10,11 +10,13 @@ val access_str : access -> string
 val reads : access -> bool
 val writes : access -> bool
 
-type race_verdict = May_race | Must_race
+type race_verdict = May_race | Must_race | Proved_race
 (** Verdict of the static intra-kernel race analysis (lib/cusan's
     [Race_analysis]); declared here because the instrumentation pass
     attaches its result to the kernel object, like the access
-    attributes. *)
+    attributes. [Proved_race] is the strongest: a must-verdict whose
+    concrete witness configuration was validated by replaying the two
+    threads through the interpreter (produced in witness mode only). *)
 
 type t = {
   kname : string;

@@ -1,0 +1,353 @@
+(* Independent DRF-certificate checker.
+
+   Deliberately shares no reasoning code with Race_analysis or
+   Certificate: it consumes the *serialized JSON* (never the analysis's
+   data structures), re-parses every coefficient into plain integers,
+   and re-derives each disjointness fact with its own extended-integer
+   arithmetic (min_int/max_int are the -∞/+∞ sentinels). The trusted
+   base is therefore this small module plus the JSON printer — a bug in
+   the Linform algebra or the pair logic of the analysis cannot
+   silently certify a racy kernel, because the checker would fail to
+   re-derive the corresponding fact.
+
+   Checked, in order:
+   1. shape — the document parses into accesses + facts with sane
+      indices, and every access names a pointer parameter of the entry;
+   2. completeness — a clean-room syntactic walk of the kernel body
+      finds no load/store site missing from the access set (loops with
+      provably-empty literal bounds are skipped, matching the
+      analysis), and *every* same-parameter same-phase access pair is
+      covered by a fact;
+   3. soundness — each fact's rule is re-verified from the serialized
+      numbers: guard equality structurally, stride/width divisibility
+      and gap emptiness by integer reasoning re-derived from first
+      principles below. *)
+
+module J = Reporting.Mjson
+
+(* --- extended integers --------------------------------------------------- *)
+
+let neg_inf = min_int
+let pos_inf = max_int
+let is_fin x = x <> neg_inf && x <> pos_inf
+
+let eneg x = if x = neg_inf then pos_inf else if x = pos_inf then neg_inf else -x
+
+let eadd a b =
+  if a = neg_inf || b = neg_inf then neg_inf
+  else if a = pos_inf || b = pos_inf then pos_inf
+  else a + b
+
+let esub a b = eadd a (eneg b)
+
+(* Floor/ceiling division by a positive divisor, infinities preserved. *)
+let efdiv x y =
+  if not (is_fin x) then x
+  else if x >= 0 then x / y
+  else -(((-x) + y - 1) / y)
+
+let ecdiv x y =
+  if not (is_fin x) then x
+  else if x >= 0 then (x + y - 1) / y
+  else -((-x) / y)
+
+(* --- certificate document ------------------------------------------------ *)
+
+type acc = {
+  param : int;
+  phase : int;
+  kind : string; (* "R" | "W" *)
+  elt : int;
+  site : string;
+  top : bool;
+  a_lo : int;
+  a_hi : int;
+  ps : (int * int) list;
+  nt : int;
+  c_lo : int;
+  c_hi : int;
+  w : int;
+  guard : ((int * int) list * int * int) option; (* gps, gnt, gk *)
+}
+
+type fact = { i : int; j : int; rule : string; k : int; k1 : int; k2 : int }
+
+exception Bad of string
+
+let bad fmt = Fmt.kstr (fun s -> raise (Bad s)) fmt
+
+let field o k =
+  match o with
+  | J.Obj kvs -> List.assoc_opt k kvs
+  | _ -> bad "expected an object"
+
+let get o k = match field o k with Some v -> v | None -> bad "missing field %S" k
+let int_ k = function J.Int i -> i | _ -> bad "field %S: expected int" k
+let str_ k = function J.Str s -> s | _ -> bad "field %S: expected string" k
+let bool_ k = function J.Bool b -> b | _ -> bad "field %S: expected bool" k
+
+let pairs_ k = function
+  | J.List l ->
+      List.map
+        (function
+          | J.List [ J.Int a; J.Int b ] -> (a, b)
+          | _ -> bad "field %S: expected [int, int] pairs" k)
+        l
+  | _ -> bad "field %S: expected a list" k
+
+let parse_acc (o : J.t) : acc =
+  let form = get o "form" in
+  let top = bool_ "top" (get form "top") in
+  let num f = if top then 0 else int_ f (get form f) in
+  {
+    param = int_ "param" (get o "param");
+    phase = int_ "phase" (get o "phase");
+    kind = str_ "kind" (get o "kind");
+    elt = int_ "elt" (get o "elt");
+    site = str_ "site" (get o "site");
+    top;
+    a_lo = num "a_lo";
+    a_hi = num "a_hi";
+    ps = (if top then [] else pairs_ "ps" (get form "ps"));
+    nt = num "nt";
+    c_lo = num "c_lo";
+    c_hi = num "c_hi";
+    w = num "w";
+    guard =
+      (match get o "guard" with
+      | J.Null -> None
+      | g ->
+          Some
+            (pairs_ "gps" (get g "gps"), int_ "gnt" (get g "gnt"),
+             int_ "gk" (get g "gk")));
+  }
+
+let parse_fact (o : J.t) : fact =
+  let opt_int k d = match field o k with Some v -> int_ k v | None -> d in
+  {
+    i = int_ "i" (get o "i");
+    j = int_ "j" (get o "j");
+    rule = str_ "rule" (get o "rule");
+    k = opt_int "k" 0;
+    k1 = opt_int "k1" 0;
+    k2 = opt_int "k2" 0;
+  }
+
+(* --- completeness: syntactic site walk ----------------------------------- *)
+
+(* Same 72-column label contract as the analysis's reports; re-stated
+   here rather than imported — the label format is part of the
+   certificate surface, not of the analysis internals. *)
+let label pp x =
+  let s = Fmt.str "%a" pp x in
+  if String.length s > 72 then String.sub s 0 69 ^ "..." else s
+
+let sites_of_module (m : Kir.Ir.modul) ~entry : (string * bool) list =
+  let out = ref [] in
+  let rec expr (e : Kir.Ir.expr) =
+    match e with
+    | Kir.Ir.Load (p, i) | Kir.Ir.Loadi (p, i) ->
+        out := (label Kir.Ir.pp_expr e, false) :: !out;
+        expr p;
+        expr i
+    | Kir.Ir.Binop (_, a, b) | Kir.Ir.Ptradd (a, b) ->
+        expr a;
+        expr b
+    | Kir.Ir.Neg a | Kir.Ir.I2f a | Kir.Ir.F2i a -> expr a
+    | Kir.Ir.Int _ | Kir.Ir.Flt _ | Kir.Ir.Param _ | Kir.Ir.Local _
+    | Kir.Ir.Tid | Kir.Ir.Ntid ->
+        ()
+  in
+  let rec stmt depth (s : Kir.Ir.stmt) =
+    match s with
+    | Kir.Ir.Store (p, i, v) | Kir.Ir.Storei (p, i, v) ->
+        out := (label Kir.Ir.pp_stmt s, true) :: !out;
+        expr p;
+        expr i;
+        expr v
+    | Kir.Ir.Let (_, e) -> expr e
+    | Kir.Ir.If (c, t, f) ->
+        expr c;
+        List.iter (stmt depth) t;
+        List.iter (stmt depth) f
+    | Kir.Ir.For (_, lo, hi, body) ->
+        expr lo;
+        expr hi;
+        (* literally-empty loop bodies never execute; the analysis
+           skips them too *)
+        (match (lo, hi) with
+        | Kir.Ir.Int l, Kir.Ir.Int h when h <= l -> ()
+        | _ -> List.iter (stmt depth) body)
+    | Kir.Ir.Call (name, args) ->
+        List.iter expr args;
+        if depth <= 8 then
+          Option.iter
+            (fun (f : Kir.Ir.func) -> List.iter (stmt (depth + 1)) f.Kir.Ir.body)
+            (Kir.Ir.find_func m name)
+    | Kir.Ir.Barrier -> ()
+  in
+  (match Kir.Ir.find_func m entry with
+  | Some f -> List.iter (stmt 0) f.Kir.Ir.body
+  | None -> bad "entry kernel %s not found in module" entry);
+  List.rev !out
+
+(* --- fact verification --------------------------------------------------- *)
+
+let pure_const = function Some ([], 0, gk) -> Some gk | _ -> None
+
+(* No integer d <> 0 with alpha*d in [glo, ghi]. *)
+let no_nonzero_d alpha ~glo ~ghi =
+  if alpha = 0 then not (glo <= 0 && 0 <= ghi)
+  else if glo = neg_inf || ghi = pos_inf then false
+  else
+    let aa = abs alpha in
+    let lo, hi = if alpha > 0 then (glo, ghi) else (eneg ghi, eneg glo) in
+    let dmin = ecdiv lo aa and dmax = efdiv hi aa in
+    dmin > dmax || (dmin = 0 && dmax = 0)
+
+(* No thread t >= 0, t <> excl with alpha*t in [glo, ghi]. *)
+let no_thread alpha ~excl ~glo ~ghi =
+  if alpha = 0 then not (glo <= 0 && 0 <= ghi)
+  else
+    let aa = abs alpha in
+    let lo, hi = if alpha > 0 then (glo, ghi) else (eneg ghi, eneg glo) in
+    let tmin = if lo = neg_inf then 0 else max 0 (ecdiv lo aa) in
+    let tmax = if hi = pos_inf then pos_inf else efdiv hi aa in
+    tmin > tmax || (tmin = excl && tmax = excl)
+
+(* Two byte ranges of widths ea/eb starting at s_a/s_b intersect iff
+   s_a - s_b lands in [-(ea - 1), eb - 1]; over the residual intervals
+   the most permissive difference range is
+   [c_lo_a - c_hi_b, c_hi_a - c_lo_b]. *)
+let verify_fact (accs : acc array) (f : fact) : (unit, string) result =
+  let n = Array.length accs in
+  if f.i < 0 || f.j < 0 || f.i >= n || f.j >= n || f.i > f.j then
+    Error (Fmt.str "fact (%d,%d): index out of range" f.i f.j)
+  else
+    let a = accs.(f.i) and b = accs.(f.j) in
+    if a.param <> b.param || a.phase <> b.phase then
+      Error (Fmt.str "fact (%d,%d): pairs different param/phase" f.i f.j)
+    else
+      let linear_compatible () =
+        (not a.top) && (not b.top) && a.ps = b.ps && a.nt = b.nt
+        && a.a_lo = a.a_hi && b.a_lo = b.a_hi && a.a_lo = b.a_lo
+      in
+      let ok =
+        match f.rule with
+        | "both-reads" -> a.kind = "R" && b.kind = "R"
+        | "same-guard" -> (
+            match (a.guard, b.guard) with
+            | Some g1, Some g2 -> g1 = g2
+            | _ -> false)
+        | "single-thread-site" -> f.i = f.j && a.guard <> None
+        | "self-stride" ->
+            f.i = f.j && (not a.top) && a.a_lo = a.a_hi && a.a_lo <> 0
+            && a.w < pos_inf
+            && abs a.a_lo >= a.elt + a.w
+        | "uniform-gap" ->
+            linear_compatible ()
+            &&
+            let alpha = a.a_lo in
+            let glo = esub (-(a.elt - 1)) (esub a.c_hi b.c_lo)
+            and ghi = esub (b.elt - 1) (esub a.c_lo b.c_hi) in
+            no_nonzero_d alpha ~glo ~ghi
+        | "pinned-gap" ->
+            linear_compatible ()
+            &&
+            let alpha = a.a_lo in
+            (* orient so p is the pinned side with guard value k and o
+               is the free side quantified over threads t <> k *)
+            let oriented =
+              if pure_const a.guard = Some f.k then Some (a, b)
+              else if pure_const b.guard = Some f.k then Some (b, a)
+              else None
+            in
+            (match oriented with
+            | None -> false
+            | Some (p, o) ->
+                let base = alpha * f.k in
+                let glo =
+                  eadd (esub (-(o.elt - 1)) (esub o.c_hi p.c_lo)) base
+                and ghi = eadd (esub (p.elt - 1) (esub o.c_lo p.c_hi)) base in
+                no_thread alpha ~excl:f.k ~glo ~ghi)
+        | "pinned-pair" ->
+            linear_compatible ()
+            && pure_const a.guard = Some f.k1
+            && pure_const b.guard = Some f.k2
+            &&
+            let alpha = a.a_lo in
+            f.k1 = f.k2
+            ||
+            (* concrete byte spans of the two pinned threads *)
+            let lo_a = eadd (alpha * f.k1) a.c_lo
+            and hi_a = eadd (eadd (alpha * f.k1) a.c_hi) (a.elt - 1)
+            and lo_b = eadd (alpha * f.k2) b.c_lo
+            and hi_b = eadd (eadd (alpha * f.k2) b.c_hi) (b.elt - 1) in
+            is_fin lo_a && is_fin hi_a && is_fin lo_b && is_fin hi_b
+            && (hi_a < lo_b || hi_b < lo_a)
+        | r -> bad "fact (%d,%d): unknown rule %S" f.i f.j r
+      in
+      if ok then Ok ()
+      else Error (Fmt.str "fact (%d,%d) rule %s does not re-derive" f.i f.j f.rule)
+
+(* --- whole-certificate check --------------------------------------------- *)
+
+let check (m : Kir.Ir.modul) ~entry (doc : J.t) : (unit, string) result =
+  try
+    let centry = str_ "entry" (get doc "entry") in
+    if centry <> entry then bad "certificate is for %s, not %s" centry entry;
+    let accs =
+      match get doc "accesses" with
+      | J.List l -> Array.of_list (List.map parse_acc l)
+      | _ -> bad "accesses: expected a list"
+    in
+    let facts =
+      match get doc "facts" with
+      | J.List l -> List.map parse_fact l
+      | _ -> bad "facts: expected a list"
+    in
+    (* 1. shape: every access names a pointer parameter of the entry *)
+    let params =
+      match Kir.Ir.find_func m entry with
+      | Some f -> Array.of_list f.Kir.Ir.params
+      | None -> bad "entry kernel %s not found in module" entry
+    in
+    Array.iter
+      (fun (a : acc) ->
+        if a.param < 0 || a.param >= Array.length params then
+          bad "access on out-of-range parameter %d" a.param;
+        (match snd params.(a.param) with
+        | Kir.Ir.Pointer -> ()
+        | Kir.Ir.Scalar -> bad "access on scalar parameter %d" a.param);
+        if a.kind <> "R" && a.kind <> "W" then bad "bad access kind %S" a.kind;
+        if a.elt <> 4 && a.elt <> 8 then bad "bad access width %d" a.elt)
+      accs;
+    (* 2a. completeness: no load/store site of the kernel body is
+       missing from the access set *)
+    List.iter
+      (fun (site, is_write) ->
+        let kind = if is_write then "W" else "R" in
+        if
+          not
+            (Array.exists
+               (fun (a : acc) -> a.site = site && a.kind = kind)
+               accs)
+        then bad "site not covered by the certificate: %s" site)
+      (sites_of_module m ~entry);
+    (* 2b. completeness: every same-param same-phase pair has a fact *)
+    let n = Array.length accs in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        if accs.(i).param = accs.(j).param && accs.(i).phase = accs.(j).phase
+        then
+          if not (List.exists (fun f -> f.i = i && f.j = j) facts) then
+            bad "pair (%d,%d) on parameter %d has no disjointness fact" i j
+              accs.(i).param
+      done
+    done;
+    (* 3. soundness: re-derive every fact *)
+    List.fold_left
+      (fun r f ->
+        match r with Error _ -> r | Ok () -> verify_fact accs f)
+      (Ok ()) facts
+  with Bad msg -> Error msg

@@ -1,0 +1,16 @@
+(** Independent DRF-certificate checker: consumes the serialized JSON
+    produced from {!Certificate.to_json} — never the analysis's data
+    structures — and re-derives every disjointness fact from the plain
+    serialized integers with its own arithmetic, plus a clean-room
+    syntactic completeness walk of the kernel body. A bug in the
+    analysis's algebra cannot silently certify a racy kernel: the
+    checker would fail to re-derive the corresponding fact. *)
+
+val check :
+  Kir.Ir.modul -> entry:string -> Reporting.Mjson.t -> (unit, string) result
+(** [check m ~entry doc] re-validates one kernel certificate document:
+    shape (indices, parameter kinds), completeness (every syntactic
+    load/store site appears in the access set; every same-parameter
+    same-phase access pair is covered by a fact) and soundness (every
+    fact re-derives from the serialized coefficients). Returns the
+    first failure. *)

@@ -1,0 +1,110 @@
+(* DRF-certificate emission: for a kernel the race analysis found
+   race-free, serialize the evidence — the full access set with its
+   symbolic coefficients, and one disjointness fact per same-parameter
+   same-phase access pair naming the argument ({!Race_analysis.safe_reason})
+   that proved the pair safe.
+
+   The certificate is designed to be *re-checkable without trusting the
+   analysis*: every coefficient is serialized as plain integers
+   (min_int/max_int act as -∞/+∞ sentinels), and {!Certcheck} re-derives
+   each fact from those numbers with its own arithmetic plus a
+   syntactic completeness walk of the kernel body. This module only
+   builds and prints; it performs no verification. *)
+
+module RA = Race_analysis
+module I = Interval
+module L = Linform
+module J = Reporting.Mjson
+
+type fact = { fi : int; fj : int; freason : RA.safe_reason }
+
+type t = {
+  centry : string;
+  caccs : RA.access array; (* in program order, indexed by the facts *)
+  cfacts : fact list;
+}
+
+let build (m : Kir.Ir.modul) ~entry : (t, string) result =
+  match Kir.Ir.find_func m entry with
+  | None -> Error "entry kernel not found"
+  | Some _ ->
+      let accs = RA.collect m ~entry in
+      let n = Array.length accs in
+      let facts = ref [] and racy = ref None in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let a = accs.(i) and b = accs.(j) in
+          if
+            !racy = None && a.RA.aparam = b.RA.aparam
+            && a.RA.aphase = b.RA.aphase
+          then
+            match RA.explain_pair a b ~same_site:(i = j) with
+            | Either.Left reason ->
+                facts := { fi = i; fj = j; freason = reason } :: !facts
+            | Either.Right _ -> racy := Some (i, j)
+        done
+      done;
+      (match !racy with
+      | Some (i, j) ->
+          Error
+            (Fmt.str "kernel has a race candidate (%s vs %s); not certifiable"
+               accs.(i).RA.site accs.(j).RA.site)
+      | None -> Ok { centry = entry; caccs = accs; cfacts = List.rev !facts })
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_of_guard (g : RA.guard) : J.t =
+  J.Obj
+    [
+      ("gps", J.List (List.map (fun (i, c) -> J.List [ J.Int i; J.Int c ]) g.RA.gps));
+      ("gnt", J.Int g.RA.gnt);
+      ("gk", J.Int g.RA.gk);
+    ]
+
+let json_of_form : L.t -> J.t = function
+  | L.Top -> J.Obj [ ("top", J.Bool true) ]
+  | L.Lin l ->
+      J.Obj
+        [
+          ("top", J.Bool false);
+          ("a_lo", J.Int l.L.a.I.lo);
+          ("a_hi", J.Int l.L.a.I.hi);
+          ("ps", J.List (List.map (fun (i, c) -> J.List [ J.Int i; J.Int c ]) l.L.ps));
+          ("nt", J.Int l.L.nt);
+          ("c_lo", J.Int l.L.c.I.lo);
+          ("c_hi", J.Int l.L.c.I.hi);
+          ("w", J.Int l.L.w);
+        ]
+
+let json_of_access (a : RA.access) : J.t =
+  J.Obj
+    [
+      ("param", J.Int a.RA.aparam);
+      ("phase", J.Int a.RA.aphase);
+      ("kind", J.Str (match a.RA.akind with RA.Read -> "R" | RA.Write -> "W"));
+      ("elt", J.Int a.RA.elt);
+      ("definite", J.Bool a.RA.definite);
+      ("site", J.Str a.RA.site);
+      ("form", json_of_form a.RA.form);
+      ("guard", match a.RA.unique with None -> J.Null | Some g -> json_of_guard g);
+    ]
+
+let json_of_fact (f : fact) : J.t =
+  J.Obj
+    ([ ("i", J.Int f.fi); ("j", J.Int f.fj);
+       ("rule", J.Str (RA.reason_str f.freason)) ]
+    @
+    match f.freason with
+    | RA.Pinned_gap k -> [ ("k", J.Int k) ]
+    | RA.Pinned_pair (k1, k2) -> [ ("k1", J.Int k1); ("k2", J.Int k2) ]
+    | RA.Both_reads | RA.Same_guard | RA.Single_thread_site | RA.Self_stride
+    | RA.Uniform_gap ->
+        [])
+
+let to_json (c : t) : J.t =
+  J.Obj
+    [
+      ("entry", J.Str c.centry);
+      ("accesses", J.List (Array.to_list (Array.map json_of_access c.caccs)));
+      ("facts", J.List (List.map json_of_fact c.cfacts));
+    ]

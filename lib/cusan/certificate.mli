@@ -1,0 +1,26 @@
+(** DRF-certificate emission for race-free kernels: the access set with
+    its serialized symbolic coefficients plus one disjointness fact per
+    same-parameter same-phase access pair. Certificates are re-checked
+    from the serialized numbers alone by the independent {!Certcheck}
+    module; this module only builds and prints. *)
+
+type fact = {
+  fi : int;  (** index into the access array *)
+  fj : int;  (** [fi <= fj]; [fi = fj] is a site against itself *)
+  freason : Race_analysis.safe_reason;
+}
+
+type t = {
+  centry : string;
+  caccs : Race_analysis.access array;  (** program order, fact-indexed *)
+  cfacts : fact list;
+}
+
+val build : Kir.Ir.modul -> entry:string -> (t, string) result
+(** Certify one kernel: [Error] when the entry is missing or the
+    analysis still reports a race candidate (racy kernels have no DRF
+    certificate). Callers should validate the module first. *)
+
+val to_json : t -> Reporting.Mjson.t
+(** Serialize; interval bounds use [min_int]/[max_int] as the infinity
+    sentinels the checker understands. *)

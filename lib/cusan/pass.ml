@@ -8,7 +8,7 @@
    would. Kernels without device IR (pure fat-binary) stay unanalyzed
    and are handled conservatively at launch time. *)
 
-let instrument_kernel (k : Cudasim.Kernel.t) =
+let instrument_kernel ?(prove = false) (k : Cudasim.Kernel.t) =
   match k.Cudasim.Kernel.kir with
   | None -> ()
   | Some (m, entry) ->
@@ -21,10 +21,30 @@ let instrument_kernel (k : Cudasim.Kernel.t) =
         Some
           (List.map
              (fun r ->
-               ( (match r.Race_analysis.verdict with
-                 | Race_analysis.Must -> Cudasim.Kernel.Must_race
-                 | Race_analysis.May -> Cudasim.Kernel.May_race),
-                 Race_analysis.describe r ))
+               if not prove then
+                 ( (match r.Race_analysis.verdict with
+                   | Race_analysis.Must -> Cudasim.Kernel.Must_race
+                   | Race_analysis.May -> Cudasim.Kernel.May_race),
+                   Race_analysis.describe r )
+               else
+                 (* witness mode: any candidate the replay validates is
+                    Proved; a Must that fails to validate is downgraded
+                    to May with the solver's diagnostic — the
+                    zero-false-positive direction. *)
+                 match Witness.prove m ~entry r with
+                 | Witness.Proved w ->
+                     ( Cudasim.Kernel.Proved_race,
+                       Fmt.str "%s; witness: %s" (Race_analysis.describe r)
+                         (Witness.describe w) )
+                 | Witness.Unproved why -> (
+                     match r.Race_analysis.verdict with
+                     | Race_analysis.Must ->
+                         ( Cudasim.Kernel.May_race,
+                           Fmt.str "%s; downgraded from must: %s"
+                             (Race_analysis.describe r) why )
+                     | Race_analysis.May ->
+                         ( Cudasim.Kernel.May_race,
+                           Race_analysis.describe r )))
              races)
 
 let instrument_kernels ks = List.iter instrument_kernel ks

@@ -6,12 +6,19 @@
     result to the kernel object; launch interception then receives it
     like the [cusan_kernel_register] callback would. *)
 
-val instrument_kernel : Cudasim.Kernel.t -> unit
+val instrument_kernel : ?prove:bool -> Cudasim.Kernel.t -> unit
 (** Validate the kernel's device IR, run {!Kernel_analysis} and attach
     the access attributes, then run {!Race_analysis} and attach the
     static intra-kernel race summary. A no-op for kernels without IR
     (pure fat-binary), which stay unanalyzed and are handled
     conservatively at launch.
+
+    With [~prove:true] (default [false], which leaves the attached
+    verdicts exactly as before), every race candidate is handed to the
+    {!Witness} solver: validated candidates are attached as
+    [Proved_race] with the witness description appended, and a Must
+    the replay cannot validate is downgraded to [May_race] with the
+    solver's diagnostic.
     @raise Kir.Validate.Invalid on ill-formed IR. *)
 
 val instrument_kernels : Cudasim.Kernel.t list -> unit

@@ -40,24 +40,6 @@ module L = Linform
 type kind = Read | Write
 type verdict = May | Must
 
-type race = {
-  param : int;
-  pname : string;
-  phase : int;
-  kinds : string; (* "W/W" or "R/W" *)
-  verdict : verdict;
-  site1 : string;
-  site2 : string;
-}
-
-let describe r =
-  Fmt.str "%s %s race on arg%d '%s' (phase %d): %s vs %s"
-    (match r.verdict with Must -> "must" | May -> "may")
-    r.kinds r.param r.pname r.phase r.site1 r.site2
-
-(* ------------------------------------------------------------------ *)
-(* Access collection                                                   *)
-
 (* The executing thread satisfies tid = Σ gps·param + gnt·ntid + gk. *)
 type guard = { gps : (int * int) list; gnt : int; gk : int }
 
@@ -71,6 +53,26 @@ type access = {
   site : string;
   aphase : int;
 }
+
+type race = {
+  param : int;
+  pname : string;
+  phase : int;
+  kinds : string; (* "W/W" or "R/W" *)
+  verdict : verdict;
+  site1 : string;
+  site2 : string;
+  (* the underlying access pair, in site order (a1.site = site1); new
+     fields sit after site2 so the polymorphic sort in [analyze] keeps
+     its historical key order *)
+  a1 : access;
+  a2 : access;
+}
+
+let describe r =
+  Fmt.str "%s %s race on arg%d '%s' (phase %d): %s vs %s"
+    (match r.verdict with Must -> "must" | May -> "may")
+    r.kinds r.param r.pname r.phase r.site1 r.site2
 
 type aval = Scalar of L.t | Ptr of { param : int; off : L.t } | Unknown
 
@@ -366,22 +368,46 @@ let pure_const_guard = function
    starting at the two forms intersect iff the difference lands here. *)
 let t_iv e1 e2 = I.of_bounds (-(e2 - 1)) (e1 - 1)
 
+(* Why a candidate pair is provably safe. Every constructor names one
+   disjointness argument the analysis used; DRF certificates serialize
+   these and an independent checker (Certcheck) re-derives each one
+   from the raw coefficients. *)
+type safe_reason =
+  | Both_reads (* no write in the pair *)
+  | Same_guard (* provably-equal uniqueness guards: one thread *)
+  | Single_thread_site (* same site under a guard: intra-thread only *)
+  | Self_stride (* |alpha| >= elt + w: one site partitions by tid *)
+  | Uniform_gap (* no d <> 0 with alpha*d in the overlap interval *)
+  | Pinned_gap of int (* one side pinned to this thread id *)
+  | Pinned_pair of int * int (* both sides pinned to these thread ids *)
+
+let reason_str = function
+  | Both_reads -> "both-reads"
+  | Same_guard -> "same-guard"
+  | Single_thread_site -> "single-thread-site"
+  | Self_stride -> "self-stride"
+  | Uniform_gap -> "uniform-gap"
+  | Pinned_gap _ -> "pinned-gap"
+  | Pinned_pair _ -> "pinned-pair"
+
 (* Decide one candidate pair. [same_site] means a1 and a2 are the same
-   static access (racing against itself across threads). Returns None
-   when provably safe or not actually a cross-thread pair. *)
-let check_pair (a1 : access) (a2 : access) ~same_site : verdict option =
-  if a1.akind = Read && a2.akind = Read then None
+   static access (racing against itself across threads). [Left reason]
+   when provably safe or not actually a cross-thread pair; [Right
+   verdict] when the pair is a race candidate. *)
+let explain_pair (a1 : access) (a2 : access) ~same_site :
+    (safe_reason, verdict) Either.t =
+  if a1.akind = Read && a2.akind = Read then Either.Left Both_reads
   else
     match (a1.unique, a2.unique) with
     | Some g1, Some g2 when g1 = g2 ->
-        None (* provably the same single thread *)
+        Either.Left Same_guard (* provably the same single thread *)
     | _ when same_site && a1.unique <> None ->
-        None (* one thread, all instances intra-thread *)
+        Either.Left Single_thread_site (* all instances intra-thread *)
     | u1, u2 -> (
         match (a1.form, a2.form) with
-        | L.Top, _ | _, L.Top -> Some May
+        | L.Top, _ | _, L.Top -> Either.Right May
         | L.Lin l1, L.Lin l2 ->
-            if l1.L.ps <> l2.L.ps || l1.L.nt <> l2.L.nt then Some May
+            if l1.L.ps <> l2.L.ps || l1.L.nt <> l2.L.nt then Either.Right May
             else begin
               let e1 = a1.elt and e2 = a2.elt in
               let exact1 = I.is_const l1.L.a and exact2 = I.is_const l2.L.a in
@@ -389,10 +415,13 @@ let check_pair (a1 : access) (a2 : access) ~same_site : verdict option =
                 if same_site then
                   (* δ between two instances of one site is bounded by
                      the variation width, not the full residual. *)
-                  exact1
-                  && l1.L.a.I.lo <> 0
-                  && l1.L.w < max_int
-                  && abs l1.L.a.I.lo >= e1 + l1.L.w
+                  if
+                    exact1
+                    && l1.L.a.I.lo <> 0
+                    && l1.L.w < max_int
+                    && abs l1.L.a.I.lo >= e1 + l1.L.w
+                  then Some Self_stride
+                  else None
                 else if exact1 && exact2 then begin
                   let alpha1 = l1.L.a.I.lo and alpha2 = l2.L.a.I.lo in
                   let t = t_iv e1 e2 in
@@ -402,51 +431,66 @@ let check_pair (a1 : access) (a2 : access) ~same_site : verdict option =
                     | Some k1, Some k2 ->
                         (* both threads pinned; equal guards were
                            dismissed above, so k1 <> k2 is a real pair *)
-                        k1 = k2
-                        || not
-                             (intersects
-                                (I.add delta (I.const ((alpha1 * k1) - (alpha2 * k2))))
-                                t)
+                        if
+                          k1 = k2
+                          || not
+                               (intersects
+                                  (I.add delta
+                                     (I.const ((alpha1 * k1) - (alpha2 * k2))))
+                                  t)
+                        then Some (Pinned_pair (k1, k2))
+                        else None
                     | Some k, None ->
-                        not
-                          (exists_thread alpha2 ~excl:k
-                             (I.add (I.sub delta t) (I.const (alpha1 * k))))
+                        if
+                          not
+                            (exists_thread alpha2 ~excl:k
+                               (I.add (I.sub delta t) (I.const (alpha1 * k))))
+                        then Some (Pinned_gap k)
+                        else None
                     | None, Some k ->
-                        not
-                          (exists_thread alpha1 ~excl:k
-                             (I.add (I.sub t delta) (I.const (alpha2 * k))))
+                        if
+                          not
+                            (exists_thread alpha1 ~excl:k
+                               (I.add (I.sub t delta) (I.const (alpha2 * k))))
+                        then Some (Pinned_gap k)
+                        else None
                     | None, None ->
-                        not (exists_nonzero_d alpha1 (I.sub t delta))
-                  else false (* distinct strides: overlap in general *)
+                        if not (exists_nonzero_d alpha1 (I.sub t delta)) then
+                          Some Uniform_gap
+                        else None
+                  else None (* distinct strides: overlap in general *)
                 end
-                else false
+                else None
               in
-              if safe then None
-              else begin
-                let must =
-                  a1.definite && a2.definite && u1 = None && u2 = None
-                  && exact1 && exact2
-                  && I.is_const l1.L.c && I.is_const l2.L.c
-                  && l1.L.w = 0 && l2.L.w = 0
-                  &&
-                  let alpha1 = l1.L.a.I.lo and alpha2 = l2.L.a.I.lo in
-                  let c1 = l1.L.c.I.lo and c2 = l2.L.c.I.lo in
-                  let overlap t t' =
-                    let s1 = (alpha1 * t) + c1 and s2 = (alpha2 * t') + c2 in
-                    s1 <= s2 + e2 - 1 && s2 <= s1 + e1 - 1
+              match safe with
+              | Some reason -> Either.Left reason
+              | None ->
+                  let must =
+                    a1.definite && a2.definite && u1 = None && u2 = None
+                    && exact1 && exact2
+                    && I.is_const l1.L.c && I.is_const l2.L.c
+                    && l1.L.w = 0 && l2.L.w = 0
+                    &&
+                    let alpha1 = l1.L.a.I.lo and alpha2 = l2.L.a.I.lo in
+                    let c1 = l1.L.c.I.lo and c2 = l2.L.c.I.lo in
+                    let overlap t t' =
+                      let s1 = (alpha1 * t) + c1 and s2 = (alpha2 * t') + c2 in
+                      s1 <= s2 + e2 - 1 && s2 <= s1 + e1 - 1
+                    in
+                    (* witness on threads {0,1}: fires on every grid >= 2 *)
+                    overlap 0 1 || overlap 1 0
                   in
-                  (* witness on threads {0,1}: fires on every grid >= 2 *)
-                  overlap 0 1 || overlap 1 0
-                in
-                Some (if must then Must else May)
-              end
+                  Either.Right (if must then Must else May)
             end)
 
 (* ------------------------------------------------------------------ *)
 
-let analyze (m : Kir.Ir.modul) ~entry : race list =
+(* Abstractly execute the entry kernel and return every access it can
+   make, in program order. The raw material of [analyze], public so the
+   certificate emitter can serialize the same access set. *)
+let collect (m : Kir.Ir.modul) ~entry : access array =
   match Kir.Ir.find_func m entry with
-  | None -> []
+  | None -> [||]
   | Some f ->
       let params = Array.of_list f.Kir.Ir.params in
       let args =
@@ -476,7 +520,14 @@ let analyze (m : Kir.Ir.modul) ~entry : race list =
       in
       let ctx = { definite = true; unique = None; top_level = true; depth = 0 } in
       List.iter (exec env ctx) f.Kir.Ir.body;
-      let accesses = Array.of_list (List.rev !(env.acc)) in
+      Array.of_list (List.rev !(env.acc))
+
+let analyze (m : Kir.Ir.modul) ~entry : race list =
+  match Kir.Ir.find_func m entry with
+  | None -> []
+  | Some f ->
+      let params = Array.of_list f.Kir.Ir.params in
+      let accesses = collect m ~entry in
       let found : (int * int * string * string, race) Hashtbl.t =
         Hashtbl.create 16
       in
@@ -486,8 +537,9 @@ let analyze (m : Kir.Ir.modul) ~entry : race list =
           if a1.akind = Write && a2.akind = Write then "W/W" else "R/W"
         in
         (* normalize site order so (i,j)/(j,i) dedup *)
-        let s1, s2 =
-          if a1.site <= a2.site then (a1.site, a2.site) else (a2.site, a1.site)
+        let (s1, ra1), (s2, ra2) =
+          if a1.site <= a2.site then ((a1.site, a1), (a2.site, a2))
+          else ((a2.site, a2), (a1.site, a1))
         in
         let key = (a1.aparam, a1.aphase, s1, s2) in
         let r =
@@ -499,6 +551,8 @@ let analyze (m : Kir.Ir.modul) ~entry : race list =
             verdict;
             site1 = s1;
             site2 = s2;
+            a1 = ra1;
+            a2 = ra2;
           }
         in
         match Hashtbl.find_opt found key with
@@ -512,9 +566,9 @@ let analyze (m : Kir.Ir.modul) ~entry : race list =
         for j = i to n - 1 do
           let a1 = accesses.(i) and a2 = accesses.(j) in
           if a1.aparam = a2.aparam && a1.aphase = a2.aphase then
-            match check_pair a1 a2 ~same_site:(i = j) with
-            | Some v -> report i j v
-            | None -> ()
+            match explain_pair a1 a2 ~same_site:(i = j) with
+            | Either.Right v -> report i j v
+            | Either.Left _ -> ()
         done
       done;
       Hashtbl.fold (fun _ r acc -> r :: acc) found []

@@ -14,9 +14,32 @@
     non-linear (Top) index forms, so the analysis never hides a race it
     abstracted away. Thread-uniqueness guards [if (tid == e)] with
     launch-uniform [e] are understood, keeping single-thread reduction
-    idioms race-free. *)
+    idioms race-free.
 
+    The access set ({!collect}), the per-pair decision
+    ({!explain_pair}) and the disjointness arguments ({!safe_reason})
+    are public: the witness engine ({!Witness}) solves race candidates
+    for concrete thread pairs, and the DRF-certificate pipeline
+    ({!Certificate}/{!Certcheck}) serializes and independently
+    re-checks the safe pairs. *)
+
+type kind = Read | Write
 type verdict = May | Must
+
+type guard = { gps : (int * int) list; gnt : int; gk : int }
+(** A thread-uniqueness guard: the executing thread satisfies
+    [tid = Σ gps·param + gnt·ntid + gk]. *)
+
+type access = {
+  aparam : int;  (** entry pointer parameter the access resolves to *)
+  form : Linform.t;  (** symbolic byte offset of the access start *)
+  elt : int;  (** access width in bytes *)
+  akind : kind;
+  definite : bool;  (** executed by every thread, unconditionally *)
+  unique : guard option;  (** only the guard's thread executes this *)
+  site : string;  (** pretty-printed source construct *)
+  aphase : int;  (** barrier-delimited phase the access occurs in *)
+}
 
 type race = {
   param : int;  (** pointer parameter position of the entry kernel *)
@@ -26,11 +49,41 @@ type race = {
   verdict : verdict;
   site1 : string;  (** pretty-printed offending access *)
   site2 : string;
+  a1 : access;  (** the underlying pair, in site order ([a1.site = site1]) *)
+  a2 : access;
 }
+
+type safe_reason =
+  | Both_reads  (** no write in the pair *)
+  | Same_guard  (** provably-equal uniqueness guards: one thread *)
+  | Single_thread_site  (** same site under a guard: intra-thread only *)
+  | Self_stride  (** [|alpha| >= elt + w]: one site partitions by tid *)
+  | Uniform_gap  (** no [d <> 0] with [alpha*d] in the overlap interval *)
+  | Pinned_gap of int  (** one side pinned to this thread id *)
+  | Pinned_pair of int * int  (** both sides pinned to these thread ids *)
+      (** The disjointness argument that proves one access pair
+          race-free; the payload of a DRF-certificate fact. *)
+
+val reason_str : safe_reason -> string
+(** Stable kebab-case tag of the constructor (payload not included). *)
 
 val describe : race -> string
 (** One-line human rendering, e.g.
     ["must W/W race on arg0 'out' (phase 0): out[0] := ... vs ..."]. *)
+
+val collect : Kir.Ir.modul -> entry:string -> access array
+(** Abstractly execute the entry kernel and return every access it can
+    make, in program order — the raw material of {!analyze}, public so
+    certificate emission covers the same access set. [[||]] when the
+    entry does not exist. *)
+
+val explain_pair :
+  access -> access -> same_site:bool -> (safe_reason, verdict) Either.t
+(** Decide one candidate pair: [Left reason] when provably safe (or not
+    actually a cross-thread pair), [Right verdict] when it is a race
+    candidate. [same_site] marks a single static access racing against
+    itself across threads. Accesses of different parameters or phases
+    never form a pair and must not be passed. *)
 
 val analyze : Kir.Ir.modul -> entry:string -> race list
 (** Collect the race candidates of one kernel, deduplicated per

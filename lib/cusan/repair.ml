@@ -1,0 +1,170 @@
+(* Automated barrier repair, after GPURepair (Anand et al.): given a
+   kernel with provable races, search for a MINIMAL set of
+   [__syncthreads()] insertion points that makes every provable race
+   go away, and verify each candidate fix end-to-end before suggesting
+   it.
+
+   Repair targets are the candidates worth fixing: every Must verdict
+   plus every May verdict the {!Witness} engine can prove. Unproved
+   Mays are NOT targets — inserting barriers for a candidate we cannot
+   demonstrate would trade imaginary safety for real synchronization
+   cost, and the suggestion could never be validated.
+
+   Insertion points are the top-level gaps of the entry body (gap [i]
+   = before the [i]-th statement). Top-level placement is always
+   uniform control flow, so {!Kir.Validate}'s tid-divergence check can
+   only fail through interaction with called functions — we still
+   re-validate every candidate rather than assume. Gap 0 and the gap
+   after the last statement can never separate two accesses, so only
+   interior gaps are enumerated.
+
+   Candidate sets are enumerated by increasing size (so the first hit
+   is minimal) and lexicographically within a size (so suggestions are
+   deterministic), up to [max_barriers] insertions. A candidate is
+   accepted only when ALL of:
+     - {!Kir.Validate.check_module} accepts the rewritten module;
+     - re-running {!Race_analysis} reports no Must verdict;
+     - no remaining May candidate proves via {!Witness.prove};
+     - the whole-launch interpreter oracle
+       ({!Witness.replay_conflicts}) finds no dynamic conflict at any
+       configuration a pre-repair witness incriminated, nor at the
+       default configurations.
+   The static re-analysis and the dynamic replay are independent
+   oracles: a fix that merely confuses the symbolic analysis still has
+   to survive a concrete all-thread replay at the exact configuration
+   that exhibited the original race. *)
+
+module RA = Race_analysis
+
+let max_barriers = 4
+
+type fix = {
+  fpoints : int list; (* ascending gap indices into the entry body *)
+  fpreviews : string list; (* one human-readable line per point *)
+  fconfigs : (int * int) list; (* (ntid, valuation) replays that passed *)
+}
+
+type outcome =
+  | Already_clean
+  | Fixed of fix
+  | Unrepairable of string
+
+let truncate s = if String.length s > 72 then String.sub s 0 69 ^ "..." else s
+
+let preview (body : Kir.Ir.stmt list) i =
+  match List.nth_opt body i with
+  | Some s ->
+      Fmt.str "gap %d: insert __syncthreads() before `%s`" i
+        (truncate (Fmt.str "%a" Kir.Ir.pp_stmt s))
+  | None -> Fmt.str "gap %d: append __syncthreads()" i
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+(* All strictly-ascending [k]-subsets of [xs], lexicographic. *)
+let rec combinations k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (combinations (k - 1) rest)
+        @ combinations k rest
+
+(* Every configuration (ntid, uniform scalar valuation) a witness
+   incriminated, plus the defaults the prover tries first. *)
+let configs_of_witnesses ws =
+  dedup
+    (List.map
+       (fun (w : Witness.t) ->
+         ( w.Witness.wntid,
+           match w.Witness.wparams with (_, v) :: _ -> v | [] -> 0 ))
+       ws
+    @ [ (2, 0); (4, 1) ])
+
+(* A rewritten module is clean when the static analysis proves nothing
+   anymore AND the dynamic all-thread replay is conflict-free at every
+   incriminated configuration. *)
+let candidate_clean m' ~entry ~configs =
+  match Kir.Validate.check_module m' with
+  | exception Kir.Validate.Invalid _ -> false
+  | () ->
+      let races' = RA.analyze m' ~entry in
+      (not
+         (List.exists
+            (fun (r : RA.race) ->
+              match r.RA.verdict with
+              | RA.Must -> true
+              | RA.May -> (
+                  match Witness.prove m' ~entry r with
+                  | Witness.Proved _ -> true
+                  | Witness.Unproved _ -> false))
+            races'))
+      && not
+           (List.exists
+              (fun (ntid, v) ->
+                match Witness.replay_conflicts m' ~entry ~ntid ~v with
+                | c -> c
+                | exception _ -> true)
+              configs)
+
+let suggest (m : Kir.Ir.modul) ~entry : outcome =
+  match Kir.Ir.find_func m entry with
+  | None -> Unrepairable "entry kernel not found"
+  | Some f -> (
+      let races = RA.analyze m ~entry in
+      let proofs =
+        List.map
+          (fun (r : RA.race) -> (r, Witness.prove m ~entry r))
+          races
+      in
+      let targets =
+        List.filter
+          (fun ((r : RA.race), p) ->
+            r.RA.verdict = RA.Must
+            || match p with Witness.Proved _ -> true | Witness.Unproved _ -> false)
+          proofs
+      in
+      if targets = [] then Already_clean
+      else
+        let witnesses =
+          List.filter_map
+            (fun (_, p) ->
+              match p with Witness.Proved w -> Some w | Witness.Unproved _ -> None)
+            targets
+        in
+        let configs = configs_of_witnesses witnesses in
+        let body = f.Kir.Ir.body in
+        let n = List.length body in
+        (* interior gaps only: a barrier before everything or after
+           everything separates no pair of accesses *)
+        let gaps = List.init (max 0 (n - 1)) (fun i -> i + 1) in
+        let exception Hit of int list in
+        try
+          for k = 1 to min max_barriers (List.length gaps) do
+            List.iter
+              (fun points ->
+                let m' = Kir.Rewrite.insert_barriers m ~entry ~points in
+                if candidate_clean m' ~entry ~configs then raise (Hit points))
+              (combinations k gaps)
+          done;
+          Unrepairable
+            (if gaps = [] then
+               Fmt.str
+                 "no interior insertion point: the entry body is a single \
+                  top-level statement with %d provable race(s)"
+                 (List.length targets)
+             else
+               Fmt.str
+                 "no set of at most %d top-level barrier insertions clears \
+                  all %d provable race(s)"
+                 (min max_barriers (List.length gaps))
+                 (List.length targets))
+        with Hit points ->
+          Fixed
+            {
+              fpoints = points;
+              fpreviews = List.map (preview body) points;
+              fconfigs = configs;
+            })

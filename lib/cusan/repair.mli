@@ -1,0 +1,39 @@
+(** Automated barrier repair, after GPURepair: search for a minimal
+    set of top-level [__syncthreads()] insertion points that clears
+    every provable race of a kernel, and verify each suggestion with
+    two independent oracles before reporting it.
+
+    Targets are the Must verdicts plus the May verdicts {!Witness} can
+    prove; unproved Mays are never repaired (a fix for an
+    undemonstrable race could not be validated). Candidate insertion
+    sets are enumerated by increasing size, lexicographically within a
+    size, so the first accepted fix is minimal and deterministic. A
+    candidate is accepted only when the rewritten kernel passes
+    {!Kir.Validate}, re-analysis reports no Must and no provable May,
+    and a whole-launch interpreter replay is conflict-free at every
+    configuration the original witnesses incriminated. *)
+
+type fix = {
+  fpoints : int list;
+      (** ascending gap indices into the entry body; gap [i] inserts a
+          barrier before the [i]-th top-level statement (see
+          {!Kir.Rewrite.insert_barriers}) *)
+  fpreviews : string list;  (** one human-readable line per point *)
+  fconfigs : (int * int) list;
+      (** the (ntid, valuation) whole-launch replays the fix survived *)
+}
+
+type outcome =
+  | Already_clean
+      (** no Must verdict and no provable May — nothing to repair
+          (unproved May candidates may remain; they are reported, not
+          repaired) *)
+  | Fixed of fix  (** a verified minimal insertion set *)
+  | Unrepairable of string
+      (** no insertion set within the search bound clears every
+          provable race (e.g. both accesses live in one statement) *)
+
+val suggest : Kir.Ir.modul -> entry:string -> outcome
+(** Analyze, prove, search, and verify. Deterministic; allocates (and
+    frees) scratch buffers on the simulated device heap for the replay
+    oracles. *)

@@ -1,0 +1,251 @@
+(* Witness solving for race candidates, after Liew/Cogumbreiro/Lange's
+   "Provable GPU Data-Races": a static race report is upgraded to a
+   *proof* by exhibiting a concrete configuration — thread pair, launch
+   width, scalar-parameter valuation — under which the interpreter
+   really makes two conflicting accesses.
+
+   The solver is a deterministic bounded enumeration over the
+   [Linform] overlap constraints' small-model corner: launch widths 2
+   and 4 (plus [k+2] for every thread id [k] a pure-constant uniqueness
+   guard pins, so guarded candidates get their designated thread),
+   uniform scalar valuations 0..3 (0 is what collapses symbolic
+   strides, [p[tid*s]]), and thread pairs drawn from {0,1,2,3} plus the
+   pinned ids. Must-verdicts already carry a {0,1} witness by
+   construction, so the very first configuration tried — ntid 2,
+   valuation 0, pair (0,1) — validates them in one shot.
+
+   Validation replays exactly the two candidate threads in isolation
+   through {!Kir.Interp.thread_footprint} against fresh zeroed device
+   buffers (both threads observe the same initial memory; accesses in
+   the same dynamic barrier phase are unordered between threads — the
+   same oracle the zero-false-negative property tests use). The
+   candidate is proved when the replays contain a same-phase
+   overlapping byte range on the reported parameter with at least one
+   write. Dynamic phases are matched against each other, not against
+   the static phase number: a barrier inside a loop advances the
+   dynamic counter more often than the static split, and the proof
+   obligation is "these two threads really collide", not "the static
+   phase arithmetic is pretty".
+
+   Replay failures (device faults, division by zero under a hostile
+   valuation, out-of-window indexing) skip that configuration; a
+   candidate with no validating configuration stays [Unproved] with a
+   diagnostic, which downgrades a Must to May in witness mode — the
+   zero-false-positive direction. *)
+
+module RA = Race_analysis
+
+type t = {
+  wtid1 : int;
+  wtid2 : int;
+  wntid : int; (* launch width of the validated replay *)
+  wparams : (string * int) list; (* scalar-parameter valuation *)
+  wbyte : int; (* conflicting byte, relative to the pointer argument *)
+  wphase : int; (* dynamic barrier phase of the collision *)
+  wkinds : string; (* "W/W" or "R/W" as observed by the replay *)
+}
+
+type outcome = Proved of t | Unproved of string
+
+let describe w =
+  Fmt.str "threads (%d,%d) of ntid %d%s collide at byte %d in phase %d (%s)"
+    w.wtid1 w.wtid2 w.wntid
+    (match w.wparams with
+    | [] -> ""
+    | ps ->
+        Fmt.str " with %s"
+          (String.concat ", "
+             (List.map (fun (n, v) -> Fmt.str "%s=%d" n v) ps)))
+    w.wbyte w.wphase w.wkinds
+
+(* Each pointer argument points [guard_elts] f64 elements into its own
+   fresh allocation, so the small negative and positive indices the
+   enumerated valuations produce stay inside the window. *)
+let buf_elts = 192
+let guard_elts = 32
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+(* Thread ids pinned by a pure-constant uniqueness guard on either side
+   of the pair: the only threads that execute a guarded access. *)
+let pinned_tids (r : RA.race) =
+  List.filter_map
+    (fun (a : RA.access) ->
+      match a.RA.unique with
+      | Some { RA.gps = []; gnt = 0; gk } when gk >= 0 -> Some gk
+      | _ -> None)
+    [ r.RA.a1; r.RA.a2 ]
+
+(* Replay one thread in isolation against fresh zeroed buffers and
+   normalize its footprint to (param index, byte offset from the
+   argument pointer, event). *)
+let footprint m ~entry ~(params : (string * Kir.Ir.ty) list) ~ntid ~v tid =
+  let allocs =
+    List.map
+      (fun (pname, ty) ->
+        match ty with
+        | Kir.Ir.Pointer ->
+            Some
+              (Memsim.Heap.alloc ~tag:("witness:" ^ pname)
+                 Memsim.Space.Device (buf_elts * 8))
+        | Kir.Ir.Scalar -> None)
+      params
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (Option.iter Memsim.Heap.free) allocs)
+    (fun () ->
+      let args =
+        Array.of_list
+          (List.map
+             (function
+               | Some base ->
+                   Kir.Interp.VPtr (Memsim.Ptr.add base ~elt:8 guard_elts)
+               | None -> Kir.Interp.VInt v)
+             allocs)
+      in
+      let ranges =
+        List.concat
+          (List.mapi
+             (fun i -> function
+               | Some base -> [ (i, Memsim.Ptr.addr base) ]
+               | None -> [])
+             allocs)
+      in
+      let evs = Kir.Interp.thread_footprint m ~name:entry ~args ~tid ~ntid in
+      List.filter_map
+        (fun (ev : Kir.Interp.footprint_event) ->
+          match
+            List.find_opt
+              (fun (_, base) ->
+                ev.Kir.Interp.ev_addr >= base
+                && ev.Kir.Interp.ev_addr < base + (buf_elts * 8))
+              ranges
+          with
+          | Some (p, base) ->
+              Some (p, ev.Kir.Interp.ev_addr - (base + (guard_elts * 8)), ev)
+          | None -> None)
+        evs)
+
+(* Same-dynamic-phase overlapping pairs between two normalized
+   footprints ([?param] restricts to one parameter), in fp1's program
+   order: (kinds, param, byte, dynamic phase). *)
+let conflicts ?param fp1 fp2 =
+  List.concat_map
+    (fun (p1, off1, (e1 : Kir.Interp.footprint_event)) ->
+      if (match param with Some p -> p1 <> p | None -> false) then []
+      else
+        List.filter_map
+          (fun (p2, off2, (e2 : Kir.Interp.footprint_event)) ->
+            if
+              p2 = p1
+              && e1.Kir.Interp.ev_phase = e2.Kir.Interp.ev_phase
+              && (e1.Kir.Interp.ev_write || e2.Kir.Interp.ev_write)
+              && off1 < off2 + e2.Kir.Interp.ev_bytes
+              && off2 < off1 + e1.Kir.Interp.ev_bytes
+            then
+              Some
+                ( (if e1.Kir.Interp.ev_write && e2.Kir.Interp.ev_write then
+                     "W/W"
+                   else "R/W"),
+                  p1,
+                  max off1 off2,
+                  e1.Kir.Interp.ev_phase )
+            else None)
+          fp2)
+    fp1
+
+(* Does ANY thread pair of one whole launch collide on any pointer
+   argument? The repair oracle: a fixed kernel must replay conflict-free
+   at every configuration the witness engine incriminated. *)
+let replay_conflicts (m : Kir.Ir.modul) ~entry ~ntid ~v : bool =
+  match Kir.Ir.find_func m entry with
+  | None -> false
+  | Some f ->
+      let params = f.Kir.Ir.params in
+      let fps =
+        List.init ntid (fun tid -> footprint m ~entry ~params ~ntid ~v tid)
+      in
+      let rec pairs = function
+        | [] -> false
+        | fp :: rest ->
+            List.exists (fun fp' -> conflicts fp fp' <> []) rest
+            || pairs rest
+      in
+      pairs fps
+
+let prove (m : Kir.Ir.modul) ~entry (r : RA.race) : outcome =
+  match Kir.Ir.find_func m entry with
+  | None -> Unproved "entry kernel not found"
+  | Some f ->
+      let params = f.Kir.Ir.params in
+      let scalar_names =
+        List.filter_map
+          (fun (n, ty) -> match ty with Kir.Ir.Scalar -> Some n | _ -> None)
+          params
+      in
+      let pinned = List.filter (fun k -> k <= 64) (pinned_tids r) in
+      let ntids = dedup ([ 2; 4 ] @ List.map (fun k -> max 2 (k + 2)) pinned) in
+      let tried = ref 0 and last_err = ref None in
+      let exception Found of t in
+      (try
+         List.iter
+           (fun ntid ->
+             let tids =
+               List.sort compare
+                 (List.filter (fun t -> t >= 0 && t < ntid)
+                    (dedup ([ 0; 1; 2; 3 ] @ pinned)))
+             in
+             List.iter
+               (fun v ->
+                 List.iter
+                   (fun t1 ->
+                     List.iter
+                       (fun t2 ->
+                         if t1 < t2 then begin
+                           incr tried;
+                           match
+                             let fp1 = footprint m ~entry ~params ~ntid ~v t1 in
+                             let fp2 = footprint m ~entry ~params ~ntid ~v t2 in
+                             conflicts ~param:r.RA.param fp1 fp2
+                           with
+                           | exception e ->
+                               last_err := Some (Printexc.to_string e)
+                           | [] -> ()
+                           | cs ->
+                               (* prefer a collision of the reported
+                                  pair kind; any collision on the
+                                  parameter still proves a race *)
+                               let k, _, byte, phase =
+                                 match
+                                   List.find_opt
+                                     (fun (k, _, _, _) -> k = r.RA.kinds)
+                                     cs
+                                 with
+                                 | Some c -> c
+                                 | None -> List.hd cs
+                               in
+                               raise
+                                 (Found
+                                    {
+                                      wtid1 = t1;
+                                      wtid2 = t2;
+                                      wntid = ntid;
+                                      wparams =
+                                        List.map (fun n -> (n, v)) scalar_names;
+                                      wbyte = byte;
+                                      wphase = phase;
+                                      wkinds = k;
+                                    })
+                         end)
+                       tids)
+                   tids)
+               [ 0; 1; 2; 3 ])
+           ntids;
+         Unproved
+           (Fmt.str "no witness across %d configurations%s" !tried
+              (match !last_err with
+              | Some e -> " (last replay error: " ^ e ^ ")"
+              | None -> ""))
+       with Found w -> Proved w)

@@ -1,0 +1,49 @@
+(** Witness solving for static race candidates: upgrade a
+    {!Race_analysis} report to a machine-checked proof by exhibiting a
+    concrete configuration under which the {!Kir.Interp} replay really
+    makes two conflicting accesses.
+
+    The solver deterministically enumerates the small-model corner of
+    the [Linform] overlap constraints (launch widths 2/4 plus
+    guard-pinned widths, uniform scalar valuations 0..3, thread pairs
+    from {0..3} and the pinned ids) and validates each candidate by
+    replaying exactly the two threads in isolation against fresh zeroed
+    device buffers: a proof is a same-dynamic-phase overlapping byte
+    range on the reported parameter with at least one write — the same
+    two-thread oracle the zero-false-negative property tests use.
+    Must-verdicts carry a {0,1} witness by construction and validate on
+    the first configuration tried. *)
+
+type t = {
+  wtid1 : int;
+  wtid2 : int;  (** the colliding thread pair, [wtid1 < wtid2] *)
+  wntid : int;  (** launch width of the validated replay *)
+  wparams : (string * int) list;  (** scalar-parameter valuation *)
+  wbyte : int;  (** conflicting byte, relative to the pointer argument *)
+  wphase : int;  (** dynamic barrier phase of the collision *)
+  wkinds : string;  (** ["W/W"] or ["R/W"] as observed by the replay *)
+}
+
+type outcome =
+  | Proved of t  (** the replay confirmed the collision *)
+  | Unproved of string
+      (** no enumerated configuration validated; the diagnostic names
+          the configuration count and the last replay error, if any *)
+
+val describe : t -> string
+(** e.g. ["threads (0,1) of ntid 2 collide at byte 8 in phase 0 (R/W)"]. *)
+
+val replay_conflicts : Kir.Ir.modul -> entry:string -> ntid:int -> v:int -> bool
+(** Whole-launch dynamic oracle: replay every thread of an [ntid]-wide
+    launch in isolation (scalar parameters all set to [v]) and report
+    whether ANY thread pair makes a same-dynamic-phase overlapping
+    access with at least one write, on any pointer argument. {!Repair}
+    uses this to reject candidate fixes that still collide at the
+    configurations the witness engine incriminated. [false] when the
+    entry kernel is missing. *)
+
+val prove : Kir.Ir.modul -> entry:string -> Race_analysis.race -> outcome
+(** Solve and validate one candidate. Deterministic: the first
+    validating configuration in enumeration order is returned, so
+    witness tuples are stable across runs. Allocates (and frees)
+    scratch buffers on the simulated device heap. *)

@@ -171,10 +171,20 @@ let has_races r = r.races <> []
 let static_musts r =
   List.filter_map
     (fun (k, v, d) ->
-      match v with Cudasim.Kernel.Must_race -> Some (k, d) | May_race -> None)
+      match v with
+      | Cudasim.Kernel.Must_race | Cudasim.Kernel.Proved_race -> Some (k, d)
+      | Cudasim.Kernel.May_race -> None)
     r.static_races
 
 let has_static_musts r = static_musts r <> []
+
+let static_proved r =
+  List.filter_map
+    (fun (k, v, d) ->
+      match v with
+      | Cudasim.Kernel.Proved_race -> Some (k, d)
+      | Cudasim.Kernel.Must_race | Cudasim.Kernel.May_race -> None)
+    r.static_races
 
 (* Human-readable cause for a captured rank failure, with the MPI error
    class / CUDA error name a real tool report would carry. *)
@@ -224,7 +234,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
     ?(default_stream_mode = Cudasim.Device.Legacy) ?(suppressions = [])
     ?(check_types = false) ?(baseline_rss = 0) ?(granule = 8) ?annotation
     ?max_range_bytes ?watchdog ?picker ?access_observer ?mpi_observer ?faults
-    ~flavor app =
+    ?(prove_static = false) ~flavor app =
   (* Fresh global state, as a fresh process would have. *)
   (match faults with
   | Some (seed, plan) -> Faultsim.Injector.arm ~seed ~plan ()
@@ -379,7 +389,7 @@ let run ?(nranks = 2) ?(mode = Cudasim.Device.Eager)
           compile =
             (fun k ->
               if Flavor.uses_cusan flavor then begin
-                Cusan.Pass.instrument_kernel k;
+                Cusan.Pass.instrument_kernel ~prove:prove_static k;
                 match k.Cudasim.Kernel.static_races with
                 | Some rs ->
                     List.iter

@@ -87,10 +87,14 @@ type result = {
 val has_races : result -> bool
 
 val static_musts : result -> (string * string) list
-(** [(kernel, description)] of the static must-races only — the
+(** [(kernel, description)] of the static must- and proved-races — the
     verdicts strong enough to fail a run. *)
 
 val has_static_musts : result -> bool
+
+val static_proved : result -> (string * string) list
+(** [(kernel, description)] of the witness-validated races only; always
+    empty unless the run proved verdicts ([prove_static]). *)
 
 val run :
   ?nranks:int ->
@@ -107,6 +111,7 @@ val run :
   ?access_observer:(kind:[ `Read | `Write ] -> addr:int -> len:int -> unit) ->
   ?mpi_observer:(rank:int -> Mpisim.Hooks.phase -> Mpisim.Hooks.call -> unit) ->
   ?faults:int * Faultsim.Plan.t ->
+  ?prove_static:bool ->
   flavor:Flavor.t ->
   app ->
   result
@@ -133,4 +138,10 @@ val run :
     deterministic fault injector with [(seed, plan)] for this run only;
     the firing log lands in [result.fault_log]. Rank-level failures are
     captured in [result.failures] — the harness itself never aborts on
-    them, and the dead rank's tool state is still flushed. *)
+    them, and the dead rank's tool state is still flushed.
+
+    [prove_static] (default [false]) runs the compile-time race
+    analysis in witness mode: static candidates are validated by
+    interpreter replay and attached as [Proved_race] (or downgraded —
+    see {!Cusan.Pass.instrument_kernel}). Off by default because the
+    replay costs interpreter runs per candidate. *)

@@ -191,6 +191,38 @@ let run_thread ?(tracer = no_trace) ?on_barrier m ~name ~args ~tid ~ntid =
               | _ -> None);
         }
 
+(* Phase-tagged footprint of ONE thread replayed in isolation: every
+   touched byte range, in program order, tagged with the number of
+   barriers the thread had executed when it made the access. Two
+   isolated replays with the same initial memory expose exactly the
+   cross-thread conflicts of one launch: accesses in the same dynamic
+   phase are unordered between threads. Used by the witness validator
+   and the repair oracle (and mirrors what the property tests in
+   test_race.ml build by hand). *)
+type footprint_event = {
+  ev_phase : int; (* dynamic barrier count when the access happened *)
+  ev_addr : int; (* absolute simulated address of the first byte *)
+  ev_bytes : int;
+  ev_write : bool;
+}
+
+let thread_footprint m ~name ~args ~tid ~ntid : footprint_event list =
+  let events = ref [] and phase = ref 0 in
+  let push write p ~bytes =
+    events :=
+      {
+        ev_phase = !phase;
+        ev_addr = Memsim.Ptr.addr p;
+        ev_bytes = bytes;
+        ev_write = write;
+      }
+      :: !events
+  in
+  let tracer = { on_read = push false; on_write = push true } in
+  run_thread ~tracer ~on_barrier:(fun () -> incr phase) m ~name ~args ~tid
+    ~ntid;
+  List.rev !events
+
 let module_has_barrier m name =
   let visited = Hashtbl.create 8 in
   let rec func name =

@@ -41,6 +41,27 @@ val run_thread :
     barriers, which is only meaningful for single-thread replay (e.g.
     tagging a per-thread trace with a phase counter). *)
 
+type footprint_event = {
+  ev_phase : int;  (** barriers the thread had executed at this access *)
+  ev_addr : int;  (** absolute simulated address of the first byte *)
+  ev_bytes : int;
+  ev_write : bool;
+}
+
+val thread_footprint :
+  Ir.modul ->
+  name:string ->
+  args:value array ->
+  tid:int ->
+  ntid:int ->
+  footprint_event list
+(** Replay one thread in isolation and return every byte range it
+    touched, in program order, tagged with its dynamic barrier phase.
+    Two isolated replays from the same initial memory expose exactly
+    the cross-thread conflicts of one launch (same-phase accesses are
+    unordered between threads); the witness validator and the repair
+    oracle are built on this. *)
+
 val run_kernel :
   ?tracer:tracer -> Ir.modul -> name:string -> args:value array -> grid:int -> unit
 (** Execute the whole grid with barrier semantics: all live threads run

@@ -1,0 +1,45 @@
+(* Module surgery for repair tools: insert [Barrier] statements at
+   top-level positions of one function's body.
+
+   Insertion points are *gaps* between top-level statements: point [i]
+   means "immediately before the i-th statement" (0 = before the first,
+   length body = after the last). Only the named function is touched;
+   all other functions, the kernel list and statement structure are
+   shared unchanged, so the rewritten module is cheap and the original
+   is never mutated.
+
+   Top-level gaps of an entry body are always reconvergent control flow
+   (every thread executes the body's statement list in order), so a
+   barrier inserted there can never be tid-divergent by construction —
+   [Validate.check_module] accepts any such insertion into a valid
+   module. Callers re-validate anyway; repair treats the validator as
+   the final word. *)
+
+let insert_barriers (m : Ir.modul) ~entry ~points : Ir.modul =
+  match Ir.find_func m entry with
+  | None -> invalid_arg ("Rewrite.insert_barriers: no function " ^ entry)
+  | Some f ->
+      let n = List.length f.Ir.body in
+      List.iter
+        (fun p ->
+          if p < 0 || p > n then
+            invalid_arg
+              (Fmt.str "Rewrite.insert_barriers: point %d out of range 0..%d" p
+                 n))
+        points;
+      let body =
+        List.concat
+          (List.mapi
+             (fun i s ->
+               if List.mem i points then [ Ir.Barrier; s ] else [ s ])
+             f.Ir.body)
+        @ if List.mem n points then [ Ir.Barrier ] else []
+      in
+      {
+        m with
+        Ir.funcs =
+          List.map
+            (fun (g : Ir.func) ->
+              if g.Ir.fname = entry then { g with Ir.body } else g)
+            m.Ir.funcs;
+      }

@@ -1,0 +1,10 @@
+(** Module surgery for repair tools: barrier insertion at top-level
+    gaps of one function's body. *)
+
+val insert_barriers : Ir.modul -> entry:string -> points:int list -> Ir.modul
+(** [insert_barriers m ~entry ~points] returns a copy of [m] where a
+    [Barrier] is inserted immediately before the [i]-th top-level
+    statement of [entry]'s body for every [i] in [points]
+    ([i = length body] appends after the last statement). The original
+    module is not mutated. Raises [Invalid_argument] when [entry] does
+    not exist or a point is out of range. *)

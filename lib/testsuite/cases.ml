@@ -545,6 +545,20 @@ let all () : case list =
               ([ out; xs ], [| Kir.Interp.VPtr out; Kir.Interp.VPtr xs |]));
       };
       {
+        name = "intra-kernel/exchange_nobarrier_nok";
+        expect = Racy;
+        descr =
+          "definite neighbor exchange with the barrier missing; the \
+           repairable corpus kernel (static must-race, fixable at gap 1)";
+        nranks = 2;
+        app =
+          intra_kernel ~m:Corpus.exchange_nobarrier ~entry:"exchange_nobarrier"
+            ~alloc:(fun dev ->
+              let pb = Mem.cuda_malloc ~tag:"p" dev ~ty:f64 ~count:(n + 1) in
+              let qb = Mem.cuda_malloc ~tag:"q" dev ~ty:f64 ~count:n in
+              ([ pb; qb ], [| Kir.Interp.VPtr pb; Kir.Interp.VPtr qb |]));
+      };
+      {
         name = "intra-kernel/two_phase_barrier";
         expect = Clean;
         descr =

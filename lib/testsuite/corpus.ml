@@ -15,12 +15,19 @@ let expect_str = function
   | Must -> "must"
   | Invalid -> "invalid"
 
+(* Expected outcome of barrier repair (`kirlint --suggest-fixes`):
+   [Fixable points] pins the exact minimal insertion set the
+   deterministic search must return. *)
+type repair_expect = Nothing_to_fix | Fixable of int list | Unfixable
+
 type entry = {
   name : string;
   expect : expect;
   descr : string;
   m : Kir.Ir.modul;
   entry : string;
+  proves : bool;
+  repair : repair_expect;
 }
 
 let one name params body =
@@ -95,6 +102,52 @@ let divergent_barrier =
     [ ptr "p" ]
     [ if_ (tid <. i 1) [ barrier ] [] ]
 
+(* The repairable family: provable races that one or more top-level
+   barrier insertions cure. Gap i = before the i-th top-level
+   statement (Kir.Rewrite.insert_barriers numbering). *)
+
+(* Definite neighbor exchange with the barrier missing: unlike
+   two_phase_nobarrier the read index is concrete (tid+1), so this is
+   a must-race; one barrier at gap 1 fixes it. *)
+let exchange_nobarrier =
+  one "exchange_nobarrier"
+    [ ptr "p"; ptr "q" ]
+    [ store (p 0) tid (i2f tid);
+      store (p 1) tid (load (p 0) (tid +. i 1) *. f 2.);
+    ]
+
+(* Two producer->consumer handoffs in a row, both unsynchronized: a
+   feeds b feeds c. Neither single gap cures both races — the minimal
+   fix is two barriers, [1; 2]. *)
+let chain_two_missing =
+  one "chain_two_missing"
+    [ ptr "a"; ptr "b"; ptr "c" ]
+    [ store (p 0) tid (i2f tid);
+      store (p 1) tid (load (p 0) (tid +. i 1));
+      store (p 2) tid (load (p 1) (tid +. i 1));
+    ]
+
+(* The racing pair sandwiches an unrelated statement: gap 1 and gap 2
+   both separate writer from reader, and the deterministic search must
+   pick the lexicographically first singleton, [1]. *)
+let sandwich_one_point =
+  one "sandwich_one_point"
+    [ ptr "a"; ptr "q" ]
+    [ store (p 0) tid (i2f tid);
+      store (p 1) tid (f 1.);
+      store (p 1) tid (load (p 0) (tid +. i 1));
+    ]
+
+(* p[tid * (s*s + 1)]: the stride is s^2+1 >= 1, so threads never
+   collide — but the product of two symbolic scalars is Top to the
+   linear-form analysis, and no enumerated valuation makes the replay
+   collide. Stays an unproved may: reported, never proved, nothing for
+   repair to do. *)
+let masked_stride =
+  one "masked_stride"
+    [ ptr "p"; scalar "s" ]
+    [ store (p 0) (tid *. ((p 1 *. p 1) +. i 1)) (i2f tid) ]
+
 let all =
   [
     {
@@ -103,6 +156,8 @@ let all =
       descr = "unguarded read of p[tid+1] races with the write of p[tid]";
       m = neighbor_write;
       entry = "neighbor_write";
+      proves = true;
+      repair = Unfixable;
     };
     {
       name = "reduction_nosync";
@@ -110,6 +165,8 @@ let all =
       descr = "all threads read-modify-write out[0] without a barrier";
       m = reduction_nosync;
       entry = "reduction_nosync";
+      proves = true;
+      repair = Unfixable;
     };
     {
       name = "two_phase_nobarrier";
@@ -117,6 +174,8 @@ let all =
       descr = "neighbor exchange with the barrier missing (symbolic index)";
       m = two_phase_nobarrier;
       entry = "two_phase_nobarrier";
+      proves = true;
+      repair = Fixable [ 1 ];
     };
     {
       name = "two_phase_barrier";
@@ -124,6 +183,8 @@ let all =
       descr = "neighbor exchange correctly split by __syncthreads()";
       m = two_phase_barrier;
       entry = "two_phase_barrier";
+      proves = false;
+      repair = Nothing_to_fix;
     };
     {
       name = "guarded_reduction";
@@ -131,6 +192,8 @@ let all =
       descr = "serial reduction owned by thread 0 via a tid == 0 guard";
       m = guarded_reduction;
       entry = "guarded_reduction";
+      proves = false;
+      repair = Nothing_to_fix;
     };
     {
       name = "offset_write";
@@ -138,6 +201,8 @@ let all =
       descr = "stride-1 write at a launch-uniform scalar offset";
       m = offset_write;
       entry = "offset_write";
+      proves = false;
+      repair = Nothing_to_fix;
     };
     {
       name = "unknown_stride";
@@ -145,6 +210,8 @@ let all =
       descr = "write stride is a runtime scalar (zero collides everything)";
       m = unknown_stride;
       entry = "unknown_stride";
+      proves = true;
+      repair = Unfixable;
     };
     {
       name = "divergent_barrier";
@@ -152,5 +219,43 @@ let all =
       descr = "__syncthreads() under a tid-divergent branch";
       m = divergent_barrier;
       entry = "divergent_barrier";
+      proves = false;
+      repair = Nothing_to_fix;
+    };
+    {
+      name = "exchange_nobarrier";
+      expect = Must;
+      descr = "definite neighbor exchange missing its barrier";
+      m = exchange_nobarrier;
+      entry = "exchange_nobarrier";
+      proves = true;
+      repair = Fixable [ 1 ];
+    };
+    {
+      name = "chain_two_missing";
+      expect = Must;
+      descr = "two unsynchronized producer->consumer handoffs in a row";
+      m = chain_two_missing;
+      entry = "chain_two_missing";
+      proves = true;
+      repair = Fixable [ 1; 2 ];
+    };
+    {
+      name = "sandwich_one_point";
+      expect = Must;
+      descr = "racing pair around an unrelated statement; two equal fixes";
+      m = sandwich_one_point;
+      entry = "sandwich_one_point";
+      proves = true;
+      repair = Fixable [ 1 ];
+    };
+    {
+      name = "masked_stride";
+      expect = May;
+      descr = "stride s*s+1 is never zero, but symbolic to the analysis";
+      m = masked_stride;
+      entry = "masked_stride";
+      proves = false;
+      repair = Nothing_to_fix;
     };
   ]

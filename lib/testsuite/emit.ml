@@ -67,6 +67,7 @@ let json_of_verdict (v : Runner.verdict) : Reporting.Mjson.t =
                   ("verdict",
                    Str
                      (match verdict with
+                     | Cudasim.Kernel.Proved_race -> "proved"
                      | Cudasim.Kernel.Must_race -> "must"
                      | Cudasim.Kernel.May_race -> "may"));
                   ("description", Str descr);
@@ -141,6 +142,7 @@ let junit (verdicts : Runner.verdict list) : string =
                     (fun (kernel, verdict, descr) ->
                       Fmt.str "static %s-race in kernel %s: %s"
                         (match verdict with
+                        | Cudasim.Kernel.Proved_race -> "proved"
                         | Cudasim.Kernel.Must_race -> "must"
                         | Cudasim.Kernel.May_race -> "may")
                         kernel descr)

@@ -42,7 +42,7 @@ let fault_watchdog = 100_000
    hung service); by default only fault-injected runs get the budget,
    preserving the batch CLI's behavior exactly. *)
 let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults ?watchdog
-    (case : Cases.case) =
+    ?prove_static (case : Cases.case) =
   let watchdog =
     match watchdog with
     | Some _ as w -> w
@@ -50,8 +50,8 @@ let run_case ?(mode = Cudasim.Device.Eager) ?annotation ?faults ?watchdog
   in
   let res =
     Harness.Run.run ~nranks:case.Cases.nranks ~mode ?annotation
-      ~check_types:true ?watchdog ?faults ~flavor:Harness.Flavor.Must_cusan
-      case.Cases.app
+      ~check_types:true ?watchdog ?faults ?prove_static
+      ~flavor:Harness.Flavor.Must_cusan case.Cases.app
   in
   (* A case counts as detected when either the dynamic detector reported
      a race or the static intra-kernel analysis proved one (must-races
