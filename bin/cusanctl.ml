@@ -8,7 +8,19 @@
    Prng-jittered exponential backoff the in-simulation recovery paths
    use — the yield counts are deterministic under --seed, and the
    client folds the daemon's retry_after hint and a wall-clock quantum
-   into actual sleeps. *)
+   into actual sleeps. Layered under it is a Resilience.Breaker
+   circuit: consecutive connection failures open the circuit, after
+   which attempts wait out a deterministic cooldown and probe
+   half-open — so a client hammering a dead daemon backs off across
+   requests (the bench campaign's many jobs), not just within one.
+
+   Beyond single requests:
+   - [watch JOB] subscribes to a running job's live event stream and
+     prints frames until the terminal end/lagged frame;
+   - [bench] (no app/flavor) runs a sustained deterministic campaign of
+     lint/soak jobs, verifying every daemon verdict byte-for-byte
+     against the same job computed in-process — the soak driver for
+     kill/restart recovery testing. *)
 
 module Mjson = Reporting.Mjson
 
@@ -27,9 +39,17 @@ let usage () =
     \  lint TARGET                static race lint of one kirlint target@.\
     \  soak CASE                  run one matrix case (see --faults/--fault-seed)@.\
     \  bench APP FLAVOR           run one bench cell (pingpong|jacobi|tealeaf)@.\
+    \  bench                      sustained campaign: --jobs deterministic@.\
+    \                             lint/soak jobs, every verdict verified@.\
+    \                             byte-for-byte against a local run@.\
     \  boom                       chaos drill: crash a worker on purpose@.\
     \  spin STEPS                 wedge drill: occupy a worker until the@.\
     \                             step-budget watchdog fires@.\
+    \  watch JOB|COMMAND          tail a running job's live event stream@.\
+    \                             (JOB is the 32-hex digest, or repeat the@.\
+    \                             submit command to address it by content)@.\
+    \  resize N                   set the worker-pool target (clamped to the@.\
+    \                             daemon's --workers-min/max window)@.\
     \  health                     liveness + queue depth@.\
     \  stats                      daemon counters@.\
     \  shutdown                   request a graceful drain@.@.\
@@ -38,9 +58,13 @@ let usage () =
     \  --faults SPEC     fault plan for soak (cutests --faults grammar)@.\
     \  --fault-seed N    fault-plan seed for soak (default 0)@.\
     \  --seed N          backoff jitter seed (default 1)@.\
-    \  --retries N       max attempts against busy/absent daemon (default 6)@.@.\
-     exit codes: 0 ok, 1 job crashed (post-mortem printed), 2 client/protocol@.\
-     error, 3 daemon unreachable or still busy after all retries@."
+    \  --retries N       max attempts against busy/absent daemon (default 6)@.\
+    \  --jobs N          campaign length for bare bench (default 25)@.\
+    \  --recheck         campaign: re-submit every distinct job afterwards@.\
+    \                    and require a byte-identical cached:true reply@.@.\
+     exit codes: 0 ok, 1 job crashed or campaign verdict mismatch (post-mortem@.\
+     printed), 2 client/protocol error or lagged stream, 3 daemon unreachable@.\
+     or still busy after all retries@."
     default_socket
 
 let die msg =
@@ -54,6 +78,8 @@ type opts = {
   fault_seed : int;
   seed : int;
   retries : int;
+  jobs : int;
+  recheck : bool;
   rest : string list;
 }
 
@@ -77,8 +103,13 @@ let parse_args argv =
         match int_of_string_opt v with
         | Some n when n > 0 -> go { acc with retries = n } rest
         | _ -> die (Fmt.str "--retries expects a positive integer, got %S" v))
-    | [ ("--socket" | "--faults" | "--fault-seed" | "--seed" | "--retries") as f ]
-      ->
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> go { acc with jobs = n } rest
+        | _ -> die (Fmt.str "--jobs expects a positive integer, got %S" v))
+    | "--recheck" :: rest -> go { acc with recheck = true } rest
+    | [ ("--socket" | "--faults" | "--fault-seed" | "--seed" | "--retries"
+        | "--jobs") as f ] ->
         die (f ^ " requires a value")
     | arg :: rest -> go { acc with rest = acc.rest @ [ arg ] } rest
   in
@@ -89,26 +120,57 @@ let parse_args argv =
       fault_seed = 0;
       seed = 1;
       retries = 6;
+      jobs = 25;
+      recheck = false;
       rest = [];
     }
     argv
 
-let request_of_opts o : Server.Protocol.request =
-  match o.rest with
-  | [ "lint"; target ] -> Submit (Lint { target })
-  | [ "soak"; case ] ->
-      Submit (Soak { case; seed = o.fault_seed; faults = o.faults })
-  | [ "bench"; app; flavor ] -> Submit (Bench { app; flavor })
-  | [ "boom" ] -> Submit Boom
+let job_of_words o words : Server.Protocol.job =
+  match words with
+  | [ "lint"; target ] -> Lint { target }
+  | [ "soak"; case ] -> Soak { case; seed = o.fault_seed; faults = o.faults }
+  | [ "bench"; app; flavor ] -> Bench { app; flavor }
+  | [ "boom" ] -> Boom
   | [ "spin"; n ] -> (
       match int_of_string_opt n with
-      | Some steps when steps > 0 -> Submit (Spin { steps })
+      | Some steps when steps > 0 -> Spin { steps }
       | _ -> die (Fmt.str "spin expects a positive step count, got %S" n))
-  | [ "health" ] -> Health
-  | [ "stats" ] -> Stats
-  | [ "shutdown" ] -> Shutdown
-  | [] -> die "no command given"
   | cmd -> die (Fmt.str "bad command %S" (String.concat " " cmd))
+
+let is_hex_digest s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+type cmd =
+  | Rpc of Server.Protocol.request
+  | Watch of string  (* job digest *)
+  | Campaign
+
+let cmd_of_opts o : cmd =
+  match o.rest with
+  | [ "health" ] -> Rpc Health
+  | [ "stats" ] -> Rpc Stats
+  | [ "shutdown" ] -> Rpc Shutdown
+  | [ "resize"; n ] -> (
+      match int_of_string_opt n with
+      | Some w when w > 0 -> Rpc (Resize w)
+      | _ -> die (Fmt.str "resize expects a positive worker count, got %S" n))
+  | "watch" :: spec -> (
+      match spec with
+      | [ d ] when is_hex_digest d -> Watch (String.lowercase_ascii d)
+      | [] -> die "watch expects a job digest or a submit command"
+      | words -> Watch (Server.Protocol.job_digest (job_of_words o words)))
+  | [ "bench" ] -> Campaign
+  | [] -> die "no command given"
+  | words -> Rpc (Submit (job_of_words o words))
+
+exception Conn_lost of string
+(* The daemon went away mid-conversation (e.g. killed between our
+   request and its reply) — a connection failure for the retry loop and
+   the breaker, not a protocol error. *)
 
 (* One connection, one frame each way. *)
 let roundtrip ~socket req : Mjson.t =
@@ -122,7 +184,7 @@ let roundtrip ~socket req : Mjson.t =
    with Unix.Unix_error _ -> ());
   Server.Protocol.write_frame fd (Server.Protocol.request_to_json req);
   match Server.Protocol.read_frame fd with
-  | Error e -> failwith (Server.Protocol.read_error_to_string e)
+  | Error e -> raise (Conn_lost (Server.Protocol.read_error_to_string e))
   | Ok line -> (
       match Mjson.of_string line with
       | Error msg -> failwith ("bad reply JSON: " ^ msg)
@@ -130,35 +192,41 @@ let roundtrip ~socket req : Mjson.t =
 
 exception Busy of int
 
+let is_conn_error = function
+  | Conn_lost _ -> true
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EPIPE
+        | Unix.EAGAIN ),
+        _,
+        _ ) ->
+      (* daemon not up yet, or it went away mid-frame *)
+      true
+  | _ -> false
+
 let status j =
   match Mjson.member "status" j |> Fun.flip Option.bind Mjson.to_str with
   | Some s -> s
   | None -> "error"
 
-let () =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
-  let req = request_of_opts o in
-  (* The daemon's retry_after hint scales the next sleep; 1 until the
-     daemon says otherwise. *)
+let str_member k j = Mjson.member k j |> Fun.flip Option.bind Mjson.to_str
+
+(* One request under the full client policy: bounded seeded retries for
+   busy replies and connection failures, gated by the circuit breaker
+   (connection failures count against it; busy does not — a shedding
+   daemon is alive). The breaker outlives single calls, so campaign
+   jobs against a dead daemon share one cooldown ladder. *)
+let rpc ~breaker o req : Mjson.t =
   let hint = ref 1 in
-  let reply =
-    try
-      Resilience.with_retries ~label:"cusanctl" ~max_attempts:o.retries
-        ~jitter:(Faultsim.Prng.create o.seed)
-        ~on_backoff:(fun ~yields ->
-          Unix.sleepf (quantum *. float_of_int (yields * !hint)))
-        ~retryable:(function
-          | Busy _ -> true
-          | Unix.Unix_error
-              ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET
-                | Unix.EPIPE | Unix.EAGAIN ),
-                _,
-                _ ) ->
-              (* daemon not up yet, or it went away mid-frame *)
-              true
-          | _ -> false)
-        (fun ~attempt:_ ->
+  Resilience.with_retries ~label:"cusanctl" ~max_attempts:o.retries
+    ~jitter:(Faultsim.Prng.create o.seed)
+    ~on_backoff:(fun ~yields ->
+      Unix.sleepf (quantum *. float_of_int (yields * !hint)))
+    ~retryable:(function Busy _ -> true | e -> is_conn_error e)
+    (fun ~attempt:_ ->
+      Resilience.Breaker.call breaker
+        ~on_wait:(fun ~yields -> Unix.sleepf (quantum *. float_of_int yields))
+        ~failure:is_conn_error
+        (fun () ->
           let j = roundtrip ~socket:o.socket req in
           match status j with
           | "busy" ->
@@ -170,21 +238,259 @@ let () =
                 | Some n when n > 0 -> n
                 | _ -> 1);
               raise (Busy !hint)
-          | _ -> j)
-    with
-    | Resilience.Retries_exhausted { attempts; last; _ } ->
-        Fmt.epr "cusanctl: giving up after %d attempts (%s)@." attempts
-          (Printexc.to_string last);
-        exit 3
-    | Failure msg ->
-        Fmt.epr "cusanctl: %s@." msg;
-        exit 2
-    | Unix.Unix_error (e, fn, _) ->
-        Fmt.epr "cusanctl: %s: %s (%s)@." o.socket (Unix.error_message e) fn;
-        exit 3
-  in
-  print_endline (Mjson.to_string reply);
+          | _ -> j))
+
+let exit_of_reply reply =
   match status reply with
   | "ok" -> exit 0
   | "crashed" -> exit 1
   | _ -> exit 2
+
+(* --- watch: tail a running job's event stream --------------------------- *)
+
+(* The stream is many frames on one connection, so reads go through a
+   buffered channel (Protocol.read_frame would discard frames that
+   arrive coalesced in one segment). *)
+let watch ~breaker o digest =
+  let open_stream ~attempt:_ =
+    Resilience.Breaker.call breaker
+      ~on_wait:(fun ~yields -> Unix.sleepf (quantum *. float_of_int yields))
+      ~failure:is_conn_error
+      (fun () ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        try
+          Unix.connect fd (Unix.ADDR_UNIX o.socket);
+          (try
+             Unix.setsockopt_float fd Unix.SO_RCVTIMEO 300.;
+             Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.
+           with Unix.Unix_error _ -> ());
+          Server.Protocol.write_frame fd
+            (Server.Protocol.request_to_json (Subscribe { digest }));
+          Unix.in_channel_of_descr fd
+        with e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+  in
+  let ic =
+    Resilience.with_retries ~label:"cusanctl-watch" ~max_attempts:o.retries
+      ~jitter:(Faultsim.Prng.create o.seed)
+      ~on_backoff:(fun ~yields -> Unix.sleepf (quantum *. float_of_int yields))
+      ~retryable:is_conn_error open_stream
+  in
+  let rec pump () =
+    match input_line ic with
+    | exception End_of_file ->
+        Fmt.epr "cusanctl: stream closed without an end frame@.";
+        exit 3
+    | exception Sys_error msg ->
+        Fmt.epr "cusanctl: stream read failed: %s@." msg;
+        exit 3
+    | line -> (
+        print_endline line;
+        match Mjson.of_string line with
+        | Error msg ->
+            Fmt.epr "cusanctl: bad stream frame: %s@." msg;
+            exit 2
+        | Ok j -> (
+            match str_member "type" j with
+            | Some "end" -> (
+                match str_member "status" j with
+                | Some ("ok" | "stalled" | "cached") -> exit 0
+                | Some "crashed" -> exit 1
+                | _ -> exit 2)
+            | Some "lagged" ->
+                Fmt.epr "cusanctl: dropped as a lagged subscriber@.";
+                exit 2
+            | Some _ -> pump ()
+            | None ->
+                (* a plain reply (e.g. "no such job" error): map it like
+                   any single-frame conversation *)
+                exit_of_reply j))
+  in
+  pump ()
+
+(* --- bench campaign: the soak driver ------------------------------------ *)
+
+(* A deterministic seeded mix of lint and soak jobs (the two cheap,
+   verifiable job kinds). Every daemon verdict is compared byte-for-byte
+   against the same job computed locally — cusanctl links the engine, so
+   the client is its own oracle. This doubles as the kill/recover soak:
+   run it, kill -9 the daemon mid-campaign, and the supervised restart
+   plus journal recovery must keep every verdict byte-identical. *)
+let campaign ~breaker o =
+  let lints = Server.Engine.lint_target_ids () in
+  let soaks = Server.Engine.soak_case_ids () in
+  if lints = [] || soaks = [] then die "no lint targets or soak cases built in";
+  let prng = Faultsim.Prng.create (o.seed + 7) in
+  let pick lst =
+    List.nth lst
+      (min (List.length lst - 1)
+         (int_of_float (Faultsim.Prng.float prng *. float_of_int (List.length lst))))
+  in
+  let mix =
+    List.init o.jobs (fun _ : Server.Protocol.job ->
+        if Faultsim.Prng.float prng < 0.5 then Lint { target = pick lints }
+        else
+          Soak
+            {
+              case = pick soaks;
+              seed = int_of_float (Faultsim.Prng.float prng *. 8.);
+              faults = None;
+            })
+  in
+  (* Local oracle, memoised by digest (the campaign repeats jobs on
+     purpose, to exercise the cache). *)
+  let expected : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let expect digest job =
+    match Hashtbl.find_opt expected digest with
+    | Some bytes -> bytes
+    | None ->
+        let bytes =
+          match Server.Engine.run_job job with
+          | Ok result -> Mjson.to_string result
+          | Error msg -> die ("campaign job failed locally: " ^ msg)
+        in
+        Hashtbl.replace expected digest bytes;
+        bytes
+  in
+  let order = ref [] in (* distinct digests, first-submission order *)
+  let ok = ref 0 and cache_hits = ref 0 and mismatches = ref 0 in
+  let failed = ref 0 and unreachable = ref 0 in
+  let consecutive_unreachable = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i job ->
+      if !consecutive_unreachable < 3 then begin
+        let digest = Server.Protocol.job_digest job in
+        if not (Hashtbl.mem expected digest) then order := digest :: !order;
+        let want = expect digest job in
+        match rpc ~breaker o (Submit job) with
+        | reply -> (
+            consecutive_unreachable := 0;
+            match status reply with
+            | "ok" ->
+                let got =
+                  match Mjson.member "result" reply with
+                  | Some r -> Mjson.to_string r
+                  | None -> "<missing result>"
+                in
+                if got = want then begin
+                  incr ok;
+                  if
+                    Mjson.member "cached" reply
+                    |> Fun.flip Option.bind Mjson.to_bool
+                    = Some true
+                  then incr cache_hits
+                end
+                else begin
+                  incr mismatches;
+                  Fmt.epr "cusanctl: verdict mismatch on job %d (%s): %s@." i
+                    (Server.Protocol.job_describe job) digest
+                end
+            | s ->
+                incr failed;
+                Fmt.epr "cusanctl: job %d (%s) answered %s@." i
+                  (Server.Protocol.job_describe job) s)
+        | exception Resilience.Retries_exhausted { attempts; last; _ } ->
+            incr unreachable;
+            incr consecutive_unreachable;
+            Fmt.epr "cusanctl: job %d unreachable after %d attempts (%s)@." i
+              attempts (Printexc.to_string last)
+      end)
+    mix;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let aborted = !consecutive_unreachable >= 3 in
+  (* Recheck pass: every distinct job again, demanding a cache hit with
+     the same bytes — duplicates must neither be lost nor recomputed. *)
+  let recheck_hits = ref 0 and recheck_misses = ref 0 in
+  if o.recheck && not aborted then
+    List.iter
+      (fun digest ->
+        let job =
+          (* recover the job from the digest via the expected table's
+             companion list: recompute from the mix *)
+          List.find (fun j -> Server.Protocol.job_digest j = digest) mix
+        in
+        match rpc ~breaker o (Submit job) with
+        | reply ->
+            let cached =
+              Mjson.member "cached" reply |> Fun.flip Option.bind Mjson.to_bool
+              = Some true
+            in
+            let got =
+              match Mjson.member "result" reply with
+              | Some r -> Mjson.to_string r
+              | None -> "<missing result>"
+            in
+            if cached && got = Hashtbl.find expected digest then
+              incr recheck_hits
+            else begin
+              incr recheck_misses;
+              Fmt.epr "cusanctl: recheck %s: cached=%b, bytes %s@." digest
+                cached
+                (if got = Hashtbl.find expected digest then "match"
+                 else "MISMATCH")
+            end
+        | exception Resilience.Retries_exhausted _ ->
+            incr recheck_misses;
+            Fmt.epr "cusanctl: recheck %s unreachable@." digest)
+      (List.rev !order);
+  let summary =
+    Mjson.Obj
+      ([
+         ("schema", Mjson.Str Server.Protocol.schema);
+         ("event", Mjson.Str "bench");
+         ("jobs", Mjson.Int o.jobs);
+         ("distinct", Mjson.Int (Hashtbl.length expected));
+         ("ok", Mjson.Int !ok);
+         ("cache_hits", Mjson.Int !cache_hits);
+         ("mismatches", Mjson.Int !mismatches);
+         ("failed", Mjson.Int !failed);
+         ("unreachable", Mjson.Int !unreachable);
+         ("aborted", Mjson.Bool aborted);
+         ("elapsed_s", Mjson.Float elapsed_s);
+         ( "jobs_per_s",
+           Mjson.Float
+             (if elapsed_s > 0. then float_of_int !ok /. elapsed_s else 0.) );
+       ]
+      @
+      if o.recheck then
+        [
+          ( "recheck",
+            Mjson.Obj
+              [
+                ("hits", Mjson.Int !recheck_hits);
+                ("misses", Mjson.Int !recheck_misses);
+              ] );
+        ]
+      else [])
+  in
+  print_endline (Mjson.to_string summary);
+  if aborted || !unreachable > 0 then exit 3
+  else if !mismatches > 0 || !failed > 0 || !recheck_misses > 0 then exit 1
+  else exit 0
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let o = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let breaker =
+    Resilience.Breaker.create ~jitter:(Faultsim.Prng.create (o.seed + 1)) ()
+  in
+  match cmd_of_opts o with
+  | Watch digest -> watch ~breaker o digest
+  | Campaign -> campaign ~breaker o
+  | Rpc req -> (
+      match rpc ~breaker o req with
+      | reply ->
+          print_endline (Mjson.to_string reply);
+          exit_of_reply reply
+      | exception Resilience.Retries_exhausted { attempts; last; _ } ->
+          Fmt.epr "cusanctl: giving up after %d attempts (%s)@." attempts
+            (Printexc.to_string last);
+          exit 3
+      | exception Failure msg ->
+          Fmt.epr "cusanctl: %s@." msg;
+          exit 2
+      | exception Unix.Unix_error (e, fn, _) ->
+          Fmt.epr "cusanctl: %s: %s (%s)@." o.socket (Unix.error_message e) fn;
+          exit 3)

@@ -19,18 +19,43 @@ type t = {
   mutable excl_pending : int; (* tasks waiting to run exclusively *)
   mutable excl_running : bool;
   mutable stop : bool;
-  mutable domains : unit Domain.t list;
+  mutable target : int; (* desired worker count (resize moves this) *)
+  mutable alive : int; (* workers that have not retired *)
+  mutable next_id : int;
+  workers : (int, unit Domain.t) Hashtbl.t; (* id -> domain, incl. retired *)
+  mutable retired : int list; (* exited worker ids awaiting their join *)
 }
 
-let size t = List.length t.domains
+let size t =
+  Mutex.lock t.m;
+  let n = t.target in
+  Mutex.unlock t.m;
+  n
+
+let alive t =
+  Mutex.lock t.m;
+  let n = t.alive in
+  Mutex.unlock t.m;
+  n
 
 let may_start_task t =
   (not (Queue.is_empty t.queue)) && t.excl_pending = 0 && not t.excl_running
 
-let worker t () =
+(* A worker only ever considers retiring *between* tasks — at the top
+   of its loop, never mid-job — so a shrink quiesces surplus workers at
+   task boundaries and can never abandon a running job. The shutdown
+   path wins over retirement so a stopping pool still drains its
+   queue. *)
+let worker t id () =
   Mutex.lock t.m;
   let rec loop () =
-    if may_start_task t then begin
+    if t.alive > t.target && not t.stop then begin
+      t.alive <- t.alive - 1;
+      t.retired <- id :: t.retired;
+      Condition.broadcast t.changed;
+      Mutex.unlock t.m
+    end
+    else if may_start_task t then begin
       let task = Queue.pop t.queue in
       t.active <- t.active + 1;
       Mutex.unlock t.m;
@@ -40,13 +65,37 @@ let worker t () =
       Condition.broadcast t.changed;
       loop ()
     end
-    else if t.stop && Queue.is_empty t.queue then Mutex.unlock t.m
+    else if t.stop && Queue.is_empty t.queue then begin
+      t.alive <- t.alive - 1;
+      Mutex.unlock t.m
+    end
     else begin
       Condition.wait t.changed t.m;
       loop ()
     end
   in
   loop ()
+
+let spawn_locked t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.alive <- t.alive + 1;
+  Hashtbl.replace t.workers id (Domain.spawn (worker t id))
+
+(* Retired workers have already left their loop; collecting their
+   domains under the lock and joining outside it is cheap and never
+   blocks on a running task. *)
+let reap_locked t =
+  let ds =
+    List.filter_map
+      (fun id ->
+        let d = Hashtbl.find_opt t.workers id in
+        Hashtbl.remove t.workers id;
+        d)
+      t.retired
+  in
+  t.retired <- [];
+  ds
 
 let create ~workers =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
@@ -59,11 +108,41 @@ let create ~workers =
       excl_pending = 0;
       excl_running = false;
       stop = false;
-      domains = [];
+      target = workers;
+      alive = 0;
+      next_id = 0;
+      workers = Hashtbl.create 8;
+      retired = [];
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  Mutex.lock t.m;
+  for _ = 1 to workers do
+    spawn_locked t
+  done;
+  Mutex.unlock t.m;
   t
+
+(* Grow or shrink the pool to [n] workers. Growth spawns the deficit
+   immediately; shrinkage only moves the target — surplus workers
+   retire themselves at their next task boundary (a worker mid-job
+   finishes that job first). Returns the previous target. *)
+let resize t n =
+  if n < 1 then invalid_arg "Pool.resize: workers must be >= 1";
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.resize: pool is shut down"
+  end;
+  let old = t.target in
+  t.target <- n;
+  while t.alive < t.target do
+    spawn_locked t
+  done;
+  Condition.broadcast t.changed;
+  let dead = reap_locked t in
+  Mutex.unlock t.m;
+  List.iter Domain.join dead;
+  old
 
 let submit t task =
   Mutex.lock t.m;
@@ -256,9 +335,13 @@ let shutdown t =
   Mutex.lock t.m;
   t.stop <- true;
   Condition.broadcast t.changed;
+  (* Every domain ever spawned and not yet reaped — live workers (the
+     stop flag sends them home once the queue drains) and retired ones
+     awaiting their deferred join alike. *)
+  let ds = Hashtbl.fold (fun _ d acc -> d :: acc) t.workers [] in
+  Hashtbl.reset t.workers;
+  t.retired <- [];
   Mutex.unlock t.m;
-  let ds = t.domains in
-  t.domains <- [];
   List.iter Domain.join ds
 
 let default_workers () = max 1 (Domain.recommended_domain_count ())

@@ -21,7 +21,21 @@ val create : workers:int -> t
     until its batch drains. *)
 
 val size : t -> int
-(** Number of worker domains. *)
+(** Target number of worker domains (the last [create]/{!resize}
+    setting). *)
+
+val alive : t -> int
+(** Workers currently alive: equals {!size} except transiently during a
+    shrink, while surplus workers are still finishing their jobs. *)
+
+val resize : t -> int -> int
+(** [resize t n] grows or shrinks the pool to [n] (≥ 1) workers and
+    returns the previous target. Growth spawns new domains immediately.
+    Shrinkage is cooperative and job-safe: surplus workers retire at
+    their next task boundary — a worker mid-job always finishes that
+    job first, so no task is ever abandoned and results are unaffected
+    by any resize sequence. Retired domains are joined lazily (on the
+    next resize or at {!shutdown}). *)
 
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a task. Exceptions escaping a bare submitted task are

@@ -1,6 +1,6 @@
-(** The cusand daemon core: a crash-isolated, backpressured analysis
-    service over a Unix-domain socket, sharding jobs across a
-    {!Pool.t} of worker domains.
+(** The cusand daemon core: a crash-isolated, backpressured, durable,
+    elastic analysis service over a Unix-domain socket, sharding jobs
+    across a {!Pool.t} of worker domains.
 
     Robustness contract:
     - a job that raises is reaped into a post-mortem reply and its
@@ -11,25 +11,53 @@
     - admission is bounded at [queue_max] in-flight jobs; beyond the
       high-water mark the daemon sheds load with a busy/[retry_after]
       reply (health/stats stay answerable from the accept loop);
+    - ok results are cached content-addressed by {!Protocol.job_digest}
+      (sound because the engine is deterministic) and, with
+      [state_dir] set, written through to the crash-safe {!Journal}
+      before the reply leaves — a verdict a client has seen survives
+      [kill -9] and is replayed into the cache on the next boot;
+    - the worker pool is elastic inside
+      [[workers_min, workers_max]]: the accept loop grows it when
+      admission depth outruns the workers and shrinks it (one worker
+      per [scale_down_ticks] quiet ticks of hysteresis) when idle;
+      [Resize] frames drive the same clamped path. Shrinks retire
+      workers only at task boundaries, so resizing never changes a
+      verdict;
+    - every worker taps its flight recorder into {!Stream}, so
+      [Subscribe] connections tail a running job's events live without
+      ever blocking the job;
     - {!request_drain} (wired to SIGTERM in bin/cusand) stops
       admission, gives in-flight jobs [drain_timeout_s] to finish,
-      cancels and answers stragglers, and {!serve} returns the final
-      stats;
-    - ok results are cached content-addressed by {!Protocol.job_digest}
-      (sound because the engine is deterministic). *)
+      cancels and answers stragglers (recording them in
+      [stats.abandoned]), and {!serve} returns the final stats. *)
 
 type cfg = {
   socket_path : string;
   workers : int;
+      (** initial pool size, clamped into [[workers_min, workers_max]] *)
+  workers_min : int;
+  workers_max : int;
   queue_max : int;  (** high-water mark for in-flight jobs *)
   watchdog : int;  (** scheduler step budget per job *)
   cache_cap : int;  (** max cached results; 0 disables the cache *)
   drain_timeout_s : float;
-  trace : bool;  (** arm per-worker flight recorders *)
+  state_dir : string option;
+      (** durable journal directory; [None] keeps the cache in RAM *)
+  compact_every : int;  (** journal appends between compactions *)
+  scale_up_depth : int;
+      (** load controller grows the pool when in-flight depth exceeds
+          [workers * scale_up_depth] *)
+  scale_down_ticks : int;
+      (** consecutive under-loaded accept-loop ticks before the
+          controller retires one worker — the shrink hysteresis *)
+  sub_queue : int;  (** per-subscriber pending-frame bound (see {!Stream}) *)
+  trace : bool;  (** arm the accept loop's recorder for daemon instants *)
   verbose : bool;
 }
 
 val default_cfg : socket_path:string -> cfg
+(** Defaults keep elasticity off ([workers_min = workers_max =
+    workers]) and the cache in RAM ([state_dir = None]). *)
 
 type stats = {
   mutable served : int;  (** ok replies, cache hits included *)
@@ -40,6 +68,15 @@ type stats = {
   mutable client_errors : int;  (** error replies: bad frames, bad jobs *)
   mutable drain_cancelled : int;  (** jobs abandoned at the drain deadline *)
   mutable peak_in_flight : int;
+  mutable resizes_up : int;  (** pool growth events, admin and load alike *)
+  mutable resizes_down : int;
+  mutable replayed : int;  (** cache entries recovered from the journal *)
+  mutable journal_appends : int;
+  mutable compactions : int;
+  mutable abandoned : (string * string) list;
+      (** (digest, description) of jobs cancelled at the drain
+          deadline, newest first — surfaced as [abandoned_jobs] in the
+          drain report *)
 }
 
 val stats_json : stats -> Reporting.Mjson.t
@@ -48,7 +85,8 @@ type t
 
 val create : cfg -> t
 (** Bind and listen on [cfg.socket_path] (a stale socket file is
-    unlinked) and spin up the worker pool. Ignores SIGPIPE. *)
+    unlinked), open and replay the journal when [cfg.state_dir] is set,
+    and spin up the worker pool. Ignores SIGPIPE. *)
 
 val request_drain : t -> unit
 (** Signal-safe: flips an atomic the accept loop polls. *)
@@ -57,4 +95,4 @@ val draining : t -> bool
 
 val serve : t -> stats
 (** Accept and answer requests until drain is requested, then drain
-    and return the final stats. *)
+    (final journal compaction included) and return the final stats. *)

@@ -13,7 +13,11 @@
 
 module Mjson = Reporting.Mjson
 
-let schema = "cusand/1"
+let schema = "cusand/2"
+
+(* Requests from v1 clients are still understood (v2 adds frames, it
+   does not change v1's); replies always carry the current schema. *)
+let accepted_schemas = [ "cusand/1"; schema ]
 
 (* A request frame may not exceed this; the daemon answers anything
    longer with a protocol error instead of buffering unboundedly. *)
@@ -32,7 +36,18 @@ type job =
          a worker-occupying job of tunable duration ending in a
          labelled stalled verdict *)
 
-type request = Submit of job | Health | Stats | Shutdown
+type request =
+  | Submit of job
+  | Health
+  | Stats
+  | Shutdown
+  | Resize of int
+      (* admin: set the worker-pool target (clamped to the daemon's
+         --workers-min/--workers-max window) *)
+  | Subscribe of { digest : string }
+      (* attach this connection to a queued/running job's live event
+         stream; the reply is a stream of subscribed/event/end frames,
+         not a single frame *)
 
 (* Content address of a job: the canonical key is what makes the result
    cache correct — two requests with the same key are the same
@@ -76,6 +91,9 @@ let request_to_json (r : request) : Mjson.t =
     | Health -> [ ("op", Str "health") ]
     | Stats -> [ ("op", Str "stats") ]
     | Shutdown -> [ ("op", Str "shutdown") ]
+    | Resize n -> [ ("op", Str "resize"); ("workers", Int n) ]
+    | Subscribe { digest } ->
+        [ ("op", Str "subscribe"); ("job", Str digest) ]
   in
   Obj (("schema", Str schema) :: fields)
 
@@ -83,7 +101,8 @@ let request_of_json (j : Mjson.t) : (request, string) result =
   let str k = Option.bind (Mjson.member k j) Mjson.to_str in
   let int k = Option.bind (Mjson.member k j) Mjson.to_int in
   match Mjson.member "schema" j |> Fun.flip Option.bind Mjson.to_str with
-  | Some s when s <> schema -> Error (Printf.sprintf "unknown schema %S" s)
+  | Some s when not (List.mem s accepted_schemas) ->
+      Error (Printf.sprintf "unknown schema %S" s)
   | _ -> (
       match str "op" with
       | None -> Error "missing \"op\" field"
@@ -116,6 +135,15 @@ let request_of_json (j : Mjson.t) : (request, string) result =
       | Some "health" -> Ok Health
       | Some "stats" -> Ok Stats
       | Some "shutdown" -> Ok Shutdown
+      | Some "resize" -> (
+          match int "workers" with
+          | Some n when n > 0 -> Ok (Resize n)
+          | Some _ -> Error "resize: \"workers\" must be positive"
+          | None -> Error "resize: missing \"workers\"")
+      | Some "subscribe" -> (
+          match str "job" with
+          | Some digest -> Ok (Subscribe { digest })
+          | None -> Error "subscribe: missing \"job\"")
       | Some op -> Error (Printf.sprintf "unknown op %S" op))
 
 let parse_request (line : string) : (request, string) result =
@@ -154,10 +182,19 @@ let crashed_reply ~job ~error ~backtrace : Mjson.t =
          ]);
     ]
 
+(* The busy reply's backoff hint, in abstract units the client folds
+   into its deterministic Resilience schedule. Scales with how
+   oversubscribed the daemon actually is rather than sitting constant:
+   the overshoot past the high-water mark (0 while admission is
+   enforcing the bound) plus the depth of work queued behind the
+   running workers — the jobs that must finish before a retry can be
+   admitted. *)
+let retry_after_hint ~in_flight ~high_water ~queue_len =
+  max 1 (in_flight - high_water + queue_len)
+
 (* Load shed: the admission queue is past its high-water mark.
-   [retry_after] is a backoff hint in abstract units (queue depth per
-   worker); cusanctl multiplies it into its deterministic
-   Resilience backoff schedule. *)
+   [retry_after] is the {!retry_after_hint} backoff hint; cusanctl
+   multiplies it into its deterministic Resilience backoff schedule. *)
 let busy_reply ~retry_after ~in_flight ~high_water : Mjson.t =
   Mjson.Obj
     [
@@ -166,6 +203,38 @@ let busy_reply ~retry_after ~in_flight ~high_water : Mjson.t =
       ("retry_after", Mjson.Int retry_after);
       ("in_flight", Mjson.Int in_flight);
       ("high_water", Mjson.Int high_water);
+    ]
+
+(* Stream frames: the subscribe conversation is the one place the
+   protocol is not one-frame-each-way — after the [subscribed]
+   acknowledgement the daemon pushes [event] frames as the job
+   produces them, then exactly one terminal [lagged] or [end] frame. *)
+let stream_reply ~kind ~job fields : Mjson.t =
+  Mjson.Obj
+    ([
+       ("schema", Mjson.Str schema);
+       ("type", Mjson.Str kind);
+       ("job", Mjson.Str job);
+     ]
+    @ fields)
+
+let stream_end_reply ~job ~status : Mjson.t =
+  stream_reply ~kind:"end" ~job [ ("status", Mjson.Str status) ]
+
+(* Admin resize acknowledgement: what was asked, what the min/max
+   window clamped it to, and what it replaced. *)
+let resized_reply ~requested ~from_ ~to_ : Mjson.t =
+  Mjson.Obj
+    [
+      ("schema", Mjson.Str schema);
+      ("status", Mjson.Str "ok");
+      ("resized",
+       Mjson.Obj
+         [
+           ("requested", Mjson.Int requested);
+           ("from", Mjson.Int from_);
+           ("to", Mjson.Int to_);
+         ]);
     ]
 
 let error_reply msg : Mjson.t =

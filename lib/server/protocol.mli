@@ -1,12 +1,17 @@
 (** cusand wire protocol: newline-delimited {!Reporting.Mjson} frames
-    over a Unix-domain socket (schema ["cusand/1"]), one request per
-    connection. Frames are size-bounded and torn/hostile input decodes
-    to an explicit error — the accept loop never sees an exception from
-    this layer. *)
+    over a Unix-domain socket (schema ["cusand/2"]; v1 requests are
+    still accepted), one request per connection — except [subscribe],
+    which turns the connection into a server-to-client stream of
+    [subscribed]/[event]/[lagged]/[end] frames (see {!Stream}). Frames
+    are size-bounded and torn/hostile input decodes to an explicit
+    error — the accept loop never sees an exception from this layer. *)
 
 module Mjson = Reporting.Mjson
 
 val schema : string
+
+val accepted_schemas : string list
+(** Schemas {!parse_request} accepts (current plus ["cusand/1"]). *)
 
 val max_frame : int
 (** Upper bound on a frame's byte length; longer frames are refused. *)
@@ -29,7 +34,17 @@ type job =
           tunable duration that ends in a labelled stalled verdict,
           used to exercise backpressure and drain *)
 
-type request = Submit of job | Health | Stats | Shutdown
+type request =
+  | Submit of job
+  | Health
+  | Stats
+  | Shutdown
+  | Resize of int
+      (** admin: set the worker-pool target, clamped to the daemon's
+          [--workers-min]/[--workers-max] window *)
+  | Subscribe of { digest : string }
+      (** tail a queued/running job's live event stream; the reply is a
+          stream of frames, not a single frame *)
 
 val job_key : job -> string
 (** Canonical content address: equal keys mean the same deterministic
@@ -56,9 +71,30 @@ val crashed_reply :
 (** Tombstone for a job the worker reaped: the daemon-level analogue of
     a crashed rank's post-mortem. *)
 
+val retry_after_hint : in_flight:int -> high_water:int -> queue_len:int -> int
+(** The busy reply's backoff hint:
+    [max 1 (in_flight - high_water + queue_len)] — scales with the
+    overshoot past the high-water mark plus the work queued behind the
+    running workers, never constant under growing load. *)
+
 val busy_reply : retry_after:int -> in_flight:int -> high_water:int -> Mjson.t
-(** Load-shed reply; [retry_after] is a deterministic backoff hint in
-    abstract units the client folds into its retry schedule. *)
+(** Load-shed reply; [retry_after] is the {!retry_after_hint}
+    deterministic backoff hint in abstract units the client folds into
+    its retry schedule. *)
+
+val stream_reply : kind:string -> job:string -> (string * Mjson.t) list -> Mjson.t
+(** One frame of a subscribe stream:
+    [{"schema":..,"type":kind,"job":..}] plus [fields]. Kinds:
+    [subscribed], [event], [lagged], [end]. *)
+
+val stream_end_reply : job:string -> status:string -> Mjson.t
+(** The stream's terminal frame ([type = "end"]); also the immediate
+    answer to a subscribe for an already-cached job
+    ([status = "cached"]). *)
+
+val resized_reply : requested:int -> from_:int -> to_:int -> Mjson.t
+(** Admin resize acknowledgement: requested target, previous and new
+    (clamped) pool size. *)
 
 val error_reply : string -> Mjson.t
 

@@ -1,0 +1,269 @@
+(* Live progress streaming: a registry of subscribers tailing running
+   jobs' flight-recorder events.
+
+   The contract that keeps this safe to put in a job's hot path:
+
+   - A job is NEVER blocked by a subscriber. Publishing appends to a
+     bounded per-subscriber queue; socket writes are non-blocking and
+     happen opportunistically at publish time and from the daemon's
+     accept-loop tick.
+
+   - A slow subscriber is dropped, explicitly: when its queue
+     overflows, the pending backlog is discarded and replaced by a
+     single [lagged] frame, after which the connection is flushed and
+     closed. Clients learn they fell behind instead of silently
+     missing events.
+
+   - Publishing with no subscriber costs one atomic read (the global
+     subscriber count), so an unwatched daemon pays nothing per
+     event.
+
+   Frames (one JSON object per line, like the rest of the protocol):
+     {"schema":..,"type":"subscribed","job":D}      on attach
+     {"schema":..,"type":"event","job":D,"event":{...}}
+     {"schema":..,"type":"lagged","job":D,"dropped":N}   then close
+     {"schema":..,"type":"end","job":D,"status":S}       then close *)
+
+module Mjson = Reporting.Mjson
+
+type sub = {
+  fd : Unix.file_descr;
+  digest : string;
+  queue : string Queue.t; (* encoded frames awaiting the socket *)
+  max_queue : int;
+  mutable out : string; (* partial frame mid-write *)
+  mutable out_off : int;
+  mutable lagged : bool;
+  mutable finishing : bool; (* close once the queue drains *)
+  mutable dead : bool;
+}
+
+type t = {
+  m : Mutex.t;
+  subs : (string, sub list ref) Hashtbl.t; (* digest -> subscribers *)
+  count : int Atomic.t; (* publish fast-path gate *)
+  max_queue : int;
+  mutable lagged_total : int;
+  mutable served_total : int; (* subscriptions ever accepted *)
+}
+
+let create ?(max_queue = 512) () =
+  {
+    m = Mutex.create ();
+    subs = Hashtbl.create 8;
+    count = Atomic.make 0;
+    max_queue;
+    lagged_total = 0;
+    served_total = 0;
+  }
+
+let subscriber_count t = Atomic.get t.count
+let lagged_count t =
+  Mutex.lock t.m;
+  let n = t.lagged_total in
+  Mutex.unlock t.m;
+  n
+
+let served_count t =
+  Mutex.lock t.m;
+  let n = t.served_total in
+  Mutex.unlock t.m;
+  n
+
+let frame ~schema kind digest fields =
+  Mjson.to_string
+    (Mjson.Obj
+       ([
+          ("schema", Mjson.Str schema);
+          ("type", Mjson.Str kind);
+          ("job", Mjson.Str digest);
+        ]
+       @ fields))
+  ^ "\n"
+
+let event_json (e : Trace.Event.t) : Mjson.t =
+  Mjson.Obj
+    ([
+       ("seq", Mjson.Int e.Trace.Event.seq);
+       ("cat", Mjson.Str e.Trace.Event.cat);
+       ("name", Mjson.Str e.Trace.Event.name);
+       ("pid", Mjson.Int e.Trace.Event.pid);
+       ("track", Mjson.Str e.Trace.Event.track);
+       ("vt_us", Mjson.Float e.Trace.Event.vt_us);
+     ]
+    @
+    match e.Trace.Event.args with
+    | [] -> []
+    | args ->
+        [
+          ( "args",
+            Mjson.Obj (List.map (fun (k, v) -> (k, Mjson.Str v)) args) );
+        ])
+
+(* --- socket plumbing (all non-blocking) --------------------------------- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Push whatever the socket will take without blocking. Returns [false]
+   when the subscriber is finished with (flushed to completion after
+   [finishing], or its peer broke). *)
+let pump (s : sub) : bool =
+  if s.dead then false
+  else
+    let rec go () =
+      if s.out = "" then
+        match Queue.take_opt s.queue with
+        | None -> not s.finishing (* drained: close iff finishing *)
+        | Some f ->
+            s.out <- f;
+            s.out_off <- 0;
+            go ()
+      else
+        let len = String.length s.out - s.out_off in
+        match Unix.write_substring s.fd s.out s.out_off len with
+        | n ->
+            if n = len then begin
+              s.out <- "";
+              s.out_off <- 0
+            end
+            else s.out_off <- s.out_off + n;
+            if n = 0 then true else go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            true (* socket full: try again at the next tick *)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> false (* peer went away *)
+    in
+    let keep = try go () with _ -> false in
+    if not keep then s.dead <- true;
+    keep
+
+(* Remove dead/finished subscribers of one digest list; holds the
+   registry lock. *)
+let sweep_locked t digest subs_ref =
+  let live, gone = List.partition (fun s -> not s.dead) !subs_ref in
+  List.iter
+    (fun s ->
+      close_quietly s.fd;
+      Atomic.decr t.count)
+    gone;
+  if live = [] then Hashtbl.remove t.subs digest else subs_ref := live
+
+let subscribe t ~schema ~digest fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  let s =
+    {
+      fd;
+      digest;
+      queue = Queue.create ();
+      max_queue = t.max_queue;
+      out = "";
+      out_off = 0;
+      lagged = false;
+      finishing = false;
+      dead = false;
+    }
+  in
+  Queue.push (frame ~schema "subscribed" digest []) s.queue;
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.subs digest with
+  | Some r -> r := !r @ [ s ]
+  | None -> Hashtbl.replace t.subs digest (ref [ s ]));
+  Atomic.incr t.count;
+  t.served_total <- t.served_total + 1;
+  ignore (pump s);
+  Mutex.unlock t.m
+
+(* Enqueue one frame for every subscriber of [digest]. Queue overflow
+   drops the subscriber: backlog replaced by a lagged frame, connection
+   closed once that flushes. *)
+let push_frame t ~digest mk =
+  if Atomic.get t.count > 0 then begin
+    Mutex.lock t.m;
+    (match Hashtbl.find_opt t.subs digest with
+    | None -> ()
+    | Some subs_ref ->
+        List.iter
+          (fun s ->
+            if (not s.dead) && not s.lagged then
+              if Queue.length s.queue >= s.max_queue then begin
+                let dropped = Queue.length s.queue in
+                Queue.clear s.queue;
+                s.lagged <- true;
+                s.finishing <- true;
+                t.lagged_total <- t.lagged_total + 1;
+                Queue.push
+                  (frame ~schema:(mk `Schema) "lagged" digest
+                     [ ("dropped", Mjson.Int dropped) ])
+                  s.queue
+              end
+              else Queue.push (mk `Frame) s.queue;
+            ignore (pump s))
+          !subs_ref;
+        sweep_locked t digest subs_ref);
+    Mutex.unlock t.m
+  end
+
+let publish t ~schema ~digest (e : Trace.Event.t) =
+  push_frame t ~digest (function
+    | `Schema -> schema
+    | `Frame -> frame ~schema "event" digest [ ("event", event_json e) ])
+
+(* The job resolved: tell every subscriber how it ended and close them
+   once the backlog flushes. *)
+let finish t ~schema ~digest ~status =
+  if Atomic.get t.count > 0 then begin
+    Mutex.lock t.m;
+    (match Hashtbl.find_opt t.subs digest with
+    | None -> ()
+    | Some subs_ref ->
+        List.iter
+          (fun s ->
+            if (not s.dead) && not s.lagged then
+              Queue.push
+                (frame ~schema "end" digest [ ("status", Mjson.Str status) ])
+                s.queue;
+            s.finishing <- true;
+            ignore (pump s))
+          !subs_ref;
+        sweep_locked t digest subs_ref);
+    Mutex.unlock t.m
+  end
+
+(* Accept-loop tick: retry every pending write, sweep the finished. *)
+let flush t =
+  if Atomic.get t.count > 0 then begin
+    Mutex.lock t.m;
+    let digests = Hashtbl.fold (fun d _ acc -> d :: acc) t.subs [] in
+    List.iter
+      (fun d ->
+        match Hashtbl.find_opt t.subs d with
+        | None -> ()
+        | Some subs_ref ->
+            List.iter (fun s -> ignore (pump s)) !subs_ref;
+            sweep_locked t d subs_ref)
+      digests;
+    Mutex.unlock t.m
+  end
+
+(* Drain: every remaining subscriber gets a terminal frame (best
+   effort) and is closed now. *)
+let close_all t ~schema ~status =
+  Mutex.lock t.m;
+  Hashtbl.iter
+    (fun digest subs_ref ->
+      List.iter
+        (fun s ->
+          if not s.dead then begin
+            Queue.push
+              (frame ~schema "end" digest [ ("status", Mjson.Str status) ])
+              s.queue;
+            s.finishing <- true;
+            ignore (pump s);
+            ignore (pump s)
+          end;
+          close_quietly s.fd;
+          Atomic.decr t.count)
+        !subs_ref)
+    t.subs;
+  Hashtbl.reset t.subs;
+  Mutex.unlock t.m

@@ -1,0 +1,43 @@
+(** Live progress streaming: subscribers tailing running jobs'
+    flight-recorder events over their own connections.
+
+    Safety contract for the job hot path: publishing never blocks — it
+    appends to a bounded per-subscriber queue and only performs
+    non-blocking socket writes. A subscriber whose queue overflows is
+    dropped with an explicit [lagged] frame (it learns it fell behind;
+    it never slows the job). With no subscribers, a publish costs one
+    atomic read. *)
+
+type t
+
+val create : ?max_queue:int -> unit -> t
+(** Registry with per-subscriber queue bound [max_queue] (default
+    512 frames). *)
+
+val subscribe : t -> schema:string -> digest:string -> Unix.file_descr -> unit
+(** Attach [fd] (switched to non-blocking) to the job [digest]'s event
+    stream; a [subscribed] frame is queued immediately. The registry
+    owns the fd from here on. *)
+
+val publish : t -> schema:string -> digest:string -> Trace.Event.t -> unit
+(** Queue one [event] frame for every subscriber of [digest]. *)
+
+val finish : t -> schema:string -> digest:string -> status:string -> unit
+(** Queue the terminal [end] frame for [digest]'s subscribers and close
+    each once its backlog flushes. *)
+
+val flush : t -> unit
+(** Retry pending non-blocking writes and sweep finished or broken
+    subscribers — the daemon calls this from its accept-loop tick. *)
+
+val close_all : t -> schema:string -> status:string -> unit
+(** Drain path: best-effort [end] frame to every remaining subscriber,
+    then close them all now. *)
+
+val subscriber_count : t -> int
+
+val lagged_count : t -> int
+(** Subscribers ever dropped for falling behind. *)
+
+val served_count : t -> int
+(** Subscriptions ever accepted. *)

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Crash-recovery gate (`dune build @daemon`, the CI crash-recovery
+# step): run cusand under its own supervisor with a durable state dir,
+# serve real verdicts, kill -9 the daemon mid-flight, and prove the
+# self-healing contract end-to-end:
+#  - the supervisor restarts the dead daemon (capped backoff, fresh
+#    pid) without operator help;
+#  - the restarted daemon replays its journal: a verdict served before
+#    the kill is re-served as a cache hit, byte-identical;
+#  - a graceful SIGTERM afterwards still drains cleanly (exit 0).
+# Every wait is a bounded retry-until-healthy loop over `cusanctl
+# health` — no fixed sleeps. Artifacts (recovery-*.json/log and the
+# journal itself) are left in the working directory; CI uploads them
+# when the step fails.
+set -u
+
+cusand=${1:?usage: daemon_recovery.sh path/to/cusand.exe path/to/cusanctl.exe}
+cusanctl=${2:?usage: daemon_recovery.sh path/to/cusand.exe path/to/cusanctl.exe}
+
+sock="${TMPDIR:-/tmp}/cusand-recovery-$$.sock"
+state="${TMPDIR:-/tmp}/cusand-recovery-state-$$"
+pidfile="${TMPDIR:-/tmp}/cusand-recovery-$$.pid"
+status=0
+
+fail() {
+  echo "daemon_recovery: $1" >&2
+  status=1
+}
+
+wait_healthy() {
+  local out=$1 tries=${2:-100}
+  local i
+  for ((i = 0; i < tries; i++)); do
+    if "$cusanctl" --socket "$sock" --retries 1 health >"$out" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+
+mkdir -p "$state"
+
+"$cusand" --socket "$sock" --workers 2 --watchdog 2000000 \
+  --state "$state" --supervise --pid-file "$pidfile" \
+  --stats recovery-drain-stats.json \
+  >recovery-stdout.json 2>recovery-supervisor.log &
+sup_pid=$!
+
+if ! wait_healthy recovery-health-boot.json; then
+  fail "supervised daemon never became healthy"
+fi
+grep -q '"durable":true' recovery-health-boot.json \
+  || fail "daemon does not report a durable cache"
+
+# 1. Serve a verdict that must survive the crash.
+if ! "$cusanctl" --socket "$sock" lint jacobi/jacobi >recovery-lint-before.json; then
+  fail "lint before the kill failed"
+fi
+grep -q '"status":"ok"' recovery-lint-before.json || fail "lint reply not ok"
+grep -q '"cached":false' recovery-lint-before.json \
+  || fail "first lint unexpectedly cached"
+
+# 2. kill -9 the daemon child mid-flight: occupy a worker with a wedge
+#    (its client will lose the connection; that is the point), then
+#    murder the child the supervisor is watching.
+"$cusanctl" --socket "$sock" --retries 1 spin 30000000 \
+  >recovery-spin.json 2>/dev/null &
+spin_client=$!
+child=$(cat "$pidfile" 2>/dev/null) || fail "pid file missing"
+[ -n "${child:-}" ] || fail "pid file empty"
+kill -9 "$child" 2>/dev/null || fail "could not kill daemon child $child"
+wait "$spin_client" 2>/dev/null # the abandoned client; rc is irrelevant
+
+# 3. The supervisor restarts it: a fresh child answers health again.
+if ! wait_healthy recovery-health-after.json 200; then
+  fail "daemon did not come back after kill -9"
+fi
+grep -q 'restart #1' recovery-supervisor.log \
+  || fail "supervisor log records no restart"
+newchild=$(cat "$pidfile" 2>/dev/null)
+[ -n "${newchild:-}" ] && [ "$newchild" != "$child" ] \
+  || fail "pid file was not rewritten for the restarted child"
+
+# 4. The journal survived: the pre-kill verdict is a cache hit with
+#    byte-identical result.
+if ! "$cusanctl" --socket "$sock" lint jacobi/jacobi >recovery-lint-after.json; then
+  fail "lint after recovery failed"
+fi
+grep -q '"cached":true' recovery-lint-after.json \
+  || fail "recovered daemon did not serve the journalled verdict from cache"
+before=$(sed 's/.*"result"://' recovery-lint-before.json)
+after=$(sed 's/.*"result"://' recovery-lint-after.json)
+[ -n "$before" ] && [ "$before" = "$after" ] \
+  || fail "recovered verdict is not byte-identical"
+[ -s "$state/cache.journal" ] || [ -s "$state/cache.snapshot" ] \
+  || fail "state dir holds neither journal nor snapshot"
+
+# 5. Graceful teardown still works after a crash cycle: SIGTERM the
+#    supervisor, which forwards it and exits 0 once the child drains.
+kill -TERM "$sup_pid"
+wait "$sup_pid"
+rc=$?
+[ "$rc" -eq 0 ] || fail "supervisor exited $rc on SIGTERM, want 0"
+grep -q 'drained cleanly' recovery-supervisor.log \
+  || fail "supervisor did not log a clean drain"
+
+# Keep the journal as an artifact for post-mortem debugging.
+cp -f "$state/cache.journal" recovery-cache.journal 2>/dev/null || true
+cp -f "$state/cache.snapshot" recovery-cache.snapshot 2>/dev/null || true
+rm -rf "$state" "$pidfile"
+
+if [ "$status" -eq 0 ]; then
+  echo "daemon_recovery: kill -9 survived — supervisor restarted, journal replayed, verdict byte-identical, drained cleanly"
+fi
+exit "$status"

@@ -6,9 +6,12 @@
 #    artifact), never taking the daemon down;
 #  - the wedge resolves as a watchdog stalled verdict, not a hung
 #    worker;
+#  - a subscribe stream answers for the finished job (cusanctl watch);
 #  - the daemon answers a follow-up health check after both;
 #  - SIGTERM drains gracefully: the process exits 0 and flushes its
 #    final stats JSON.
+# Readiness is never a fixed sleep: every wait is a bounded
+# retry-until-healthy loop over `cusanctl health`.
 # Artifacts (daemon-*.json) are left in the working directory; CI
 # uploads them when the step fails.
 set -u
@@ -24,13 +27,26 @@ fail() {
   status=1
 }
 
+# Bounded retry-until-healthy: poll `cusanctl health` (itself cheap and
+# retry-free enough under --retries 1) until the daemon answers, up to
+# ~10s. Replaces any fixed sleep.
+wait_healthy() {
+  local out=$1 tries=${2:-100}
+  local i
+  for ((i = 0; i < tries; i++)); do
+    if "$cusanctl" --socket "$sock" --retries 1 health >"$out" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+
 "$cusand" --socket "$sock" --workers 2 --watchdog 2000000 \
   --stats daemon-drain-stats.json >daemon-stdout.json 2>daemon-stderr.log &
 daemon_pid=$!
 
-# cusanctl retries while the daemon boots, so the first call doubles as
-# the readiness wait.
-if ! "$cusanctl" --socket "$sock" health >daemon-health-boot.json; then
+if ! wait_healthy daemon-health-boot.json; then
   fail "daemon never became healthy"
 fi
 
@@ -56,8 +72,18 @@ fi
 grep -q '"outcome":"stalled"' daemon-stalled.json \
   || fail "wedged job did not resolve as a stalled verdict"
 
-# 4. After a crash and a wedge, the daemon still answers.
-if ! "$cusanctl" --socket "$sock" health >daemon-health-after.json; then
+# 4. The subscribe stream answers: watching the finished spin yields an
+#    immediate terminal frame from the cache.
+if ! "$cusanctl" --socket "$sock" watch spin 1000000 >daemon-watch.json; then
+  fail "watch of a cached job failed"
+fi
+grep -q '"type":"end"' daemon-watch.json \
+  || fail "watch produced no end frame"
+grep -q '"status":"cached"' daemon-watch.json \
+  || fail "watch of a finished job did not answer from the cache"
+
+# 5. After a crash and a wedge, the daemon still answers.
+if ! wait_healthy daemon-health-after.json 20; then
   fail "daemon unhealthy after crash + wedge"
 fi
 "$cusanctl" --socket "$sock" stats >daemon-stats.json \
@@ -65,7 +91,7 @@ fi
 grep -q '"crashed":1' daemon-stats.json || fail "crash not counted in stats"
 grep -q '"stalled":1' daemon-stats.json || fail "stall not counted in stats"
 
-# 5. SIGTERM drains gracefully: exit 0, final stats flushed.
+# 6. SIGTERM drains gracefully: exit 0, final stats flushed.
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 rc=$?
@@ -75,6 +101,6 @@ grep -q '"event":"drained"' daemon-drain-stats.json \
 [ -S "$sock" ] && fail "socket file not removed at drain"
 
 if [ "$status" -eq 0 ]; then
-  echo "daemon_smoke: lint + crash + wedge served, post-mortem captured, drained cleanly"
+  echo "daemon_smoke: lint + crash + wedge served, watch answered, drained cleanly"
 fi
 exit "$status"

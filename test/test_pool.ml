@@ -213,6 +213,94 @@ let prop_map_timeout_slots =
                  | Some (Error _) -> false)
                items rs))
 
+(* --- Elastic resize ---------------------------------------------------- *)
+
+let wait_alive p target =
+  let rec go n =
+    if Pool.alive p = target then ()
+    else if n = 0 then
+      Alcotest.failf "alive never reached %d (now %d)" target (Pool.alive p)
+    else begin
+      Unix.sleepf 0.002;
+      go (n - 1)
+    end
+  in
+  go 2500
+
+let resize_grows_and_shrinks () =
+  with_pool 1 (fun p ->
+      Alcotest.(check int) "initial size" 1 (Pool.size p);
+      Alcotest.(check int) "grow returns previous target" 1 (Pool.resize p 4);
+      Alcotest.(check int) "target updated" 4 (Pool.size p);
+      wait_alive p 4;
+      (* work still lands correctly on the grown pool *)
+      let xs = List.init 20 Fun.id in
+      Alcotest.(check (list int)) "map_pool on grown pool"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map_pool p (fun x -> x * x) xs);
+      Alcotest.(check int) "shrink returns previous target" 4 (Pool.resize p 1);
+      Alcotest.(check int) "target shrunk" 1 (Pool.size p);
+      (* surplus workers retire at a task boundary, not mid-pool-life *)
+      wait_alive p 1;
+      Alcotest.(check (list int)) "map_pool on shrunk pool"
+        (List.map succ xs)
+        (Pool.map_pool p succ xs))
+
+let resize_mid_job_finishes_it () =
+  with_pool 2 (fun p ->
+      (* occupy a worker, shrink under it: the running job must finish
+         and its result must be recorded *)
+      let started = Atomic.make false in
+      let release = Atomic.make false in
+      let h =
+        Pool.submit_cancellable p (fun ~cancelled:_ ->
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Unix.sleepf 0.001
+            done;
+            77)
+      in
+      while not (Atomic.get started) do
+        Unix.sleepf 0.001
+      done;
+      Alcotest.(check int) "shrink under a running job" 2 (Pool.resize p 1);
+      Atomic.set release true;
+      (match Pool.await h with
+      | `Done (Ok 77) -> ()
+      | _ -> Alcotest.fail "job abandoned by the shrink");
+      wait_alive p 1)
+
+let resize_rejects_invalid () =
+  let p = Pool.create ~workers:2 in
+  (match Pool.resize p 0 with
+  | _ -> Alcotest.fail "resize 0 accepted"
+  | exception Invalid_argument _ -> ());
+  Pool.shutdown p;
+  match Pool.resize p 2 with
+  | _ -> Alcotest.fail "resize after shutdown accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Results are independent of any interleaved resize sequence. *)
+let resize_result_independent () =
+  with_pool 2 (fun p ->
+      let expect = List.init 30 (fun x -> x * 3) in
+      let hs =
+        List.init 30 (fun x ->
+            Pool.submit_cancellable p (fun ~cancelled:_ -> x * 3))
+      in
+      ignore (Pool.resize p 5);
+      ignore (Pool.resize p 1);
+      ignore (Pool.resize p 3);
+      let got =
+        List.map
+          (fun h ->
+            match Pool.await h with
+            | `Done (Ok v) -> v
+            | _ -> Alcotest.fail "task lost across resizes")
+          hs
+      in
+      Alcotest.(check (list int)) "values survive resize storm" expect got)
+
 (* --- Parallel testsuite determinism ----------------------------------- *)
 
 (* Render everything observable about a verdict except wall time (the
@@ -675,6 +763,16 @@ let () =
           Alcotest.test_case "await timeout fires" `Quick await_timeout_fires;
           Alcotest.test_case "map_timeout mixed" `Quick map_timeout_mixed;
           QCheck_alcotest.to_alcotest prop_map_timeout_slots;
+        ] );
+      ( "resize",
+        [
+          Alcotest.test_case "grows and shrinks" `Quick resize_grows_and_shrinks;
+          Alcotest.test_case "running job finishes across shrink" `Quick
+            resize_mid_job_finishes_it;
+          Alcotest.test_case "rejects invalid targets" `Quick
+            resize_rejects_invalid;
+          Alcotest.test_case "results independent of resizes" `Quick
+            resize_result_independent;
         ] );
       ( "determinism",
         [

@@ -53,6 +53,8 @@ let request_gen : P.request QCheck.Gen.t =
       return P.Health;
       return P.Stats;
       return P.Shutdown;
+      map (fun n -> P.Resize (n + 1)) small_nat;
+      map (fun digest -> P.Subscribe { digest }) string_gen;
     ]
 
 let request_print r = mstr (P.request_to_json r)
@@ -239,7 +241,12 @@ let backoff_pinned () =
     (List.init 12 (fun i -> Resilience.backoff_yields ~attempt:(i + 1) ()));
   Alcotest.(check (list int)) "seed 42 jittered schedule"
     [ 3; 7; 10; 20; 50; 70 ]
-    (Resilience.backoff_schedule ~seed:42 ~attempts:6)
+    (Resilience.backoff_schedule ~seed:42 ~attempts:6);
+  (* Seed 1 is cusanctl's default --seed: this is the exact backoff
+     schedule every out-of-the-box client retry loop spends. *)
+  Alcotest.(check (list int)) "seed 1 (cusanctl default) schedule"
+    [ 3; 7; 14; 27; 57; 64 ]
+    (Resilience.backoff_schedule ~seed:1 ~attempts:6)
 
 let with_retries_spends_schedule () =
   (* The retry loop must spend exactly the schedule the seed predicts,
@@ -274,6 +281,399 @@ let with_retries_exhausts () =
     ->
       ()
   | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+
+(* The busy reply's backoff hint is load-proportional, never constant:
+   pin the formula max 1 (in_flight - high_water + queue_len). *)
+let retry_after_hint_pinned () =
+  let h = P.retry_after_hint in
+  Alcotest.(check int) "at the mark" 1
+    (h ~in_flight:1 ~high_water:1 ~queue_len:0);
+  Alcotest.(check int) "under the mark floors at 1" 1
+    (h ~in_flight:4 ~high_water:8 ~queue_len:0);
+  Alcotest.(check int) "overshoot plus queue" 7
+    (h ~in_flight:8 ~high_water:4 ~queue_len:3);
+  Alcotest.(check int) "queue alone drives it" 5
+    (h ~in_flight:4 ~high_water:4 ~queue_len:5);
+  (* strictly monotone in queued work once past the mark *)
+  List.iter
+    (fun q ->
+      Alcotest.(check int) "monotone in queue_len"
+        (h ~in_flight:6 ~high_water:4 ~queue_len:q + 1)
+        (h ~in_flight:6 ~high_water:4 ~queue_len:(q + 1)))
+    [ 0; 1; 2; 5; 9 ]
+
+(* --- resilience: circuit breaker ---------------------------------------- *)
+
+(* Unjittered, the cooldown ladder is the backoff_yields base: 2, 4, 8…
+   doubling per consecutive open, reset on a closing success. Every
+   transition below is pinned. *)
+let breaker_pinned_transitions () =
+  let module B = Resilience.Breaker in
+  let b = B.create ~threshold:2 () in
+  let waits = ref [] in
+  let ow ~yields = waits := !waits @ [ yields ] in
+  let st name expect =
+    Alcotest.(check bool) name true (B.state b = expect)
+  in
+  st "starts closed" B.Closed;
+  B.record_failure b;
+  st "one failure below threshold stays closed" B.Closed;
+  B.acquire ~on_wait:ow b;
+  Alcotest.(check (list int)) "closed acquire never waits" [] !waits;
+  B.record_failure b;
+  st "threshold opens" B.Open;
+  B.acquire ~on_wait:ow b;
+  st "acquire transitions to half-open" B.Half_open;
+  Alcotest.(check (list int)) "first cooldown" [ 2 ] !waits;
+  B.record_failure b;
+  st "failed probe re-opens" B.Open;
+  B.acquire ~on_wait:ow b;
+  Alcotest.(check (list int)) "second cooldown doubles" [ 2; 4 ] !waits;
+  B.record_failure b;
+  B.acquire ~on_wait:ow b;
+  Alcotest.(check (list int)) "third doubles again" [ 2; 4; 8 ] !waits;
+  B.record_success b;
+  st "successful probe closes" B.Closed;
+  (* the ladder reset with the close: a fresh trip starts at 2 again *)
+  B.record_failure b;
+  B.record_failure b;
+  B.acquire ~on_wait:ow b;
+  Alcotest.(check (list int)) "ladder reset after success" [ 2; 4; 8; 2 ] !waits
+
+let breaker_call_classifies () =
+  let module B = Resilience.Breaker in
+  let b = B.create ~threshold:1 () in
+  let ow ~yields:_ = () in
+  let failure = function Failure _ -> true | _ -> false in
+  (* an exception the classifier rejects propagates without tripping *)
+  (match B.call ~on_wait:ow ~failure b (fun () -> raise Not_found) with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ());
+  Alcotest.(check bool) "non-failure exn does not trip" true
+    (B.state b = B.Closed);
+  (match B.call ~on_wait:ow ~failure b (fun () -> failwith "conn") with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "classified failure trips" true (B.state b = B.Open);
+  (* next call waits out the cooldown, probes, and a success closes *)
+  Alcotest.(check int) "probe result" 42
+    (B.call ~on_wait:ow ~failure b (fun () -> 42));
+  Alcotest.(check bool) "success closes" true (B.state b = B.Closed)
+
+(* --- journal: crash-safe durable store ---------------------------------- *)
+
+module J = Server.Journal
+
+let dir_counter = ref 0
+
+let fresh_state_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cusand-test-state-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir d 0o755
+   with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+  d
+
+let rm_rf dir =
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let in_state_dir f =
+  let dir = fresh_state_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let entry_frame digest v = J.frame_of_payload (J.entry_payload ~digest v)
+
+let assoc_int digest entries =
+  Option.bind (List.assoc_opt digest entries) Mjson.to_int
+
+let journal_empty () =
+  in_state_dir (fun dir ->
+      let r = J.recover ~dir in
+      Alcotest.(check int) "no entries" 0 (List.length r.J.entries);
+      Alcotest.(check (option string)) "clean tail" None r.J.torn_tail)
+
+let journal_roundtrip_last_wins () =
+  in_state_dir (fun dir ->
+      let st, r0 = J.open_store ~dir in
+      Alcotest.(check int) "fresh store replays nothing" 0 r0.J.replayed;
+      J.append st ~digest:"a" (Mjson.Int 1);
+      J.append st ~digest:"b" (Mjson.Int 2);
+      J.append st ~digest:"a" (Mjson.Int 3);
+      Alcotest.(check int) "appends counted" 3 (J.appended_since_compact st);
+      J.close st;
+      let r = J.recover ~dir in
+      Alcotest.(check (option string)) "clean tail" None r.J.torn_tail;
+      Alcotest.(check int) "last write per digest wins" 2
+        (List.length r.J.entries);
+      Alcotest.(check (option int)) "a rewritten" (Some 3)
+        (assoc_int "a" r.J.entries);
+      Alcotest.(check (option int)) "b kept" (Some 2)
+        (assoc_int "b" r.J.entries))
+
+let journal_torn_tail_truncated () =
+  in_state_dir (fun dir ->
+      let whole =
+        entry_frame "a" (Mjson.Int 1) ^ entry_frame "b" (Mjson.Int 2)
+      in
+      let torn = entry_frame "c" (Mjson.Int 3) in
+      (* a kill -9 mid-append: the final frame stops 3 bytes short *)
+      write_file (J.journal_file dir)
+        (whole ^ String.sub torn 0 (String.length torn - 3));
+      let r = J.recover ~dir in
+      Alcotest.(check int) "valid prefix kept" 2 (List.length r.J.entries);
+      (match r.J.torn_tail with
+      | Some _ -> ()
+      | None -> Alcotest.fail "torn tail not diagnosed");
+      (* recovery truncated the garbage in place *)
+      Alcotest.(check int) "file truncated to the valid prefix"
+        (String.length whole)
+        (Unix.stat (J.journal_file dir)).Unix.st_size;
+      let r2 = J.recover ~dir in
+      Alcotest.(check (option string)) "second recovery is clean" None
+        r2.J.torn_tail;
+      (* and the next append lands after the last committed frame *)
+      let st, _ = J.open_store ~dir in
+      J.append st ~digest:"d" (Mjson.Int 4);
+      J.close st;
+      let r3 = J.recover ~dir in
+      Alcotest.(check int) "append after truncation recovers" 3
+        (List.length r3.J.entries);
+      Alcotest.(check (option int)) "new entry present" (Some 4)
+        (assoc_int "d" r3.J.entries))
+
+let journal_bitflip_keeps_prefix () =
+  in_state_dir (fun dir ->
+      let f1 = entry_frame "a" (Mjson.Int 1) in
+      let f2 = entry_frame "b" (Mjson.Int 2) in
+      let f3 = entry_frame "c" (Mjson.Int 3) in
+      let b = Bytes.of_string (f1 ^ f2 ^ f3) in
+      (* flip one payload byte in the middle frame *)
+      let pos = String.length f1 + 8 + 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+      write_file (J.journal_file dir) (Bytes.to_string b);
+      let r = J.recover ~dir in
+      Alcotest.(check int) "only the prefix before the flip survives" 1
+        (List.length r.J.entries);
+      Alcotest.(check (option int)) "first entry intact" (Some 1)
+        (assoc_int "a" r.J.entries);
+      match r.J.torn_tail with
+      | Some why ->
+          Alcotest.(check bool)
+            (Printf.sprintf "diagnosis names the checksum: %s" why)
+            true
+            (String.length why >= 8 && String.sub why 0 8 = "checksum")
+      | None -> Alcotest.fail "corruption not diagnosed")
+
+let journal_snapshot_then_journal () =
+  in_state_dir (fun dir ->
+      (* snapshot holds a=1, c=5; the journal has newer a=2 plus b=3:
+         replay order is snapshot first, journal wins on conflict *)
+      write_file (J.snapshot_file dir)
+        (entry_frame "a" (Mjson.Int 1) ^ entry_frame "c" (Mjson.Int 5));
+      write_file (J.journal_file dir)
+        (entry_frame "a" (Mjson.Int 2) ^ entry_frame "b" (Mjson.Int 3));
+      (* plus a stale compaction temp file from a crashed compaction *)
+      let tmp = J.snapshot_file dir ^ ".tmp" in
+      write_file tmp "garbage from a dead compactor";
+      let r = J.recover ~dir in
+      Alcotest.(check int) "union of snapshot and journal" 3
+        (List.length r.J.entries);
+      Alcotest.(check (option int)) "journal wins over snapshot" (Some 2)
+        (assoc_int "a" r.J.entries);
+      Alcotest.(check (option int)) "journal-only entry" (Some 3)
+        (assoc_int "b" r.J.entries);
+      Alcotest.(check (option int)) "snapshot-only entry" (Some 5)
+        (assoc_int "c" r.J.entries);
+      Alcotest.(check bool) "stale compaction tmp removed" false
+        (Sys.file_exists tmp))
+
+let journal_compact_preserves () =
+  in_state_dir (fun dir ->
+      let st, _ = J.open_store ~dir in
+      J.append st ~digest:"a" (Mjson.Int 1);
+      J.append st ~digest:"b" (Mjson.Int 2);
+      J.append st ~digest:"a" (Mjson.Int 9);
+      J.compact st ~entries:[ ("a", Mjson.Int 9); ("b", Mjson.Int 2) ];
+      Alcotest.(check int) "append counter reset" 0
+        (J.appended_since_compact st);
+      Alcotest.(check int) "journal truncated" 0
+        (Unix.stat (J.journal_file dir)).Unix.st_size;
+      (* appends after compaction land in the fresh journal *)
+      J.append st ~digest:"c" (Mjson.Int 7);
+      J.close st;
+      let r = J.recover ~dir in
+      Alcotest.(check int) "snapshot + fresh journal" 3
+        (List.length r.J.entries);
+      Alcotest.(check (option int)) "compacted entry served" (Some 9)
+        (assoc_int "a" r.J.entries);
+      Alcotest.(check (option int)) "post-compaction append served" (Some 7)
+        (assoc_int "c" r.J.entries))
+
+(* The crash property: cut the journal's byte stream at ANY point and
+   recovery yields exactly the frames wholly inside the prefix — never
+   a phantom entry, never a corrupt one, last write per digest. *)
+let prop_journal_crash_point =
+  let gen =
+    QCheck.Gen.(pair (list_size (1 -- 12) (pair (int_bound 3) small_nat)) nat)
+  in
+  let print (writes, cut) =
+    Printf.sprintf "cut=%d writes=[%s]" cut
+      (String.concat ";"
+         (List.map (fun (d, v) -> Printf.sprintf "d%d=%d" d v) writes))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"journal: recovery at any crash point = committed prefix"
+    (QCheck.make ~print gen)
+    (fun (writes, cut) ->
+      in_state_dir (fun dir ->
+          let frames =
+            List.map
+              (fun (d, v) ->
+                entry_frame (Printf.sprintf "d%d" d) (Mjson.Int v))
+              writes
+          in
+          let all = String.concat "" frames in
+          let cut = cut mod (String.length all + 1) in
+          write_file (J.journal_file dir) (String.sub all 0 cut);
+          let r = J.recover ~dir in
+          (* expected: last write per digest among fully-written frames *)
+          let expected = Hashtbl.create 8 in
+          let off = ref 0 in
+          List.iter2
+            (fun (d, v) f ->
+              if !off + String.length f <= cut then
+                Hashtbl.replace expected (Printf.sprintf "d%d" d) v;
+              off := !off + String.length f)
+            writes frames;
+          List.length r.J.entries = Hashtbl.length expected
+          && List.for_all
+               (fun (dg, j) ->
+                 match (Mjson.to_int j, Hashtbl.find_opt expected dg) with
+                 | Some v, Some v' -> v = v'
+                 | _ -> false)
+               r.J.entries))
+
+(* --- stream: live subscriber frames ------------------------------------- *)
+
+module S = Server.Stream
+
+let mk_event i =
+  {
+    Trace.Event.seq = i;
+    epoch = 0;
+    ts_us = 0.;
+    vt_us = float_of_int i;
+    pid = 0;
+    track = "t0";
+    phase = Trace.Event.Instant;
+    cat = "sched";
+    name = "task_resume";
+    args = [ ("pad", String.make 64 'x') ];
+  }
+
+(* Read every line the stream wrote to [cli] until it closes the
+   connection, pumping [flush] while the socket has nothing yet. *)
+let drain_stream ?(flush = fun () -> ()) cli =
+  Unix.set_nonblock cli;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec go patience =
+    if patience = 0 then Alcotest.fail "stream never closed"
+    else begin
+      flush ();
+      match Unix.read cli chunk 0 (Bytes.length chunk) with
+      | 0 -> () (* EOF: the stream finished and closed its end *)
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go patience
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Unix.sleepf 0.002;
+          go (patience - 1)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go patience
+    end
+  in
+  go 2500;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l ->
+         match Mjson.of_string l with
+         | Ok j -> j
+         | Error m -> Alcotest.failf "stream frame does not parse (%s): %S" m l)
+
+let stream_live_frames () =
+  let srv, cli = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close cli with Unix.Unix_error _ -> ())
+    (fun () ->
+      let t = S.create () in
+      S.subscribe t ~schema:P.schema ~digest:"abc" srv;
+      Alcotest.(check int) "one subscriber" 1 (S.subscriber_count t);
+      S.publish t ~schema:P.schema ~digest:"abc" (mk_event 7);
+      (* another job's events must not leak into this stream *)
+      S.publish t ~schema:P.schema ~digest:"other" (mk_event 8);
+      S.finish t ~schema:P.schema ~digest:"abc" ~status:"ok";
+      match drain_stream ~flush:(fun () -> S.flush t) cli with
+      | [ sub; ev; fin ] ->
+          Alcotest.(check (option string)) "attach frame" (Some "subscribed")
+            (member_str "type" sub);
+          Alcotest.(check (option string)) "job tagged" (Some "abc")
+            (member_str "job" sub);
+          Alcotest.(check (option string)) "event frame" (Some "event")
+            (member_str "type" ev);
+          Alcotest.(check (option int)) "event payload" (Some 7)
+            (Option.bind (Mjson.member "event" ev) (member_int "seq"));
+          Alcotest.(check (option string)) "terminal frame" (Some "end")
+            (member_str "type" fin);
+          Alcotest.(check (option string)) "status" (Some "ok")
+            (member_str "status" fin);
+          Alcotest.(check int) "subscriber closed out" 0
+            (S.subscriber_count t);
+          Alcotest.(check int) "served counted" 1 (S.served_count t)
+      | frames -> Alcotest.failf "expected 3 frames, got %d" (List.length frames))
+
+(* A subscriber that stops reading must be dropped with a [lagged]
+   frame — and must never block the publisher. *)
+let stream_lagged_dropped () =
+  let srv, cli = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close cli with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* shrink the kernel's buffer so the bounded queue fills fast *)
+      (try Unix.setsockopt_int srv Unix.SO_SNDBUF 4096
+       with Unix.Unix_error _ -> ());
+      let t = S.create ~max_queue:4 () in
+      S.subscribe t ~schema:P.schema ~digest:"d" srv;
+      (* the client reads nothing; publish until the drop triggers *)
+      let i = ref 0 in
+      while S.lagged_count t = 0 && !i < 100_000 do
+        S.publish t ~schema:P.schema ~digest:"d" (mk_event !i);
+        incr i
+      done;
+      Alcotest.(check int) "subscriber dropped as lagged" 1 (S.lagged_count t);
+      (* publishing to the now-dead stream stays a cheap no-op *)
+      S.publish t ~schema:P.schema ~digest:"d" (mk_event 0);
+      let frames = drain_stream ~flush:(fun () -> S.flush t) cli in
+      (match List.rev frames with
+      | last :: _ ->
+          Alcotest.(check (option string)) "final frame is lagged"
+            (Some "lagged") (member_str "type" last);
+          (match member_int "dropped" last with
+          | Some n when n >= 1 -> ()
+          | _ -> Alcotest.fail "lagged frame carries no dropped count")
+      | [] -> Alcotest.fail "no frames before the drop");
+      Alcotest.(check int) "registry empty after drop" 0
+        (S.subscriber_count t))
 
 (* --- daemon: end-to-end over a real socket ------------------------------ *)
 
@@ -505,7 +905,231 @@ let daemon_drain_cancels_stragglers () =
             Alcotest.failf "straggler reply: %s" (P.read_error_to_string e));
         Unix.close spin_fd)
   in
-  Alcotest.(check int) "drain cancelled the straggler" 1 stats.D.drain_cancelled
+  Alcotest.(check int) "drain cancelled the straggler" 1 stats.D.drain_cancelled;
+  (* the abandoned job is recorded and surfaced in the drain report *)
+  let spin_digest = P.job_digest (P.Spin { steps = 8_000_000 }) in
+  (match stats.D.abandoned with
+  | [ (digest, desc) ] ->
+      Alcotest.(check string) "abandoned digest recorded" spin_digest digest;
+      Alcotest.(check bool) "abandoned description present" true
+        (String.length desc > 0)
+  | l -> Alcotest.failf "expected 1 abandoned job, got %d" (List.length l));
+  match Mjson.member "abandoned_jobs" (D.stats_json stats) with
+  | Some (Mjson.List [ entry ]) ->
+      Alcotest.(check (option string)) "abandoned_jobs carries the digest"
+        (Some spin_digest) (member_str "job" entry)
+  | _ -> Alcotest.fail "stats JSON lacks the abandoned_jobs list"
+
+(* --- daemon: durability, elasticity, streaming -------------------------- *)
+
+(* Verdicts served before a crash must be served byte-identically after
+   a restart from the same state dir — including when the dying daemon
+   tore its final journal frame. *)
+let daemon_durable_restart () =
+  in_state_dir (fun dir ->
+      let job = P.Lint { target = "jacobi/jacobi" } in
+      let local = mstr (run_ok job) in
+      let bytes1, stats1 =
+        with_daemon
+          ~cfg:(fun c -> { c with D.state_dir = Some dir })
+          (fun path _t ->
+            Alcotest.(check (option bool)) "health reports durable"
+              (Some true)
+              (member_bool "durable" (rpc path P.Health));
+            let r = rpc path (P.Submit job) in
+            Alcotest.(check (option bool)) "first run not cached" (Some false)
+              (member_bool "cached" r);
+            mstr (Option.get (Mjson.member "result" r)))
+      in
+      Alcotest.(check string) "generation 1 byte-identical to local" local
+        bytes1;
+      Alcotest.(check int) "verdict journalled" 1 stats1.D.journal_appends;
+      (* simulate a kill -9 mid-append: garbage after the last frame *)
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 (J.journal_file dir)
+      in
+      output_string oc "\x00\x00\x01";
+      close_out oc;
+      let (), stats2 =
+        with_daemon
+          ~cfg:(fun c -> { c with D.state_dir = Some dir })
+          (fun path _t ->
+            let r = rpc path (P.Submit job) in
+            Alcotest.(check (option bool))
+              "replayed journal serves a cache hit" (Some true)
+              (member_bool "cached" r);
+            Alcotest.(check string) "recovered bytes identical" local
+              (mstr (Option.get (Mjson.member "result" r))))
+      in
+      Alcotest.(check int) "one entry replayed" 1 stats2.D.replayed;
+      Alcotest.(check int) "recovered hit counted" 1 stats2.D.cache_hits)
+
+(* Admin resize: clamped to the window, reflected in health, and
+   verdicts are unaffected by any resize sequence. *)
+let daemon_resize_rpc () =
+  let job = P.Lint { target = "jacobi/jacobi" } in
+  let local = mstr (run_ok job) in
+  let (), stats =
+    with_daemon
+      ~cfg:(fun c ->
+        {
+          c with
+          D.workers = 1;
+          workers_min = 1;
+          workers_max = 4;
+          (* park the load controller so only admin resizes move the
+             pool and the pinned counters below stay deterministic *)
+          scale_down_ticks = 1_000_000;
+        })
+      (fun path _t ->
+        let resized k r =
+          Option.bind (Mjson.member "resized" r) (member_int k)
+        in
+        let r = rpc path (P.Resize 3) in
+        Alcotest.(check (option int)) "requested" (Some 3)
+          (resized "requested" r);
+        Alcotest.(check (option int)) "from previous size" (Some 1)
+          (resized "from" r);
+        Alcotest.(check (option int)) "to new size" (Some 3) (resized "to" r);
+        Alcotest.(check (option int)) "health sees the grown pool" (Some 3)
+          (member_int "workers" (rpc path P.Health));
+        let r = rpc path (P.Resize 99) in
+        Alcotest.(check (option int)) "overshoot clamps to workers_max"
+          (Some 4) (resized "to" r);
+        let r = rpc path (P.Resize 1) in
+        Alcotest.(check (option int)) "shrink back" (Some 1) (resized "to" r);
+        let r = rpc path (P.Submit job) in
+        Alcotest.(check (option string)) "job ok after resizes" (Some "ok")
+          (member_str "status" r);
+        Alcotest.(check string) "verdict independent of resizing" local
+          (mstr (Option.get (Mjson.member "result" r))))
+  in
+  Alcotest.(check int) "two growth events" 2 stats.D.resizes_up;
+  Alcotest.(check int) "one shrink event" 1 stats.D.resizes_down
+
+(* Subscribe: a live job streams subscribed → … → end; an unknown job
+   is an error; a finished job answers instantly from the cache. *)
+let daemon_subscribe_stream () =
+  let spin = P.Spin { steps = 1_000_000 } in
+  let digest = P.job_digest spin in
+  let (), _stats =
+    with_daemon
+      ~cfg:(fun c -> { c with D.workers = 1; watchdog = 60_000_000 })
+      (fun path _t ->
+        let r = rpc path (P.Subscribe { digest = "feedfacefeedface" }) in
+        Alcotest.(check (option string)) "unknown job is an error"
+          (Some "error") (member_str "status" r);
+        let spin_fd = connect path in
+        P.write_frame spin_fd (P.request_to_json (P.Submit spin));
+        let rec wait_inflight n =
+          if n = 0 then Alcotest.fail "spin never became in-flight"
+          else if member_int "in_flight" (rpc path P.Health) <> Some 1 then begin
+            Unix.sleepf 0.01;
+            wait_inflight (n - 1)
+          end
+        in
+        wait_inflight 500;
+        let sub_fd = connect path in
+        (* a stuck daemon must fail the test, not hang it *)
+        Unix.setsockopt_float sub_fd Unix.SO_RCVTIMEO 30.0;
+        P.write_frame sub_fd (P.request_to_json (P.Subscribe { digest }));
+        let ic = Unix.in_channel_of_descr sub_fd in
+        let frame () =
+          match Mjson.of_string (input_line ic) with
+          | Ok j -> j
+          | Error m -> Alcotest.failf "stream frame does not parse: %s" m
+        in
+        let first = frame () in
+        Alcotest.(check (option string)) "attach acknowledged"
+          (Some "subscribed") (member_str "type" first);
+        Alcotest.(check (option string)) "stream tagged with the job"
+          (Some digest) (member_str "job" first);
+        let rec until_end () =
+          let j = frame () in
+          if member_str "type" j = Some "end" then j else until_end ()
+        in
+        let fin = until_end () in
+        Alcotest.(check (option string)) "live stream ends with the verdict"
+          (Some "stalled") (member_str "status" fin);
+        (* the submitting client still gets its full reply *)
+        (match P.read_frame spin_fd with
+        | Ok line -> (
+            match Mjson.of_string line with
+            | Ok r ->
+                Alcotest.(check (option string)) "spin served" (Some "ok")
+                  (member_str "status" r)
+            | Error m -> Alcotest.failf "spin reply does not parse: %s" m)
+        | Error e -> Alcotest.failf "spin reply: %s" (P.read_error_to_string e));
+        Unix.close spin_fd;
+        (try Unix.close sub_fd with Unix.Unix_error _ -> ());
+        (* now cached: subscribe answers with an immediate end frame *)
+        let r = rpc path (P.Subscribe { digest }) in
+        Alcotest.(check (option string)) "cached job ends instantly"
+          (Some "end") (member_str "type" r);
+        Alcotest.(check (option string)) "with a cached status"
+          (Some "cached") (member_str "status" r))
+  in
+  ()
+
+(* The load controller: admission depth past the threshold grows the
+   pool toward workers_max; a drained queue shrinks it back to
+   workers_min after the hysteresis ticks. Health RPCs drive the
+   accept-loop ticks, so the polls below are also the clock. *)
+let daemon_elastic_scales () =
+  let (), stats =
+    with_daemon
+      ~cfg:(fun c ->
+        {
+          c with
+          D.workers = 1;
+          workers_min = 1;
+          workers_max = 3;
+          queue_max = 8;
+          scale_up_depth = 1;
+          scale_down_ticks = 2;
+          watchdog = 60_000_000;
+        })
+      (fun path _t ->
+        let fds =
+          List.init 3 (fun i ->
+              let fd = connect path in
+              P.write_frame fd
+                (P.request_to_json (P.Submit (P.Spin { steps = 1_500_000 + i })));
+              fd)
+        in
+        let rec wait_workers n target =
+          if n = 0 then
+            Alcotest.failf "pool never reached %d workers" target
+          else if member_int "workers" (rpc path P.Health) <> Some target
+          then begin
+            Unix.sleepf 0.01;
+            wait_workers (n - 1) target
+          end
+        in
+        wait_workers 500 3;
+        (* every spin resolves (watchdog verdicts) on the grown pool *)
+        List.iter
+          (fun fd ->
+            (match P.read_frame fd with
+            | Ok line -> (
+                match Mjson.of_string line with
+                | Ok r ->
+                    Alcotest.(check (option string)) "spin stalled"
+                      (Some "stalled")
+                      (Option.bind (Mjson.member "result" r)
+                         (member_str "outcome"))
+                | Error m -> Alcotest.failf "spin reply does not parse: %s" m)
+            | Error e ->
+                Alcotest.failf "spin reply: %s" (P.read_error_to_string e));
+            Unix.close fd)
+          fds;
+        (* idle hysteresis retires the surplus back to the floor *)
+        wait_workers 500 1)
+  in
+  Alcotest.(check bool) "growth events recorded" true (stats.D.resizes_up >= 1);
+  Alcotest.(check bool) "shrink events recorded" true
+    (stats.D.resizes_down >= 2);
+  Alcotest.(check int) "all spins stalled" 3 stats.D.stalled
 
 (* --- chaos acceptance ---------------------------------------------------
    Across 10 seeds, a job mix where >= 30% of jobs crash (boom) or
@@ -604,6 +1228,8 @@ let () =
           Alcotest.test_case "closed peer" `Quick frame_closed;
           Alcotest.test_case "truncated frame" `Quick frame_truncated;
           Alcotest.test_case "oversized frame" `Quick frame_oversized;
+          Alcotest.test_case "retry_after hint pinned" `Quick
+            retry_after_hint_pinned;
         ] );
       ( "engine",
         [
@@ -620,6 +1246,31 @@ let () =
           Alcotest.test_case "with_retries spends schedule" `Quick
             with_retries_spends_schedule;
           Alcotest.test_case "with_retries exhausts" `Quick with_retries_exhausts;
+          Alcotest.test_case "breaker transitions pinned" `Quick
+            breaker_pinned_transitions;
+          Alcotest.test_case "breaker call classifies" `Quick
+            breaker_call_classifies;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "empty store" `Quick journal_empty;
+          Alcotest.test_case "roundtrip, last write wins" `Quick
+            journal_roundtrip_last_wins;
+          Alcotest.test_case "torn tail truncated" `Quick
+            journal_torn_tail_truncated;
+          Alcotest.test_case "bit flip keeps valid prefix" `Quick
+            journal_bitflip_keeps_prefix;
+          Alcotest.test_case "snapshot then journal" `Quick
+            journal_snapshot_then_journal;
+          Alcotest.test_case "compaction preserves entries" `Quick
+            journal_compact_preserves;
+          QCheck_alcotest.to_alcotest prop_journal_crash_point;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "subscribed, event, end" `Quick stream_live_frames;
+          Alcotest.test_case "slow subscriber dropped as lagged" `Quick
+            stream_lagged_dropped;
         ] );
       ( "daemon",
         [
@@ -631,6 +1282,14 @@ let () =
             daemon_backpressure;
           Alcotest.test_case "drain cancels stragglers" `Quick
             daemon_drain_cancels_stragglers;
+          Alcotest.test_case "durable restart serves identical bytes" `Quick
+            daemon_durable_restart;
+          Alcotest.test_case "resize rpc clamps and preserves verdicts" `Quick
+            daemon_resize_rpc;
+          Alcotest.test_case "subscribe streams a live job" `Quick
+            daemon_subscribe_stream;
+          Alcotest.test_case "elastic pool scales with load" `Quick
+            daemon_elastic_scales;
         ] );
       ("chaos", [ Alcotest.test_case "acceptance" `Slow daemon_chaos_acceptance ]);
     ]
